@@ -1,0 +1,522 @@
+//! Ablations of the design choices DESIGN.md calls out (A1–A4).
+//!
+//! Each ablation replaces one rule of the paper's algorithms with a
+//! plausible alternative and demonstrates the failure mode the original
+//! rule prevents.
+
+use safereg_checker::CheckSummary;
+use safereg_common::config::QuorumConfig;
+use safereg_common::history::OpKind;
+use safereg_common::ids::{ClientId, ReaderId, ServerId, WriterId};
+use safereg_common::msg::{OpId, Payload, ServerToClient};
+use safereg_common::tag::Tag;
+use safereg_common::value::Value;
+use safereg_core::bcsr::{BcsrReadOp, CodedReadStrategy};
+use safereg_core::client::BsrWriter;
+use safereg_core::op::ClientOp;
+use safereg_core::read::BsrReadOp;
+use safereg_core::server::{HistoryRetention, ServerNode};
+use safereg_core::write::{TagSelection, WriteOp};
+use safereg_mds::rs::ReedSolomon;
+use safereg_mds::stripe::encode_value;
+use safereg_simnet::behavior::StaleReplier;
+use safereg_simnet::behavior::{Correct, Fabricator};
+use safereg_simnet::delay::SpikeDelay;
+use safereg_simnet::delay::{Delay, Matcher, MsgKind, Rule, Scripted};
+use safereg_simnet::driver::{Action, ClientDriver, OpFactory, Plan};
+use safereg_simnet::scenarios::HOP;
+use safereg_simnet::sim::Sim;
+
+fn held(matcher: Matcher) -> Rule {
+    Rule {
+        matcher,
+        delay: Delay::held(),
+    }
+}
+
+fn delayed(matcher: Matcher, ticks: u64) -> Rule {
+    Rule {
+        matcher,
+        delay: Delay::after(ticks),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A1 — witness threshold
+// ---------------------------------------------------------------------------
+
+/// One row of the witness-threshold sweep.
+#[derive(Debug, Clone)]
+pub struct A1Row {
+    /// Witness threshold used by the read (`f + 1 = 2` is the paper's).
+    pub threshold: usize,
+    /// What the read returned.
+    pub returned: String,
+    /// Safety verdict.
+    pub safe: bool,
+    /// Freshness verdict.
+    pub fresh: bool,
+}
+
+struct ThresholdReader {
+    id: ReaderId,
+    cfg: QuorumConfig,
+    seq: u64,
+    threshold: usize,
+}
+
+impl OpFactory for ThresholdReader {
+    fn client_id(&self) -> ClientId {
+        ClientId::Reader(self.id)
+    }
+
+    fn begin(&mut self, action: &Action) -> Box<dyn ClientOp> {
+        assert!(
+            matches!(action, Action::Read),
+            "threshold reader only reads"
+        );
+        self.seq += 1;
+        Box::new(
+            BsrReadOp::new(self.id, self.seq, self.cfg, (Tag::ZERO, Value::initial()))
+                .with_witness_threshold(self.threshold),
+        )
+    }
+}
+
+/// A1: sweep the read's witness threshold around the paper's `f + 1`.
+///
+/// The schedule arranges exactly `f + 1` fresh witnesses among the
+/// reader's `n − f` responses (one correct response held, one Byzantine
+/// fabricator): threshold `f` accepts the fabricated pair, `f + 1` returns
+/// the write, `f + 2` misses it and regresses to `v_0`.
+pub fn a1_witness_threshold() -> Vec<A1Row> {
+    let cfg = QuorumConfig::minimal_bsr(1).expect("n=5, f=1");
+    (1..=3)
+        .map(|threshold| {
+            let write_op = OpId::new(WriterId(0), 1);
+            let read_op = OpId::new(ReaderId(0), 1);
+            let rules = vec![
+                // The write never reaches s3.
+                held(
+                    Matcher::any()
+                        .for_op(write_op)
+                        .of_kind(MsgKind::PutData)
+                        .to_node(ServerId(3)),
+                ),
+                // s2's read response is held, leaving fresh witnesses s0, s1.
+                held(
+                    Matcher::any()
+                        .for_op(read_op)
+                        .of_kind(MsgKind::Response)
+                        .from_node(ServerId(2)),
+                ),
+            ];
+            let mut sim = Sim::new(cfg, 71, Box::new(Scripted::over_fixed(rules, HOP)));
+            for sid in cfg.servers() {
+                if sid == ServerId(4) {
+                    sim.add_server(Box::new(Fabricator::new(sid, 99)));
+                } else {
+                    sim.add_server(Box::new(Correct::new(ServerNode::new_replicated(sid, cfg))));
+                }
+            }
+            sim.add_client(
+                ClientDriver::BsrWriter(BsrWriter::new(WriterId(0), cfg)),
+                vec![Plan::write_at(0, "fresh")],
+            );
+            sim.add_client(
+                ClientDriver::Custom(Box::new(ThresholdReader {
+                    id: ReaderId(0),
+                    cfg,
+                    seq: 0,
+                    threshold,
+                })),
+                vec![Plan::read_at(1_000)],
+            );
+            sim.run_until(1_000_000);
+            let summary = CheckSummary::check_all(sim.history());
+            let returned = sim
+                .history()
+                .completed_reads()
+                .next()
+                .and_then(|r| match &r.kind {
+                    OpKind::Read {
+                        returned: Some(v), ..
+                    } => Some(v.to_string()),
+                    _ => None,
+                })
+                .unwrap_or_else(|| "<none>".into());
+            A1Row {
+                threshold,
+                returned,
+                safe: summary.is_safe(),
+                fresh: summary.is_fresh(),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// A2 — get-tag selection rule
+// ---------------------------------------------------------------------------
+
+/// One row of the tag-selection ablation.
+#[derive(Debug, Clone)]
+pub struct A2Row {
+    /// Which selection rule the writer used.
+    pub selection: &'static str,
+    /// Tag number after three writes (should be 3 under the robust rule).
+    pub final_tag_num: u64,
+    /// Whether a single Byzantine server inflated the tag space.
+    pub inflated: bool,
+}
+
+struct SelectingWriter {
+    id: WriterId,
+    cfg: QuorumConfig,
+    seq: u64,
+    selection: TagSelection,
+}
+
+impl OpFactory for SelectingWriter {
+    fn client_id(&self) -> ClientId {
+        ClientId::Writer(self.id)
+    }
+
+    fn begin(&mut self, action: &Action) -> Box<dyn ClientOp> {
+        let value = match action {
+            Action::Write(v) => v.clone(),
+            Action::Read => panic!("selecting writer only writes"),
+        };
+        self.seq += 1;
+        Box::new(
+            WriteOp::replicated(self.id, self.seq, self.cfg, value)
+                .with_tag_selection(self.selection),
+        )
+    }
+}
+
+/// A2: replace the `(f+1)`-th-highest tag selection with plain `max` and
+/// let one Byzantine fabricator answer `get-tag` queries.
+pub fn a2_tag_selection() -> Vec<A2Row> {
+    [
+        (TagSelection::Robust, "(f+1)-th highest"),
+        (TagSelection::Max, "max"),
+    ]
+    .into_iter()
+    .map(|(selection, name)| {
+        let cfg = QuorumConfig::minimal_bsr(1).expect("n=5, f=1");
+        let mut sim = Sim::new(
+            cfg,
+            73,
+            Box::new(safereg_simnet::delay::FixedDelay { hop: HOP }),
+        );
+        for sid in cfg.servers() {
+            // The fabricator sits at s0 so its forged get-tag response
+            // is always among the first n - f the writer collects.
+            if sid == ServerId(0) {
+                sim.add_server(Box::new(Fabricator::new(sid, 7)));
+            } else {
+                sim.add_server(Box::new(Correct::new(ServerNode::new_replicated(sid, cfg))));
+            }
+        }
+        sim.add_client(
+            ClientDriver::Custom(Box::new(SelectingWriter {
+                id: WriterId(0),
+                cfg,
+                seq: 0,
+                selection,
+            })),
+            vec![
+                Plan::write_at(0, "w1"),
+                Plan::write_at(1_000, "w2"),
+                Plan::write_at(2_000, "w3"),
+            ],
+        );
+        sim.run();
+        let final_tag_num = sim
+            .history()
+            .completed_writes()
+            .filter_map(|w| match &w.kind {
+                OpKind::Write { tag: Some(t), .. } => Some(t.num),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        A2Row {
+            selection: name,
+            final_tag_num,
+            inflated: final_tag_num > 1_000,
+        }
+    })
+    .collect()
+}
+
+// ---------------------------------------------------------------------------
+// A3 — BCSR decode strategy
+// ---------------------------------------------------------------------------
+
+/// One row of the decode-strategy ablation.
+#[derive(Debug, Clone)]
+pub struct A3Row {
+    /// Decode strategy.
+    pub strategy: &'static str,
+    /// Whether the fresh value was recovered.
+    pub recovered: bool,
+    /// What the read returned.
+    pub returned: String,
+}
+
+/// A3: erasure-marking vs blind error decoding in the BCSR reader.
+///
+/// With `n = 16, f = 2, k = 6` the reader faces 2 missing servers, 4 stale
+/// elements and 2 fresh-tag corruptions. Erasure-marking spends
+/// `4 + 4 = 8 ≤ 10` of the budget (stale elements become cheap erasures);
+/// blind decoding needs `2·6 + 2 = 14 > 10` and fails back to `v_0`.
+pub fn a3_decode_strategy() -> Vec<A3Row> {
+    let n = 16usize;
+    let f = 2usize;
+    let cfg = QuorumConfig::new(n, f).expect("valid config");
+    let k = cfg.mds_k().expect("k = n - 5f");
+    let code = ReedSolomon::new(n, k).expect("valid code");
+
+    let fresh = Value::from("ablation-three fresh value!");
+    let stale = Value::from("ablation-three STALE value.");
+    let fresh_elems = encode_value(&code, &fresh);
+    let stale_elems = encode_value(&code, &stale);
+    let t_new = Tag::new(2, WriterId(0));
+    let t_old = Tag::new(1, WriterId(0));
+
+    [
+        (CodedReadStrategy::ErasureMarking, "erasure-marking"),
+        (CodedReadStrategy::BlindDecode, "blind-decode"),
+    ]
+    .into_iter()
+    .map(|(strategy, name)| {
+        let mut op = BcsrReadOp::new(ReaderId(0), 1, cfg, code.clone()).with_strategy(strategy);
+        op.start();
+        let id = op.op_id();
+        // Servers 0–1 never respond (erasures). Servers 2–5 are stale.
+        // Servers 6–7 are Byzantine: fresh tag, corrupted bytes.
+        // Servers 8–15 are fresh (8 = k + 2 honest elements).
+        for i in 2..16u16 {
+            let (tag, elem) = if i < 6 {
+                (t_old, stale_elems[i as usize].clone())
+            } else if i < 8 {
+                let mut corrupt = fresh_elems[i as usize].clone();
+                corrupt.data = bytes::Bytes::from(vec![0x3C ^ i as u8; corrupt.data.len()]);
+                (t_new, corrupt)
+            } else {
+                (t_new, fresh_elems[i as usize].clone())
+            };
+            op.on_message(
+                ServerId(i),
+                &ServerToClient::DataResp {
+                    op: id,
+                    tag,
+                    payload: Payload::Coded(elem),
+                },
+            );
+        }
+        let out = op.output().expect("n - f = 14 responses delivered");
+        let returned = out.read_value().expect("read outcome").clone();
+        A3Row {
+            strategy: name,
+            recovered: returned == fresh,
+            returned: returned.to_string(),
+        }
+    })
+    .collect()
+}
+
+// ---------------------------------------------------------------------------
+// A4 — history retention
+// ---------------------------------------------------------------------------
+
+/// One row of the retention ablation.
+#[derive(Debug, Clone)]
+pub struct A4Row {
+    /// Server history-retention policy.
+    pub retention: &'static str,
+    /// What the BSR-H read returned.
+    pub returned: String,
+    /// Freshness verdict.
+    pub fresh: bool,
+}
+
+/// A4: the paper-literal "store only if higher" retention (Fig. 3 line 5)
+/// versus store-everything, under a tie-break schedule where concurrent
+/// same-number tags make correct servers drop a completed write. BSR-H
+/// loses the completed write under `MaxOnly` and keeps it under `All`.
+pub fn a4_history_retention() -> Vec<A4Row> {
+    [
+        (HistoryRetention::MaxOnly, "max-only (Fig. 3 literal)"),
+        (HistoryRetention::All, "all (default)"),
+    ]
+    .into_iter()
+    .map(|(retention, name)| {
+        let cfg = QuorumConfig::minimal_bsr(1).expect("n=5, f=1");
+        // Five concurrent writers all derive tag (1, w_i); w1's put is
+        // slightly delayed so servers s1..s4 see their own writer's
+        // (1, w_i) first and — under MaxOnly — drop (1, w1).
+        let mut rules = Vec::new();
+        for i in 2..=5u16 {
+            let target = ServerId(i - 1);
+            for sid in cfg.servers() {
+                if sid != target {
+                    rules.push(held(
+                        Matcher::any()
+                            .for_op(OpId::new(WriterId(i), 1))
+                            .of_kind(MsgKind::PutData)
+                            .to_node(sid),
+                    ));
+                }
+            }
+        }
+        for sid in [ServerId(1), ServerId(2), ServerId(3), ServerId(4)] {
+            rules.push(delayed(
+                Matcher::any()
+                    .for_op(OpId::new(WriterId(1), 1))
+                    .of_kind(MsgKind::PutData)
+                    .to_node(sid),
+                35,
+            ));
+        }
+        let mut sim = Sim::new(cfg, 77, Box::new(Scripted::over_fixed(rules, HOP)));
+        for sid in cfg.servers() {
+            sim.add_server(Box::new(Correct::new(
+                ServerNode::new_replicated(sid, cfg).with_retention(retention),
+            )));
+        }
+        for i in 1..=5u16 {
+            sim.add_client(
+                ClientDriver::BsrWriter(BsrWriter::new(WriterId(i), cfg)),
+                vec![Plan::write_at(0, format!("v{i}").into_bytes())],
+            );
+        }
+        sim.add_client(
+            ClientDriver::BsrHReader(safereg_core::client::BsrHReader::new(ReaderId(0), cfg)),
+            vec![Plan::read_at(200)],
+        );
+        sim.run_until(1_000_000);
+        let summary = CheckSummary::check_all(sim.history());
+        let returned = sim
+            .history()
+            .completed_reads()
+            .next()
+            .and_then(|r| match &r.kind {
+                OpKind::Read {
+                    returned: Some(v), ..
+                } => Some(v.to_string()),
+                _ => None,
+            })
+            .unwrap_or_else(|| "<none>".into());
+        A4Row {
+            retention: name,
+            returned,
+            fresh: summary.is_fresh(),
+        }
+    })
+    .collect()
+}
+
+// ---------------------------------------------------------------------------
+// A5 — write fan-out (Lemma 7)
+// ---------------------------------------------------------------------------
+
+/// One row of the fan-out sweep.
+#[derive(Debug, Clone)]
+pub struct A5Row {
+    /// Servers the put-data phase contacts.
+    pub fanout: usize,
+    /// Random schedules tried.
+    pub trials: u64,
+    /// Schedules that violated safety.
+    pub violations: usize,
+}
+
+struct FanoutWriter {
+    id: WriterId,
+    cfg: QuorumConfig,
+    seq: u64,
+    fanout: usize,
+}
+
+impl OpFactory for FanoutWriter {
+    fn client_id(&self) -> ClientId {
+        ClientId::Writer(self.id)
+    }
+
+    fn begin(&mut self, action: &Action) -> Box<dyn ClientOp> {
+        let value = match action {
+            Action::Write(v) => v.clone(),
+            Action::Read => panic!("fanout writer only writes"),
+        };
+        self.seq += 1;
+        Box::new(WriteOp::replicated(self.id, self.seq, self.cfg, value).with_fanout(self.fanout))
+    }
+}
+
+/// A5: restrict the write's `put-data` fan-out below the paper's "send to
+/// all `n`" (Lemma 7 proves writes must communicate with at least `3f`
+/// servers; this sweep shows how quickly safety decays below full fan-out
+/// under purely random schedules with one stale-replying Byzantine server).
+pub fn a5_write_fanout() -> Vec<A5Row> {
+    let cfg = QuorumConfig::minimal_bsr(1).expect("n=5, f=1");
+    let trials = 120u64;
+    [3usize, 4, 5]
+        .into_iter()
+        .map(|fanout| {
+            let mut violations = 0;
+            for seed in 0..trials {
+                let delays = SpikeDelay {
+                    base: (1, 60),
+                    spike_prob: 0.12,
+                    spike: (800, 4_000),
+                };
+                let mut sim = Sim::new(cfg, seed, Box::new(delays));
+                for sid in cfg.servers() {
+                    if sid == ServerId(0) {
+                        sim.add_server(Box::new(StaleReplier::new(
+                            ServerNode::new_replicated(sid, cfg),
+                            1,
+                        )));
+                    } else {
+                        sim.add_server(Box::new(Correct::new(ServerNode::new_replicated(
+                            sid, cfg,
+                        ))));
+                    }
+                }
+                sim.add_client(
+                    ClientDriver::Custom(Box::new(FanoutWriter {
+                        id: WriterId(1),
+                        cfg,
+                        seq: 0,
+                        fanout,
+                    })),
+                    vec![
+                        Plan::write_at(0, "v1"),
+                        Plan {
+                            start: safereg_simnet::driver::StartRule::AfterPrevious { think: 1 },
+                            action: Action::Write(Value::from("v2")),
+                        },
+                    ],
+                );
+                let read_at = 200 + (seed.wrapping_mul(0x9E3779B97F4A7C15) % 2_000);
+                sim.add_client(
+                    ClientDriver::BsrReader(safereg_core::client::BsrReader::new(ReaderId(0), cfg)),
+                    vec![Plan::read_at(read_at)],
+                );
+                sim.run();
+                let summary = CheckSummary::check_all(sim.history());
+                if !summary.is_safe() {
+                    violations += 1;
+                }
+            }
+            A5Row {
+                fanout,
+                trials,
+                violations,
+            }
+        })
+        .collect()
+}

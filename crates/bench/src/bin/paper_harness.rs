@@ -1,0 +1,394 @@
+//! Regenerates every experiment in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run -p safereg-bench --bin paper_harness            # everything
+//! cargo run -p safereg-bench --bin paper_harness e1 e5 a2   # selected
+//! ```
+
+use safereg_bench::ablations;
+use safereg_bench::experiments;
+use safereg_bench::table;
+
+fn yes_no(b: bool) -> String {
+    if b {
+        "yes".into()
+    } else {
+        "NO".into()
+    }
+}
+
+fn e1() {
+    println!("== E1: resilience (paper: BSR n>=4f+1, BCSR n>=5f+1, RB n>=3f+1; all tight) ==");
+    let rows: Vec<Vec<String>> = experiments::e1_resilience()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.protocol,
+                r.n.to_string(),
+                r.f.to_string(),
+                r.verdict.into(),
+                r.evidence,
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(&["protocol", "n", "f", "verdict", "evidence"], &rows)
+    );
+}
+
+fn e2() {
+    println!("== E2: round complexity (paper: BSR/BCSR reads 1 round, writes 2) ==");
+    let rows: Vec<Vec<String>> = experiments::e2_rounds()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.protocol,
+                format!(
+                    "{}..{} (mean {:.2})",
+                    r.read_rounds.0, r.read_rounds.1, r.read_rounds.2
+                ),
+                r.write_rounds.to_string(),
+                yes_no(r.one_shot),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &["protocol", "read rounds", "write rounds", "one-shot"],
+            &rows
+        )
+    );
+}
+
+fn e3() {
+    println!("== E3: latency in hops (paper: RB writes pay ~1.5x BSR's write latency) ==");
+    let rows: Vec<Vec<String>> = experiments::e3_latency()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.protocol,
+                format!("{:.1}", r.write_hops),
+                format!("{:.1}", r.read_hops),
+                format!("{:.2}x", r.write_vs_bsr),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &["protocol", "write hops", "read hops", "write vs BSR"],
+            &rows
+        )
+    );
+}
+
+fn e4() {
+    println!("== E4: storage & write bandwidth, 16 KiB value, f=1 (paper: n vs n/k units) ==");
+    let rows: Vec<Vec<String>> = experiments::e4_costs()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.k.to_string(),
+                format!("{}", r.repl_storage),
+                format!("{}", r.coded_storage),
+                format!(
+                    "{:.2}x",
+                    r.repl_storage as f64 / r.coded_storage.max(1) as f64
+                ),
+                format!("{:.2}", r.n as f64 / r.theory_units),
+                format!("{}", r.repl_write_bytes),
+                format!("{}", r.coded_write_bytes),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "n",
+                "k",
+                "repl bytes",
+                "coded bytes",
+                "measured save",
+                "theory k",
+                "repl wire",
+                "coded wire"
+            ],
+            &rows
+        )
+    );
+}
+
+fn replay_table(title: &str, rows: Vec<experiments::ReplayRow>) {
+    println!("{title}");
+    let rows: Vec<Vec<String>> = rows
+        .into_iter()
+        .map(|r| vec![r.name, yes_no(r.safe), yes_no(r.fresh), r.read_returned])
+        .collect();
+    println!(
+        "{}",
+        table::render(&["scenario", "safe", "fresh", "read returned"], &rows)
+    );
+}
+
+fn e5() {
+    replay_table(
+        "== E5: Theorem 3 replay (paper: BSR is safe but NOT regular; the two fixes are) ==",
+        experiments::e5_theorem3(),
+    );
+}
+
+fn e6() {
+    replay_table(
+        "== E6: Theorem 5 replay (paper: one-shot replicated reads impossible at n = 4f) ==",
+        experiments::e6_theorem5(),
+    );
+}
+
+fn e7() {
+    replay_table(
+        "== E7: Theorem 6 replay (paper: one-shot coded reads impossible at n = 5f) ==",
+        experiments::e7_theorem6(),
+    );
+}
+
+fn e8() {
+    println!("== E8: read-heavy workloads (paper motivation: TAO is ~99.8% reads) ==");
+    let rows: Vec<Vec<String>> = experiments::e8_workloads()
+        .into_iter()
+        .map(|r| {
+            vec![
+                format!("{:.1}%", r.read_permille as f64 / 10.0),
+                r.protocol,
+                r.ops.to_string(),
+                format!("{:.0}", r.read_latency),
+                r.read_p99.to_string(),
+                format!("{:.0}", r.write_latency),
+                format!("{:.2}", r.throughput),
+                format!("{:.0}", r.bytes_per_op),
+                yes_no(r.safe),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "reads",
+                "protocol",
+                "ops",
+                "read lat",
+                "read p99",
+                "write lat",
+                "ops/ktick",
+                "B/op",
+                "safe"
+            ],
+            &rows
+        )
+    );
+}
+
+fn e9() {
+    println!("== E9: liveness (paper Thm 1/4: live at <= f faults; starved beyond) ==");
+    let rows: Vec<Vec<String>> = experiments::e9_liveness()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.protocol,
+                r.silent.to_string(),
+                format!("{}/{}", r.completed.0, r.completed.1),
+                yes_no(r.as_expected),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(&["protocol", "silent", "completed", "as expected"], &rows)
+    );
+}
+
+fn e10() {
+    println!("== E10: write total order (paper Lemma 2) ==");
+    let r = experiments::e10_write_order();
+    let rows = vec![vec![
+        r.runs.to_string(),
+        r.writes.to_string(),
+        r.duplicates.to_string(),
+        r.inversions.to_string(),
+    ]];
+    println!(
+        "{}",
+        table::render(&["runs", "writes", "duplicate tags", "inversions"], &rows)
+    );
+}
+
+fn e11() {
+    println!("== E11: atomicity boundary (paper gives up atomicity for semi-fast ops) ==");
+    let rows: Vec<Vec<String>> = experiments::e11_atomicity_boundary()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.protocol,
+                yes_no(r.safe),
+                yes_no(r.fresh),
+                r.inversions.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(&["protocol", "safe", "fresh", "new/old inversions"], &rows)
+    );
+}
+
+fn e12() {
+    println!("== E12: regular-variant read bandwidth (1 KiB values; why SIII-C has two fixes) ==");
+    let rows: Vec<Vec<String>> = experiments::e12_variant_bandwidth()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.history_len.to_string(),
+                r.bsr_read_bytes.to_string(),
+                r.bsrh_read_bytes.to_string(),
+                r.bsrh_warm_read_bytes.to_string(),
+                r.bsr2p_read_bytes.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "writes",
+                "BSR read B",
+                "BSR-H cold B",
+                "BSR-H warm B",
+                "BSR-2P read B"
+            ],
+            &rows
+        )
+    );
+}
+
+fn a1() {
+    println!("== A1: witness threshold (paper rule: f+1 = 2) ==");
+    let rows: Vec<Vec<String>> = ablations::a1_witness_threshold()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.threshold.to_string(),
+                r.returned,
+                yes_no(r.safe),
+                yes_no(r.fresh),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(&["threshold", "read returned", "safe", "fresh"], &rows)
+    );
+}
+
+fn a2() {
+    println!("== A2: get-tag selection (paper rule: (f+1)-th highest) ==");
+    let rows: Vec<Vec<String>> = ablations::a2_tag_selection()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.selection.into(),
+                r.final_tag_num.to_string(),
+                yes_no(r.inflated),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(&["selection", "tag.num after 3 writes", "inflated"], &rows)
+    );
+}
+
+fn a3() {
+    println!("== A3: BCSR decode strategy (DESIGN.md: erasure-marking) ==");
+    let rows: Vec<Vec<String>> = ablations::a3_decode_strategy()
+        .into_iter()
+        .map(|r| vec![r.strategy.into(), yes_no(r.recovered), r.returned])
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &["strategy", "recovered fresh value", "read returned"],
+            &rows
+        )
+    );
+}
+
+fn a4() {
+    println!("== A4: history retention (Fig. 3 literal vs store-all) ==");
+    let rows: Vec<Vec<String>> = ablations::a4_history_retention()
+        .into_iter()
+        .map(|r| vec![r.retention.into(), r.returned, yes_no(r.fresh)])
+        .collect();
+    println!(
+        "{}",
+        table::render(&["retention", "BSR-H read returned", "fresh"], &rows)
+    );
+}
+
+fn a5() {
+    println!("== A5: write fan-out (paper: put-data goes to all n; Lemma 7: >= 3f needed) ==");
+    let rows: Vec<Vec<String>> = ablations::a5_write_fanout()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.fanout.to_string(),
+                format!("{}/{}", r.violations, r.trials),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(&["fan-out m", "unsafe schedules"], &rows)
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all: Vec<(&str, fn())> = vec![
+        ("e1", e1),
+        ("e2", e2),
+        ("e3", e3),
+        ("e4", e4),
+        ("e5", e5),
+        ("e6", e6),
+        ("e7", e7),
+        ("e8", e8),
+        ("e9", e9),
+        ("e10", e10),
+        ("e11", e11),
+        ("e12", e12),
+        ("a1", a1),
+        ("a2", a2),
+        ("a3", a3),
+        ("a4", a4),
+        ("a5", a5),
+    ];
+    let selected: Vec<&(&str, fn())> = if args.is_empty() {
+        all.iter().collect()
+    } else {
+        all.iter()
+            .filter(|(name, _)| args.iter().any(|a| a == name))
+            .collect()
+    };
+    if selected.is_empty() {
+        eprintln!("unknown experiment; available: e1..e12, a1..a5");
+        std::process::exit(2);
+    }
+    for (_, run) in selected {
+        run();
+        println!();
+    }
+}

@@ -1,0 +1,761 @@
+//! The paper's claims as executable experiments (E1–E10).
+//!
+//! Every function is deterministic given its built-in seeds and returns
+//! structured rows; the `paper_harness` binary renders them next to the
+//! paper's expected numbers, and integration tests assert the verdicts.
+
+use safereg_checker::rounds::read_round_profile;
+use safereg_checker::CheckSummary;
+use safereg_common::config::QuorumConfig;
+use safereg_common::history::{History, OpRecord};
+use safereg_common::ids::{ReaderId, WriterId};
+use safereg_simnet::behavior::Silent;
+use safereg_simnet::delay::FixedDelay;
+use safereg_simnet::driver::Plan;
+use safereg_simnet::scenarios::{
+    new_old_inversion, theorem3, theorem5, theorem6, ScenarioResult, HOP,
+};
+use safereg_simnet::sim::Sim;
+use safereg_simnet::workload::{ByzKind, Protocol, WorkloadSpec};
+
+/// Mean latency of completed ops matching `pred`, in simulated ticks.
+fn mean_latency(history: &History, pred: impl Fn(&OpRecord) -> bool) -> f64 {
+    let latencies: Vec<u64> = history
+        .records()
+        .iter()
+        .filter(|r| r.is_complete() && pred(r))
+        .filter_map(OpRecord::latency)
+        .collect();
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
+}
+
+/// Total wire bytes of completed ops matching `pred`.
+fn total_bytes(history: &History, pred: impl Fn(&OpRecord) -> bool) -> u64 {
+    history
+        .records()
+        .iter()
+        .filter(|r| r.is_complete() && pred(r))
+        .map(|r| r.bytes)
+        .sum()
+}
+
+// ---------------------------------------------------------------------------
+// E1 — resilience
+// ---------------------------------------------------------------------------
+
+/// One row of the resilience table.
+#[derive(Debug, Clone)]
+pub struct E1Row {
+    /// Protocol under test.
+    pub protocol: String,
+    /// Deployment size.
+    pub n: usize,
+    /// Fault bound.
+    pub f: usize,
+    /// `"safe"`, `"UNSAFE"` or `"liveness lost"`.
+    pub verdict: &'static str,
+    /// How the verdict was established.
+    pub evidence: String,
+}
+
+fn scenario_verdict(result: &ScenarioResult) -> (bool, bool) {
+    let summary = CheckSummary::check_all(&result.history);
+    (summary.is_safe(), summary.is_fresh())
+}
+
+/// Randomized stress: runs read/write workloads with Byzantine servers and
+/// returns the number of safety violations across seeds.
+pub fn stress_safety(protocol: Protocol, f: usize, seeds: std::ops::Range<u64>) -> usize {
+    let mut violations = 0;
+    for seed in seeds {
+        for kind in [ByzKind::Stale, ByzKind::Fabricator, ByzKind::AckForger] {
+            let spec = WorkloadSpec {
+                protocol,
+                f,
+                extra_servers: 0,
+                writers: 2,
+                readers: 3,
+                writer_ops: 4,
+                reader_ops: 4,
+                value_size: 32,
+                think: 30,
+                byzantine: Some((f, kind)),
+                seed,
+            };
+            let mut sim = spec.build();
+            sim.run();
+            let summary = CheckSummary::check_all(sim.history());
+            violations += summary.safety.len() + summary.order.len();
+        }
+    }
+    violations
+}
+
+/// E1: the resilience table (Theorems 2/5, Lemma 4/Theorem 6, §VI).
+pub fn e1_resilience() -> Vec<E1Row> {
+    let mut rows = Vec::new();
+
+    // BSR at n = 4f and n = 4f + 1 (f = 1), via the Theorem 5 schedule.
+    let under = theorem5(false);
+    let (safe, _) = scenario_verdict(&under);
+    rows.push(E1Row {
+        protocol: "BSR".into(),
+        n: 4,
+        f: 1,
+        verdict: if safe { "safe" } else { "UNSAFE" },
+        evidence: "Theorem 5 schedule".into(),
+    });
+    let at = theorem5(true);
+    let (safe, _) = scenario_verdict(&at);
+    let stress = stress_safety(Protocol::Bsr, 1, 0..5);
+    rows.push(E1Row {
+        protocol: "BSR".into(),
+        n: 5,
+        f: 1,
+        verdict: if safe && stress == 0 {
+            "safe"
+        } else {
+            "UNSAFE"
+        },
+        evidence: format!("Theorem 5 schedule + {} stress runs", 5 * 3),
+    });
+
+    // BCSR at n = 5f and n = 5f + 1 (f = 2), via the Theorem 6 schedule.
+    let under = theorem6(false);
+    let (safe, _) = scenario_verdict(&under);
+    rows.push(E1Row {
+        protocol: "BCSR".into(),
+        n: 10,
+        f: 2,
+        verdict: if safe { "safe" } else { "UNSAFE" },
+        evidence: "Theorem 6 schedule".into(),
+    });
+    let at = theorem6(true);
+    let (safe, _) = scenario_verdict(&at);
+    let stress = stress_safety(Protocol::Bcsr, 1, 0..5);
+    rows.push(E1Row {
+        protocol: "BCSR".into(),
+        n: 11,
+        f: 2,
+        verdict: if safe && stress == 0 {
+            "safe"
+        } else {
+            "UNSAFE"
+        },
+        evidence: format!("Theorem 6 schedule + {} stress runs (f=1)", 5 * 3),
+    });
+
+    // Larger fault bounds at their exact resilience: randomized Byzantine
+    // stress only (no targeted schedule needed — the claim is safety).
+    for f in [2usize, 3] {
+        let n = 4 * f + 1;
+        let stress = stress_safety(Protocol::Bsr, f, 0..3);
+        rows.push(E1Row {
+            protocol: "BSR".into(),
+            n,
+            f,
+            verdict: if stress == 0 { "safe" } else { "UNSAFE" },
+            evidence: format!("{} stress runs with f Byzantine servers", 3 * 3),
+        });
+    }
+
+    // Random-schedule search (no message targeting at all): violations
+    // appear below the bound and never at it.
+    for n in [4usize, 5] {
+        let outcome = crate::search::search(n, 1, 300);
+        let found = outcome.violating_seeds.len();
+        rows.push(E1Row {
+            protocol: "BSR".into(),
+            n,
+            f: 1,
+            verdict: if (n == 4) == (found > 0) {
+                if found > 0 {
+                    "UNSAFE"
+                } else {
+                    "safe"
+                }
+            } else {
+                "UNEXPECTED"
+            },
+            evidence: format!(
+                "random search: {found}/{} schedules violate",
+                outcome.trials
+            ),
+        });
+    }
+
+    // RB baseline at n = 3f and n = 3f + 1 (f = 1): below the bound the
+    // Bracha echo quorum cannot form and writes starve.
+    for (n, expect_live) in [(3usize, false), (4usize, true)] {
+        let cfg = QuorumConfig::new(n, 1).expect("valid config");
+        let mut sim = Sim::new(cfg, 9, Box::new(FixedDelay { hop: HOP }));
+        for sid in cfg.servers() {
+            if sid.0 as usize == n - 1 {
+                sim.add_server(Box::new(Silent::new(sid)));
+            } else {
+                sim.add_server(Protocol::RbBaseline.correct_server(sid, cfg));
+            }
+        }
+        sim.add_client(
+            Protocol::RbBaseline.writer(WriterId(0), cfg),
+            vec![Plan::write_at(0, "liveness probe")],
+        );
+        let report = sim.run_until(1_000_000);
+        let live = report.incomplete_ops == 0;
+        rows.push(E1Row {
+            protocol: "RB-baseline".into(),
+            n,
+            f: 1,
+            verdict: if live == expect_live {
+                if live {
+                    "safe"
+                } else {
+                    "liveness lost"
+                }
+            } else {
+                "UNEXPECTED"
+            },
+            evidence: "write liveness probe with one silent server".into(),
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E2 — round complexity
+// ---------------------------------------------------------------------------
+
+/// One row of the round-complexity table.
+#[derive(Debug, Clone)]
+pub struct E2Row {
+    /// Protocol under test.
+    pub protocol: String,
+    /// Rounds used by reads: `(min, max, mean)`.
+    pub read_rounds: (u32, u32, f64),
+    /// Rounds used by writes (always 2 in the paper).
+    pub write_rounds: u32,
+    /// Whether every read was one-shot (Definition 3).
+    pub one_shot: bool,
+}
+
+/// E2: round complexity per protocol (Definition 3).
+pub fn e2_rounds() -> Vec<E2Row> {
+    [
+        Protocol::Bsr,
+        Protocol::BsrH,
+        Protocol::Bsr2p,
+        Protocol::Bcsr,
+        Protocol::RbBaseline,
+    ]
+    .into_iter()
+    .map(|protocol| {
+        let spec = WorkloadSpec {
+            protocol,
+            f: 1,
+            extra_servers: 0,
+            writers: 1,
+            readers: 2,
+            writer_ops: 5,
+            reader_ops: 5,
+            value_size: 64,
+            think: 30,
+            byzantine: None,
+            seed: 21,
+        };
+        let mut sim = spec.build();
+        sim.run();
+        let profile = read_round_profile(sim.history());
+        let write_rounds = sim
+            .history()
+            .completed_writes()
+            .map(|w| w.rounds)
+            .max()
+            .unwrap_or(0);
+        E2Row {
+            protocol: protocol.name().into(),
+            read_rounds: (profile.min, profile.max, profile.mean()),
+            write_rounds,
+            one_shot: profile.all_one_shot(),
+        }
+    })
+    .collect()
+}
+
+// ---------------------------------------------------------------------------
+// E3 — latency vs reliable broadcast
+// ---------------------------------------------------------------------------
+
+/// One row of the latency table (per-hop delay Δ = [`HOP`] ticks).
+#[derive(Debug, Clone)]
+pub struct E3Row {
+    /// Protocol under test.
+    pub protocol: String,
+    /// Mean write latency in hops (latency / Δ).
+    pub write_hops: f64,
+    /// Mean read latency in hops.
+    pub read_hops: f64,
+    /// Write latency relative to BSR's.
+    pub write_vs_bsr: f64,
+}
+
+/// E3: operation latencies on a fixed-Δ network; the paper's §I-B claims
+/// RB-based writes pay a 1.5× blow-up on the `put-data` phase (6 hops
+/// total vs BSR's 4).
+pub fn e3_latency() -> Vec<E3Row> {
+    let mut rows: Vec<E3Row> = Vec::new();
+    let mut bsr_write = 0.0;
+    for protocol in [
+        Protocol::Bsr,
+        Protocol::BsrH,
+        Protocol::Bsr2p,
+        Protocol::Bcsr,
+        Protocol::RbBaseline,
+    ] {
+        let cfg = QuorumConfig::new(protocol.min_n(1), 1).expect("valid config");
+        let mut sim = Sim::new(cfg, 31, Box::new(FixedDelay { hop: HOP }));
+        for sid in cfg.servers() {
+            sim.add_server(protocol.correct_server(sid, cfg));
+        }
+        sim.add_client(
+            protocol.writer(WriterId(0), cfg),
+            vec![
+                Plan::write_at(0, "latency probe"),
+                Plan::write_at(10_000, "second write"),
+            ],
+        );
+        sim.add_client(
+            protocol.reader(ReaderId(0), cfg),
+            vec![Plan::read_at(20_000)],
+        );
+        sim.run();
+        let write = mean_latency(sim.history(), |r| r.kind.is_write()) / HOP as f64;
+        let read = mean_latency(sim.history(), |r| r.kind.is_read()) / HOP as f64;
+        if protocol == Protocol::Bsr {
+            bsr_write = write;
+        }
+        rows.push(E3Row {
+            protocol: protocol.name().into(),
+            write_hops: write,
+            read_hops: read,
+            write_vs_bsr: if bsr_write > 0.0 {
+                write / bsr_write
+            } else {
+                0.0
+            },
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E4 — storage and bandwidth costs
+// ---------------------------------------------------------------------------
+
+/// One row of the cost table.
+#[derive(Debug, Clone)]
+pub struct E4Row {
+    /// Deployment size.
+    pub n: usize,
+    /// Fault bound.
+    pub f: usize,
+    /// MDS dimension `k = n − 5f`.
+    pub k: usize,
+    /// Value size written (bytes).
+    pub value_size: usize,
+    /// Measured replication storage across servers (bytes).
+    pub repl_storage: u64,
+    /// Measured coded storage across servers (bytes).
+    pub coded_storage: u64,
+    /// Measured replicated write wire bytes.
+    pub repl_write_bytes: u64,
+    /// Measured coded write wire bytes.
+    pub coded_write_bytes: u64,
+    /// Theoretical coded units `n / k` (replication is `n`).
+    pub theory_units: f64,
+}
+
+fn cost_probe(protocol: Protocol, cfg: QuorumConfig, value_size: usize) -> (u64, u64) {
+    let mut sim = Sim::new(cfg, 41, Box::new(FixedDelay { hop: HOP }));
+    for sid in cfg.servers() {
+        sim.add_server(protocol.correct_server(sid, cfg));
+    }
+    sim.add_client(
+        protocol.writer(WriterId(0), cfg),
+        vec![Plan::write_at(0, vec![0xAB; value_size])],
+    );
+    sim.run();
+    let storage = sim.total_storage_bytes();
+    let write_bytes = total_bytes(sim.history(), |r| r.kind.is_write());
+    (storage, write_bytes)
+}
+
+/// E4: measured storage and write bandwidth for replication vs MDS coding
+/// (§I-C: replication costs `n` units, an `[n, k]` code costs `n/k`).
+pub fn e4_costs() -> Vec<E4Row> {
+    let value_size = 16 * 1024;
+    let f = 1;
+    [6usize, 8, 11, 16, 21]
+        .into_iter()
+        .map(|n| {
+            let cfg = QuorumConfig::new(n, f).expect("valid config");
+            let k = cfg.mds_k().expect("n > 5f");
+            let (repl_storage, repl_write_bytes) = cost_probe(Protocol::Bsr, cfg, value_size);
+            let (coded_storage, coded_write_bytes) = cost_probe(Protocol::Bcsr, cfg, value_size);
+            E4Row {
+                n,
+                f,
+                k,
+                value_size,
+                repl_storage,
+                coded_storage,
+                repl_write_bytes,
+                coded_write_bytes,
+                theory_units: n as f64 / k as f64,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// E5/E6/E7 — the theorem replays
+// ---------------------------------------------------------------------------
+
+/// Outcome of one scenario replay.
+#[derive(Debug, Clone)]
+pub struct ReplayRow {
+    /// Scenario label.
+    pub name: String,
+    /// Did safety (Definition 1) hold?
+    pub safe: bool,
+    /// Did regularity-grade freshness hold?
+    pub fresh: bool,
+    /// What the read returned.
+    pub read_returned: String,
+}
+
+fn replay_row(result: ScenarioResult) -> ReplayRow {
+    let summary = CheckSummary::check_all(&result.history);
+    let returned = result
+        .history
+        .completed_reads()
+        .next()
+        .and_then(|r| match &r.kind {
+            safereg_common::history::OpKind::Read {
+                returned: Some(v), ..
+            } => Some(v.to_string()),
+            _ => None,
+        })
+        .unwrap_or_else(|| "<no read>".into());
+    ReplayRow {
+        name: result.name,
+        safe: summary.is_safe(),
+        fresh: summary.is_fresh(),
+        read_returned: returned,
+    }
+}
+
+/// E5: the Theorem 3 schedule run under BSR, BSR-H and BSR-2P.
+pub fn e5_theorem3() -> Vec<ReplayRow> {
+    [Protocol::Bsr, Protocol::BsrH, Protocol::Bsr2p]
+        .into_iter()
+        .map(|p| replay_row(theorem3(p)))
+        .collect()
+}
+
+/// E6: the Theorem 5 schedule at `n = 4f` and `n = 4f + 1`.
+pub fn e6_theorem5() -> Vec<ReplayRow> {
+    vec![replay_row(theorem5(false)), replay_row(theorem5(true))]
+}
+
+/// E7: the Theorem 6 schedule at `n = 5f` and `n = 5f + 1`.
+pub fn e7_theorem6() -> Vec<ReplayRow> {
+    vec![replay_row(theorem6(false)), replay_row(theorem6(true))]
+}
+
+// ---------------------------------------------------------------------------
+// E8 — read-heavy workloads
+// ---------------------------------------------------------------------------
+
+/// One row of the workload comparison.
+#[derive(Debug, Clone)]
+pub struct E8Row {
+    /// Protocol under test.
+    pub protocol: String,
+    /// Requested read share, in permille.
+    pub read_permille: u32,
+    /// Completed operations.
+    pub ops: usize,
+    /// Mean read latency (ticks).
+    pub read_latency: f64,
+    /// 99th-percentile read latency (ticks).
+    pub read_p99: u64,
+    /// Mean write latency (ticks).
+    pub write_latency: f64,
+    /// Throughput: completed operations per 1000 ticks.
+    pub throughput: f64,
+    /// Wire bytes per operation.
+    pub bytes_per_op: f64,
+    /// Whether the execution was safe.
+    pub safe: bool,
+}
+
+/// E8: protocol comparison under read-dominated workloads (§I-A's
+/// motivation: TAO serves ~99.8 % reads).
+pub fn e8_workloads() -> Vec<E8Row> {
+    let mut rows = Vec::new();
+    for read_permille in [500u32, 900, 990, 998] {
+        for protocol in [
+            Protocol::Bsr,
+            Protocol::BsrH,
+            Protocol::Bsr2p,
+            Protocol::Bcsr,
+            Protocol::RbBaseline,
+        ] {
+            let spec = WorkloadSpec::read_heavy(protocol, 1, read_permille, 51);
+            let mut sim = spec.build();
+            let report = sim.run();
+            let summary = CheckSummary::check_all(sim.history());
+            let read_p99 = safereg_checker::stats::read_latency_stats(sim.history())
+                .map(|s| s.p99)
+                .unwrap_or(0);
+            rows.push(E8Row {
+                protocol: protocol.name().into(),
+                read_permille,
+                ops: report.completed_ops,
+                read_latency: mean_latency(sim.history(), |r| r.kind.is_read()),
+                read_p99,
+                write_latency: mean_latency(sim.history(), |r| r.kind.is_write()),
+                throughput: report.completed_ops as f64 * 1000.0 / report.end_time.max(1) as f64,
+                bytes_per_op: report.bytes as f64 / report.completed_ops.max(1) as f64,
+                safe: summary.is_safe(),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E9 — liveness
+// ---------------------------------------------------------------------------
+
+/// One row of the liveness table.
+#[derive(Debug, Clone)]
+pub struct E9Row {
+    /// Protocol under test.
+    pub protocol: String,
+    /// Number of silent servers injected.
+    pub silent: usize,
+    /// Operations that completed / total.
+    pub completed: (usize, usize),
+    /// Expected outcome observed?
+    pub as_expected: bool,
+}
+
+/// E9: Theorem 1/4 — all operations terminate with at most `f` faulty
+/// servers; one more faulty server starves the `n − f` quorum.
+pub fn e9_liveness() -> Vec<E9Row> {
+    let mut rows = Vec::new();
+    for protocol in [Protocol::Bsr, Protocol::Bcsr, Protocol::RbBaseline] {
+        let f = 1usize;
+        for silent in [f, f + 1] {
+            let cfg = QuorumConfig::new(protocol.min_n(f), f).expect("valid config");
+            let mut sim = Sim::new(cfg, 61, Box::new(FixedDelay { hop: HOP }));
+            for sid in cfg.servers() {
+                if (sid.0 as usize) < silent {
+                    sim.add_server(Box::new(Silent::new(sid)));
+                } else {
+                    sim.add_server(protocol.correct_server(sid, cfg));
+                }
+            }
+            sim.add_client(
+                protocol.writer(WriterId(0), cfg),
+                vec![
+                    Plan::write_at(0, "liveness"),
+                    Plan::write_at(5_000, "again"),
+                ],
+            );
+            sim.add_client(
+                protocol.reader(ReaderId(0), cfg),
+                vec![Plan::read_at(10_000)],
+            );
+            let report = sim.run_until(1_000_000);
+            let total = report.completed_ops + report.incomplete_ops;
+            let expect_live = silent <= f;
+            let live = report.incomplete_ops == 0;
+            rows.push(E9Row {
+                protocol: protocol.name().into(),
+                silent,
+                completed: (report.completed_ops, total),
+                as_expected: live == expect_live,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E10 — write ordering
+// ---------------------------------------------------------------------------
+
+/// Result of the write-order stress.
+#[derive(Debug, Clone)]
+pub struct E10Row {
+    /// Seeds exercised.
+    pub runs: usize,
+    /// Completed writes across runs.
+    pub writes: usize,
+    /// Duplicate-tag violations found.
+    pub duplicates: usize,
+    /// Real-time inversions found.
+    pub inversions: usize,
+}
+
+/// E10: Lemma 2 — concurrent multi-writer stress; tags must be unique and
+/// respect real-time order.
+pub fn e10_write_order() -> E10Row {
+    let mut writes = 0;
+    let mut duplicates = 0;
+    let mut inversions = 0;
+    let runs = 10;
+    for seed in 0..runs {
+        let spec = WorkloadSpec {
+            protocol: Protocol::Bsr,
+            f: 1,
+            extra_servers: 0,
+            writers: 5,
+            readers: 2,
+            writer_ops: 5,
+            reader_ops: 5,
+            value_size: 16,
+            think: 10,
+            byzantine: None,
+            seed: seed as u64,
+        };
+        let mut sim = spec.build();
+        sim.run();
+        writes += sim.history().completed_writes().count();
+        for v in safereg_checker::check_write_order(sim.history()) {
+            match v.kind {
+                safereg_checker::ViolationKind::DuplicateTag => duplicates += 1,
+                _ => inversions += 1,
+            }
+        }
+    }
+    E10Row {
+        runs,
+        writes,
+        duplicates,
+        inversions,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E11 — the atomicity boundary
+// ---------------------------------------------------------------------------
+
+/// One row of the atomicity demonstration.
+#[derive(Debug, Clone)]
+pub struct E11Row {
+    /// Protocol under test.
+    pub protocol: String,
+    /// Whether the run stayed safe (it must).
+    pub safe: bool,
+    /// Whether the run stayed fresh (it must).
+    pub fresh: bool,
+    /// New/old inversions observed (the atomicity violation).
+    pub inversions: usize,
+}
+
+/// E11: the guarantee the paper deliberately gives up. A scripted schedule
+/// produces a new/old inversion across two readers — the execution is safe
+/// and regular-fresh, but not atomic. Semi-fast MWMR atomic registers are
+/// impossible (§I-A, Georgiou et al. \[13\]); this is that impossibility
+/// made visible on the implemented protocols.
+pub fn e11_atomicity_boundary() -> Vec<E11Row> {
+    [Protocol::Bsr, Protocol::BsrH]
+        .into_iter()
+        .map(|protocol| {
+            let result = new_old_inversion(protocol);
+            let summary = CheckSummary::check_all(&result.history);
+            let inversions = safereg_checker::check_no_new_old_inversion(&result.history).len();
+            E11Row {
+                protocol: protocol.name().into(),
+                safe: summary.is_safe(),
+                fresh: summary.is_fresh(),
+                inversions,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// E12 — read bandwidth of the regular variants
+// ---------------------------------------------------------------------------
+
+/// One row of the variant-bandwidth comparison.
+#[derive(Debug, Clone)]
+pub struct E12Row {
+    /// Number of completed writes before the measured read.
+    pub history_len: usize,
+    /// Wire bytes of one BSR read (constant in history).
+    pub bsr_read_bytes: u64,
+    /// Wire bytes of one cold BSR-H read (grows with history × value size).
+    pub bsrh_read_bytes: u64,
+    /// Wire bytes of a *warm* BSR-H read — the same reader reading again:
+    /// servers send only the delta above its local tag, so this is
+    /// history-independent.
+    pub bsrh_warm_read_bytes: u64,
+    /// Wire bytes of one BSR-2P read (grows with history × tag size only).
+    pub bsr2p_read_bytes: u64,
+}
+
+/// Returns the wire bytes of the reader's first and second reads after
+/// `writes` completed writes.
+fn read_cost_after_history(protocol: Protocol, writes: usize, value_size: usize) -> (u64, u64) {
+    let cfg = QuorumConfig::new(protocol.min_n(1), 1).expect("valid config");
+    let mut sim = Sim::new(cfg, 91, Box::new(FixedDelay { hop: HOP }));
+    for sid in cfg.servers() {
+        sim.add_server(protocol.correct_server(sid, cfg));
+    }
+    let plans: Vec<Plan> = (0..writes)
+        .map(|i| Plan::write_at(i as u64 * 100, vec![(i % 251) as u8; value_size]))
+        .collect();
+    sim.add_client(protocol.writer(WriterId(0), cfg), plans);
+    let t0 = writes as u64 * 100 + 1_000;
+    sim.add_client(
+        protocol.reader(ReaderId(0), cfg),
+        vec![Plan::read_at(t0), Plan::read_at(t0 + 1_000)],
+    );
+    sim.run();
+    let mut reads = sim.history().completed_reads().map(|r| r.bytes);
+    let cold = reads.next().expect("first read completed");
+    let warm = reads.next().expect("second read completed");
+    (cold, warm)
+}
+
+/// E12: why §III-C offers *two* regularity fixes. BSR-H keeps reads
+/// one-shot but ships the entire value history; BSR-2P pays a second round
+/// but ships only a tag list plus one value. The crossover is immediate
+/// for non-trivial histories.
+pub fn e12_variant_bandwidth() -> Vec<E12Row> {
+    let value_size = 1024;
+    [1usize, 10, 50, 100]
+        .into_iter()
+        .map(|history_len| {
+            let (bsr, _) = read_cost_after_history(Protocol::Bsr, history_len, value_size);
+            let (bsrh_cold, bsrh_warm) =
+                read_cost_after_history(Protocol::BsrH, history_len, value_size);
+            let (bsr2p, _) = read_cost_after_history(Protocol::Bsr2p, history_len, value_size);
+            E12Row {
+                history_len,
+                bsr_read_bytes: bsr,
+                bsrh_read_bytes: bsrh_cold,
+                bsrh_warm_read_bytes: bsrh_warm,
+                bsr2p_read_bytes: bsr2p,
+            }
+        })
+        .collect()
+}

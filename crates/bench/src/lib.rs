@@ -1,0 +1,31 @@
+//! Experiment harness for the paper's claims.
+//!
+//! The paper is a theory paper: its "evaluation" is a set of analytical
+//! claims (resilience bounds, round complexities, the 1.5× reliable-
+//! broadcast overhead, MDS storage/bandwidth factors) and three
+//! impossibility/violation arguments. This crate regenerates each claim as
+//! a measurable experiment:
+//!
+//! | Exp | Claim | Function |
+//! |-----|-------|----------|
+//! | E1 | resilience table: BSR `4f+1`, BCSR `5f+1`, RB `3f+1`, all tight | [`experiments::e1_resilience`] |
+//! | E2 | one-shot reads (Def. 3), 2-round writes | [`experiments::e2_rounds`] |
+//! | E3 | RB writes pay ≈1.5× BSR's write latency | [`experiments::e3_latency`] |
+//! | E4 | storage/bandwidth: replication `n` vs MDS `n/k` units | [`experiments::e4_costs`] |
+//! | E5 | Theorem 3 replay: BSR not regular; BSR-H/2P survive | [`experiments::e5_theorem3`] |
+//! | E6 | Theorem 5 replay: `n = 4f` unsafe, `4f+1` safe | [`experiments::e6_theorem5`] |
+//! | E7 | Theorem 6 replay: `n = 5f` unsafe, `5f+1` safe | [`experiments::e7_theorem6`] |
+//! | E8 | read-heavy workloads: protocol comparison | [`experiments::e8_workloads`] |
+//! | E9 | liveness at exactly `f` faults, starvation beyond | [`experiments::e9_liveness`] |
+//! | E10 | Lemma 2: write order respects real time | [`experiments::e10_write_order`] |
+//!
+//! plus the design ablations [`ablations::a1_witness_threshold`],
+//! [`ablations::a2_tag_selection`], [`ablations::a3_decode_strategy`] and
+//! [`ablations::a4_history_retention`].
+//!
+//! Run everything: `cargo run -p safereg-bench --bin paper_harness`.
+
+pub mod ablations;
+pub mod experiments;
+pub mod search;
+pub mod table;

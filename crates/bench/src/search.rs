@@ -1,0 +1,114 @@
+//! Randomized violation search.
+//!
+//! The Theorem 5/6 replays show *one* crafted schedule breaking the
+//! under-provisioned deployments. This module shows the violations are not
+//! knife-edge artifacts: plain random schedules (jittery delays, a
+//! stale-replying Byzantine server, no message targeting at all) also find
+//! safety violations at `n = 4f`, while the same adversary never wins at
+//! `n = 4f + 1`.
+
+use safereg_checker::CheckSummary;
+use safereg_common::config::QuorumConfig;
+use safereg_common::ids::{ReaderId, ServerId, WriterId};
+use safereg_core::client::{BsrReader, BsrWriter};
+use safereg_core::server::ServerNode;
+use safereg_simnet::behavior::{Correct, StaleReplier};
+use safereg_simnet::delay::SpikeDelay;
+use safereg_simnet::driver::{ClientDriver, Plan};
+use safereg_simnet::sim::Sim;
+
+/// Result of a search over random schedules.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Deployment size searched.
+    pub n: usize,
+    /// Fault bound.
+    pub f: usize,
+    /// Seeds tried.
+    pub trials: u64,
+    /// Seeds whose execution violated safety.
+    pub violating_seeds: Vec<u64>,
+}
+
+/// Runs one random schedule of BSR at `(n, f)` with a stale-replying
+/// Byzantine server and returns whether it violated safety.
+///
+/// The pattern is the minimal one Theorem 5's argument needs — two
+/// sequential writes and a later read — but *all* scheduling is random:
+/// heavy-tailed delays keep some `put-data` messages in flight when the
+/// read fires, and the read's start time is itself drawn from the seed so
+/// the search sweeps the vulnerable window.
+pub fn random_run_is_unsafe(n: usize, f: usize, seed: u64) -> bool {
+    let cfg = QuorumConfig::new(n, f).expect("valid config");
+    // Tail-heavy latency: the regime where stragglers from an old write
+    // are still in flight when a much later read fires.
+    let delays = SpikeDelay {
+        base: (1, 60),
+        spike_prob: 0.12,
+        spike: (800, 4_000),
+    };
+    let mut sim = Sim::new(cfg, seed, Box::new(delays));
+    for sid in cfg.servers() {
+        if sid == ServerId(0) {
+            sim.add_server(Box::new(StaleReplier::new(
+                ServerNode::new_replicated(sid, cfg),
+                1,
+            )));
+        } else {
+            sim.add_server(Box::new(Correct::new(ServerNode::new_replicated(sid, cfg))));
+        }
+    }
+    sim.add_client(
+        ClientDriver::BsrWriter(BsrWriter::new(WriterId(1), cfg)),
+        vec![
+            Plan::write_at(0, "v1"),
+            Plan {
+                start: safereg_simnet::driver::StartRule::AfterPrevious { think: 1 },
+                action: safereg_simnet::driver::Action::Write(safereg_common::value::Value::from(
+                    "v2",
+                )),
+            },
+        ],
+    );
+    let read_at = 200 + (seed.wrapping_mul(0x9E3779B97F4A7C15) % 2_000);
+    sim.add_client(
+        ClientDriver::BsrReader(BsrReader::new(ReaderId(0), cfg)),
+        vec![Plan::read_at(read_at)],
+    );
+    sim.run();
+    let summary = CheckSummary::check_all(sim.history());
+    !summary.is_safe()
+}
+
+/// Searches `trials` random schedules at `(n, f)`.
+pub fn search(n: usize, f: usize, trials: u64) -> SearchOutcome {
+    let violating_seeds = (0..trials)
+        .filter(|seed| random_run_is_unsafe(n, f, *seed))
+        .collect();
+    SearchOutcome {
+        n,
+        f,
+        trials,
+        violating_seeds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_search_finds_violations_below_the_bound_only() {
+        let under = search(4, 1, 200);
+        assert!(
+            !under.violating_seeds.is_empty(),
+            "random schedules at n = 4f should trip over Theorem 5"
+        );
+        let at = search(5, 1, 200);
+        assert!(
+            at.violating_seeds.is_empty(),
+            "n = 4f + 1 must survive every random schedule; failed seeds: {:?}",
+            at.violating_seeds
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Atomicity-grade checks: new/old inversions.
+//!
+//! The paper deliberately trades atomicity away (§I-A: a semi-fast MWMR
+//! *atomic* register is impossible, Georgiou et al. \[13\]). This checker
+//! makes the sacrifice observable: atomicity requires that two
+//! non-concurrent reads never invert write order — if `r1` completes
+//! before `r2` begins, `r2` must not return an older write than `r1`
+//! (a *new/old inversion*). Safe and regular registers may exhibit such
+//! inversions under concurrency; atomic ones never do.
+//!
+//! Note this is a necessary condition for atomicity, not a full
+//! linearizability check — it is exactly the condition the paper's
+//! protocols give up, which is what the experiments demonstrate.
+
+use safereg_common::history::{History, OpKind, OpRecord};
+use safereg_common::tag::Tag;
+
+use crate::{Violation, ViolationKind};
+
+fn read_tag(r: &OpRecord) -> Option<Tag> {
+    match &r.kind {
+        OpKind::Read {
+            returned_tag: Some(t),
+            ..
+        } => Some(*t),
+        _ => None,
+    }
+}
+
+/// Reports every new/old inversion between non-concurrent reads.
+pub fn check_no_new_old_inversion(history: &History) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let reads: Vec<&OpRecord> = history.completed_reads().collect();
+    for (i, r1) in reads.iter().enumerate() {
+        let t1 = match read_tag(r1) {
+            Some(t) => t,
+            None => continue,
+        };
+        for r2 in reads.iter().skip(i + 1) {
+            let t2 = match read_tag(r2) {
+                Some(t) => t,
+                None => continue,
+            };
+            if r1.precedes(r2) && t2 < t1 {
+                violations.push(Violation {
+                    op: r2.op,
+                    kind: ViolationKind::NewOldInversion,
+                    detail: format!(
+                        "read {} returned tag {t2} after read {} had returned {t1}",
+                        r2.op, r1.op
+                    ),
+                });
+            }
+            if r2.precedes(r1) && t1 < t2 {
+                violations.push(Violation {
+                    op: r1.op,
+                    kind: ViolationKind::NewOldInversion,
+                    detail: format!(
+                        "read {} returned tag {t1} after read {} had returned {t2}",
+                        r1.op, r2.op
+                    ),
+                });
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safereg_common::ids::{ReaderId, WriterId};
+    use safereg_common::msg::OpId;
+    use safereg_common::value::Value;
+
+    fn t(num: u64) -> Tag {
+        Tag::new(num, WriterId(0))
+    }
+
+    fn add_read(h: &mut History, reader: u16, seq: u64, at: u64, tag: Tag) {
+        let r = h.begin_read(OpId::new(ReaderId(reader), seq), at);
+        h.complete_read(r, Value::from("x"), tag, at + 10);
+    }
+
+    #[test]
+    fn monotone_reads_pass() {
+        let mut h = History::new();
+        add_read(&mut h, 0, 1, 0, t(1));
+        add_read(&mut h, 1, 1, 20, t(1));
+        add_read(&mut h, 0, 2, 40, t(2));
+        assert!(check_no_new_old_inversion(&h).is_empty());
+    }
+
+    #[test]
+    fn inversion_across_readers_is_flagged() {
+        let mut h = History::new();
+        add_read(&mut h, 0, 1, 0, t(2)); // reader A sees the new write
+        add_read(&mut h, 1, 1, 20, t(1)); // reader B, later, sees the old one
+        let v = check_no_new_old_inversion(&h);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::NewOldInversion);
+    }
+
+    #[test]
+    fn concurrent_reads_may_disagree() {
+        let mut h = History::new();
+        // Overlapping reads: no ordering constraint.
+        let r1 = h.begin_read(OpId::new(ReaderId(0), 1), 0);
+        let r2 = h.begin_read(OpId::new(ReaderId(1), 1), 5);
+        h.complete_read(r1, Value::from("new"), t(2), 20);
+        h.complete_read(r2, Value::from("old"), t(1), 25);
+        assert!(check_no_new_old_inversion(&h).is_empty());
+    }
+}

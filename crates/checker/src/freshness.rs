@@ -1,0 +1,131 @@
+//! Regularity-grade freshness — the property Theorem 3 shows BSR lacks.
+//!
+//! The paper's informal "strong consistency" (§II-C: "no stale version of
+//! value will be read") and its regularity discussion boil down to: a read
+//! must never return something older than the last write that *completed
+//! before the read began*. We check it on tags: for every completed read
+//! `r`, `returned_tag(r) ≥ max{tag(w) : w completed before r invoked}`.
+//!
+//! This is deliberately stronger than safeness — a read concurrent with
+//! some write still may not regress below the completed prefix. BSR fails
+//! this under the Theorem 3 schedule; BSR-H, BSR-2P and the RB baseline
+//! satisfy it.
+
+use safereg_common::history::{History, OpKind};
+use safereg_common::tag::Tag;
+
+use crate::{Violation, ViolationKind};
+
+/// Checks freshness over every completed read.
+///
+/// # Examples
+///
+/// ```
+/// use safereg_checker::check_freshness;
+/// use safereg_common::history::History;
+/// use safereg_common::ids::{ReaderId, WriterId};
+/// use safereg_common::msg::OpId;
+/// use safereg_common::tag::Tag;
+/// use safereg_common::value::Value;
+///
+/// // A read returning v0 after a completed write is stale — the exact
+/// // Theorem 3 outcome.
+/// let mut h = History::new();
+/// let w = h.begin_write(OpId::new(WriterId(0), 1), Value::from("x"), 0);
+/// h.complete_write(w, Tag::new(1, WriterId(0)), 10);
+/// let r = h.begin_read(OpId::new(ReaderId(0), 1), 20);
+/// h.complete_read(r, Value::initial(), Tag::ZERO, 30);
+/// assert_eq!(check_freshness(&h).len(), 1);
+/// ```
+pub fn check_freshness(history: &History) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for read in history.completed_reads() {
+        let returned_tag = match &read.kind {
+            OpKind::Read {
+                returned_tag: Some(t),
+                ..
+            } => *t,
+            _ => continue,
+        };
+        // The freshness floor: the highest tag among writes that completed
+        // strictly before this read was invoked.
+        let floor = history
+            .completed_writes()
+            .filter(|w| w.completed_at.expect("completed") < read.invoked_at)
+            .filter_map(|w| match &w.kind {
+                OpKind::Write { tag, .. } => *tag,
+                OpKind::Read { .. } => None,
+            })
+            .max()
+            .unwrap_or(Tag::ZERO);
+        if returned_tag < floor {
+            violations.push(Violation {
+                op: read.op,
+                kind: ViolationKind::StaleTag,
+                detail: format!(
+                    "read returned tag {returned_tag} below the completed-write floor {floor}"
+                ),
+            });
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safereg_common::ids::{ReaderId, WriterId};
+    use safereg_common::msg::OpId;
+    use safereg_common::value::Value;
+
+    fn t(num: u64, w: u16) -> Tag {
+        Tag::new(num, WriterId(w))
+    }
+
+    #[test]
+    fn read_at_or_above_floor_is_fresh() {
+        let mut h = History::new();
+        let w = h.begin_write(OpId::new(WriterId(1), 1), Value::from("a"), 0);
+        h.complete_write(w, t(3, 1), 10);
+        let r = h.begin_read(OpId::new(ReaderId(0), 1), 20);
+        h.complete_read(r, Value::from("a"), t(3, 1), 30);
+        // A newer concurrent tag is also fine.
+        let r2 = h.begin_read(OpId::new(ReaderId(0), 2), 40);
+        h.complete_read(r2, Value::from("x"), t(4, 2), 50);
+        assert!(check_freshness(&h).is_empty());
+    }
+
+    #[test]
+    fn theorem3_shape_is_flagged() {
+        // A write completed before the read began, but the read returned
+        // the initial tag — the exact Theorem 3 outcome.
+        let mut h = History::new();
+        let w = h.begin_write(OpId::new(WriterId(1), 1), Value::from("v1"), 0);
+        h.complete_write(w, t(1, 1), 10);
+        // Concurrent incomplete writes (they do not raise the floor).
+        h.begin_write(OpId::new(WriterId(2), 1), Value::from("v2"), 15);
+        let r = h.begin_read(OpId::new(ReaderId(0), 1), 20);
+        h.complete_read(r, Value::initial(), Tag::ZERO, 30);
+        let v = check_freshness(&h);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::StaleTag);
+    }
+
+    #[test]
+    fn writes_completing_after_invocation_do_not_raise_the_floor() {
+        let mut h = History::new();
+        let w = h.begin_write(OpId::new(WriterId(1), 1), Value::from("a"), 0);
+        let r = h.begin_read(OpId::new(ReaderId(0), 1), 5); // invoked before w completes
+        h.complete_write(w, t(1, 1), 10);
+        h.complete_read(r, Value::initial(), Tag::ZERO, 20);
+        assert!(check_freshness(&h).is_empty(), "w completed after r began");
+    }
+
+    #[test]
+    fn reads_with_no_writes_are_fresh() {
+        let mut h = History::new();
+        let r = h.begin_read(OpId::new(ReaderId(0), 1), 0);
+        h.complete_read(r, Value::initial(), Tag::ZERO, 10);
+        assert!(check_freshness(&h).is_empty());
+    }
+}

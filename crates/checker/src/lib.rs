@@ -1,0 +1,121 @@
+//! Consistency checkers for recorded histories.
+//!
+//! Given a [`History`](safereg_common::history::History) recorded by a runtime (simulator or TCP cluster),
+//! these checkers decide whether the execution satisfied the paper's
+//! correctness conditions:
+//!
+//! * [`safety::check_safety`] — MWMR safeness (Definition 1): a read that
+//!   is not concurrent with any write returns the value of an admissible
+//!   (non-superseded) preceding write; any read returns only values that
+//!   were actually written (validity, Lemma 5's consequence).
+//! * [`freshness::check_freshness`] — the regularity-grade guarantee
+//!   Theorem 3 shows BSR lacks: every read returns a tag at least as high
+//!   as the last write that completed before the read began.
+//! * [`order::check_write_order`] — Lemma 2: completed writes carry
+//!   distinct tags and tag order respects real-time order.
+//! * [`liveness::check_liveness`] — Theorem 1/4: every invoked operation
+//!   completed.
+//! * [`rounds::read_round_profile`] — Definition 3 accounting: how many
+//!   client-to-server rounds reads used (one-shot protocols must show 1).
+//! * [`atomic::check_no_new_old_inversion`] — the atomicity-grade condition
+//!   the paper's registers deliberately give up (new/old inversions).
+//!
+//! Each checker returns the list of [`Violation`]s it found (empty =
+//! property held).
+
+pub mod atomic;
+pub mod freshness;
+pub mod liveness;
+pub mod order;
+pub mod rounds;
+pub mod safety;
+pub mod stats;
+pub mod timeline;
+
+use safereg_common::msg::OpId;
+
+pub use atomic::check_no_new_old_inversion;
+pub use freshness::check_freshness;
+pub use liveness::check_liveness;
+pub use order::check_write_order;
+pub use rounds::read_round_profile;
+pub use safety::check_safety;
+pub use stats::{latency_stats, LatencyStats};
+pub use timeline::render_timeline;
+
+/// Which property a violation breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A non-concurrent read returned a superseded or initial value
+    /// (Definition 1(i) broken).
+    StaleRead,
+    /// A read returned a value never written (validity broken).
+    InvalidValue,
+    /// A read returned a tag older than the last completed write
+    /// (regularity-grade freshness broken — the Theorem 3 phenomenon).
+    StaleTag,
+    /// Two completed writes share a tag (Lemma 2 uniqueness broken).
+    DuplicateTag,
+    /// Tag order contradicts real-time order (Lemma 2 broken).
+    OrderInversion,
+    /// An invoked operation never completed (liveness broken).
+    Incomplete,
+    /// A later read returned an older write than an earlier read — allowed
+    /// for safe/regular registers, forbidden for atomic ones.
+    NewOldInversion,
+}
+
+/// One property violation found in a history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The operation at fault.
+    pub op: OpId,
+    /// The property broken.
+    pub kind: ViolationKind,
+    /// Human-readable explanation for reports.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?} at {}: {}", self.kind, self.op, self.detail)
+    }
+}
+
+/// Summary of all checks over one history.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckSummary {
+    /// Safety violations (Definition 1).
+    pub safety: Vec<Violation>,
+    /// Freshness violations (regularity-grade).
+    pub freshness: Vec<Violation>,
+    /// Write-order violations (Lemma 2).
+    pub order: Vec<Violation>,
+    /// Liveness violations.
+    pub liveness: Vec<Violation>,
+}
+
+impl CheckSummary {
+    /// Runs every checker.
+    pub fn check_all(history: &safereg_common::history::History) -> Self {
+        CheckSummary {
+            safety: check_safety(history),
+            freshness: check_freshness(history),
+            order: check_write_order(history),
+            liveness: check_liveness(history),
+        }
+    }
+
+    /// `true` when the execution was safe (Definition 1) — freshness and
+    /// liveness are reported separately because safe-but-not-regular and
+    /// starved runs are expected outcomes in several experiments.
+    pub fn is_safe(&self) -> bool {
+        self.safety.is_empty() && self.order.is_empty()
+    }
+
+    /// `true` when the execution also satisfied the regularity-grade
+    /// freshness property.
+    pub fn is_fresh(&self) -> bool {
+        self.freshness.is_empty()
+    }
+}

@@ -1,0 +1,68 @@
+//! Liveness (Theorems 1 and 4): every invoked operation completes.
+//!
+//! Meaningful only on histories whose runtime ran to quiescence — an
+//! operation that is still incomplete then is starved for good (e.g. more
+//! than `f` servers stopped responding).
+
+use safereg_common::history::History;
+
+use crate::{Violation, ViolationKind};
+
+/// Reports every incomplete operation.
+///
+/// # Examples
+///
+/// ```
+/// use safereg_checker::check_liveness;
+/// use safereg_common::history::History;
+/// use safereg_common::ids::WriterId;
+/// use safereg_common::msg::OpId;
+/// use safereg_common::value::Value;
+///
+/// let mut h = History::new();
+/// h.begin_write(OpId::new(WriterId(0), 1), Value::from("starved"), 0);
+/// assert_eq!(check_liveness(&h).len(), 1);
+/// ```
+pub fn check_liveness(history: &History) -> Vec<Violation> {
+    history
+        .records()
+        .iter()
+        .filter(|r| !r.is_complete())
+        .map(|r| Violation {
+            op: r.op,
+            kind: ViolationKind::Incomplete,
+            detail: format!(
+                "{} invoked at {} never completed",
+                if r.kind.is_write() { "write" } else { "read" },
+                r.invoked_at
+            ),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safereg_common::ids::{ReaderId, WriterId};
+    use safereg_common::msg::OpId;
+    use safereg_common::tag::Tag;
+    use safereg_common::value::Value;
+
+    #[test]
+    fn complete_history_is_live() {
+        let mut h = History::new();
+        let w = h.begin_write(OpId::new(WriterId(1), 1), Value::from("a"), 0);
+        h.complete_write(w, Tag::new(1, WriterId(1)), 10);
+        assert!(check_liveness(&h).is_empty());
+    }
+
+    #[test]
+    fn starved_operations_are_reported() {
+        let mut h = History::new();
+        h.begin_write(OpId::new(WriterId(1), 1), Value::from("a"), 0);
+        h.begin_read(OpId::new(ReaderId(0), 1), 5);
+        let v = check_liveness(&h);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|x| x.kind == ViolationKind::Incomplete));
+    }
+}

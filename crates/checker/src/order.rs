@@ -1,0 +1,148 @@
+//! Write total order (Lemma 2).
+//!
+//! Completed writes must carry pairwise-distinct tags, and whenever one
+//! write really precedes another, the earlier write's tag must be smaller.
+//! Together with the tag total order this yields the total order on writes
+//! the safety construction of Theorem 2 relies on.
+
+use safereg_common::history::{History, OpKind, OpRecord};
+use safereg_common::tag::Tag;
+
+use crate::{Violation, ViolationKind};
+
+fn tag_of(w: &OpRecord) -> Option<Tag> {
+    match &w.kind {
+        OpKind::Write { tag, .. } => *tag,
+        OpKind::Read { .. } => None,
+    }
+}
+
+/// Checks tag uniqueness and real-time consistency over completed writes.
+///
+/// # Examples
+///
+/// ```
+/// use safereg_checker::check_write_order;
+/// use safereg_common::history::History;
+/// use safereg_common::ids::WriterId;
+/// use safereg_common::msg::OpId;
+/// use safereg_common::tag::Tag;
+/// use safereg_common::value::Value;
+///
+/// let mut h = History::new();
+/// let w1 = h.begin_write(OpId::new(WriterId(0), 1), Value::from("a"), 0);
+/// h.complete_write(w1, Tag::new(1, WriterId(0)), 10);
+/// let w2 = h.begin_write(OpId::new(WriterId(1), 1), Value::from("b"), 20);
+/// h.complete_write(w2, Tag::new(2, WriterId(1)), 30);
+/// assert!(check_write_order(&h).is_empty());
+/// ```
+pub fn check_write_order(history: &History) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let writes: Vec<&OpRecord> = history.completed_writes().collect();
+
+    for (i, a) in writes.iter().enumerate() {
+        let ta = match tag_of(a) {
+            Some(t) => t,
+            None => continue,
+        };
+        for b in writes.iter().skip(i + 1) {
+            let tb = match tag_of(b) {
+                Some(t) => t,
+                None => continue,
+            };
+            if ta == tb {
+                violations.push(Violation {
+                    op: b.op,
+                    kind: ViolationKind::DuplicateTag,
+                    detail: format!("writes {} and {} share tag {ta}", a.op, b.op),
+                });
+                continue;
+            }
+            if a.precedes(b) && ta > tb {
+                violations.push(Violation {
+                    op: b.op,
+                    kind: ViolationKind::OrderInversion,
+                    detail: format!(
+                        "{} (tag {ta}) precedes {} (tag {tb}) but tags say otherwise",
+                        a.op, b.op
+                    ),
+                });
+            }
+            if b.precedes(a) && tb > ta {
+                violations.push(Violation {
+                    op: a.op,
+                    kind: ViolationKind::OrderInversion,
+                    detail: format!(
+                        "{} (tag {tb}) precedes {} (tag {ta}) but tags say otherwise",
+                        b.op, a.op
+                    ),
+                });
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safereg_common::ids::{ReaderId, WriterId};
+    use safereg_common::msg::OpId;
+    use safereg_common::value::Value;
+
+    fn t(num: u64, w: u16) -> Tag {
+        Tag::new(num, WriterId(w))
+    }
+
+    #[test]
+    fn sequential_writes_with_growing_tags_pass() {
+        let mut h = History::new();
+        let w1 = h.begin_write(OpId::new(WriterId(1), 1), Value::from("a"), 0);
+        h.complete_write(w1, t(1, 1), 10);
+        let w2 = h.begin_write(OpId::new(WriterId(2), 1), Value::from("b"), 20);
+        h.complete_write(w2, t(2, 2), 30);
+        assert!(check_write_order(&h).is_empty());
+    }
+
+    #[test]
+    fn concurrent_writes_may_order_either_way() {
+        let mut h = History::new();
+        let w1 = h.begin_write(OpId::new(WriterId(1), 1), Value::from("a"), 0);
+        let w2 = h.begin_write(OpId::new(WriterId(2), 1), Value::from("b"), 5);
+        h.complete_write(w2, t(1, 2), 20);
+        h.complete_write(w1, t(2, 1), 25); // higher tag completes later; both overlap
+        assert!(check_write_order(&h).is_empty());
+    }
+
+    #[test]
+    fn duplicate_tags_are_flagged() {
+        let mut h = History::new();
+        let w1 = h.begin_write(OpId::new(WriterId(1), 1), Value::from("a"), 0);
+        h.complete_write(w1, t(1, 1), 10);
+        let w2 = h.begin_write(OpId::new(WriterId(2), 1), Value::from("b"), 20);
+        h.complete_write(w2, t(1, 1), 30);
+        let v = check_write_order(&h);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::DuplicateTag);
+    }
+
+    #[test]
+    fn real_time_inversion_is_flagged() {
+        let mut h = History::new();
+        let w1 = h.begin_write(OpId::new(WriterId(1), 1), Value::from("a"), 0);
+        h.complete_write(w1, t(5, 1), 10);
+        let w2 = h.begin_write(OpId::new(WriterId(2), 1), Value::from("b"), 20);
+        h.complete_write(w2, t(3, 2), 30); // later write, smaller tag
+        let v = check_write_order(&h);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::OrderInversion);
+    }
+
+    #[test]
+    fn reads_are_ignored() {
+        let mut h = History::new();
+        let r = h.begin_read(OpId::new(ReaderId(0), 1), 0);
+        h.complete_read(r, Value::initial(), Tag::ZERO, 5);
+        assert!(check_write_order(&h).is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Round accounting (Definition 3).
+//!
+//! A *one-shot* read completes in exactly one round of client-to-server
+//! communication. The runtimes record per-operation round counts; this
+//! module summarises them so experiments can assert, e.g., that every BSR
+//! and BCSR read used one round while BSR-2P reads used at least two.
+
+use safereg_common::history::History;
+
+/// Distribution of rounds used by completed reads.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundProfile {
+    /// Number of completed reads.
+    pub reads: usize,
+    /// Minimum rounds over completed reads (0 when there are none).
+    pub min: u32,
+    /// Maximum rounds over completed reads.
+    pub max: u32,
+    /// Sum of rounds (for means).
+    pub total: u64,
+}
+
+impl RoundProfile {
+    /// `true` when every read was one-shot (Definition 3).
+    pub fn all_one_shot(&self) -> bool {
+        self.reads > 0 && self.min == 1 && self.max == 1
+    }
+
+    /// Mean rounds per read.
+    pub fn mean(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.reads as f64
+        }
+    }
+}
+
+/// Profiles the rounds of all completed reads in a history.
+pub fn read_round_profile(history: &History) -> RoundProfile {
+    let mut profile = RoundProfile::default();
+    for read in history.completed_reads() {
+        profile.reads += 1;
+        profile.total += u64::from(read.rounds);
+        profile.max = profile.max.max(read.rounds);
+        profile.min = if profile.reads == 1 {
+            read.rounds
+        } else {
+            profile.min.min(read.rounds)
+        };
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safereg_common::history::OpHandle;
+    use safereg_common::ids::ReaderId;
+    use safereg_common::msg::OpId;
+    use safereg_common::tag::Tag;
+    use safereg_common::value::Value;
+
+    fn read_with_rounds(h: &mut History, seq: u64, rounds: u32) -> OpHandle {
+        let r = h.begin_read(OpId::new(ReaderId(0), seq), seq * 10);
+        h.add_cost(r, rounds, 0, 0);
+        h.complete_read(r, Value::initial(), Tag::ZERO, seq * 10 + 5);
+        r
+    }
+
+    #[test]
+    fn one_shot_profile() {
+        let mut h = History::new();
+        read_with_rounds(&mut h, 1, 1);
+        read_with_rounds(&mut h, 2, 1);
+        let p = read_round_profile(&h);
+        assert!(p.all_one_shot());
+        assert_eq!(p.mean(), 1.0);
+        assert_eq!((p.min, p.max, p.reads), (1, 1, 2));
+    }
+
+    #[test]
+    fn mixed_rounds_profile() {
+        let mut h = History::new();
+        read_with_rounds(&mut h, 1, 1);
+        read_with_rounds(&mut h, 2, 3);
+        let p = read_round_profile(&h);
+        assert!(!p.all_one_shot());
+        assert_eq!(p.mean(), 2.0);
+        assert_eq!((p.min, p.max), (1, 3));
+    }
+
+    #[test]
+    fn empty_history_profile() {
+        let p = read_round_profile(&History::new());
+        assert!(!p.all_one_shot());
+        assert_eq!(p.mean(), 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Latency statistics over histories.
+//!
+//! Experiment reports quote mean and tail latencies per operation class;
+//! this module computes them from recorded [`History`] latencies
+//! (simulated ticks or wall-clock units — the math doesn't care).
+
+use safereg_common::history::{History, OpRecord};
+
+/// Summary statistics of a latency sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest latency.
+    pub min: u64,
+    /// Largest latency.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (p50).
+    pub p50: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl LatencyStats {
+    /// Computes statistics from raw samples. Returns `None` for an empty
+    /// sample.
+    pub fn from_samples(mut samples: Vec<u64>) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_unstable();
+        let count = samples.len();
+        let sum: u64 = samples.iter().sum();
+        // Nearest-rank percentiles (ceil(p/100 * N), 1-indexed).
+        let rank = |p: f64| -> u64 {
+            let idx = ((p / 100.0 * count as f64).ceil() as usize).clamp(1, count);
+            samples[idx - 1]
+        };
+        Some(LatencyStats {
+            count,
+            min: samples[0],
+            max: samples[count - 1],
+            mean: sum as f64 / count as f64,
+            p50: rank(50.0),
+            p99: rank(99.0),
+        })
+    }
+}
+
+/// Latency statistics of completed operations matching `pred`.
+pub fn latency_stats(history: &History, pred: impl Fn(&OpRecord) -> bool) -> Option<LatencyStats> {
+    let samples: Vec<u64> = history
+        .records()
+        .iter()
+        .filter(|r| r.is_complete() && pred(r))
+        .filter_map(OpRecord::latency)
+        .collect();
+    LatencyStats::from_samples(samples)
+}
+
+/// Convenience: read-latency statistics.
+pub fn read_latency_stats(history: &History) -> Option<LatencyStats> {
+    latency_stats(history, |r| r.kind.is_read())
+}
+
+/// Convenience: write-latency statistics.
+pub fn write_latency_stats(history: &History) -> Option<LatencyStats> {
+    latency_stats(history, |r| r.kind.is_write())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safereg_common::ids::{ReaderId, WriterId};
+    use safereg_common::msg::OpId;
+    use safereg_common::tag::Tag;
+    use safereg_common::value::Value;
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(LatencyStats::from_samples(Vec::new()).is_none());
+        assert!(read_latency_stats(&History::new()).is_none());
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let stats = LatencyStats::from_samples((1..=100).collect()).unwrap();
+        assert_eq!(stats.count, 100);
+        assert_eq!((stats.min, stats.max), (1, 100));
+        assert_eq!(stats.p50, 50);
+        assert_eq!(stats.p99, 99);
+        assert!((stats.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_is_every_statistic() {
+        let stats = LatencyStats::from_samples(vec![42]).unwrap();
+        assert_eq!(
+            (stats.min, stats.max, stats.p50, stats.p99),
+            (42, 42, 42, 42)
+        );
+        assert_eq!(stats.mean, 42.0);
+    }
+
+    #[test]
+    fn history_split_by_kind() {
+        let mut h = History::new();
+        let w = h.begin_write(OpId::new(WriterId(0), 1), Value::from("x"), 0);
+        h.complete_write(w, Tag::new(1, WriterId(0)), 40);
+        let r = h.begin_read(OpId::new(ReaderId(0), 1), 100);
+        h.complete_read(r, Value::from("x"), Tag::new(1, WriterId(0)), 120);
+
+        assert_eq!(write_latency_stats(&h).unwrap().mean, 40.0);
+        assert_eq!(read_latency_stats(&h).unwrap().mean, 20.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Human-readable execution timelines.
+//!
+//! Renders a [`History`] as an ASCII timeline — one line per operation with
+//! its interval, outcome and cost — which the examples and harness print
+//! when a checker reports a violation, so the offending schedule can be
+//! read off directly.
+
+use safereg_common::history::{History, OpKind, OpRecord};
+
+fn describe(op: &OpRecord) -> String {
+    match &op.kind {
+        OpKind::Write { value, tag } => match tag {
+            Some(t) => format!("write {value} -> {t}"),
+            None => format!("write {value} (incomplete)"),
+        },
+        OpKind::Read {
+            returned,
+            returned_tag,
+        } => match (returned, returned_tag) {
+            (Some(v), Some(t)) => format!("read -> {v} @ {t}"),
+            _ => "read (incomplete)".to_string(),
+        },
+    }
+}
+
+/// Renders the history as one line per operation, in invocation order.
+///
+/// # Examples
+///
+/// ```
+/// use safereg_checker::timeline::render_timeline;
+/// use safereg_common::history::History;
+/// use safereg_common::ids::WriterId;
+/// use safereg_common::msg::OpId;
+/// use safereg_common::tag::Tag;
+/// use safereg_common::value::Value;
+///
+/// let mut h = History::new();
+/// let w = h.begin_write(OpId::new(WriterId(0), 1), Value::from("x"), 0);
+/// h.complete_write(w, Tag::new(1, WriterId(0)), 40);
+/// let out = render_timeline(&h);
+/// assert!(out.contains("w0#1"));
+/// assert!(out.contains("[0, 40]"));
+/// ```
+pub fn render_timeline(history: &History) -> String {
+    let mut lines = Vec::with_capacity(history.len());
+    for op in history.records() {
+        let interval = match op.completed_at {
+            Some(done) => format!("[{}, {}]", op.invoked_at, done),
+            None => format!("[{}, ...]", op.invoked_at),
+        };
+        lines.push(format!(
+            "{:<8} {:<16} {} ({} rounds, {} msgs, {} B)",
+            op.op.to_string(),
+            interval,
+            describe(op),
+            op.rounds,
+            op.msgs,
+            op.bytes
+        ));
+    }
+    lines.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safereg_common::ids::{ReaderId, WriterId};
+    use safereg_common::msg::OpId;
+    use safereg_common::tag::Tag;
+    use safereg_common::value::Value;
+
+    #[test]
+    fn renders_complete_and_incomplete_ops() {
+        let mut h = History::new();
+        let w = h.begin_write(OpId::new(WriterId(1), 1), Value::from("committed"), 0);
+        h.complete_write(w, Tag::new(1, WriterId(1)), 40);
+        h.begin_write(OpId::new(WriterId(2), 1), Value::from("phantom"), 10);
+        let r = h.begin_read(OpId::new(ReaderId(0), 1), 50);
+        h.complete_read(r, Value::from("committed"), Tag::new(1, WriterId(1)), 70);
+
+        let out = render_timeline(&h);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("w1#1") && lines[0].contains("[0, 40]"));
+        assert!(lines[1].contains("(incomplete)") && lines[1].contains("[10, ...]"));
+        assert!(lines[2].contains("r0#1") && lines[2].contains("@ (1,w1)"));
+    }
+
+    #[test]
+    fn empty_history_renders_empty() {
+        assert!(render_timeline(&History::new()).is_empty());
+    }
+}

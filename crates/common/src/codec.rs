@@ -1,0 +1,435 @@
+//! Deterministic binary wire codec.
+//!
+//! The workspace serializes messages with its own small codec instead of a
+//! serde format so that (a) the TCP transport and the bandwidth-accounting
+//! experiments (E4) agree byte-for-byte on message sizes, and (b) decoding is
+//! hardened against malformed input from Byzantine peers: every length is
+//! bounds-checked against the remaining buffer before allocation.
+//!
+//! Encoding rules: fixed-width little-endian integers, `u32` lengths for
+//! variable-size payloads, one-byte discriminants for enums. The format has
+//! no self-description; both sides must agree on the expected type, which the
+//! transport guarantees by framing each [`Wire`] message with its type.
+//!
+//! # Examples
+//!
+//! ```
+//! use safereg_common::codec::{Wire, WireReader};
+//!
+//! let xs: Vec<u16> = vec![1, 2, 3];
+//! let buf = xs.to_wire_bytes();
+//! let back = Vec::<u16>::from_wire_bytes(&buf)?;
+//! assert_eq!(back, xs);
+//! # Ok::<(), safereg_common::codec::WireError>(())
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use bytes::Bytes;
+
+/// Maximum length accepted for a single variable-size field (64 MiB).
+///
+/// A Byzantine peer can claim any length; this cap bounds the allocation a
+/// forged header can trigger before the bounds check against the actual
+/// buffer rejects it.
+pub const MAX_FIELD_LEN: usize = 64 << 20;
+
+/// Error produced when decoding malformed wire bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the field was complete.
+    Truncated {
+        /// Bytes needed by the field being decoded.
+        needed: usize,
+        /// Bytes remaining in the buffer.
+        remaining: usize,
+    },
+    /// An enum discriminant byte had no corresponding variant.
+    BadDiscriminant {
+        /// Type being decoded.
+        ty: &'static str,
+        /// The offending discriminant value.
+        got: u8,
+    },
+    /// A length prefix exceeded [`MAX_FIELD_LEN`].
+    LengthOverflow {
+        /// The claimed length.
+        claimed: usize,
+    },
+    /// Trailing bytes remained after a complete decode.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        count: usize,
+    },
+    /// A field held an invalid value (e.g. non-UTF-8 string bytes).
+    Invalid {
+        /// Description of the invalid content.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, remaining } => {
+                write!(
+                    f,
+                    "truncated input: needed {needed} bytes, {remaining} remaining"
+                )
+            }
+            WireError::BadDiscriminant { ty, got } => {
+                write!(f, "invalid discriminant {got} for {ty}")
+            }
+            WireError::LengthOverflow { claimed } => {
+                write!(f, "length prefix {claimed} exceeds maximum field size")
+            }
+            WireError::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after complete message")
+            }
+            WireError::Invalid { what } => write!(f, "invalid field content: {what}"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// Cursor over a byte buffer being decoded.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Creates a reader over `buf` starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Returns `true` once every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes the next `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u32` length prefix, validating it against both
+    /// [`MAX_FIELD_LEN`] and the remaining buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::LengthOverflow`] for oversized claims and
+    /// [`WireError::Truncated`] when the buffer cannot hold the claimed
+    /// length.
+    pub fn take_len(&mut self) -> Result<usize, WireError> {
+        let len = u32::decode_from(self)? as usize;
+        if len > MAX_FIELD_LEN {
+            return Err(WireError::LengthOverflow { claimed: len });
+        }
+        if len > self.remaining() {
+            return Err(WireError::Truncated {
+                needed: len,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(len)
+    }
+}
+
+/// Types that can be serialized to and deserialized from the workspace wire
+/// format.
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode_to(&self, buf: &mut Vec<u8>);
+
+    /// Decodes a value from the reader, advancing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] describing the first malformed field.
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+
+    /// Encodes `self` into a fresh byte vector.
+    fn to_wire_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode_to(&mut buf);
+        buf
+    }
+
+    /// Decodes a value that must span the entire buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::TrailingBytes`] when the buffer is longer than
+    /// the encoding, in addition to any decode error.
+    fn from_wire_bytes(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(buf);
+        let v = Self::decode_from(&mut r)?;
+        if !r.is_empty() {
+            return Err(WireError::TrailingBytes {
+                count: r.remaining(),
+            });
+        }
+        Ok(v)
+    }
+
+    /// Number of bytes the encoding of `self` occupies.
+    ///
+    /// Used by the bandwidth-accounting experiments; the default encodes into
+    /// a scratch buffer.
+    fn wire_len(&self) -> usize {
+        self.to_wire_bytes().len()
+    }
+}
+
+macro_rules! impl_wire_int {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn encode_to(&self, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&self.to_le_bytes());
+            }
+
+            fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                let n = std::mem::size_of::<$t>();
+                let bytes = r.take(n)?;
+                let mut arr = [0u8; std::mem::size_of::<$t>()];
+                arr.copy_from_slice(bytes);
+                Ok(<$t>::from_le_bytes(arr))
+            }
+
+            fn wire_len(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        }
+    )*};
+}
+
+impl_wire_int!(u8, u16, u32, u64, i64);
+
+impl Wire for bool {
+    fn encode_to(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(*self));
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode_from(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(WireError::BadDiscriminant { ty: "bool", got: t }),
+        }
+    }
+
+    fn wire_len(&self) -> usize {
+        1
+    }
+}
+
+impl Wire for Bytes {
+    fn encode_to(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode_to(buf);
+        buf.extend_from_slice(self);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = r.take_len()?;
+        Ok(Bytes::copy_from_slice(r.take(len)?))
+    }
+
+    fn wire_len(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl Wire for String {
+    fn encode_to(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode_to(buf);
+        buf.extend_from_slice(self.as_bytes());
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = r.take_len()?;
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Invalid {
+            what: "utf-8 string",
+        })
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode_to(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode_to(buf);
+        for item in self {
+            item.encode_to(buf);
+        }
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let count = u32::decode_from(r)? as usize;
+        if count > MAX_FIELD_LEN {
+            return Err(WireError::LengthOverflow { claimed: count });
+        }
+        // Each element consumes at least one byte; reject counts the buffer
+        // can never satisfy before allocating.
+        if count > r.remaining() {
+            return Err(WireError::Truncated {
+                needed: count,
+                remaining: r.remaining(),
+            });
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(T::decode_from(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode_to(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode_to(buf);
+            }
+        }
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode_from(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode_from(r)?)),
+            t => Err(WireError::BadDiscriminant {
+                ty: "Option",
+                got: t,
+            }),
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode_to(&self, buf: &mut Vec<u8>) {
+        self.0.encode_to(buf);
+        self.1.encode_to(buf);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode_from(r)?, B::decode_from(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_roundtrip_little_endian() {
+        let mut buf = Vec::new();
+        0xABCDu16.encode_to(&mut buf);
+        assert_eq!(buf, [0xCD, 0xAB]);
+        assert_eq!(u16::from_wire_bytes(&buf).unwrap(), 0xABCD);
+    }
+
+    #[test]
+    fn vec_roundtrips_and_reports_wire_len() {
+        let v: Vec<u32> = (0..10).collect();
+        let buf = v.to_wire_bytes();
+        assert_eq!(buf.len(), 4 + 10 * 4);
+        assert_eq!(v.wire_len(), buf.len());
+        assert_eq!(Vec::<u32>::from_wire_bytes(&buf).unwrap(), v);
+    }
+
+    #[test]
+    fn truncated_input_is_detected() {
+        let buf = 0xDEADBEEFu32.to_wire_bytes();
+        assert!(matches!(
+            u64::from_wire_bytes(&buf),
+            Err(WireError::Truncated {
+                needed: 8,
+                remaining: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_detected() {
+        let mut buf = 7u8.to_wire_bytes();
+        buf.push(0);
+        assert!(matches!(
+            u8::from_wire_bytes(&buf),
+            Err(WireError::TrailingBytes { count: 1 })
+        ));
+    }
+
+    #[test]
+    fn forged_length_prefix_is_rejected_before_allocation() {
+        // Claim a 4 GiB Bytes field backed by a 2-byte buffer.
+        let buf = u32::MAX.to_wire_bytes();
+        assert!(matches!(
+            Bytes::from_wire_bytes(&buf),
+            Err(WireError::LengthOverflow { .. })
+        ));
+        // Claim a count of elements larger than the buffer could hold.
+        let mut vbuf = Vec::new();
+        1_000_000u32.encode_to(&mut vbuf);
+        assert!(matches!(
+            Vec::<u8>::from_wire_bytes(&vbuf),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn option_and_tuple_roundtrip() {
+        let v: Option<(u16, Bytes)> = Some((3, Bytes::from_static(b"xyz")));
+        let buf = v.to_wire_bytes();
+        let back = Option::<(u16, Bytes)>::from_wire_bytes(&buf).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(Option::<u8>::from_wire_bytes(&[0]).unwrap(), None);
+    }
+
+    #[test]
+    fn string_requires_utf8() {
+        let mut buf = Vec::new();
+        2u32.encode_to(&mut buf);
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(matches!(
+            String::from_wire_bytes(&buf),
+            Err(WireError::Invalid {
+                what: "utf-8 string"
+            })
+        ));
+    }
+
+    #[test]
+    fn wire_error_display_is_informative() {
+        let e = WireError::Truncated {
+            needed: 8,
+            remaining: 2,
+        };
+        assert!(e.to_string().contains("needed 8"));
+        assert!(WireError::BadDiscriminant { ty: "bool", got: 7 }
+            .to_string()
+            .contains("bool"));
+    }
+}

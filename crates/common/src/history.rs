@@ -1,0 +1,340 @@
+//! Recorded operation histories.
+//!
+//! A [`History`] is the sequence of invocation/response events of one
+//! execution (§II-B), recorded by whichever runtime drove the protocol (the
+//! simulator or the TCP cluster) and consumed by the `safereg-checker`
+//! crate. Each completed operation also carries the performance counters the
+//! experiments report: client-to-server rounds (Definition 3), messages and
+//! wire bytes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::ClientId;
+use crate::msg::OpId;
+use crate::tag::Tag;
+use crate::value::Value;
+
+/// Simulated or wall-clock instant, in the runtime's time unit.
+pub type Instant = u64;
+
+/// What an operation did.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// A write of `value`; `tag` is filled in when the write's `put-data`
+    /// phase fixes it.
+    Write {
+        /// The value written.
+        value: Value,
+        /// The tag the write created, once known.
+        tag: Option<Tag>,
+    },
+    /// A read; `returned`/`returned_tag` are filled in at completion.
+    Read {
+        /// The value the read returned.
+        returned: Option<Value>,
+        /// The tag associated with the returned value ([`Tag::ZERO`] when
+        /// the read fell back to the initial value `v_0`).
+        returned_tag: Option<Tag>,
+    },
+}
+
+impl OpKind {
+    /// Returns `true` for write operations.
+    pub fn is_write(&self) -> bool {
+        matches!(self, OpKind::Write { .. })
+    }
+
+    /// Returns `true` for read operations.
+    pub fn is_read(&self) -> bool {
+        matches!(self, OpKind::Read { .. })
+    }
+}
+
+/// One operation's record in a history.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpRecord {
+    /// The operation's identifier.
+    pub op: OpId,
+    /// Write/read and its data.
+    pub kind: OpKind,
+    /// Invocation instant.
+    pub invoked_at: Instant,
+    /// Response instant; `None` while the operation is incomplete (§II-B:
+    /// an operation whose invocation has no matching response).
+    pub completed_at: Option<Instant>,
+    /// Client-to-server round trips the operation used (Definition 3 counts
+    /// a request/response exchange as one round).
+    pub rounds: u32,
+    /// Messages sent on behalf of the operation (client and induced server
+    /// messages).
+    pub msgs: u64,
+    /// Wire bytes sent on behalf of the operation.
+    pub bytes: u64,
+}
+
+impl OpRecord {
+    /// Returns `true` once the operation has its matching response.
+    pub fn is_complete(&self) -> bool {
+        self.completed_at.is_some()
+    }
+
+    /// The invoking client.
+    pub fn client(&self) -> ClientId {
+        self.op.client
+    }
+
+    /// Real-time precedence (§II-B): `self` precedes `other` when `self`'s
+    /// response comes before `other`'s invocation.
+    ///
+    /// Incomplete operations precede nothing.
+    pub fn precedes(&self, other: &OpRecord) -> bool {
+        match self.completed_at {
+            Some(done) => done < other.invoked_at,
+            None => false,
+        }
+    }
+
+    /// Two operations are concurrent when neither precedes the other.
+    pub fn concurrent_with(&self, other: &OpRecord) -> bool {
+        !self.precedes(other) && !other.precedes(self)
+    }
+
+    /// Operation latency, if complete.
+    pub fn latency(&self) -> Option<Instant> {
+        self.completed_at.map(|c| c.saturating_sub(self.invoked_at))
+    }
+}
+
+/// Handle to an operation being recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpHandle(usize);
+
+/// A recorded execution: every operation's invocation and (if it happened)
+/// response.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct History {
+    records: Vec<OpRecord>,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// Records the invocation of a write.
+    pub fn begin_write(&mut self, op: OpId, value: Value, at: Instant) -> OpHandle {
+        self.records.push(OpRecord {
+            op,
+            kind: OpKind::Write { value, tag: None },
+            invoked_at: at,
+            completed_at: None,
+            rounds: 0,
+            msgs: 0,
+            bytes: 0,
+        });
+        OpHandle(self.records.len() - 1)
+    }
+
+    /// Records the invocation of a read.
+    pub fn begin_read(&mut self, op: OpId, at: Instant) -> OpHandle {
+        self.records.push(OpRecord {
+            op,
+            kind: OpKind::Read {
+                returned: None,
+                returned_tag: None,
+            },
+            invoked_at: at,
+            completed_at: None,
+            rounds: 0,
+            msgs: 0,
+            bytes: 0,
+        });
+        OpHandle(self.records.len() - 1)
+    }
+
+    /// Records the response of a write, fixing its tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle refers to a read or an already-completed write —
+    /// both indicate a runtime bug, not bad input.
+    pub fn complete_write(&mut self, h: OpHandle, tag: Tag, at: Instant) {
+        let rec = &mut self.records[h.0];
+        assert!(rec.completed_at.is_none(), "write completed twice");
+        match &mut rec.kind {
+            OpKind::Write { tag: slot, .. } => *slot = Some(tag),
+            OpKind::Read { .. } => panic!("complete_write on a read handle"),
+        }
+        rec.completed_at = Some(at);
+    }
+
+    /// Records the response of a read with the value (and tag) it returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle refers to a write or an already-completed read.
+    pub fn complete_read(&mut self, h: OpHandle, value: Value, tag: Tag, at: Instant) {
+        let rec = &mut self.records[h.0];
+        assert!(rec.completed_at.is_none(), "read completed twice");
+        match &mut rec.kind {
+            OpKind::Read {
+                returned,
+                returned_tag,
+            } => {
+                *returned = Some(value);
+                *returned_tag = Some(tag);
+            }
+            OpKind::Write { .. } => panic!("complete_read on a write handle"),
+        }
+        rec.completed_at = Some(at);
+    }
+
+    /// Adds performance counters to an operation.
+    pub fn add_cost(&mut self, h: OpHandle, rounds: u32, msgs: u64, bytes: u64) {
+        let rec = &mut self.records[h.0];
+        rec.rounds += rounds;
+        rec.msgs += msgs;
+        rec.bytes += bytes;
+    }
+
+    /// All records in invocation order.
+    pub fn records(&self) -> &[OpRecord] {
+        &self.records
+    }
+
+    /// The record behind a handle.
+    pub fn get(&self, h: OpHandle) -> &OpRecord {
+        &self.records[h.0]
+    }
+
+    /// Completed write records.
+    pub fn completed_writes(&self) -> impl Iterator<Item = &OpRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.kind.is_write() && r.is_complete())
+    }
+
+    /// Completed read records.
+    pub fn completed_reads(&self) -> impl Iterator<Item = &OpRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.kind.is_read() && r.is_complete())
+    }
+
+    /// Number of recorded operations (complete or not).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the history has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Merges another history into this one (used when per-client histories
+    /// are recorded separately and joined for checking).
+    pub fn merge(&mut self, other: History) {
+        self.records.extend(other.records);
+        self.records
+            .sort_by_key(|r| (r.invoked_at, r.op.client, r.op.seq));
+    }
+}
+
+impl Extend<OpRecord> for History {
+    fn extend<T: IntoIterator<Item = OpRecord>>(&mut self, iter: T) {
+        self.records.extend(iter);
+    }
+}
+
+impl FromIterator<OpRecord> for History {
+    fn from_iter<T: IntoIterator<Item = OpRecord>>(iter: T) -> Self {
+        History {
+            records: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ReaderId, WriterId};
+
+    fn wop(seq: u64) -> OpId {
+        OpId::new(WriterId(1), seq)
+    }
+
+    fn rop(seq: u64) -> OpId {
+        OpId::new(ReaderId(1), seq)
+    }
+
+    #[test]
+    fn write_then_read_precedence() {
+        let mut h = History::new();
+        let w = h.begin_write(wop(1), Value::from("a"), 0);
+        h.complete_write(w, Tag::new(1, WriterId(1)), 10);
+        let r = h.begin_read(rop(1), 20);
+        h.complete_read(r, Value::from("a"), Tag::new(1, WriterId(1)), 30);
+
+        let wr = h.get(w).clone();
+        let rr = h.get(r).clone();
+        assert!(wr.precedes(&rr));
+        assert!(!rr.precedes(&wr));
+        assert!(!wr.concurrent_with(&rr));
+        assert_eq!(wr.latency(), Some(10));
+    }
+
+    #[test]
+    fn overlapping_ops_are_concurrent() {
+        let mut h = History::new();
+        let w = h.begin_write(wop(1), Value::from("a"), 0);
+        let r = h.begin_read(rop(1), 5);
+        h.complete_write(w, Tag::new(1, WriterId(1)), 10);
+        h.complete_read(r, Value::initial(), Tag::ZERO, 7);
+        assert!(h.get(w).concurrent_with(h.get(r)));
+    }
+
+    #[test]
+    fn incomplete_op_precedes_nothing_and_is_filtered() {
+        let mut h = History::new();
+        let w = h.begin_write(wop(1), Value::from("a"), 0);
+        let r = h.begin_read(rop(1), 100);
+        h.complete_read(r, Value::initial(), Tag::ZERO, 110);
+        assert!(!h.get(w).precedes(h.get(r)));
+        assert_eq!(h.completed_writes().count(), 0);
+        assert_eq!(h.completed_reads().count(), 1);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn costs_accumulate() {
+        let mut h = History::new();
+        let r = h.begin_read(rop(1), 0);
+        h.add_cost(r, 1, 5, 500);
+        h.add_cost(r, 1, 5, 500);
+        let rec = h.get(r);
+        assert_eq!((rec.rounds, rec.msgs, rec.bytes), (2, 10, 1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "completed twice")]
+    fn double_completion_is_a_bug() {
+        let mut h = History::new();
+        let w = h.begin_write(wop(1), Value::from("a"), 0);
+        h.complete_write(w, Tag::ZERO, 1);
+        h.complete_write(w, Tag::ZERO, 2);
+    }
+
+    #[test]
+    fn merge_sorts_by_invocation() {
+        let mut a = History::new();
+        let w = a.begin_write(wop(1), Value::from("x"), 50);
+        a.complete_write(w, Tag::new(1, WriterId(1)), 60);
+        let mut b = History::new();
+        let r = b.begin_read(rop(1), 10);
+        b.complete_read(r, Value::initial(), Tag::ZERO, 20);
+        a.merge(b);
+        assert_eq!(a.records()[0].invoked_at, 10);
+        assert_eq!(a.records()[1].invoked_at, 50);
+    }
+}

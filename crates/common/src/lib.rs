@@ -1,0 +1,49 @@
+//! Shared vocabulary for the `safereg` workspace.
+//!
+//! This crate defines the types that every other crate in the workspace
+//! speaks: process [identifiers](ids), logical [tags](tag::Tag) (the paper's
+//! `(t.num, w)` timestamps), register [values](value::Value), the
+//! client/server/peer [message](msg) set, the
+//! [quorum configuration](config::QuorumConfig) capturing `n`, `f` and the
+//! paper's thresholds, a deterministic [wire codec](codec) used both by the
+//! TCP transport and for bandwidth accounting, a seedable [PRNG](rng) for
+//! reproducible simulations, and the [operation history](history) model
+//! consumed by the consistency checkers.
+//!
+//! The protocol crates (`safereg-core`, `safereg-rb`) are *sans-io*: they
+//! exchange [`msg::Envelope`] values and never touch sockets or clocks, so
+//! the same state machines run on the deterministic simulator
+//! (`safereg-simnet`) and on real TCP (`safereg-transport`).
+//!
+//! # Examples
+//!
+//! ```
+//! use safereg_common::{config::QuorumConfig, tag::Tag, ids::WriterId};
+//!
+//! let cfg = QuorumConfig::new(5, 1)?;
+//! assert!(cfg.supports_bsr());
+//! assert_eq!(cfg.response_quorum(), 4); // wait for n - f replies
+//!
+//! let t0 = Tag::ZERO;
+//! let t1 = t0.next_for(WriterId(3));
+//! assert!(t1 > t0);
+//! # Ok::<(), safereg_common::config::ConfigError>(())
+//! ```
+
+pub mod codec;
+pub mod config;
+pub mod history;
+pub mod ids;
+pub mod msg;
+pub mod rng;
+pub mod tag;
+pub mod value;
+
+pub use codec::{Wire, WireError};
+pub use config::QuorumConfig;
+pub use history::{History, OpKind, OpRecord};
+pub use ids::{ClientId, NodeId, ReaderId, ServerId, WriterId};
+pub use msg::{ClientToServer, Envelope, Message, OpId, Payload, ServerToClient};
+pub use rng::DetRng;
+pub use tag::Tag;
+pub use value::Value;

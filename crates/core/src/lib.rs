@@ -1,0 +1,84 @@
+//! The paper's register emulations, as sans-io state machines.
+//!
+//! This crate implements the primary contribution of *Semi-Fast
+//! Byzantine-tolerant Shared Register without Reliable Broadcast* (Konwar,
+//! Kumar, Tseng — ICDCS 2020):
+//!
+//! * [`server::ServerNode`] — the server of Fig. 3 / Fig. 6 (one
+//!   implementation serves every protocol; payloads are opaque),
+//! * [`write::WriteOp`] — the two-phase write of Fig. 1 / Fig. 4
+//!   (`get-tag` then `put-data`), replicated or erasure-coded,
+//! * [`read::BsrReadOp`] — BSR's one-shot read (Fig. 2): wait for `n − f`
+//!   responses, trust the highest pair with `f + 1` witnesses,
+//! * [`regular::BsrHReadOp`] / [`regular::Bsr2pReadOp`] — the two
+//!   regular-register read variants sketched in §III-C (full-history
+//!   one-shot reads, and two-phase tag-list + value-fetch reads),
+//! * [`bcsr::BcsrReadOp`] — BCSR's one-shot erasure-coded read (Fig. 5)
+//!   with error-and-erasure decoding,
+//! * [`client`] — small client façades (`BsrWriter`, `BsrReader`, …) that
+//!   mint operations and maintain the reader-local `(t_local, v_local)`
+//!   cache of Fig. 2 line 1.
+//!
+//! Every operation implements [`op::ClientOp`]: it emits
+//! [`safereg_common::msg::Envelope`]s from `start`/`on_message` and never
+//! touches a socket or a clock, so the deterministic simulator and the TCP
+//! transport drive identical code.
+//!
+//! # Quick example (driving BSR by hand)
+//!
+//! ```
+//! use safereg_common::{config::QuorumConfig, ids::{ReaderId, WriterId}, value::Value};
+//! use safereg_core::client::{BsrReader, BsrWriter};
+//! use safereg_core::op::ClientOp;
+//! use safereg_core::server::ServerNode;
+//! use safereg_common::msg::Message;
+//!
+//! let cfg = QuorumConfig::minimal_bsr(1)?; // n = 5, f = 1
+//! let mut servers: Vec<ServerNode> =
+//!     cfg.servers().map(|id| ServerNode::new_replicated(id, cfg)).collect();
+//!
+//! // Deliver every envelope synchronously until the op completes.
+//! let mut drive = |op: &mut dyn ClientOp, servers: &mut Vec<ServerNode>| {
+//!     let mut queue = op.start();
+//!     while let Some(env) = queue.pop() {
+//!         match env.msg {
+//!             Message::ToServer(m) => {
+//!                 let sid = env.dst.as_server().unwrap();
+//!                 let client = env.src.as_client().unwrap();
+//!                 for resp in servers[sid.0 as usize].handle(client, &m) {
+//!                     queue.extend(op.on_message(sid, &resp));
+//!                 }
+//!             }
+//!             _ => unreachable!(),
+//!         }
+//!     }
+//! };
+//!
+//! let mut writer = BsrWriter::new(WriterId(0), cfg);
+//! let mut w = writer.write(Value::from("hello"));
+//! drive(&mut w, &mut servers);
+//! assert!(w.output().is_some());
+//!
+//! let mut reader = BsrReader::new(ReaderId(0), cfg);
+//! let mut r = reader.read();
+//! drive(&mut r, &mut servers);
+//! let out = r.output().unwrap();
+//! assert_eq!(out.read_value().unwrap().as_bytes(), b"hello");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod bcsr;
+pub mod client;
+pub mod op;
+pub mod read;
+pub mod regular;
+pub mod server;
+pub mod write;
+
+pub use bcsr::BcsrReadOp;
+pub use client::{BcsrReader, BcsrWriter, Bsr2pReader, BsrHReader, BsrReader, BsrWriter};
+pub use op::{ClientOp, OpOutput};
+pub use read::BsrReadOp;
+pub use regular::{Bsr2pReadOp, BsrHReadOp};
+pub use server::ServerNode;
+pub use write::WriteOp;

@@ -1,0 +1,100 @@
+//! The client-operation interface.
+//!
+//! Every read and write in the workspace is a state machine implementing
+//! [`ClientOp`]: the runtime calls [`ClientOp::start`] once, feeds it every
+//! server response addressed to the operation, forwards the envelopes it
+//! emits, and watches [`ClientOp::output`] for completion. This is the
+//! sans-io boundary that lets the deterministic simulator and the TCP
+//! transport drive identical protocol code.
+
+use safereg_common::ids::ServerId;
+use safereg_common::msg::{Envelope, OpId, ServerToClient};
+use safereg_common::tag::Tag;
+use safereg_common::value::Value;
+
+/// What a completed operation produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpOutput {
+    /// A write completed after fixing this tag.
+    Written {
+        /// The tag the write installed.
+        tag: Tag,
+    },
+    /// A read completed, returning this value.
+    Read {
+        /// The value returned to the application.
+        value: Value,
+        /// The tag associated with the value ([`Tag::ZERO`] for `v_0`).
+        tag: Tag,
+    },
+}
+
+impl OpOutput {
+    /// The tag carried by the outcome.
+    pub fn tag(&self) -> Tag {
+        match self {
+            OpOutput::Written { tag } | OpOutput::Read { tag, .. } => *tag,
+        }
+    }
+
+    /// The value a read returned, if this is a read outcome.
+    pub fn read_value(&self) -> Option<&Value> {
+        match self {
+            OpOutput::Read { value, .. } => Some(value),
+            OpOutput::Written { .. } => None,
+        }
+    }
+}
+
+/// A client operation driven by message exchange.
+///
+/// Contract:
+/// * [`ClientOp::start`] is called exactly once and returns the first batch
+///   of request envelopes.
+/// * [`ClientOp::on_message`] is called for every server→client message the
+///   runtime delivers to this client while the operation runs; messages for
+///   other operations (mismatched [`OpId`]) are ignored internally, so the
+///   runtime may deliver stragglers freely. It may return follow-up
+///   envelopes (e.g. the `put-data` phase after `get-tag` completes).
+/// * Once [`ClientOp::output`] is `Some`, the operation is complete and no
+///   further envelopes will be emitted.
+pub trait ClientOp: std::fmt::Debug + Send {
+    /// The operation's identifier (echoed by servers).
+    fn op_id(&self) -> OpId;
+
+    /// Begins the operation, returning its first messages.
+    fn start(&mut self) -> Vec<Envelope>;
+
+    /// Feeds one server response; returns any follow-up messages.
+    fn on_message(&mut self, from: ServerId, msg: &ServerToClient) -> Vec<Envelope>;
+
+    /// The outcome, once complete.
+    fn output(&self) -> Option<OpOutput>;
+
+    /// Client-to-server round trips used so far (Definition 3).
+    fn rounds(&self) -> u32;
+
+    /// `true` for writes, `false` for reads (used by history recording).
+    fn is_write(&self) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safereg_common::ids::WriterId;
+
+    #[test]
+    fn output_accessors() {
+        let t = Tag::new(3, WriterId(1));
+        let w = OpOutput::Written { tag: t };
+        assert_eq!(w.tag(), t);
+        assert!(w.read_value().is_none());
+
+        let r = OpOutput::Read {
+            value: Value::from("v"),
+            tag: t,
+        };
+        assert_eq!(r.tag(), t);
+        assert_eq!(r.read_value().unwrap().as_bytes(), b"v");
+    }
+}

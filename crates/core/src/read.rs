@@ -1,0 +1,285 @@
+//! BSR's one-shot read (Fig. 2).
+//!
+//! The reader sends `QUERY-DATA` to all servers, waits for `n − f`
+//! responses, forms the set `𝒫` of `(tag, value)` pairs reported by at
+//! least `f + 1` distinct servers (*witnesses*), and returns the highest
+//! such pair if it beats the reader-local pair `(t_local, v_local)`;
+//! otherwise it returns the most recent value the reader has previously
+//! heard of — possibly `v_0` (Fig. 2 lines 5–9).
+
+use std::collections::BTreeMap;
+
+use safereg_common::config::QuorumConfig;
+use safereg_common::ids::{ClientId, ReaderId, ServerId};
+use safereg_common::msg::{ClientToServer, Envelope, OpId, Payload, ServerToClient};
+use safereg_common::tag::Tag;
+use safereg_common::value::Value;
+
+use crate::op::{ClientOp, OpOutput};
+
+/// One BSR read operation (Fig. 2).
+///
+/// The reader-local pair of Fig. 2 line 1 is passed in at construction and
+/// the (possibly newer) pair is part of the outcome; [`crate::client::BsrReader`]
+/// wires the two together across operations.
+#[derive(Debug)]
+pub struct BsrReadOp {
+    reader: ReaderId,
+    op: OpId,
+    cfg: QuorumConfig,
+    local: (Tag, Value),
+    /// First response per server (Byzantine repeats are ignored).
+    responses: BTreeMap<ServerId, (Tag, Value)>,
+    result: Option<OpOutput>,
+    rounds: u32,
+    threshold: usize,
+}
+
+impl BsrReadOp {
+    /// Creates a read carrying the reader's current local pair.
+    pub fn new(reader: ReaderId, seq: u64, cfg: QuorumConfig, local: (Tag, Value)) -> Self {
+        let threshold = cfg.witness_threshold();
+        BsrReadOp {
+            reader,
+            op: OpId::new(reader, seq),
+            cfg,
+            local,
+            responses: BTreeMap::new(),
+            result: None,
+            rounds: 0,
+            threshold,
+        }
+    }
+
+    /// Overrides the witness threshold (ablation A1 only — the paper's
+    /// rule is `f + 1`; `≤ f` admits fabricated values, larger thresholds
+    /// lose freshness coverage).
+    #[must_use]
+    pub fn with_witness_threshold(mut self, threshold: usize) -> Self {
+        self.threshold = threshold.max(1);
+        self
+    }
+
+    fn client(&self) -> ClientId {
+        ClientId::Reader(self.reader)
+    }
+
+    fn conclude(&mut self) {
+        // Tally witnesses per (tag, value) pair — a pair needs f + 1
+        // distinct servers vouching for it (Fig. 2 line 5, Lemma 5).
+        let mut witnesses: BTreeMap<(Tag, &Value), usize> = BTreeMap::new();
+        for (tag, value) in self.responses.values() {
+            *witnesses.entry((*tag, value)).or_insert(0) += 1;
+        }
+        let threshold = self.threshold;
+        let best = witnesses
+            .iter()
+            .rev()
+            .find(|(_, count)| **count >= threshold)
+            .map(|((tag, value), _)| (*tag, (*value).clone()));
+
+        // Fig. 2 lines 7–9: adopt the verified pair only if it beats the
+        // local pair; always return v_local.
+        let (tag, value) = match best {
+            Some((t, v)) if (t, &v) > (self.local.0, &self.local.1) => (t, v),
+            _ => self.local.clone(),
+        };
+        self.result = Some(OpOutput::Read { value, tag });
+    }
+}
+
+impl ClientOp for BsrReadOp {
+    fn op_id(&self) -> OpId {
+        self.op
+    }
+
+    fn start(&mut self) -> Vec<Envelope> {
+        self.rounds = 1;
+        self.cfg
+            .servers()
+            .map(|sid| {
+                Envelope::to_server(
+                    self.client(),
+                    sid,
+                    ClientToServer::QueryData { op: self.op },
+                )
+            })
+            .collect()
+    }
+
+    fn on_message(&mut self, from: ServerId, msg: &ServerToClient) -> Vec<Envelope> {
+        if self.result.is_some() || msg.op() != self.op {
+            return Vec::new();
+        }
+        if let ServerToClient::DataResp {
+            tag,
+            payload: Payload::Full(value),
+            ..
+        } = msg
+        {
+            self.responses
+                .entry(from)
+                .or_insert_with(|| (*tag, value.clone()));
+            if self.responses.len() >= self.cfg.response_quorum() {
+                self.conclude();
+            }
+        }
+        Vec::new()
+    }
+
+    fn output(&self) -> Option<OpOutput> {
+        self.result.clone()
+    }
+
+    fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    fn is_write(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safereg_common::ids::WriterId;
+
+    fn cfg() -> QuorumConfig {
+        QuorumConfig::minimal_bsr(1).unwrap() // n = 5, f = 1, quorum 4, witnesses 2
+    }
+
+    fn read_op() -> BsrReadOp {
+        BsrReadOp::new(ReaderId(0), 1, cfg(), (Tag::ZERO, Value::initial()))
+    }
+
+    fn data(op: OpId, num: u64, w: u16, v: &str) -> ServerToClient {
+        ServerToClient::DataResp {
+            op,
+            tag: Tag::new(num, WriterId(w)),
+            payload: Payload::Full(Value::from(v)),
+        }
+    }
+
+    #[test]
+    fn one_round_and_witnessed_value_wins() {
+        let mut op = read_op();
+        let sent = op.start();
+        assert_eq!(sent.len(), 5);
+
+        let id = op.op_id();
+        op.on_message(ServerId(0), &data(id, 3, 1, "fresh"));
+        op.on_message(ServerId(1), &data(id, 3, 1, "fresh"));
+        op.on_message(ServerId(2), &data(id, 1, 1, "old"));
+        assert!(op.output().is_none(), "needs n - f = 4 responses");
+        op.on_message(ServerId(3), &data(id, 1, 1, "old"));
+
+        let out = op.output().unwrap();
+        assert_eq!(out.read_value().unwrap().as_bytes(), b"fresh");
+        assert_eq!(out.tag(), Tag::new(3, WriterId(1)));
+        assert_eq!(op.rounds(), 1, "one-shot read (Definition 3)");
+    }
+
+    #[test]
+    fn unwitnessed_high_tag_is_rejected() {
+        // A single Byzantine server advertises a huge tag; with only one
+        // witness it cannot be returned (Lemma 5).
+        let mut op = read_op();
+        op.start();
+        let id = op.op_id();
+        op.on_message(ServerId(0), &data(id, u64::MAX, 9, "forged"));
+        op.on_message(ServerId(1), &data(id, 2, 1, "real"));
+        op.on_message(ServerId(2), &data(id, 2, 1, "real"));
+        op.on_message(ServerId(3), &data(id, 2, 1, "real"));
+        let out = op.output().unwrap();
+        assert_eq!(out.read_value().unwrap().as_bytes(), b"real");
+    }
+
+    #[test]
+    fn empty_p_falls_back_to_local_pair() {
+        // All servers report distinct pairs (the Theorem 3 schedule): 𝒫 is
+        // empty and the read returns the local pair.
+        let local = (Tag::new(1, WriterId(1)), Value::from("cached"));
+        let mut op = BsrReadOp::new(ReaderId(0), 2, cfg(), local);
+        op.start();
+        let id = op.op_id();
+        op.on_message(ServerId(0), &data(id, 2, 1, "a"));
+        op.on_message(ServerId(1), &data(id, 2, 2, "b"));
+        op.on_message(ServerId(2), &data(id, 2, 3, "c"));
+        op.on_message(ServerId(3), &data(id, 2, 4, "d"));
+        let out = op.output().unwrap();
+        assert_eq!(out.read_value().unwrap().as_bytes(), b"cached");
+        assert_eq!(out.tag(), Tag::new(1, WriterId(1)));
+    }
+
+    #[test]
+    fn witnessed_pair_older_than_local_is_not_adopted() {
+        let local = (Tag::new(5, WriterId(1)), Value::from("newer"));
+        let mut op = BsrReadOp::new(ReaderId(0), 3, cfg(), local);
+        op.start();
+        let id = op.op_id();
+        for i in 0..4u16 {
+            op.on_message(ServerId(i), &data(id, 2, 1, "older"));
+        }
+        let out = op.output().unwrap();
+        assert_eq!(out.read_value().unwrap().as_bytes(), b"newer");
+    }
+
+    #[test]
+    fn same_tag_different_values_split_witnesses() {
+        // Byzantine equivocation: same tag, different values — each variant
+        // needs f + 1 witnesses on the exact (tag, value) pair.
+        let mut op = read_op();
+        op.start();
+        let id = op.op_id();
+        op.on_message(ServerId(0), &data(id, 4, 1, "x"));
+        op.on_message(ServerId(1), &data(id, 4, 1, "y"));
+        op.on_message(ServerId(2), &data(id, 1, 1, "base"));
+        op.on_message(ServerId(3), &data(id, 1, 1, "base"));
+        let out = op.output().unwrap();
+        assert_eq!(out.read_value().unwrap().as_bytes(), b"base");
+    }
+
+    #[test]
+    fn duplicate_server_responses_do_not_double_witness() {
+        let mut op = read_op();
+        op.start();
+        let id = op.op_id();
+        op.on_message(ServerId(0), &data(id, 9, 1, "dup"));
+        op.on_message(ServerId(0), &data(id, 9, 1, "dup"));
+        op.on_message(ServerId(1), &data(id, 0, 0, ""));
+        op.on_message(ServerId(2), &data(id, 0, 0, ""));
+        assert!(
+            op.output().is_none(),
+            "three distinct servers responded so far"
+        );
+        op.on_message(ServerId(3), &data(id, 0, 0, ""));
+        let out = op.output().unwrap();
+        assert_ne!(out.read_value().unwrap().as_bytes(), b"dup");
+    }
+
+    #[test]
+    fn coded_payloads_are_not_counted_by_bsr_reader() {
+        let mut op = read_op();
+        op.start();
+        let id = op.op_id();
+        let coded = ServerToClient::DataResp {
+            op: id,
+            tag: Tag::new(1, WriterId(1)),
+            payload: Payload::Coded(safereg_common::msg::CodedElement {
+                index: 0,
+                value_len: 4,
+                data: bytes::Bytes::from_static(b"el"),
+            }),
+        };
+        op.on_message(ServerId(0), &coded);
+        assert!(op.output().is_none());
+        for i in 1..5u16 {
+            op.on_message(ServerId(i), &data(id, 0, 0, ""));
+        }
+        assert!(
+            op.output().is_some(),
+            "quorum formed by well-typed responses"
+        );
+    }
+}

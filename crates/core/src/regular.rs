@@ -1,0 +1,572 @@
+//! The two regular-register read variants of §III-C.
+//!
+//! The paper proves BSR is safe but **not** regular (Theorem 3: a reader
+//! can miss a completed write while concurrent writes are in flight) and
+//! sketches two fixes:
+//!
+//! 1. **BSR-H** ([`BsrHReadOp`]): the server sends "the entire history of
+//!    writes (`L`) instead of sending just the locally available `(t, v)`
+//!    pair". Still a one-shot read; the reader picks the largest pair with
+//!    `f + 1` witnesses across the received histories. Because every
+//!    correct server that acknowledged a completed write keeps the pair in
+//!    its history, at least `n − 3f ≥ f + 1` of any `n − f` responses
+//!    contain it, so the result is never staler than the last completed
+//!    write.
+//!
+//! 2. **BSR-2P** ([`Bsr2pReadOp`]): "we make the reads slow" — phase one
+//!    fetches a history of all tags, the reader picks the largest tag
+//!    verified by `≥ f + 1` servers, and phase two fetches the value
+//!    stored under that tag, completing on `f + 1` matching replies. This
+//!    implementation adds the fallback the sketch leaves implicit: if a
+//!    candidate tag (possibly promoted by Byzantine servers) fails to
+//!    gather `f + 1` matching values among `n − f` phase-two responses,
+//!    the reader retries with the next-lower candidate; the tag of the
+//!    latest completed write always succeeds, so the loop terminates.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use safereg_common::config::QuorumConfig;
+use safereg_common::ids::{ClientId, ReaderId, ServerId};
+use safereg_common::msg::{ClientToServer, Envelope, OpId, ServerToClient};
+use safereg_common::tag::Tag;
+use safereg_common::value::Value;
+
+use crate::op::{ClientOp, OpOutput};
+
+/// BSR-H: one-shot read over full histories (§III-C, first bullet).
+#[derive(Debug)]
+pub struct BsrHReadOp {
+    reader: ReaderId,
+    op: OpId,
+    cfg: QuorumConfig,
+    local: (Tag, Value),
+    /// First history per server, deduplicated into a set of pairs.
+    histories: BTreeMap<ServerId, BTreeSet<(Tag, Value)>>,
+    result: Option<OpOutput>,
+    rounds: u32,
+}
+
+impl BsrHReadOp {
+    /// Creates a history read carrying the reader's current local pair.
+    pub fn new(reader: ReaderId, seq: u64, cfg: QuorumConfig, local: (Tag, Value)) -> Self {
+        BsrHReadOp {
+            reader,
+            op: OpId::new(reader, seq),
+            cfg,
+            local,
+            histories: BTreeMap::new(),
+            result: None,
+            rounds: 0,
+        }
+    }
+
+    fn conclude(&mut self) {
+        // Witness counting over pairs, one vote per server regardless of
+        // how long (or how padded) its history is.
+        let mut witnesses: BTreeMap<&(Tag, Value), usize> = BTreeMap::new();
+        for history in self.histories.values() {
+            for pair in history {
+                *witnesses.entry(pair).or_insert(0) += 1;
+            }
+        }
+        let threshold = self.cfg.witness_threshold();
+        let best = witnesses
+            .iter()
+            .rev()
+            .find(|(_, count)| **count >= threshold)
+            .map(|(pair, _)| (*pair).clone());
+        let (tag, value) = match best {
+            Some((t, v)) if (t, &v) > (self.local.0, &self.local.1) => (t, v),
+            _ => self.local.clone(),
+        };
+        self.result = Some(OpOutput::Read { value, tag });
+    }
+}
+
+impl ClientOp for BsrHReadOp {
+    fn op_id(&self) -> OpId {
+        self.op
+    }
+
+    fn start(&mut self) -> Vec<Envelope> {
+        self.rounds = 1;
+        self.cfg
+            .servers()
+            .map(|sid| {
+                Envelope::to_server(
+                    ClientId::Reader(self.reader),
+                    sid,
+                    ClientToServer::QueryHistory {
+                        op: self.op,
+                        above: self.local.0,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn on_message(&mut self, from: ServerId, msg: &ServerToClient) -> Vec<Envelope> {
+        if self.result.is_some() || msg.op() != self.op {
+            return Vec::new();
+        }
+        if let ServerToClient::HistoryResp { entries, .. } = msg {
+            self.histories.entry(from).or_insert_with(|| {
+                entries
+                    .iter()
+                    .filter_map(|(t, p)| p.as_full().map(|v| (*t, v.clone())))
+                    .collect()
+            });
+            if self.histories.len() >= self.cfg.response_quorum() {
+                self.conclude();
+            }
+        }
+        Vec::new()
+    }
+
+    fn output(&self) -> Option<OpOutput> {
+        self.result.clone()
+    }
+
+    fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    fn is_write(&self) -> bool {
+        false
+    }
+}
+
+#[derive(Debug)]
+enum TwoPhase {
+    /// Phase 1: collecting tag lists.
+    TagList {
+        lists: BTreeMap<ServerId, BTreeSet<Tag>>,
+    },
+    /// Phase 2: fetching the value for `candidates[cursor]`.
+    Fetch {
+        candidates: Vec<Tag>,
+        cursor: usize,
+        responses: BTreeMap<ServerId, Option<Value>>,
+    },
+    Done,
+}
+
+/// BSR-2P: the two-phase (slow) regular read (§III-C, second bullet).
+#[derive(Debug)]
+pub struct Bsr2pReadOp {
+    reader: ReaderId,
+    op: OpId,
+    cfg: QuorumConfig,
+    local: (Tag, Value),
+    phase: TwoPhase,
+    result: Option<OpOutput>,
+    rounds: u32,
+}
+
+impl Bsr2pReadOp {
+    /// Creates a two-phase read carrying the reader's current local pair.
+    pub fn new(reader: ReaderId, seq: u64, cfg: QuorumConfig, local: (Tag, Value)) -> Self {
+        Bsr2pReadOp {
+            reader,
+            op: OpId::new(reader, seq),
+            cfg,
+            local,
+            phase: TwoPhase::TagList {
+                lists: BTreeMap::new(),
+            },
+            result: None,
+            rounds: 0,
+        }
+    }
+
+    fn client(&self) -> ClientId {
+        ClientId::Reader(self.reader)
+    }
+
+    fn fetch_envelopes(&self, tag: Tag) -> Vec<Envelope> {
+        self.cfg
+            .servers()
+            .map(|sid| {
+                Envelope::to_server(
+                    self.client(),
+                    sid,
+                    ClientToServer::QueryValueAt { op: self.op, tag },
+                )
+            })
+            .collect()
+    }
+
+    fn finish(&mut self, tag: Tag, value: Value) {
+        let (tag, value) = if (tag, &value) > (self.local.0, &self.local.1) {
+            (tag, value)
+        } else {
+            self.local.clone()
+        };
+        self.phase = TwoPhase::Done;
+        self.result = Some(OpOutput::Read { value, tag });
+    }
+
+    /// Moves to fetching `candidates[cursor]`, or gives up on the local
+    /// pair when the candidate list is exhausted.
+    fn advance(&mut self, candidates: Vec<Tag>, cursor: usize) -> Vec<Envelope> {
+        match candidates.get(cursor) {
+            Some(tag) => {
+                let tag = *tag;
+                self.phase = TwoPhase::Fetch {
+                    candidates,
+                    cursor,
+                    responses: BTreeMap::new(),
+                };
+                self.rounds += 1;
+                self.fetch_envelopes(tag)
+            }
+            None => {
+                let (tag, value) = self.local.clone();
+                self.phase = TwoPhase::Done;
+                self.result = Some(OpOutput::Read { value, tag });
+                Vec::new()
+            }
+        }
+    }
+}
+
+impl ClientOp for Bsr2pReadOp {
+    fn op_id(&self) -> OpId {
+        self.op
+    }
+
+    fn start(&mut self) -> Vec<Envelope> {
+        self.rounds = 1;
+        self.cfg
+            .servers()
+            .map(|sid| {
+                Envelope::to_server(
+                    self.client(),
+                    sid,
+                    ClientToServer::QueryTagList { op: self.op },
+                )
+            })
+            .collect()
+    }
+
+    fn on_message(&mut self, from: ServerId, msg: &ServerToClient) -> Vec<Envelope> {
+        if self.result.is_some() || msg.op() != self.op {
+            return Vec::new();
+        }
+        enum Action {
+            None,
+            Advance { candidates: Vec<Tag>, cursor: usize },
+            Finish { tag: Tag, value: Value },
+        }
+        let quorum = self.cfg.response_quorum();
+        let threshold = self.cfg.witness_threshold();
+        let action = match (&mut self.phase, msg) {
+            (TwoPhase::TagList { lists }, ServerToClient::TagListResp { tags, .. }) => {
+                lists
+                    .entry(from)
+                    .or_insert_with(|| tags.iter().copied().collect());
+                if lists.len() >= quorum {
+                    // Candidates: tags vouched for by ≥ f + 1 servers,
+                    // tried from the highest down.
+                    let mut witnesses: BTreeMap<Tag, usize> = BTreeMap::new();
+                    for list in lists.values() {
+                        for t in list {
+                            *witnesses.entry(*t).or_insert(0) += 1;
+                        }
+                    }
+                    let candidates: Vec<Tag> = witnesses
+                        .iter()
+                        .rev()
+                        .filter(|(_, c)| **c >= threshold)
+                        .map(|(t, _)| *t)
+                        .collect();
+                    Action::Advance {
+                        candidates,
+                        cursor: 0,
+                    }
+                } else {
+                    Action::None
+                }
+            }
+            (
+                TwoPhase::Fetch {
+                    candidates,
+                    cursor,
+                    responses,
+                },
+                ServerToClient::ValueAtResp { tag, payload, .. },
+            ) => {
+                let want = candidates[*cursor];
+                if *tag != want {
+                    Action::None // straggler from a previous candidate
+                } else {
+                    responses
+                        .entry(from)
+                        .or_insert_with(|| payload.as_ref().and_then(|p| p.as_full().cloned()));
+                    if responses.len() >= quorum {
+                        // f + 1 matching values validate the candidate.
+                        let mut counts: BTreeMap<&Value, usize> = BTreeMap::new();
+                        for v in responses.values().flatten() {
+                            *counts.entry(v).or_insert(0) += 1;
+                        }
+                        let winner = counts
+                            .into_iter()
+                            .find(|(_, c)| *c >= threshold)
+                            .map(|(v, _)| v.clone());
+                        match winner {
+                            Some(value) => Action::Finish { tag: want, value },
+                            None => {
+                                // Candidate failed (Byzantine-promoted or an
+                                // incomplete write): try the next one.
+                                Action::Advance {
+                                    candidates: std::mem::take(candidates),
+                                    cursor: *cursor + 1,
+                                }
+                            }
+                        }
+                    } else {
+                        Action::None
+                    }
+                }
+            }
+            _ => Action::None,
+        };
+        match action {
+            Action::None => Vec::new(),
+            Action::Advance { candidates, cursor } => self.advance(candidates, cursor),
+            Action::Finish { tag, value } => {
+                self.finish(tag, value);
+                Vec::new()
+            }
+        }
+    }
+
+    fn output(&self) -> Option<OpOutput> {
+        self.result.clone()
+    }
+
+    fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    fn is_write(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safereg_common::ids::WriterId;
+    use safereg_common::msg::Payload;
+
+    fn cfg() -> QuorumConfig {
+        QuorumConfig::minimal_bsr(1).unwrap() // n = 5, f = 1
+    }
+
+    fn t(num: u64, w: u16) -> Tag {
+        Tag::new(num, WriterId(w))
+    }
+
+    fn hist_resp(op: OpId, pairs: &[(Tag, &str)]) -> ServerToClient {
+        ServerToClient::HistoryResp {
+            op,
+            entries: pairs
+                .iter()
+                .map(|(tag, v)| (*tag, Payload::Full(Value::from(*v))))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn history_read_recovers_buried_completed_write() {
+        // The Theorem 3 schedule: each server's *latest* pair differs, but
+        // the completed write (1, w1) is in every correct history.
+        let mut op = BsrHReadOp::new(ReaderId(0), 1, cfg(), (Tag::ZERO, Value::initial()));
+        assert_eq!(op.start().len(), 5);
+        let id = op.op_id();
+        op.on_message(
+            ServerId(1),
+            &hist_resp(id, &[(Tag::ZERO, ""), (t(1, 1), "v1"), (t(2, 2), "v2")]),
+        );
+        op.on_message(
+            ServerId(2),
+            &hist_resp(id, &[(Tag::ZERO, ""), (t(1, 1), "v1"), (t(2, 3), "v3")]),
+        );
+        op.on_message(
+            ServerId(3),
+            &hist_resp(id, &[(Tag::ZERO, ""), (t(1, 1), "v1"), (t(2, 4), "v4")]),
+        );
+        op.on_message(
+            ServerId(4),
+            &hist_resp(id, &[(Tag::ZERO, ""), (t(1, 1), "v1"), (t(2, 5), "v5")]),
+        );
+        let out = op.output().unwrap();
+        assert_eq!(out.tag(), t(1, 1));
+        assert_eq!(out.read_value().unwrap().as_bytes(), b"v1");
+        assert_eq!(op.rounds(), 1, "BSR-H stays one-shot");
+    }
+
+    #[test]
+    fn warm_history_read_queries_only_the_delta() {
+        use safereg_common::msg::{ClientToServer, Message};
+        // A reader whose local pair is already at (3, w1) asks servers only
+        // for newer entries.
+        let local = (t(3, 1), Value::from("cached"));
+        let mut op = BsrHReadOp::new(ReaderId(0), 2, cfg(), local.clone());
+        let sent = op.start();
+        for env in &sent {
+            match &env.msg {
+                Message::ToServer(ClientToServer::QueryHistory { above, .. }) => {
+                    assert_eq!(*above, t(3, 1));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Empty delta histories: the read returns the local pair.
+        let id = op.op_id();
+        for i in 0..4u16 {
+            op.on_message(ServerId(i), &hist_resp(id, &[]));
+        }
+        let out = op.output().unwrap();
+        assert_eq!(out.tag(), t(3, 1));
+        assert_eq!(out.read_value().unwrap().as_bytes(), b"cached");
+    }
+
+    #[test]
+    fn history_read_ignores_padded_byzantine_history() {
+        // A Byzantine server repeats a pair many times in its history; it
+        // still counts as one witness.
+        let mut op = BsrHReadOp::new(ReaderId(0), 1, cfg(), (Tag::ZERO, Value::initial()));
+        op.start();
+        let id = op.op_id();
+        let fake = [
+            (t(9, 9), "forged"),
+            (t(9, 9), "forged"),
+            (t(9, 9), "forged"),
+        ];
+        op.on_message(ServerId(0), &hist_resp(id, &fake));
+        op.on_message(
+            ServerId(1),
+            &hist_resp(id, &[(Tag::ZERO, ""), (t(1, 1), "real")]),
+        );
+        op.on_message(
+            ServerId(2),
+            &hist_resp(id, &[(Tag::ZERO, ""), (t(1, 1), "real")]),
+        );
+        op.on_message(
+            ServerId(3),
+            &hist_resp(id, &[(Tag::ZERO, ""), (t(1, 1), "real")]),
+        );
+        let out = op.output().unwrap();
+        assert_eq!(out.read_value().unwrap().as_bytes(), b"real");
+    }
+
+    fn tag_list(op: OpId, tags: &[Tag]) -> ServerToClient {
+        ServerToClient::TagListResp {
+            op,
+            tags: tags.to_vec(),
+        }
+    }
+
+    fn value_at(op: OpId, tag: Tag, v: Option<&str>) -> ServerToClient {
+        ServerToClient::ValueAtResp {
+            op,
+            tag,
+            payload: v.map(|s| Payload::Full(Value::from(s))),
+        }
+    }
+
+    #[test]
+    fn two_phase_read_happy_path() {
+        let mut op = Bsr2pReadOp::new(ReaderId(0), 1, cfg(), (Tag::ZERO, Value::initial()));
+        assert_eq!(op.start().len(), 5);
+        let id = op.op_id();
+
+        // Phase 1: all honest servers vouch for (1, w1).
+        for i in 0..3u16 {
+            assert!(op
+                .on_message(ServerId(i), &tag_list(id, &[Tag::ZERO, t(1, 1)]))
+                .is_empty());
+        }
+        let fetch = op.on_message(ServerId(3), &tag_list(id, &[Tag::ZERO, t(1, 1)]));
+        assert_eq!(fetch.len(), 5, "phase 2 queries all servers");
+
+        // Phase 2: f + 1 matching values complete the read.
+        op.on_message(ServerId(0), &value_at(id, t(1, 1), Some("v1")));
+        op.on_message(ServerId(1), &value_at(id, t(1, 1), Some("v1")));
+        op.on_message(ServerId(2), &value_at(id, t(1, 1), Some("v1")));
+        op.on_message(ServerId(3), &value_at(id, t(1, 1), Some("v1")));
+        let out = op.output().unwrap();
+        assert_eq!(out.read_value().unwrap().as_bytes(), b"v1");
+        assert_eq!(op.rounds(), 2);
+    }
+
+    #[test]
+    fn two_phase_falls_back_past_byzantine_candidate() {
+        let mut op = Bsr2pReadOp::new(ReaderId(0), 1, cfg(), (Tag::ZERO, Value::initial()));
+        op.start();
+        let id = op.op_id();
+
+        // Byzantine server 0 vouches for a bogus high tag; one slow honest
+        // server happens to echo it too (it stores an incomplete write), so
+        // the bogus tag reaches f + 1 witnesses and becomes a candidate.
+        op.on_message(ServerId(0), &tag_list(id, &[t(9, 9), t(1, 1), Tag::ZERO]));
+        op.on_message(ServerId(1), &tag_list(id, &[t(9, 9), t(1, 1), Tag::ZERO]));
+        op.on_message(ServerId(2), &tag_list(id, &[t(1, 1), Tag::ZERO]));
+        let fetch = op.on_message(ServerId(3), &tag_list(id, &[t(1, 1), Tag::ZERO]));
+        assert_eq!(fetch.len(), 5, "first candidate is (9, w9)");
+
+        // Phase 2 for (9, w9): only 2 servers produce a value and they
+        // disagree → no f+1 match → fall to (1, w1).
+        op.on_message(ServerId(0), &value_at(id, t(9, 9), Some("evil")));
+        op.on_message(ServerId(1), &value_at(id, t(9, 9), Some("other")));
+        op.on_message(ServerId(2), &value_at(id, t(9, 9), None));
+        let refetch = op.on_message(ServerId(3), &value_at(id, t(9, 9), None));
+        assert_eq!(refetch.len(), 5, "retry with next candidate");
+
+        for i in 0..4u16 {
+            op.on_message(ServerId(i), &value_at(id, t(1, 1), Some("v1")));
+        }
+        let out = op.output().unwrap();
+        assert_eq!(out.tag(), t(1, 1));
+        assert_eq!(out.read_value().unwrap().as_bytes(), b"v1");
+        assert_eq!(op.rounds(), 3, "one extra round for the failed candidate");
+    }
+
+    #[test]
+    fn two_phase_exhausted_candidates_return_local() {
+        let local = (t(2, 2), Value::from("mine"));
+        let mut op = Bsr2pReadOp::new(ReaderId(0), 1, cfg(), local);
+        op.start();
+        let id = op.op_id();
+        // Histories agree only on t0.
+        for i in 0..4u16 {
+            op.on_message(ServerId(i), &tag_list(id, &[Tag::ZERO]));
+        }
+        // Candidate t0: v0 matches everywhere, but local (2, w2) is newer.
+        for i in 0..4u16 {
+            op.on_message(ServerId(i), &value_at(id, Tag::ZERO, Some("")));
+        }
+        let out = op.output().unwrap();
+        assert_eq!(out.tag(), t(2, 2));
+        assert_eq!(out.read_value().unwrap().as_bytes(), b"mine");
+    }
+
+    #[test]
+    fn straggler_value_responses_are_ignored() {
+        let mut op = Bsr2pReadOp::new(ReaderId(0), 1, cfg(), (Tag::ZERO, Value::initial()));
+        op.start();
+        let id = op.op_id();
+        for i in 0..4u16 {
+            op.on_message(ServerId(i), &tag_list(id, &[Tag::ZERO, t(1, 1)]));
+        }
+        // Responses tagged for a different candidate are dropped.
+        for i in 0..4u16 {
+            assert!(op
+                .on_message(ServerId(i), &value_at(id, t(7, 7), Some("stale")))
+                .is_empty());
+        }
+        assert!(op.output().is_none());
+    }
+}

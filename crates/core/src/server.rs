@@ -1,0 +1,446 @@
+//! The server of Fig. 3 (BSR) and Fig. 6 (BCSR).
+//!
+//! One implementation serves every protocol in the workspace because the
+//! server never interprets payloads: it keeps the list `L ⊆ T × V` of
+//! `(tag, payload)` pairs, answers `QUERY-TAG` with `max L`, stores
+//! `PUT-DATA` pairs, acknowledges, and answers the various read queries.
+//!
+//! ## History retention
+//!
+//! Fig. 3 line 5 stores an incoming pair only "if `t_in` is higher than the
+//! locally available tag". For BSR this is equivalent to storing every pair
+//! (the maximum of `L` evolves identically), but for the regular-register
+//! variants of §III-C it is **not**: a correct server that already holds a
+//! higher tag would drop the pair, and an adversarial schedule can then
+//! leave a completed write visible in fewer than `f + 1` histories,
+//! breaking the variants' freshness. [`ServerNode`] therefore retains every
+//! received pair by default ([`HistoryRetention::All`]); the paper-literal
+//! behaviour is available as [`HistoryRetention::MaxOnly`] and the harness's
+//! ablation A4 demonstrates the difference.
+
+use std::collections::BTreeMap;
+
+use safereg_common::config::QuorumConfig;
+use safereg_common::ids::{ClientId, ServerId};
+use safereg_common::msg::{ClientToServer, Payload, ServerToClient};
+use safereg_common::tag::Tag;
+use safereg_common::value::Value;
+
+/// How much of the write history a server keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HistoryRetention {
+    /// Keep every received `(tag, payload)` pair (default; required by the
+    /// §III-C regular-register variants).
+    #[default]
+    All,
+    /// Keep a pair only when its tag exceeds the current maximum — the
+    /// literal reading of Fig. 3 line 5. Sufficient for BSR/BCSR safety,
+    /// insufficient for the regular variants (ablation A4).
+    MaxOnly,
+    /// Keep at most this many pairs, evicting the smallest tags first.
+    /// Bounds memory; keeps the variants fresh as long as the window covers
+    /// concurrent writes.
+    Window(usize),
+}
+
+/// A correct server replica.
+///
+/// State is exactly Fig. 3 / Fig. 6: the list `L`, initialised with
+/// `(t_0, v_0)` (or `(t_0, c_0^s)` for coded deployments).
+#[derive(Debug, Clone)]
+pub struct ServerNode {
+    id: ServerId,
+    cfg: QuorumConfig,
+    log: BTreeMap<Tag, Payload>,
+    retention: HistoryRetention,
+}
+
+impl ServerNode {
+    /// Creates a replicated-register server holding `(t_0, v_0)` (Fig. 3).
+    pub fn new_replicated(id: ServerId, cfg: QuorumConfig) -> Self {
+        ServerNode::with_initial(id, cfg, Payload::Full(Value::initial()))
+    }
+
+    /// Creates a server with an explicit initial payload — used by BCSR
+    /// deployments where server `s` starts with its coded element `c_0^s`
+    /// (Fig. 6 state variables).
+    pub fn with_initial(id: ServerId, cfg: QuorumConfig, initial: Payload) -> Self {
+        let mut log = BTreeMap::new();
+        log.insert(Tag::ZERO, initial);
+        ServerNode {
+            id,
+            cfg,
+            log,
+            retention: HistoryRetention::All,
+        }
+    }
+
+    /// Sets the history-retention policy (builder style).
+    #[must_use]
+    pub fn with_retention(mut self, retention: HistoryRetention) -> Self {
+        self.retention = retention;
+        self
+    }
+
+    /// This server's identifier.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// The system configuration the server was deployed with.
+    pub fn config(&self) -> &QuorumConfig {
+        &self.cfg
+    }
+
+    /// The highest tag in `L`.
+    pub fn max_tag(&self) -> Tag {
+        *self
+            .log
+            .keys()
+            .next_back()
+            .expect("log always holds (t0, v0)")
+    }
+
+    /// Number of `(tag, payload)` pairs currently stored.
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// The payload stored under `tag`, if present.
+    pub fn stored(&self, tag: &Tag) -> Option<&Payload> {
+        self.log.get(tag)
+    }
+
+    /// Total payload bytes stored (the storage-cost metric of §I-C).
+    pub fn storage_bytes(&self) -> usize {
+        self.log.values().map(Payload::payload_bytes).sum()
+    }
+
+    /// Handles one client message, returning the responses to send back to
+    /// `from`.
+    ///
+    /// `QueryDataSub`/`ReadComplete` belong to the RB baseline's relay
+    /// servers and yield no response here.
+    pub fn handle(&mut self, from: ClientId, msg: &ClientToServer) -> Vec<ServerToClient> {
+        let _ = from;
+        match msg {
+            // get-tag-resp (Fig. 3 line 2): send max{t : (t, *) ∈ L}.
+            ClientToServer::QueryTag { op } => {
+                vec![ServerToClient::TagResp {
+                    op: *op,
+                    tag: self.max_tag(),
+                }]
+            }
+            // put-data-resp (Fig. 3 line 4): store, then always ack — the
+            // ack must not depend on storing or writes lose liveness.
+            ClientToServer::PutData { op, tag, payload } => {
+                self.store(*tag, payload.clone());
+                vec![ServerToClient::PutAck { op: *op, tag: *tag }]
+            }
+            // get-data-resp (Fig. 3 line 8): send the pair with the highest
+            // local tag.
+            ClientToServer::QueryData { op } => {
+                let (tag, payload) = self
+                    .log
+                    .iter()
+                    .next_back()
+                    .expect("log always holds (t0, v0)");
+                vec![ServerToClient::DataResp {
+                    op: *op,
+                    tag: *tag,
+                    payload: payload.clone(),
+                }]
+            }
+            // §III-C variant 1: send the history of writes — only the
+            // delta above the reader's local tag (everything at or below
+            // it is already covered by the reader's monotone cache).
+            ClientToServer::QueryHistory { op, above } => {
+                let entries: Vec<(Tag, Payload)> = self
+                    .log
+                    .range((
+                        std::ops::Bound::Excluded(*above),
+                        std::ops::Bound::Unbounded,
+                    ))
+                    .map(|(t, p)| (*t, p.clone()))
+                    .collect();
+                vec![ServerToClient::HistoryResp { op: *op, entries }]
+            }
+            // §III-C variant 2 phase 1: a history of all the tags.
+            ClientToServer::QueryTagList { op } => {
+                vec![ServerToClient::TagListResp {
+                    op: *op,
+                    tags: self.log.keys().copied().collect(),
+                }]
+            }
+            // §III-C variant 2 phase 2: the write corresponding to tag t.
+            ClientToServer::QueryValueAt { op, tag } => {
+                vec![ServerToClient::ValueAtResp {
+                    op: *op,
+                    tag: *tag,
+                    payload: self.log.get(tag).cloned(),
+                }]
+            }
+            // RB-baseline subscription messages are not part of the paper's
+            // server; the baseline has its own server type.
+            ClientToServer::QueryDataSub { .. } | ClientToServer::ReadComplete { .. } => Vec::new(),
+        }
+    }
+
+    fn store(&mut self, tag: Tag, payload: Payload) {
+        match self.retention {
+            HistoryRetention::All => {
+                self.log.entry(tag).or_insert(payload);
+            }
+            HistoryRetention::MaxOnly => {
+                if tag > self.max_tag() {
+                    self.log.insert(tag, payload);
+                }
+            }
+            HistoryRetention::Window(cap) => {
+                self.log.entry(tag).or_insert(payload);
+                while self.log.len() > cap.max(1) {
+                    let smallest = *self.log.keys().next().expect("non-empty");
+                    self.log.remove(&smallest);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safereg_common::ids::{ReaderId, WriterId};
+    use safereg_common::msg::OpId;
+
+    fn cfg() -> QuorumConfig {
+        QuorumConfig::minimal_bsr(1).unwrap()
+    }
+
+    fn server() -> ServerNode {
+        ServerNode::new_replicated(ServerId(0), cfg())
+    }
+
+    fn wop(seq: u64) -> OpId {
+        OpId::new(WriterId(1), seq)
+    }
+
+    fn rop(seq: u64) -> OpId {
+        OpId::new(ReaderId(1), seq)
+    }
+
+    fn put(s: &mut ServerNode, seq: u64, num: u64, writer: u16, val: &str) -> Vec<ServerToClient> {
+        s.handle(
+            ClientId::Writer(WriterId(writer)),
+            &ClientToServer::PutData {
+                op: OpId::new(WriterId(writer), seq),
+                tag: Tag::new(num, WriterId(writer)),
+                payload: Payload::Full(Value::from(val)),
+            },
+        )
+    }
+
+    #[test]
+    fn initial_state_answers_t0_v0() {
+        let mut s = server();
+        let resp = s.handle(
+            ClientId::Reader(ReaderId(1)),
+            &ClientToServer::QueryData { op: rop(1) },
+        );
+        assert_eq!(
+            resp,
+            vec![ServerToClient::DataResp {
+                op: rop(1),
+                tag: Tag::ZERO,
+                payload: Payload::Full(Value::initial())
+            }]
+        );
+        assert_eq!(s.max_tag(), Tag::ZERO);
+    }
+
+    #[test]
+    fn put_data_stores_and_always_acks() {
+        let mut s = server();
+        assert_eq!(
+            put(&mut s, 1, 5, 1, "v5"),
+            vec![ServerToClient::PutAck {
+                op: wop(1),
+                tag: Tag::new(5, WriterId(1))
+            }]
+        );
+        // A lower tag still acks (liveness) and, under All retention, is
+        // kept in the history.
+        assert_eq!(
+            put(&mut s, 2, 3, 2, "v3"),
+            vec![ServerToClient::PutAck {
+                op: OpId::new(WriterId(2), 2),
+                tag: Tag::new(3, WriterId(2))
+            }]
+        );
+        assert_eq!(s.max_tag(), Tag::new(5, WriterId(1)));
+        assert_eq!(s.log_len(), 3); // t0 + two writes
+    }
+
+    #[test]
+    fn query_data_returns_highest_pair() {
+        let mut s = server();
+        put(&mut s, 1, 1, 1, "a");
+        put(&mut s, 2, 2, 1, "b");
+        put(&mut s, 3, 1, 2, "c"); // lower than (2, w1)
+        let resp = s.handle(
+            ClientId::Reader(ReaderId(0)),
+            &ClientToServer::QueryData { op: rop(9) },
+        );
+        match &resp[0] {
+            ServerToClient::DataResp { tag, payload, .. } => {
+                assert_eq!(*tag, Tag::new(2, WriterId(1)));
+                assert_eq!(payload.as_full().unwrap().as_bytes(), b"b");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_tag_reports_maximum() {
+        let mut s = server();
+        put(&mut s, 1, 7, 1, "x");
+        let resp = s.handle(
+            ClientId::Writer(WriterId(2)),
+            &ClientToServer::QueryTag { op: wop(4) },
+        );
+        assert_eq!(
+            resp,
+            vec![ServerToClient::TagResp {
+                op: wop(4),
+                tag: Tag::new(7, WriterId(1))
+            }]
+        );
+    }
+
+    #[test]
+    fn history_and_tag_list_are_ascending() {
+        let mut s = server();
+        put(&mut s, 1, 2, 1, "b");
+        put(&mut s, 2, 1, 1, "a");
+        let hist = s.handle(
+            ClientId::Reader(ReaderId(0)),
+            &ClientToServer::QueryHistory {
+                op: rop(1),
+                above: Tag::ZERO,
+            },
+        );
+        match &hist[0] {
+            ServerToClient::HistoryResp { entries, .. } => {
+                let tags: Vec<Tag> = entries.iter().map(|(t, _)| *t).collect();
+                // The delta query excludes everything at or below `above`
+                // (here Tag::ZERO, so the initial pair is omitted).
+                assert_eq!(
+                    tags,
+                    vec![Tag::new(1, WriterId(1)), Tag::new(2, WriterId(1))]
+                );
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        let list = s.handle(
+            ClientId::Reader(ReaderId(0)),
+            &ClientToServer::QueryTagList { op: rop(2) },
+        );
+        match &list[0] {
+            ServerToClient::TagListResp { tags, .. } => assert_eq!(tags.len(), 3),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn value_at_returns_exact_entry_or_none() {
+        let mut s = server();
+        put(&mut s, 1, 4, 1, "val4");
+        let hit = s.handle(
+            ClientId::Reader(ReaderId(0)),
+            &ClientToServer::QueryValueAt {
+                op: rop(1),
+                tag: Tag::new(4, WriterId(1)),
+            },
+        );
+        match &hit[0] {
+            ServerToClient::ValueAtResp {
+                payload: Some(p), ..
+            } => {
+                assert_eq!(p.as_full().unwrap().as_bytes(), b"val4");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        let miss = s.handle(
+            ClientId::Reader(ReaderId(0)),
+            &ClientToServer::QueryValueAt {
+                op: rop(2),
+                tag: Tag::new(9, WriterId(9)),
+            },
+        );
+        assert!(matches!(
+            &miss[0],
+            ServerToClient::ValueAtResp { payload: None, .. }
+        ));
+    }
+
+    #[test]
+    fn max_only_retention_drops_lower_tags() {
+        let mut s = server().with_retention(HistoryRetention::MaxOnly);
+        put(&mut s, 1, 5, 1, "high");
+        put(&mut s, 2, 3, 2, "low");
+        assert_eq!(s.log_len(), 2); // t0 + high; low dropped
+        assert!(s.stored(&Tag::new(3, WriterId(2))).is_none());
+        assert_eq!(s.max_tag(), Tag::new(5, WriterId(1)));
+    }
+
+    #[test]
+    fn windowed_retention_evicts_smallest() {
+        let mut s = server().with_retention(HistoryRetention::Window(2));
+        put(&mut s, 1, 1, 1, "a");
+        put(&mut s, 2, 2, 1, "b");
+        put(&mut s, 3, 3, 1, "c");
+        assert_eq!(s.log_len(), 2);
+        assert!(s.stored(&Tag::ZERO).is_none());
+        assert_eq!(s.max_tag(), Tag::new(3, WriterId(1)));
+    }
+
+    #[test]
+    fn duplicate_tag_keeps_first_payload() {
+        let mut s = server();
+        put(&mut s, 1, 1, 1, "original");
+        put(&mut s, 2, 1, 1, "impostor");
+        assert_eq!(
+            s.stored(&Tag::new(1, WriterId(1)))
+                .unwrap()
+                .as_full()
+                .unwrap()
+                .as_bytes(),
+            b"original"
+        );
+    }
+
+    #[test]
+    fn storage_bytes_sums_payloads() {
+        let mut s = server();
+        put(&mut s, 1, 1, 1, "abcd");
+        put(&mut s, 2, 2, 1, "efgh");
+        assert_eq!(s.storage_bytes(), 8); // v0 is empty
+    }
+
+    #[test]
+    fn baseline_messages_are_ignored() {
+        let mut s = server();
+        assert!(s
+            .handle(
+                ClientId::Reader(ReaderId(0)),
+                &ClientToServer::QueryDataSub { op: rop(1) }
+            )
+            .is_empty());
+        assert!(s
+            .handle(
+                ClientId::Reader(ReaderId(0)),
+                &ClientToServer::ReadComplete { op: rop(1) }
+            )
+            .is_empty());
+    }
+}

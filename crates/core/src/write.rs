@@ -1,0 +1,436 @@
+//! The two-phase write of Fig. 1 (BSR) and Fig. 4 (BCSR).
+//!
+//! Phase `get-tag`: query all servers, wait for `n − f` responses, select
+//! the `(f+1)`-th highest tag (discarding up to `f` Byzantine-inflated
+//! tags). Phase `put-data`: increment the tag's number, send the payload —
+//! the full value to every server for BSR, coded element `c_i = Φ_i(v)` to
+//! server `i` for BCSR — and wait for `n − f` acknowledgements.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use safereg_common::config::QuorumConfig;
+use safereg_common::ids::{ClientId, ServerId, WriterId};
+use safereg_common::msg::{ClientToServer, CodedElement, Envelope, OpId, Payload, ServerToClient};
+use safereg_common::tag::{select_f1_highest, Tag};
+use safereg_common::value::Value;
+use safereg_mds::rs::ReedSolomon;
+use safereg_mds::stripe::encode_value;
+
+use crate::op::{ClientOp, OpOutput};
+
+/// What the write stores at each server.
+#[derive(Debug, Clone)]
+enum WriteKind {
+    /// The same full value to every server (BSR).
+    Replicated(Value),
+    /// Element `i` to server `i` (BCSR); `elements.len() == n`.
+    Coded(Vec<CodedElement>),
+}
+
+/// How the `get-tag` phase picks its base tag.
+///
+/// The paper's rule is [`TagSelection::Robust`]; [`TagSelection::Max`]
+/// exists only for ablation A2, which demonstrates that taking the maximum
+/// lets a single Byzantine server inflate the register's tag space
+/// unboundedly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TagSelection {
+    /// The `(f+1)`-th highest collected tag (Fig. 1 line 4).
+    #[default]
+    Robust,
+    /// The maximum collected tag — vulnerable to tag inflation (A2).
+    Max,
+}
+
+#[derive(Debug)]
+enum Phase {
+    GetTag { tags: BTreeMap<ServerId, Tag> },
+    PutData { tag: Tag, acks: BTreeSet<ServerId> },
+    Done { tag: Tag },
+}
+
+/// A write operation (Fig. 1 / Fig. 4), usable for BSR and BCSR.
+///
+/// # Examples
+///
+/// ```
+/// use safereg_common::{config::QuorumConfig, ids::WriterId, value::Value};
+/// use safereg_core::{op::ClientOp, write::WriteOp};
+///
+/// let cfg = QuorumConfig::minimal_bsr(1)?;
+/// let mut op = WriteOp::replicated(WriterId(0), 1, cfg, Value::from("v"));
+/// let first = op.start();
+/// assert_eq!(first.len(), cfg.n()); // QUERY-TAG to every server
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct WriteOp {
+    writer: WriterId,
+    op: OpId,
+    cfg: QuorumConfig,
+    kind: WriteKind,
+    phase: Phase,
+    rounds: u32,
+    selection: TagSelection,
+    /// Servers the `put-data` phase contacts (ablation A5; default `n`).
+    fanout: usize,
+}
+
+impl WriteOp {
+    /// Creates a replicated write (BSR, Fig. 1).
+    pub fn replicated(writer: WriterId, seq: u64, cfg: QuorumConfig, value: Value) -> Self {
+        WriteOp {
+            writer,
+            op: OpId::new(writer, seq),
+            cfg,
+            kind: WriteKind::Replicated(value),
+            phase: Phase::GetTag {
+                tags: BTreeMap::new(),
+            },
+            rounds: 0,
+            selection: TagSelection::Robust,
+            fanout: cfg.n(),
+        }
+    }
+
+    /// Overrides the tag-selection rule (ablation A2 only — the default is
+    /// the paper's robust rule).
+    #[must_use]
+    pub fn with_tag_selection(mut self, selection: TagSelection) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// Restricts the `put-data` fan-out to the first `m` servers, waiting
+    /// for `m − f` acknowledgements (ablation A5 only — the paper's write
+    /// contacts all `n` servers; Lemma 7 proves `m ≥ 3f` is necessary and
+    /// the ablation shows `m < n` already costs safety or liveness).
+    #[must_use]
+    pub fn with_fanout(mut self, m: usize) -> Self {
+        self.fanout = m.clamp(1, self.cfg.n());
+        self
+    }
+
+    /// Creates an erasure-coded write (BCSR, Fig. 4): the value is encoded
+    /// up front into `n` coded elements with the given `[n, k]` code.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `code.n() != cfg.n()` — a deployment wiring bug.
+    pub fn coded(
+        writer: WriterId,
+        seq: u64,
+        cfg: QuorumConfig,
+        code: &ReedSolomon,
+        value: &Value,
+    ) -> Self {
+        assert_eq!(code.n(), cfg.n(), "code length must equal the server count");
+        WriteOp {
+            writer,
+            op: OpId::new(writer, seq),
+            cfg,
+            kind: WriteKind::Coded(encode_value(code, value)),
+            phase: Phase::GetTag {
+                tags: BTreeMap::new(),
+            },
+            rounds: 0,
+            selection: TagSelection::Robust,
+            fanout: cfg.n(),
+        }
+    }
+
+    fn client(&self) -> ClientId {
+        ClientId::Writer(self.writer)
+    }
+
+    fn put_data_envelopes(&self, tag: Tag) -> Vec<Envelope> {
+        self.cfg
+            .servers()
+            .take(self.fanout)
+            .map(|sid| {
+                let payload = match &self.kind {
+                    WriteKind::Replicated(v) => Payload::Full(v.clone()),
+                    WriteKind::Coded(elements) => Payload::Coded(elements[sid.0 as usize].clone()),
+                };
+                Envelope::to_server(
+                    self.client(),
+                    sid,
+                    ClientToServer::PutData {
+                        op: self.op,
+                        tag,
+                        payload,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// The tag this write installed, once `put-data` began.
+    pub fn tag(&self) -> Option<Tag> {
+        match &self.phase {
+            Phase::GetTag { .. } => None,
+            Phase::PutData { tag, .. } | Phase::Done { tag } => Some(*tag),
+        }
+    }
+}
+
+impl ClientOp for WriteOp {
+    fn op_id(&self) -> OpId {
+        self.op
+    }
+
+    fn start(&mut self) -> Vec<Envelope> {
+        self.rounds = 1;
+        self.cfg
+            .servers()
+            .map(|sid| {
+                Envelope::to_server(self.client(), sid, ClientToServer::QueryTag { op: self.op })
+            })
+            .collect()
+    }
+
+    fn on_message(&mut self, from: ServerId, msg: &ServerToClient) -> Vec<Envelope> {
+        if msg.op() != self.op {
+            return Vec::new();
+        }
+        match (&mut self.phase, msg) {
+            (Phase::GetTag { tags }, ServerToClient::TagResp { tag, .. }) => {
+                // First response per server counts; Byzantine repeats are
+                // ignored.
+                tags.entry(from).or_insert(*tag);
+                if tags.len() >= self.cfg.response_quorum() {
+                    // Fig. 1 line 4: the (f+1)-th highest tag, then line 6:
+                    // (t.num + 1, w).
+                    let collected: Vec<Tag> = tags.values().copied().collect();
+                    let base = match self.selection {
+                        TagSelection::Robust => select_f1_highest(&collected, self.cfg.f()),
+                        TagSelection::Max => collected.iter().copied().max().unwrap_or(Tag::ZERO),
+                    };
+                    let tag = base.next_for(self.writer);
+                    self.phase = Phase::PutData {
+                        tag,
+                        acks: BTreeSet::new(),
+                    };
+                    self.rounds += 1;
+                    return self.put_data_envelopes(tag);
+                }
+                Vec::new()
+            }
+            (Phase::PutData { tag, acks }, ServerToClient::PutAck { tag: acked, .. }) => {
+                if acked == tag {
+                    acks.insert(from);
+                    // The paper's threshold is n − f; a reduced fan-out
+                    // (ablation A5) waits for m − f of its m targets.
+                    let needed = self
+                        .cfg
+                        .response_quorum()
+                        .min(self.fanout.saturating_sub(self.cfg.f()).max(1));
+                    if acks.len() >= needed {
+                        self.phase = Phase::Done { tag: *tag };
+                    }
+                }
+                Vec::new()
+            }
+            // Stragglers from a superseded phase or foreign messages.
+            _ => Vec::new(),
+        }
+    }
+
+    fn output(&self) -> Option<OpOutput> {
+        match &self.phase {
+            Phase::Done { tag } => Some(OpOutput::Written { tag: *tag }),
+            _ => None,
+        }
+    }
+
+    fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    fn is_write(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safereg_common::msg::Message;
+
+    fn cfg() -> QuorumConfig {
+        QuorumConfig::minimal_bsr(1).unwrap() // n = 5, f = 1
+    }
+
+    fn tag_resp(op: OpId, tag: Tag) -> ServerToClient {
+        ServerToClient::TagResp { op, tag }
+    }
+
+    #[test]
+    fn two_phases_and_completion() {
+        let cfg = cfg();
+        let mut op = WriteOp::replicated(WriterId(3), 1, cfg, Value::from("hello"));
+        let queries = op.start();
+        assert_eq!(queries.len(), 5);
+        assert!(queries
+            .iter()
+            .all(|e| matches!(&e.msg, Message::ToServer(ClientToServer::QueryTag { .. }))));
+
+        // n − f = 4 tag responses trigger put-data.
+        let mut puts = Vec::new();
+        for i in 0..4u16 {
+            puts = op.on_message(ServerId(i), &tag_resp(op.op_id(), Tag::ZERO));
+            if !puts.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(puts.len(), 5, "put-data goes to all servers");
+        assert_eq!(op.tag(), Some(Tag::new(1, WriterId(3))));
+        assert!(op.output().is_none());
+
+        for i in 0..4u16 {
+            op.on_message(
+                ServerId(i),
+                &ServerToClient::PutAck {
+                    op: op.op_id(),
+                    tag: Tag::new(1, WriterId(3)),
+                },
+            );
+        }
+        assert_eq!(
+            op.output(),
+            Some(OpOutput::Written {
+                tag: Tag::new(1, WriterId(3))
+            })
+        );
+        assert_eq!(op.rounds(), 2);
+        assert!(op.is_write());
+    }
+
+    #[test]
+    fn byzantine_tag_inflation_is_discarded() {
+        let cfg = cfg();
+        let mut op = WriteOp::replicated(WriterId(1), 1, cfg, Value::from("x"));
+        op.start();
+        // One Byzantine server reports a huge tag; the (f+1)-th highest of
+        // the 4 collected tags must ignore it.
+        op.on_message(
+            ServerId(0),
+            &tag_resp(op.op_id(), Tag::new(u64::MAX - 1, WriterId(9))),
+        );
+        op.on_message(ServerId(1), &tag_resp(op.op_id(), Tag::new(4, WriterId(2))));
+        op.on_message(ServerId(2), &tag_resp(op.op_id(), Tag::new(3, WriterId(2))));
+        op.on_message(ServerId(3), &tag_resp(op.op_id(), Tag::ZERO));
+        assert_eq!(op.tag(), Some(Tag::new(5, WriterId(1)))); // 4 + 1, not MAX
+    }
+
+    #[test]
+    fn duplicate_responses_from_one_server_count_once() {
+        let cfg = cfg();
+        let mut op = WriteOp::replicated(WriterId(1), 1, cfg, Value::from("x"));
+        op.start();
+        for _ in 0..10 {
+            assert!(op
+                .on_message(ServerId(0), &tag_resp(op.op_id(), Tag::ZERO))
+                .is_empty());
+        }
+        assert!(op.tag().is_none(), "one server cannot form a quorum alone");
+    }
+
+    #[test]
+    fn acks_for_wrong_tag_are_ignored() {
+        let cfg = cfg();
+        let mut op = WriteOp::replicated(WriterId(1), 1, cfg, Value::from("x"));
+        op.start();
+        for i in 0..4u16 {
+            op.on_message(ServerId(i), &tag_resp(op.op_id(), Tag::ZERO));
+        }
+        let wrong = Tag::new(99, WriterId(9));
+        for i in 0..5u16 {
+            op.on_message(
+                ServerId(i),
+                &ServerToClient::PutAck {
+                    op: op.op_id(),
+                    tag: wrong,
+                },
+            );
+        }
+        assert!(op.output().is_none());
+    }
+
+    #[test]
+    fn foreign_op_ids_are_ignored() {
+        let cfg = cfg();
+        let mut op = WriteOp::replicated(WriterId(1), 7, cfg, Value::from("x"));
+        op.start();
+        let foreign = OpId::new(WriterId(1), 6);
+        for i in 0..5u16 {
+            op.on_message(ServerId(i), &tag_resp(foreign, Tag::new(3, WriterId(2))));
+        }
+        assert!(op.tag().is_none());
+    }
+
+    #[test]
+    fn reduced_fanout_contacts_fewer_servers() {
+        let cfg = cfg();
+        let mut op = WriteOp::replicated(WriterId(1), 1, cfg, Value::from("x")).with_fanout(3);
+        op.start();
+        let mut puts = Vec::new();
+        for i in 0..4u16 {
+            let out = op.on_message(ServerId(i), &tag_resp(op.op_id(), Tag::ZERO));
+            if !out.is_empty() {
+                puts = out;
+            }
+        }
+        assert_eq!(puts.len(), 3, "put-data goes to only m servers");
+        // Completion at m - f = 2 acks.
+        let tag = op.tag().unwrap();
+        op.on_message(
+            ServerId(0),
+            &ServerToClient::PutAck {
+                op: op.op_id(),
+                tag,
+            },
+        );
+        assert!(op.output().is_none());
+        op.on_message(
+            ServerId(1),
+            &ServerToClient::PutAck {
+                op: op.op_id(),
+                tag,
+            },
+        );
+        assert!(op.output().is_some());
+    }
+
+    #[test]
+    fn coded_write_sends_distinct_elements() {
+        let cfg = QuorumConfig::minimal_bcsr(1).unwrap(); // n = 6, k = 1
+        let code = ReedSolomon::new(6, 1).unwrap();
+        let mut op = WriteOp::coded(WriterId(0), 1, cfg, &code, &Value::from("data"));
+        op.start();
+        let mut puts = Vec::new();
+        for i in 0..5u16 {
+            let out = op.on_message(ServerId(i), &tag_resp(op.op_id(), Tag::ZERO));
+            if !out.is_empty() {
+                puts = out;
+                break;
+            }
+        }
+        assert_eq!(puts.len(), 6);
+        let mut seen = std::collections::BTreeSet::new();
+        for env in &puts {
+            match &env.msg {
+                Message::ToServer(ClientToServer::PutData {
+                    payload: Payload::Coded(c),
+                    ..
+                }) => {
+                    let sid = env.dst.as_server().unwrap();
+                    assert_eq!(c.index, sid.0, "element i goes to server i");
+                    seen.insert(c.index);
+                }
+                other => panic!("unexpected message {other:?}"),
+            }
+        }
+        assert_eq!(seen.len(), 6);
+    }
+}

@@ -1,0 +1,193 @@
+//! Property-based tests for the protocol state machines.
+//!
+//! These drive operations directly against server nodes with randomized
+//! response orderings, response subsets and interleavings — the degrees of
+//! freedom the asynchronous network has — and assert the protocol-level
+//! postconditions.
+
+use proptest::prelude::*;
+use safereg_common::config::QuorumConfig;
+use safereg_common::ids::{ClientId, ReaderId, ServerId, WriterId};
+use safereg_common::msg::{ClientToServer, Envelope, Message, ServerToClient};
+use safereg_common::tag::Tag;
+use safereg_common::value::Value;
+use safereg_core::client::{BsrReader, BsrWriter};
+use safereg_core::op::ClientOp;
+use safereg_core::server::ServerNode;
+
+/// Drives an op against the servers, delivering messages in an order
+/// chosen by `order_seed`, with servers in `silent` never responding.
+fn drive(op: &mut dyn ClientOp, servers: &mut [ServerNode], silent: &[usize], order_seed: u64) {
+    let mut rng = safereg_common::rng::DetRng::seed_from(order_seed);
+    let mut queue: Vec<Envelope> = op.start();
+    let mut guard = 0;
+    while !queue.is_empty() {
+        guard += 1;
+        assert!(guard < 10_000, "runaway exchange");
+        let idx = rng.index(queue.len());
+        let env = queue.swap_remove(idx);
+        match (&env.dst, &env.msg) {
+            (dst, Message::ToServer(m)) => {
+                let sid = dst.as_server().unwrap();
+                if silent.contains(&(sid.0 as usize)) {
+                    continue;
+                }
+                let from = env.src.as_client().unwrap();
+                for resp in servers[sid.0 as usize].handle(from, m) {
+                    queue.push(Envelope::to_client(sid, from, resp));
+                }
+            }
+            (_, Message::ToClient(m)) => {
+                let sid = env.src.as_server().unwrap();
+                queue.extend(op.on_message(sid, m));
+            }
+            _ => unreachable!("core protocols exchange only client/server messages"),
+        }
+    }
+}
+
+fn cluster(cfg: QuorumConfig) -> Vec<ServerNode> {
+    cfg.servers()
+        .map(|sid| ServerNode::new_replicated(sid, cfg))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn write_completes_and_increments_under_any_order(
+        order in any::<u64>(),
+        f in 1usize..3,
+        silent_pick in any::<u64>(),
+    ) {
+        let cfg = QuorumConfig::minimal_bsr(f).unwrap();
+        let mut servers = cluster(cfg);
+        let silent = [(silent_pick % cfg.n() as u64) as usize];
+
+        let mut writer = BsrWriter::new(WriterId(0), cfg);
+        let mut op1 = writer.write(Value::from("first"));
+        drive(&mut op1, &mut servers, &silent, order);
+        let t1 = op1.output().expect("write 1 completes").tag();
+        prop_assert_eq!(t1, Tag::new(1, WriterId(0)));
+
+        let mut op2 = writer.write(Value::from("second"));
+        drive(&mut op2, &mut servers, &silent, order.wrapping_add(1));
+        let t2 = op2.output().expect("write 2 completes").tag();
+        prop_assert_eq!(t2, Tag::new(2, WriterId(0)));
+    }
+
+    #[test]
+    fn read_after_write_returns_it_under_any_order(
+        order in any::<u64>(),
+        f in 1usize..3,
+        silent_pick in any::<u64>(),
+    ) {
+        let cfg = QuorumConfig::minimal_bsr(f).unwrap();
+        let mut servers = cluster(cfg);
+        // Different silent server per phase: the adversary may crash-stop
+        // any single server, and reads must still find f + 1 witnesses.
+        let silent_w = [(silent_pick % cfg.n() as u64) as usize];
+        let silent_r = [((silent_pick >> 8) % cfg.n() as u64) as usize];
+
+        let mut writer = BsrWriter::new(WriterId(1), cfg);
+        let mut w = writer.write(Value::from("durable"));
+        drive(&mut w, &mut servers, &silent_w, order);
+        prop_assert!(w.output().is_some());
+
+        let mut reader = BsrReader::new(ReaderId(0), cfg);
+        let mut r = reader.read();
+        drive(&mut r, &mut servers, &silent_r, order.wrapping_add(7));
+        let out = r.output().expect("read completes");
+        prop_assert_eq!(out.read_value().unwrap().as_bytes(), b"durable");
+        prop_assert_eq!(out.tag(), Tag::new(1, WriterId(1)));
+    }
+
+    #[test]
+    fn concurrent_writers_get_distinct_increasing_tags(
+        order in any::<u64>(),
+        writer_count in 2usize..5,
+    ) {
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let mut servers = cluster(cfg);
+        let mut tags = Vec::new();
+        // Writers run one after another here (sequential interleaving is
+        // one legal schedule); tags must strictly increase across writers.
+        for w in 0..writer_count {
+            let mut writer = BsrWriter::new(WriterId(w as u16), cfg);
+            let mut op = writer.write(Value::from(format!("v{w}").into_bytes()));
+            drive(&mut op, &mut servers, &[], order.wrapping_add(w as u64));
+            tags.push(op.output().unwrap().tag());
+        }
+        for pair in tags.windows(2) {
+            prop_assert!(pair[1] > pair[0], "tags must grow: {:?}", tags);
+        }
+    }
+
+    #[test]
+    fn server_log_is_monotone_in_max_tag(
+        puts in proptest::collection::vec((1u64..20, 0u16..4, any::<u8>()), 1..30),
+    ) {
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let mut server = ServerNode::new_replicated(ServerId(0), cfg);
+        let mut max_seen = Tag::ZERO;
+        for (i, (num, writer, byte)) in puts.iter().enumerate() {
+            let tag = Tag::new(*num, WriterId(*writer));
+            server.handle(
+                ClientId::Writer(WriterId(*writer)),
+                &ClientToServer::PutData {
+                    op: safereg_common::msg::OpId::new(WriterId(*writer), i as u64),
+                    tag,
+                    payload: safereg_common::msg::Payload::Full(Value::from(vec![*byte])),
+                },
+            );
+            max_seen = max_seen.max(tag);
+            prop_assert_eq!(server.max_tag(), max_seen);
+        }
+    }
+
+    #[test]
+    fn reader_never_returns_unwitnessed_data(
+        responses in proptest::collection::vec((0u16..5, 0u64..4, any::<u8>()), 4..12),
+    ) {
+        // Feed arbitrary (server, tag, value) responses; whatever the read
+        // returns must either be the local pair or have had f + 1 distinct
+        // servers vouching for the exact (tag, value).
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let mut reader = BsrReader::new(ReaderId(0), cfg);
+        let mut op = reader.read();
+        op.start();
+        let id = op.op_id();
+        // The op counts only the first response per server while the
+        // operation is still running; mirror that exactly.
+        let mut first: std::collections::BTreeMap<u16, (Tag, Vec<u8>)> =
+            std::collections::BTreeMap::new();
+        for (sid, num, byte) in &responses {
+            let tag = Tag::new(*num, WriterId(0));
+            let value = vec![*byte];
+            if op.output().is_none() {
+                first.entry(*sid).or_insert_with(|| (tag, value.clone()));
+            }
+            op.on_message(
+                ServerId(*sid),
+                &ServerToClient::DataResp {
+                    op: id,
+                    tag,
+                    payload: safereg_common::msg::Payload::Full(Value::from(value)),
+                },
+            );
+        }
+        if let Some(out) = op.output() {
+            let v = out.read_value().unwrap();
+            if !v.is_initial() {
+                let key = (out.tag(), v.as_bytes().to_vec());
+                let witnesses =
+                    first.values().filter(|(t, val)| *t == key.0 && *val == key.1).count();
+                prop_assert!(
+                    witnesses >= cfg.witness_threshold(),
+                    "returned {:?} with only {} witnesses", key, witnesses
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! HMAC-SHA-256 (RFC 2104 / FIPS 198-1), built on [`crate::sha256`].
+//!
+//! Verified against RFC 4231 test vectors in the tests.
+
+use crate::sha256::{Sha256, DIGEST_LEN};
+
+const BLOCK_LEN: usize = 64;
+
+/// Streaming HMAC-SHA-256.
+///
+/// # Examples
+///
+/// ```
+/// use safereg_crypto::hmac::HmacSha256;
+///
+/// let mac = HmacSha256::mac(b"key", b"message");
+/// assert!(HmacSha256::verify(b"key", b"message", &mac));
+/// assert!(!HmacSha256::verify(b"key", b"tampered", &mac));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    opad_key: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC instance keyed with `key` (any length; keys longer
+    /// than one block are hashed first, per RFC 2104).
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let d = Sha256::digest(key);
+            k[..DIGEST_LEN].copy_from_slice(&d);
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; BLOCK_LEN];
+        let mut opad = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] = k[i] ^ 0x36;
+            opad[i] = k[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        HmacSha256 {
+            inner,
+            opad_key: opad,
+        }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Completes the MAC.
+    pub fn finalize(self) -> [u8; DIGEST_LEN] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// One-shot MAC of `data` under `key`.
+    pub fn mac(key: &[u8], data: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut h = HmacSha256::new(key);
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Constant-time verification of a MAC.
+    ///
+    /// Comparison is branch-free over all 32 bytes so a forger learns
+    /// nothing from timing.
+    pub fn verify(key: &[u8], data: &[u8], mac: &[u8]) -> bool {
+        let expect = HmacSha256::mac(key, data);
+        if mac.len() != DIGEST_LEN {
+            return false;
+        }
+        let mut diff = 0u8;
+        for (a, b) in expect.iter().zip(mac) {
+            diff |= a ^ b;
+        }
+        diff == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(mac: &[u8; DIGEST_LEN]) -> String {
+        Sha256::to_hex(mac)
+    }
+
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0b; 20];
+        let mac = HmacSha256::mac(&key, b"Hi There");
+        assert_eq!(
+            hex(&mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2_short_key() {
+        let mac = HmacSha256::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3_repeated_bytes() {
+        let key = [0xaa; 20];
+        let data = [0xdd; 50];
+        let mac = HmacSha256::mac(&key, &data);
+        assert_eq!(
+            hex(&mac),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaa; 131];
+        let mac = HmacSha256::mac(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            hex(&mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let mut h = HmacSha256::new(b"k");
+        h.update(b"part one ");
+        h.update(b"part two");
+        assert_eq!(h.finalize(), HmacSha256::mac(b"k", b"part one part two"));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_length_and_tamper() {
+        let mac = HmacSha256::mac(b"k", b"m");
+        assert!(HmacSha256::verify(b"k", b"m", &mac));
+        assert!(!HmacSha256::verify(b"k", b"m", &mac[..31]));
+        assert!(!HmacSha256::verify(b"other", b"m", &mac));
+        let mut bad = mac;
+        bad[0] ^= 1;
+        assert!(!HmacSha256::verify(b"k", b"m", &bad));
+    }
+}

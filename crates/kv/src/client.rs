@@ -1,0 +1,311 @@
+//! KV client: `put`/`get` over per-key BSR operations.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use safereg_common::config::QuorumConfig;
+use safereg_common::ids::{ClientId, ReaderId, ServerId, WriterId};
+use safereg_common::msg::{ClientToServer, Envelope, Message, ServerToClient};
+use safereg_common::tag::Tag;
+use safereg_common::value::Value;
+use safereg_core::bcsr::BcsrReadOp;
+use safereg_core::op::{ClientOp, OpOutput};
+use safereg_core::read::BsrReadOp;
+use safereg_core::write::WriteOp;
+use safereg_mds::rs::ReedSolomon;
+
+use crate::server::KvMode;
+
+/// Transport used by the KV client: delivers one register message for one
+/// key to one server and returns that server's responses (empty when the
+/// server is unreachable).
+pub trait KvTransport {
+    /// Exchanges one message with one server.
+    fn exchange(
+        &mut self,
+        from: ClientId,
+        to: ServerId,
+        key: &[u8],
+        msg: &ClientToServer,
+    ) -> Vec<ServerToClient>;
+}
+
+/// Errors from KV operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvError {
+    /// The operation could not reach a quorum of `n − f` servers.
+    QuorumUnavailable {
+        /// Servers that responded.
+        responded: usize,
+        /// Responses needed.
+        needed: usize,
+    },
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::QuorumUnavailable { responded, needed } => {
+                write!(
+                    f,
+                    "only {responded} of the required {needed} servers responded"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// A key-value client: one writer identity, one reader identity, and the
+/// per-key reader-local pairs.
+#[derive(Debug)]
+pub struct KvClient {
+    cfg: QuorumConfig,
+    writer: WriterId,
+    reader: ReaderId,
+    seq: u64,
+    mode: KvMode,
+    code: Option<ReedSolomon>,
+    /// Per-key `(t_local, v_local)` (Fig. 2 line 1, one per register).
+    local: BTreeMap<Bytes, (Tag, Value)>,
+}
+
+impl KvClient {
+    /// Creates a client with distinct writer and reader identities
+    /// (replicated mode).
+    pub fn new(cfg: QuorumConfig, writer: WriterId, reader: ReaderId) -> Self {
+        KvClient {
+            cfg,
+            writer,
+            reader,
+            seq: 0,
+            mode: KvMode::Replicated,
+            code: None,
+            local: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a coded-mode client for a [`crate::server::KvServer::new_coded`]
+    /// deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration admits no `[n, n − 5f]` code.
+    pub fn new_coded(cfg: QuorumConfig, writer: WriterId, reader: ReaderId) -> Self {
+        let k = cfg.mds_k().expect("coded KV needs n > 5f");
+        let code = ReedSolomon::new(cfg.n(), k).expect("valid code");
+        KvClient {
+            cfg,
+            writer,
+            reader,
+            seq: 0,
+            mode: KvMode::Coded,
+            code: Some(code),
+            local: BTreeMap::new(),
+        }
+    }
+
+    /// Writes `value` under `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::QuorumUnavailable`] when fewer than `n − f` servers
+    /// respond in either phase.
+    pub fn put(
+        &mut self,
+        transport: &mut impl KvTransport,
+        key: &[u8],
+        value: impl Into<Value>,
+    ) -> Result<Tag, KvError> {
+        self.seq += 1;
+        let mut op = match self.mode {
+            KvMode::Replicated => {
+                WriteOp::replicated(self.writer, self.seq, self.cfg, value.into())
+            }
+            KvMode::Coded => WriteOp::coded(
+                self.writer,
+                self.seq,
+                self.cfg,
+                self.code.as_ref().expect("coded client holds a code"),
+                &value.into(),
+            ),
+        };
+        match self.drive(transport, key, &mut op)? {
+            OpOutput::Written { tag } => Ok(tag),
+            OpOutput::Read { .. } => unreachable!("write op yields a write outcome"),
+        }
+    }
+
+    /// Reads the value under `key` (`v_0`, the empty value, when the key
+    /// was never written).
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::QuorumUnavailable`] when fewer than `n − f` servers
+    /// respond.
+    pub fn get(&mut self, transport: &mut impl KvTransport, key: &[u8]) -> Result<Value, KvError> {
+        self.seq += 1;
+        let local = self
+            .local
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| (Tag::ZERO, Value::initial()));
+        let mut replicated;
+        let mut coded;
+        let op: &mut dyn ClientOp = match self.mode {
+            KvMode::Replicated => {
+                replicated = BsrReadOp::new(self.reader, self.seq, self.cfg, local);
+                &mut replicated
+            }
+            KvMode::Coded => {
+                coded = BcsrReadOp::new(
+                    self.reader,
+                    self.seq,
+                    self.cfg,
+                    self.code.clone().expect("coded client holds a code"),
+                );
+                &mut coded
+            }
+        };
+        match self.drive_dyn(transport, key, op)? {
+            OpOutput::Read { value, tag } => {
+                let entry = self
+                    .local
+                    .entry(Bytes::copy_from_slice(key))
+                    .or_insert_with(|| (Tag::ZERO, Value::initial()));
+                if (tag, &value) > (entry.0, &entry.1) {
+                    *entry = (tag, value.clone());
+                }
+                Ok(value)
+            }
+            OpOutput::Written { .. } => unreachable!("read op yields a read outcome"),
+        }
+    }
+
+    /// Drives one sans-io operation over the transport until it completes.
+    fn drive(
+        &mut self,
+        transport: &mut impl KvTransport,
+        key: &[u8],
+        op: &mut dyn ClientOp,
+    ) -> Result<OpOutput, KvError> {
+        self.drive_dyn(transport, key, op)
+    }
+
+    fn drive_dyn(
+        &mut self,
+        transport: &mut impl KvTransport,
+        key: &[u8],
+        op: &mut dyn ClientOp,
+    ) -> Result<OpOutput, KvError> {
+        let mut queue: Vec<Envelope> = op.start();
+        let mut responded = 0usize;
+        while let Some(env) = queue.pop() {
+            if let Some(out) = op.output() {
+                return Ok(out);
+            }
+            let (to, msg) = match (&env.dst, &env.msg) {
+                (dst, Message::ToServer(m)) => match dst.as_server() {
+                    Some(s) => (s, m),
+                    None => continue,
+                },
+                _ => continue,
+            };
+            let from = env
+                .src
+                .as_client()
+                .expect("client ops originate at clients");
+            let replies = transport.exchange(from, to, key, msg);
+            if !replies.is_empty() {
+                responded += 1;
+            }
+            for reply in replies {
+                queue.extend(op.on_message(to, &reply));
+                if let Some(out) = op.output() {
+                    return Ok(out);
+                }
+            }
+        }
+        match op.output() {
+            Some(out) => Ok(out),
+            None => Err(KvError::QuorumUnavailable {
+                responded,
+                needed: self.cfg.response_quorum(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::InMemKvCluster;
+
+    fn setup() -> (InMemKvCluster, KvClient) {
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let cluster = InMemKvCluster::new(cfg);
+        let client = KvClient::new(cfg, WriterId(0), ReaderId(0));
+        (cluster, client)
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let (mut cluster, mut client) = setup();
+        client.put(&mut cluster, b"user:1", "alice").unwrap();
+        assert_eq!(
+            client.get(&mut cluster, b"user:1").unwrap().as_bytes(),
+            b"alice"
+        );
+        assert!(client.get(&mut cluster, b"user:2").unwrap().is_initial());
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let (mut cluster, mut client) = setup();
+        client.put(&mut cluster, b"a", "1").unwrap();
+        client.put(&mut cluster, b"b", "2").unwrap();
+        client.put(&mut cluster, b"a", "3").unwrap();
+        assert_eq!(client.get(&mut cluster, b"a").unwrap().as_bytes(), b"3");
+        assert_eq!(client.get(&mut cluster, b"b").unwrap().as_bytes(), b"2");
+    }
+
+    #[test]
+    fn tags_grow_per_key() {
+        let (mut cluster, mut client) = setup();
+        let t1 = client.put(&mut cluster, b"k", "x").unwrap();
+        let t2 = client.put(&mut cluster, b"k", "y").unwrap();
+        assert!(t2 > t1);
+        let fresh = client.put(&mut cluster, b"other", "z").unwrap();
+        assert_eq!(fresh.num, 1, "new key starts a fresh tag space");
+    }
+
+    #[test]
+    fn survives_f_crashes_but_not_more() {
+        let (mut cluster, mut client) = setup();
+        client.put(&mut cluster, b"k", "v").unwrap();
+        cluster.crash(ServerId(0));
+        assert_eq!(client.get(&mut cluster, b"k").unwrap().as_bytes(), b"v");
+        client.put(&mut cluster, b"k", "v2").unwrap();
+        cluster.crash(ServerId(1));
+        let err = client.put(&mut cluster, b"k", "v3").unwrap_err();
+        assert!(matches!(err, KvError::QuorumUnavailable { .. }));
+    }
+
+    #[test]
+    fn two_clients_see_each_others_writes() {
+        let (mut cluster, mut alice) = setup();
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let mut bob = KvClient::new(cfg, WriterId(1), ReaderId(1));
+        alice.put(&mut cluster, b"shared", "from-alice").unwrap();
+        assert_eq!(
+            bob.get(&mut cluster, b"shared").unwrap().as_bytes(),
+            b"from-alice"
+        );
+        bob.put(&mut cluster, b"shared", "from-bob").unwrap();
+        assert_eq!(
+            alice.get(&mut cluster, b"shared").unwrap().as_bytes(),
+            b"from-bob"
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! KV replica: a table of per-key register server states.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use safereg_common::config::QuorumConfig;
+use safereg_common::ids::{ClientId, ServerId};
+use safereg_common::msg::{ClientToServer, Payload, ServerToClient};
+use safereg_common::value::Value;
+use safereg_core::server::ServerNode;
+use safereg_mds::rs::ReedSolomon;
+use safereg_mds::stripe::encode_value;
+
+/// How a KV replica stores values: full copies (BSR registers) or coded
+/// elements (BCSR registers, `n ≥ 5f + 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KvMode {
+    /// One full replica of each value per server (default).
+    #[default]
+    Replicated,
+    /// One `[n, n − 5f]` coded element of each value per server.
+    Coded,
+}
+
+/// One replica of the key-value store.
+///
+/// Each key gets an independent [`ServerNode`] (its own list `L` and tag
+/// space), created lazily on first access — reading a never-written key
+/// behaves like a fresh register and returns `v_0`.
+#[derive(Debug)]
+pub struct KvServer {
+    id: ServerId,
+    cfg: QuorumConfig,
+    mode: KvMode,
+    objects: BTreeMap<Bytes, ServerNode>,
+}
+
+impl KvServer {
+    /// Creates a replicated-mode replica.
+    pub fn new(id: ServerId, cfg: QuorumConfig) -> Self {
+        KvServer {
+            id,
+            cfg,
+            mode: KvMode::Replicated,
+            objects: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a coded-mode replica: fresh key registers start with this
+    /// server's coded element of the initial value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration admits no `[n, n − 5f]` code.
+    pub fn new_coded(id: ServerId, cfg: QuorumConfig) -> Self {
+        assert!(cfg.mds_k().is_some(), "coded KV needs n > 5f");
+        KvServer {
+            id,
+            cfg,
+            mode: KvMode::Coded,
+            objects: BTreeMap::new(),
+        }
+    }
+
+    /// This replica's identifier.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Number of keys this replica has register state for.
+    pub fn key_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Total payload bytes stored across all keys.
+    pub fn storage_bytes(&self) -> usize {
+        self.objects.values().map(ServerNode::storage_bytes).sum()
+    }
+
+    /// Handles one register message addressed to `key`.
+    pub fn handle(
+        &mut self,
+        from: ClientId,
+        key: &[u8],
+        msg: &ClientToServer,
+    ) -> Vec<ServerToClient> {
+        let id = self.id;
+        let cfg = self.cfg;
+        let mode = self.mode;
+        let node = self
+            .objects
+            .entry(Bytes::copy_from_slice(key))
+            .or_insert_with(|| match mode {
+                KvMode::Replicated => ServerNode::new_replicated(id, cfg),
+                KvMode::Coded => {
+                    let k = cfg.mds_k().expect("checked at construction");
+                    let code = ReedSolomon::new(cfg.n(), k).expect("valid code");
+                    let initial = encode_value(&code, &Value::initial())
+                        .into_iter()
+                        .nth(id.0 as usize)
+                        .expect("element per server");
+                    ServerNode::with_initial(id, cfg, Payload::Coded(initial))
+                }
+            });
+        node.handle(from, msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safereg_common::ids::{ReaderId, WriterId};
+    use safereg_common::msg::{OpId, Payload};
+    use safereg_common::tag::Tag;
+    use safereg_common::value::Value;
+
+    fn put(s: &mut KvServer, key: &[u8], num: u64, val: &str) {
+        s.handle(
+            ClientId::Writer(WriterId(0)),
+            key,
+            &ClientToServer::PutData {
+                op: OpId::new(WriterId(0), num),
+                tag: Tag::new(num, WriterId(0)),
+                payload: Payload::Full(Value::from(val)),
+            },
+        );
+    }
+
+    fn get_tag(s: &mut KvServer, key: &[u8]) -> Tag {
+        let resp = s.handle(
+            ClientId::Reader(ReaderId(0)),
+            key,
+            &ClientToServer::QueryTag {
+                op: OpId::new(ReaderId(0), 1),
+            },
+        );
+        match &resp[0] {
+            ServerToClient::TagResp { tag, .. } => *tag,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keys_have_independent_registers() {
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let mut s = KvServer::new(ServerId(0), cfg);
+        put(&mut s, b"alpha", 5, "a");
+        put(&mut s, b"beta", 2, "b");
+        assert_eq!(get_tag(&mut s, b"alpha"), Tag::new(5, WriterId(0)));
+        assert_eq!(get_tag(&mut s, b"beta"), Tag::new(2, WriterId(0)));
+        assert_eq!(get_tag(&mut s, b"never-written"), Tag::ZERO);
+        assert_eq!(s.key_count(), 3, "reading creates the fresh register");
+    }
+
+    #[test]
+    fn storage_accounts_all_keys() {
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let mut s = KvServer::new(ServerId(0), cfg);
+        put(&mut s, b"k1", 1, "12345");
+        put(&mut s, b"k2", 1, "123");
+        assert_eq!(s.storage_bytes(), 8);
+    }
+}

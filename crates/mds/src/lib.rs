@@ -1,0 +1,42 @@
+//! `[n, k]` MDS erasure coding for BCSR (§IV-A of the paper).
+//!
+//! The paper stores one coded element per server and requires a decoder that
+//! recovers the value from `n − f` coded elements of which up to `e` are
+//! *erroneous* (stale or Byzantine-corrupted), with `k = n − f − 2e`. That is
+//! exactly the error-and-erasure capability of a Reed–Solomon code:
+//! `2·errors + erasures ≤ n − k`. This crate implements, from scratch:
+//!
+//! * [`gf256`] — arithmetic in GF(2⁸) with compile-time tables,
+//! * [`poly`] — polynomial helpers over the field,
+//! * [`rs`] — a systematic Reed–Solomon encoder and a decoder that corrects
+//!   both erasures (positions known) and errors (positions unknown) via
+//!   Forney syndromes, Berlekamp–Massey, Chien search and Forney's formula,
+//! * [`stripe`] — striping of arbitrary-length values into per-server
+//!   [`safereg_common::msg::CodedElement`]s and back.
+//!
+//! # Examples
+//!
+//! ```
+//! use safereg_mds::rs::ReedSolomon;
+//!
+//! // [6, 1] code as used by BCSR at n = 5f+1 = 6, f = 1 (k = n - 5f = 1).
+//! let code = ReedSolomon::new(6, 1)?;
+//! let codeword = code.encode(&[42]);
+//!
+//! // Reader view: one server missing (erasure), two stale (errors).
+//! let mut received: Vec<Option<u8>> = codeword.iter().copied().map(Some).collect();
+//! received[0] = None;          // crashed / slow server
+//! received[1] = Some(7);       // Byzantine garbage
+//! received[2] = Some(13);      // stale element
+//! let decoded = code.decode(&received)?;
+//! assert_eq!(code.message_of(&decoded), &[42]);
+//! # Ok::<(), safereg_mds::MdsError>(())
+//! ```
+
+pub mod gf256;
+pub mod poly;
+pub mod rs;
+pub mod stripe;
+
+pub use rs::{MdsError, ReedSolomon};
+pub use stripe::{decode_elements, encode_value, ElementView};

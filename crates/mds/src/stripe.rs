@@ -1,0 +1,249 @@
+//! Striping values into per-server coded elements.
+//!
+//! §IV-A: "v is divided into k elements … the encoder takes the k elements
+//! as input and produces n coded elements as output … we store one coded
+//! element per server." A value of `B` bytes is processed as `⌈B/k⌉`
+//! columns of `k` data bytes (zero-padded); each column is RS-encoded into
+//! `n` symbols and server `i` receives symbol `i` of every column, so a
+//! coded element is `⌈B/k⌉` bytes — the paper's `1/k` size factor.
+//! The original length travels in [`CodedElement::value_len`] so decoding
+//! can strip the padding.
+
+use bytes::Bytes;
+use safereg_common::msg::CodedElement;
+use safereg_common::value::Value;
+
+use crate::rs::{MdsError, ReedSolomon};
+
+/// A received coded element: which codeword position it claims plus its
+/// bytes. Borrowed so the BCSR reader can stage responses without copying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElementView<'a> {
+    /// Codeword position (the server index that stored the element).
+    pub index: usize,
+    /// The element's bytes (one symbol per column).
+    pub data: &'a [u8],
+}
+
+impl<'a> ElementView<'a> {
+    /// Views a [`CodedElement`] received from a server.
+    pub fn of(elem: &'a CodedElement) -> Self {
+        ElementView {
+            index: elem.index as usize,
+            data: &elem.data,
+        }
+    }
+}
+
+/// Number of columns a value of `value_len` bytes occupies under dimension
+/// `k`.
+pub fn column_count(value_len: usize, k: usize) -> usize {
+    value_len.div_ceil(k)
+}
+
+/// Encodes a value into `n` coded elements, one per server.
+///
+/// The element at position `i` is what the BCSR writer sends to server `i`
+/// (Fig. 4 line 7: `c_i = Φ_i(v)`).
+///
+/// # Examples
+///
+/// ```
+/// use safereg_mds::{rs::ReedSolomon, stripe::encode_value};
+/// use safereg_common::value::Value;
+///
+/// let code = ReedSolomon::new(6, 1)?;
+/// let elements = encode_value(&code, &Value::from("hi"));
+/// assert_eq!(elements.len(), 6);
+/// assert_eq!(elements[0].data.len(), 2); // ⌈2 / k⌉ with k = 1
+/// # Ok::<(), safereg_mds::MdsError>(())
+/// ```
+pub fn encode_value(code: &ReedSolomon, value: &Value) -> Vec<CodedElement> {
+    let n = code.n();
+    let k = code.k();
+    let bytes = value.as_bytes();
+    let cols = column_count(bytes.len(), k);
+    let mut outputs: Vec<Vec<u8>> = vec![Vec::with_capacity(cols); n];
+    let mut column = vec![0u8; k];
+    for c in 0..cols {
+        column.fill(0);
+        let start = c * k;
+        let end = (start + k).min(bytes.len());
+        column[..end - start].copy_from_slice(&bytes[start..end]);
+        let cw = code.encode(&column);
+        for (i, symbol) in cw.iter().enumerate() {
+            outputs[i].push(*symbol);
+        }
+    }
+    outputs
+        .into_iter()
+        .enumerate()
+        .map(|(i, data)| CodedElement {
+            index: i as u16,
+            value_len: bytes.len() as u32,
+            data: Bytes::from(data),
+        })
+        .collect()
+}
+
+/// Reconstructs a value from received coded elements.
+///
+/// `elements` may omit positions (erasures) and may contain corrupted or
+/// stale elements (errors); decoding succeeds whenever every column's
+/// pattern satisfies `2·errors + erasures ≤ n − k`. Elements whose length
+/// does not match `⌈value_len/k⌉` are treated as erasures (a Byzantine
+/// server cannot crash the decoder with a short buffer), as are duplicate
+/// claims for the same position.
+///
+/// # Errors
+///
+/// Propagates [`MdsError`] when any column fails to decode; the BCSR reader
+/// maps that to "return `v_0`" per Fig. 5 line 4.
+pub fn decode_elements(
+    code: &ReedSolomon,
+    value_len: usize,
+    elements: &[ElementView<'_>],
+) -> Result<Value, MdsError> {
+    let n = code.n();
+    let k = code.k();
+    let cols = column_count(value_len, k);
+    if value_len == 0 {
+        return Ok(Value::initial());
+    }
+
+    // Stage per-position element bytes; malformed or duplicate claims
+    // degrade to erasures rather than failures.
+    let mut slots: Vec<Option<&[u8]>> = vec![None; n];
+    for e in elements {
+        if e.index < n && e.data.len() == cols && slots[e.index].is_none() {
+            slots[e.index] = Some(e.data);
+        }
+    }
+
+    let mut out = Vec::with_capacity(cols * k);
+    let mut received: Vec<Option<u8>> = vec![None; n];
+    for c in 0..cols {
+        for (i, slot) in slots.iter().enumerate() {
+            received[i] = slot.map(|d| d[c]);
+        }
+        let cw = code.decode(&received)?;
+        out.extend_from_slice(code.message_of(&cw));
+    }
+    out.truncate(value_len);
+    Ok(Value::from(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn views(elements: &[CodedElement]) -> Vec<ElementView<'_>> {
+        elements.iter().map(ElementView::of).collect()
+    }
+
+    #[test]
+    fn roundtrip_all_elements() {
+        let code = ReedSolomon::new(8, 3).unwrap();
+        let v = Value::from("the quick brown fox");
+        let elements = encode_value(&code, &v);
+        assert_eq!(elements.len(), 8);
+        let back = decode_elements(&code, v.len(), &views(&elements)).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn element_size_is_value_over_k() {
+        let code = ReedSolomon::new(10, 5).unwrap();
+        let v = Value::from(vec![7u8; 100]);
+        let elements = encode_value(&code, &v);
+        for e in &elements {
+            assert_eq!(e.data.len(), 20); // 100 / k = 20
+            assert_eq!(e.value_len, 100);
+        }
+        // Non-multiple length pads up.
+        let v2 = Value::from(vec![7u8; 101]);
+        assert_eq!(encode_value(&code, &v2)[0].data.len(), 21);
+    }
+
+    #[test]
+    fn any_k_elements_suffice() {
+        let code = ReedSolomon::new(7, 3).unwrap();
+        let v = Value::from("mds property");
+        let elements = encode_value(&code, &v);
+        let subset = [&elements[1], &elements[4], &elements[6]];
+        let subset_views: Vec<ElementView<'_>> =
+            subset.iter().map(|e| ElementView::of(e)).collect();
+        assert_eq!(decode_elements(&code, v.len(), &subset_views).unwrap(), v);
+    }
+
+    #[test]
+    fn corrects_stale_and_byzantine_elements() {
+        // BCSR shape: n = 11, f = 2 → k = 1, tolerate 2 missing + up to 4 bad.
+        let code = ReedSolomon::new(11, 1).unwrap();
+        let fresh = Value::from("fresh value");
+        let stale = Value::from("stale value");
+        let fresh_elems = encode_value(&code, &fresh);
+        let stale_elems = encode_value(&code, &stale);
+
+        let mut rx: Vec<CodedElement> = Vec::new();
+        for i in 0..11 {
+            if i < 2 {
+                continue; // 2 slow servers: erasures
+            }
+            if i < 6 {
+                rx.push(stale_elems[i].clone()); // 4 stale elements (e = 2f)
+            } else {
+                rx.push(fresh_elems[i].clone());
+            }
+        }
+        let got = decode_elements(&code, fresh.len(), &views(&rx)).unwrap();
+        assert_eq!(got, fresh);
+    }
+
+    #[test]
+    fn malformed_elements_degrade_to_erasures() {
+        let code = ReedSolomon::new(6, 2).unwrap();
+        let v = Value::from("abcdef");
+        let mut elements = encode_value(&code, &v);
+        // Byzantine server truncates its element and another claims an
+        // out-of-range index.
+        elements[0].data = Bytes::from_static(b"x");
+        elements[1].index = 99;
+        let got = decode_elements(&code, v.len(), &views(&elements)).unwrap();
+        assert_eq!(got, v);
+    }
+
+    #[test]
+    fn duplicate_positions_keep_first_claim() {
+        let code = ReedSolomon::new(6, 2).unwrap();
+        let v = Value::from("abcdef");
+        let mut elements = encode_value(&code, &v);
+        // A Byzantine server impersonates position 2 with garbage, appended
+        // after the honest element — the honest one wins.
+        let mut fake = elements[2].clone();
+        fake.data = Bytes::from(vec![0xFF; fake.data.len()]);
+        elements.push(fake);
+        let got = decode_elements(&code, v.len(), &views(&elements)).unwrap();
+        assert_eq!(got, v);
+    }
+
+    #[test]
+    fn empty_value_roundtrips() {
+        let code = ReedSolomon::new(6, 1).unwrap();
+        let v = Value::initial();
+        let elements = encode_value(&code, &v);
+        assert!(elements.iter().all(|e| e.data.is_empty()));
+        let got = decode_elements(&code, 0, &views(&elements)).unwrap();
+        assert!(got.is_initial());
+    }
+
+    #[test]
+    fn unrecoverable_pattern_errors_out() {
+        let code = ReedSolomon::new(6, 2).unwrap();
+        let v = Value::from("abcdef");
+        let elements = encode_value(&code, &v);
+        // Only one element survives; k = 2 are needed.
+        let one = [ElementView::of(&elements[0])];
+        assert!(decode_elements(&code, v.len(), &one).is_err());
+    }
+}

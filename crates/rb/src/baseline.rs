@@ -1,0 +1,571 @@
+//! The RB-based baseline register (Kanjani et al. style, `n ≥ 3f + 1`).
+//!
+//! Writers run the same two-phase write as BSR (the `get-tag` phase and a
+//! `PUT-DATA` fan-out), but servers **relay** the `put-data` through
+//! [Bracha reliable broadcast](crate::bracha) before storing and
+//! acknowledging. The RB's all-or-none property is what lets the register
+//! get away with only `3f + 1` servers — and what costs every write the
+//! extra `ECHO → READY` message delays the paper counts as the 1.5-round
+//! blow-up (§I-B).
+//!
+//! Readers use the *relay/subscription* technique: a `QueryDataSub` returns
+//! the server's full delivered history and registers the reader; every
+//! later RB delivery is pushed to registered readers until the reader has
+//! seen `n − f` servers respond and some `(tag, value)` pair carries
+//! `f + 1` witnesses, at which point it returns the highest such pair and
+//! unsubscribes. Termination relies on RB: a pair delivered anywhere
+//! correct is eventually delivered (and pushed) everywhere correct —
+//! exactly the crutch the paper's one-shot reads do without.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use safereg_common::config::QuorumConfig;
+use safereg_common::ids::{ClientId, ReaderId, ServerId, WriterId};
+use safereg_common::msg::{
+    BroadcastId, ClientToServer, Envelope, Message, OpId, Payload, ServerToClient,
+};
+use safereg_common::tag::Tag;
+use safereg_common::value::Value;
+use safereg_core::op::{ClientOp, OpOutput};
+use safereg_core::write::WriteOp;
+
+use crate::bracha::Bracha;
+
+/// A baseline server: RB layer + delivered-value store + reader relay.
+#[derive(Debug, Clone)]
+pub struct BaselineServer {
+    id: ServerId,
+    rb: Bracha,
+    /// Delivered `(tag, payload)` pairs (the server's history `L`).
+    log: BTreeMap<Tag, Payload>,
+    /// Writers awaiting an ack, keyed by broadcast instance.
+    pending_acks: BTreeMap<BroadcastId, OpId>,
+    /// Readers subscribed for relayed deliveries.
+    subscribers: BTreeMap<ClientId, OpId>,
+    /// Highest completed read sequence per client — guards against a
+    /// reordered `QueryDataSub` arriving after its own `ReadComplete` and
+    /// resurrecting a dead subscription.
+    completed_reads: BTreeMap<ClientId, u64>,
+}
+
+impl BaselineServer {
+    /// Creates a baseline server holding `(t_0, v_0)`.
+    pub fn new(id: ServerId, cfg: QuorumConfig) -> Self {
+        let mut log = BTreeMap::new();
+        log.insert(Tag::ZERO, Payload::Full(Value::initial()));
+        BaselineServer {
+            id,
+            rb: Bracha::new(id, cfg),
+            log,
+            pending_acks: BTreeMap::new(),
+            subscribers: BTreeMap::new(),
+            completed_reads: BTreeMap::new(),
+        }
+    }
+
+    /// This server's identifier.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// The highest delivered tag.
+    pub fn max_tag(&self) -> Tag {
+        *self.log.keys().next_back().expect("log holds (t0, v0)")
+    }
+
+    /// Number of delivered pairs.
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Handles any message addressed to this server (client requests and
+    /// peer RB traffic), returning envelopes to send.
+    pub fn handle(&mut self, src: safereg_common::ids::NodeId, msg: &Message) -> Vec<Envelope> {
+        match msg {
+            Message::ToServer(m) => {
+                let from = match src.as_client() {
+                    Some(c) => c,
+                    None => return Vec::new(), // servers do not send client requests
+                };
+                self.on_client(from, m)
+            }
+            Message::Peer(m) => {
+                let from = match src.as_server() {
+                    Some(s) => s,
+                    None => return Vec::new(), // clients do not send peer traffic
+                };
+                let step = self.rb.on_peer(from, m);
+                let mut out = step.outgoing;
+                if let Some((bid, tag, payload)) = step.delivered {
+                    out.extend(self.deliver(bid, tag, payload));
+                }
+                out
+            }
+            Message::ToClient(_) => Vec::new(),
+        }
+    }
+
+    fn on_client(&mut self, from: ClientId, msg: &ClientToServer) -> Vec<Envelope> {
+        match msg {
+            // get-tag behaves exactly as in BSR.
+            ClientToServer::QueryTag { op } => vec![Envelope::to_client(
+                self.id,
+                from,
+                ServerToClient::TagResp {
+                    op: *op,
+                    tag: self.max_tag(),
+                },
+            )],
+            // put-data is relayed through RB; the ack happens at delivery.
+            ClientToServer::PutData { op, tag, payload } => {
+                let bid = BroadcastId {
+                    origin: op.client,
+                    seq: op.seq,
+                };
+                self.pending_acks.insert(bid, *op);
+                let step = self.rb.on_broadcast(bid, *tag, payload.clone());
+                let mut out = step.outgoing;
+                if let Some((b, t, p)) = step.delivered {
+                    out.extend(self.deliver(b, t, p));
+                }
+                out
+            }
+            // Subscribe: full history now, pushes later.
+            ClientToServer::QueryDataSub { op } => {
+                if self.completed_reads.get(&from).copied().unwrap_or(0) < op.seq {
+                    self.subscribers.insert(from, *op);
+                }
+                let entries: Vec<(Tag, Payload)> =
+                    self.log.iter().map(|(t, p)| (*t, p.clone())).collect();
+                vec![Envelope::to_client(
+                    self.id,
+                    from,
+                    ServerToClient::HistoryResp { op: *op, entries },
+                )]
+            }
+            ClientToServer::ReadComplete { op } => {
+                let done = self.completed_reads.entry(from).or_insert(0);
+                *done = (*done).max(op.seq);
+                if self
+                    .subscribers
+                    .get(&from)
+                    .is_some_and(|sub| sub.seq <= op.seq)
+                {
+                    self.subscribers.remove(&from);
+                }
+                Vec::new()
+            }
+            // Plain one-shot queries still work (used for comparison runs).
+            ClientToServer::QueryData { op } => {
+                let (tag, payload) = self.log.iter().next_back().expect("log non-empty");
+                vec![Envelope::to_client(
+                    self.id,
+                    from,
+                    ServerToClient::DataResp {
+                        op: *op,
+                        tag: *tag,
+                        payload: payload.clone(),
+                    },
+                )]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// An RB delivery: store, ack the writer, relay to subscribers.
+    fn deliver(&mut self, bid: BroadcastId, tag: Tag, payload: Payload) -> Vec<Envelope> {
+        self.log.entry(tag).or_insert_with(|| payload.clone());
+        let mut out = Vec::new();
+        if let Some(op) = self.pending_acks.remove(&bid) {
+            out.push(Envelope::to_client(
+                self.id,
+                op.client,
+                ServerToClient::PutAck { op, tag },
+            ));
+        } else if let ClientId::Writer(_) = bid.origin {
+            // Delivery can precede the writer's own PUT-DATA at this
+            // server (the relay outran it); ack the writer anyway so it
+            // never waits on a message the RB already superseded.
+            out.push(Envelope::to_client(
+                self.id,
+                bid.origin,
+                ServerToClient::PutAck {
+                    op: OpId {
+                        client: bid.origin,
+                        seq: bid.seq,
+                    },
+                    tag,
+                },
+            ));
+        }
+        for (reader, op) in &self.subscribers {
+            out.push(Envelope::to_client(
+                self.id,
+                *reader,
+                ServerToClient::DataResp {
+                    op: *op,
+                    tag,
+                    payload: payload.clone(),
+                },
+            ));
+        }
+        out
+    }
+}
+
+/// A baseline writer: the two-phase write of Fig. 1 against relay servers.
+///
+/// The operation type is [`WriteOp`] itself — only the servers differ.
+#[derive(Debug, Clone)]
+pub struct BaselineWriter {
+    id: WriterId,
+    cfg: QuorumConfig,
+    seq: u64,
+}
+
+impl BaselineWriter {
+    /// Creates a baseline writer.
+    pub fn new(id: WriterId, cfg: QuorumConfig) -> Self {
+        BaselineWriter { id, cfg, seq: 0 }
+    }
+
+    /// This writer's identifier.
+    pub fn id(&self) -> WriterId {
+        self.id
+    }
+
+    /// Mints the next write operation.
+    pub fn write(&mut self, value: Value) -> WriteOp {
+        self.seq += 1;
+        WriteOp::replicated(self.id, self.seq, self.cfg, value)
+    }
+}
+
+/// A baseline read operation: subscribe, accumulate witnesses, return the
+/// highest pair with `f + 1` of them once `n − f` servers have responded.
+#[derive(Debug)]
+pub struct BaselineReadOp {
+    reader: ReaderId,
+    op: OpId,
+    cfg: QuorumConfig,
+    /// Pairs each server has vouched for (initial history + pushes).
+    reports: BTreeMap<ServerId, BTreeSet<(Tag, Value)>>,
+    result: Option<OpOutput>,
+    rounds: u32,
+}
+
+impl BaselineReadOp {
+    /// Creates a subscribing read.
+    pub fn new(reader: ReaderId, seq: u64, cfg: QuorumConfig) -> Self {
+        BaselineReadOp {
+            reader,
+            op: OpId::new(reader, seq),
+            cfg,
+            reports: BTreeMap::new(),
+            result: None,
+            rounds: 0,
+        }
+    }
+
+    fn client(&self) -> ClientId {
+        ClientId::Reader(self.reader)
+    }
+
+    fn try_conclude(&mut self) -> Vec<Envelope> {
+        if self.reports.len() < self.cfg.response_quorum() {
+            return Vec::new();
+        }
+        let mut witnesses: BTreeMap<&(Tag, Value), usize> = BTreeMap::new();
+        for set in self.reports.values() {
+            for pair in set {
+                *witnesses.entry(pair).or_insert(0) += 1;
+            }
+        }
+        let threshold = self.cfg.witness_threshold();
+        let best = witnesses
+            .iter()
+            .rev()
+            .find(|(_, c)| **c >= threshold)
+            .map(|(pair, _)| (*pair).clone());
+        match best {
+            Some((tag, value)) => {
+                self.result = Some(OpOutput::Read { value, tag });
+                // Unsubscribe everywhere.
+                self.cfg
+                    .servers()
+                    .map(|sid| {
+                        Envelope::to_server(
+                            self.client(),
+                            sid,
+                            ClientToServer::ReadComplete { op: self.op },
+                        )
+                    })
+                    .collect()
+            }
+            // Not enough agreement yet: keep waiting for relayed pushes
+            // (RB guarantees they come).
+            None => Vec::new(),
+        }
+    }
+}
+
+impl ClientOp for BaselineReadOp {
+    fn op_id(&self) -> OpId {
+        self.op
+    }
+
+    fn start(&mut self) -> Vec<Envelope> {
+        self.rounds = 1;
+        self.cfg
+            .servers()
+            .map(|sid| {
+                Envelope::to_server(
+                    self.client(),
+                    sid,
+                    ClientToServer::QueryDataSub { op: self.op },
+                )
+            })
+            .collect()
+    }
+
+    fn on_message(&mut self, from: ServerId, msg: &ServerToClient) -> Vec<Envelope> {
+        if self.result.is_some() || msg.op() != self.op {
+            return Vec::new();
+        }
+        match msg {
+            ServerToClient::HistoryResp { entries, .. } => {
+                let set = self.reports.entry(from).or_default();
+                for (t, p) in entries {
+                    if let Some(v) = p.as_full() {
+                        set.insert((*t, v.clone()));
+                    }
+                }
+                self.try_conclude()
+            }
+            ServerToClient::DataResp { tag, payload, .. } => {
+                if let Some(v) = payload.as_full() {
+                    self.reports
+                        .entry(from)
+                        .or_default()
+                        .insert((*tag, v.clone()));
+                }
+                self.try_conclude()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn output(&self) -> Option<OpOutput> {
+        self.result.clone()
+    }
+
+    fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    fn is_write(&self) -> bool {
+        false
+    }
+}
+
+/// A baseline reader client minting subscribing reads.
+#[derive(Debug, Clone)]
+pub struct BaselineReader {
+    id: ReaderId,
+    cfg: QuorumConfig,
+    seq: u64,
+}
+
+impl BaselineReader {
+    /// Creates a baseline reader.
+    pub fn new(id: ReaderId, cfg: QuorumConfig) -> Self {
+        BaselineReader { id, cfg, seq: 0 }
+    }
+
+    /// This reader's identifier.
+    pub fn id(&self) -> ReaderId {
+        self.id
+    }
+
+    /// Mints the next read operation.
+    pub fn read(&mut self) -> BaselineReadOp {
+        self.seq += 1;
+        BaselineReadOp::new(self.id, self.seq, self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safereg_common::ids::NodeId;
+
+    fn cfg() -> QuorumConfig {
+        QuorumConfig::minimal_rb(1).unwrap() // n = 4, f = 1
+    }
+
+    /// Synchronous mini-runtime: delivers every envelope immediately,
+    /// optionally dropping all traffic from `silent` servers.
+    fn run(
+        servers: &mut BTreeMap<ServerId, BaselineServer>,
+        op: &mut dyn ClientOp,
+        silent: &[u16],
+    ) {
+        let mut queue = op.start();
+        let mut guard = 0;
+        while let Some(env) = queue.pop() {
+            guard += 1;
+            assert!(guard < 100_000, "runaway message loop");
+            if let Some(s) = env.src.as_server() {
+                if silent.contains(&s.0) {
+                    continue;
+                }
+            }
+            match env.dst {
+                NodeId::Server(sid) => {
+                    if silent.contains(&sid.0) {
+                        continue; // silent server also ignores inputs
+                    }
+                    let out = servers.get_mut(&sid).unwrap().handle(env.src, &env.msg);
+                    queue.extend(out);
+                }
+                NodeId::Client(_) => {
+                    if let Message::ToClient(m) = &env.msg {
+                        let sid = env.src.as_server().unwrap();
+                        queue.extend(op.on_message(sid, m));
+                    }
+                }
+            }
+        }
+    }
+
+    fn cluster() -> BTreeMap<ServerId, BaselineServer> {
+        cfg()
+            .servers()
+            .map(|s| (s, BaselineServer::new(s, cfg())))
+            .collect()
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut servers = cluster();
+        let mut w = BaselineWriter::new(WriterId(0), cfg());
+        let mut wop = w.write(Value::from("rb-value"));
+        run(&mut servers, &mut wop, &[]);
+        let tag = match wop.output().expect("write completes") {
+            OpOutput::Written { tag } => tag,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(tag, Tag::new(1, WriterId(0)));
+        // RB delivered everywhere.
+        for s in servers.values() {
+            assert_eq!(s.max_tag(), tag);
+        }
+
+        let mut r = BaselineReader::new(ReaderId(0), cfg());
+        let mut rop = r.read();
+        run(&mut servers, &mut rop, &[]);
+        let out = rop.output().expect("read completes");
+        assert_eq!(out.read_value().unwrap().as_bytes(), b"rb-value");
+    }
+
+    #[test]
+    fn tolerates_f_silent_servers_at_3f_plus_1() {
+        let mut servers = cluster();
+        let mut w = BaselineWriter::new(WriterId(0), cfg());
+        let mut wop = w.write(Value::from("v"));
+        run(&mut servers, &mut wop, &[3]);
+        assert!(wop.output().is_some(), "write lives with n - f = 3 servers");
+
+        let mut r = BaselineReader::new(ReaderId(0), cfg());
+        let mut rop = r.read();
+        run(&mut servers, &mut rop, &[3]);
+        let out = rop.output().expect("read lives");
+        assert_eq!(out.read_value().unwrap().as_bytes(), b"v");
+    }
+
+    #[test]
+    fn relay_completes_reads_that_start_mid_write() {
+        // The reader subscribes before the write reaches every server; the
+        // relay pushes the delivery to the subscribed reader.
+        let mut servers = cluster();
+        let mut r = BaselineReader::new(ReaderId(0), cfg());
+        let mut rop = r.read();
+        // Subscribe only (servers all at t0, so the read completes with v0
+        // immediately — 4 histories all vouch t0).
+        run(&mut servers, &mut rop, &[]);
+        let out = rop.output().unwrap();
+        assert!(out.read_value().unwrap().is_initial());
+
+        // Now a second read subscribes, then a write lands; the read's
+        // witnesses update via pushes.
+        let mut rop2 = r.read();
+        let mut queue = rop2.start();
+        // Deliver the subscriptions first (reader now registered).
+        while let Some(env) = queue.pop() {
+            if let NodeId::Server(sid) = env.dst {
+                let out = servers.get_mut(&sid).unwrap().handle(env.src, &env.msg);
+                // Hold the server→client responses: simulate slow replies.
+                for e in out {
+                    if let Message::ToClient(m) = &e.msg {
+                        rop2.on_message(e.src.as_server().unwrap(), m);
+                    }
+                }
+            }
+        }
+        // rop2 returned v0 already (all four said t0). That's fine: it was
+        // not concurrent with any write. Run a write and a third read to
+        // see a pushed value win.
+        let mut w = BaselineWriter::new(WriterId(0), cfg());
+        let mut wop = w.write(Value::from("pushed"));
+        run(&mut servers, &mut wop, &[]);
+        let mut rop3 = r.read();
+        run(&mut servers, &mut rop3, &[]);
+        assert_eq!(
+            rop3.output().unwrap().read_value().unwrap().as_bytes(),
+            b"pushed"
+        );
+    }
+
+    #[test]
+    fn unsubscribe_stops_pushes() {
+        let mut servers = cluster();
+        let mut r = BaselineReader::new(ReaderId(0), cfg());
+        let mut rop = r.read();
+        run(&mut servers, &mut rop, &[]);
+        assert!(rop.output().is_some());
+        // After ReadComplete the servers dropped the subscription.
+        let mut w = BaselineWriter::new(WriterId(0), cfg());
+        let mut wop = w.write(Value::from("later"));
+        let mut queue = wop.start();
+        let mut pushed_to_reader = 0;
+        while let Some(env) = queue.pop() {
+            match env.dst {
+                NodeId::Server(sid) => {
+                    queue.extend(servers.get_mut(&sid).unwrap().handle(env.src, &env.msg));
+                }
+                NodeId::Client(ClientId::Reader(_)) => pushed_to_reader += 1,
+                NodeId::Client(ClientId::Writer(_)) => {
+                    if let Message::ToClient(m) = &env.msg {
+                        queue.extend(wop.on_message(env.src.as_server().unwrap(), m));
+                    }
+                }
+            }
+        }
+        assert_eq!(pushed_to_reader, 0, "no subscriber, no pushes");
+    }
+
+    #[test]
+    fn get_tag_tracks_delivered_maximum() {
+        let mut servers = cluster();
+        let mut w = BaselineWriter::new(WriterId(0), cfg());
+        let mut wop = w.write(Value::from("a"));
+        run(&mut servers, &mut wop, &[]);
+        let mut wop2 = w.write(Value::from("b"));
+        run(&mut servers, &mut wop2, &[]);
+        assert_eq!(
+            wop2.output().unwrap().tag(),
+            Tag::new(2, WriterId(0)),
+            "second write sees the first's tag via get-tag"
+        );
+    }
+}

@@ -1,0 +1,369 @@
+//! Bracha reliable broadcast among servers.
+//!
+//! Classic asynchronous reliable broadcast (Bracha 1987) adapted to the
+//! register setting: the "send" step is the writer's `PUT-DATA` arriving at
+//! a server, after which servers exchange `ECHO` and `READY` messages. For
+//! `n ≥ 3f + 1` it guarantees, for each broadcast instance:
+//!
+//! * **Validity** — if the (correct) writer's payload reaches the servers,
+//!   every correct server eventually delivers it.
+//! * **Agreement / all-or-none** — if any correct server delivers `(t, v)`,
+//!   every correct server eventually delivers `(t, v)` and no correct
+//!   server delivers anything else.
+//!
+//! Thresholds: echo-quorum `⌈(n+f+1)/2⌉` (two echo quorums intersect in a
+//! correct server), ready amplification at `f + 1`, delivery at `2f + 1`.
+//!
+//! This is exactly the primitive whose 1.5-round cost the paper's protocols
+//! avoid (§I-B): counting one-way hops, `PUT-DATA → ECHO → READY` is three
+//! hops before delivery where BSR needs one.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use safereg_common::config::QuorumConfig;
+use safereg_common::ids::ServerId;
+use safereg_common::msg::{BroadcastId, Envelope, Payload, PeerMessage};
+use safereg_common::tag::Tag;
+
+/// One payload under broadcast, as keyed by the vote sets.
+type Item = (Tag, Payload);
+
+/// Per-instance vote state.
+#[derive(Debug, Clone, Default)]
+struct Instance {
+    /// Whether this server has sent its `ECHO` (at most one per instance).
+    echoed: bool,
+    /// Whether this server has sent its `READY` (at most one per instance).
+    ready_sent: bool,
+    /// Echo votes per item.
+    echoes: BTreeMap<Item, BTreeSet<ServerId>>,
+    /// Ready votes per item.
+    readies: BTreeMap<Item, BTreeSet<ServerId>>,
+    /// Set once the instance delivered (delivery is final).
+    delivered: Option<Item>,
+}
+
+/// What one protocol step produced: messages to send to peers, and possibly
+/// a delivery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RbStep {
+    /// Peer messages to send (already enveloped).
+    pub outgoing: Vec<Envelope>,
+    /// The delivered `(tag, payload)`, the first time the instance delivers.
+    pub delivered: Option<(BroadcastId, Tag, Payload)>,
+}
+
+impl RbStep {
+    fn quiet() -> Self {
+        RbStep {
+            outgoing: Vec::new(),
+            delivered: None,
+        }
+    }
+}
+
+/// The Bracha reliable-broadcast layer of one server.
+///
+/// # Examples
+///
+/// ```
+/// use safereg_common::{config::QuorumConfig, ids::{ServerId, WriterId, ClientId},
+///                      msg::{BroadcastId, Payload}, tag::Tag, value::Value};
+/// use safereg_rb::bracha::Bracha;
+///
+/// let cfg = QuorumConfig::minimal_rb(1)?; // n = 4, f = 1
+/// let mut rb = Bracha::new(ServerId(0), cfg);
+/// let bid = BroadcastId { origin: ClientId::Writer(WriterId(0)), seq: 1 };
+/// let step = rb.on_broadcast(bid, Tag::new(1, WriterId(0)), Payload::Full(Value::from("v")));
+/// assert_eq!(step.outgoing.len(), 4, "ECHO to every server (including self-loop)");
+/// # Ok::<(), safereg_common::config::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bracha {
+    me: ServerId,
+    cfg: QuorumConfig,
+    instances: BTreeMap<BroadcastId, Instance>,
+}
+
+impl Bracha {
+    /// Creates the RB layer for server `me`.
+    pub fn new(me: ServerId, cfg: QuorumConfig) -> Self {
+        Bracha {
+            me,
+            cfg,
+            instances: BTreeMap::new(),
+        }
+    }
+
+    /// Handles the writer's payload arriving at this server (the broadcast
+    /// "send" step): echo it to all servers, once.
+    pub fn on_broadcast(&mut self, bid: BroadcastId, tag: Tag, payload: Payload) -> RbStep {
+        let inst = self.instances.entry(bid).or_default();
+        if inst.echoed || inst.delivered.is_some() {
+            return RbStep::quiet();
+        }
+        inst.echoed = true;
+        RbStep {
+            outgoing: self.to_all_servers(PeerMessage::RbEcho { bid, tag, payload }),
+            delivered: None,
+        }
+    }
+
+    /// Handles an `ECHO`/`READY` from a peer server.
+    pub fn on_peer(&mut self, from: ServerId, msg: &PeerMessage) -> RbStep {
+        match msg {
+            PeerMessage::RbEcho { bid, tag, payload } => {
+                self.record_echo(*bid, from, (*tag, payload.clone()))
+            }
+            PeerMessage::RbReady { bid, tag, payload } => {
+                self.record_ready(*bid, from, (*tag, payload.clone()))
+            }
+        }
+    }
+
+    fn record_echo(&mut self, bid: BroadcastId, from: ServerId, item: Item) -> RbStep {
+        let echo_quorum = self.cfg.rb_echo_threshold();
+        let inst = self.instances.entry(bid).or_default();
+        if inst.delivered.is_some() {
+            return RbStep::quiet();
+        }
+        inst.echoes.entry(item.clone()).or_default().insert(from);
+        let send_ready = !inst.ready_sent && inst.echoes[&item].len() >= echo_quorum;
+        if send_ready {
+            inst.ready_sent = true;
+            let (tag, payload) = item;
+            return RbStep {
+                outgoing: self.to_all_servers(PeerMessage::RbReady { bid, tag, payload }),
+                delivered: None,
+            };
+        }
+        RbStep::quiet()
+    }
+
+    fn record_ready(&mut self, bid: BroadcastId, from: ServerId, item: Item) -> RbStep {
+        let amplify = self.cfg.rb_ready_amplify();
+        let deliver_at = self.cfg.rb_deliver_threshold();
+        let inst = self.instances.entry(bid).or_default();
+        if inst.delivered.is_some() {
+            return RbStep::quiet();
+        }
+        inst.readies.entry(item.clone()).or_default().insert(from);
+        let count = inst.readies[&item].len();
+
+        let mut outgoing = Vec::new();
+        if !inst.ready_sent && count >= amplify {
+            // Ready amplification: f + 1 READYs imply a correct server is
+            // ready, so it is safe to join without having echoed.
+            inst.ready_sent = true;
+            let (tag, payload) = item.clone();
+            outgoing = self.to_all_servers(PeerMessage::RbReady { bid, tag, payload });
+        }
+        let mut delivered = None;
+        // Re-borrow (to_all_servers used &self).
+        let inst = self.instances.get_mut(&bid).expect("instance exists");
+        if inst.readies[&item].len() >= deliver_at {
+            inst.delivered = Some(item.clone());
+            let (tag, payload) = item;
+            delivered = Some((bid, tag, payload));
+        }
+        RbStep {
+            outgoing,
+            delivered,
+        }
+    }
+
+    fn to_all_servers(&self, msg: PeerMessage) -> Vec<Envelope> {
+        self.cfg
+            .servers()
+            .map(|sid| Envelope::new(self.me, sid, msg.clone()))
+            .collect()
+    }
+
+    /// Whether the given instance has delivered at this server.
+    pub fn delivered(&self, bid: &BroadcastId) -> Option<&(Tag, Payload)> {
+        self.instances.get(bid).and_then(|i| i.delivered.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safereg_common::ids::{ClientId, WriterId};
+    use safereg_common::msg::Message;
+    use safereg_common::value::Value;
+
+    fn cfg() -> QuorumConfig {
+        QuorumConfig::minimal_rb(1).unwrap() // n = 4, f = 1
+    }
+
+    fn bid() -> BroadcastId {
+        BroadcastId {
+            origin: ClientId::Writer(WriterId(0)),
+            seq: 1,
+        }
+    }
+
+    fn item() -> (Tag, Payload) {
+        (Tag::new(1, WriterId(0)), Payload::Full(Value::from("v")))
+    }
+
+    /// Runs a full cluster of Bracha layers to completion, delivering all
+    /// peer messages, returning who delivered what.
+    fn run_cluster(initial_receivers: &[u16], faulty_silent: &[u16]) -> BTreeMap<ServerId, Item> {
+        let cfg = cfg();
+        let mut layers: BTreeMap<ServerId, Bracha> =
+            cfg.servers().map(|s| (s, Bracha::new(s, cfg))).collect();
+        let (tag, payload) = item();
+        let mut queue: Vec<Envelope> = Vec::new();
+        for r in initial_receivers {
+            let step =
+                layers
+                    .get_mut(&ServerId(*r))
+                    .unwrap()
+                    .on_broadcast(bid(), tag, payload.clone());
+            queue.extend(step.outgoing);
+        }
+        let mut delivered = BTreeMap::new();
+        while let Some(env) = queue.pop() {
+            let src = env.src.as_server().unwrap();
+            if faulty_silent.contains(&src.0) {
+                continue; // silent Byzantine server: its messages are lost
+            }
+            let dst = env.dst.as_server().unwrap();
+            let msg = match &env.msg {
+                Message::Peer(m) => m.clone(),
+                other => panic!("unexpected {other:?}"),
+            };
+            let step = layers.get_mut(&dst).unwrap().on_peer(src, &msg);
+            queue.extend(step.outgoing);
+            if let Some((b, t, p)) = step.delivered {
+                assert_eq!(b, bid());
+                delivered.insert(dst, (t, p));
+            }
+        }
+        delivered
+    }
+
+    #[test]
+    fn all_correct_servers_deliver_when_all_receive() {
+        let delivered = run_cluster(&[0, 1, 2, 3], &[]);
+        assert_eq!(delivered.len(), 4);
+        assert!(delivered.values().all(|i| *i == item()));
+    }
+
+    #[test]
+    fn delivery_survives_one_silent_server() {
+        // Server 3 is Byzantine-silent: never echoes or readies.
+        let delivered = run_cluster(&[0, 1, 2, 3], &[3]);
+        let correct: Vec<_> = delivered.keys().filter(|s| s.0 != 3).collect();
+        assert_eq!(correct.len(), 3, "all correct servers deliver");
+    }
+
+    #[test]
+    fn all_or_none_when_sender_reaches_only_some() {
+        // The writer's PUT-DATA reaches only 3 of 4 servers (it crashed);
+        // RB still spreads the value to everyone correct.
+        let delivered = run_cluster(&[0, 1, 2], &[]);
+        assert_eq!(delivered.len(), 4, "the 4th server delivers via echo/ready");
+    }
+
+    #[test]
+    fn too_few_initial_receivers_deliver_nothing() {
+        // Echo quorum is ⌈(4+1+1)/2⌉ = 3; with only 2 echoes nothing
+        // proceeds — none deliver (the "none" side of all-or-none).
+        let delivered = run_cluster(&[0, 1], &[]);
+        assert!(delivered.is_empty());
+    }
+
+    #[test]
+    fn duplicate_broadcast_and_votes_are_idempotent() {
+        let cfgv = cfg();
+        let mut rb = Bracha::new(ServerId(0), cfgv);
+        let (tag, payload) = item();
+        let first = rb.on_broadcast(bid(), tag, payload.clone());
+        assert_eq!(first.outgoing.len(), 4);
+        let second = rb.on_broadcast(bid(), tag, payload.clone());
+        assert!(second.outgoing.is_empty(), "echo sent at most once");
+
+        // The same READY from the same peer counts once.
+        let ready = PeerMessage::RbReady {
+            bid: bid(),
+            tag,
+            payload: payload.clone(),
+        };
+        rb.on_peer(ServerId(1), &ready);
+        rb.on_peer(ServerId(1), &ready);
+        assert!(
+            rb.delivered(&bid()).is_none(),
+            "one distinct READY cannot deliver"
+        );
+    }
+
+    #[test]
+    fn ready_amplification_at_f_plus_one() {
+        let cfgv = cfg();
+        let mut rb = Bracha::new(ServerId(0), cfgv);
+        let (tag, payload) = item();
+        let ready1 = rb.on_peer(
+            ServerId(1),
+            &PeerMessage::RbReady {
+                bid: bid(),
+                tag,
+                payload: payload.clone(),
+            },
+        );
+        assert!(
+            ready1.outgoing.is_empty(),
+            "one READY (≤ f) does not amplify"
+        );
+        let ready2 = rb.on_peer(
+            ServerId(2),
+            &PeerMessage::RbReady {
+                bid: bid(),
+                tag,
+                payload: payload.clone(),
+            },
+        );
+        assert_eq!(ready2.outgoing.len(), 4, "f + 1 READYs amplify");
+    }
+
+    #[test]
+    fn equivocating_echoes_cannot_reach_two_quorums() {
+        // n = 4, f = 1: echo quorum is 3. A Byzantine writer sends item A to
+        // two servers and item B to the other two; neither reaches 3 echoes,
+        // so no correct server delivers anything (agreement preserved).
+        let cfgv = cfg();
+        let mut layers: BTreeMap<ServerId, Bracha> =
+            cfgv.servers().map(|s| (s, Bracha::new(s, cfgv))).collect();
+        let item_a = (Tag::new(1, WriterId(0)), Payload::Full(Value::from("A")));
+        let item_b = (Tag::new(1, WriterId(0)), Payload::Full(Value::from("B")));
+        let mut queue = Vec::new();
+        for s in [0u16, 1] {
+            let step = layers.get_mut(&ServerId(s)).unwrap().on_broadcast(
+                bid(),
+                item_a.0,
+                item_a.1.clone(),
+            );
+            queue.extend(step.outgoing);
+        }
+        for s in [2u16, 3] {
+            let step = layers.get_mut(&ServerId(s)).unwrap().on_broadcast(
+                bid(),
+                item_b.0,
+                item_b.1.clone(),
+            );
+            queue.extend(step.outgoing);
+        }
+        let mut delivered = 0;
+        while let Some(env) = queue.pop() {
+            let src = env.src.as_server().unwrap();
+            let dst = env.dst.as_server().unwrap();
+            if let Message::Peer(m) = &env.msg {
+                let step = layers.get_mut(&dst).unwrap().on_peer(src, m);
+                queue.extend(step.outgoing);
+                delivered += usize::from(step.delivered.is_some());
+            }
+        }
+        assert_eq!(delivered, 0, "split echoes never deliver");
+    }
+}

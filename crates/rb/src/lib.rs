@@ -1,0 +1,26 @@
+//! The reliable-broadcast baseline the paper compares against.
+//!
+//! §I-B and §VI: prior Byzantine register emulations (e.g. Kanjani et al.
+//! \[15\]) assume a *reliable broadcast* (RB) primitive with the "eventual
+//! all-or-none" property and need only `n ≥ 3f + 1` servers — but every RB
+//! costs 1.5 rounds of extra delay, which is exactly the overhead the
+//! paper's protocols remove. To measure that trade-off, this crate
+//! implements:
+//!
+//! * [`bracha`] — Bracha's reliable broadcast (echo/ready with `⌈(n+f+1)/2⌉`
+//!   and `f+1`/`2f+1` thresholds) run among the servers,
+//! * [`baseline`] — a regular register in the style of \[15\]: writers use
+//!   the same two-phase write as BSR but servers *relay* the `put-data`
+//!   through RB before storing and acknowledging, and readers subscribe so
+//!   servers push every delivered write until the read has `f + 1`
+//!   witnesses for some pair (the *relay* technique).
+//!
+//! The baseline tolerates `n ≥ 3f + 1` — fewer servers than BSR's
+//! `4f + 1` — at the price of server-to-server communication and RB's
+//! extra message delays (experiments E1–E3).
+
+pub mod baseline;
+pub mod bracha;
+
+pub use baseline::{BaselineReadOp, BaselineReader, BaselineServer, BaselineWriter};
+pub use bracha::{Bracha, RbStep};

@@ -1,0 +1,367 @@
+//! Message delay policies.
+//!
+//! The model's channels are reliable but arbitrarily slow; a
+//! [`DelayPolicy`] decides *how* slow, per message. Uniform/fixed policies
+//! model benign networks, and [`Scripted`] policies give an adversarial
+//! scheduler surgical control over individual messages — delaying the
+//! `put-data` of one writer to one server past a reader's completion is
+//! exactly how the paper's Theorem 3/5/6 schedules are reproduced.
+
+use safereg_common::ids::NodeId;
+use safereg_common::msg::{ClientToServer, Envelope, Message, OpId};
+use safereg_common::rng::DetRng;
+
+use crate::event::SimTime;
+
+/// A hold-back used by scripted schedules: "deliver after everything
+/// relevant has happened". Channels stay reliable (the message *is*
+/// delivered), it just arrives far too late to matter.
+pub const FAR_FUTURE: SimTime = 1 << 40;
+
+/// The delay assigned to one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delay(pub SimTime);
+
+impl Delay {
+    /// Delivery after `ticks`.
+    pub fn after(ticks: SimTime) -> Self {
+        Delay(ticks)
+    }
+
+    /// Deliver at [`FAR_FUTURE`] — effectively "after the experiment",
+    /// while keeping the channel formally reliable.
+    pub fn held() -> Self {
+        Delay(FAR_FUTURE)
+    }
+}
+
+/// Decides each message's network delay.
+pub trait DelayPolicy: Send {
+    /// The delay for `env` sent at `now`.
+    fn delay(&mut self, now: SimTime, env: &Envelope, rng: &mut DetRng) -> Delay;
+}
+
+/// Every message takes exactly `hop` ticks — the synchronous-looking
+/// network used for round/latency accounting (E2, E3).
+#[derive(Debug, Clone)]
+pub struct FixedDelay {
+    /// Per-hop latency in ticks.
+    pub hop: SimTime,
+}
+
+impl DelayPolicy for FixedDelay {
+    fn delay(&mut self, _now: SimTime, _env: &Envelope, _rng: &mut DetRng) -> Delay {
+        Delay(self.hop)
+    }
+}
+
+/// Uniformly random delay in `[lo, hi)` — the benign asynchronous network.
+#[derive(Debug, Clone)]
+pub struct UniformDelay {
+    /// Minimum delay (inclusive).
+    pub lo: SimTime,
+    /// Maximum delay (exclusive).
+    pub hi: SimTime,
+}
+
+impl DelayPolicy for UniformDelay {
+    fn delay(&mut self, _now: SimTime, _env: &Envelope, rng: &mut DetRng) -> Delay {
+        Delay(rng.range_u64(self.lo..self.hi))
+    }
+}
+
+/// Heavy-tailed delays: mostly fast, occasionally very slow — the
+/// tail-latency profile of real networks, and the regime where asynchrony
+/// actually bites (messages from long ago arriving mid-operation).
+#[derive(Debug, Clone)]
+pub struct SpikeDelay {
+    /// Fast-path range (inclusive lo, exclusive hi).
+    pub base: (SimTime, SimTime),
+    /// Probability of a slow message.
+    pub spike_prob: f64,
+    /// Slow-path range.
+    pub spike: (SimTime, SimTime),
+}
+
+impl DelayPolicy for SpikeDelay {
+    fn delay(&mut self, _now: SimTime, _env: &Envelope, rng: &mut DetRng) -> Delay {
+        if rng.chance(self.spike_prob) {
+            Delay(rng.range_u64(self.spike.0..self.spike.1))
+        } else {
+            Delay(rng.range_u64(self.base.0..self.base.1))
+        }
+    }
+}
+
+/// Matches a subset of messages (all unset fields are wildcards).
+#[derive(Debug, Clone, Default)]
+pub struct Matcher {
+    /// Match the sender.
+    pub src: Option<NodeId>,
+    /// Match the destination.
+    pub dst: Option<NodeId>,
+    /// Match the operation the message belongs to.
+    pub op: Option<OpId>,
+    /// Match the client→server message kind (see [`MsgKind`]).
+    pub kind: Option<MsgKind>,
+}
+
+/// Coarse message classification for matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgKind {
+    /// `QUERY-TAG` requests.
+    QueryTag,
+    /// `PUT-DATA` requests.
+    PutData,
+    /// Any read query (`QUERY-DATA`, history, tag-list, value-at, sub).
+    ReadQuery,
+    /// Any server→client response.
+    Response,
+    /// Server-to-server RB traffic.
+    Peer,
+}
+
+/// Classifies a message for [`Matcher::kind`].
+pub fn classify(msg: &Message) -> MsgKind {
+    match msg {
+        Message::ToServer(m) => match m {
+            ClientToServer::QueryTag { .. } => MsgKind::QueryTag,
+            ClientToServer::PutData { .. } => MsgKind::PutData,
+            _ => MsgKind::ReadQuery,
+        },
+        Message::ToClient(_) => MsgKind::Response,
+        Message::Peer(_) => MsgKind::Peer,
+    }
+}
+
+/// The operation a message belongs to, when it carries one.
+pub fn op_of(msg: &Message) -> Option<OpId> {
+    match msg {
+        Message::ToServer(m) => Some(m.op()),
+        Message::ToClient(m) => Some(m.op()),
+        Message::Peer(p) => {
+            let bid = match p {
+                safereg_common::msg::PeerMessage::RbEcho { bid, .. }
+                | safereg_common::msg::PeerMessage::RbReady { bid, .. } => bid,
+            };
+            Some(OpId {
+                client: bid.origin,
+                seq: bid.seq,
+            })
+        }
+    }
+}
+
+impl Matcher {
+    /// A matcher with all fields wild (matches everything).
+    pub fn any() -> Self {
+        Matcher::default()
+    }
+
+    /// Restricts the sender.
+    #[must_use]
+    pub fn from_node(mut self, src: impl Into<NodeId>) -> Self {
+        self.src = Some(src.into());
+        self
+    }
+
+    /// Restricts the destination.
+    #[must_use]
+    pub fn to_node(mut self, dst: impl Into<NodeId>) -> Self {
+        self.dst = Some(dst.into());
+        self
+    }
+
+    /// Restricts the operation.
+    #[must_use]
+    pub fn for_op(mut self, op: OpId) -> Self {
+        self.op = Some(op);
+        self
+    }
+
+    /// Restricts the message kind.
+    #[must_use]
+    pub fn of_kind(mut self, kind: MsgKind) -> Self {
+        self.kind = Some(kind);
+        self
+    }
+
+    /// Whether `env` matches.
+    pub fn matches(&self, env: &Envelope) -> bool {
+        self.src.is_none_or(|s| s == env.src)
+            && self.dst.is_none_or(|d| d == env.dst)
+            && self.op.is_none_or(|o| op_of(&env.msg) == Some(o))
+            && self.kind.is_none_or(|k| k == classify(&env.msg))
+    }
+}
+
+/// One scripted rule: messages matching `matcher` get `delay`.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Which messages the rule applies to.
+    pub matcher: Matcher,
+    /// Their delay.
+    pub delay: Delay,
+}
+
+/// First-match-wins rule list with a default policy for the rest.
+///
+/// This is the adversarial scheduler: the Theorem replays express "the
+/// `put-data` of `w_1` to `s_3` is slow" as a [`Rule`] holding exactly that
+/// message to [`FAR_FUTURE`].
+pub struct Scripted {
+    rules: Vec<Rule>,
+    fallback: Box<dyn DelayPolicy>,
+}
+
+impl std::fmt::Debug for Scripted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scripted")
+            .field("rules", &self.rules.len())
+            .finish()
+    }
+}
+
+impl Scripted {
+    /// Creates a scripted policy over a fallback.
+    pub fn new(rules: Vec<Rule>, fallback: Box<dyn DelayPolicy>) -> Self {
+        Scripted { rules, fallback }
+    }
+
+    /// Convenience: scripted rules over a fixed per-hop delay.
+    pub fn over_fixed(rules: Vec<Rule>, hop: SimTime) -> Self {
+        Scripted::new(rules, Box::new(FixedDelay { hop }))
+    }
+}
+
+impl DelayPolicy for Scripted {
+    fn delay(&mut self, now: SimTime, env: &Envelope, rng: &mut DetRng) -> Delay {
+        for rule in &self.rules {
+            if rule.matcher.matches(env) {
+                return rule.delay;
+            }
+        }
+        self.fallback.delay(now, env, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safereg_common::ids::{ClientId, ReaderId, ServerId, WriterId};
+    use safereg_common::msg::Payload;
+    use safereg_common::tag::Tag;
+    use safereg_common::value::Value;
+
+    fn put_env(w: u16, s: u16) -> Envelope {
+        Envelope::to_server(
+            ClientId::Writer(WriterId(w)),
+            ServerId(s),
+            ClientToServer::PutData {
+                op: OpId::new(WriterId(w), 1),
+                tag: Tag::new(1, WriterId(w)),
+                payload: Payload::Full(Value::from("x")),
+            },
+        )
+    }
+
+    fn query_env(r: u16, s: u16) -> Envelope {
+        Envelope::to_server(
+            ClientId::Reader(ReaderId(r)),
+            ServerId(s),
+            ClientToServer::QueryData {
+                op: OpId::new(ReaderId(r), 1),
+            },
+        )
+    }
+
+    #[test]
+    fn fixed_and_uniform_policies() {
+        let mut rng = DetRng::seed_from(1);
+        let mut fixed = FixedDelay { hop: 7 };
+        assert_eq!(fixed.delay(0, &put_env(0, 0), &mut rng), Delay(7));
+        let mut uni = UniformDelay { lo: 5, hi: 10 };
+        for _ in 0..100 {
+            let d = uni.delay(0, &put_env(0, 0), &mut rng).0;
+            assert!((5..10).contains(&d));
+        }
+    }
+
+    #[test]
+    fn spike_delay_is_bimodal() {
+        let mut rng = DetRng::seed_from(3);
+        let mut policy = SpikeDelay {
+            base: (1, 10),
+            spike_prob: 0.3,
+            spike: (1_000, 2_000),
+        };
+        let mut fast = 0;
+        let mut slow = 0;
+        for _ in 0..1000 {
+            let d = policy.delay(0, &put_env(0, 0), &mut rng).0;
+            if d < 10 {
+                fast += 1;
+            } else {
+                assert!((1_000..2_000).contains(&d));
+                slow += 1;
+            }
+        }
+        assert!(fast > 600 && slow > 200, "fast {fast} slow {slow}");
+    }
+
+    #[test]
+    fn matcher_fields_compose() {
+        let m = Matcher::any()
+            .from_node(WriterId(1))
+            .to_node(ServerId(3))
+            .of_kind(MsgKind::PutData);
+        assert!(m.matches(&put_env(1, 3)));
+        assert!(!m.matches(&put_env(1, 2)), "wrong destination");
+        assert!(!m.matches(&put_env(2, 3)), "wrong source");
+        assert!(!m.matches(&query_env(1, 3)), "wrong kind");
+    }
+
+    #[test]
+    fn op_matcher_pins_one_operation() {
+        let m = Matcher::any().for_op(OpId::new(WriterId(1), 1));
+        assert!(m.matches(&put_env(1, 0)));
+        let mut other = put_env(1, 0);
+        if let Message::ToServer(ClientToServer::PutData { op, .. }) = &mut other.msg {
+            op.seq = 2;
+        }
+        assert!(!m.matches(&other));
+    }
+
+    #[test]
+    fn scripted_first_match_wins_then_fallback() {
+        let rules = vec![
+            Rule {
+                matcher: Matcher::any().to_node(ServerId(3)),
+                delay: Delay::held(),
+            },
+            Rule {
+                matcher: Matcher::any().to_node(ServerId(3)),
+                delay: Delay(1),
+            },
+        ];
+        let mut scripted = Scripted::over_fixed(rules, 10);
+        let mut rng = DetRng::seed_from(0);
+        assert_eq!(scripted.delay(0, &put_env(0, 3), &mut rng), Delay::held());
+        assert_eq!(scripted.delay(0, &put_env(0, 1), &mut rng), Delay(10));
+    }
+
+    #[test]
+    fn classify_covers_all_shapes() {
+        assert_eq!(classify(&put_env(0, 0).msg), MsgKind::PutData);
+        assert_eq!(classify(&query_env(0, 0).msg), MsgKind::ReadQuery);
+        let resp = Envelope::to_client(
+            ServerId(0),
+            ClientId::Reader(ReaderId(0)),
+            safereg_common::msg::ServerToClient::TagResp {
+                op: OpId::new(ReaderId(0), 1),
+                tag: Tag::ZERO,
+            },
+        );
+        assert_eq!(classify(&resp.msg), MsgKind::Response);
+    }
+}

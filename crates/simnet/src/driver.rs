@@ -1,0 +1,213 @@
+//! Client drivers: who a simulated client is and what it does next.
+//!
+//! A [`ClientDriver`] wraps one of the protocol client façades and mints
+//! [`ClientOp`]s on demand; a [`Plan`] schedules the client's operations
+//! (either at absolute instants — used by the scripted scenario replays —
+//! or closed-loop after the previous operation completes).
+
+use safereg_common::ids::ClientId;
+use safereg_common::value::Value;
+use safereg_core::client::{BcsrReader, BcsrWriter, Bsr2pReader, BsrHReader, BsrReader, BsrWriter};
+use safereg_core::op::{ClientOp, OpOutput};
+use safereg_rb::baseline::{BaselineReader, BaselineWriter};
+
+use crate::event::SimTime;
+
+/// What a planned operation does.
+#[derive(Debug, Clone)]
+pub enum Action {
+    /// Write this value.
+    Write(Value),
+    /// Read the register.
+    Read,
+}
+
+/// When a planned operation starts.
+#[derive(Debug, Clone, Copy)]
+pub enum StartRule {
+    /// At an absolute simulated instant (scripted scenarios).
+    At(SimTime),
+    /// `think` ticks after the previous operation completes (closed loop).
+    AfterPrevious {
+        /// Think time in ticks.
+        think: SimTime,
+    },
+}
+
+/// One planned operation.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// When to start.
+    pub start: StartRule,
+    /// What to do.
+    pub action: Action,
+}
+
+impl Plan {
+    /// A write at an absolute instant.
+    pub fn write_at(at: SimTime, value: impl Into<Value>) -> Self {
+        Plan {
+            start: StartRule::At(at),
+            action: Action::Write(value.into()),
+        }
+    }
+
+    /// A read at an absolute instant.
+    pub fn read_at(at: SimTime) -> Self {
+        Plan {
+            start: StartRule::At(at),
+            action: Action::Read,
+        }
+    }
+}
+
+/// A custom operation factory — lets experiment code (e.g. the ablation
+/// harness) drive non-standard operation variants through the simulator.
+pub trait OpFactory: Send {
+    /// The simulated process this factory plays.
+    fn client_id(&self) -> ClientId;
+
+    /// Mints the operation for an action.
+    fn begin(&mut self, action: &Action) -> Box<dyn ClientOp>;
+
+    /// Feeds a completed operation's outcome back (default: stateless).
+    fn absorb(&mut self, _out: &OpOutput) {}
+}
+
+/// A protocol client bound to a simulated process.
+pub enum ClientDriver {
+    /// BSR writer (Fig. 1).
+    BsrWriter(BsrWriter),
+    /// BSR one-shot reader (Fig. 2).
+    BsrReader(BsrReader),
+    /// BSR-H history reader (§III-C variant 1).
+    BsrHReader(BsrHReader),
+    /// BSR-2P two-phase reader (§III-C variant 2).
+    Bsr2pReader(Bsr2pReader),
+    /// BCSR coded writer (Fig. 4).
+    BcsrWriter(BcsrWriter),
+    /// BCSR coded reader (Fig. 5).
+    BcsrReader(BcsrReader),
+    /// RB-baseline writer.
+    RbWriter(BaselineWriter),
+    /// RB-baseline subscribing reader.
+    RbReader(BaselineReader),
+    /// A caller-supplied factory (ablations, protocol variants).
+    Custom(Box<dyn OpFactory>),
+}
+
+impl std::fmt::Debug for ClientDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ClientDriver::BsrWriter(_) => "BsrWriter",
+            ClientDriver::BsrReader(_) => "BsrReader",
+            ClientDriver::BsrHReader(_) => "BsrHReader",
+            ClientDriver::Bsr2pReader(_) => "Bsr2pReader",
+            ClientDriver::BcsrWriter(_) => "BcsrWriter",
+            ClientDriver::BcsrReader(_) => "BcsrReader",
+            ClientDriver::RbWriter(_) => "RbWriter",
+            ClientDriver::RbReader(_) => "RbReader",
+            ClientDriver::Custom(_) => "Custom",
+        };
+        write!(f, "{name}({})", self.client_id())
+    }
+}
+
+impl ClientDriver {
+    /// The simulated process this driver plays.
+    pub fn client_id(&self) -> ClientId {
+        match self {
+            ClientDriver::BsrWriter(w) => ClientId::Writer(w.id()),
+            ClientDriver::BsrReader(r) => ClientId::Reader(r.id()),
+            ClientDriver::BsrHReader(r) => ClientId::Reader(r.id()),
+            ClientDriver::Bsr2pReader(r) => ClientId::Reader(r.id()),
+            ClientDriver::BcsrWriter(w) => ClientId::Writer(w.id()),
+            ClientDriver::BcsrReader(r) => ClientId::Reader(r.id()),
+            ClientDriver::RbWriter(w) => ClientId::Writer(w.id()),
+            ClientDriver::RbReader(r) => ClientId::Reader(r.id()),
+            ClientDriver::Custom(f) => f.client_id(),
+        }
+    }
+
+    /// Mints the operation for an action.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a writer is asked to read or a reader to write — plans
+    /// are constructed per-client, so this is a setup bug.
+    pub fn begin(&mut self, action: &Action) -> Box<dyn ClientOp> {
+        match (self, action) {
+            (ClientDriver::BsrWriter(w), Action::Write(v)) => Box::new(w.write(v.clone())),
+            (ClientDriver::BcsrWriter(w), Action::Write(v)) => Box::new(w.write(v)),
+            (ClientDriver::RbWriter(w), Action::Write(v)) => Box::new(w.write(v.clone())),
+            (ClientDriver::BsrReader(r), Action::Read) => Box::new(r.read()),
+            (ClientDriver::BsrHReader(r), Action::Read) => Box::new(r.read()),
+            (ClientDriver::Bsr2pReader(r), Action::Read) => Box::new(r.read()),
+            (ClientDriver::BcsrReader(r), Action::Read) => Box::new(r.read()),
+            (ClientDriver::RbReader(r), Action::Read) => Box::new(r.read()),
+            (ClientDriver::Custom(f), action) => f.begin(action),
+            (driver, action) => {
+                panic!("driver {driver:?} cannot perform {action:?}")
+            }
+        }
+    }
+
+    /// Feeds a completed operation's outcome back (reader caches).
+    pub fn absorb(&mut self, out: &OpOutput) {
+        match self {
+            ClientDriver::BsrReader(r) => r.absorb(out),
+            ClientDriver::BsrHReader(r) => r.absorb(out),
+            ClientDriver::Bsr2pReader(r) => r.absorb(out),
+            ClientDriver::Custom(f) => f.absorb(out),
+            // Writers and the cache-less readers keep no cross-op state.
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safereg_common::config::QuorumConfig;
+    use safereg_common::ids::{ReaderId, WriterId};
+
+    fn cfg() -> QuorumConfig {
+        QuorumConfig::minimal_bsr(1).unwrap()
+    }
+
+    #[test]
+    fn drivers_mint_matching_ops() {
+        let mut w = ClientDriver::BsrWriter(BsrWriter::new(WriterId(0), cfg()));
+        let op = w.begin(&Action::Write(Value::from("x")));
+        assert!(op.is_write());
+
+        let mut r = ClientDriver::BsrReader(BsrReader::new(ReaderId(0), cfg()));
+        let op = r.begin(&Action::Read);
+        assert!(!op.is_write());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot perform")]
+    fn writer_cannot_read() {
+        let mut w = ClientDriver::BsrWriter(BsrWriter::new(WriterId(0), cfg()));
+        let _ = w.begin(&Action::Read);
+    }
+
+    #[test]
+    fn debug_shows_role_and_id() {
+        let w = ClientDriver::RbWriter(BaselineWriter::new(
+            WriterId(3),
+            QuorumConfig::minimal_rb(1).unwrap(),
+        ));
+        assert_eq!(format!("{w:?}"), "RbWriter(w3)");
+    }
+
+    #[test]
+    fn plan_constructors() {
+        let p = Plan::write_at(10, "v");
+        assert!(matches!(p.start, StartRule::At(10)));
+        assert!(matches!(p.action, Action::Write(_)));
+        let r = Plan::read_at(20);
+        assert!(matches!(r.action, Action::Read));
+    }
+}

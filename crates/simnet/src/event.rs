@@ -1,0 +1,100 @@
+//! Simulated time and the event queue.
+
+use std::cmp::Ordering;
+
+use safereg_common::ids::ClientId;
+use safereg_common::msg::Envelope;
+
+/// Simulated time, in abstract "ticks". Experiments that model a per-hop
+/// latency Δ typically use Δ = 1000 ticks ≙ one network hop.
+pub type SimTime = u64;
+
+/// What happens at an instant.
+#[derive(Debug, Clone)]
+pub enum EventKind {
+    /// A message arrives at its destination.
+    Deliver(Envelope),
+    /// A client begins its next planned operation.
+    Invoke(ClientId),
+}
+
+/// A scheduled event. Ordered by time, then by insertion sequence so
+/// simultaneous events run in scheduling order (deterministic).
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Tie-breaker: insertion order.
+    pub seq: u64,
+    /// The event itself.
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the earliest event.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safereg_common::ids::{ReaderId, ServerId};
+    use safereg_common::msg::{ClientToServer, OpId};
+    use std::collections::BinaryHeap;
+
+    fn ev(at: SimTime, seq: u64) -> Event {
+        Event {
+            at,
+            seq,
+            kind: EventKind::Invoke(ClientId::Reader(ReaderId(0))),
+        }
+    }
+
+    #[test]
+    fn heap_pops_earliest_first_with_stable_ties() {
+        let mut heap = BinaryHeap::new();
+        heap.push(ev(50, 1));
+        heap.push(ev(10, 2));
+        heap.push(ev(10, 0));
+        heap.push(ev(30, 3));
+        let order: Vec<(SimTime, u64)> =
+            std::iter::from_fn(|| heap.pop().map(|e| (e.at, e.seq))).collect();
+        assert_eq!(order, vec![(10, 0), (10, 2), (30, 3), (50, 1)]);
+    }
+
+    #[test]
+    fn deliver_events_carry_envelopes() {
+        let env = Envelope::to_server(
+            ClientId::Reader(ReaderId(1)),
+            ServerId(0),
+            ClientToServer::QueryData {
+                op: OpId::new(ReaderId(1), 1),
+            },
+        );
+        let e = Event {
+            at: 5,
+            seq: 0,
+            kind: EventKind::Deliver(env.clone()),
+        };
+        match e.kind {
+            EventKind::Deliver(inner) => assert_eq!(inner, env),
+            EventKind::Invoke(_) => panic!("wrong kind"),
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Deterministic discrete-event simulator for the `safereg` protocols.
+//!
+//! The paper's model (§II-A) is an asynchronous message-passing system with
+//! reliable-but-arbitrarily-slow channels and up to `f` Byzantine servers.
+//! This crate realises that model as a seeded, replayable simulation:
+//!
+//! * [`event`] — the event queue and simulated clock,
+//! * [`delay`] — delay policies, from fixed per-hop latency to fully
+//!   scripted adversarial schedules that target individual messages (how
+//!   the Theorem 3/5/6 replays are expressed),
+//! * [`behavior`] — server behaviors: correct wrappers around
+//!   [`safereg_core::server::ServerNode`] / the RB baseline server, plus a
+//!   bestiary of Byzantine strategies (silent, crash, stale replies,
+//!   fabrication, tag inflation, equivocation, ack forgery),
+//! * [`driver`] — client actors that mint protocol operations according to
+//!   a [`driver::Plan`] and feed results back into reader caches,
+//! * [`sim`] — the engine: run events until quiescence, recording a
+//!   [`safereg_common::history::History`] for the checkers plus message and
+//!   byte counts for the cost experiments,
+//! * [`workload`] — closed-loop read-heavy workload generation (E8),
+//! * [`scenarios`] — ready-made executions: the Theorem 3 regularity
+//!   violation, the Theorem 5 (`n = 4f`) and Theorem 6 (`n = 5f`)
+//!   impossibility schedules, and liveness-under-faults setups.
+//!
+//! Determinism: given the same seed and setup, a run produces the same
+//! history, byte counts and timings — bit for bit.
+
+pub mod behavior;
+pub mod delay;
+pub mod driver;
+pub mod event;
+pub mod scenarios;
+pub mod sim;
+pub mod workload;
+
+pub use behavior::ServerBehavior;
+pub use delay::{Delay, DelayPolicy};
+pub use driver::{Action, ClientDriver, OpFactory, Plan, StartRule};
+pub use event::SimTime;
+pub use sim::{RunReport, Sim};

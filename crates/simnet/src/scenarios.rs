@@ -1,0 +1,452 @@
+//! Executable replays of the paper's proofs.
+//!
+//! Each scenario builds the exact adversarial schedule from the paper's
+//! argument and returns the recorded history for the checkers:
+//!
+//! * [`theorem3`] — the regularity-violation schedule of Theorem 3 (n = 5,
+//!   f = 1, five writers): BSR's one-shot read returns `v_0` although a
+//!   write completed; the §III-C variants survive the same schedule.
+//! * [`theorem5`] — the `n = 4f` impossibility schedule of Theorem 5: with
+//!   one under-provisioned server, a stale-replying Byzantine server makes
+//!   a superseded value collect `f + 1` witnesses. At `n = 4f + 1` the same
+//!   adversary is harmless.
+//! * [`theorem6`] — the `n = 5f` impossibility schedule of Theorem 6 for
+//!   erasure-coded registers: the fresh value's elements drop below `k`
+//!   among the reader's `n − f` responses and decoding fails. At
+//!   `n = 5f + 1` (the paper's bound) the same adversary is harmless.
+//!
+//! All scenarios use a per-hop delay of [`HOP`] ticks and are fully
+//! deterministic.
+
+use safereg_common::config::QuorumConfig;
+use safereg_common::history::History;
+use safereg_common::ids::{ReaderId, ServerId, WriterId};
+use safereg_common::msg::{OpId, Payload};
+use safereg_common::tag::Tag;
+use safereg_common::value::Value;
+use safereg_core::client::{BcsrReader, BcsrWriter, BsrReader, BsrWriter};
+use safereg_core::server::ServerNode;
+use safereg_mds::rs::ReedSolomon;
+use safereg_mds::stripe::column_count;
+
+use crate::behavior::{Correct, FixedResponder, StaleReplier};
+use crate::delay::{Delay, Matcher, MsgKind, Rule, Scripted};
+use crate::driver::{ClientDriver, Plan};
+use crate::sim::{RunReport, Sim};
+use crate::workload::Protocol;
+
+/// Per-hop latency used by the scripted scenarios, in ticks.
+pub const HOP: u64 = 10;
+
+/// The outcome of a scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Scenario label for reports.
+    pub name: String,
+    /// The recorded execution.
+    pub history: History,
+    /// Run statistics.
+    pub report: RunReport,
+}
+
+fn held(matcher: Matcher) -> Rule {
+    Rule {
+        matcher,
+        delay: Delay::held(),
+    }
+}
+
+/// Theorem 3's schedule (n = 5, f = 1, writers `w1..w5`, reader `r0`):
+/// `w1` writes `v1` completely; `w2..w5` then write concurrently but each
+/// `put-data` reaches exactly one distinct server before the read; the
+/// read sees five different pairs. Runs the given read `protocol` over the
+/// identical schedule.
+///
+/// # Panics
+///
+/// Panics if called with a write-only or coded protocol (only BSR, BSR-H
+/// and BSR-2P make sense here).
+pub fn theorem3(protocol: Protocol) -> ScenarioResult {
+    assert!(
+        matches!(protocol, Protocol::Bsr | Protocol::BsrH | Protocol::Bsr2p),
+        "theorem 3 replays a replicated-register read"
+    );
+    let cfg = QuorumConfig::new(5, 1).expect("n=5, f=1");
+
+    // w_i (i ≥ 2) stores only at server s_{i-1}; every other put-data of
+    // w_i is held past the read.
+    let mut rules = Vec::new();
+    for i in 2..=5u16 {
+        let target = ServerId(i - 1);
+        for sid in cfg.servers() {
+            if sid != target {
+                rules.push(held(
+                    Matcher::any()
+                        .for_op(OpId::new(WriterId(i), 1))
+                        .of_kind(MsgKind::PutData)
+                        .to_node(sid),
+                ));
+            }
+        }
+    }
+    let mut sim = Sim::new(cfg, 3, Box::new(Scripted::over_fixed(rules, HOP)));
+    for sid in cfg.servers() {
+        sim.add_server(Box::new(Correct::new(ServerNode::new_replicated(sid, cfg))));
+    }
+    // w1 completes before anyone else moves.
+    sim.add_client(
+        ClientDriver::BsrWriter(BsrWriter::new(WriterId(1), cfg)),
+        vec![Plan::write_at(0, "v1")],
+    );
+    for i in 2..=5u16 {
+        sim.add_client(
+            ClientDriver::BsrWriter(BsrWriter::new(WriterId(i), cfg)),
+            vec![Plan::write_at(50, format!("v{i}").into_bytes())],
+        );
+    }
+    sim.add_client(protocol.reader(ReaderId(0), cfg), vec![Plan::read_at(100)]);
+
+    // Stop before the held messages (at FAR_FUTURE) land: the read has
+    // long completed, and the incomplete writes stay incomplete, exactly
+    // as in the proof.
+    let report = sim.run_until(1_000_000);
+    ScenarioResult {
+        name: format!("theorem3/{}", protocol.name()),
+        history: sim.history().clone(),
+        report,
+    }
+}
+
+/// Theorem 5's schedule for BSR at `n = 4f` (`provisioned = false`) or the
+/// control at `n = 4f + 1` (`provisioned = true`), with `f = 1`:
+/// `w1` writes `v1` (one server held out), `w2` then writes `v2` (another
+/// server held out), and server `s0` is Byzantine, replying one write
+/// behind. Under-provisioned, the stale pair `(t1, v1)` reaches `f + 1`
+/// witnesses inside the reader's `n − f` responses and the read returns a
+/// superseded value — a safety violation.
+pub fn theorem5(provisioned: bool) -> ScenarioResult {
+    let n = if provisioned { 5 } else { 4 };
+    let cfg = QuorumConfig::new(n, 1).expect("valid config");
+    let last = ServerId((n - 1) as u16);
+
+    let rules = vec![
+        // w1's put-data never reaches the last server.
+        held(
+            Matcher::any()
+                .for_op(OpId::new(WriterId(1), 1))
+                .of_kind(MsgKind::PutData)
+                .to_node(last),
+        ),
+        // w2's put-data never reaches s1.
+        held(
+            Matcher::any()
+                .for_op(OpId::new(WriterId(2), 1))
+                .of_kind(MsgKind::PutData)
+                .to_node(ServerId(1)),
+        ),
+    ];
+    let mut sim = Sim::new(cfg, 5, Box::new(Scripted::over_fixed(rules, HOP)));
+    for sid in cfg.servers() {
+        if sid == ServerId(0) {
+            // Byzantine: maintains its log but serves reads one write late.
+            sim.add_server(Box::new(StaleReplier::new(
+                ServerNode::new_replicated(sid, cfg),
+                1,
+            )));
+        } else {
+            sim.add_server(Box::new(Correct::new(ServerNode::new_replicated(sid, cfg))));
+        }
+    }
+    sim.add_client(
+        ClientDriver::BsrWriter(BsrWriter::new(WriterId(1), cfg)),
+        vec![Plan::write_at(0, "v1")],
+    );
+    sim.add_client(
+        ClientDriver::BsrWriter(BsrWriter::new(WriterId(2), cfg)),
+        vec![Plan::write_at(50, "v2")],
+    );
+    sim.add_client(
+        ClientDriver::BsrReader(BsrReader::new(ReaderId(0), cfg)),
+        vec![Plan::read_at(100)],
+    );
+    let report = sim.run_until(1_000_000);
+    ScenarioResult {
+        name: format!("theorem5/n={n},f=1"),
+        history: sim.history().clone(),
+        report,
+    }
+}
+
+/// Theorem 6's schedule for an erasure-coded register at `n = 5f`
+/// (`provisioned = false`, n = 10, f = 2, forced `k = 6`) or the control at
+/// `n = 5f + 1` (`provisioned = true`, n = 11, f = 2, the paper's
+/// `k = n − 5f = 1`).
+///
+/// `w1` writes `v1` missing the two highest servers; `w2` writes `v2`
+/// missing `s0, s1`; the two highest servers are Byzantine and vouch for
+/// `(t1, garbage)`; two fresh responses are held past the read. Under-
+/// provisioned, the reader's plurality tag has fewer than `k` honest
+/// elements and decoding fails (the read falls back to `v_0` although `v2`
+/// completed); at the paper's bound the same adversary is harmless.
+pub fn theorem6(provisioned: bool) -> ScenarioResult {
+    let f = 2usize;
+    let n = if provisioned { 5 * f + 1 } else { 5 * f };
+    let cfg = QuorumConfig::new(n, f).expect("valid config");
+    let k = if provisioned { 1 } else { 6 };
+    let code = ReedSolomon::new(n, k).expect("valid code");
+
+    let w1_op = OpId::new(WriterId(1), 1);
+    let w2_op = OpId::new(WriterId(2), 1);
+    let byz_a = ServerId((n - 2) as u16);
+    let byz_b = ServerId((n - 1) as u16);
+
+    let mut rules = vec![
+        // w1 misses the two Byzantine servers (they never see v1).
+        held(
+            Matcher::any()
+                .for_op(w1_op)
+                .of_kind(MsgKind::PutData)
+                .to_node(byz_a),
+        ),
+        held(
+            Matcher::any()
+                .for_op(w1_op)
+                .of_kind(MsgKind::PutData)
+                .to_node(byz_b),
+        ),
+        // w2 misses s0 and s1 (they stay on v1).
+        held(
+            Matcher::any()
+                .for_op(w2_op)
+                .of_kind(MsgKind::PutData)
+                .to_node(ServerId(0)),
+        ),
+        held(
+            Matcher::any()
+                .for_op(w2_op)
+                .of_kind(MsgKind::PutData)
+                .to_node(ServerId(1)),
+        ),
+    ];
+    // Hold read responses from two fresh servers so the reader's n − f
+    // responses contain as few v2 elements as possible.
+    let read_op = OpId::new(ReaderId(0), 1);
+    for sid in [ServerId((n - 4) as u16), ServerId((n - 3) as u16)] {
+        rules.push(held(
+            Matcher::any()
+                .for_op(read_op)
+                .of_kind(MsgKind::Response)
+                .from_node(sid),
+        ));
+    }
+
+    let mut sim = Sim::new(cfg, 7, Box::new(Scripted::over_fixed(rules, HOP)));
+
+    // The Byzantine pair vouches for tag t1 with garbage elements of v1's
+    // shape (they never received the real ones).
+    let v1 = Value::from("theorem-six-value-1");
+    let cols = column_count(v1.len(), k);
+    let t1 = Tag::new(1, WriterId(1));
+    for (idx, sid) in [byz_a, byz_b].into_iter().enumerate() {
+        let garbage = safereg_common::msg::CodedElement {
+            index: sid.0,
+            value_len: v1.len() as u32,
+            data: bytes::Bytes::from(vec![0xD5 ^ idx as u8; cols]),
+        };
+        sim.add_server(Box::new(FixedResponder::new(
+            sid,
+            t1,
+            Payload::Coded(garbage),
+        )));
+    }
+    for sid in cfg.servers() {
+        if sid != byz_a && sid != byz_b {
+            sim.add_server(Box::new(Correct::new(ServerNode::new_replicated(sid, cfg))));
+        }
+    }
+
+    sim.add_client(
+        ClientDriver::BcsrWriter(BcsrWriter::with_code(WriterId(1), cfg, code.clone())),
+        vec![Plan::write_at(0, v1.clone())],
+    );
+    sim.add_client(
+        ClientDriver::BcsrWriter(BcsrWriter::with_code(WriterId(2), cfg, code.clone())),
+        vec![Plan::write_at(50, "theorem-six-value-2")],
+    );
+    sim.add_client(
+        ClientDriver::BcsrReader(BcsrReader::with_code(ReaderId(0), cfg, code)),
+        vec![Plan::read_at(100)],
+    );
+    let report = sim.run_until(1_000_000);
+    ScenarioResult {
+        name: format!("theorem6/n={n},f={f},k={k}"),
+        history: sim.history().clone(),
+        report,
+    }
+}
+
+/// A new/old inversion schedule (n = 5, f = 1, all servers correct):
+/// `w1` completes everywhere; `w2` is concurrent and reaches only
+/// `s0, s1`; reader A sees `{s0, s1, s2, s3}` and returns `v2`; reader B,
+/// strictly after A, sees `{s2, s3, s4}` plus held responses and returns
+/// `v1` — safe and fresh, but **not atomic**. Demonstrates what the paper
+/// trades away by rejecting semi-fast atomicity (§I-A, Georgiou et al.).
+pub fn new_old_inversion(protocol: Protocol) -> ScenarioResult {
+    assert!(
+        matches!(protocol, Protocol::Bsr | Protocol::BsrH),
+        "the inversion schedule targets one-shot replicated reads"
+    );
+    let cfg = QuorumConfig::new(5, 1).expect("n=5, f=1");
+    let w2_op = OpId::new(WriterId(2), 1);
+    let read_b = OpId::new(ReaderId(1), 1);
+
+    let mut rules = Vec::new();
+    // w2's put-data reaches only s0 and s1.
+    for sid in [ServerId(2), ServerId(3), ServerId(4)] {
+        rules.push(held(
+            Matcher::any()
+                .for_op(w2_op)
+                .of_kind(MsgKind::PutData)
+                .to_node(sid),
+        ));
+    }
+    // Reader B never hears from s0; its quorum is {s1, s2, s3, s4}, where
+    // only s1 vouches for the new pair — one witness is not enough.
+    rules.push(held(
+        Matcher::any()
+            .for_op(read_b)
+            .of_kind(MsgKind::Response)
+            .from_node(ServerId(0)),
+    ));
+    let mut sim = Sim::new(cfg, 11, Box::new(Scripted::over_fixed(rules, HOP)));
+    for sid in cfg.servers() {
+        sim.add_server(Box::new(Correct::new(ServerNode::new_replicated(sid, cfg))));
+    }
+    sim.add_client(
+        ClientDriver::BsrWriter(BsrWriter::new(WriterId(1), cfg)),
+        vec![Plan::write_at(0, "v1")],
+    );
+    sim.add_client(
+        ClientDriver::BsrWriter(BsrWriter::new(WriterId(2), cfg)),
+        vec![Plan::write_at(100, "v2")],
+    );
+    sim.add_client(protocol.reader(ReaderId(0), cfg), vec![Plan::read_at(200)]);
+    sim.add_client(protocol.reader(ReaderId(1), cfg), vec![Plan::read_at(300)]);
+    let report = sim.run_until(1_000_000);
+    ScenarioResult {
+        name: format!("new-old-inversion/{}", protocol.name()),
+        history: sim.history().clone(),
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safereg_common::history::OpKind;
+
+    fn read_outcome(history: &History) -> (Value, Tag) {
+        let read = history.completed_reads().next().expect("read completed");
+        match &read.kind {
+            OpKind::Read {
+                returned,
+                returned_tag,
+            } => (returned.clone().unwrap(), returned_tag.unwrap()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn theorem3_bsr_returns_v0_despite_completed_write() {
+        let result = theorem3(Protocol::Bsr);
+        let (value, tag) = read_outcome(&result.history);
+        assert!(value.is_initial(), "BSR read returns v0 (the violation)");
+        assert_eq!(tag, Tag::ZERO);
+        // w1 completed before the read began.
+        let w1 = result
+            .history
+            .completed_writes()
+            .next()
+            .expect("w1 completed");
+        let read = result.history.completed_reads().next().unwrap();
+        assert!(w1.precedes(read));
+    }
+
+    #[test]
+    fn theorem3_variants_survive_the_same_schedule() {
+        for protocol in [Protocol::BsrH, Protocol::Bsr2p] {
+            let result = theorem3(protocol);
+            let (value, tag) = read_outcome(&result.history);
+            assert_eq!(
+                value.as_bytes(),
+                b"v1",
+                "{} recovers the completed write",
+                protocol.name()
+            );
+            assert_eq!(tag, Tag::new(1, WriterId(1)));
+        }
+    }
+
+    #[test]
+    fn theorem5_underprovisioned_returns_superseded_value() {
+        let result = theorem5(false);
+        let (value, _) = read_outcome(&result.history);
+        assert_eq!(value.as_bytes(), b"v1", "n = 4f: the read resurrects v1");
+        // Both writes completed, in order — so returning v1 violates safety.
+        let writes: Vec<_> = result.history.completed_writes().collect();
+        assert_eq!(writes.len(), 2);
+    }
+
+    #[test]
+    fn theorem5_at_the_bound_is_safe() {
+        let result = theorem5(true);
+        let (value, _) = read_outcome(&result.history);
+        assert_eq!(
+            value.as_bytes(),
+            b"v2",
+            "n = 4f + 1: the same adversary fails"
+        );
+    }
+
+    #[test]
+    fn theorem6_underprovisioned_cannot_decode() {
+        let result = theorem6(false);
+        let (value, tag) = read_outcome(&result.history);
+        assert!(value.is_initial(), "n = 5f: decode fails, v0 returned");
+        assert_eq!(tag, Tag::ZERO);
+        assert_eq!(result.history.completed_writes().count(), 2);
+    }
+
+    #[test]
+    fn theorem6_at_the_bound_is_safe() {
+        let result = theorem6(true);
+        let (value, _) = read_outcome(&result.history);
+        assert_eq!(value.as_bytes(), b"theorem-six-value-2");
+    }
+
+    #[test]
+    fn inversion_schedule_produces_the_inversion() {
+        for protocol in [Protocol::Bsr, Protocol::BsrH] {
+            let result = new_old_inversion(protocol);
+            let reads: Vec<(Value, Tag)> = result
+                .history
+                .completed_reads()
+                .map(|r| match &r.kind {
+                    OpKind::Read {
+                        returned: Some(v),
+                        returned_tag: Some(t),
+                    } => (v.clone(), *t),
+                    other => panic!("unexpected {other:?}"),
+                })
+                .collect();
+            assert_eq!(reads.len(), 2, "{}", protocol.name());
+            assert_eq!(reads[0].0.as_bytes(), b"v2", "reader A sees the new value");
+            assert_eq!(
+                reads[1].0.as_bytes(),
+                b"v1",
+                "reader B regresses to the old one"
+            );
+            assert!(reads[1].1 < reads[0].1, "that is a new/old inversion");
+        }
+    }
+}

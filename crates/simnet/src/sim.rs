@@ -1,0 +1,528 @@
+//! The discrete-event simulation engine.
+//!
+//! [`Sim`] owns the event queue, the server behaviors, the client actors
+//! and the recorded [`History`]. Determinism: all scheduling decisions
+//! derive from the seed and the insertion order, so a run is exactly
+//! reproducible.
+
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+use safereg_common::codec::Wire;
+use safereg_common::config::QuorumConfig;
+use safereg_common::history::{History, OpHandle};
+use safereg_common::ids::{ClientId, NodeId, ServerId};
+use safereg_common::msg::{Envelope, Message, OpId};
+use safereg_common::rng::DetRng;
+use safereg_core::op::{ClientOp, OpOutput};
+
+use crate::behavior::ServerBehavior;
+use crate::delay::{op_of, DelayPolicy};
+use crate::driver::{Action, ClientDriver, Plan, StartRule};
+use crate::event::{Event, EventKind, SimTime};
+
+/// Safety valve: a simulation aborts after this many events (a protocol
+/// bug that floods messages would otherwise loop forever).
+const MAX_EVENTS: u64 = 20_000_000;
+
+struct Actor {
+    driver: ClientDriver,
+    plans: VecDeque<Plan>,
+    current: Option<InFlight>,
+}
+
+struct InFlight {
+    op: Box<dyn ClientOp>,
+    handle: OpHandle,
+}
+
+/// Aggregate results of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Simulated time of the last processed event.
+    pub end_time: SimTime,
+    /// Events processed.
+    pub events: u64,
+    /// Messages sent (all kinds).
+    pub messages: u64,
+    /// Wire bytes sent (sum of encoded message sizes).
+    pub bytes: u64,
+    /// Operations that completed.
+    pub completed_ops: usize,
+    /// Operations still incomplete at the end (starved or still planned).
+    pub incomplete_ops: usize,
+}
+
+/// A deterministic simulation of one deployment.
+pub struct Sim {
+    cfg: QuorumConfig,
+    time: SimTime,
+    seq: u64,
+    events: u64,
+    queue: BinaryHeap<Event>,
+    rng: DetRng,
+    delay: Box<dyn DelayPolicy>,
+    servers: BTreeMap<ServerId, Box<dyn ServerBehavior>>,
+    actors: BTreeMap<ClientId, Actor>,
+    history: History,
+    /// Maps live operations to their history handles for cost accounting.
+    op_handles: BTreeMap<OpId, OpHandle>,
+    messages: u64,
+    bytes: u64,
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("cfg", &self.cfg)
+            .field("time", &self.time)
+            .field("servers", &self.servers.len())
+            .field("clients", &self.actors.len())
+            .finish()
+    }
+}
+
+impl Sim {
+    /// Creates a simulation with the given delay policy and seed.
+    pub fn new(cfg: QuorumConfig, seed: u64, delay: Box<dyn DelayPolicy>) -> Self {
+        Sim {
+            cfg,
+            time: 0,
+            seq: 0,
+            events: 0,
+            queue: BinaryHeap::new(),
+            rng: DetRng::seed_from(seed),
+            delay,
+            servers: BTreeMap::new(),
+            actors: BTreeMap::new(),
+            history: History::new(),
+            op_handles: BTreeMap::new(),
+            messages: 0,
+            bytes: 0,
+        }
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &QuorumConfig {
+        &self.cfg
+    }
+
+    /// Installs a server behavior.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a behavior for the same server is already installed.
+    pub fn add_server(&mut self, behavior: Box<dyn ServerBehavior>) {
+        let id = behavior.id();
+        let prev = self.servers.insert(id, behavior);
+        assert!(prev.is_none(), "duplicate behavior for {id}");
+    }
+
+    /// Installs a client with its operation plan. The first plan entry is
+    /// scheduled immediately (absolute `At` or `AfterPrevious` measured
+    /// from time 0).
+    pub fn add_client(&mut self, driver: ClientDriver, plans: Vec<Plan>) {
+        let id = driver.client_id();
+        let actor = Actor {
+            driver,
+            plans: plans.into(),
+            current: None,
+        };
+        let first_start = actor.plans.front().map(|p| p.start);
+        let prev = self.actors.insert(id, actor);
+        assert!(prev.is_none(), "duplicate client {id}");
+        if let Some(start) = first_start {
+            let at = match start {
+                StartRule::At(t) => t,
+                StartRule::AfterPrevious { think } => think,
+            };
+            self.push_event(at, EventKind::Invoke(id));
+        }
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Event { at, seq, kind });
+    }
+
+    /// Sends an envelope through the delay policy, with cost accounting.
+    fn send(&mut self, env: Envelope) {
+        let wire = env.msg.wire_len() as u64;
+        self.messages += 1;
+        self.bytes += wire;
+        if let Some(op) = op_of(&env.msg) {
+            if let Some(handle) = self.op_handles.get(&op) {
+                self.history.add_cost(*handle, 0, 1, wire);
+            }
+        }
+        let delay = self.delay.delay(self.time, &env, &mut self.rng);
+        let at = self.time.saturating_add(delay.0.max(1));
+        self.push_event(at, EventKind::Deliver(env));
+    }
+
+    fn send_all(&mut self, envs: Vec<Envelope>) {
+        for env in envs {
+            self.send(env);
+        }
+    }
+
+    /// Runs until the queue drains (or the event cap trips).
+    pub fn run(&mut self) -> RunReport {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs until no event remains at or before `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunReport {
+        while let Some(next_at) = self.queue.peek().map(|e| e.at) {
+            if next_at > deadline {
+                break;
+            }
+            let event = self.queue.pop().expect("peeked");
+            self.time = event.at;
+            self.events += 1;
+            assert!(
+                self.events <= MAX_EVENTS,
+                "event cap exceeded: runaway simulation"
+            );
+            match event.kind {
+                EventKind::Invoke(client) => self.invoke(client),
+                EventKind::Deliver(env) => self.deliver(env),
+            }
+        }
+        self.report()
+    }
+
+    fn invoke(&mut self, client: ClientId) {
+        let actor = self
+            .actors
+            .get_mut(&client)
+            .expect("invoke for unknown client");
+        assert!(
+            actor.current.is_none(),
+            "client {client} invoked while an operation is in flight (plan overlap)"
+        );
+        let plan = match actor.plans.pop_front() {
+            Some(p) => p,
+            None => return,
+        };
+        let mut op = actor.driver.begin(&plan.action);
+        let op_id = op.op_id();
+        let handle = match &plan.action {
+            Action::Write(v) => self.history.begin_write(op_id, v.clone(), self.time),
+            Action::Read => self.history.begin_read(op_id, self.time),
+        };
+        self.op_handles.insert(op_id, handle);
+        let first = op.start();
+        actor.current = Some(InFlight { op, handle });
+        self.send_all(first);
+    }
+
+    fn deliver(&mut self, env: Envelope) {
+        match env.dst {
+            NodeId::Server(sid) => {
+                let out = match self.servers.get_mut(&sid) {
+                    Some(behavior) => behavior.on_envelope(self.time, &env, &mut self.rng),
+                    None => Vec::new(), // no such server: message falls on the floor
+                };
+                self.send_all(out);
+            }
+            NodeId::Client(cid) => {
+                let msg = match &env.msg {
+                    Message::ToClient(m) => m.clone(),
+                    _ => return, // only server responses reach clients
+                };
+                let from = match env.src.as_server() {
+                    Some(s) => s,
+                    None => return,
+                };
+                let actor = match self.actors.get_mut(&cid) {
+                    Some(a) => a,
+                    None => return,
+                };
+                let inflight = match &mut actor.current {
+                    Some(f) => f,
+                    None => return, // straggler for a finished operation
+                };
+                let follow_up = inflight.op.on_message(from, &msg);
+                let done = inflight.op.output();
+                // Borrow of actor ends here; route follow-ups and completion.
+                if let Some(output) = done {
+                    let finished = actor.current.take().expect("in flight");
+                    let rounds = finished.op.rounds();
+                    let op_id = finished.op.op_id();
+                    actor.driver.absorb(&output);
+                    // Schedule the next plan.
+                    let next = actor.plans.front().map(|p| p.start);
+                    let now = self.time;
+                    if let Some(start) = next {
+                        let at = match start {
+                            StartRule::At(t) => t.max(now + 1),
+                            StartRule::AfterPrevious { think } => now + think.max(1),
+                        };
+                        self.push_event(at, EventKind::Invoke(cid));
+                    }
+                    // Record completion.
+                    self.history.add_cost(finished.handle, rounds, 0, 0);
+                    match output {
+                        OpOutput::Written { tag } => {
+                            self.history.complete_write(finished.handle, tag, now);
+                        }
+                        OpOutput::Read { value, tag } => {
+                            self.history.complete_read(finished.handle, value, tag, now);
+                        }
+                    }
+                    self.op_handles.remove(&op_id);
+                }
+                self.send_all(follow_up);
+            }
+        }
+    }
+
+    fn report(&self) -> RunReport {
+        let completed = self
+            .history
+            .records()
+            .iter()
+            .filter(|r| r.is_complete())
+            .count();
+        RunReport {
+            end_time: self.time,
+            events: self.events,
+            messages: self.messages,
+            bytes: self.bytes,
+            completed_ops: completed,
+            incomplete_ops: self.history.len() - completed,
+        }
+    }
+
+    /// The recorded execution history (for the checkers).
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Total payload bytes currently stored across servers (E4).
+    pub fn total_storage_bytes(&self) -> u64 {
+        self.servers
+            .values()
+            .map(|b| b.storage_bytes() as u64)
+            .sum()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::{Correct, Silent};
+    use crate::delay::{FixedDelay, UniformDelay};
+    use crate::driver::Plan;
+    use safereg_common::history::OpKind;
+    use safereg_common::ids::{ReaderId, WriterId};
+    use safereg_common::tag::Tag;
+    use safereg_core::client::{BsrReader, BsrWriter};
+    use safereg_core::server::ServerNode;
+
+    fn bsr_sim(f: usize, seed: u64, byz_silent: usize) -> Sim {
+        let cfg = QuorumConfig::minimal_bsr(f).unwrap();
+        let mut sim = Sim::new(cfg, seed, Box::new(FixedDelay { hop: 10 }));
+        for sid in cfg.servers() {
+            if (sid.0 as usize) < byz_silent {
+                sim.add_server(Box::new(Silent::new(sid)));
+            } else {
+                sim.add_server(Box::new(Correct::new(ServerNode::new_replicated(sid, cfg))));
+            }
+        }
+        sim
+    }
+
+    #[test]
+    fn write_then_read_roundtrip_on_fixed_network() {
+        let mut sim = bsr_sim(1, 1, 0);
+        let cfg = *sim.config();
+        sim.add_client(
+            ClientDriver::BsrWriter(BsrWriter::new(WriterId(0), cfg)),
+            vec![Plan::write_at(0, "hello")],
+        );
+        sim.add_client(
+            ClientDriver::BsrReader(BsrReader::new(ReaderId(0), cfg)),
+            vec![Plan::read_at(100)],
+        );
+        let report = sim.run();
+        assert_eq!(report.completed_ops, 2);
+        assert_eq!(report.incomplete_ops, 0);
+
+        let read = sim.history().completed_reads().next().unwrap();
+        match &read.kind {
+            OpKind::Read {
+                returned,
+                returned_tag,
+            } => {
+                assert_eq!(returned.as_ref().unwrap().as_bytes(), b"hello");
+                assert_eq!(returned_tag.unwrap(), Tag::new(1, WriterId(0)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Write: 2 rounds at 10 ticks/hop = 40 ticks; read: 1 round = 20.
+        let write = sim.history().completed_writes().next().unwrap();
+        assert_eq!(write.latency(), Some(40));
+        assert_eq!(read.latency(), Some(20));
+        assert_eq!(write.rounds, 2);
+        assert_eq!(read.rounds, 1);
+    }
+
+    #[test]
+    fn liveness_with_f_silent_servers() {
+        let mut sim = bsr_sim(1, 2, 1); // one silent Byzantine server
+        let cfg = *sim.config();
+        sim.add_client(
+            ClientDriver::BsrWriter(BsrWriter::new(WriterId(0), cfg)),
+            vec![Plan::write_at(0, "v")],
+        );
+        sim.add_client(
+            ClientDriver::BsrReader(BsrReader::new(ReaderId(0), cfg)),
+            vec![Plan::read_at(200)],
+        );
+        let report = sim.run();
+        assert_eq!(
+            report.completed_ops, 2,
+            "Theorem 1: live with at most f faulty"
+        );
+    }
+
+    #[test]
+    fn no_liveness_beyond_f_silent_servers() {
+        let mut sim = bsr_sim(1, 3, 2); // two silent servers exceed f = 1
+        let cfg = *sim.config();
+        sim.add_client(
+            ClientDriver::BsrWriter(BsrWriter::new(WriterId(0), cfg)),
+            vec![Plan::write_at(0, "v")],
+        );
+        let report = sim.run();
+        assert_eq!(report.completed_ops, 0, "cannot gather n - f responses");
+        assert_eq!(report.incomplete_ops, 1);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_history() {
+        let run = |seed| {
+            let mut sim = bsr_sim(1, seed, 0);
+            let cfg = *sim.config();
+            sim.add_client(
+                ClientDriver::BsrWriter(BsrWriter::new(WriterId(0), cfg)),
+                vec![
+                    Plan::write_at(0, "a"),
+                    Plan {
+                        start: StartRule::AfterPrevious { think: 5 },
+                        action: Action::Write(Value::from("b")),
+                    },
+                ],
+            );
+            sim.add_client(
+                ClientDriver::BsrReader(BsrReader::new(ReaderId(0), cfg)),
+                vec![
+                    Plan::read_at(33),
+                    Plan {
+                        start: StartRule::AfterPrevious { think: 7 },
+                        action: Action::Read,
+                    },
+                ],
+            );
+            let report = sim.run();
+            (report, sim.history().clone())
+        };
+        // Use a jittery network so the rng actually matters.
+        let jittery = |seed| {
+            let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+            let mut sim = Sim::new(cfg, seed, Box::new(UniformDelay { lo: 1, hi: 50 }));
+            for sid in cfg.servers() {
+                sim.add_server(Box::new(Correct::new(ServerNode::new_replicated(sid, cfg))));
+            }
+            sim.add_client(
+                ClientDriver::BsrWriter(BsrWriter::new(WriterId(0), cfg)),
+                vec![Plan::write_at(0, "a")],
+            );
+            sim.add_client(
+                ClientDriver::BsrReader(BsrReader::new(ReaderId(0), cfg)),
+                vec![Plan::read_at(3)],
+            );
+            let report = sim.run();
+            (report, sim.history().clone())
+        };
+        assert_eq!(run(7), run(7));
+        assert_eq!(jittery(9), jittery(9));
+        assert_ne!(jittery(9).0.end_time, jittery(10).0.end_time);
+    }
+
+    use safereg_common::value::Value;
+
+    #[test]
+    fn closed_loop_plans_chain() {
+        let mut sim = bsr_sim(1, 4, 0);
+        let cfg = *sim.config();
+        let plans: Vec<Plan> = (0..5)
+            .map(|_| Plan {
+                start: StartRule::AfterPrevious { think: 3 },
+                action: Action::Read,
+            })
+            .collect();
+        sim.add_client(
+            ClientDriver::BsrReader(BsrReader::new(ReaderId(0), cfg)),
+            plans,
+        );
+        let report = sim.run();
+        assert_eq!(report.completed_ops, 5);
+    }
+
+    #[test]
+    fn run_until_stops_at_the_deadline_and_resumes() {
+        let mut sim = bsr_sim(1, 8, 0);
+        let cfg = *sim.config();
+        sim.add_client(
+            ClientDriver::BsrWriter(BsrWriter::new(WriterId(0), cfg)),
+            vec![Plan::write_at(0, "resumable")],
+        );
+        // Stop mid-write: the get-tag responses land at t = 20, the write
+        // needs t = 40.
+        let partial = sim.run_until(25);
+        assert_eq!(partial.completed_ops, 0);
+        assert_eq!(partial.incomplete_ops, 1);
+        assert!(sim.now() <= 25);
+        // Resuming finishes the operation deterministically.
+        let done = sim.run();
+        assert_eq!(done.completed_ops, 1);
+        assert_eq!(done.incomplete_ops, 0);
+    }
+
+    #[test]
+    fn cost_accounting_attributes_messages() {
+        let mut sim = bsr_sim(1, 5, 0);
+        let cfg = *sim.config();
+        sim.add_client(
+            ClientDriver::BsrWriter(BsrWriter::new(WriterId(0), cfg)),
+            vec![Plan::write_at(0, "payload")],
+        );
+        let report = sim.run();
+        // Write: 5 queries + 5 tag responses + 5 puts + 5 acks = 20 msgs.
+        assert_eq!(report.messages, 20);
+        let write = sim.history().completed_writes().next().unwrap();
+        assert_eq!(write.msgs, 20);
+        assert!(write.bytes > 0);
+        assert_eq!(report.bytes, write.bytes);
+    }
+
+    #[test]
+    fn storage_accounting_via_behaviors() {
+        let mut sim = bsr_sim(1, 6, 0);
+        let cfg = *sim.config();
+        sim.add_client(
+            ClientDriver::BsrWriter(BsrWriter::new(WriterId(0), cfg)),
+            vec![Plan::write_at(0, "1234")],
+        );
+        sim.run();
+        assert_eq!(sim.total_storage_bytes(), 5 * 4, "n replicas of 4 bytes");
+    }
+}

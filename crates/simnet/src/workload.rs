@@ -1,0 +1,361 @@
+//! Closed-loop workload generation.
+//!
+//! The paper motivates semi-fast registers with read-dominated workloads
+//! (§I-A: TAO serves ~99.8 % reads). [`WorkloadSpec`] builds a deployment
+//! of any protocol with a configurable reader/writer population, operation
+//! counts, value sizes and Byzantine servers — experiment E8 sweeps the
+//! read ratio and compares protocols on throughput and latency.
+
+use safereg_common::config::QuorumConfig;
+use safereg_common::ids::{ReaderId, ServerId, WriterId};
+use safereg_common::rng::DetRng;
+use safereg_common::value::Value;
+use safereg_core::client::{BcsrReader, BcsrWriter, Bsr2pReader, BsrHReader, BsrReader, BsrWriter};
+use safereg_core::server::ServerNode;
+use safereg_rb::baseline::{BaselineReader, BaselineServer, BaselineWriter};
+
+use crate::behavior::{
+    AckForger, Correct, CorrectBaseline, Equivocator, Fabricator, ServerBehavior, Silent,
+    StaleReplier,
+};
+use crate::delay::{DelayPolicy, UniformDelay};
+use crate::driver::{Action, ClientDriver, Plan, StartRule};
+use crate::event::SimTime;
+use crate::sim::Sim;
+
+/// Which register emulation a deployment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Replicated safe register with one-shot reads (Fig. 1–3).
+    Bsr,
+    /// BSR with history reads (§III-C variant 1).
+    BsrH,
+    /// BSR with two-phase reads (§III-C variant 2).
+    Bsr2p,
+    /// Erasure-coded safe register (Fig. 4–6).
+    Bcsr,
+    /// The RB-based baseline (Kanjani et al. style).
+    RbBaseline,
+}
+
+impl Protocol {
+    /// The protocol's minimum server count for a fault bound (its
+    /// resilience requirement from the paper).
+    pub fn min_n(&self, f: usize) -> usize {
+        match self {
+            Protocol::Bsr | Protocol::BsrH | Protocol::Bsr2p => 4 * f + 1,
+            Protocol::Bcsr => 5 * f + 1,
+            Protocol::RbBaseline => 3 * f + 1,
+        }
+    }
+
+    /// Short display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Protocol::Bsr => "BSR",
+            Protocol::BsrH => "BSR-H",
+            Protocol::Bsr2p => "BSR-2P",
+            Protocol::Bcsr => "BCSR",
+            Protocol::RbBaseline => "RB-baseline",
+        }
+    }
+
+    /// Builds the correct-server behavior for this protocol.
+    ///
+    /// BCSR servers start with their coded element `c_0^s` of the initial
+    /// value (Fig. 6 state variables) rather than a full replica.
+    pub fn correct_server(&self, sid: ServerId, cfg: QuorumConfig) -> Box<dyn ServerBehavior> {
+        match self {
+            Protocol::RbBaseline => Box::new(CorrectBaseline::new(BaselineServer::new(sid, cfg))),
+            Protocol::Bcsr => {
+                let k = cfg.mds_k().expect("BCSR deployment admits a code");
+                let code = safereg_mds::rs::ReedSolomon::new(cfg.n(), k).expect("valid code");
+                let initial = safereg_mds::stripe::encode_value(&code, &Value::initial())
+                    .into_iter()
+                    .nth(sid.0 as usize)
+                    .expect("element per server");
+                Box::new(Correct::new(ServerNode::with_initial(
+                    sid,
+                    cfg,
+                    safereg_common::msg::Payload::Coded(initial),
+                )))
+            }
+            _ => Box::new(Correct::new(ServerNode::new_replicated(sid, cfg))),
+        }
+    }
+
+    /// Builds a writer driver.
+    pub fn writer(&self, id: WriterId, cfg: QuorumConfig) -> ClientDriver {
+        match self {
+            Protocol::Bsr | Protocol::BsrH | Protocol::Bsr2p => {
+                ClientDriver::BsrWriter(BsrWriter::new(id, cfg))
+            }
+            Protocol::Bcsr => ClientDriver::BcsrWriter(
+                BcsrWriter::new(id, cfg).expect("workload config must admit a code"),
+            ),
+            Protocol::RbBaseline => ClientDriver::RbWriter(BaselineWriter::new(id, cfg)),
+        }
+    }
+
+    /// Builds a reader driver.
+    pub fn reader(&self, id: ReaderId, cfg: QuorumConfig) -> ClientDriver {
+        match self {
+            Protocol::Bsr => ClientDriver::BsrReader(BsrReader::new(id, cfg)),
+            Protocol::BsrH => ClientDriver::BsrHReader(BsrHReader::new(id, cfg)),
+            Protocol::Bsr2p => ClientDriver::Bsr2pReader(Bsr2pReader::new(id, cfg)),
+            Protocol::Bcsr => ClientDriver::BcsrReader(
+                BcsrReader::new(id, cfg).expect("workload config must admit a code"),
+            ),
+            Protocol::RbBaseline => ClientDriver::RbReader(BaselineReader::new(id, cfg)),
+        }
+    }
+}
+
+/// A Byzantine strategy to inject into a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByzKind {
+    /// Never responds.
+    Silent,
+    /// Replies one write behind.
+    Stale,
+    /// Forges tags and values.
+    Fabricator,
+    /// Different lies to different clients.
+    Equivocator,
+    /// Acks without storing.
+    AckForger,
+}
+
+impl ByzKind {
+    /// Builds the behavior for a server.
+    pub fn build(&self, sid: ServerId, cfg: QuorumConfig, seed: u64) -> Box<dyn ServerBehavior> {
+        match self {
+            ByzKind::Silent => Box::new(Silent::new(sid)),
+            ByzKind::Stale => Box::new(StaleReplier::new(ServerNode::new_replicated(sid, cfg), 1)),
+            ByzKind::Fabricator => Box::new(Fabricator::new(sid, seed)),
+            ByzKind::Equivocator => {
+                Box::new(Equivocator::new(ServerNode::new_replicated(sid, cfg)))
+            }
+            ByzKind::AckForger => Box::new(AckForger::new(sid, cfg)),
+        }
+    }
+}
+
+/// Parameters of a closed-loop workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// Byzantine bound the deployment is sized for.
+    pub f: usize,
+    /// Servers beyond the protocol's minimum.
+    pub extra_servers: usize,
+    /// Number of writer clients.
+    pub writers: usize,
+    /// Number of reader clients.
+    pub readers: usize,
+    /// Operations per writer client (closed loop).
+    pub writer_ops: usize,
+    /// Operations per reader client (closed loop).
+    pub reader_ops: usize,
+    /// Value size in bytes.
+    pub value_size: usize,
+    /// Think time between operations, in ticks.
+    pub think: SimTime,
+    /// Byzantine servers to inject (at most `f`), and their strategy.
+    pub byzantine: Option<(usize, ByzKind)>,
+    /// Random seed (network jitter, value contents, Byzantine streams).
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A read-heavy spec: operation counts chosen so that reads make up
+    /// approximately `read_permille ‰` of operations (e.g. `998` models
+    /// TAO's 99.8 % read share from §I-A).
+    pub fn read_heavy(protocol: Protocol, f: usize, read_permille: u32, seed: u64) -> Self {
+        let p = read_permille.clamp(1, 999) as usize;
+        let readers = 10usize;
+        let reader_ops = 20usize;
+        let total_reads = readers * reader_ops; // 200
+                                                // writes so that reads/(reads+writes) ≈ p/1000, spread over 2 writers.
+        let total_writes = ((total_reads * (1000 - p)).div_ceil(p)).max(1);
+        let writers = 2usize.min(total_writes);
+        let writer_ops = total_writes.div_ceil(writers);
+        WorkloadSpec {
+            protocol,
+            f,
+            extra_servers: 0,
+            writers,
+            readers,
+            writer_ops,
+            reader_ops,
+            value_size: 128,
+            think: 50,
+            byzantine: None,
+            seed,
+        }
+    }
+
+    /// The fraction of operations that are reads, in permille.
+    pub fn actual_read_permille(&self) -> u32 {
+        let reads = self.readers * self.reader_ops;
+        let writes = self.writers * self.writer_ops;
+        (reads * 1000 / (reads + writes)) as u32
+    }
+
+    /// The deployment size `n` this spec produces.
+    pub fn n(&self) -> usize {
+        self.protocol.min_n(self.f) + self.extra_servers
+    }
+
+    /// Builds the simulation: servers (correct + Byzantine), clients with
+    /// closed-loop plans, and a jittery network.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec requests more Byzantine servers than `f` or an
+    /// invalid configuration.
+    pub fn build(&self) -> Sim {
+        let cfg = QuorumConfig::new(self.n(), self.f).expect("valid workload config");
+        let delay: Box<dyn DelayPolicy> = Box::new(UniformDelay { lo: 5, hi: 50 });
+        let mut sim = Sim::new(cfg, self.seed, delay);
+        let mut rng = DetRng::seed_from(self.seed ^ 0x9E37_79B9);
+
+        let byz_count = match &self.byzantine {
+            Some((count, _)) => {
+                assert!(
+                    *count <= self.f,
+                    "cannot inject more than f Byzantine servers"
+                );
+                *count
+            }
+            None => 0,
+        };
+        for sid in cfg.servers() {
+            // Put the Byzantine servers at the high ids so writer/reader id
+            // spaces stay readable in traces.
+            let byz_from = cfg.n() - byz_count;
+            if (sid.0 as usize) >= byz_from {
+                let (_, kind) = self.byzantine.as_ref().expect("byz_count > 0");
+                sim.add_server(kind.build(sid, cfg, rng.next_u64()));
+            } else {
+                sim.add_server(self.protocol.correct_server(sid, cfg));
+            }
+        }
+
+        for w in 0..self.writers {
+            let driver = self.protocol.writer(WriterId(w as u16), cfg);
+            let plans: Vec<Plan> = (0..self.writer_ops)
+                .map(|_| {
+                    let mut bytes = vec![0u8; self.value_size];
+                    rng.fill_bytes(&mut bytes);
+                    Plan {
+                        start: StartRule::AfterPrevious {
+                            think: rng.range_u64(1..self.think.max(2)),
+                        },
+                        action: Action::Write(Value::from(bytes)),
+                    }
+                })
+                .collect();
+            sim.add_client(driver, plans);
+        }
+        for r in 0..self.readers {
+            let driver = self.protocol.reader(ReaderId(r as u16), cfg);
+            let plans: Vec<Plan> = (0..self.reader_ops)
+                .map(|_| Plan {
+                    start: StartRule::AfterPrevious {
+                        think: rng.range_u64(1..self.think.max(2)),
+                    },
+                    action: Action::Read,
+                })
+                .collect();
+            sim.add_client(driver, plans);
+        }
+        sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_heavy_ratio_is_respected() {
+        let spec = WorkloadSpec::read_heavy(Protocol::Bsr, 1, 990, 1);
+        let permille = spec.actual_read_permille();
+        assert!((970..=999).contains(&permille), "got {permille}");
+        let spec5050 = WorkloadSpec::read_heavy(Protocol::Bsr, 1, 500, 1);
+        let permille = spec5050.actual_read_permille();
+        assert!((450..=550).contains(&permille), "got {permille}");
+        let tao = WorkloadSpec::read_heavy(Protocol::Bsr, 1, 998, 1);
+        assert!(tao.actual_read_permille() >= 990);
+    }
+
+    #[test]
+    fn every_protocol_completes_a_small_workload() {
+        for protocol in [
+            Protocol::Bsr,
+            Protocol::BsrH,
+            Protocol::Bsr2p,
+            Protocol::Bcsr,
+            Protocol::RbBaseline,
+        ] {
+            let spec = WorkloadSpec {
+                protocol,
+                f: 1,
+                extra_servers: 0,
+                writers: 2,
+                readers: 3,
+                writer_ops: 3,
+                reader_ops: 3,
+                value_size: 32,
+                think: 20,
+                byzantine: None,
+                seed: 11,
+            };
+            let mut sim = spec.build();
+            let report = sim.run();
+            assert_eq!(
+                report.completed_ops,
+                5 * 3,
+                "{}: all closed-loop ops must complete",
+                protocol.name()
+            );
+        }
+    }
+
+    #[test]
+    fn workloads_survive_f_byzantine_servers() {
+        for kind in [
+            ByzKind::Silent,
+            ByzKind::Stale,
+            ByzKind::Fabricator,
+            ByzKind::Equivocator,
+            ByzKind::AckForger,
+        ] {
+            let spec = WorkloadSpec {
+                protocol: Protocol::Bsr,
+                f: 1,
+                extra_servers: 0,
+                writers: 1,
+                readers: 2,
+                writer_ops: 4,
+                reader_ops: 4,
+                value_size: 16,
+                think: 20,
+                byzantine: Some((1, kind)),
+                seed: 17,
+            };
+            let mut sim = spec.build();
+            let report = sim.run();
+            assert_eq!(report.completed_ops, 3 * 4, "all ops live under {kind:?}");
+        }
+    }
+
+    #[test]
+    fn min_n_matches_paper_bounds() {
+        assert_eq!(Protocol::Bsr.min_n(2), 9);
+        assert_eq!(Protocol::Bcsr.min_n(2), 11);
+        assert_eq!(Protocol::RbBaseline.min_n(2), 7);
+    }
+}

@@ -1,0 +1,142 @@
+//! Command-line client for a `safereg-server` deployment.
+//!
+//! ```text
+//! # one write (two rounds), then a one-shot read:
+//! safereg-cli --servers 127.0.0.1:7000,127.0.0.1:7001,... --f 1 --secret demo put "hello"
+//! safereg-cli --servers 127.0.0.1:7000,127.0.0.1:7001,... --f 1 --secret demo get
+//! ```
+//!
+//! The server list's order defines the server ids (first = `s0`). Add
+//! `--coded` when the deployment hosts BCSR replicas, and `--client-id` to
+//! distinguish concurrent clients (writer tags tie-break on it).
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+
+use safereg_common::config::QuorumConfig;
+use safereg_common::ids::{ReaderId, ServerId, WriterId};
+use safereg_common::value::Value;
+use safereg_core::client::{BcsrReader, BcsrWriter, BsrReader, BsrWriter};
+use safereg_crypto::keychain::KeyChain;
+use safereg_transport::client::ClusterClient;
+
+struct Args {
+    servers: Vec<SocketAddr>,
+    f: usize,
+    secret: String,
+    client_id: u16,
+    coded: bool,
+    command: Command,
+}
+
+enum Command {
+    Put(String),
+    Get,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: safereg-cli --servers <a:p,a:p,...> --f <usize> --secret <string> \
+         [--client-id <u16>] [--coded] (put <value> | get)"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut servers = Vec::new();
+    let mut f = usize::MAX;
+    let mut secret = String::new();
+    let mut client_id = 0u16;
+    let mut coded = false;
+    let mut command = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--servers" => {
+                servers = take()
+                    .split(',')
+                    .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--f" => f = take().parse().unwrap_or_else(|_| usage()),
+            "--secret" => secret = take(),
+            "--client-id" => client_id = take().parse().unwrap_or_else(|_| usage()),
+            "--coded" => coded = true,
+            "put" => command = Some(Command::Put(take())),
+            "get" => command = Some(Command::Get),
+            _ => usage(),
+        }
+    }
+    if servers.is_empty() || f == usize::MAX || secret.is_empty() {
+        usage()
+    }
+    Args {
+        servers,
+        f,
+        secret,
+        client_id,
+        coded,
+        command: command.unwrap_or_else(|| usage()),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = match QuorumConfig::new(args.servers.len(), args.f) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("invalid configuration: {e}");
+            std::process::exit(2);
+        }
+    };
+    let addrs: BTreeMap<ServerId, SocketAddr> = args
+        .servers
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (ServerId(i as u16), *a))
+        .collect();
+    let chain = KeyChain::from_master_seed(args.secret.as_bytes());
+
+    let result = match args.command {
+        Command::Put(value) => {
+            let id = WriterId(args.client_id);
+            let mut conn =
+                ClusterClient::connect(id.into(), &addrs, chain).unwrap_or_else(|e| fail(&e));
+            if args.coded {
+                let mut writer = BcsrWriter::new(id, cfg).unwrap_or_else(|e| fail(&e));
+                conn.run_op(&mut writer.write(&Value::from(value.as_str())))
+            } else {
+                let mut writer = BsrWriter::new(id, cfg);
+                conn.run_op(&mut writer.write(Value::from(value.as_str())))
+            }
+        }
+        Command::Get => {
+            let id = ReaderId(args.client_id);
+            let mut conn =
+                ClusterClient::connect(id.into(), &addrs, chain).unwrap_or_else(|e| fail(&e));
+            if args.coded {
+                let mut reader = BcsrReader::new(id, cfg).unwrap_or_else(|e| fail(&e));
+                let mut op = reader.read();
+                conn.run_op(&mut op)
+            } else {
+                let mut reader = BsrReader::new(id, cfg);
+                let mut op = reader.read();
+                conn.run_op(&mut op)
+            }
+        }
+    };
+
+    match result {
+        Ok(out) => match out.read_value() {
+            Some(v) => println!("{}", String::from_utf8_lossy(v.as_bytes())),
+            None => println!("ok: wrote tag {}", out.tag()),
+        },
+        Err(e) => fail(&e),
+    }
+}
+
+fn fail(e: &dyn std::fmt::Display) -> ! {
+    eprintln!("error: {e}");
+    std::process::exit(1)
+}

@@ -1,0 +1,117 @@
+//! Standalone register server daemon.
+//!
+//! Hosts one replica of a BSR/BCSR deployment on a TCP port. Start `n` of
+//! these (one per server id) and point `safereg-cli` at them.
+//!
+//! ```text
+//! safereg-server --id 0 --n 5 --f 1 --listen 127.0.0.1:7000 --secret demo
+//! safereg-server --id 1 --n 5 --f 1 --listen 127.0.0.1:7001 --secret demo
+//! ...
+//! ```
+//!
+//! Pass `--coded` to host an erasure-coded (BCSR) replica instead; the
+//! deployment then needs `n ≥ 5f + 1`.
+
+use safereg_common::config::QuorumConfig;
+use safereg_common::ids::ServerId;
+use safereg_common::msg::Payload;
+use safereg_common::value::Value;
+use safereg_core::server::ServerNode;
+use safereg_crypto::keychain::KeyChain;
+use safereg_transport::server::ServerHost;
+
+struct Args {
+    id: u16,
+    n: usize,
+    f: usize,
+    listen: String,
+    secret: String,
+    coded: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: safereg-server --id <u16> --n <usize> --f <usize> \
+         --listen <addr:port> --secret <string> [--coded]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        id: 0,
+        n: 0,
+        f: 0,
+        listen: String::new(),
+        secret: String::new(),
+        coded: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--id" => args.id = take().parse().unwrap_or_else(|_| usage()),
+            "--n" => args.n = take().parse().unwrap_or_else(|_| usage()),
+            "--f" => args.f = take().parse().unwrap_or_else(|_| usage()),
+            "--listen" => args.listen = take(),
+            "--secret" => args.secret = take(),
+            "--coded" => args.coded = true,
+            _ => usage(),
+        }
+    }
+    if args.n == 0 || args.listen.is_empty() || args.secret.is_empty() {
+        usage()
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = match QuorumConfig::new(args.n, args.f) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("invalid configuration: {e}");
+            std::process::exit(2);
+        }
+    };
+    if args.coded && !cfg.supports_bcsr() {
+        eprintln!("warning: {cfg} is below BCSR's n >= 5f + 1 bound — reads may be unsafe");
+    }
+    if !args.coded && !cfg.supports_bsr() {
+        eprintln!("warning: {cfg} is below BSR's n >= 4f + 1 bound — reads may be unsafe");
+    }
+
+    let sid = ServerId(args.id);
+    let node = if args.coded {
+        let k = cfg.mds_k().unwrap_or_else(|| {
+            eprintln!("no valid MDS dimension for {cfg} (need n > 5f)");
+            std::process::exit(2);
+        });
+        let code = safereg_mds::rs::ReedSolomon::new(cfg.n(), k).expect("valid code");
+        let initial = safereg_mds::stripe::encode_value(&code, &Value::initial())
+            .into_iter()
+            .nth(sid.0 as usize)
+            .expect("element per server");
+        ServerNode::with_initial(sid, cfg, Payload::Coded(initial))
+    } else {
+        ServerNode::new_replicated(sid, cfg)
+    };
+    let chain = KeyChain::from_master_seed(args.secret.as_bytes());
+
+    let host = match ServerHost::spawn_on(node, chain, args.listen.as_str()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("failed to bind {}: {e}", args.listen);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "safereg-server {sid} serving {} register on {} ({cfg})",
+        if args.coded { "coded" } else { "replicated" },
+        host.addr()
+    );
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,204 @@
+//! TCP cluster client: drives any [`ClientOp`] against real servers.
+//!
+//! The client keeps one connection per server. A background thread per
+//! connection reads authenticated responses and funnels them into a
+//! channel; [`ClusterClient::run_op`] sends an operation's envelopes,
+//! feeds it responses as they arrive, and returns its outcome.
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use safereg_common::ids::{ClientId, NodeId, ServerId};
+use safereg_common::msg::{Envelope, Message, ServerToClient};
+use safereg_core::op::{ClientOp, OpOutput};
+use safereg_crypto::keychain::KeyChain;
+
+use crate::frame::{open_envelope, read_frame, seal_envelope, write_frame};
+
+/// Errors from driving operations over TCP.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not connect to a server.
+    Connect {
+        /// The server that refused.
+        server: ServerId,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The operation did not complete within the deadline. Note the model
+    /// is asynchronous — a deadline is a harness convenience, not part of
+    /// the protocol.
+    Timeout {
+        /// How long we waited.
+        waited: Duration,
+    },
+    /// All response channels closed (cluster gone).
+    Disconnected,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect { server, source } => {
+                write!(f, "failed to connect to {server}: {source}")
+            }
+            ClientError::Timeout { waited } => {
+                write!(f, "operation incomplete after {waited:?}")
+            }
+            ClientError::Disconnected => write!(f, "cluster connections closed"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A client's connections to every server in a deployment.
+pub struct ClusterClient {
+    id: ClientId,
+    chain: KeyChain,
+    writers: BTreeMap<ServerId, Arc<Mutex<TcpStream>>>,
+    responses: Receiver<(ServerId, ServerToClient)>,
+    /// Kept so reader threads can detect shutdown via channel closure.
+    _tx: Sender<(ServerId, ServerToClient)>,
+    timeout: Duration,
+}
+
+impl std::fmt::Debug for ClusterClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterClient")
+            .field("id", &self.id)
+            .field("servers", &self.writers.len())
+            .finish()
+    }
+}
+
+impl ClusterClient {
+    /// Connects `id` to the given servers. A server that refuses the
+    /// connection is treated as faulty (equivalent to a silent server in
+    /// the model) and skipped — the quorum logic tolerates up to `f` of
+    /// those.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Disconnected`] when *no* server is reachable.
+    pub fn connect(
+        id: ClientId,
+        servers: &BTreeMap<ServerId, SocketAddr>,
+        chain: KeyChain,
+    ) -> Result<Self, ClientError> {
+        let (tx, rx) = unbounded();
+        let mut writers = BTreeMap::new();
+        for (sid, addr) in servers {
+            let stream = match TcpStream::connect_timeout(addr, Duration::from_secs(5)) {
+                Ok(s) => s,
+                Err(_) => continue, // faulty server: skip, quorum copes
+            };
+            stream.set_nodelay(true).ok();
+            let reader = stream.try_clone().map_err(|source| ClientError::Connect {
+                server: *sid,
+                source,
+            })?;
+            writers.insert(*sid, Arc::new(Mutex::new(stream)));
+
+            let tx = tx.clone();
+            let chain = chain.clone();
+            let sid = *sid;
+            std::thread::Builder::new()
+                .name(format!("safereg-client-rx-{sid}"))
+                .spawn(move || {
+                    let mut reader = reader;
+                    loop {
+                        let frame = match read_frame(&mut reader) {
+                            Ok(f) => f,
+                            Err(_) => return,
+                        };
+                        let env = match open_envelope(&chain, &frame) {
+                            Ok(e) => e,
+                            Err(_) => continue,
+                        };
+                        if let (NodeId::Server(src), Message::ToClient(m)) = (env.src, env.msg) {
+                            if tx.send((src, m)).is_err() {
+                                return;
+                            }
+                        }
+                    }
+                })
+                .expect("spawn client reader");
+        }
+        if writers.is_empty() {
+            return Err(ClientError::Disconnected);
+        }
+        Ok(ClusterClient {
+            id,
+            chain,
+            writers,
+            responses: rx,
+            _tx: tx,
+            timeout: Duration::from_secs(10),
+        })
+    }
+
+    /// This client's identity.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Overrides the per-operation deadline (default 10 s).
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    fn send(&self, env: &Envelope) {
+        if let NodeId::Server(sid) = env.dst {
+            if let Some(stream) = self.writers.get(&sid) {
+                let sealed = seal_envelope(&self.chain, env);
+                // A dead connection is equivalent to a slow channel; the
+                // quorum logic copes with the missing response.
+                let _ = write_frame(&mut *stream.lock(), &sealed);
+            }
+        }
+    }
+
+    /// Drives an operation to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Timeout`] if the quorum never materialises within the
+    /// deadline, [`ClientError::Disconnected`] if every connection died.
+    pub fn run_op(&mut self, op: &mut dyn ClientOp) -> Result<OpOutput, ClientError> {
+        // Drain stale responses from previous (timed-out) operations.
+        while self.responses.try_recv().is_ok() {}
+        for env in op.start() {
+            self.send(&env);
+        }
+        let deadline = std::time::Instant::now() + self.timeout;
+        loop {
+            if let Some(out) = op.output() {
+                return Ok(out);
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return Err(ClientError::Timeout {
+                    waited: self.timeout,
+                });
+            }
+            match self.responses.recv_timeout(remaining) {
+                Ok((sid, msg)) => {
+                    for env in op.on_message(sid, &msg) {
+                        self.send(&env);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(ClientError::Timeout {
+                        waited: self.timeout,
+                    })
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(ClientError::Disconnected),
+            }
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Length-prefixed, MAC-authenticated frames.
+//!
+//! Wire layout per frame: `u32` little-endian length, then `length` bytes
+//! of payload. For authenticated envelope exchange the payload is
+//! `encode(envelope) || HMAC(pair_key(src, dst), encode(envelope))` —
+//! sealed and opened by [`seal_envelope`] / [`open_envelope`], which derive
+//! the link key from the envelope's own endpoints. A frame whose MAC does
+//! not verify under the claimed endpoints' key is rejected, which is
+//! exactly the authentication guarantee the paper's model assumes.
+
+use std::io::{Read, Write};
+
+use safereg_common::codec::{Wire, WireError};
+use safereg_common::msg::Envelope;
+use safereg_crypto::auth::{AuthCodec, AuthError};
+use safereg_crypto::keychain::KeyChain;
+
+/// Maximum accepted frame length (64 MiB + MAC headroom).
+pub const MAX_FRAME: usize = (64 << 20) + 64;
+
+/// Errors while reading or authenticating frames.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying socket error.
+    Io(std::io::Error),
+    /// The peer announced an oversized frame.
+    TooLarge {
+        /// Claimed length.
+        claimed: usize,
+    },
+    /// The payload failed to decode as an envelope.
+    Codec(WireError),
+    /// The MAC did not verify for the claimed endpoints.
+    Auth(AuthError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "socket error: {e}"),
+            FrameError::TooLarge { claimed } => write!(f, "frame of {claimed} bytes refused"),
+            FrameError::Codec(e) => write!(f, "malformed envelope: {e}"),
+            FrameError::Auth(e) => write!(f, "authentication failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), FrameError> {
+    let len = payload.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame.
+///
+/// # Errors
+///
+/// Propagates socket errors; refuses frames larger than [`MAX_FRAME`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge { claimed: len });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Seals an envelope: wire-encodes it and appends the MAC under the
+/// link key of its `(src, dst)` pair.
+pub fn seal_envelope(chain: &KeyChain, env: &Envelope) -> Vec<u8> {
+    let bytes = env.to_wire_bytes();
+    AuthCodec::new(chain.pair_key(env.src, env.dst)).seal(&bytes)
+}
+
+/// Opens a sealed envelope: decodes, then verifies the MAC under the key
+/// of the *claimed* endpoints — a forger who lacks that pair key cannot
+/// produce a frame that passes.
+///
+/// # Errors
+///
+/// [`FrameError::Codec`] for malformed bytes, [`FrameError::Auth`] for MAC
+/// failures.
+pub fn open_envelope(chain: &KeyChain, frame: &[u8]) -> Result<Envelope, FrameError> {
+    if frame.len() < 32 {
+        return Err(FrameError::Auth(AuthError::TooShort { len: frame.len() }));
+    }
+    let (payload, _mac) = frame.split_at(frame.len() - 32);
+    let env = Envelope::from_wire_bytes(payload).map_err(FrameError::Codec)?;
+    AuthCodec::new(chain.pair_key(env.src, env.dst))
+        .open(frame)
+        .map_err(FrameError::Auth)?;
+    Ok(env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safereg_common::ids::{ClientId, ReaderId, ServerId};
+    use safereg_common::msg::{ClientToServer, OpId};
+
+    fn env() -> Envelope {
+        Envelope::to_server(
+            ClientId::Reader(ReaderId(1)),
+            ServerId(0),
+            ClientToServer::QueryData {
+                op: OpId::new(ReaderId(1), 7),
+            },
+        )
+    }
+
+    #[test]
+    fn frame_roundtrip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"world!").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"world!");
+    }
+
+    #[test]
+    fn oversized_frames_are_refused() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn sealed_envelope_roundtrips() {
+        let chain = KeyChain::from_master_seed(b"seed");
+        let frame = seal_envelope(&chain, &env());
+        let back = open_envelope(&chain, &frame).unwrap();
+        assert_eq!(back, env());
+    }
+
+    #[test]
+    fn tampered_envelope_is_rejected() {
+        let chain = KeyChain::from_master_seed(b"seed");
+        let mut frame = seal_envelope(&chain, &env());
+        frame[4] ^= 0xFF;
+        assert!(matches!(
+            open_envelope(&chain, &frame),
+            Err(FrameError::Auth(_)) | Err(FrameError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_keychain_is_rejected() {
+        let chain = KeyChain::from_master_seed(b"seed");
+        let other = KeyChain::from_master_seed(b"other");
+        let frame = seal_envelope(&chain, &env());
+        assert!(matches!(
+            open_envelope(&other, &frame),
+            Err(FrameError::Auth(_))
+        ));
+    }
+
+    #[test]
+    fn spoofed_source_fails_authentication() {
+        // A malicious server re-labels an envelope as coming from another
+        // process; the MAC was made under the wrong pair key and fails.
+        let chain = KeyChain::from_master_seed(b"seed");
+        let mut e = env();
+        let frame = seal_envelope(&chain, &e);
+        // Forge: claim the same payload came from server 5 instead.
+        e.src = ServerId(5).into();
+        let forged_payload = e.to_wire_bytes();
+        let mut forged = forged_payload.clone();
+        forged.extend_from_slice(&frame[frame.len() - 32..]); // reuse old MAC
+        assert!(matches!(
+            open_envelope(&chain, &forged),
+            Err(FrameError::Auth(_))
+        ));
+    }
+}

@@ -1,0 +1,46 @@
+//! Real-socket deployment of the `safereg` protocols.
+//!
+//! The same sans-io state machines that run on the simulator run here over
+//! TCP: [`frame`] provides length-prefixed, HMAC-authenticated framing of
+//! wire-encoded [`safereg_common::msg::Envelope`]s (the paper's
+//! authenticated channels, §II-A); [`server`] hosts a
+//! [`safereg_core::server::ServerNode`] behind a listener with one thread
+//! per connection; [`client`] connects a client to every server and drives
+//! any [`safereg_core::op::ClientOp`] to completion; [`cluster`] spins up a
+//! whole in-process cluster on loopback for examples and tests.
+//!
+//! The RB baseline is deliberately not given a TCP runtime — it exists to
+//! be *measured against* under controlled delays, which the simulator does
+//! better; see DESIGN.md.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use safereg_common::{config::QuorumConfig, ids::{ReaderId, WriterId}, value::Value};
+//! use safereg_core::client::{BsrReader, BsrWriter};
+//! use safereg_transport::cluster::LocalCluster;
+//!
+//! let cfg = QuorumConfig::minimal_bsr(1)?;
+//! let cluster = LocalCluster::start(cfg, b"demo-secret")?;
+//!
+//! let mut writer_client = cluster.client(WriterId(0))?;
+//! let mut writer = BsrWriter::new(WriterId(0), cfg);
+//! writer_client.run_op(&mut writer.write(Value::from("over tcp")))?;
+//!
+//! let mut reader_client = cluster.client(ReaderId(0))?;
+//! let mut reader = BsrReader::new(ReaderId(0), cfg);
+//! let mut read = reader.read();
+//! let out = reader_client.run_op(&mut read)?;
+//! assert_eq!(out.read_value().unwrap().as_bytes(), b"over tcp");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod client;
+pub mod cluster;
+pub mod frame;
+pub mod server;
+
+pub use client::{ClientError, ClusterClient};
+pub use cluster::LocalCluster;
+pub use frame::{read_frame, write_frame, FrameError};
+pub use server::ServerHost;

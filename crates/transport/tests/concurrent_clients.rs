@@ -1,0 +1,91 @@
+//! Concurrent clients over real TCP: multiple writers and readers hammer a
+//! loopback cluster from separate threads; afterwards the register must
+//! hold the highest-tagged write and late readers must all see it.
+
+use std::sync::Arc;
+
+use safereg_common::config::QuorumConfig;
+use safereg_common::ids::{ReaderId, WriterId};
+use safereg_common::tag::Tag;
+use safereg_common::value::Value;
+use safereg_core::client::{BsrReader, BsrWriter};
+use safereg_transport::LocalCluster;
+
+#[test]
+fn concurrent_writers_and_readers_over_tcp() {
+    let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+    let cluster = Arc::new(LocalCluster::start(cfg, b"concurrency").unwrap());
+
+    let writers: Vec<_> = (0..3u16)
+        .map(|w| {
+            let cluster = Arc::clone(&cluster);
+            std::thread::spawn(move || {
+                let mut conn = cluster.client(WriterId(w)).unwrap();
+                let mut writer = BsrWriter::new(WriterId(w), cfg);
+                let mut last = Tag::ZERO;
+                for i in 0..5 {
+                    let value = Value::from(format!("w{w}-i{i}").into_bytes());
+                    let out = conn.run_op(&mut writer.write(value)).unwrap();
+                    assert!(out.tag() > last, "writer {w}: tags must grow");
+                    last = out.tag();
+                }
+                last
+            })
+        })
+        .collect();
+
+    let readers: Vec<_> = (0..3u16)
+        .map(|r| {
+            let cluster = Arc::clone(&cluster);
+            std::thread::spawn(move || {
+                let mut conn = cluster.client(ReaderId(r)).unwrap();
+                let mut reader = BsrReader::new(ReaderId(r), cfg);
+                let mut last = Tag::ZERO;
+                for _ in 0..5 {
+                    let mut op = reader.read();
+                    let out = conn.run_op(&mut op).unwrap();
+                    reader.absorb(&out);
+                    // Per-reader monotonicity via the local pair.
+                    assert!(out.tag() >= last, "reader {r}: regressed");
+                    last = out.tag();
+                }
+            })
+        })
+        .collect();
+
+    let mut max_tag = Tag::ZERO;
+    for w in writers {
+        max_tag = max_tag.max(w.join().expect("writer thread"));
+    }
+    for r in readers {
+        r.join().expect("reader thread");
+    }
+
+    // Quiescent read: everyone now sees the globally most recent write.
+    let mut conn = cluster.client(ReaderId(9)).unwrap();
+    let mut reader = BsrReader::new(ReaderId(9), cfg);
+    let mut op = reader.read();
+    let out = conn.run_op(&mut op).unwrap();
+    assert_eq!(
+        out.tag(),
+        max_tag,
+        "final read returns the newest committed write"
+    );
+}
+
+#[test]
+fn a_client_can_outlive_server_restarts_of_f_nodes() {
+    let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+    let mut cluster = LocalCluster::start(cfg, b"restart").unwrap();
+    let mut conn = cluster.client(WriterId(0)).unwrap();
+    let mut writer = BsrWriter::new(WriterId(0), cfg);
+    conn.run_op(&mut writer.write(Value::from("one"))).unwrap();
+    cluster.crash(safereg_common::ids::ServerId(1));
+    conn.run_op(&mut writer.write(Value::from("two"))).unwrap();
+
+    let mut rconn = cluster.client(ReaderId(0)).unwrap();
+    let mut reader = BsrReader::new(ReaderId(0), cfg);
+    let mut op = reader.read();
+    let out = rconn.run_op(&mut op).unwrap();
+    assert_eq!(out.read_value().unwrap().as_bytes(), b"two");
+}

@@ -1,0 +1,63 @@
+//! Erasure-coded storage economics (§I-C, §IV): sweeping the deployment
+//! size shows the `n/k` storage and bandwidth savings of BCSR over plain
+//! replication — and the price: BCSR needs `n ≥ 5f + 1` servers where BSR
+//! needs `4f + 1` (both bounds are tight, §V).
+//!
+//! ```text
+//! cargo run --example coded_storage
+//! ```
+
+use safereg::common::config::QuorumConfig;
+use safereg::common::ids::{ReaderId, WriterId};
+use safereg::simnet::delay::FixedDelay;
+use safereg::simnet::driver::Plan;
+use safereg::simnet::sim::Sim;
+use safereg::simnet::workload::Protocol;
+
+/// Writes one value and returns (stored bytes across servers, wire bytes).
+fn probe(protocol: Protocol, cfg: QuorumConfig, value_size: usize) -> (u64, u64) {
+    let mut sim = Sim::new(cfg, 3, Box::new(FixedDelay { hop: 10 }));
+    for sid in cfg.servers() {
+        sim.add_server(protocol.correct_server(sid, cfg));
+    }
+    sim.add_client(
+        protocol.writer(WriterId(0), cfg),
+        vec![Plan::write_at(0, vec![0x99; value_size])],
+    );
+    sim.add_client(
+        protocol.reader(ReaderId(0), cfg),
+        vec![Plan::read_at(10_000)],
+    );
+    let report = sim.run();
+    (sim.total_storage_bytes(), report.bytes)
+}
+
+fn main() {
+    let value_size = 64 * 1024;
+    let f = 1;
+    println!("one {} KiB write + one read, f = {f}:", value_size / 1024);
+    println!(
+        "{:>3} {:>3} {:>12} {:>12} {:>9} {:>12} {:>12}",
+        "n", "k", "repl stored", "coded stored", "savings", "repl wire", "coded wire"
+    );
+    for n in [6usize, 8, 11, 16, 21, 31] {
+        let cfg = QuorumConfig::new(n, f).expect("valid config");
+        let k = cfg.mds_k().expect("n > 5f");
+        let (repl_stored, repl_wire) = probe(Protocol::Bsr, cfg, value_size);
+        let (coded_stored, coded_wire) = probe(Protocol::Bcsr, cfg, value_size);
+        println!(
+            "{:>3} {:>3} {:>12} {:>12} {:>8.2}x {:>12} {:>12}",
+            n,
+            k,
+            repl_stored,
+            coded_stored,
+            repl_stored as f64 / coded_stored.max(1) as f64,
+            repl_wire,
+            coded_wire,
+        );
+    }
+    println!("\nThe measured savings track the paper's n/k exactly: each server");
+    println!("stores one coded element of size |v|/k instead of a full copy.");
+    println!("At the minimal n = 5f+1 the code degenerates to k = 1 (no savings) —");
+    println!("the coding benefit is bought with servers beyond the resilience bound.");
+}

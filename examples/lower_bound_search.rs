@@ -1,0 +1,42 @@
+//! Random-schedule search around the paper's resilience bound.
+//!
+//! The Theorem 5 replay (`examples/byzantine_replay.rs`) shows *one*
+//! crafted schedule breaking BSR at `n = 4f`. This demo shows the bound is
+//! not a knife edge: with nothing but heavy-tailed random delays and a
+//! stale-replying Byzantine server, plain random schedules stumble into
+//! safety violations below the bound — and never at it.
+//!
+//! ```text
+//! cargo run --example lower_bound_search
+//! ```
+
+use safereg_bench::search::{random_run_is_unsafe, search};
+
+fn main() {
+    let trials = 400;
+    println!("searching {trials} random schedules per configuration (f = 1)...\n");
+
+    for n in [4usize, 5] {
+        let outcome = search(n, 1, trials);
+        let label = if n == 4 {
+            "n = 4f    (below the bound)"
+        } else {
+            "n = 4f + 1 (the paper's bound)"
+        };
+        println!(
+            "{label}: {:>3} / {} schedules violated safety",
+            outcome.violating_seeds.len(),
+            outcome.trials
+        );
+        if let Some(seed) = outcome.violating_seeds.first() {
+            println!("  first violating seed: {seed} (re-run it deterministically below)");
+            // Replays are exact: the same seed always reproduces the
+            // violation.
+            assert!(random_run_is_unsafe(n, 1, *seed));
+            println!("  replayed seed {seed}: violation reproduced bit-for-bit");
+        }
+    }
+
+    println!("\nTheorem 5 says no algorithm with one-shot reads survives n = 4f;");
+    println!("the random search shows how ordinary tail latency gets there on its own.");
+}

@@ -1,0 +1,261 @@
+//! Cross-crate integration tests: each protocol end-to-end on the
+//! simulator, over TCP, and through the KV layer, with the checkers as
+//! the oracle.
+
+use safereg::checker::rounds::read_round_profile;
+use safereg::checker::CheckSummary;
+use safereg::common::config::QuorumConfig;
+use safereg::common::history::OpKind;
+use safereg::common::ids::{ReaderId, ServerId, WriterId};
+use safereg::common::value::Value;
+use safereg::simnet::delay::UniformDelay;
+use safereg::simnet::driver::{Action, Plan, StartRule};
+use safereg::simnet::sim::Sim;
+use safereg::simnet::workload::{ByzKind, Protocol, WorkloadSpec};
+
+const ALL_PROTOCOLS: [Protocol; 5] = [
+    Protocol::Bsr,
+    Protocol::BsrH,
+    Protocol::Bsr2p,
+    Protocol::Bcsr,
+    Protocol::RbBaseline,
+];
+
+fn read_heavy_run(protocol: Protocol, byz: Option<(usize, ByzKind)>, seed: u64) -> CheckSummary {
+    let spec = WorkloadSpec {
+        protocol,
+        f: 1,
+        extra_servers: 0,
+        writers: 2,
+        readers: 3,
+        writer_ops: 4,
+        reader_ops: 6,
+        value_size: 48,
+        think: 25,
+        byzantine: byz,
+        seed,
+    };
+    let mut sim = spec.build();
+    let report = sim.run();
+    assert_eq!(
+        report.incomplete_ops,
+        0,
+        "{}: every op completes in a fault-free/within-f run",
+        protocol.name()
+    );
+    CheckSummary::check_all(sim.history())
+}
+
+#[test]
+fn every_protocol_is_safe_without_faults() {
+    for protocol in ALL_PROTOCOLS {
+        let summary = read_heavy_run(protocol, None, 11);
+        assert!(
+            summary.is_safe(),
+            "{}: {:?}",
+            protocol.name(),
+            summary.safety
+        );
+        assert!(summary.liveness.is_empty());
+        assert!(summary.order.is_empty());
+    }
+}
+
+#[test]
+fn every_protocol_is_safe_with_each_byzantine_kind() {
+    for protocol in ALL_PROTOCOLS {
+        for kind in [
+            ByzKind::Silent,
+            ByzKind::Stale,
+            ByzKind::Fabricator,
+            ByzKind::Equivocator,
+            ByzKind::AckForger,
+        ] {
+            for seed in [1u64, 2, 3] {
+                let summary = read_heavy_run(protocol, Some((1, kind)), seed);
+                assert!(
+                    summary.is_safe(),
+                    "{} under {kind:?} seed {seed}: {:?}",
+                    protocol.name(),
+                    summary.safety
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn regular_variants_are_also_fresh_under_faults() {
+    // BSR only promises safety; BSR-H, BSR-2P and the RB baseline promise
+    // the regularity-grade freshness too.
+    for protocol in [Protocol::BsrH, Protocol::Bsr2p, Protocol::RbBaseline] {
+        for kind in [ByzKind::Silent, ByzKind::Stale, ByzKind::AckForger] {
+            for seed in [5u64, 6] {
+                let summary = read_heavy_run(protocol, Some((1, kind)), seed);
+                assert!(
+                    summary.is_fresh(),
+                    "{} under {kind:?} seed {seed}: {:?}",
+                    protocol.name(),
+                    summary.freshness
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn one_shot_protocols_use_exactly_one_read_round() {
+    for protocol in [Protocol::Bsr, Protocol::BsrH, Protocol::Bcsr] {
+        let spec = WorkloadSpec {
+            protocol,
+            f: 1,
+            extra_servers: 0,
+            writers: 1,
+            readers: 3,
+            writer_ops: 3,
+            reader_ops: 5,
+            value_size: 32,
+            think: 20,
+            byzantine: Some((1, ByzKind::Silent)),
+            seed: 77,
+        };
+        let mut sim = spec.build();
+        sim.run();
+        let profile = read_round_profile(sim.history());
+        assert!(profile.all_one_shot(), "{}: {:?}", protocol.name(), profile);
+    }
+}
+
+#[test]
+fn reader_cache_makes_bsr_reads_monotone_per_reader() {
+    // A single reader's successive reads never regress in tag, even under
+    // a stale-replying Byzantine server.
+    let spec = WorkloadSpec {
+        protocol: Protocol::Bsr,
+        f: 1,
+        extra_servers: 0,
+        writers: 1,
+        readers: 1,
+        writer_ops: 6,
+        reader_ops: 12,
+        value_size: 16,
+        think: 15,
+        byzantine: Some((1, ByzKind::Stale)),
+        seed: 3,
+    };
+    let mut sim = spec.build();
+    sim.run();
+    let mut last = None;
+    for read in sim.history().completed_reads() {
+        if let OpKind::Read {
+            returned_tag: Some(t),
+            ..
+        } = &read.kind
+        {
+            if let Some(prev) = last {
+                assert!(*t >= prev, "reader regressed from {prev} to {t}");
+            }
+            last = Some(*t);
+        }
+    }
+    assert!(last.is_some());
+}
+
+#[test]
+fn mixed_protocol_deployment_over_tcp_and_sim_agree() {
+    // The same write/read pair through the simulator and through TCP must
+    // produce the same value and tag (the state machines are identical).
+    let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+
+    // Simulator run.
+    let mut sim = Sim::new(cfg, 5, Box::new(UniformDelay { lo: 1, hi: 20 }));
+    for sid in cfg.servers() {
+        sim.add_server(Protocol::Bsr.correct_server(sid, cfg));
+    }
+    sim.add_client(
+        Protocol::Bsr.writer(WriterId(0), cfg),
+        vec![Plan::write_at(0, "agree")],
+    );
+    sim.add_client(
+        Protocol::Bsr.reader(ReaderId(0), cfg),
+        vec![Plan::read_at(500)],
+    );
+    sim.run();
+    let sim_read = sim
+        .history()
+        .completed_reads()
+        .next()
+        .map(|r| match &r.kind {
+            OpKind::Read {
+                returned: Some(v),
+                returned_tag: Some(t),
+            } => (v.clone(), *t),
+            _ => panic!("read incomplete"),
+        })
+        .unwrap();
+
+    // TCP run.
+    use safereg::core::client::{BsrReader, BsrWriter};
+    let cluster = safereg::transport::LocalCluster::start(cfg, b"e2e").unwrap();
+    let mut wc = cluster.client(WriterId(0)).unwrap();
+    let mut writer = BsrWriter::new(WriterId(0), cfg);
+    wc.run_op(&mut writer.write(Value::from("agree"))).unwrap();
+    let mut rc = cluster.client(ReaderId(0)).unwrap();
+    let mut reader = BsrReader::new(ReaderId(0), cfg);
+    let mut op = reader.read();
+    let out = rc.run_op(&mut op).unwrap();
+
+    assert_eq!(out.read_value().unwrap(), &sim_read.0);
+    assert_eq!(out.tag(), sim_read.1);
+}
+
+#[test]
+fn kv_store_read_your_writes_sequentially() {
+    use safereg::kv::{InMemKvCluster, KvClient};
+    let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+    let mut cluster = InMemKvCluster::new(cfg);
+    let mut client = KvClient::new(cfg, WriterId(0), ReaderId(0));
+    for i in 0..20 {
+        let key = format!("key-{}", i % 4);
+        let val = format!("val-{i}");
+        client
+            .put(&mut cluster, key.as_bytes(), val.as_str())
+            .unwrap();
+        let got = client.get(&mut cluster, key.as_bytes()).unwrap();
+        assert_eq!(got.as_bytes(), val.as_bytes(), "sequential read-your-write");
+    }
+}
+
+#[test]
+fn bcsr_large_values_roundtrip_under_faults() {
+    let cfg = QuorumConfig::new(8, 1).unwrap(); // k = 3: real coding
+    let mut sim = Sim::new(cfg, 13, Box::new(UniformDelay { lo: 1, hi: 30 }));
+    for sid in cfg.servers() {
+        if sid == ServerId(7) {
+            sim.add_server(Box::new(safereg::simnet::behavior::Silent::new(sid)));
+        } else {
+            sim.add_server(Protocol::Bcsr.correct_server(sid, cfg));
+        }
+    }
+    let big = vec![0xCDu8; 100 * 1024];
+    sim.add_client(
+        Protocol::Bcsr.writer(WriterId(0), cfg),
+        vec![Plan {
+            start: StartRule::At(0),
+            action: Action::Write(Value::from(big.clone())),
+        }],
+    );
+    sim.add_client(
+        Protocol::Bcsr.reader(ReaderId(0), cfg),
+        vec![Plan::read_at(5_000)],
+    );
+    let report = sim.run();
+    assert_eq!(report.incomplete_ops, 0);
+    let read = sim.history().completed_reads().next().unwrap();
+    match &read.kind {
+        OpKind::Read {
+            returned: Some(v), ..
+        } => assert_eq!(v.as_bytes(), &big[..]),
+        other => panic!("unexpected {other:?}"),
+    }
+}

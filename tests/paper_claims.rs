@@ -1,0 +1,248 @@
+//! Asserts every experiment verdict from EXPERIMENTS.md — the claims of
+//! the paper as a regression test suite.
+
+use safereg_bench::ablations;
+use safereg_bench::experiments;
+
+#[test]
+fn e1_resilience_bounds_are_tight() {
+    let rows = experiments::e1_resilience();
+    let find = |proto: &str, n: usize| {
+        rows.iter()
+            .find(|r| r.protocol == proto && r.n == n)
+            .unwrap_or_else(|| panic!("missing row {proto}/{n}"))
+    };
+    assert_eq!(find("BSR", 4).verdict, "UNSAFE", "Theorem 5: n = 4f breaks");
+    assert_eq!(
+        find("BSR", 5).verdict,
+        "safe",
+        "Theorem 2: n = 4f + 1 suffices"
+    );
+    assert_eq!(
+        find("BCSR", 10).verdict,
+        "UNSAFE",
+        "Theorem 6: n = 5f breaks"
+    );
+    assert_eq!(
+        find("BCSR", 11).verdict,
+        "safe",
+        "Lemma 4: n = 5f + 1 suffices"
+    );
+    assert_eq!(find("RB-baseline", 3).verdict, "liveness lost");
+    assert_eq!(find("RB-baseline", 4).verdict, "safe");
+}
+
+#[test]
+fn e2_one_shot_reads() {
+    for row in experiments::e2_rounds() {
+        assert_eq!(
+            row.write_rounds, 2,
+            "{}: writes are two-phase",
+            row.protocol
+        );
+        match row.protocol.as_str() {
+            "BSR" | "BSR-H" | "BCSR" | "RB-baseline" => {
+                assert!(row.one_shot, "{}: reads must be one-shot", row.protocol)
+            }
+            "BSR-2P" => {
+                assert!(!row.one_shot);
+                assert!(row.read_rounds.0 >= 2, "two-phase reads use >= 2 rounds");
+            }
+            other => panic!("unexpected protocol {other}"),
+        }
+    }
+}
+
+#[test]
+fn e3_rb_write_overhead_is_one_point_five() {
+    let rows = experiments::e3_latency();
+    let bsr = rows.iter().find(|r| r.protocol == "BSR").unwrap();
+    let rb = rows.iter().find(|r| r.protocol == "RB-baseline").unwrap();
+    assert_eq!(bsr.write_hops, 4.0, "BSR: 2 round trips = 4 hops");
+    assert_eq!(bsr.read_hops, 2.0, "one-shot read = 2 hops");
+    assert_eq!(rb.write_hops, 6.0, "RB put-data gains echo+ready hops");
+    assert!(
+        (rb.write_vs_bsr - 1.5).abs() < 1e-9,
+        "the paper's 1.5x factor"
+    );
+    let p2 = rows.iter().find(|r| r.protocol == "BSR-2P").unwrap();
+    assert_eq!(p2.read_hops, 4.0, "slow reads pay a second round trip");
+}
+
+#[test]
+fn e4_storage_savings_match_n_over_k() {
+    for row in experiments::e4_costs() {
+        // Stored bytes: replication keeps n full copies, coding keeps n
+        // elements of ceil(S/k) bytes.
+        assert_eq!(row.repl_storage, (row.n * row.value_size) as u64);
+        let expect_coded = (row.n * row.value_size.div_ceil(row.k)) as u64;
+        assert_eq!(row.coded_storage, expect_coded);
+        // Wire bytes track the same ratio (within framing overhead).
+        let measured = row.repl_write_bytes as f64 / row.coded_write_bytes as f64;
+        let theory = row.k as f64;
+        assert!(
+            (measured - theory).abs() / theory < 0.15,
+            "n={} k={}: measured {measured:.2} vs theory {theory:.2}",
+            row.n,
+            row.k
+        );
+    }
+}
+
+#[test]
+fn e5_theorem3_verdicts() {
+    let rows = experiments::e5_theorem3();
+    let bsr = rows.iter().find(|r| r.name == "theorem3/BSR").unwrap();
+    assert!(bsr.safe, "BSR stays safe (Theorem 2)");
+    assert!(!bsr.fresh, "BSR is not regular (Theorem 3)");
+    assert_eq!(bsr.read_returned, "v0");
+    for name in ["theorem3/BSR-H", "theorem3/BSR-2P"] {
+        let row = rows.iter().find(|r| r.name == name).unwrap();
+        assert!(row.safe && row.fresh, "{name} repairs regularity (§III-C)");
+    }
+}
+
+#[test]
+fn e6_and_e7_impossibility_replays() {
+    let t5 = experiments::e6_theorem5();
+    assert!(!t5[0].safe, "n = 4f: safety violated");
+    assert!(
+        t5[1].safe && t5[1].fresh,
+        "n = 4f + 1: same adversary harmless"
+    );
+
+    let t6 = experiments::e7_theorem6();
+    assert!(!t6[0].safe, "n = 5f: decode starves, safety violated");
+    assert!(
+        t6[1].safe && t6[1].fresh,
+        "n = 5f + 1: same adversary harmless"
+    );
+}
+
+#[test]
+fn e8_workloads_complete_and_stay_safe() {
+    let rows = experiments::e8_workloads();
+    assert_eq!(rows.len(), 4 * 5);
+    for row in &rows {
+        assert!(row.safe, "{} at {}‰", row.protocol, row.read_permille);
+        assert!(row.ops > 0);
+    }
+    // One-shot reads beat two-phase reads on latency at every ratio.
+    for permille in [500u32, 900, 990, 998] {
+        let get = |p: &str| {
+            rows.iter()
+                .find(|r| r.protocol == p && r.read_permille == permille)
+                .unwrap()
+        };
+        assert!(
+            get("BSR").read_latency < get("BSR-2P").read_latency,
+            "one-shot reads are faster at {permille}"
+        );
+    }
+}
+
+#[test]
+fn e9_liveness_at_exactly_f() {
+    for row in experiments::e9_liveness() {
+        assert!(
+            row.as_expected,
+            "{} with {} silent: {:?}",
+            row.protocol, row.silent, row.completed
+        );
+    }
+}
+
+#[test]
+fn e10_write_order_holds() {
+    let row = experiments::e10_write_order();
+    assert!(row.writes > 100);
+    assert_eq!(row.duplicates, 0, "Lemma 2: tags unique");
+    assert_eq!(row.inversions, 0, "Lemma 2: tags respect real time");
+}
+
+#[test]
+fn a1_witness_threshold_sweet_spot() {
+    let rows = ablations::a1_witness_threshold();
+    assert!(
+        !rows[0].safe,
+        "threshold f admits fabricated values (Lemma 5)"
+    );
+    assert!(
+        rows[1].safe && rows[1].fresh,
+        "threshold f + 1 is the paper's rule"
+    );
+    assert!(!rows[2].fresh, "threshold f + 2 loses coverage");
+}
+
+#[test]
+fn a2_max_selection_is_inflatable() {
+    let rows = ablations::a2_tag_selection();
+    assert!(!rows[0].inflated, "(f+1)-th highest resists inflation");
+    assert_eq!(rows[0].final_tag_num, 3);
+    assert!(rows[1].inflated, "max selection is hijacked by one liar");
+}
+
+#[test]
+fn a3_erasure_marking_outperforms_blind_decode() {
+    let rows = ablations::a3_decode_strategy();
+    assert!(
+        rows[0].recovered,
+        "erasure-marking handles 2 era + 4 stale + 2 corrupt"
+    );
+    assert!(
+        !rows[1].recovered,
+        "blind decoding exceeds its error budget"
+    );
+}
+
+#[test]
+fn a4_history_retention_matters_for_variants() {
+    let rows = ablations::a4_history_retention();
+    assert!(
+        !rows[0].fresh,
+        "Fig. 3-literal retention breaks BSR-H freshness"
+    );
+    assert!(rows[1].fresh, "store-all retention keeps BSR-H regular");
+}
+
+#[test]
+fn e11_inversions_exist_but_safety_and_freshness_hold() {
+    for row in experiments::e11_atomicity_boundary() {
+        assert!(
+            row.safe,
+            "{}: the inversion schedule is still safe",
+            row.protocol
+        );
+        assert!(row.fresh, "{}: and still regular-fresh", row.protocol);
+        assert!(row.inversions > 0, "{}: but not atomic", row.protocol);
+    }
+}
+
+#[test]
+fn e12_bandwidth_shapes_of_the_regular_variants() {
+    let rows = experiments::e12_variant_bandwidth();
+    let first = &rows[0];
+    let last = rows.last().unwrap();
+    // BSR reads are history-independent.
+    assert_eq!(first.bsr_read_bytes, last.bsr_read_bytes);
+    // BSR-H grows roughly linearly with history × value size.
+    assert!(last.bsrh_read_bytes > 50 * first.bsr_read_bytes);
+    // BSR-2P grows only by tag-list bytes — orders of magnitude less.
+    assert!(last.bsr2p_read_bytes < last.bsrh_read_bytes / 20);
+    assert!(last.bsr2p_read_bytes < 3 * first.bsr2p_read_bytes);
+    // Warm BSR-H reads (delta queries) are history-independent and tiny.
+    assert_eq!(first.bsrh_warm_read_bytes, last.bsrh_warm_read_bytes);
+    assert!(last.bsrh_warm_read_bytes * 10 < last.bsr_read_bytes);
+}
+
+#[test]
+fn a5_full_fanout_is_necessary() {
+    let rows = ablations::a5_write_fanout();
+    assert_eq!(rows.len(), 3);
+    assert!(
+        rows[0].violations > rows[1].violations,
+        "m=3f is much worse than m=n-f"
+    );
+    assert!(rows[1].violations > 0, "even m = n - 1 leaks staleness");
+    assert_eq!(rows[2].violations, 0, "the paper's full fan-out is clean");
+}

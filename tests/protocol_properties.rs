@@ -1,0 +1,115 @@
+//! Property-based tests over randomized executions.
+//!
+//! For arbitrary seeds, client populations and Byzantine strategies within
+//! the paper's fault model, every execution must satisfy the paper's
+//! guarantees: safety and write order always; freshness for the regular
+//! variants; liveness whenever at most `f` servers misbehave.
+
+use proptest::prelude::*;
+use safereg::checker::CheckSummary;
+use safereg::simnet::workload::{ByzKind, Protocol, WorkloadSpec};
+
+fn arb_protocol() -> impl Strategy<Value = Protocol> {
+    prop_oneof![
+        Just(Protocol::Bsr),
+        Just(Protocol::BsrH),
+        Just(Protocol::Bsr2p),
+        Just(Protocol::Bcsr),
+        Just(Protocol::RbBaseline),
+    ]
+}
+
+fn arb_byz() -> impl Strategy<Value = Option<ByzKind>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(ByzKind::Silent)),
+        Just(Some(ByzKind::Stale)),
+        Just(Some(ByzKind::Fabricator)),
+        Just(Some(ByzKind::Equivocator)),
+        Just(Some(ByzKind::AckForger)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn randomized_executions_are_safe_live_and_ordered(
+        protocol in arb_protocol(),
+        byz in arb_byz(),
+        seed in any::<u64>(),
+        writers in 1usize..3,
+        readers in 1usize..4,
+        ops in 2usize..5,
+        extra in 0usize..2,
+    ) {
+        let spec = WorkloadSpec {
+            protocol,
+            f: 1,
+            extra_servers: extra,
+            writers,
+            readers,
+            writer_ops: ops,
+            reader_ops: ops,
+            value_size: 24,
+            think: 20,
+            byzantine: byz.map(|k| (1, k)),
+            seed,
+        };
+        let mut sim = spec.build();
+        let report = sim.run();
+
+        // Liveness (Theorem 1/4): at most f faulty servers.
+        prop_assert_eq!(report.incomplete_ops, 0,
+            "{} under {:?}", protocol.name(), byz);
+
+        let summary = CheckSummary::check_all(sim.history());
+        // Safety (Theorem 2 / Lemma 4) and write order (Lemma 2): always.
+        prop_assert!(summary.is_safe(),
+            "{} under {:?} seed {}: {:?}", protocol.name(), byz, seed, summary.safety);
+        prop_assert!(summary.order.is_empty(),
+            "{} order: {:?}", protocol.name(), summary.order);
+
+        // Freshness: promised by the regular variants (§III-C) and the RB
+        // baseline; BSR deliberately does not promise it (Theorem 3).
+        if matches!(protocol, Protocol::BsrH | Protocol::Bsr2p | Protocol::RbBaseline) {
+            prop_assert!(summary.is_fresh(),
+                "{} under {:?} seed {}: {:?}", protocol.name(), byz, seed, summary.freshness);
+        }
+    }
+
+    #[test]
+    fn tag_space_stays_bounded_by_write_count(
+        seed in any::<u64>(),
+        writers in 1usize..4,
+        ops in 1usize..4,
+    ) {
+        // Robust tag selection: a register's tag number never exceeds the
+        // number of completed writes (no inflation), regardless of
+        // interleaving.
+        let spec = WorkloadSpec {
+            protocol: Protocol::Bsr,
+            f: 1,
+            extra_servers: 0,
+            writers,
+            readers: 1,
+            writer_ops: ops,
+            reader_ops: 2,
+            value_size: 8,
+            think: 15,
+            byzantine: Some((1, ByzKind::Fabricator)),
+            seed,
+        };
+        let mut sim = spec.build();
+        sim.run();
+        let total_writes = writers * ops;
+        for w in sim.history().completed_writes() {
+            if let safereg::common::history::OpKind::Write { tag: Some(t), .. } = &w.kind {
+                prop_assert!(
+                    t.num as usize <= total_writes,
+                    "tag {} exceeds {} writes", t, total_writes
+                );
+            }
+        }
+    }
+}
