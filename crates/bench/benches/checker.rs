@@ -1,50 +1,72 @@
 //! Criterion benches for the consistency checkers over large histories.
+//!
+//! Gated behind the off-by-default `criterion-benches` feature so the
+//! default build stays hermetic; enabling it requires re-adding
+//! `criterion` as a dev-dependency (see Cargo.toml).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use safereg_checker::CheckSummary;
-use safereg_common::history::History;
-use safereg_common::ids::{ReaderId, WriterId};
-use safereg_common::msg::OpId;
-use safereg_common::tag::Tag;
-use safereg_common::value::Value;
+#[cfg(feature = "criterion-benches")]
+mod criterion_suite {
+    use criterion::{criterion_group, BenchmarkId, Criterion};
+    use safereg_checker::CheckSummary;
+    use safereg_common::history::History;
+    use safereg_common::ids::{ReaderId, WriterId};
+    use safereg_common::msg::OpId;
+    use safereg_common::tag::Tag;
+    use safereg_common::value::Value;
 
-/// Builds a well-formed history with `writes` sequential writes and
-/// `reads` fresh reads interleaved.
-fn build_history(writes: usize, reads: usize) -> History {
-    let mut h = History::new();
-    let mut t = 0u64;
-    let mut latest = (Tag::ZERO, Value::initial());
-    for i in 0..writes.max(reads) {
-        if i < writes {
-            let tag = Tag::new((i + 1) as u64, WriterId(0));
-            let value = Value::from(format!("value-{i}").into_bytes());
-            let w = h.begin_write(OpId::new(WriterId(0), (i + 1) as u64), value.clone(), t);
-            h.complete_write(w, tag, t + 10);
-            latest = (tag, value);
-            t += 20;
+    /// Builds a well-formed history with `writes` sequential writes and
+    /// `reads` fresh reads interleaved.
+    fn build_history(writes: usize, reads: usize) -> History {
+        let mut h = History::new();
+        let mut t = 0u64;
+        let mut latest = (Tag::ZERO, Value::initial());
+        for i in 0..writes.max(reads) {
+            if i < writes {
+                let tag = Tag::new((i + 1) as u64, WriterId(0));
+                let value = Value::from(format!("value-{i}").into_bytes());
+                let w = h.begin_write(OpId::new(WriterId(0), (i + 1) as u64), value.clone(), t);
+                h.complete_write(w, tag, t + 10);
+                latest = (tag, value);
+                t += 20;
+            }
+            if i < reads {
+                let r = h.begin_read(OpId::new(ReaderId(0), (i + 1) as u64), t);
+                h.complete_read(r, latest.1.clone(), latest.0, t + 10);
+                t += 20;
+            }
         }
-        if i < reads {
-            let r = h.begin_read(OpId::new(ReaderId(0), (i + 1) as u64), t);
-            h.complete_read(r, latest.1.clone(), latest.0, t + 10);
-            t += 20;
-        }
+        h
     }
-    h
+
+    fn bench_checkers(c: &mut Criterion) {
+        let mut group = c.benchmark_group("checker/check_all");
+        for ops in [100usize, 1000] {
+            let history = build_history(ops / 2, ops / 2);
+            group.bench_with_input(BenchmarkId::from_parameter(ops), &ops, |b, _| {
+                b.iter(|| {
+                    let summary = CheckSummary::check_all(&history);
+                    assert!(summary.is_safe());
+                })
+            });
+        }
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_checkers);
 }
 
-fn bench_checkers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("checker/check_all");
-    for ops in [100usize, 1000] {
-        let history = build_history(ops / 2, ops / 2);
-        group.bench_with_input(BenchmarkId::from_parameter(ops), &ops, |b, _| {
-            b.iter(|| {
-                let summary = CheckSummary::check_all(&history);
-                assert!(summary.is_safe());
-            })
-        });
-    }
-    group.finish();
+#[cfg(feature = "criterion-benches")]
+fn main() {
+    criterion_suite::benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }
 
-criterion_group!(benches, bench_checkers);
-criterion_main!(benches);
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    eprintln!(
+        "benches are gated: rebuild with --features criterion-benches \
+         (requires the criterion crate; see DESIGN.md)"
+    );
+}

@@ -1,46 +1,68 @@
 //! Criterion benches for the wire codec (message framing costs that the
 //! bandwidth experiments account).
+//!
+//! Gated behind the off-by-default `criterion-benches` feature so the
+//! default build stays hermetic; enabling it requires re-adding
+//! `criterion` as a dev-dependency (see Cargo.toml).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use safereg_common::codec::Wire;
-use safereg_common::ids::{ReaderId, ServerId, WriterId};
-use safereg_common::msg::{ClientToServer, Envelope, OpId, Payload};
-use safereg_common::tag::Tag;
-use safereg_common::value::Value;
+#[cfg(feature = "criterion-benches")]
+mod criterion_suite {
+    use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+    use safereg_common::codec::Wire;
+    use safereg_common::ids::{ReaderId, ServerId, WriterId};
+    use safereg_common::msg::{ClientToServer, Envelope, OpId, Payload};
+    use safereg_common::tag::Tag;
+    use safereg_common::value::Value;
 
-fn put_envelope(size: usize) -> Envelope {
-    Envelope::to_server(
-        safereg_common::ids::ClientId::Writer(WriterId(1)),
-        ServerId(0),
-        ClientToServer::PutData {
-            op: OpId::new(WriterId(1), 7),
-            tag: Tag::new(42, WriterId(1)),
-            payload: Payload::Full(Value::from(vec![0xF0; size])),
-        },
-    )
-}
-
-fn bench_codec(c: &mut Criterion) {
-    let mut group = c.benchmark_group("codec/envelope");
-    for size in [128usize, 16 << 10] {
-        let env = put_envelope(size);
-        let bytes = env.to_wire_bytes();
-        group.throughput(Throughput::Bytes(bytes.len() as u64));
-        group.bench_with_input(BenchmarkId::new("encode", size), &size, |b, _| {
-            b.iter(|| env.to_wire_bytes())
-        });
-        group.bench_with_input(BenchmarkId::new("decode", size), &size, |b, _| {
-            b.iter(|| Envelope::from_wire_bytes(&bytes).unwrap())
-        });
+    fn put_envelope(size: usize) -> Envelope {
+        Envelope::to_server(
+            safereg_common::ids::ClientId::Writer(WriterId(1)),
+            ServerId(0),
+            ClientToServer::PutData {
+                op: OpId::new(WriterId(1), 7),
+                tag: Tag::new(42, WriterId(1)),
+                payload: Payload::Full(Value::from(vec![0xF0; size])),
+            },
+        )
     }
-    group.finish();
 
-    // The small read-path message (dominates read-heavy workloads).
-    let query = ClientToServer::QueryData {
-        op: OpId::new(ReaderId(0), 1),
-    };
-    c.bench_function("codec/query-data", |b| b.iter(|| query.to_wire_bytes()));
+    fn bench_codec(c: &mut Criterion) {
+        let mut group = c.benchmark_group("codec/envelope");
+        for size in [128usize, 16 << 10] {
+            let env = put_envelope(size);
+            let bytes = env.to_wire_bytes();
+            group.throughput(Throughput::Bytes(bytes.len() as u64));
+            group.bench_with_input(BenchmarkId::new("encode", size), &size, |b, _| {
+                b.iter(|| env.to_wire_bytes())
+            });
+            group.bench_with_input(BenchmarkId::new("decode", size), &size, |b, _| {
+                b.iter(|| Envelope::from_wire_bytes(&bytes).unwrap())
+            });
+        }
+        group.finish();
+
+        // The small read-path message (dominates read-heavy workloads).
+        let query = ClientToServer::QueryData {
+            op: OpId::new(ReaderId(0), 1),
+        };
+        c.bench_function("codec/query-data", |b| b.iter(|| query.to_wire_bytes()));
+    }
+
+    criterion_group!(benches, bench_codec);
 }
 
-criterion_group!(benches, bench_codec);
-criterion_main!(benches);
+#[cfg(feature = "criterion-benches")]
+fn main() {
+    criterion_suite::benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}
+
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    eprintln!(
+        "benches are gated: rebuild with --features criterion-benches \
+         (requires the criterion crate; see DESIGN.md)"
+    );
+}

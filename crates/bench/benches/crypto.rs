@@ -1,48 +1,70 @@
 //! Criterion benches for the channel-authentication substrate.
+//!
+//! Gated behind the off-by-default `criterion-benches` feature so the
+//! default build stays hermetic; enabling it requires re-adding
+//! `criterion` as a dev-dependency (see Cargo.toml).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use safereg_common::ids::{NodeId, ReaderId, ServerId};
-use safereg_crypto::auth::AuthCodec;
-use safereg_crypto::hmac::HmacSha256;
-use safereg_crypto::keychain::KeyChain;
-use safereg_crypto::sha256::Sha256;
+#[cfg(feature = "criterion-benches")]
+mod criterion_suite {
+    use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+    use safereg_common::ids::{NodeId, ReaderId, ServerId};
+    use safereg_crypto::auth::AuthCodec;
+    use safereg_crypto::hmac::HmacSha256;
+    use safereg_crypto::keychain::KeyChain;
+    use safereg_crypto::sha256::Sha256;
 
-fn bench_sha256(c: &mut Criterion) {
-    let mut group = c.benchmark_group("crypto/sha256");
-    for size in [64usize, 1 << 10, 64 << 10] {
-        let data = vec![0xABu8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
-            b.iter(|| Sha256::digest(&data))
+    fn bench_sha256(c: &mut Criterion) {
+        let mut group = c.benchmark_group("crypto/sha256");
+        for size in [64usize, 1 << 10, 64 << 10] {
+            let data = vec![0xABu8; size];
+            group.throughput(Throughput::Bytes(size as u64));
+            group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+                b.iter(|| Sha256::digest(&data))
+            });
+        }
+        group.finish();
+    }
+
+    fn bench_hmac(c: &mut Criterion) {
+        let mut group = c.benchmark_group("crypto/hmac");
+        let key = b"bench key material";
+        for size in [64usize, 4 << 10] {
+            let data = vec![0x7Fu8; size];
+            group.throughput(Throughput::Bytes(size as u64));
+            group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+                b.iter(|| HmacSha256::mac(key, &data))
+            });
+        }
+        group.finish();
+    }
+
+    fn bench_seal_open(c: &mut Criterion) {
+        let chain = KeyChain::from_master_seed(b"bench");
+        let codec =
+            AuthCodec::new(chain.pair_key(NodeId::from(ServerId(0)), NodeId::from(ReaderId(0))));
+        let payload = vec![0x42u8; 1024];
+        let frame = codec.seal(&payload);
+        c.bench_function("crypto/seal-1KiB", |b| b.iter(|| codec.seal(&payload)));
+        c.bench_function("crypto/open-1KiB", |b| {
+            b.iter(|| codec.open(&frame).unwrap())
         });
     }
-    group.finish();
+
+    criterion_group!(benches, bench_sha256, bench_hmac, bench_seal_open);
 }
 
-fn bench_hmac(c: &mut Criterion) {
-    let mut group = c.benchmark_group("crypto/hmac");
-    let key = b"bench key material";
-    for size in [64usize, 4 << 10] {
-        let data = vec![0x7Fu8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
-            b.iter(|| HmacSha256::mac(key, &data))
-        });
-    }
-    group.finish();
+#[cfg(feature = "criterion-benches")]
+fn main() {
+    criterion_suite::benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }
 
-fn bench_seal_open(c: &mut Criterion) {
-    let chain = KeyChain::from_master_seed(b"bench");
-    let codec =
-        AuthCodec::new(chain.pair_key(NodeId::from(ServerId(0)), NodeId::from(ReaderId(0))));
-    let payload = vec![0x42u8; 1024];
-    let frame = codec.seal(&payload);
-    c.bench_function("crypto/seal-1KiB", |b| b.iter(|| codec.seal(&payload)));
-    c.bench_function("crypto/open-1KiB", |b| {
-        b.iter(|| codec.open(&frame).unwrap())
-    });
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    eprintln!(
+        "benches are gated: rebuild with --features criterion-benches \
+         (requires the criterion crate; see DESIGN.md)"
+    );
 }
-
-criterion_group!(benches, bench_sha256, bench_hmac, bench_seal_open);
-criterion_main!(benches);

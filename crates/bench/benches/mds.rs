@@ -3,71 +3,93 @@
 //! Measures encode/decode throughput of the `[n, k]` Reed–Solomon code over
 //! the BCSR-relevant configurations: the minimal `k = 1` deployments and
 //! over-provisioned deployments where the `n/k` savings actually pay.
+//!
+//! Gated behind the off-by-default `criterion-benches` feature so the
+//! default build stays hermetic; enabling it requires re-adding
+//! `criterion` as a dev-dependency (see Cargo.toml).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use safereg_common::value::Value;
-use safereg_mds::rs::ReedSolomon;
-use safereg_mds::stripe::{decode_elements, encode_value, ElementView};
+#[cfg(feature = "criterion-benches")]
+mod criterion_suite {
+    use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+    use safereg_common::value::Value;
+    use safereg_mds::rs::ReedSolomon;
+    use safereg_mds::stripe::{decode_elements, encode_value, ElementView};
 
-fn bench_encode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mds/encode");
-    for (n, k) in [(6usize, 1usize), (11, 6), (16, 11)] {
-        for size in [1usize << 10, 64 << 10] {
-            let code = ReedSolomon::new(n, k).unwrap();
-            let value = Value::from(vec![0xA7u8; size]);
-            group.throughput(Throughput::Bytes(size as u64));
-            group.bench_with_input(
-                BenchmarkId::new(format!("n{n}k{k}"), size),
-                &size,
-                |b, _| b.iter(|| encode_value(&code, &value)),
-            );
+    fn bench_encode(c: &mut Criterion) {
+        let mut group = c.benchmark_group("mds/encode");
+        for (n, k) in [(6usize, 1usize), (11, 6), (16, 11)] {
+            for size in [1usize << 10, 64 << 10] {
+                let code = ReedSolomon::new(n, k).unwrap();
+                let value = Value::from(vec![0xA7u8; size]);
+                group.throughput(Throughput::Bytes(size as u64));
+                group.bench_with_input(
+                    BenchmarkId::new(format!("n{n}k{k}"), size),
+                    &size,
+                    |b, _| b.iter(|| encode_value(&code, &value)),
+                );
+            }
         }
+        group.finish();
     }
-    group.finish();
-}
 
-fn bench_decode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mds/decode");
-    for (n, k, errors) in [(6usize, 1usize, 2usize), (11, 6, 2), (16, 11, 2)] {
+    fn bench_decode(c: &mut Criterion) {
+        let mut group = c.benchmark_group("mds/decode");
+        for (n, k, errors) in [(6usize, 1usize, 2usize), (11, 6, 2), (16, 11, 2)] {
+            let size = 64usize << 10;
+            let code = ReedSolomon::new(n, k).unwrap();
+            let fresh = Value::from(vec![0x5Au8; size]);
+            let stale = Value::from(vec![0xC3u8; size]);
+            let fresh_elems = encode_value(&code, &fresh);
+            let stale_elems = encode_value(&code, &stale);
+            // One erasure + `errors` stale elements — a typical adversarial read.
+            let views: Vec<ElementView<'_>> = (1..n)
+                .map(|i| {
+                    if i <= errors {
+                        ElementView::of(&stale_elems[i])
+                    } else {
+                        ElementView::of(&fresh_elems[i])
+                    }
+                })
+                .collect();
+            group.throughput(Throughput::Bytes(size as u64));
+            group.bench_function(BenchmarkId::new(format!("n{n}k{k}"), "1era+2err"), |b| {
+                b.iter(|| decode_elements(&code, size, &views).unwrap())
+            });
+        }
+        group.finish();
+    }
+
+    fn bench_clean_decode(c: &mut Criterion) {
+        // The common case: no errors at all (syndromes all zero, early exit).
+        let mut group = c.benchmark_group("mds/decode-clean");
+        let (n, k) = (11usize, 6usize);
         let size = 64usize << 10;
         let code = ReedSolomon::new(n, k).unwrap();
-        let fresh = Value::from(vec![0x5Au8; size]);
-        let stale = Value::from(vec![0xC3u8; size]);
-        let fresh_elems = encode_value(&code, &fresh);
-        let stale_elems = encode_value(&code, &stale);
-        // One erasure + `errors` stale elements — a typical adversarial read.
-        let views: Vec<ElementView<'_>> = (1..n)
-            .map(|i| {
-                if i <= errors {
-                    ElementView::of(&stale_elems[i])
-                } else {
-                    ElementView::of(&fresh_elems[i])
-                }
-            })
-            .collect();
+        let value = Value::from(vec![0x11u8; size]);
+        let elems = encode_value(&code, &value);
+        let views: Vec<ElementView<'_>> = elems.iter().map(ElementView::of).collect();
         group.throughput(Throughput::Bytes(size as u64));
-        group.bench_function(BenchmarkId::new(format!("n{n}k{k}"), "1era+2err"), |b| {
+        group.bench_function("n11k6/clean", |b| {
             b.iter(|| decode_elements(&code, size, &views).unwrap())
         });
+        group.finish();
     }
-    group.finish();
+
+    criterion_group!(benches, bench_encode, bench_decode, bench_clean_decode);
 }
 
-fn bench_clean_decode(c: &mut Criterion) {
-    // The common case: no errors at all (syndromes all zero, early exit).
-    let mut group = c.benchmark_group("mds/decode-clean");
-    let (n, k) = (11usize, 6usize);
-    let size = 64usize << 10;
-    let code = ReedSolomon::new(n, k).unwrap();
-    let value = Value::from(vec![0x11u8; size]);
-    let elems = encode_value(&code, &value);
-    let views: Vec<ElementView<'_>> = elems.iter().map(ElementView::of).collect();
-    group.throughput(Throughput::Bytes(size as u64));
-    group.bench_function("n11k6/clean", |b| {
-        b.iter(|| decode_elements(&code, size, &views).unwrap())
-    });
-    group.finish();
+#[cfg(feature = "criterion-benches")]
+fn main() {
+    criterion_suite::benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }
 
-criterion_group!(benches, bench_encode, bench_decode, bench_clean_decode);
-criterion_main!(benches);
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    eprintln!(
+        "benches are gated: rebuild with --features criterion-benches \
+         (requires the criterion crate; see DESIGN.md)"
+    );
+}

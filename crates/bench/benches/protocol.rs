@@ -4,67 +4,89 @@
 //! Each iteration runs a full deterministic simulation of one write
 //! followed by one read, so the numbers include message construction,
 //! serialization-length accounting and (for BCSR) encoding/decoding.
+//!
+//! Gated behind the off-by-default `criterion-benches` feature so the
+//! default build stays hermetic; enabling it requires re-adding
+//! `criterion` as a dev-dependency (see Cargo.toml).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use safereg_common::config::QuorumConfig;
-use safereg_common::ids::{ReaderId, WriterId};
-use safereg_simnet::delay::FixedDelay;
-use safereg_simnet::driver::Plan;
-use safereg_simnet::sim::Sim;
-use safereg_simnet::workload::{Protocol, WorkloadSpec};
+#[cfg(feature = "criterion-benches")]
+mod criterion_suite {
+    use criterion::{criterion_group, BenchmarkId, Criterion};
+    use safereg_common::config::QuorumConfig;
+    use safereg_common::ids::{ReaderId, WriterId};
+    use safereg_simnet::delay::FixedDelay;
+    use safereg_simnet::driver::Plan;
+    use safereg_simnet::sim::Sim;
+    use safereg_simnet::workload::{Protocol, WorkloadSpec};
 
-fn one_write_one_read(protocol: Protocol, value_size: usize) {
-    let cfg = QuorumConfig::new(protocol.min_n(1), 1).unwrap();
-    let mut sim = Sim::new(cfg, 5, Box::new(FixedDelay { hop: 10 }));
-    for sid in cfg.servers() {
-        sim.add_server(protocol.correct_server(sid, cfg));
-    }
-    sim.add_client(
-        protocol.writer(WriterId(0), cfg),
-        vec![Plan::write_at(0, vec![0xEE; value_size])],
-    );
-    sim.add_client(
-        protocol.reader(ReaderId(0), cfg),
-        vec![Plan::read_at(1_000)],
-    );
-    let report = sim.run();
-    assert_eq!(report.completed_ops, 2);
-}
-
-fn bench_write_read(c: &mut Criterion) {
-    let mut group = c.benchmark_group("protocol/write+read");
-    for protocol in [
-        Protocol::Bsr,
-        Protocol::BsrH,
-        Protocol::Bsr2p,
-        Protocol::Bcsr,
-        Protocol::RbBaseline,
-    ] {
-        for size in [128usize, 16 << 10] {
-            group.bench_with_input(
-                BenchmarkId::new(protocol.name(), size),
-                &size,
-                |b, &size| b.iter(|| one_write_one_read(protocol, size)),
-            );
+    fn one_write_one_read(protocol: Protocol, value_size: usize) {
+        let cfg = QuorumConfig::new(protocol.min_n(1), 1).unwrap();
+        let mut sim = Sim::new(cfg, 5, Box::new(FixedDelay { hop: 10 }));
+        for sid in cfg.servers() {
+            sim.add_server(protocol.correct_server(sid, cfg));
         }
+        sim.add_client(
+            protocol.writer(WriterId(0), cfg),
+            vec![Plan::write_at(0, vec![0xEE; value_size])],
+        );
+        sim.add_client(
+            protocol.reader(ReaderId(0), cfg),
+            vec![Plan::read_at(1_000)],
+        );
+        let report = sim.run();
+        assert_eq!(report.completed_ops, 2);
     }
-    group.finish();
+
+    fn bench_write_read(c: &mut Criterion) {
+        let mut group = c.benchmark_group("protocol/write+read");
+        for protocol in [
+            Protocol::Bsr,
+            Protocol::BsrH,
+            Protocol::Bsr2p,
+            Protocol::Bcsr,
+            Protocol::RbBaseline,
+        ] {
+            for size in [128usize, 16 << 10] {
+                group.bench_with_input(
+                    BenchmarkId::new(protocol.name(), size),
+                    &size,
+                    |b, &size| b.iter(|| one_write_one_read(protocol, size)),
+                );
+            }
+        }
+        group.finish();
+    }
+
+    fn bench_read_heavy_workload(c: &mut Criterion) {
+        let mut group = c.benchmark_group("protocol/read-heavy-workload");
+        group.sample_size(10);
+        for protocol in [Protocol::Bsr, Protocol::RbBaseline] {
+            group.bench_function(protocol.name(), |b| {
+                b.iter(|| {
+                    let spec = WorkloadSpec::read_heavy(protocol, 1, 990, 7);
+                    let mut sim = spec.build();
+                    sim.run()
+                })
+            });
+        }
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_write_read, bench_read_heavy_workload);
 }
 
-fn bench_read_heavy_workload(c: &mut Criterion) {
-    let mut group = c.benchmark_group("protocol/read-heavy-workload");
-    group.sample_size(10);
-    for protocol in [Protocol::Bsr, Protocol::RbBaseline] {
-        group.bench_function(protocol.name(), |b| {
-            b.iter(|| {
-                let spec = WorkloadSpec::read_heavy(protocol, 1, 990, 7);
-                let mut sim = spec.build();
-                sim.run()
-            })
-        });
-    }
-    group.finish();
+#[cfg(feature = "criterion-benches")]
+fn main() {
+    criterion_suite::benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }
 
-criterion_group!(benches, bench_write_read, bench_read_heavy_workload);
-criterion_main!(benches);
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    eprintln!(
+        "benches are gated: rebuild with --features criterion-benches \
+         (requires the criterion crate; see DESIGN.md)"
+    );
+}

@@ -303,7 +303,8 @@ pub fn a3_decode_strategy() -> Vec<A3Row> {
                 (t_old, stale_elems[i as usize].clone())
             } else if i < 8 {
                 let mut corrupt = fresh_elems[i as usize].clone();
-                corrupt.data = bytes::Bytes::from(vec![0x3C ^ i as u8; corrupt.data.len()]);
+                corrupt.data =
+                    safereg_common::buf::Bytes::from(vec![0x3C ^ i as u8; corrupt.data.len()]);
                 (t_new, corrupt)
             } else {
                 (t_new, fresh_elems[i as usize].clone())

@@ -1,8 +1,12 @@
 //! Cross-validation of the checkers: well-formed sequential histories pass
 //! every checker, and targeted mutations are flagged by exactly the checker
 //! that owns the broken property.
+//!
+//! The always-on suite generates histories from the deterministic
+//! [`DetRng`] and exhausts all four mutation kinds every round; the
+//! original proptest suite sits behind the off-by-default `proptests`
+//! feature.
 
-use proptest::prelude::*;
 use safereg_checker::{
     check_freshness, check_liveness, check_no_new_old_inversion, check_safety, check_write_order,
     CheckSummary, ViolationKind,
@@ -10,6 +14,7 @@ use safereg_checker::{
 use safereg_common::history::History;
 use safereg_common::ids::{ReaderId, WriterId};
 use safereg_common::msg::OpId;
+use safereg_common::rng::DetRng;
 use safereg_common::tag::Tag;
 use safereg_common::value::Value;
 
@@ -40,29 +45,36 @@ fn sequential_history(ops: &[(bool, u8)]) -> History {
     h
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+fn random_ops(rng: &mut DetRng, min: usize, max: usize) -> Vec<(bool, u8)> {
+    let len = min + rng.index(max - min);
+    (0..len)
+        .map(|_| (rng.chance(0.5), rng.next_u64() as u8))
+        .collect()
+}
 
-    #[test]
-    fn sequential_histories_pass_every_checker(
-        ops in proptest::collection::vec((any::<bool>(), any::<u8>()), 1..40),
-    ) {
+#[test]
+fn sequential_histories_pass_every_checker() {
+    let mut rng = DetRng::seed_from(0xC2055_7A1);
+    for _ in 0..64 {
+        let ops = random_ops(&mut rng, 1, 40);
         let h = sequential_history(&ops);
         let summary = CheckSummary::check_all(&h);
-        prop_assert!(summary.is_safe(), "{:?}", summary.safety);
-        prop_assert!(summary.is_fresh(), "{:?}", summary.freshness);
-        prop_assert!(summary.order.is_empty());
-        prop_assert!(summary.liveness.is_empty());
-        prop_assert!(check_no_new_old_inversion(&h).is_empty());
+        assert!(summary.is_safe(), "{:?}", summary.safety);
+        assert!(summary.is_fresh(), "{:?}", summary.freshness);
+        assert!(summary.order.is_empty());
+        assert!(summary.liveness.is_empty());
+        assert!(check_no_new_old_inversion(&h).is_empty());
     }
+}
 
-    #[test]
-    fn each_mutation_trips_its_own_checker(
-        ops in proptest::collection::vec((any::<bool>(), any::<u8>()), 4..20),
-        which in 0usize..4,
-    ) {
-        // Base history with at least one write and one trailing read.
-        let mut ops = ops;
+#[test]
+fn each_mutation_trips_its_own_checker() {
+    let mut rng = DetRng::seed_from(0xC2055_7A2);
+    for round in 0..64 {
+        // Base history with at least one write and one trailing read; every
+        // round exercises all four mutations (round-robin beats sampling).
+        let which = round % 4;
+        let mut ops = random_ops(&mut rng, 4, 20);
         ops.insert(0, (true, 1));
         ops.push((false, 0));
         let mut h = sequential_history(&ops);
@@ -98,9 +110,41 @@ proptest! {
                 h.complete_read(r1, Value::from("hi"), hi, t_end + 30);
                 let r2 = h.begin_read(OpId::new(ReaderId(7), 1), t_end + 40);
                 // Returns an older (but previously valid) write.
-                h.complete_read(r2, Value::from(vec![1]), Tag::new(1, WriterId(0)), t_end + 50);
+                h.complete_read(
+                    r2,
+                    Value::from(vec![1]),
+                    Tag::new(1, WriterId(0)),
+                    t_end + 50,
+                );
                 assert!(!check_no_new_old_inversion(&h).is_empty());
             }
+        }
+    }
+}
+
+/// Original proptest suite; requires re-adding `proptest` as a
+/// dev-dependency (see the `proptests` feature note in Cargo.toml).
+#[cfg(feature = "proptests")]
+mod proptest_suite {
+    use proptest::prelude::*;
+    use safereg_checker::{check_no_new_old_inversion, CheckSummary};
+
+    use super::sequential_history;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn sequential_histories_pass_every_checker(
+            ops in proptest::collection::vec((any::<bool>(), any::<u8>()), 1..40),
+        ) {
+            let h = sequential_history(&ops);
+            let summary = CheckSummary::check_all(&h);
+            prop_assert!(summary.is_safe(), "{:?}", summary.safety);
+            prop_assert!(summary.is_fresh(), "{:?}", summary.freshness);
+            prop_assert!(summary.order.is_empty());
+            prop_assert!(summary.liveness.is_empty());
+            prop_assert!(check_no_new_old_inversion(&h).is_empty());
         }
     }
 }

@@ -1,0 +1,315 @@
+//! Cheap-to-clone immutable byte buffers.
+//!
+//! The workspace's values are replicated `n` times per write and staged in
+//! several per-server maps along the way, so cloning a value must be O(1).
+//! [`Bytes`] is an `Arc<[u8]>`-backed immutable buffer: `clone` bumps a
+//! reference count, and [`Bytes::slice`] produces a zero-copy view sharing
+//! the same allocation. It implements the subset of the `bytes::Bytes` API
+//! the workspace uses, keeping the hot path free of third-party code per
+//! DESIGN.md §"Third-party crates".
+//!
+//! # Examples
+//!
+//! ```
+//! use safereg_common::buf::Bytes;
+//!
+//! let b = Bytes::from(vec![1u8, 2, 3, 4]);
+//! let c = b.clone(); // O(1): shared allocation
+//! assert_eq!(c.as_ref(), &[1, 2, 3, 4]);
+//! let mid = b.slice(1..3); // zero-copy view
+//! assert_eq!(mid.as_ref(), &[2, 3]);
+//! ```
+
+use std::borrow::Borrow;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// Backing storage: either borrowed `'static` data (no allocation, no
+/// reference count) or a shared heap allocation.
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Shared(Arc<[u8]>),
+}
+
+/// An immutable, cheaply cloneable, zero-copy-sliceable byte buffer.
+///
+/// `clone` is O(1) (it shares the backing allocation) and `slice` returns a
+/// view into the same allocation. The buffer never exposes mutation; build
+/// the bytes in a `Vec<u8>` first and convert with [`Bytes::from`].
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+    off: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer without allocating.
+    pub const fn new() -> Self {
+        Bytes {
+            repr: Repr::Static(&[]),
+            off: 0,
+            len: 0,
+        }
+    }
+
+    /// Wraps a `'static` slice without copying or allocating.
+    pub const fn from_static(data: &'static [u8]) -> Self {
+        Bytes {
+            repr: Repr::Static(data),
+            off: 0,
+            len: data.len(),
+        }
+    }
+
+    /// Copies `data` into a fresh shared allocation.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Number of bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns a zero-copy view of a subrange, sharing the allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is decreasing or extends past `self.len()`,
+    /// matching slice-indexing semantics.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            Bound::Included(&b) => b,
+            Bound::Excluded(&b) => b + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&b) => b + 1,
+            Bound::Excluded(&b) => b,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end,
+            "slice range starts at {start} but ends at {end}"
+        );
+        assert!(
+            end <= self.len,
+            "slice range end {end} out of bounds for length {}",
+            self.len
+        );
+        Bytes {
+            repr: self.repr.clone(),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    /// Borrows the underlying bytes.
+    pub fn as_ref(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Static(s) => &s[self.off..self.off + self.len],
+            Repr::Shared(a) => &a[self.off..self.off + self.len],
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Bytes {
+            repr: Repr::Shared(Arc::from(v.into_boxed_slice())),
+            off: 0,
+            len,
+        }
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    fn from(b: Box<[u8]>) -> Self {
+        let len = b.len();
+        Bytes {
+            repr: Repr::Shared(Arc::from(b)),
+            off: 0,
+            len,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        Bytes::as_ref(self)
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_ref() == *other
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.as_ref().cmp(other.as_ref())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_ref() {
+            // Escape like a byte-string literal so traces stay readable.
+            match b {
+                b'"' => write!(f, "\\\"")?,
+                b'\\' => write!(f, "\\\\")?,
+                b'\n' => write!(f, "\\n")?,
+                b'\r' => write!(f, "\\r")?,
+                b'\t' => write!(f, "\\t")?,
+                0x20..=0x7E => write!(f, "{}", b as char)?,
+                _ => write!(f, "\\x{b:02x}")?,
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_the_allocation() {
+        let a = Bytes::from(vec![7u8; 4096]);
+        let b = a.clone();
+        assert_eq!(a.as_ref().as_ptr(), b.as_ref().as_ptr());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slice_is_zero_copy_and_respects_bounds() {
+        let a = Bytes::from((0u8..100).collect::<Vec<_>>());
+        let mid = a.slice(10..20);
+        assert_eq!(mid.len(), 10);
+        assert_eq!(mid.as_ref(), &(10u8..20).collect::<Vec<_>>()[..]);
+        // The view points into the original allocation.
+        assert_eq!(mid.as_ref().as_ptr(), a.as_ref()[10..].as_ptr());
+        // Slicing a slice composes offsets.
+        let inner = mid.slice(2..=4);
+        assert_eq!(inner.as_ref(), &[12, 13, 14]);
+        // Unbounded forms.
+        assert_eq!(a.slice(..).len(), 100);
+        assert_eq!(a.slice(95..).as_ref(), &[95, 96, 97, 98, 99]);
+        assert_eq!(a.slice(..2).as_ref(), &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_past_the_end_panics() {
+        Bytes::from(vec![1u8, 2, 3]).slice(1..5);
+    }
+
+    #[test]
+    #[should_panic(expected = "starts at")]
+    fn decreasing_slice_panics() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        #[allow(clippy::reversed_empty_ranges)]
+        let _ = b.slice(2..1);
+    }
+
+    #[test]
+    fn static_buffers_do_not_allocate_and_still_slice() {
+        const GREETING: &[u8] = b"hello world";
+        let b = Bytes::from_static(GREETING);
+        assert_eq!(b.as_ref().as_ptr(), GREETING.as_ptr());
+        let world = b.slice(6..);
+        assert_eq!(world.as_ref(), b"world");
+        assert_eq!(world.as_ref().as_ptr(), GREETING[6..].as_ptr());
+    }
+
+    #[test]
+    fn equality_ordering_and_hashing_follow_content() {
+        use std::collections::BTreeMap;
+        let a = Bytes::from(vec![1u8, 2]);
+        let b = Bytes::copy_from_slice(&[1, 2]);
+        let c = Bytes::from_static(b"\x01\x03");
+        assert_eq!(a, b);
+        assert!(a < c);
+        assert_eq!(a, [1u8, 2][..]);
+        let mut map: BTreeMap<Bytes, u32> = BTreeMap::new();
+        map.insert(a, 1);
+        map.insert(c, 2);
+        // Borrow<[u8]> lets byte-slice keys look up Bytes entries.
+        assert_eq!(map.get(&b[..]), Some(&1));
+    }
+
+    #[test]
+    fn empty_default_and_debug() {
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::default(), Bytes::new());
+        assert_eq!(
+            format!("{:?}", Bytes::from_static(b"a\"\n\x01")),
+            "b\"a\\\"\\n\\x01\""
+        );
+    }
+}

@@ -26,7 +26,7 @@
 use std::error::Error;
 use std::fmt;
 
-use bytes::Bytes;
+use crate::buf::Bytes;
 
 /// Maximum length accepted for a single variable-size field (64 MiB).
 ///

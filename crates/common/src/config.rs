@@ -13,8 +13,6 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::ServerId;
 
 /// Error building a [`QuorumConfig`].
@@ -76,7 +74,7 @@ impl Error for ConfigError {}
 /// assert_eq!(cfg.mds_k(), Some(1));     // n − 5f
 /// # Ok::<(), safereg_common::config::ConfigError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct QuorumConfig {
     n: usize,
     f: usize,

@@ -7,8 +7,6 @@
 //! experiments report: client-to-server rounds (Definition 3), messages and
 //! wire bytes.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::ClientId;
 use crate::msg::OpId;
 use crate::tag::Tag;
@@ -18,7 +16,7 @@ use crate::value::Value;
 pub type Instant = u64;
 
 /// What an operation did.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OpKind {
     /// A write of `value`; `tag` is filled in when the write's `put-data`
     /// phase fixes it.
@@ -51,7 +49,7 @@ impl OpKind {
 }
 
 /// One operation's record in a history.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OpRecord {
     /// The operation's identifier.
     pub op: OpId,
@@ -111,7 +109,7 @@ pub struct OpHandle(usize);
 
 /// A recorded execution: every operation's invocation and (if it happened)
 /// response.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct History {
     records: Vec<OpRecord>,
 }

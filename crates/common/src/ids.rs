@@ -9,20 +9,18 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::codec::{Wire, WireError, WireReader};
 
 /// Identifier of a server process (a replica holding register state).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ServerId(pub u16);
 
 /// Identifier of a writer client.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct WriterId(pub u16);
 
 /// Identifier of a reader client.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ReaderId(pub u16);
 
 impl fmt::Display for ServerId {
@@ -47,7 +45,7 @@ impl fmt::Display for ReaderId {
 ///
 /// The derived order places all readers before all writers; any total order
 /// works for tie-breaking, it only has to be agreed upon by every process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ClientId {
     /// A reader client.
     Reader(ReaderId),
@@ -97,7 +95,7 @@ impl fmt::Display for ClientId {
 /// Any process in the system: a client or a server.
 ///
 /// [`NodeId`] is the address space of [`crate::msg::Envelope`]s.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum NodeId {
     /// A client process (reader or writer).
     Client(ClientId),

@@ -30,15 +30,18 @@
 //! # Ok::<(), safereg_common::config::ConfigError>(())
 //! ```
 
+pub mod buf;
 pub mod codec;
 pub mod config;
 pub mod history;
 pub mod ids;
 pub mod msg;
 pub mod rng;
+pub mod sync;
 pub mod tag;
 pub mod value;
 
+pub use buf::Bytes;
 pub use codec::{Wire, WireError};
 pub use config::QuorumConfig;
 pub use history::{History, OpKind, OpRecord};

@@ -16,9 +16,7 @@
 //! client can discard stragglers from superseded operations — mandatory under
 //! the asynchronous model where messages may be arbitrarily delayed.
 
-use bytes::Bytes;
-use serde::{Deserialize, Serialize};
-
+use crate::buf::Bytes;
 use crate::codec::{Wire, WireError, WireReader};
 use crate::ids::{ClientId, NodeId, ServerId};
 use crate::tag::Tag;
@@ -29,7 +27,7 @@ use crate::value::Value;
 ///
 /// At most one operation runs per client at a time (§II-A), so `(client,
 /// seq)` uniquely names an operation across the whole execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct OpId {
     /// The invoking client.
     pub client: ClientId,
@@ -58,7 +56,7 @@ impl std::fmt::Display for OpId {
 /// Server `i` stores the element with `index == i`; `value_len` carries the
 /// original (unpadded) value length so the decoder can strip the padding the
 /// striping layer added.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CodedElement {
     /// Position of this element in the codeword (the server index).
     pub index: u16,
@@ -70,7 +68,7 @@ pub struct CodedElement {
 
 /// What a write stores at a server: the full value (replication, BSR) or one
 /// coded element (erasure coding, BCSR).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Payload {
     /// A complete copy of the value (BSR).
     Full(Value),
@@ -108,7 +106,7 @@ impl Payload {
 }
 
 /// Messages from clients to servers.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClientToServer {
     /// `QUERY-TAG` — first phase of a write (Fig. 1 line 2, Fig. 4 line 2).
     QueryTag {
@@ -185,7 +183,7 @@ impl ClientToServer {
 }
 
 /// Messages from servers to clients.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServerToClient {
     /// Reply to `QUERY-TAG`: the maximum tag in the server's list `L`
     /// (Fig. 3 line 3).
@@ -258,7 +256,7 @@ impl ServerToClient {
 ///
 /// The RB baseline runs one Bracha instance per write; `(origin, seq)` is the
 /// writer's operation id and uniquely names the instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BroadcastId {
     /// The client whose write is being broadcast.
     pub origin: ClientId,
@@ -269,7 +267,7 @@ pub struct BroadcastId {
 /// Server-to-server messages (used only by the reliable-broadcast baseline —
 /// the paper's own protocols never exchange server-to-server messages, which
 /// is exactly the restriction its lower bounds exploit; see Remark 2).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PeerMessage {
     /// Bracha `ECHO`: "I received the payload of this broadcast".
     RbEcho {
@@ -292,7 +290,7 @@ pub enum PeerMessage {
 }
 
 /// Any message in the system.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Message {
     /// Client → server.
     ToServer(ClientToServer),
@@ -321,7 +319,7 @@ impl From<PeerMessage> for Message {
 }
 
 /// A message in flight between two processes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Envelope {
     /// Sending process.
     pub src: NodeId,

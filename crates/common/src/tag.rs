@@ -7,8 +7,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::codec::{Wire, WireError, WireReader};
 use crate::ids::WriterId;
 
@@ -24,7 +22,7 @@ use crate::ids::WriterId;
 /// assert!(b > a, "equal numbers tie-break on writer id");
 /// assert!(a.next_for(WriterId(0)) > b, "next increments the number");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Tag {
     /// Monotone sequence number; compared first.
     pub num: u64,

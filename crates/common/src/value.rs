@@ -1,15 +1,13 @@
 //! Register values.
 //!
 //! The paper's value domain `V` is opaque; we model a value as an immutable
-//! byte string. [`Value`] wraps [`bytes::Bytes`] so cloning a value (which
-//! replication does `n` times per write) is a cheap reference-count bump.
-//! The distinguished initial value `v_0` is the empty byte string.
+//! byte string. [`Value`] wraps [`crate::buf::Bytes`] so cloning a value
+//! (which replication does `n` times per write) is a cheap reference-count
+//! bump. The distinguished initial value `v_0` is the empty byte string.
 
 use std::fmt;
 
-use bytes::Bytes;
-use serde::{Deserialize, Serialize};
-
+use crate::buf::Bytes;
 use crate::codec::{Wire, WireError, WireReader};
 
 /// An immutable register value (an element of the paper's domain `V`).
@@ -23,7 +21,7 @@ use crate::codec::{Wire, WireError, WireReader};
 /// assert_eq!(v.len(), 5);
 /// assert!(Value::initial().is_initial());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Value(Bytes);
 
 impl Value {

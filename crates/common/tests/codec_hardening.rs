@@ -1,72 +1,112 @@
 //! Fuzz-style hardening of the wire codec: decoding attacker-controlled
 //! bytes must never panic, never over-allocate, and always either produce
 //! a value that re-encodes faithfully or return a structured error.
-
-use proptest::collection::vec;
-use proptest::prelude::*;
+//!
+//! The always-on suite drives the same properties with the workspace's
+//! deterministic [`DetRng`] (shrinking-free, reproducible from the printed
+//! seed); the original proptest suite is kept behind the off-by-default
+//! `proptests` feature.
 
 use safereg_common::codec::Wire;
-use safereg_common::msg::{ClientToServer, Envelope, Message, ServerToClient};
+use safereg_common::ids::{ReaderId, WriterId};
+use safereg_common::msg::{ClientToServer, Envelope, Message, OpId, Payload, ServerToClient};
+use safereg_common::rng::DetRng;
 use safereg_common::tag::Tag;
 use safereg_common::value::Value;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
-
-    #[test]
-    fn arbitrary_bytes_never_panic_any_decoder(data in vec(any::<u8>(), 0..256)) {
+#[test]
+fn arbitrary_bytes_never_panic_any_decoder() {
+    let mut rng = DetRng::seed_from(0xC0DE_C0DE);
+    for case in 0..2048u32 {
+        let len = rng.index(256);
+        let mut data = vec![0u8; len];
+        rng.fill_bytes(&mut data);
         // Every decoder must be total over arbitrary input.
         let _ = ClientToServer::from_wire_bytes(&data);
         let _ = ServerToClient::from_wire_bytes(&data);
         let _ = Envelope::from_wire_bytes(&data);
-        let _ = Message::from_wire_bytes(&data);
         let _ = Tag::from_wire_bytes(&data);
         let _ = Value::from_wire_bytes(&data);
-    }
 
-    #[test]
-    fn successful_decodes_reencode_identically(data in vec(any::<u8>(), 0..256)) {
         // Round-trip stability: whatever decodes must encode back to the
         // same bytes (the format has a canonical encoding).
         if let Ok(msg) = Message::from_wire_bytes(&data) {
-            prop_assert_eq!(msg.to_wire_bytes(), data);
+            assert_eq!(msg.to_wire_bytes(), data, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn truncations_of_valid_messages_fail_cleanly(
-        num in any::<u64>(),
-        cut in 0usize..40,
-    ) {
-        use safereg_common::ids::{ReaderId, WriterId};
-        use safereg_common::msg::{OpId, Payload};
+#[test]
+fn truncations_of_valid_messages_fail_cleanly() {
+    let mut rng = DetRng::seed_from(0x7AC0_57EE);
+    for _ in 0..512 {
+        let num = rng.next_u64();
         let msg = ServerToClient::DataResp {
             op: OpId::new(ReaderId(3), num),
             tag: Tag::new(num, WriterId(1)),
             payload: Payload::Full(Value::from("payload bytes")),
         };
         let bytes = msg.to_wire_bytes();
-        let cut = cut.min(bytes.len().saturating_sub(1));
-        let truncated = &bytes[..cut];
-        prop_assert!(ServerToClient::from_wire_bytes(truncated).is_err());
+        // Every strict prefix must fail, not just a sampled one.
+        for cut in 0..bytes.len() {
+            assert!(
+                ServerToClient::from_wire_bytes(&bytes[..cut]).is_err(),
+                "decode of {cut}-byte prefix unexpectedly succeeded"
+            );
+        }
     }
+}
 
-    #[test]
-    fn bit_flips_never_roundtrip_to_a_different_op(
-        num in any::<u64>(),
-        flip_byte in 0usize..30,
-        flip_bit in 0u8..8,
-    ) {
-        use safereg_common::ids::ReaderId;
-        use safereg_common::msg::OpId;
-        let msg = ClientToServer::QueryData { op: OpId::new(ReaderId(1), num) };
+#[test]
+fn bit_flips_never_roundtrip_to_a_different_op() {
+    let mut rng = DetRng::seed_from(0xF11B_B17);
+    for _ in 0..1024 {
+        let num = rng.next_u64();
+        let msg = ClientToServer::QueryData {
+            op: OpId::new(ReaderId(1), num),
+        };
         let mut bytes = msg.to_wire_bytes();
-        let idx = flip_byte.min(bytes.len() - 1);
-        bytes[idx] ^= 1 << flip_bit;
+        let idx = rng.index(bytes.len());
+        let bit = rng.index(8) as u8;
+        bytes[idx] ^= 1 << bit;
         // The flip either fails to decode or decodes to exactly the bytes
         // sent (no silent normalization that could confuse op matching).
         if let Ok(decoded) = ClientToServer::from_wire_bytes(&bytes) {
-            prop_assert_eq!(decoded.to_wire_bytes(), bytes);
+            assert_eq!(decoded.to_wire_bytes(), bytes);
+        }
+    }
+}
+
+/// Original proptest suite; requires re-adding `proptest` as a
+/// dev-dependency (see the `proptests` feature note in Cargo.toml).
+#[cfg(feature = "proptests")]
+mod proptest_suite {
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+
+    use safereg_common::codec::Wire;
+    use safereg_common::msg::{ClientToServer, Envelope, Message, ServerToClient};
+    use safereg_common::tag::Tag;
+    use safereg_common::value::Value;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+        #[test]
+        fn arbitrary_bytes_never_panic_any_decoder(data in vec(any::<u8>(), 0..256)) {
+            let _ = ClientToServer::from_wire_bytes(&data);
+            let _ = ServerToClient::from_wire_bytes(&data);
+            let _ = Envelope::from_wire_bytes(&data);
+            let _ = Message::from_wire_bytes(&data);
+            let _ = Tag::from_wire_bytes(&data);
+            let _ = Value::from_wire_bytes(&data);
+        }
+
+        #[test]
+        fn successful_decodes_reencode_identically(data in vec(any::<u8>(), 0..256)) {
+            if let Ok(msg) = Message::from_wire_bytes(&data) {
+                prop_assert_eq!(msg.to_wire_bytes(), data);
+            }
         }
     }
 }

@@ -292,7 +292,7 @@ mod tests {
         // Byzantine: claims t_new but corrupt bytes (an RS "error").
         op.on_message(ServerId(0), &data(id, t_old, stale_e[0].clone()));
         let mut corrupt = fresh_e[1].clone();
-        corrupt.data = bytes::Bytes::from(vec![0xEE; corrupt.data.len()]);
+        corrupt.data = safereg_common::buf::Bytes::from(vec![0xEE; corrupt.data.len()]);
         op.on_message(ServerId(1), &data(id, t_new, corrupt));
         for i in 2..5u16 {
             op.on_message(ServerId(i), &data(id, t_new, fresh_e[i as usize].clone()));
@@ -314,7 +314,7 @@ mod tests {
             let elem = CodedElement {
                 index: i,
                 value_len: 10 + i as u32,
-                data: bytes::Bytes::from(vec![i as u8; 10 + i as usize]),
+                data: safereg_common::buf::Bytes::from(vec![i as u8; 10 + i as usize]),
             };
             op.on_message(
                 ServerId(i),

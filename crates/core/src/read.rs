@@ -269,7 +269,7 @@ mod tests {
             payload: Payload::Coded(safereg_common::msg::CodedElement {
                 index: 0,
                 value_len: 4,
-                data: bytes::Bytes::from_static(b"el"),
+                data: safereg_common::buf::Bytes::from_static(b"el"),
             }),
         };
         op.on_message(ServerId(0), &coded);

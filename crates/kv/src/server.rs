@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use bytes::Bytes;
+use safereg_common::buf::Bytes;
 use safereg_common::config::QuorumConfig;
 use safereg_common::ids::{ClientId, ServerId};
 use safereg_common::msg::{ClientToServer, Payload, ServerToClient};

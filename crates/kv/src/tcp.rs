@@ -14,12 +14,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use bytes::Bytes;
-use parking_lot::Mutex;
+use safereg_common::buf::Bytes;
 use safereg_common::codec::{Wire, WireError, WireReader};
 use safereg_common::config::QuorumConfig;
 use safereg_common::ids::{ClientId, NodeId, ServerId};
 use safereg_common::msg::{ClientToServer, Envelope, Message, ServerToClient};
+use safereg_common::sync::Mutex;
 use safereg_crypto::auth::AuthCodec;
 use safereg_crypto::keychain::KeyChain;
 

@@ -9,7 +9,7 @@
 //! The original length travels in [`CodedElement::value_len`] so decoding
 //! can strip the padding.
 
-use bytes::Bytes;
+use safereg_common::buf::Bytes;
 use safereg_common::msg::CodedElement;
 use safereg_common::value::Value;
 

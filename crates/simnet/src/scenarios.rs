@@ -251,7 +251,7 @@ pub fn theorem6(provisioned: bool) -> ScenarioResult {
         let garbage = safereg_common::msg::CodedElement {
             index: sid.0,
             value_len: v1.len() as u32,
-            data: bytes::Bytes::from(vec![0xD5 ^ idx as u8; cols]),
+            data: safereg_common::buf::Bytes::from(vec![0xD5 ^ idx as u8; cols]),
         };
         sim.add_server(Box::new(FixedResponder::new(
             sid,

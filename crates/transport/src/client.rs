@@ -10,10 +10,10 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
 use safereg_common::ids::{ClientId, NodeId, ServerId};
 use safereg_common::msg::{Envelope, Message, ServerToClient};
+use safereg_common::sync::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use safereg_common::sync::Mutex;
 use safereg_core::op::{ClientOp, OpOutput};
 use safereg_crypto::keychain::KeyChain;
 

@@ -13,9 +13,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use parking_lot::Mutex;
 use safereg_common::ids::NodeId;
 use safereg_common::msg::{Envelope, Message};
+use safereg_common::sync::Mutex;
 use safereg_core::server::ServerNode;
 use safereg_crypto::keychain::KeyChain;
 

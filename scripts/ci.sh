@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification, run fully offline to prove the hermetic build story:
+# the workspace must build and test against an EMPTY cargo registry cache.
+#
+#   ./scripts/ci.sh
+#
+# Mirrors ROADMAP.md's tier-1 gate (`cargo build --release && cargo test -q`)
+# with --offline added, plus formatting and the full-workspace test sweep
+# (a bare `cargo test` at the root only tests the facade package).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --check
+run cargo build --release --offline
+run cargo test -q --offline
+run cargo test --workspace -q --offline
+
+echo "ci.sh: all checks passed"
