@@ -274,6 +274,43 @@ fn e12() {
     );
 }
 
+fn e13() {
+    println!("== E13: semi-fast path accounting (paper SIII/SIV: reads are fast unless interfered with) ==");
+    let rows: Vec<Vec<String>> = experiments::e13_fast_path()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.scenario.into(),
+                r.protocol,
+                r.fast.to_string(),
+                r.slow.to_string(),
+                r.ratio
+                    .map_or_else(|| "-".into(), |x| format!("{:.1}%", x * 100.0)),
+                r.validation_failures.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "scenario",
+                "protocol",
+                "fast reads",
+                "slow reads",
+                "fast ratio",
+                "validation fails"
+            ],
+            &rows
+        )
+    );
+}
+
+fn metrics() {
+    println!("== metrics: full registry dump of the contended E13 run (line-oriented JSON) ==");
+    print!("{}", experiments::e13_metrics_dump());
+}
+
 fn a1() {
     println!("== A1: witness threshold (paper rule: f+1 = 2) ==");
     let rows: Vec<Vec<String>> = ablations::a1_witness_threshold()
@@ -370,6 +407,8 @@ fn main() {
         ("e10", e10),
         ("e11", e11),
         ("e12", e12),
+        ("e13", e13),
+        ("metrics", metrics),
         ("a1", a1),
         ("a2", a2),
         ("a3", a3),
@@ -384,7 +423,7 @@ fn main() {
             .collect()
     };
     if selected.is_empty() {
-        eprintln!("unknown experiment; available: e1..e12, a1..a5");
+        eprintln!("unknown experiment; available: e1..e13, a1..a5, metrics");
         std::process::exit(2);
     }
     for (_, run) in selected {

@@ -19,8 +19,12 @@ pub struct LatencyStats {
     pub mean: f64,
     /// Median (p50).
     pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
     /// 99th percentile.
     pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
 }
 
 impl LatencyStats {
@@ -44,8 +48,70 @@ impl LatencyStats {
             max: samples[count - 1],
             mean: sum as f64 / count as f64,
             p50: rank(50.0),
+            p90: rank(90.0),
             p99: rank(99.0),
+            p999: rank(99.9),
         })
+    }
+
+    /// Computes statistics from a pre-aggregated `(value, count)` sample,
+    /// e.g. the buckets of an `obs` histogram where `value` is the bucket's
+    /// representative (upper bound). Nearest-rank percentiles over the
+    /// expanded multiset, computed from cumulative counts without
+    /// materialising it. Returns `None` when every count is zero.
+    pub fn from_bucketed(buckets: &[(u64, u64)]) -> Option<Self> {
+        let mut buckets: Vec<(u64, u64)> =
+            buckets.iter().copied().filter(|(_, c)| *c > 0).collect();
+        if buckets.is_empty() {
+            return None;
+        }
+        buckets.sort_unstable();
+        let count: u64 = buckets.iter().map(|(_, c)| c).sum();
+        let sum: f64 = buckets.iter().map(|(v, c)| *v as f64 * *c as f64).sum();
+        // Nearest rank over the implied sorted multiset: the target rank is
+        // ceil(p/100 * N); walk cumulative counts to the bucket holding it.
+        let rank = |p: f64| -> u64 {
+            let target = ((p / 100.0 * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (v, c) in &buckets {
+                seen += c;
+                if seen >= target {
+                    return *v;
+                }
+            }
+            buckets[buckets.len() - 1].0
+        };
+        Some(LatencyStats {
+            count: count as usize,
+            min: buckets[0].0,
+            max: buckets[buckets.len() - 1].0,
+            mean: sum / count as f64,
+            p50: rank(50.0),
+            p90: rank(90.0),
+            p99: rank(99.0),
+            p999: rank(99.9),
+        })
+    }
+
+    /// Combines two summaries. Count, min, max and mean are exact; the
+    /// percentiles of the union are not recoverable from two summaries, so
+    /// each is taken as the **maximum** of the two inputs — a conservative
+    /// upper bound (never optimistic about tails), which is the safe
+    /// direction for latency reporting.
+    #[must_use]
+    pub fn merge(&self, other: &LatencyStats) -> LatencyStats {
+        let count = self.count + other.count;
+        LatencyStats {
+            count,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+            mean: (self.mean * self.count as f64 + other.mean * other.count as f64)
+                / count.max(1) as f64,
+            p50: self.p50.max(other.p50),
+            p90: self.p90.max(other.p90),
+            p99: self.p99.max(other.p99),
+            p999: self.p999.max(other.p999),
+        }
     }
 }
 
@@ -90,8 +156,42 @@ mod tests {
         assert_eq!(stats.count, 100);
         assert_eq!((stats.min, stats.max), (1, 100));
         assert_eq!(stats.p50, 50);
+        assert_eq!(stats.p90, 90);
         assert_eq!(stats.p99, 99);
+        assert_eq!(stats.p999, 100, "ceil(0.999 * 100) = 100");
         assert!((stats.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucketed_matches_expanded_samples() {
+        // (value, count) pairs and the equivalent flat sample must agree on
+        // every statistic — from_bucketed is the same nearest-rank math.
+        let buckets = [(5u64, 3u64), (10, 95), (40, 1), (700, 1)];
+        let mut flat = Vec::new();
+        for (v, c) in buckets {
+            flat.extend(std::iter::repeat_n(v, c as usize));
+        }
+        let a = LatencyStats::from_bucketed(&buckets).unwrap();
+        let b = LatencyStats::from_samples(flat).unwrap();
+        assert_eq!(a, b);
+        assert_eq!((a.p50, a.p90, a.p99, a.p999), (10, 10, 40, 700));
+        assert!(LatencyStats::from_bucketed(&[(9, 0)]).is_none());
+        // Unsorted input is sorted internally.
+        let c = LatencyStats::from_bucketed(&[(700, 1), (10, 95), (40, 1), (5, 3)]).unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn merge_is_exact_on_moments_conservative_on_tails() {
+        let a = LatencyStats::from_samples(vec![1, 2, 3, 4]).unwrap();
+        let b = LatencyStats::from_samples(vec![100]).unwrap();
+        let m = a.merge(&b);
+        assert_eq!(m.count, 5);
+        assert_eq!((m.min, m.max), (1, 100));
+        assert!((m.mean - 22.0).abs() < 1e-9);
+        // Tails are upper-bounded, never optimistic.
+        let exact = LatencyStats::from_samples(vec![1, 2, 3, 4, 100]).unwrap();
+        assert!(m.p50 >= exact.p50 && m.p99 >= exact.p99 && m.p999 >= exact.p999);
     }
 
     #[test]

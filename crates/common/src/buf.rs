@@ -115,7 +115,7 @@ impl Bytes {
     }
 
     /// Borrows the underlying bytes.
-    pub fn as_ref(&self) -> &[u8] {
+    pub fn as_slice(&self) -> &[u8] {
         match &self.repr {
             Repr::Static(s) => &s[self.off..self.off + self.len],
             Repr::Shared(a) => &a[self.off..self.off + self.len],
@@ -167,7 +167,7 @@ impl Deref for Bytes {
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        Bytes::as_ref(self)
+        self.as_slice()
     }
 }
 

@@ -48,6 +48,40 @@ impl OpKind {
     }
 }
 
+/// How a completed read concluded, in the paper's semi-fast cost model.
+///
+/// A *fast* read returned a value backed by `f + 1` witnesses gathered on
+/// the read's normal round structure (one round for BSR/BSR-H/BCSR, two for
+/// BSR-2P). A *slow* read had to fall back: the witnessed set `𝒫` was empty,
+/// the witnessed best was staler than the reader-local pair, a BSR-2P
+/// candidate failed validation and forced a retry, or a BCSR decode failed
+/// and returned `v_0`. The fast-read ratio of a run is the paper's central
+/// observable — reads are one-shot *except* under write concurrency or
+/// Byzantine interference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ReadPath {
+    /// The read returned a freshly witnessed value on its normal rounds.
+    Fast,
+    /// The read fell back (local pair, candidate retry, or `v_0`).
+    Slow,
+}
+
+impl ReadPath {
+    /// Stable lower-case label used in metric names and dumps.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ReadPath::Fast => "fast",
+            ReadPath::Slow => "slow",
+        }
+    }
+}
+
+impl std::fmt::Display for ReadPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// One operation's record in a history.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OpRecord {

@@ -59,7 +59,7 @@ fn truncations_of_valid_messages_fail_cleanly() {
 
 #[test]
 fn bit_flips_never_roundtrip_to_a_different_op() {
-    let mut rng = DetRng::seed_from(0xF11B_B17);
+    let mut rng = DetRng::seed_from(0x0F11_BB17);
     for _ in 0..1024 {
         let num = rng.next_u64();
         let msg = ClientToServer::QueryData {

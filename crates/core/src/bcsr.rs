@@ -30,7 +30,7 @@ use safereg_common::value::Value;
 use safereg_mds::rs::ReedSolomon;
 use safereg_mds::stripe::{column_count, decode_elements, encode_value, ElementView};
 
-use crate::op::{ClientOp, OpOutput};
+use crate::op::{ClientOp, OpOutput, ReadPath};
 
 /// How the reader treats elements whose tag differs from the decode
 /// candidate.
@@ -59,6 +59,7 @@ pub struct BcsrReadOp {
     /// First response per server.
     responses: BTreeMap<ServerId, (Tag, CodedElement)>,
     result: Option<OpOutput>,
+    path: Option<ReadPath>,
     rounds: u32,
     strategy: CodedReadStrategy,
 }
@@ -78,6 +79,7 @@ impl BcsrReadOp {
             code,
             responses: BTreeMap::new(),
             result: None,
+            path: None,
             rounds: 0,
             strategy: CodedReadStrategy::default(),
         }
@@ -91,12 +93,20 @@ impl BcsrReadOp {
     }
 
     fn conclude(&mut self) {
+        // Fast iff the decode pipeline produced a verified value (Fig. 5
+        // line 4 "if possible"); the v_0 fallback is the slow outcome.
         self.result = Some(match self.try_decode() {
-            Some((tag, value)) => OpOutput::Read { value, tag },
-            None => OpOutput::Read {
-                value: Value::initial(),
-                tag: Tag::ZERO,
-            },
+            Some((tag, value)) => {
+                self.path = Some(ReadPath::Fast);
+                OpOutput::Read { value, tag }
+            }
+            None => {
+                self.path = Some(ReadPath::Slow);
+                OpOutput::Read {
+                    value: Value::initial(),
+                    tag: Tag::ZERO,
+                }
+            }
         });
     }
 
@@ -236,6 +246,14 @@ impl ClientOp for BcsrReadOp {
     fn is_write(&self) -> bool {
         false
     }
+
+    fn read_path(&self) -> Option<ReadPath> {
+        self.path
+    }
+
+    fn validation_failures(&self) -> u32 {
+        u32::from(self.path == Some(ReadPath::Slow))
+    }
 }
 
 #[cfg(test)]
@@ -273,6 +291,8 @@ mod tests {
         assert_eq!(out.tag(), tag);
         assert_eq!(out.read_value().unwrap(), &v);
         assert_eq!(op.rounds(), 1, "one-shot read");
+        assert_eq!(op.read_path(), Some(ReadPath::Fast));
+        assert_eq!(op.validation_failures(), 0);
     }
 
     #[test]
@@ -324,6 +344,8 @@ mod tests {
         let out = op.output().unwrap();
         assert!(out.read_value().unwrap().is_initial());
         assert_eq!(out.tag(), Tag::ZERO);
+        assert_eq!(op.read_path(), Some(ReadPath::Slow), "v_0 fallback");
+        assert_eq!(op.validation_failures(), 1);
     }
 
     #[test]
@@ -341,6 +363,11 @@ mod tests {
         }
         let out = op.output().unwrap();
         assert!(out.read_value().unwrap().is_initial());
+        assert_eq!(
+            op.read_path(),
+            Some(ReadPath::Fast),
+            "a witnessed Tag::ZERO quorum is a verified v_0, not a fallback"
+        );
     }
 
     #[test]

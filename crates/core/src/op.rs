@@ -12,6 +12,8 @@ use safereg_common::msg::{Envelope, OpId, ServerToClient};
 use safereg_common::tag::Tag;
 use safereg_common::value::Value;
 
+pub use safereg_common::history::ReadPath;
+
 /// What a completed operation produced.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OpOutput {
@@ -76,6 +78,23 @@ pub trait ClientOp: std::fmt::Debug + Send {
 
     /// `true` for writes, `false` for reads (used by history recording).
     fn is_write(&self) -> bool;
+
+    /// How the read concluded, for semi-fast-path accounting: `Some(Fast)`
+    /// when the returned value was freshly witnessed on the protocol's
+    /// normal round structure, `Some(Slow)` when it fell back (empty `𝒫`,
+    /// stale witnessed best, candidate retries, failed decode). `None`
+    /// until [`ClientOp::output`] is `Some`, and always `None` for writes
+    /// and for protocols without the fast/slow distinction.
+    fn read_path(&self) -> Option<ReadPath> {
+        None
+    }
+
+    /// Witness/validation failures the operation observed: empty witness
+    /// sets, BSR-2P candidates that failed value validation, BCSR decode
+    /// attempts that could not be verified. Zero for writes.
+    fn validation_failures(&self) -> u32 {
+        0
+    }
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@ use safereg_common::msg::{ClientToServer, Envelope, OpId, Payload, ServerToClien
 use safereg_common::tag::Tag;
 use safereg_common::value::Value;
 
-use crate::op::{ClientOp, OpOutput};
+use crate::op::{ClientOp, OpOutput, ReadPath};
 
 /// One BSR read operation (Fig. 2).
 ///
@@ -31,6 +31,7 @@ pub struct BsrReadOp {
     /// First response per server (Byzantine repeats are ignored).
     responses: BTreeMap<ServerId, (Tag, Value)>,
     result: Option<OpOutput>,
+    path: Option<ReadPath>,
     rounds: u32,
     threshold: usize,
 }
@@ -46,6 +47,7 @@ impl BsrReadOp {
             local,
             responses: BTreeMap::new(),
             result: None,
+            path: None,
             rounds: 0,
             threshold,
         }
@@ -78,6 +80,15 @@ impl BsrReadOp {
             .find(|(_, count)| **count >= threshold)
             .map(|((tag, value), _)| (*tag, (*value).clone()));
 
+        // Fast path: the returned value is backed by f + 1 witnesses from
+        // this very round — either a freshly adopted pair or a witnessed
+        // confirmation of the local one. Slow path: 𝒫 was empty or held
+        // only pairs staler than the local cache (write concurrency or
+        // Byzantine interference, Theorem 3's schedule).
+        self.path = Some(match &best {
+            Some((t, v)) if (*t, v) >= (self.local.0, &self.local.1) => ReadPath::Fast,
+            _ => ReadPath::Slow,
+        });
         // Fig. 2 lines 7–9: adopt the verified pair only if it beats the
         // local pair; always return v_local.
         let (tag, value) = match best {
@@ -138,6 +149,14 @@ impl ClientOp for BsrReadOp {
     fn is_write(&self) -> bool {
         false
     }
+
+    fn read_path(&self) -> Option<ReadPath> {
+        self.path
+    }
+
+    fn validation_failures(&self) -> u32 {
+        u32::from(self.path == Some(ReadPath::Slow))
+    }
 }
 
 #[cfg(test)]
@@ -178,6 +197,8 @@ mod tests {
         assert_eq!(out.read_value().unwrap().as_bytes(), b"fresh");
         assert_eq!(out.tag(), Tag::new(3, WriterId(1)));
         assert_eq!(op.rounds(), 1, "one-shot read (Definition 3)");
+        assert_eq!(op.read_path(), Some(ReadPath::Fast));
+        assert_eq!(op.validation_failures(), 0);
     }
 
     #[test]
@@ -210,6 +231,12 @@ mod tests {
         let out = op.output().unwrap();
         assert_eq!(out.read_value().unwrap().as_bytes(), b"cached");
         assert_eq!(out.tag(), Tag::new(1, WriterId(1)));
+        assert_eq!(
+            op.read_path(),
+            Some(ReadPath::Slow),
+            "𝒫 empty: cache fallback"
+        );
+        assert_eq!(op.validation_failures(), 1);
     }
 
     #[test]
@@ -223,6 +250,21 @@ mod tests {
         }
         let out = op.output().unwrap();
         assert_eq!(out.read_value().unwrap().as_bytes(), b"newer");
+        assert_eq!(
+            op.read_path(),
+            Some(ReadPath::Slow),
+            "returned value is not witnessed by this round"
+        );
+    }
+
+    #[test]
+    fn read_path_is_none_until_complete() {
+        let mut op = read_op();
+        assert_eq!(op.read_path(), None);
+        op.start();
+        let id = op.op_id();
+        op.on_message(ServerId(0), &data(id, 1, 1, "v"));
+        assert_eq!(op.read_path(), None, "no quorum yet");
     }
 
     #[test]

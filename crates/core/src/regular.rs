@@ -31,7 +31,7 @@ use safereg_common::msg::{ClientToServer, Envelope, OpId, ServerToClient};
 use safereg_common::tag::Tag;
 use safereg_common::value::Value;
 
-use crate::op::{ClientOp, OpOutput};
+use crate::op::{ClientOp, OpOutput, ReadPath};
 
 /// BSR-H: one-shot read over full histories (§III-C, first bullet).
 #[derive(Debug)]
@@ -43,6 +43,7 @@ pub struct BsrHReadOp {
     /// First history per server, deduplicated into a set of pairs.
     histories: BTreeMap<ServerId, BTreeSet<(Tag, Value)>>,
     result: Option<OpOutput>,
+    path: Option<ReadPath>,
     rounds: u32,
 }
 
@@ -56,6 +57,7 @@ impl BsrHReadOp {
             local,
             histories: BTreeMap::new(),
             result: None,
+            path: None,
             rounds: 0,
         }
     }
@@ -75,6 +77,17 @@ impl BsrHReadOp {
             .rev()
             .find(|(_, count)| **count >= threshold)
             .map(|(pair, _)| (*pair).clone());
+        // Same classification as BSR — fast iff the returned value carries
+        // f + 1 witnesses from this round's histories — with one wrinkle:
+        // a warm reader queries only the delta above its local pair, so a
+        // quorum of *empty* histories is a fresh confirmation that nothing
+        // newer exists (fast), not a fallback.
+        let all_deltas_empty = self.histories.values().all(BTreeSet::is_empty);
+        self.path = Some(match &best {
+            Some((t, v)) if (*t, v) >= (self.local.0, &self.local.1) => ReadPath::Fast,
+            None if all_deltas_empty => ReadPath::Fast,
+            _ => ReadPath::Slow,
+        });
         let (tag, value) = match best {
             Some((t, v)) if (t, &v) > (self.local.0, &self.local.1) => (t, v),
             _ => self.local.clone(),
@@ -134,6 +147,14 @@ impl ClientOp for BsrHReadOp {
     fn is_write(&self) -> bool {
         false
     }
+
+    fn read_path(&self) -> Option<ReadPath> {
+        self.path
+    }
+
+    fn validation_failures(&self) -> u32 {
+        u32::from(self.path == Some(ReadPath::Slow))
+    }
 }
 
 #[derive(Debug)]
@@ -160,6 +181,10 @@ pub struct Bsr2pReadOp {
     local: (Tag, Value),
     phase: TwoPhase,
     result: Option<OpOutput>,
+    path: Option<ReadPath>,
+    /// Candidates that failed phase-two validation (Byzantine-promoted tags
+    /// or incomplete writes) before the read concluded.
+    failed_candidates: u32,
     rounds: u32,
 }
 
@@ -175,6 +200,8 @@ impl Bsr2pReadOp {
                 lists: BTreeMap::new(),
             },
             result: None,
+            path: None,
+            failed_candidates: 0,
             rounds: 0,
         }
     }
@@ -197,6 +224,15 @@ impl Bsr2pReadOp {
     }
 
     fn finish(&mut self, tag: Tag, value: Value) {
+        // Fast iff the first candidate validated and its pair is what the
+        // read returns; retried candidates or a stale validated pair (the
+        // reader's own cache is newer but unverified) are the slow path.
+        let validated_wins = (tag, &value) >= (self.local.0, &self.local.1);
+        self.path = Some(if validated_wins && self.failed_candidates == 0 {
+            ReadPath::Fast
+        } else {
+            ReadPath::Slow
+        });
         let (tag, value) = if (tag, &value) > (self.local.0, &self.local.1) {
             (tag, value)
         } else {
@@ -221,8 +257,10 @@ impl Bsr2pReadOp {
                 self.fetch_envelopes(tag)
             }
             None => {
+                // Candidate list exhausted: give up on the local pair.
                 let (tag, value) = self.local.clone();
                 self.phase = TwoPhase::Done;
+                self.path = Some(ReadPath::Slow);
                 self.result = Some(OpOutput::Read { value, tag });
                 Vec::new()
             }
@@ -318,6 +356,7 @@ impl ClientOp for Bsr2pReadOp {
                             None => {
                                 // Candidate failed (Byzantine-promoted or an
                                 // incomplete write): try the next one.
+                                self.failed_candidates += 1;
                                 Action::Advance {
                                     candidates: std::mem::take(candidates),
                                     cursor: *cursor + 1,
@@ -351,6 +390,14 @@ impl ClientOp for Bsr2pReadOp {
 
     fn is_write(&self) -> bool {
         false
+    }
+
+    fn read_path(&self) -> Option<ReadPath> {
+        self.path
+    }
+
+    fn validation_failures(&self) -> u32 {
+        self.failed_candidates
     }
 }
 
@@ -405,6 +452,7 @@ mod tests {
         assert_eq!(out.tag(), t(1, 1));
         assert_eq!(out.read_value().unwrap().as_bytes(), b"v1");
         assert_eq!(op.rounds(), 1, "BSR-H stays one-shot");
+        assert_eq!(op.read_path(), Some(ReadPath::Fast));
     }
 
     #[test]
@@ -431,6 +479,12 @@ mod tests {
         let out = op.output().unwrap();
         assert_eq!(out.tag(), t(3, 1));
         assert_eq!(out.read_value().unwrap().as_bytes(), b"cached");
+        assert_eq!(
+            op.read_path(),
+            Some(ReadPath::Fast),
+            "a quorum of empty deltas freshly confirms the local pair"
+        );
+        assert_eq!(op.validation_failures(), 0);
     }
 
     #[test]
@@ -500,6 +554,12 @@ mod tests {
         let out = op.output().unwrap();
         assert_eq!(out.read_value().unwrap().as_bytes(), b"v1");
         assert_eq!(op.rounds(), 2);
+        assert_eq!(
+            op.read_path(),
+            Some(ReadPath::Fast),
+            "first candidate validated: the protocol's normal two rounds"
+        );
+        assert_eq!(op.validation_failures(), 0);
     }
 
     #[test]
@@ -532,6 +592,8 @@ mod tests {
         assert_eq!(out.tag(), t(1, 1));
         assert_eq!(out.read_value().unwrap().as_bytes(), b"v1");
         assert_eq!(op.rounds(), 3, "one extra round for the failed candidate");
+        assert_eq!(op.read_path(), Some(ReadPath::Slow), "candidate retried");
+        assert_eq!(op.validation_failures(), 1);
     }
 
     #[test]
@@ -551,6 +613,11 @@ mod tests {
         let out = op.output().unwrap();
         assert_eq!(out.tag(), t(2, 2));
         assert_eq!(out.read_value().unwrap().as_bytes(), b"mine");
+        assert_eq!(
+            op.read_path(),
+            Some(ReadPath::Slow),
+            "returned pair is the unverified local cache"
+        );
     }
 
     #[test]

@@ -31,4 +31,4 @@ pub mod tcp;
 pub use client::{KvClient, KvError, KvTransport};
 pub use cluster::InMemKvCluster;
 pub use server::{KvMode, KvServer};
-pub use tcp::{KvServerHost, TcpKvCluster, TcpKvTransport};
+pub use tcp::{fetch_metrics, KvServerHost, TcpKvCluster, TcpKvTransport, METRICS_KEY};

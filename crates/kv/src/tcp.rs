@@ -23,8 +23,20 @@ use safereg_common::sync::Mutex;
 use safereg_crypto::auth::AuthCodec;
 use safereg_crypto::keychain::KeyChain;
 
+use safereg_common::msg::{OpId, Payload};
+use safereg_common::tag::Tag;
+use safereg_common::value::Value;
+use safereg_obs::trace::MsgClass;
+
 use crate::client::KvTransport;
 use crate::server::{KvMode, KvServer};
+
+/// Reserved key addressing the replica's observability dump rather than a
+/// register: a `QUERY-DATA` on this key is answered with the server
+/// process's metrics snapshot rendered as line-oriented JSON. The prefix
+/// `__safereg/` cannot collide with register state because the admin path
+/// intercepts it before the KV table is consulted.
+pub const METRICS_KEY: &[u8] = b"__safereg/metrics";
 
 /// One key-addressed message on the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,7 +109,23 @@ impl KvServerHost {
         mode: KvMode,
         chain: KeyChain,
     ) -> std::io::Result<Self> {
-        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        Self::spawn_on(id, cfg, mode, chain, ("127.0.0.1", 0))
+    }
+
+    /// Spawns a replica on a caller-chosen address (the `safereg-kv-server`
+    /// daemon path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn spawn_on(
+        id: ServerId,
+        cfg: QuorumConfig,
+        mode: KvMode,
+        chain: KeyChain,
+        bind: impl std::net::ToSocketAddrs,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(bind)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let server = Arc::new(Mutex::new(match mode {
@@ -193,6 +221,32 @@ fn serve(
         };
         if frame.env.dst != NodeId::Server(me) {
             continue; // misaddressed
+        }
+        safereg_obs::global()
+            .counter(&format!("kv.recv.{}", MsgClass::of(&frame.env.msg)))
+            .inc();
+        // Admin path: the metrics key is served from the observability
+        // registry, never from register state.
+        if frame.key.as_slice() == METRICS_KEY {
+            if let ClientToServer::QueryData { op } = msg {
+                let dump = safereg_obs::render_jsonl(&safereg_obs::global().snapshot());
+                let resp = ServerToClient::DataResp {
+                    op: *op,
+                    tag: Tag::ZERO,
+                    payload: Payload::Full(Value::from(dump.into_bytes())),
+                };
+                let reply = KvFrame {
+                    key: frame.key.clone(),
+                    env: Envelope::to_client(me, from, resp),
+                };
+                let bytes = reply.to_wire_bytes();
+                let sealed =
+                    AuthCodec::new(chain.pair_key(reply.env.src, reply.env.dst)).seal(&bytes);
+                if write_frame(&mut stream, &sealed).is_err() {
+                    return;
+                }
+            }
+            continue;
         }
         let responses = server.lock().handle(from, &frame.key, msg);
         for resp in responses {
@@ -308,6 +362,29 @@ impl KvTransport for TcpKvTransport {
     }
 }
 
+/// Fetches one replica's metrics dump (line-oriented JSON) over any
+/// [`KvTransport`] by querying the reserved [`METRICS_KEY`].
+///
+/// Returns `None` when the replica does not answer, answers with the
+/// wrong operation id, or the payload is not UTF-8.
+pub fn fetch_metrics(
+    transport: &mut impl KvTransport,
+    from: ClientId,
+    to: ServerId,
+    seq: u64,
+) -> Option<String> {
+    let op = OpId::new(from, seq);
+    let responses = transport.exchange(from, to, METRICS_KEY, &ClientToServer::QueryData { op });
+    responses.into_iter().find_map(|resp| match resp {
+        ServerToClient::DataResp {
+            op: rop,
+            payload: Payload::Full(v),
+            ..
+        } if rop == op => String::from_utf8(v.as_bytes().to_vec()).ok(),
+        _ => None,
+    })
+}
+
 /// A whole KV deployment on loopback TCP.
 #[derive(Debug)]
 pub struct TcpKvCluster {
@@ -386,6 +463,35 @@ mod tests {
         transport.set_timeout(Duration::from_millis(500));
         client.put(&mut transport, b"k", "v2").unwrap();
         assert_eq!(client.get(&mut transport, b"k").unwrap().as_bytes(), b"v2");
+    }
+
+    #[test]
+    fn metrics_key_serves_the_observability_dump() {
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let cluster = TcpKvCluster::start(cfg, KvMode::Replicated, b"kv-metrics").unwrap();
+        let mut transport = cluster.transport();
+        let mut client = KvClient::new(cfg, WriterId(3), ReaderId(3));
+        client.put(&mut transport, b"watched", "payload").unwrap();
+        assert_eq!(
+            client.get(&mut transport, b"watched").unwrap().as_bytes(),
+            b"payload"
+        );
+
+        let dump = fetch_metrics(
+            &mut transport,
+            ClientId::Reader(ReaderId(3)),
+            ServerId(0),
+            99,
+        )
+        .unwrap();
+        // The replica counted the traffic the put/get just generated.
+        assert!(dump.contains("\"metric\":\"kv.recv.query_tag\""));
+        assert!(dump.contains("\"metric\":\"kv.recv.query_data\""));
+        // The admin read itself never touches register state.
+        assert!(client
+            .get(&mut transport, METRICS_KEY)
+            .unwrap()
+            .is_initial());
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Zero-dependency observability for the `safereg` workspace.
+//!
+//! Everything a run wants to know about itself — how many reads took the
+//! paper's *fast* path versus the *slow* fallback, how long quorum waits
+//! took, what went over the wire — flows through this crate:
+//!
+//! * [`metrics`] — a named [`Registry`](metrics::Registry) of lock-sharded
+//!   [`Counter`](metrics::Counter)s, [`Gauge`](metrics::Gauge)s and
+//!   log-linear [`Histogram`](metrics::Histogram)s, frozen into
+//!   deterministic [`Snapshot`](metrics::Snapshot)s.
+//! * [`trace`] — typed protocol [`Event`](trace::Event)s with
+//!   caller-supplied timestamps feeding a pluggable
+//!   [`Recorder`](trace::Recorder) (ring buffer, null, or custom), plus
+//!   wall-clock [`Span`](trace::Span) scopes via the [`span!`] macro.
+//! * [`export`] — a human table and line-oriented JSON, both pure
+//!   functions of a snapshot so equal runs dump identical bytes.
+//!
+//! Two ownership styles coexist deliberately. The deterministic simulator
+//! creates one `Registry` per run and stamps events with **virtual time**,
+//! so a seed reproduces its metric dump bit-for-bit. The TCP transport and
+//! kv server share the process-wide [`global`] registry and stamp events
+//! with wall-clock microseconds.
+//!
+//! # Examples
+//!
+//! ```
+//! use safereg_obs::metrics::Registry;
+//!
+//! let reg = Registry::new();
+//! reg.counter("reads.fast").inc();
+//! reg.histogram("read.latency").record(12);
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("reads.fast"), Some(1));
+//! println!("{}", safereg_obs::export::render_table(&snap));
+//! ```
+
+pub mod export;
+pub mod metrics;
+pub mod trace;
+
+pub use export::{render_jsonl, render_table};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, Registry, Snapshot};
+pub use trace::{Event, EventKind, MsgClass, NullRecorder, Recorder, RingRecorder, Span};
+
+/// The process-wide registry used by the TCP transport and kv server.
+///
+/// The simulator deliberately does **not** use this — it owns a registry
+/// per run so that concurrent simulations (and determinism tests) never
+/// share state.
+pub fn global() -> &'static Registry {
+    static GLOBAL: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn global_registry_is_shared() {
+        super::global().counter("test.global").add(2);
+        assert!(super::global().snapshot().counter("test.global").unwrap() >= 2);
+    }
+}

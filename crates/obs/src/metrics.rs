@@ -1,0 +1,507 @@
+//! Metric primitives and the registry.
+//!
+//! Three instrument kinds, all std-only and lock-free on the hot path:
+//!
+//! * [`Counter`] — a monotonically increasing sum, sharded across
+//!   cache-line-padded atomics so concurrent connection threads do not
+//!   serialize on one cell.
+//! * [`Gauge`] — a last-write-wins value (e.g. the fast-read ratio of a
+//!   finished run, in permille).
+//! * [`Histogram`] — a 256-bucket log-linear latency distribution with
+//!   exact count/sum/min/max and ≤ ~12% relative bucket error, summarized
+//!   through [`LatencyStats`] so simulator reports and live dumps quote
+//!   the same percentile math.
+//!
+//! A [`Registry`] maps names to instruments with get-or-create semantics
+//! and produces a deterministic [`Snapshot`] (names are `BTreeMap`-ordered;
+//! every field is an integer), which is what the exporters render and what
+//! the determinism tests compare byte-for-byte.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use safereg_checker::stats::LatencyStats;
+use safereg_common::sync::RwLock;
+
+/// Shards per counter. Small enough to sum cheaply, large enough that a
+/// handful of connection threads rarely collide on a line.
+const SHARDS: usize = 16;
+
+/// One atomic on its own cache line, so shards don't false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+/// Stable per-thread shard index: threads are assigned round-robin on
+/// first use, so a fixed set of worker threads spreads evenly.
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+    }
+    SHARD.with(|s| {
+        let mut i = s.get();
+        if i == usize::MAX {
+            i = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            s.set(i);
+        }
+        i
+    })
+}
+
+/// A monotonically increasing counter, lock-sharded for write scalability.
+#[derive(Debug, Default)]
+pub struct Counter {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total across all shards.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A last-write-wins value.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds to the value (e.g. open-connection tracking).
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts from the value, saturating at zero.
+    pub fn sub(&self, n: u64) {
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: 16 exact linear buckets for `0..=15`, then
+/// 4 sub-buckets per power of two up to `u64::MAX` (60 octaves × 4).
+pub const BUCKET_COUNT: usize = 256;
+
+/// The bucket a value falls into.
+///
+/// Values `0..=15` get exact buckets. A larger `v` with highest set bit
+/// `b ≥ 4` lands in one of four sub-buckets of the octave `[2^b, 2^(b+1))`,
+/// keyed by its next two bits — a log-linear layout with worst-case
+/// relative error `1/4` of the octave (≈ 12% of the value).
+pub fn bucket_of(v: u64) -> usize {
+    if v < 16 {
+        return v as usize;
+    }
+    let b = 63 - v.leading_zeros() as usize;
+    let sub = ((v >> (b - 2)) & 3) as usize;
+    16 + (b - 4) * 4 + sub
+}
+
+/// The largest value mapping to bucket `i` — the bucket's representative.
+///
+/// Using the *upper* bound keeps summaries conservative (never optimistic
+/// about latency). The top bucket's bound is `u64::MAX` (the shift wraps to
+/// zero and the wrapping decrement lands on the intended all-ones value).
+///
+/// # Panics
+///
+/// Panics if `i >= BUCKET_COUNT`.
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    assert!(i < BUCKET_COUNT, "bucket index out of range");
+    if i < 16 {
+        return i as u64;
+    }
+    let octave = (i - 16) / 4;
+    let sub = ((i - 16) % 4) as u64;
+    let b = (octave + 4) as u32;
+    ((4 + sub + 1) << (b - 2)).wrapping_sub(1)
+}
+
+/// A fixed-size log-linear histogram of `u64` samples.
+///
+/// Recording is wait-free (one relaxed fetch-add per field); reading takes
+/// a relaxed pass over the buckets. Count, sum, min and max are exact;
+/// percentiles are bucket-resolved. The value→representative mapping is
+/// monotone non-decreasing, so the histogram's nearest-rank percentile is
+/// *exactly* the representative of the true percentile sample — the
+/// property the reference-sort tests pin down.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Freezes the histogram into plain integers.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<(u64, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let c = c.load(Ordering::Relaxed);
+                (c > 0).then(|| (bucket_upper_bound(i), c))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    /// Summary statistics, or `None` when empty.
+    pub fn summary(&self) -> Option<LatencyStats> {
+        self.snapshot().summary()
+    }
+}
+
+/// A frozen histogram: exact moments plus the non-empty `(representative,
+/// count)` buckets, ascending. All integers, so snapshots compare exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Exact sum of samples (wrapping on overflow).
+    pub sum: u64,
+    /// Exact smallest sample (`u64::MAX` when empty).
+    pub min: u64,
+    /// Exact largest sample (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets as `(upper bound, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Summary statistics: percentiles are bucket-resolved
+    /// ([`LatencyStats::from_bucketed`]); count, min, max and mean are
+    /// replaced with the histogram's exact values.
+    pub fn summary(&self) -> Option<LatencyStats> {
+        let mut stats = LatencyStats::from_bucketed(&self.buckets)?;
+        stats.count = self.count as usize;
+        stats.min = self.min;
+        stats.max = self.max;
+        stats.mean = self.sum as f64 / self.count as f64;
+        Some(stats)
+    }
+}
+
+/// One registered instrument's frozen value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A counter's total.
+    Counter(u64),
+    /// A gauge's value.
+    Gauge(u64),
+    /// A histogram's frozen buckets and moments.
+    Histogram(HistogramSnapshot),
+}
+
+/// A deterministic point-in-time view of a registry: name-ordered, all
+/// integers. Two runs that record the same samples in any order produce
+/// equal snapshots (and byte-identical rendered dumps).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Instrument values by name, ascending.
+    pub entries: BTreeMap<String, MetricValue>,
+}
+
+impl Snapshot {
+    /// Convenience: a counter's value, or `None` if absent/not a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.entries.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Convenience: a gauge's value, or `None` if absent/not a gauge.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        match self.entries.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Convenience: a histogram's snapshot, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.entries.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of instruments with get-or-create semantics.
+///
+/// The simulator owns a registry per run (virtual time, deterministic);
+/// the TCP transport and kv server share the process-wide
+/// [`crate::global`] one. Lookups take a read lock; creation (once per
+/// name) takes the write lock.
+#[derive(Debug, Default)]
+pub struct Registry {
+    slots: RwLock<BTreeMap<String, Slot>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Slot) -> Slot {
+        if let Some(slot) = self.slots.read().get(name) {
+            return slot.clone();
+        }
+        self.slots
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(make)
+            .clone()
+    }
+
+    /// The counter named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind — a
+    /// naming bug, not an input error.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.get_or_insert(name, || Slot::Counter(Arc::new(Counter::new()))) {
+            Slot::Counter(c) => c,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// The gauge named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a kind mismatch (see [`Registry::counter`]).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.get_or_insert(name, || Slot::Gauge(Arc::new(Gauge::new()))) {
+            Slot::Gauge(g) => g,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// The histogram named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a kind mismatch (see [`Registry::counter`]).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        match self.get_or_insert(name, || Slot::Histogram(Arc::new(Histogram::new()))) {
+            Slot::Histogram(h) => h,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Freezes every instrument into a deterministic [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        let entries = self
+            .slots
+            .read()
+            .iter()
+            .map(|(name, slot)| {
+                let value = match slot {
+                    Slot::Counter(c) => MetricValue::Counter(c.get()),
+                    Slot::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Slot::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        Snapshot { entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+
+        let g = Gauge::new();
+        g.set(7);
+        g.add(3);
+        assert_eq!(g.get(), 10);
+        g.sub(100);
+        assert_eq!(g.get(), 0, "saturating");
+    }
+
+    #[test]
+    fn bucket_mapping_roundtrips_and_is_monotone() {
+        // Every bucket's upper bound maps back to that bucket, and the
+        // next value after it maps to the next bucket.
+        for i in 0..BUCKET_COUNT {
+            let hi = bucket_upper_bound(i);
+            assert_eq!(bucket_of(hi), i, "upper bound of bucket {i}");
+            if hi < u64::MAX {
+                assert_eq!(bucket_of(hi + 1), i + 1, "boundary after bucket {i}");
+            }
+        }
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(15), 15);
+        assert_eq!(bucket_of(16), 16, "first log-linear bucket");
+        assert_eq!(bucket_of(u64::MAX), BUCKET_COUNT - 1);
+        assert_eq!(bucket_upper_bound(BUCKET_COUNT - 1), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_relative_error_is_bounded() {
+        // Representative / value ≤ 1 + 1/4 for values ≥ 16 (one sub-bucket
+        // of the octave), exact below 16.
+        for v in [16u64, 100, 1000, 12345, 1 << 20, (1 << 40) + 12345] {
+            let rep = bucket_upper_bound(bucket_of(v));
+            assert!(rep >= v, "representative is an upper bound");
+            assert!(
+                (rep - v) as f64 / v as f64 <= 0.25,
+                "error too large for {v}: rep {rep}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_exact_moments_bucketed_percentiles() {
+        let h = Histogram::new();
+        for v in [3u64, 3, 3, 200, 1000] {
+            h.record(v);
+        }
+        let s = h.summary().unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!((s.min, s.max), (3, 1000), "min/max are exact");
+        assert!((s.mean - 241.8).abs() < 1e-9, "mean uses the exact sum");
+        assert_eq!(s.p50, 3, "exact linear bucket");
+        assert_eq!(s.p90, bucket_upper_bound(bucket_of(1000)));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_summary() {
+        assert!(Histogram::new().summary().is_none());
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert!(snap.buckets.is_empty());
+    }
+
+    #[test]
+    fn registry_returns_the_same_instrument() {
+        let r = Registry::new();
+        r.counter("a").inc();
+        r.counter("a").inc();
+        assert_eq!(r.counter("a").get(), 2);
+        r.histogram("h").record(5);
+        assert_eq!(r.histogram("h").count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_is_a_bug() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_is_name_ordered_and_queryable() {
+        let r = Registry::new();
+        r.counter("z.last").add(9);
+        r.gauge("a.first").set(1);
+        r.histogram("m.mid").record(4);
+        let snap = r.snapshot();
+        let names: Vec<&String> = snap.entries.keys().collect();
+        assert_eq!(names, ["a.first", "m.mid", "z.last"]);
+        assert_eq!(snap.counter("z.last"), Some(9));
+        assert_eq!(snap.gauge("a.first"), Some(1));
+        assert_eq!(snap.histogram("m.mid").unwrap().count, 1);
+        assert_eq!(snap.counter("a.first"), None, "kind-checked accessor");
+    }
+}

@@ -1,0 +1,376 @@
+//! Structured protocol events, recorder sinks and timed spans.
+//!
+//! Instrumented layers emit typed [`Event`]s into a pluggable
+//! [`Recorder`]. Timestamps are **caller-supplied**: the simulator stamps
+//! events with virtual ticks (so two runs of the same seed produce
+//! identical streams), while the TCP transport stamps wall-clock
+//! microseconds. The recorder never reads a clock itself — that is what
+//! keeps the deterministic and real runtimes on one code path.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use safereg_common::history::ReadPath;
+use safereg_common::msg::{ClientToServer, Message, OpId, PeerMessage, ServerToClient};
+
+use crate::metrics::Histogram;
+
+/// Fine-grained message classification: one label per wire message type,
+/// used for per-type send/receive counters (`*.sent.<class>` and
+/// friends). Coarser than matching on payload contents, finer than the
+/// simulator's scheduling-oriented `MsgKind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MsgClass {
+    /// `QUERY-TAG` (write phase one).
+    QueryTag,
+    /// `PUT-DATA` (write phase two).
+    PutData,
+    /// `QUERY-DATA` (BSR/BCSR one-shot read).
+    QueryData,
+    /// BSR-H delta-history query.
+    QueryHistory,
+    /// BSR-2P phase-one tag-list query.
+    QueryTagList,
+    /// BSR-2P phase-two value fetch.
+    QueryValueAt,
+    /// RB-baseline subscribing read.
+    QueryDataSub,
+    /// RB-baseline read completion notice.
+    ReadComplete,
+    /// Reply to `QUERY-TAG`.
+    TagResp,
+    /// `PUT-DATA` acknowledgement.
+    PutAck,
+    /// Reply to `QUERY-DATA`.
+    DataResp,
+    /// Reply to a history query.
+    HistoryResp,
+    /// Reply to a tag-list query.
+    TagListResp,
+    /// Reply to a value fetch.
+    ValueAtResp,
+    /// Bracha `ECHO` (RB baseline, server-to-server).
+    RbEcho,
+    /// Bracha `READY` (RB baseline, server-to-server).
+    RbReady,
+}
+
+impl MsgClass {
+    /// Classifies any wire message.
+    pub fn of(msg: &Message) -> MsgClass {
+        match msg {
+            Message::ToServer(m) => match m {
+                ClientToServer::QueryTag { .. } => MsgClass::QueryTag,
+                ClientToServer::PutData { .. } => MsgClass::PutData,
+                ClientToServer::QueryData { .. } => MsgClass::QueryData,
+                ClientToServer::QueryHistory { .. } => MsgClass::QueryHistory,
+                ClientToServer::QueryTagList { .. } => MsgClass::QueryTagList,
+                ClientToServer::QueryValueAt { .. } => MsgClass::QueryValueAt,
+                ClientToServer::QueryDataSub { .. } => MsgClass::QueryDataSub,
+                ClientToServer::ReadComplete { .. } => MsgClass::ReadComplete,
+            },
+            Message::ToClient(m) => match m {
+                ServerToClient::TagResp { .. } => MsgClass::TagResp,
+                ServerToClient::PutAck { .. } => MsgClass::PutAck,
+                ServerToClient::DataResp { .. } => MsgClass::DataResp,
+                ServerToClient::HistoryResp { .. } => MsgClass::HistoryResp,
+                ServerToClient::TagListResp { .. } => MsgClass::TagListResp,
+                ServerToClient::ValueAtResp { .. } => MsgClass::ValueAtResp,
+            },
+            Message::Peer(p) => match p {
+                PeerMessage::RbEcho { .. } => MsgClass::RbEcho,
+                PeerMessage::RbReady { .. } => MsgClass::RbReady,
+            },
+        }
+    }
+
+    /// Stable snake-case label used in metric names.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MsgClass::QueryTag => "query_tag",
+            MsgClass::PutData => "put_data",
+            MsgClass::QueryData => "query_data",
+            MsgClass::QueryHistory => "query_history",
+            MsgClass::QueryTagList => "query_tag_list",
+            MsgClass::QueryValueAt => "query_value_at",
+            MsgClass::QueryDataSub => "query_data_sub",
+            MsgClass::ReadComplete => "read_complete",
+            MsgClass::TagResp => "tag_resp",
+            MsgClass::PutAck => "put_ack",
+            MsgClass::DataResp => "data_resp",
+            MsgClass::HistoryResp => "history_resp",
+            MsgClass::TagListResp => "tag_list_resp",
+            MsgClass::ValueAtResp => "value_at_resp",
+            MsgClass::RbEcho => "rb_echo",
+            MsgClass::RbReady => "rb_ready",
+        }
+    }
+}
+
+impl std::fmt::Display for MsgClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What happened, without a timestamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A client operation was invoked.
+    OpInvoked {
+        /// The operation.
+        op: OpId,
+        /// `true` for writes.
+        write: bool,
+    },
+    /// A client operation completed.
+    OpCompleted {
+        /// The operation.
+        op: OpId,
+        /// Round trips it used (Definition 3).
+        rounds: u32,
+        /// Fast/slow classification; `None` for writes.
+        path: Option<ReadPath>,
+        /// Witness/validation failures it observed.
+        validation_failures: u32,
+    },
+    /// A message entered the network.
+    MsgSent {
+        /// Its wire class.
+        class: MsgClass,
+        /// Its encoded size.
+        bytes: u64,
+    },
+    /// A message was delivered after being held past the run's horizon
+    /// (or otherwise arrived too late to influence its operation).
+    MsgLate {
+        /// Its wire class.
+        class: MsgClass,
+    },
+    /// A transport connection was established.
+    ConnOpened,
+    /// A transport connection was torn down.
+    ConnClosed,
+    /// A peer failed transport authentication.
+    AuthFailed,
+}
+
+/// One recorded event: a caller-supplied timestamp plus what happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual ticks (simulator) or wall-clock microseconds (TCP).
+    pub at: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Microseconds since the Unix epoch — the timestamp domain the TCP
+/// transport stamps events with (the simulator uses virtual ticks
+/// instead, keeping its event streams replay-identical).
+pub fn wall_micros() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+/// A sink for [`Event`]s.
+///
+/// Implementations must be cheap and non-blocking — they run on protocol
+/// hot paths. The simulator installs a [`RingRecorder`] per run; real
+/// deployments may use [`NullRecorder`] and rely on metrics alone.
+pub trait Recorder: Send + Sync {
+    /// Accepts one event.
+    fn record(&self, event: Event);
+}
+
+/// Discards every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record(&self, _event: Event) {}
+}
+
+/// A bounded in-memory event buffer: keeps the most recent `capacity`
+/// events and counts how many were evicted.
+#[derive(Debug)]
+pub struct RingRecorder {
+    capacity: usize,
+    events: safereg_common::sync::Mutex<VecDeque<Event>>,
+    evicted: AtomicU64,
+}
+
+impl RingRecorder {
+    /// Creates a ring holding at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        RingRecorder {
+            capacity: capacity.max(1),
+            events: safereg_common::sync::Mutex::new(VecDeque::new()),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// A copy of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().iter().cloned().collect()
+    }
+
+    /// Removes and returns the buffered events, oldest first.
+    pub fn drain(&self) -> Vec<Event> {
+        self.events.lock().drain(..).collect()
+    }
+
+    /// How many events were evicted to make room.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn record(&self, event: Event) {
+        let mut events = self.events.lock();
+        if events.len() == self.capacity {
+            events.pop_front();
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push_back(event);
+    }
+}
+
+/// A wall-clock timed scope: records elapsed microseconds into a histogram
+/// when dropped. For virtual-time scopes the simulator computes durations
+/// itself and calls [`Histogram::record`] directly.
+#[derive(Debug)]
+pub struct Span {
+    hist: Arc<Histogram>,
+    start: std::time::Instant,
+}
+
+impl Span {
+    /// Starts timing into `hist`.
+    pub fn start(hist: Arc<Histogram>) -> Self {
+        Span {
+            hist,
+            start: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.hist.record(self.start.elapsed().as_micros() as u64);
+    }
+}
+
+/// Times the enclosing scope into `registry`'s histogram `name`
+/// (wall-clock microseconds): `let _guard = span!(reg, "frame.seal_us");`.
+#[macro_export]
+macro_rules! span {
+    ($registry:expr, $name:expr) => {
+        $crate::trace::Span::start($registry.histogram($name))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safereg_common::ids::{ClientId, ReaderId, WriterId};
+    use safereg_common::msg::Payload;
+    use safereg_common::tag::Tag;
+    use safereg_common::value::Value;
+
+    #[test]
+    fn msg_class_covers_every_wire_shape() {
+        let op = OpId::new(WriterId(0), 1);
+        let cases: Vec<(Message, MsgClass, &str)> = vec![
+            (
+                ClientToServer::QueryTag { op }.into(),
+                MsgClass::QueryTag,
+                "query_tag",
+            ),
+            (
+                ClientToServer::PutData {
+                    op,
+                    tag: Tag::ZERO,
+                    payload: Payload::Full(Value::from("v")),
+                }
+                .into(),
+                MsgClass::PutData,
+                "put_data",
+            ),
+            (
+                ClientToServer::QueryHistory {
+                    op,
+                    above: Tag::ZERO,
+                }
+                .into(),
+                MsgClass::QueryHistory,
+                "query_history",
+            ),
+            (
+                ServerToClient::PutAck { op, tag: Tag::ZERO }.into(),
+                MsgClass::PutAck,
+                "put_ack",
+            ),
+            (
+                PeerMessage::RbEcho {
+                    bid: safereg_common::msg::BroadcastId {
+                        origin: ClientId::Writer(WriterId(0)),
+                        seq: 1,
+                    },
+                    tag: Tag::ZERO,
+                    payload: Payload::Full(Value::from("v")),
+                }
+                .into(),
+                MsgClass::RbEcho,
+                "rb_echo",
+            ),
+        ];
+        for (msg, class, label) in cases {
+            assert_eq!(MsgClass::of(&msg), class);
+            assert_eq!(class.as_str(), label);
+        }
+    }
+
+    #[test]
+    fn ring_recorder_keeps_most_recent() {
+        let ring = RingRecorder::new(2);
+        for i in 0..5u64 {
+            ring.record(Event {
+                at: i,
+                kind: EventKind::ConnOpened,
+            });
+        }
+        let events = ring.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!((events[0].at, events[1].at), (3, 4));
+        assert_eq!(ring.evicted(), 3);
+        assert_eq!(ring.drain().len(), 2);
+        assert!(ring.events().is_empty());
+    }
+
+    #[test]
+    fn span_records_into_histogram() {
+        let reg = crate::metrics::Registry::new();
+        {
+            let _guard = span!(reg, "scope_us");
+        }
+        assert_eq!(reg.histogram("scope_us").count(), 1);
+    }
+
+    #[test]
+    fn op_events_carry_the_read_path() {
+        let e = Event {
+            at: 10,
+            kind: EventKind::OpCompleted {
+                op: OpId::new(ReaderId(1), 1),
+                rounds: 1,
+                path: Some(ReadPath::Fast),
+                validation_failures: 0,
+            },
+        };
+        assert_eq!(e.clone(), e);
+    }
+}

@@ -1,0 +1,79 @@
+//! Sharded-counter and histogram behavior under real thread contention.
+
+use std::sync::Arc;
+
+use safereg_obs::metrics::Registry;
+
+#[test]
+fn counter_total_is_exact_under_contention() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 100_000;
+
+    let reg = Arc::new(Registry::new());
+    let counter = reg.counter("contended.counter");
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let counter = Arc::clone(&counter);
+            std::thread::spawn(move || {
+                for _ in 0..PER_THREAD {
+                    counter.inc();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(counter.get(), THREADS as u64 * PER_THREAD);
+    assert_eq!(
+        reg.snapshot().counter("contended.counter"),
+        Some(THREADS as u64 * PER_THREAD)
+    );
+}
+
+#[test]
+fn histogram_count_is_exact_under_contention() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 50_000;
+
+    let reg = Arc::new(Registry::new());
+    let hist = reg.histogram("contended.hist");
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let hist = Arc::clone(&hist);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    hist.record(t * PER_THREAD + i);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, THREADS * PER_THREAD);
+    assert_eq!(snap.min, 0);
+    assert_eq!(snap.max, THREADS * PER_THREAD - 1);
+    let bucket_total: u64 = snap.buckets.iter().map(|(_, c)| c).sum();
+    assert_eq!(bucket_total, snap.count, "no sample lost a bucket");
+}
+
+#[test]
+fn registry_get_or_create_races_to_one_instrument() {
+    let reg = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                for _ in 0..1_000 {
+                    reg.counter("raced").inc();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(reg.snapshot().counter("raced"), Some(8_000));
+}

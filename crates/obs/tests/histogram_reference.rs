@@ -1,0 +1,104 @@
+//! Histogram correctness against a DetRng-driven reference sort.
+//!
+//! The bucket mapping `v → bucket_upper_bound(bucket_of(v))` is monotone
+//! non-decreasing, so the histogram's nearest-rank percentile must equal
+//! the representative of the *exact* percentile sample — not merely
+//! approximate it. These tests pin that equality across random sample
+//! sets spanning many orders of magnitude.
+
+use safereg_common::rng::DetRng;
+use safereg_obs::metrics::{bucket_of, bucket_upper_bound, Histogram};
+
+/// Exact nearest-rank percentile over a sorted slice.
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    let n = sorted.len();
+    let idx = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+    sorted[idx - 1]
+}
+
+fn check_against_reference(samples: Vec<u64>) {
+    let hist = Histogram::new();
+    for &v in &samples {
+        hist.record(v);
+    }
+    let mut sorted = samples;
+    sorted.sort_unstable();
+    let summary = hist.summary().unwrap();
+
+    assert_eq!(summary.count, sorted.len());
+    assert_eq!(summary.min, sorted[0], "min is exact");
+    assert_eq!(summary.max, *sorted.last().unwrap(), "max is exact");
+    let exact_mean = sorted.iter().map(|&v| v as f64).sum::<f64>() / sorted.len() as f64;
+    assert!(
+        (summary.mean - exact_mean).abs() < 1e-6 * exact_mean.max(1.0),
+        "mean uses the exact sum"
+    );
+
+    for (p, got) in [
+        (50.0, summary.p50),
+        (90.0, summary.p90),
+        (99.0, summary.p99),
+        (99.9, summary.p999),
+    ] {
+        let want = bucket_upper_bound(bucket_of(exact_percentile(&sorted, p)));
+        assert_eq!(
+            got, want,
+            "p{p}: histogram percentile must be the bucket representative \
+             of the exact percentile"
+        );
+    }
+}
+
+#[test]
+fn uniform_samples_match_reference() {
+    let mut rng = DetRng::seed_from(0xB0B5);
+    let samples: Vec<u64> = (0..10_000).map(|_| rng.range_u64(0..1 << 20)).collect();
+    check_against_reference(samples);
+}
+
+#[test]
+fn wide_magnitude_samples_match_reference() {
+    // Latencies spanning ticks to "held past the horizon": each sample's
+    // magnitude is itself random, exercising every octave group.
+    let mut rng = DetRng::seed_from(0x5EED);
+    let samples: Vec<u64> = (0..10_000)
+        .map(|_| {
+            let bits = rng.range_u64(1..41);
+            rng.range_u64(0..1 << bits)
+        })
+        .collect();
+    check_against_reference(samples);
+}
+
+#[test]
+fn small_exact_samples_match_reference() {
+    // Values 0..=15 have exact buckets, so every statistic is exact.
+    let mut rng = DetRng::seed_from(7);
+    let samples: Vec<u64> = (0..997).map(|_| rng.range_u64(0..16)).collect();
+    let hist = Histogram::new();
+    for &v in &samples {
+        hist.record(v);
+    }
+    let mut sorted = samples;
+    sorted.sort_unstable();
+    let summary = hist.summary().unwrap();
+    assert_eq!(summary.p50, exact_percentile(&sorted, 50.0));
+    assert_eq!(summary.p99, exact_percentile(&sorted, 99.0));
+    assert_eq!(summary.p999, exact_percentile(&sorted, 99.9));
+}
+
+#[test]
+fn representative_mapping_is_monotone() {
+    // Monotonicity is what makes the percentile equality above hold; check
+    // it directly over random pairs.
+    let mut rng = DetRng::seed_from(42);
+    for _ in 0..50_000 {
+        let a = rng.range_u64(0..u64::MAX);
+        let b = rng.range_u64(0..u64::MAX);
+        let (lo, hi) = (a.min(b), a.max(b));
+        assert!(
+            bucket_upper_bound(bucket_of(lo)) <= bucket_upper_bound(bucket_of(hi)),
+            "mapping not monotone at ({lo}, {hi})"
+        );
+    }
+}

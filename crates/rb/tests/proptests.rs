@@ -77,7 +77,7 @@ fn run_randomized(
 
 #[test]
 fn agreement_and_totality_hold_under_any_order() {
-    let mut rng = DetRng::seed_from(0xB2AC_4A);
+    let mut rng = DetRng::seed_from(0xB2_AC4A);
     // Exhaust the discrete adversary choices; randomize only the order.
     for receiver_mask in 0u8..16 {
         for silent_pick in [None, Some(0u16), Some(1), Some(2), Some(3)] {

@@ -37,4 +37,4 @@ pub use behavior::ServerBehavior;
 pub use delay::{Delay, DelayPolicy};
 pub use driver::{Action, ClientDriver, OpFactory, Plan, StartRule};
 pub use event::SimTime;
-pub use sim::{RunReport, Sim};
+pub use sim::{RunReport, ServerTally, Sim};

@@ -6,14 +6,17 @@
 //! reproducible.
 
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 use safereg_common::codec::Wire;
 use safereg_common::config::QuorumConfig;
-use safereg_common::history::{History, OpHandle};
+use safereg_common::history::{History, OpHandle, ReadPath};
 use safereg_common::ids::{ClientId, NodeId, ServerId};
 use safereg_common::msg::{Envelope, Message, OpId};
 use safereg_common::rng::DetRng;
 use safereg_core::op::{ClientOp, OpOutput};
+use safereg_obs::metrics::{Registry, Snapshot};
+use safereg_obs::trace::{self, MsgClass, NullRecorder, Recorder};
 
 use crate::behavior::ServerBehavior;
 use crate::delay::{op_of, DelayPolicy};
@@ -33,6 +36,17 @@ struct Actor {
 struct InFlight {
     op: Box<dyn ClientOp>,
     handle: OpHandle,
+    /// When the operation's current round started, for quorum-wait timing.
+    phase_start: SimTime,
+}
+
+/// Messages one server received and sent during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerTally {
+    /// Messages delivered to the server.
+    pub received: u64,
+    /// Messages the server emitted in response.
+    pub sent: u64,
 }
 
 /// Aggregate results of a run.
@@ -50,6 +64,29 @@ pub struct RunReport {
     pub completed_ops: usize,
     /// Operations still incomplete at the end (starved or still planned).
     pub incomplete_ops: usize,
+    /// Reads that completed on the paper's fast path (freshly witnessed
+    /// value on the protocol's normal rounds).
+    pub fast_reads: u64,
+    /// Reads that completed on the slow fallback path.
+    pub slow_reads: u64,
+    /// Messages delivered after the operation they belonged to had already
+    /// completed (stragglers — including scripted holds that landed before
+    /// the deadline).
+    pub late_messages: u64,
+    /// Messages still in flight when the report was taken (held past the
+    /// deadline or orphaned by a `run_until` cut).
+    pub undelivered_messages: u64,
+    /// Per-server message tallies.
+    pub per_server: BTreeMap<ServerId, ServerTally>,
+}
+
+impl RunReport {
+    /// Fraction of completed reads that took the fast path, or `None` when
+    /// the run classified no reads.
+    pub fn fast_read_ratio(&self) -> Option<f64> {
+        let total = self.fast_reads + self.slow_reads;
+        (total > 0).then(|| self.fast_reads as f64 / total as f64)
+    }
 }
 
 /// A deterministic simulation of one deployment.
@@ -68,6 +105,14 @@ pub struct Sim {
     op_handles: BTreeMap<OpId, OpHandle>,
     messages: u64,
     bytes: u64,
+    /// Per-run metrics, stamped in virtual time so runs reproduce
+    /// bit-for-bit from their seed.
+    registry: Arc<Registry>,
+    recorder: Arc<dyn Recorder>,
+    fast_reads: u64,
+    slow_reads: u64,
+    late_messages: u64,
+    per_server: BTreeMap<ServerId, ServerTally>,
 }
 
 impl std::fmt::Debug for Sim {
@@ -98,7 +143,29 @@ impl Sim {
             op_handles: BTreeMap::new(),
             messages: 0,
             bytes: 0,
+            registry: Arc::new(Registry::new()),
+            recorder: Arc::new(NullRecorder),
+            fast_reads: 0,
+            slow_reads: 0,
+            late_messages: 0,
+            per_server: BTreeMap::new(),
         }
+    }
+
+    /// The run's metric registry (virtual-time, owned by this simulation).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// A deterministic snapshot of the run's metrics.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// Installs an event recorder (e.g. an [`safereg_obs::RingRecorder`]).
+    /// Events are stamped with virtual ticks.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = recorder;
     }
 
     /// The deployment configuration.
@@ -115,6 +182,7 @@ impl Sim {
         let id = behavior.id();
         let prev = self.servers.insert(id, behavior);
         assert!(prev.is_none(), "duplicate behavior for {id}");
+        self.per_server.insert(id, ServerTally::default());
     }
 
     /// Installs a client with its operation plan. The first plan entry is
@@ -155,6 +223,20 @@ impl Sim {
                 self.history.add_cost(*handle, 0, 1, wire);
             }
         }
+        let class = MsgClass::of(&env.msg);
+        self.registry.counter(&format!("sim.sent.{class}")).inc();
+        self.registry
+            .counter(&format!("sim.sent_bytes.{class}"))
+            .add(wire);
+        if let NodeId::Server(src) = env.src {
+            if let Some(tally) = self.per_server.get_mut(&src) {
+                tally.sent += 1;
+            }
+        }
+        self.recorder.record(trace::Event {
+            at: self.time,
+            kind: trace::EventKind::MsgSent { class, bytes: wire },
+        });
         let delay = self.delay.delay(self.time, &env, &mut self.rng);
         let at = self.time.saturating_add(delay.0.max(1));
         self.push_event(at, EventKind::Deliver(env));
@@ -212,14 +294,39 @@ impl Sim {
             Action::Read => self.history.begin_read(op_id, self.time),
         };
         self.op_handles.insert(op_id, handle);
+        self.recorder.record(trace::Event {
+            at: self.time,
+            kind: trace::EventKind::OpInvoked {
+                op: op_id,
+                write: matches!(plan.action, Action::Write(_)),
+            },
+        });
         let first = op.start();
-        actor.current = Some(InFlight { op, handle });
+        actor.current = Some(InFlight {
+            op,
+            handle,
+            phase_start: self.time,
+        });
         self.send_all(first);
+    }
+
+    /// Counts a delivery that arrived after its operation finished.
+    fn note_late(&mut self, env: &Envelope) {
+        self.late_messages += 1;
+        let class = MsgClass::of(&env.msg);
+        self.registry.counter("sim.msgs.late").inc();
+        self.recorder.record(trace::Event {
+            at: self.time,
+            kind: trace::EventKind::MsgLate { class },
+        });
     }
 
     fn deliver(&mut self, env: Envelope) {
         match env.dst {
             NodeId::Server(sid) => {
+                if let Some(tally) = self.per_server.get_mut(&sid) {
+                    tally.received += 1;
+                }
                 let out = match self.servers.get_mut(&sid) {
                     Some(behavior) => behavior.on_envelope(self.time, &env, &mut self.rng),
                     None => Vec::new(), // no such server: message falls on the floor
@@ -235,16 +342,32 @@ impl Sim {
                     Some(s) => s,
                     None => return,
                 };
-                let actor = match self.actors.get_mut(&cid) {
-                    Some(a) => a,
+                // A response is a straggler when the client has nothing in
+                // flight, or the in-flight operation is not the one being
+                // answered (the answered one completed earlier and would
+                // ignore the message anyway).
+                let late = match self.actors.get(&cid) {
+                    Some(a) => match &a.current {
+                        Some(f) => f.op.op_id() != msg.op(),
+                        None => true,
+                    },
                     None => return,
                 };
-                let inflight = match &mut actor.current {
-                    Some(f) => f,
-                    None => return, // straggler for a finished operation
-                };
+                if late {
+                    self.note_late(&env);
+                    return;
+                }
+                let actor = self.actors.get_mut(&cid).expect("checked above");
+                let inflight = actor.current.as_mut().expect("checked above");
+                let rounds_before = inflight.op.rounds();
                 let follow_up = inflight.op.on_message(from, &msg);
                 let done = inflight.op.output();
+                // A new round started: the previous quorum wait is over.
+                if done.is_none() && inflight.op.rounds() > rounds_before {
+                    let wait = self.time - inflight.phase_start;
+                    inflight.phase_start = self.time;
+                    self.registry.histogram("sim.quorum_wait").record(wait);
+                }
                 // Borrow of actor ends here; route follow-ups and completion.
                 if let Some(output) = done {
                     let finished = actor.current.take().expect("in flight");
@@ -272,6 +395,47 @@ impl Sim {
                         }
                     }
                     self.op_handles.remove(&op_id);
+                    // Semi-fast-path accounting (virtual-time metrics).
+                    let latency = self.history.get(finished.handle).latency().unwrap_or(0);
+                    let path = finished.op.read_path();
+                    let failures = finished.op.validation_failures();
+                    self.registry
+                        .histogram("sim.quorum_wait")
+                        .record(now - finished.phase_start);
+                    match path {
+                        Some(ReadPath::Fast) => {
+                            self.fast_reads += 1;
+                            self.registry.counter("sim.reads.fast").inc();
+                            self.registry
+                                .histogram("sim.read.latency.fast")
+                                .record(latency);
+                        }
+                        Some(ReadPath::Slow) => {
+                            self.slow_reads += 1;
+                            self.registry.counter("sim.reads.slow").inc();
+                            self.registry
+                                .histogram("sim.read.latency.slow")
+                                .record(latency);
+                        }
+                        None if finished.op.is_write() => {
+                            self.registry.histogram("sim.write.latency").record(latency);
+                        }
+                        None => {} // reads without the fast/slow distinction
+                    }
+                    if failures > 0 {
+                        self.registry
+                            .counter("sim.read.validation_failures")
+                            .add(u64::from(failures));
+                    }
+                    self.recorder.record(trace::Event {
+                        at: now,
+                        kind: trace::EventKind::OpCompleted {
+                            op: op_id,
+                            rounds,
+                            path,
+                            validation_failures: failures,
+                        },
+                    });
                 }
                 self.send_all(follow_up);
             }
@@ -285,6 +449,20 @@ impl Sim {
             .iter()
             .filter(|r| r.is_complete())
             .count();
+        let undelivered = self
+            .queue
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Deliver(_)))
+            .count() as u64;
+        // Publish the run's central observable as a gauge so metric dumps
+        // carry it without needing the report object.
+        if let Some(permille) =
+            (self.fast_reads * 1000).checked_div(self.fast_reads + self.slow_reads)
+        {
+            self.registry
+                .gauge("sim.read.fast_ratio_permille")
+                .set(permille);
+        }
         RunReport {
             end_time: self.time,
             events: self.events,
@@ -292,6 +470,11 @@ impl Sim {
             bytes: self.bytes,
             completed_ops: completed,
             incomplete_ops: self.history.len() - completed,
+            fast_reads: self.fast_reads,
+            slow_reads: self.slow_reads,
+            late_messages: self.late_messages,
+            undelivered_messages: undelivered,
+            per_server: self.per_server.clone(),
         }
     }
 
@@ -512,6 +695,136 @@ mod tests {
         assert_eq!(write.msgs, 20);
         assert!(write.bytes > 0);
         assert_eq!(report.bytes, write.bytes);
+    }
+
+    #[test]
+    fn quiescent_read_is_fast_in_report_and_metrics() {
+        let mut sim = bsr_sim(1, 11, 0);
+        let cfg = *sim.config();
+        sim.add_client(
+            ClientDriver::BsrWriter(BsrWriter::new(WriterId(0), cfg)),
+            vec![Plan::write_at(0, "x")],
+        );
+        sim.add_client(
+            ClientDriver::BsrReader(BsrReader::new(ReaderId(0), cfg)),
+            vec![Plan::read_at(100), Plan::read_at(200)],
+        );
+        let report = sim.run();
+        assert_eq!((report.fast_reads, report.slow_reads), (2, 0));
+        assert_eq!(report.fast_read_ratio(), Some(1.0));
+        let snap = sim.metrics_snapshot();
+        assert_eq!(snap.counter("sim.reads.fast"), Some(2));
+        assert_eq!(snap.gauge("sim.read.fast_ratio_permille"), Some(1000));
+        assert_eq!(
+            snap.histogram("sim.read.latency.fast").unwrap().count,
+            2,
+            "both read latencies recorded"
+        );
+        assert_eq!(snap.histogram("sim.write.latency").unwrap().max, 40);
+        assert!(snap.counter("sim.sent.query_data").unwrap() == 10);
+    }
+
+    #[test]
+    fn per_server_tallies_cover_all_traffic() {
+        let mut sim = bsr_sim(1, 12, 0);
+        let cfg = *sim.config();
+        sim.add_client(
+            ClientDriver::BsrWriter(BsrWriter::new(WriterId(0), cfg)),
+            vec![Plan::write_at(0, "t")],
+        );
+        let report = sim.run();
+        assert_eq!(report.per_server.len(), 5);
+        for tally in report.per_server.values() {
+            // Each server gets query-tag + put-data and answers both.
+            assert_eq!(
+                *tally,
+                ServerTally {
+                    received: 2,
+                    sent: 2
+                }
+            );
+        }
+        let received: u64 = report.per_server.values().map(|t| t.received).sum();
+        let sent: u64 = report.per_server.values().map(|t| t.sent).sum();
+        assert_eq!(received + sent, report.messages);
+        assert_eq!(report.undelivered_messages, 0);
+        // The fifth put-ack lands after the n-f = 4 quorum already
+        // completed the write, so it is accounted as late.
+        assert_eq!(report.late_messages, 1);
+    }
+
+    #[test]
+    fn straggler_responses_count_as_late() {
+        use crate::delay::{Delay, Matcher, Rule, Scripted};
+        // Server 4's responses take 500 ticks; every operation completes
+        // on the other four servers long before they land.
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let rules = vec![Rule {
+            matcher: Matcher::any().from_node(ServerId(4)),
+            delay: Delay::after(500),
+        }];
+        let mut sim = Sim::new(cfg, 13, Box::new(Scripted::over_fixed(rules, 10)));
+        for sid in cfg.servers() {
+            sim.add_server(Box::new(Correct::new(ServerNode::new_replicated(sid, cfg))));
+        }
+        sim.add_client(
+            ClientDriver::BsrWriter(BsrWriter::new(WriterId(0), cfg)),
+            vec![Plan::write_at(0, "v")],
+        );
+        sim.add_client(
+            ClientDriver::BsrReader(BsrReader::new(ReaderId(0), cfg)),
+            vec![Plan::read_at(100)],
+        );
+        let report = sim.run();
+        assert_eq!(report.completed_ops, 2);
+        // Server 4's tag-resp, put-ack and data-resp all arrive after
+        // their operations completed.
+        assert_eq!(report.late_messages, 3);
+        assert_eq!(sim.metrics_snapshot().counter("sim.msgs.late"), Some(3));
+    }
+
+    #[test]
+    fn undelivered_messages_reflect_a_deadline_cut() {
+        let mut sim = bsr_sim(1, 14, 0);
+        let cfg = *sim.config();
+        sim.add_client(
+            ClientDriver::BsrWriter(BsrWriter::new(WriterId(0), cfg)),
+            vec![Plan::write_at(0, "cut")],
+        );
+        // Stop while the five query-tag responses are still in flight.
+        let partial = sim.run_until(15);
+        assert_eq!(partial.undelivered_messages, 5);
+        let done = sim.run();
+        assert_eq!(done.undelivered_messages, 0);
+    }
+
+    #[test]
+    fn recorder_stream_and_metric_dump_are_deterministic() {
+        use safereg_obs::{render_jsonl, RingRecorder};
+        use std::sync::Arc;
+        let run = || {
+            let mut sim = bsr_sim(1, 15, 0);
+            let cfg = *sim.config();
+            let ring = Arc::new(RingRecorder::new(4096));
+            sim.set_recorder(ring.clone());
+            sim.add_client(
+                ClientDriver::BsrWriter(BsrWriter::new(WriterId(0), cfg)),
+                vec![Plan::write_at(0, "det")],
+            );
+            sim.add_client(
+                ClientDriver::BsrReader(BsrReader::new(ReaderId(0), cfg)),
+                vec![Plan::read_at(60)],
+            );
+            let report = sim.run();
+            (report, render_jsonl(&sim.metrics_snapshot()), ring.events())
+        };
+        let (ra, dump_a, events_a) = run();
+        let (rb, dump_b, events_b) = run();
+        assert_eq!(ra, rb);
+        assert_eq!(dump_a, dump_b, "metric dumps must be byte-identical");
+        assert_eq!(events_a, events_b, "event streams must be identical");
+        assert!(!events_a.is_empty());
+        assert!(dump_a.contains("sim.read.fast_ratio_permille"));
     }
 
     #[test]

@@ -10,12 +10,14 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
+use safereg_common::history::ReadPath;
 use safereg_common::ids::{ClientId, NodeId, ServerId};
 use safereg_common::msg::{Envelope, Message, ServerToClient};
 use safereg_common::sync::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use safereg_common::sync::Mutex;
 use safereg_core::op::{ClientOp, OpOutput};
 use safereg_crypto::keychain::KeyChain;
+use safereg_obs::trace::{self, MsgClass, NullRecorder, Recorder};
 
 use crate::frame::{open_envelope, read_frame, seal_envelope, write_frame};
 
@@ -65,6 +67,7 @@ pub struct ClusterClient {
     /// Kept so reader threads can detect shutdown via channel closure.
     _tx: Sender<(ServerId, ServerToClient)>,
     timeout: Duration,
+    recorder: Arc<dyn Recorder>,
 }
 
 impl std::fmt::Debug for ClusterClient {
@@ -120,6 +123,11 @@ impl ClusterClient {
                             Ok(e) => e,
                             Err(_) => continue,
                         };
+                        let class = MsgClass::of(&env.msg);
+                        let reg = safereg_obs::global();
+                        reg.counter(&format!("transport.recv.{class}")).inc();
+                        reg.counter(&format!("transport.recv_bytes.{class}"))
+                            .add(frame.len() as u64);
                         if let (NodeId::Server(src), Message::ToClient(m)) = (env.src, env.msg) {
                             if tx.send((src, m)).is_err() {
                                 return;
@@ -139,6 +147,7 @@ impl ClusterClient {
             responses: rx,
             _tx: tx,
             timeout: Duration::from_secs(10),
+            recorder: Arc::new(NullRecorder),
         })
     }
 
@@ -152,10 +161,28 @@ impl ClusterClient {
         self.timeout = timeout;
     }
 
+    /// Installs a structured-event sink; events are stamped with
+    /// wall-clock microseconds ([`trace::wall_micros`]).
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = recorder;
+    }
+
     fn send(&self, env: &Envelope) {
         if let NodeId::Server(sid) = env.dst {
             if let Some(stream) = self.writers.get(&sid) {
                 let sealed = seal_envelope(&self.chain, env);
+                let class = MsgClass::of(&env.msg);
+                let reg = safereg_obs::global();
+                reg.counter(&format!("transport.sent.{class}")).inc();
+                reg.counter(&format!("transport.sent_bytes.{class}"))
+                    .add(sealed.len() as u64);
+                self.recorder.record(trace::Event {
+                    at: trace::wall_micros(),
+                    kind: trace::EventKind::MsgSent {
+                        class,
+                        bytes: sealed.len() as u64,
+                    },
+                });
                 // A dead connection is equivalent to a slow channel; the
                 // quorum logic copes with the missing response.
                 let _ = write_frame(&mut *stream.lock(), &sealed);
@@ -172,12 +199,21 @@ impl ClusterClient {
     pub fn run_op(&mut self, op: &mut dyn ClientOp) -> Result<OpOutput, ClientError> {
         // Drain stale responses from previous (timed-out) operations.
         while self.responses.try_recv().is_ok() {}
+        self.recorder.record(trace::Event {
+            at: trace::wall_micros(),
+            kind: trace::EventKind::OpInvoked {
+                op: op.op_id(),
+                write: op.is_write(),
+            },
+        });
+        let started = std::time::Instant::now();
         for env in op.start() {
             self.send(&env);
         }
-        let deadline = std::time::Instant::now() + self.timeout;
+        let deadline = started + self.timeout;
         loop {
             if let Some(out) = op.output() {
+                self.note_completion(op, started.elapsed());
                 return Ok(out);
             }
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
@@ -200,5 +236,43 @@ impl ClusterClient {
                 Err(RecvTimeoutError::Disconnected) => return Err(ClientError::Disconnected),
             }
         }
+    }
+
+    /// Accounts a finished operation: wall-clock latency into the fast,
+    /// slow or write histogram, fast/slow read counters, validation
+    /// failures and a structured completion event.
+    fn note_completion(&self, op: &dyn ClientOp, elapsed: Duration) {
+        let reg = safereg_obs::global();
+        let micros = elapsed.as_micros() as u64;
+        let path = op.read_path();
+        match path {
+            Some(ReadPath::Fast) => {
+                reg.counter("transport.reads.fast").inc();
+                reg.histogram("transport.op.latency_us.fast").record(micros);
+            }
+            Some(ReadPath::Slow) => {
+                reg.counter("transport.reads.slow").inc();
+                reg.histogram("transport.op.latency_us.slow").record(micros);
+            }
+            None if op.is_write() => {
+                reg.histogram("transport.op.latency_us.write")
+                    .record(micros);
+            }
+            None => {}
+        }
+        let failures = op.validation_failures();
+        if failures > 0 {
+            reg.counter("transport.read.validation_failures")
+                .add(u64::from(failures));
+        }
+        self.recorder.record(trace::Event {
+            at: trace::wall_micros(),
+            kind: trace::EventKind::OpCompleted {
+                op: op.op_id(),
+                rounds: op.rounds(),
+                path,
+                validation_failures: failures,
+            },
+        });
     }
 }

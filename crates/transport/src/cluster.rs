@@ -152,6 +152,56 @@ mod tests {
     }
 
     #[test]
+    fn loopback_roundtrip_populates_global_metrics() {
+        use safereg_obs::trace::{EventKind, RingRecorder};
+        use std::sync::Arc;
+
+        let reg = safereg_obs::global();
+        let fast_before = reg.counter("transport.reads.fast").get();
+        let opened_before = reg.counter("transport.conn.opened").get();
+        let sent_before = reg.counter("transport.sent.query_data").get();
+
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let cluster = LocalCluster::start(cfg, b"metrics").unwrap();
+
+        let mut wc = cluster.client(WriterId(7)).unwrap();
+        let mut writer = BsrWriter::new(WriterId(7), cfg);
+        wc.run_op(&mut writer.write(Value::from("observed")))
+            .unwrap();
+
+        let ring = Arc::new(RingRecorder::new(64));
+        let mut rc = cluster.client(ReaderId(7)).unwrap();
+        rc.set_recorder(ring.clone());
+        let mut reader = BsrReader::new(ReaderId(7), cfg);
+        let mut read = reader.read();
+        rc.run_op(&mut read).unwrap();
+
+        // A quiescent BSR read over a correct cluster takes the fast path.
+        assert!(reg.counter("transport.reads.fast").get() > fast_before);
+        // Each client opened one connection per server.
+        assert!(reg.counter("transport.conn.opened").get() >= opened_before + 10);
+        // The read queried every server once.
+        assert_eq!(
+            reg.counter("transport.sent.query_data").get(),
+            sent_before + 5
+        );
+        assert!(reg.histogram("transport.op.latency_us.write").count() > 0);
+        assert!(reg.histogram("transport.frame.seal_us").count() > 0);
+
+        let events = ring.events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::OpInvoked { write: false, .. })));
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::OpCompleted {
+                path: Some(safereg_common::history::ReadPath::Fast),
+                ..
+            }
+        )));
+    }
+
+    #[test]
     fn bcsr_roundtrip_over_loopback() {
         let cfg = QuorumConfig::minimal_bcsr(1).unwrap();
         let cluster = LocalCluster::start_coded(cfg, b"t3").unwrap();

@@ -9,11 +9,30 @@
 //! exactly the authentication guarantee the paper's model assumes.
 
 use std::io::{Read, Write};
+use std::sync::{Arc, OnceLock};
 
 use safereg_common::codec::{Wire, WireError};
 use safereg_common::msg::Envelope;
 use safereg_crypto::auth::{AuthCodec, AuthError};
 use safereg_crypto::keychain::KeyChain;
+use safereg_obs::metrics::{Counter, Histogram};
+
+/// Cached handles into the global registry so the per-frame hot path
+/// pays one atomic instead of a name lookup.
+fn seal_hist() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| safereg_obs::global().histogram("transport.frame.seal_us"))
+}
+
+fn open_hist() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| safereg_obs::global().histogram("transport.frame.open_us"))
+}
+
+fn auth_fail_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| safereg_obs::global().counter("transport.frame.auth_fail"))
+}
 
 /// Maximum accepted frame length (64 MiB + MAC headroom).
 pub const MAX_FRAME: usize = (64 << 20) + 64;
@@ -86,8 +105,11 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, FrameError> {
 /// Seals an envelope: wire-encodes it and appends the MAC under the
 /// link key of its `(src, dst)` pair.
 pub fn seal_envelope(chain: &KeyChain, env: &Envelope) -> Vec<u8> {
+    let start = std::time::Instant::now();
     let bytes = env.to_wire_bytes();
-    AuthCodec::new(chain.pair_key(env.src, env.dst)).seal(&bytes)
+    let sealed = AuthCodec::new(chain.pair_key(env.src, env.dst)).seal(&bytes);
+    seal_hist().record(start.elapsed().as_micros() as u64);
+    sealed
 }
 
 /// Opens a sealed envelope: decodes, then verifies the MAC under the key
@@ -99,6 +121,16 @@ pub fn seal_envelope(chain: &KeyChain, env: &Envelope) -> Vec<u8> {
 /// [`FrameError::Codec`] for malformed bytes, [`FrameError::Auth`] for MAC
 /// failures.
 pub fn open_envelope(chain: &KeyChain, frame: &[u8]) -> Result<Envelope, FrameError> {
+    let start = std::time::Instant::now();
+    let result = open_envelope_inner(chain, frame);
+    open_hist().record(start.elapsed().as_micros() as u64);
+    if matches!(result, Err(FrameError::Auth(_))) {
+        auth_fail_counter().inc();
+    }
+    result
+}
+
+fn open_envelope_inner(chain: &KeyChain, frame: &[u8]) -> Result<Envelope, FrameError> {
     if frame.len() < 32 {
         return Err(FrameError::Auth(AuthError::TooShort { len: frame.len() }));
     }

@@ -18,8 +18,26 @@ use safereg_common::msg::{Envelope, Message};
 use safereg_common::sync::Mutex;
 use safereg_core::server::ServerNode;
 use safereg_crypto::keychain::KeyChain;
+use safereg_obs::trace::MsgClass;
 
 use crate::frame::{open_envelope, read_frame, seal_envelope, write_frame, FrameError};
+
+/// Counts a connection open on creation and the matching close on drop,
+/// so every exit path out of [`serve_connection`] balances the books.
+struct ConnGuard;
+
+impl ConnGuard {
+    fn open() -> Self {
+        safereg_obs::global().counter("transport.conn.opened").inc();
+        ConnGuard
+    }
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        safereg_obs::global().counter("transport.conn.closed").inc();
+    }
+}
 
 /// A running TCP server hosting one replica.
 pub struct ServerHost {
@@ -129,6 +147,7 @@ fn serve_connection(
     chain: KeyChain,
     stop: Arc<AtomicBool>,
 ) {
+    let _conn = ConnGuard::open();
     // A polling read timeout lets the thread notice shutdown.
     let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(200)));
     loop {
@@ -148,6 +167,11 @@ fn serve_connection(
             Ok(e) => e,
             Err(_) => continue, // unauthenticated frame: ignored, not fatal
         };
+        let class = MsgClass::of(&env.msg);
+        let reg = safereg_obs::global();
+        reg.counter(&format!("transport.recv.{class}")).inc();
+        reg.counter(&format!("transport.recv_bytes.{class}"))
+            .add(frame.len() as u64);
         let (from, msg, sid) = match (&env.src, &env.msg, &env.dst) {
             (NodeId::Client(c), Message::ToServer(m), NodeId::Server(s)) => (*c, m, *s),
             _ => continue,
@@ -162,6 +186,10 @@ fn serve_connection(
         for resp in responses {
             let out = Envelope::to_client(sid, from, resp);
             let sealed = seal_envelope(&chain, &out);
+            let class = MsgClass::of(&out.msg);
+            reg.counter(&format!("transport.sent.{class}")).inc();
+            reg.counter(&format!("transport.sent_bytes.{class}"))
+                .add(sealed.len() as u64);
             if write_frame(&mut stream, &sealed).is_err() {
                 return;
             }

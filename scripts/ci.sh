@@ -17,7 +17,15 @@ run() {
 
 run cargo fmt --check
 run cargo build --release --offline
+run cargo clippy --offline --workspace --all-targets -- -D warnings
 run cargo test -q --offline
 run cargo test --workspace -q --offline
+
+# Observability smoke: a contended simnet scenario must emit the
+# fast-read-ratio gauge through the metrics dump.
+echo "==> paper_harness metrics | grep sim.read.fast_ratio_permille"
+cargo run --release --offline -q -p safereg-bench --bin paper_harness metrics |
+    grep -q '"metric":"sim.read.fast_ratio_permille"' ||
+    { echo "ci.sh: metrics dump missing fast-read-ratio gauge" >&2; exit 1; }
 
 echo "ci.sh: all checks passed"

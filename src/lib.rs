@@ -13,6 +13,8 @@
 //! * [`rb`] — Bracha reliable broadcast + the `n ≥ 3f+1` baseline register.
 //! * [`simnet`] — deterministic simulator, Byzantine behaviors, scenarios.
 //! * [`checker`] — safety / regularity / ordering checkers.
+//! * [`obs`] — zero-dependency metrics registry, structured tracing and
+//!   semi-fast-path accounting.
 //! * [`transport`] — authenticated TCP transport and cluster runtime.
 //! * [`kv`] — a key-value store layered on the registers.
 
@@ -22,6 +24,7 @@ pub use safereg_core as core;
 pub use safereg_crypto as crypto;
 pub use safereg_kv as kv;
 pub use safereg_mds as mds;
+pub use safereg_obs as obs;
 pub use safereg_rb as rb;
 pub use safereg_simnet as simnet;
 pub use safereg_transport as transport;

@@ -81,8 +81,8 @@ fn workspace_manifests() -> Vec<PathBuf> {
     }
     manifests.sort();
     assert!(
-        manifests.len() >= 11,
-        "expected the root + 10 crate manifests, found {}: {manifests:?}",
+        manifests.len() >= 12,
+        "expected the root + 11 crate manifests, found {}: {manifests:?}",
         manifests.len()
     );
     manifests
