@@ -6,6 +6,7 @@
 //! ```
 
 use safereg_bench::ablations;
+use safereg_bench::chaos as chaos_scenario;
 use safereg_bench::experiments;
 use safereg_bench::table;
 
@@ -392,6 +393,43 @@ fn a5() {
     );
 }
 
+fn chaos() {
+    println!("== chaos: self-healing TCP under a seeded adversary (sever + blackhole <= f) ==");
+    let r = chaos_scenario::chaos_run(0xC4A0_5EED);
+    let rows = vec![vec![
+        format!("{:#x}", r.seed),
+        format!("{}/{}", r.ops_completed, r.ops_attempted),
+        r.reconnects.to_string(),
+        r.breaker_transitions.to_string(),
+        r.op_retries.to_string(),
+        r.faults_injected.to_string(),
+        yes_no(r.safe && r.order_violations == 0),
+        yes_no(r.schedule_reproducible),
+    ]];
+    println!(
+        "{}",
+        table::render(
+            &[
+                "seed",
+                "ops",
+                "reconnects",
+                "breaker flips",
+                "op retries",
+                "faults",
+                "safe",
+                "seed-stable"
+            ],
+            &rows
+        )
+    );
+    if r.self_healing_ok() {
+        println!("chaos: self-healing ok");
+    } else {
+        println!("chaos: FAILED ({r:?})");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all: Vec<(&str, fn())> = vec![
@@ -408,6 +446,7 @@ fn main() {
         ("e11", e11),
         ("e12", e12),
         ("e13", e13),
+        ("chaos", chaos),
         ("metrics", metrics),
         ("a1", a1),
         ("a2", a2),
@@ -423,7 +462,7 @@ fn main() {
             .collect()
     };
     if selected.is_empty() {
-        eprintln!("unknown experiment; available: e1..e13, a1..a5, metrics");
+        eprintln!("unknown experiment; available: e1..e13, a1..a5, chaos, metrics");
         std::process::exit(2);
     }
     for (_, run) in selected {

@@ -21,11 +21,13 @@
 //!
 //! plus the design ablations [`ablations::a1_witness_threshold`],
 //! [`ablations::a2_tag_selection`], [`ablations::a3_decode_strategy`] and
-//! [`ablations::a4_history_retention`].
+//! [`ablations::a4_history_retention`], and the [`chaos`] scenario that
+//! tortures the real TCP stack behind seeded fault-injection proxies.
 //!
 //! Run everything: `cargo run -p safereg-bench --bin paper_harness`.
 
 pub mod ablations;
+pub mod chaos;
 pub mod experiments;
 pub mod search;
 pub mod table;

@@ -12,6 +12,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::time::Duration;
 
 use crate::ids::ServerId;
 
@@ -204,6 +205,132 @@ impl fmt::Display for QuorumConfig {
     }
 }
 
+/// Exponential backoff with bounded jitter, shared by every reconnecting
+/// network layer (the register transport's link supervisors and the KV
+/// transport's lazy reconnects).
+///
+/// The delay for attempt `a` is `base · 2^a`, capped at `cap`, with up to
+/// `jitter_permille`/1000 of that value added or subtracted depending on a
+/// caller-supplied random roll — callers that need reproducible schedules
+/// feed a [`crate::rng::DetRng`] draw, so the policy itself stays a pure
+/// function.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use safereg_common::config::BackoffPolicy;
+///
+/// let p = BackoffPolicy {
+///     base: Duration::from_millis(10),
+///     cap: Duration::from_millis(80),
+///     jitter_permille: 0,
+/// };
+/// assert_eq!(p.delay(0, 0), Duration::from_millis(10));
+/// assert_eq!(p.delay(2, 0), Duration::from_millis(40));
+/// assert_eq!(p.delay(10, 0), Duration::from_millis(80)); // capped
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Upper bound on the exponential growth.
+    pub cap: Duration,
+    /// Jitter amplitude in permille of the capped delay (`0..=1000`);
+    /// spreads reconnect storms after a correlated failure.
+    pub jitter_permille: u16,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(1),
+            jitter_permille: 250,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The wait before retry number `attempt` (0-based), given a uniform
+    /// random `roll` that supplies the jitter. The jittered delay stays in
+    /// `[d − d·j/2000, d + d·j/2000]` where `d` is the capped exponential
+    /// delay, and never drops below `base / 2`.
+    pub fn delay(&self, attempt: u32, roll: u64) -> Duration {
+        let base = self.base.as_micros() as u64;
+        let cap = self.cap.as_micros() as u64;
+        let exp = base.saturating_mul(1u64 << attempt.min(20)).min(cap);
+        let amplitude = exp / 1000 * u64::from(self.jitter_permille.min(1000));
+        let jittered = if amplitude == 0 {
+            exp
+        } else {
+            // Centered jitter: delay ± amplitude/2.
+            (exp - amplitude / 2) + roll % (amplitude + 1)
+        };
+        Duration::from_micros(jittered.max(base / 2))
+    }
+}
+
+/// Tunables for the real network path: how long to wait for connections
+/// and operations, how much to retry, and how the per-server circuit
+/// breaker behaves. Replaces the hardcoded connect/operation timeouts the
+/// TCP client and KV transport previously used.
+///
+/// Defaults match the old behaviour (5 s connects, 10 s operations) while
+/// enabling the self-healing machinery: two in-operation resends, capped
+/// exponential backoff between reconnect attempts, and a breaker that opens
+/// after three consecutive dead connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportConfig {
+    /// TCP connect timeout per attempt.
+    pub connect_timeout: Duration,
+    /// End-to-end deadline for one client operation (all retries included).
+    pub op_deadline: Duration,
+    /// Per-exchange socket read/write timeout (KV request/response path).
+    pub io_timeout: Duration,
+    /// How many times an operation's outstanding envelopes are resent
+    /// within the deadline before giving up (0 = single shot).
+    pub retry_budget: u32,
+    /// Reconnect pacing.
+    pub backoff: BackoffPolicy,
+    /// Consecutive dead connections (refused, or closed before delivering
+    /// a single frame) before the breaker opens for that server.
+    pub breaker_threshold: u32,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            connect_timeout: Duration::from_secs(5),
+            op_deadline: Duration::from_secs(10),
+            io_timeout: Duration::from_secs(5),
+            retry_budget: 2,
+            backoff: BackoffPolicy::default(),
+            breaker_threshold: 3,
+        }
+    }
+}
+
+impl TransportConfig {
+    /// A configuration with tight timings for tests and chaos runs:
+    /// sub-second connects, fast retries, a breaker that reacts after two
+    /// failures.
+    pub fn aggressive() -> Self {
+        TransportConfig {
+            connect_timeout: Duration::from_millis(250),
+            op_deadline: Duration::from_secs(5),
+            io_timeout: Duration::from_millis(500),
+            retry_budget: 4,
+            backoff: BackoffPolicy {
+                base: Duration::from_millis(10),
+                cap: Duration::from_millis(200),
+                jitter_permille: 200,
+            },
+            breaker_threshold: 2,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,6 +431,49 @@ mod tests {
             ids,
             vec![ServerId(0), ServerId(1), ServerId(2), ServerId(3)]
         );
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = BackoffPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(100),
+            jitter_permille: 0,
+        };
+        assert_eq!(p.delay(0, 99), Duration::from_millis(10));
+        assert_eq!(p.delay(1, 99), Duration::from_millis(20));
+        assert_eq!(p.delay(3, 99), Duration::from_millis(80));
+        assert_eq!(p.delay(4, 99), Duration::from_millis(100));
+        assert_eq!(p.delay(63, 99), Duration::from_millis(100), "no overflow");
+    }
+
+    #[test]
+    fn backoff_jitter_is_bounded_and_roll_deterministic() {
+        let p = BackoffPolicy {
+            base: Duration::from_millis(100),
+            cap: Duration::from_secs(1),
+            jitter_permille: 500,
+        };
+        for roll in [0u64, 1, 17, u64::MAX] {
+            let d = p.delay(0, roll);
+            // delay ± 25%: [75ms, 125ms]
+            assert!(
+                (Duration::from_millis(75)..=Duration::from_millis(125)).contains(&d),
+                "jittered {d:?} out of band"
+            );
+            assert_eq!(d, p.delay(0, roll), "same roll, same delay");
+        }
+    }
+
+    #[test]
+    fn transport_defaults_match_previous_hardcoded_timeouts() {
+        let cfg = TransportConfig::default();
+        assert_eq!(cfg.connect_timeout, Duration::from_secs(5));
+        assert_eq!(cfg.op_deadline, Duration::from_secs(10));
+        assert!(cfg.retry_budget > 0);
+        let fast = TransportConfig::aggressive();
+        assert!(fast.connect_timeout < cfg.connect_timeout);
+        assert!(fast.breaker_threshold <= cfg.breaker_threshold);
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! KV client: `put`/`get` over per-key BSR operations.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use safereg_common::buf::Bytes;
-use safereg_common::config::QuorumConfig;
+use safereg_common::config::{QuorumConfig, TransportConfig};
 use safereg_common::ids::{ClientId, ReaderId, ServerId, WriterId};
 use safereg_common::msg::{ClientToServer, Envelope, Message, ServerToClient};
 use safereg_common::tag::Tag;
@@ -16,18 +16,47 @@ use safereg_mds::rs::ReedSolomon;
 
 use crate::server::KvMode;
 
+/// The server could not be reached at the network layer — a refused or
+/// dead connection, *not* a reachable server that chose to answer nothing.
+///
+/// The distinction matters for retries: an unreachable server is a
+/// transient network fault worth retrying with backoff, while a silent
+/// Byzantine server answering `Ok(vec![])` will stay silent no matter how
+/// often it is asked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Unreachable {
+    /// The server that could not be reached.
+    pub server: ServerId,
+}
+
+impl std::fmt::Display for Unreachable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "server {} unreachable", self.server)
+    }
+}
+
+impl std::error::Error for Unreachable {}
+
 /// Transport used by the KV client: delivers one register message for one
-/// key to one server and returns that server's responses (empty when the
-/// server is unreachable).
+/// key to one server and returns that server's responses.
+///
+/// `Err(Unreachable)` means the network failed; `Ok(vec![])` means the
+/// server was reached but did not answer (Byzantine silence, a rejected
+/// MAC, or a message the server has no reply for). The client's retry
+/// logic only retries the former.
 pub trait KvTransport {
     /// Exchanges one message with one server.
+    ///
+    /// # Errors
+    ///
+    /// [`Unreachable`] when the server could not be reached at all.
     fn exchange(
         &mut self,
         from: ClientId,
         to: ServerId,
         key: &[u8],
         msg: &ClientToServer,
-    ) -> Vec<ServerToClient>;
+    ) -> Result<Vec<ServerToClient>, Unreachable>;
 }
 
 /// Errors from KV operations.
@@ -39,16 +68,24 @@ pub enum KvError {
         responded: usize,
         /// Responses needed.
         needed: usize,
+        /// Servers that were unreachable at the network layer in the last
+        /// retry pass (the rest were reachable but silent).
+        unreachable: usize,
     },
 }
 
 impl std::fmt::Display for KvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            KvError::QuorumUnavailable { responded, needed } => {
+            KvError::QuorumUnavailable {
+                responded,
+                needed,
+                unreachable,
+            } => {
                 write!(
                     f,
-                    "only {responded} of the required {needed} servers responded"
+                    "only {responded} of the required {needed} servers responded \
+                     ({unreachable} unreachable)"
                 )
             }
         }
@@ -69,6 +106,8 @@ pub struct KvClient {
     code: Option<ReedSolomon>,
     /// Per-key `(t_local, v_local)` (Fig. 2 line 1, one per register).
     local: BTreeMap<Bytes, (Tag, Value)>,
+    /// Retry/backoff policy for unreachable servers.
+    policy: TransportConfig,
 }
 
 impl KvClient {
@@ -83,6 +122,7 @@ impl KvClient {
             mode: KvMode::Replicated,
             code: None,
             local: BTreeMap::new(),
+            policy: TransportConfig::default(),
         }
     }
 
@@ -103,7 +143,15 @@ impl KvClient {
             mode: KvMode::Coded,
             code: Some(code),
             local: BTreeMap::new(),
+            policy: TransportConfig::default(),
         }
+    }
+
+    /// Overrides the retry/backoff policy applied when servers are
+    /// unreachable (`retry_budget` extra passes, waits drawn from the
+    /// policy's [`safereg_common::config::BackoffPolicy`]).
+    pub fn set_policy(&mut self, policy: TransportConfig) {
+        self.policy = policy;
     }
 
     /// Writes `value` under `key`.
@@ -199,41 +247,76 @@ impl KvClient {
         key: &[u8],
         op: &mut dyn ClientOp,
     ) -> Result<OpOutput, KvError> {
+        let reg = safereg_obs::global();
         let mut queue: Vec<Envelope> = op.start();
         let mut responded = 0usize;
-        while let Some(env) = queue.pop() {
-            if let Some(out) = op.output() {
-                return Ok(out);
-            }
-            let (to, msg) = match (&env.dst, &env.msg) {
-                (dst, Message::ToServer(m)) => match dst.as_server() {
-                    Some(s) => (s, m),
-                    None => continue,
-                },
-                _ => continue,
-            };
-            let from = env
-                .src
-                .as_client()
-                .expect("client ops originate at clients");
-            let replies = transport.exchange(from, to, key, msg);
-            if !replies.is_empty() {
-                responded += 1;
-            }
-            for reply in replies {
-                queue.extend(op.on_message(to, &reply));
+        // Envelopes whose server was unreachable this pass — the retry
+        // set. Reachable-but-silent servers are *not* retried: asking a
+        // Byzantine server again buys nothing.
+        let mut failed: Vec<Envelope> = Vec::new();
+        let mut unreachable: BTreeSet<ServerId> = BTreeSet::new();
+        let mut pass: u32 = 0;
+        loop {
+            while let Some(env) = queue.pop() {
                 if let Some(out) = op.output() {
                     return Ok(out);
                 }
+                let (to, msg) = match (&env.dst, &env.msg) {
+                    (dst, Message::ToServer(m)) => match dst.as_server() {
+                        Some(s) => (s, m),
+                        None => continue,
+                    },
+                    _ => continue,
+                };
+                let from = env
+                    .src
+                    .as_client()
+                    .expect("client ops originate at clients");
+                match transport.exchange(from, to, key, msg) {
+                    Ok(replies) => {
+                        unreachable.remove(&to);
+                        if !replies.is_empty() {
+                            responded += 1;
+                        }
+                        for reply in replies {
+                            queue.extend(op.on_message(to, &reply));
+                            if let Some(out) = op.output() {
+                                return Ok(out);
+                            }
+                        }
+                    }
+                    Err(err) => {
+                        reg.counter(safereg_obs::names::KV_EXCHANGE_UNREACHABLE)
+                            .inc();
+                        unreachable.insert(err.server);
+                        failed.push(env);
+                    }
+                }
             }
+            if let Some(out) = op.output() {
+                return Ok(out);
+            }
+            if failed.is_empty() || pass >= self.policy.retry_budget {
+                break;
+            }
+            // Deterministic jitter roll: the KV client is synchronous, so
+            // the roll only needs to vary across passes and operations.
+            let roll = self
+                .seq
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(u64::from(pass));
+            let wait = self.policy.backoff.delay(pass, roll);
+            reg.histogram(safereg_obs::names::KV_BACKOFF_WAIT_MS)
+                .record(wait.as_millis() as u64);
+            std::thread::sleep(wait);
+            queue = std::mem::take(&mut failed);
+            pass += 1;
         }
-        match op.output() {
-            Some(out) => Ok(out),
-            None => Err(KvError::QuorumUnavailable {
-                responded,
-                needed: self.cfg.response_quorum(),
-            }),
-        }
+        Err(KvError::QuorumUnavailable {
+            responded,
+            needed: self.cfg.response_quorum(),
+            unreachable: unreachable.len(),
+        })
     }
 }
 

@@ -6,7 +6,7 @@ use safereg_common::config::QuorumConfig;
 use safereg_common::ids::{ClientId, ServerId};
 use safereg_common::msg::{ClientToServer, ServerToClient};
 
-use crate::client::KvTransport;
+use crate::client::{KvTransport, Unreachable};
 use crate::server::KvServer;
 
 /// An in-memory cluster of [`KvServer`]s with crash injection — the
@@ -80,13 +80,15 @@ impl KvTransport for InMemKvCluster {
         to: ServerId,
         key: &[u8],
         msg: &ClientToServer,
-    ) -> Vec<ServerToClient> {
+    ) -> Result<Vec<ServerToClient>, Unreachable> {
+        // A crashed replica is a network-level fault (connection refused),
+        // not Byzantine silence — retry logic may probe it again.
         if self.crashed.contains(&to) {
-            return Vec::new();
+            return Err(Unreachable { server: to });
         }
         match self.servers.get_mut(to.0 as usize) {
-            Some(server) => server.handle(from, key, msg),
-            None => Vec::new(),
+            Some(server) => Ok(server.handle(from, key, msg)),
+            None => Err(Unreachable { server: to }),
         }
     }
 }

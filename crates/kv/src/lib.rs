@@ -28,7 +28,7 @@ pub mod cluster;
 pub mod server;
 pub mod tcp;
 
-pub use client::{KvClient, KvError, KvTransport};
+pub use client::{KvClient, KvError, KvTransport, Unreachable};
 pub use cluster::InMemKvCluster;
 pub use server::{KvMode, KvServer};
 pub use tcp::{fetch_metrics, KvServerHost, TcpKvCluster, TcpKvTransport, METRICS_KEY};

@@ -28,7 +28,7 @@ use safereg_common::tag::Tag;
 use safereg_common::value::Value;
 use safereg_obs::trace::MsgClass;
 
-use crate::client::KvTransport;
+use crate::client::{KvTransport, Unreachable};
 use crate::server::{KvMode, KvServer};
 
 /// Reserved key addressing the replica's observability dump rather than a
@@ -201,6 +201,12 @@ fn serve(
             }
             Err(_) => return,
         };
+        // A crashed host must never answer a request sent after the crash:
+        // the flag is set before the client's next frame, so recheck it
+        // between reading and responding.
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
         // Authenticate: the MAC is keyed by the claimed endpoints of the
         // inner envelope.
         if sealed.len() < 32 {
@@ -264,46 +270,188 @@ fn serve(
     }
 }
 
+/// Circuit-breaker states for one KV link.
+const STATE_CLOSED: u8 = 0;
+const STATE_HALF_OPEN: u8 = 1;
+const STATE_OPEN: u8 = 2;
+
+/// One replica's connection state inside [`TcpKvTransport`]: the live
+/// stream (if any), the breaker, and the earliest instant a reconnect may
+/// be attempted.
+struct KvLink {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    /// Consecutive failed exchanges/connects since the last success.
+    failures: u32,
+    state: u8,
+    /// While set and in the future, the link fails fast without touching
+    /// the network (breaker cooldown via backoff).
+    next_retry_at: Option<std::time::Instant>,
+}
+
+impl KvLink {
+    fn set_state(&mut self, server: ServerId, new: u8) {
+        if self.state != new {
+            self.state = new;
+            let reg = safereg_obs::global();
+            reg.counter(safereg_obs::names::KV_BREAKER_TRANSITIONS)
+                .inc();
+            reg.gauge(&safereg_obs::names::link_state_gauge("kv", server.0))
+                .set(u64::from(new));
+        }
+    }
+}
+
 /// [`KvTransport`] over TCP connections to every replica.
+///
+/// The transport is synchronous (one request, at most one response per
+/// exchange) but *self-healing*: a dead connection is torn down, backed
+/// off, and lazily re-established on a later exchange, so a replica that
+/// restarts rejoins the quorum instead of being silently dropped forever.
+/// Each server carries a circuit breaker — after
+/// [`TransportConfig::breaker_threshold`](safereg_common::config::TransportConfig)
+/// consecutive failures the link fails fast (no blocking connect on the
+/// hot path) until its backoff cooldown elapses.
 pub struct TcpKvTransport {
     chain: KeyChain,
-    conns: BTreeMap<ServerId, TcpStream>,
-    timeout: Duration,
+    links: BTreeMap<ServerId, KvLink>,
+    config: safereg_common::config::TransportConfig,
+    /// Jitter rolls for backoff waits.
+    rng: safereg_common::rng::DetRng,
 }
 
 impl std::fmt::Debug for TcpKvTransport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TcpKvTransport")
-            .field("servers", &self.conns.len())
+            .field("servers", &self.links.len())
             .finish()
     }
 }
 
 impl TcpKvTransport {
-    /// Connects to the given replicas; unreachable ones are skipped (they
-    /// behave as silent servers, which the quorum tolerates).
+    /// Connects to the given replicas with the default
+    /// [`TransportConfig`](safereg_common::config::TransportConfig).
+    /// Unreachable replicas are not abandoned — they are retried lazily on
+    /// later exchanges.
     pub fn connect(servers: &BTreeMap<ServerId, SocketAddr>, chain: KeyChain) -> Self {
-        let timeout = Duration::from_secs(5);
-        let mut conns = BTreeMap::new();
+        Self::connect_with(
+            servers,
+            chain,
+            safereg_common::config::TransportConfig::default(),
+        )
+    }
+
+    /// Connects with an explicit transport policy.
+    pub fn connect_with(
+        servers: &BTreeMap<ServerId, SocketAddr>,
+        chain: KeyChain,
+        config: safereg_common::config::TransportConfig,
+    ) -> Self {
+        let mut links = BTreeMap::new();
         for (sid, addr) in servers {
-            if let Ok(stream) = TcpStream::connect_timeout(addr, timeout) {
-                let _ = stream.set_read_timeout(Some(timeout));
-                let _ = stream.set_nodelay(true);
-                conns.insert(*sid, stream);
+            let stream = TcpStream::connect_timeout(addr, config.connect_timeout).ok();
+            if let Some(s) = &stream {
+                let _ = s.set_read_timeout(Some(config.io_timeout));
+                let _ = s.set_nodelay(true);
             }
+            safereg_obs::global()
+                .gauge(&safereg_obs::names::link_state_gauge("kv", sid.0))
+                .set(u64::from(STATE_CLOSED));
+            links.insert(
+                *sid,
+                KvLink {
+                    addr: *addr,
+                    stream,
+                    failures: 0,
+                    state: STATE_CLOSED,
+                    next_retry_at: None,
+                },
+            );
         }
         TcpKvTransport {
             chain,
-            conns,
-            timeout,
+            links,
+            config,
+            rng: safereg_common::rng::DetRng::seed_from(0x5AFE_4B56),
         }
     }
 
     /// Overrides the per-exchange response timeout.
     pub fn set_timeout(&mut self, timeout: Duration) {
-        self.timeout = timeout;
-        for stream in self.conns.values() {
-            let _ = stream.set_read_timeout(Some(self.timeout));
+        self.config.io_timeout = timeout;
+        for link in self.links.values() {
+            if let Some(stream) = &link.stream {
+                let _ = stream.set_read_timeout(Some(timeout));
+            }
+        }
+    }
+
+    /// Overrides the whole transport policy (applies to future connects
+    /// and backoff decisions; live streams keep their read timeout until
+    /// [`set_timeout`](Self::set_timeout) or a reconnect).
+    pub fn set_config(&mut self, config: safereg_common::config::TransportConfig) {
+        self.config = config;
+    }
+
+    /// The breaker state of one replica link (0 Closed, 1 HalfOpen,
+    /// 2 Open), or `None` for an unknown server.
+    pub fn link_state(&self, server: ServerId) -> Option<u8> {
+        self.links.get(&server).map(|l| l.state)
+    }
+
+    /// Marks a link failed: drops the stream, escalates the breaker, and
+    /// schedules the earliest reconnect.
+    fn fail_link(&mut self, to: ServerId) -> Unreachable {
+        let roll = self.rng.next_u64();
+        let (backoff, threshold) = (self.config.backoff, self.config.breaker_threshold);
+        if let Some(link) = self.links.get_mut(&to) {
+            link.stream = None;
+            link.failures = link.failures.saturating_add(1);
+            if link.failures >= threshold {
+                link.set_state(to, STATE_OPEN);
+            }
+            let wait = backoff.delay(link.failures.saturating_sub(1), roll);
+            safereg_obs::global()
+                .histogram(safereg_obs::names::KV_BACKOFF_WAIT_MS)
+                .record(wait.as_millis() as u64);
+            link.next_retry_at = Some(std::time::Instant::now() + wait);
+        }
+        Unreachable { server: to }
+    }
+
+    /// Ensures `to` has a live stream, honouring the breaker cooldown.
+    fn ensure_connected(&mut self, to: ServerId) -> Result<(), Unreachable> {
+        let (connect_timeout, io_timeout) = (self.config.connect_timeout, self.config.io_timeout);
+        let Some(link) = self.links.get_mut(&to) else {
+            return Err(Unreachable { server: to });
+        };
+        if link.stream.is_some() {
+            return Ok(());
+        }
+        if let Some(at) = link.next_retry_at {
+            if std::time::Instant::now() < at {
+                // Cooling down: fail fast instead of blocking the caller
+                // on a connect that just failed.
+                return Err(Unreachable { server: to });
+            }
+        }
+        match TcpStream::connect_timeout(&link.addr, connect_timeout) {
+            Ok(stream) => {
+                let _ = stream.set_read_timeout(Some(io_timeout));
+                let _ = stream.set_nodelay(true);
+                link.stream = Some(stream);
+                link.next_retry_at = None;
+                // A handshake is weak evidence (listener backlogs accept
+                // for dead servers): half-open until a reply arrives.
+                if link.state == STATE_OPEN {
+                    link.set_state(to, STATE_HALF_OPEN);
+                }
+                safereg_obs::global()
+                    .counter(safereg_obs::names::KV_RECONNECTS)
+                    .inc();
+                Ok(())
+            }
+            Err(_) => Err(self.fail_link(to)),
         }
     }
 }
@@ -315,49 +463,54 @@ impl KvTransport for TcpKvTransport {
         to: ServerId,
         key: &[u8],
         msg: &ClientToServer,
-    ) -> Vec<ServerToClient> {
-        let stream = match self.conns.get_mut(&to) {
-            Some(s) => s,
-            None => return Vec::new(),
-        };
+    ) -> Result<Vec<ServerToClient>, Unreachable> {
+        self.ensure_connected(to)?;
         let frame = KvFrame {
             key: Bytes::copy_from_slice(key),
             env: Envelope::to_server(from, to, msg.clone()),
         };
         let bytes = frame.to_wire_bytes();
         let sealed = AuthCodec::new(self.chain.pair_key(frame.env.src, frame.env.dst)).seal(&bytes);
+        let stream = self
+            .links
+            .get_mut(&to)
+            .and_then(|l| l.stream.as_mut())
+            .expect("ensure_connected left a live stream");
         if write_frame(stream, &sealed).is_err() {
-            self.conns.remove(&to);
-            return Vec::new();
+            return Err(self.fail_link(to));
         }
         // One response per request in the KV protocol.
         let sealed = match read_frame(stream) {
             Ok(f) => f,
-            Err(_) => {
-                self.conns.remove(&to);
-                return Vec::new();
-            }
+            Err(_) => return Err(self.fail_link(to)),
         };
+        // A frame arrived: the server is alive. Everything below that
+        // fails is Byzantine (forged MAC, wrong key, junk) — reachable
+        // silence, not a network fault.
+        if let Some(link) = self.links.get_mut(&to) {
+            link.failures = 0;
+            link.set_state(to, STATE_CLOSED);
+        }
         if sealed.len() < 32 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let (payload, _mac) = sealed.split_at(sealed.len() - 32);
         let reply = match KvFrame::from_wire_bytes(payload) {
             Ok(f) => f,
-            Err(_) => return Vec::new(),
+            Err(_) => return Ok(Vec::new()),
         };
         if AuthCodec::new(self.chain.pair_key(reply.env.src, reply.env.dst))
             .open(&sealed)
             .is_err()
         {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         if reply.key.as_ref() != key || reply.env.src != NodeId::Server(to) {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         match reply.env.msg {
-            Message::ToClient(m) => vec![m],
-            _ => Vec::new(),
+            Message::ToClient(m) => Ok(vec![m]),
+            _ => Ok(Vec::new()),
         }
     }
 }
@@ -365,8 +518,8 @@ impl KvTransport for TcpKvTransport {
 /// Fetches one replica's metrics dump (line-oriented JSON) over any
 /// [`KvTransport`] by querying the reserved [`METRICS_KEY`].
 ///
-/// Returns `None` when the replica does not answer, answers with the
-/// wrong operation id, or the payload is not UTF-8.
+/// Returns `None` when the replica is unreachable, does not answer,
+/// answers with the wrong operation id, or the payload is not UTF-8.
 pub fn fetch_metrics(
     transport: &mut impl KvTransport,
     from: ClientId,
@@ -374,7 +527,9 @@ pub fn fetch_metrics(
     seq: u64,
 ) -> Option<String> {
     let op = OpId::new(from, seq);
-    let responses = transport.exchange(from, to, METRICS_KEY, &ClientToServer::QueryData { op });
+    let responses = transport
+        .exchange(from, to, METRICS_KEY, &ClientToServer::QueryData { op })
+        .ok()?;
     responses.into_iter().find_map(|resp| match resp {
         ServerToClient::DataResp {
             op: rop,
@@ -413,11 +568,31 @@ impl TcpKvCluster {
         &self.cfg
     }
 
+    /// Replica addresses, for external transports (e.g. one built against
+    /// chaos-proxied addresses).
+    pub fn addrs(&self) -> BTreeMap<ServerId, SocketAddr> {
+        self.hosts.iter().map(|(s, h)| (*s, h.addr())).collect()
+    }
+
+    /// The deployment's key chain, for building transports against
+    /// substituted (proxied) addresses.
+    pub fn chain(&self) -> &KeyChain {
+        &self.chain
+    }
+
     /// A transport connected to every live replica.
     pub fn transport(&self) -> TcpKvTransport {
-        let addrs: BTreeMap<ServerId, SocketAddr> =
-            self.hosts.iter().map(|(s, h)| (*s, h.addr())).collect();
-        TcpKvTransport::connect(&addrs, self.chain.clone())
+        TcpKvTransport::connect(&self.addrs(), self.chain.clone())
+    }
+
+    /// A transport with an explicit policy (e.g.
+    /// [`TransportConfig::aggressive`](safereg_common::config::TransportConfig::aggressive)
+    /// for fault-injection tests).
+    pub fn transport_with(
+        &self,
+        config: safereg_common::config::TransportConfig,
+    ) -> TcpKvTransport {
+        TcpKvTransport::connect_with(&self.addrs(), self.chain.clone(), config)
     }
 
     /// Crashes a replica.
@@ -425,6 +600,25 @@ impl TcpKvCluster {
         if let Some(host) = self.hosts.get_mut(&sid) {
             host.stop();
         }
+    }
+
+    /// Restarts a crashed replica on its **old address** with empty
+    /// register state — a crash-recover server. Safe for `≤ f` replicas:
+    /// the register protocol treats lost state like a slow server that
+    /// never saw the writes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors (e.g. the old port was reclaimed).
+    pub fn restart(&mut self, sid: ServerId, mode: KvMode) -> std::io::Result<()> {
+        let Some(old) = self.hosts.get(&sid) else {
+            return Ok(());
+        };
+        let addr = old.addr();
+        self.hosts.remove(&sid); // drop stops the old host first
+        let host = KvServerHost::spawn_on(sid, self.cfg, mode, self.chain.clone(), addr)?;
+        self.hosts.insert(sid, host);
+        Ok(())
     }
 }
 

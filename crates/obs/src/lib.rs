@@ -14,6 +14,9 @@
 //!   wall-clock [`Span`](trace::Span) scopes via the [`span!`] macro.
 //! * [`export`] — a human table and line-oriented JSON, both pure
 //!   functions of a snapshot so equal runs dump identical bytes.
+//! * [`names`] — pinned metric names for the self-healing network path
+//!   (reconnects, breaker transitions, backoff waits, chaos injections),
+//!   shared by the transport, kv and chaos layers.
 //!
 //! Two ownership styles coexist deliberately. The deterministic simulator
 //! creates one `Registry` per run and stamps events with **virtual time**,
@@ -36,6 +39,7 @@
 
 pub mod export;
 pub mod metrics;
+pub mod names;
 pub mod trace;
 
 pub use export::{render_jsonl, render_table};

@@ -1,22 +1,37 @@
 //! TCP cluster client: drives any [`ClientOp`] against real servers.
 //!
-//! The client keeps one connection per server. A background thread per
-//! connection reads authenticated responses and funnels them into a
+//! The client keeps one *supervised link* per server. Each link runs a
+//! background supervisor that owns the connection, reconnects with
+//! exponential backoff + jitter when it dies, and tracks a circuit-breaker
+//! health state so callers degrade gracefully to whatever `n − f` subset
+//! is actually reachable. Responses from every link funnel into one
 //! channel; [`ClusterClient::run_op`] sends an operation's envelopes,
-//! feeds it responses as they arrive, and returns its outcome.
+//! feeds it responses as they arrive, resends unanswered envelopes on a
+//! retry schedule carved out of the operation deadline, and returns the
+//! outcome.
+//!
+//! Resending is protocol-safe: every [`ClientOp`] deduplicates responses
+//! per server and ignores stale op-ids, so a duplicate request at worst
+//! costs a duplicate (ignored) response. Liveness only needs `n − f`
+//! servers to answer (§II of the paper); the supervisors' job is to make
+//! sure a transient disconnect costs one retry slice instead of the whole
+//! deadline.
 
 use std::collections::BTreeMap;
-use std::net::{SocketAddr, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use safereg_common::config::TransportConfig;
 use safereg_common::history::ReadPath;
 use safereg_common::ids::{ClientId, NodeId, ServerId};
 use safereg_common::msg::{Envelope, Message, ServerToClient};
+use safereg_common::rng::DetRng;
 use safereg_common::sync::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use safereg_common::sync::Mutex;
 use safereg_core::op::{ClientOp, OpOutput};
 use safereg_crypto::keychain::KeyChain;
+use safereg_obs::names;
 use safereg_obs::trace::{self, MsgClass, NullRecorder, Recorder};
 
 use crate::frame::{open_envelope, read_frame, seal_envelope, write_frame};
@@ -42,6 +57,36 @@ pub enum ClientError {
     Disconnected,
 }
 
+/// Coarse classification of a [`ClientError`] for retry policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Worth retrying: the fault is plausibly transient (a refused
+    /// connect, an elapsed deadline while servers churn).
+    Retriable,
+    /// Not worth retrying without outside intervention.
+    Fatal,
+}
+
+impl ClientError {
+    /// Classifies this error for retry decisions. Connection refusals and
+    /// deadline misses are [`FaultClass::Retriable`] — the supervisors
+    /// keep healing links in the background, so a later attempt can
+    /// succeed. [`ClientError::Disconnected`] means no server was ever
+    /// reachable and is [`FaultClass::Fatal`].
+    pub fn fault_class(&self) -> FaultClass {
+        match self {
+            ClientError::Connect { .. } | ClientError::Timeout { .. } => FaultClass::Retriable,
+            ClientError::Disconnected => FaultClass::Fatal,
+        }
+    }
+
+    /// `true` when [`fault_class`](Self::fault_class) is
+    /// [`FaultClass::Retriable`].
+    pub fn is_retriable(&self) -> bool {
+        self.fault_class() == FaultClass::Retriable
+    }
+}
+
 impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -56,17 +101,62 @@ impl std::fmt::Display for ClientError {
     }
 }
 
-impl std::error::Error for ClientError {}
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Connect { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
-/// A client's connections to every server in a deployment.
+/// Circuit-breaker states, stored in [`LinkShared::state`].
+const STATE_CLOSED: u8 = 0;
+const STATE_HALF_OPEN: u8 = 1;
+const STATE_OPEN: u8 = 2;
+
+/// State shared between a link's supervisor, its reader thread and the
+/// client front-end.
+struct LinkShared {
+    server: ServerId,
+    stop: AtomicBool,
+    /// Breaker state: 0 Closed, 1 HalfOpen, 2 Open.
+    state: AtomicU8,
+    /// Total authenticated frames delivered by this link, ever. The
+    /// breaker trusts *delivery*, not connect success: a blackholed
+    /// server still accepts TCP handshakes into its listener backlog, so
+    /// only a delivered frame proves the server is really back.
+    delivered: AtomicU64,
+}
+
+impl LinkShared {
+    fn set_state(&self, new: u8) {
+        let old = self.state.swap(new, Ordering::SeqCst);
+        if old != new {
+            let reg = safereg_obs::global();
+            reg.counter(names::TRANSPORT_BREAKER_TRANSITIONS).inc();
+            reg.gauge(&names::link_state_gauge("transport", self.server.0))
+                .set(u64::from(new));
+        }
+    }
+}
+
+/// The client-side handle to one supervised server link.
+struct ServerLink {
+    outbox: Sender<Vec<u8>>,
+    shared: Arc<LinkShared>,
+}
+
+/// A client's supervised connections to every server in a deployment.
 pub struct ClusterClient {
     id: ClientId,
     chain: KeyChain,
-    writers: BTreeMap<ServerId, Arc<Mutex<TcpStream>>>,
+    links: BTreeMap<ServerId, ServerLink>,
     responses: Receiver<(ServerId, ServerToClient)>,
-    /// Kept so reader threads can detect shutdown via channel closure.
+    /// Kept so the response channel never reports `Disconnected` while
+    /// the client is alive, even if every link is momentarily down.
     _tx: Sender<(ServerId, ServerToClient)>,
-    timeout: Duration,
+    config: TransportConfig,
     recorder: Arc<dyn Recorder>,
 }
 
@@ -74,16 +164,13 @@ impl std::fmt::Debug for ClusterClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ClusterClient")
             .field("id", &self.id)
-            .field("servers", &self.writers.len())
+            .field("servers", &self.links.len())
             .finish()
     }
 }
 
 impl ClusterClient {
-    /// Connects `id` to the given servers. A server that refuses the
-    /// connection is treated as faulty (equivalent to a silent server in
-    /// the model) and skipped — the quorum logic tolerates up to `f` of
-    /// those.
+    /// Connects `id` to the given servers with [`TransportConfig::default`].
     ///
     /// # Errors
     ///
@@ -93,60 +180,78 @@ impl ClusterClient {
         servers: &BTreeMap<ServerId, SocketAddr>,
         chain: KeyChain,
     ) -> Result<Self, ClientError> {
-        let (tx, rx) = unbounded();
-        let mut writers = BTreeMap::new();
-        for (sid, addr) in servers {
-            let stream = match TcpStream::connect_timeout(addr, Duration::from_secs(5)) {
-                Ok(s) => s,
-                Err(_) => continue, // faulty server: skip, quorum copes
-            };
-            stream.set_nodelay(true).ok();
-            let reader = stream.try_clone().map_err(|source| ClientError::Connect {
-                server: *sid,
-                source,
-            })?;
-            writers.insert(*sid, Arc::new(Mutex::new(stream)));
+        Self::connect_with(id, servers, chain, TransportConfig::default())
+    }
 
-            let tx = tx.clone();
-            let chain = chain.clone();
-            let sid = *sid;
+    /// Connects `id` to the given servers. Servers that refuse the initial
+    /// connection are *not* abandoned: their supervisors keep retrying
+    /// with backoff, so a server that comes up late (or back up) rejoins
+    /// the quorum automatically.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Disconnected`] when *no* server is reachable at
+    /// connect time — an all-dead cluster is a configuration error, not a
+    /// fault to ride out.
+    pub fn connect_with(
+        id: ClientId,
+        servers: &BTreeMap<ServerId, SocketAddr>,
+        chain: KeyChain,
+        config: TransportConfig,
+    ) -> Result<Self, ClientError> {
+        let (tx, rx) = unbounded();
+        let mut links = BTreeMap::new();
+        let mut reachable = 0usize;
+        for (sid, addr) in servers {
+            let first = TcpStream::connect_timeout(addr, config.connect_timeout).ok();
+            if first.is_some() {
+                reachable += 1;
+            }
+            let shared = Arc::new(LinkShared {
+                server: *sid,
+                stop: AtomicBool::new(false),
+                state: AtomicU8::new(STATE_CLOSED),
+                delivered: AtomicU64::new(0),
+            });
+            safereg_obs::global()
+                .gauge(&names::link_state_gauge("transport", sid.0))
+                .set(u64::from(STATE_CLOSED));
+            let (out_tx, out_rx) = unbounded::<Vec<u8>>();
+            links.insert(
+                *sid,
+                ServerLink {
+                    outbox: out_tx,
+                    shared: Arc::clone(&shared),
+                },
+            );
+            let sup = Supervisor {
+                addr: *addr,
+                chain: chain.clone(),
+                config,
+                shared,
+                outbox: out_rx,
+                responses: tx.clone(),
+                // Jitter rolls only need to be decorrelated across links.
+                rng: DetRng::seed_from(0x5AFE_0000 + u64::from(sid.0)),
+            };
             std::thread::Builder::new()
-                .name(format!("safereg-client-rx-{sid}"))
-                .spawn(move || {
-                    let mut reader = reader;
-                    loop {
-                        let frame = match read_frame(&mut reader) {
-                            Ok(f) => f,
-                            Err(_) => return,
-                        };
-                        let env = match open_envelope(&chain, &frame) {
-                            Ok(e) => e,
-                            Err(_) => continue,
-                        };
-                        let class = MsgClass::of(&env.msg);
-                        let reg = safereg_obs::global();
-                        reg.counter(&format!("transport.recv.{class}")).inc();
-                        reg.counter(&format!("transport.recv_bytes.{class}"))
-                            .add(frame.len() as u64);
-                        if let (NodeId::Server(src), Message::ToClient(m)) = (env.src, env.msg) {
-                            if tx.send((src, m)).is_err() {
-                                return;
-                            }
-                        }
-                    }
-                })
-                .expect("spawn client reader");
+                .name(format!("safereg-link-{sid}"))
+                .spawn(move || sup.run(first))
+                .expect("spawn link supervisor");
         }
-        if writers.is_empty() {
+        if reachable == 0 {
+            for link in links.values() {
+                link.shared.stop.store(true, Ordering::SeqCst);
+            }
             return Err(ClientError::Disconnected);
         }
         Ok(ClusterClient {
             id,
             chain,
-            writers,
+            links,
             responses: rx,
             _tx: tx,
-            timeout: Duration::from_secs(10),
+            config,
             recorder: Arc::new(NullRecorder),
         })
     }
@@ -156,9 +261,23 @@ impl ClusterClient {
         self.id
     }
 
-    /// Overrides the per-operation deadline (default 10 s).
+    /// The client's transport policy.
+    pub fn config(&self) -> TransportConfig {
+        self.config
+    }
+
+    /// Overrides the operation-level policy (deadline, retry budget).
+    /// Link supervisors keep the policy they were started with; to change
+    /// connect/backoff behaviour, reconnect with
+    /// [`ClusterClient::connect_with`].
+    pub fn set_config(&mut self, config: TransportConfig) {
+        self.config = config;
+    }
+
+    /// Overrides the per-operation deadline (default
+    /// [`TransportConfig::default`]'s `op_deadline`, 10 s).
     pub fn set_timeout(&mut self, timeout: Duration) {
-        self.timeout = timeout;
+        self.config.op_deadline = timeout;
     }
 
     /// Installs a structured-event sink; events are stamped with
@@ -167,35 +286,69 @@ impl ClusterClient {
         self.recorder = recorder;
     }
 
+    /// The breaker state of one server link (0 Closed, 1 HalfOpen,
+    /// 2 Open), or `None` for an unknown server.
+    pub fn link_state(&self, server: ServerId) -> Option<u8> {
+        self.links
+            .get(&server)
+            .map(|l| l.shared.state.load(Ordering::SeqCst))
+    }
+
+    /// How many links are currently Closed (healthy).
+    pub fn healthy_links(&self) -> usize {
+        self.links
+            .values()
+            .filter(|l| l.shared.state.load(Ordering::SeqCst) == STATE_CLOSED)
+            .count()
+    }
+
     fn send(&self, env: &Envelope) {
-        if let NodeId::Server(sid) = env.dst {
-            if let Some(stream) = self.writers.get(&sid) {
-                let sealed = seal_envelope(&self.chain, env);
-                let class = MsgClass::of(&env.msg);
-                let reg = safereg_obs::global();
-                reg.counter(&format!("transport.sent.{class}")).inc();
-                reg.counter(&format!("transport.sent_bytes.{class}"))
-                    .add(sealed.len() as u64);
-                self.recorder.record(trace::Event {
-                    at: trace::wall_micros(),
-                    kind: trace::EventKind::MsgSent {
-                        class,
-                        bytes: sealed.len() as u64,
-                    },
-                });
-                // A dead connection is equivalent to a slow channel; the
-                // quorum logic copes with the missing response.
-                let _ = write_frame(&mut *stream.lock(), &sealed);
-            }
+        let NodeId::Server(sid) = env.dst else {
+            return;
+        };
+        let Some(link) = self.links.get(&sid) else {
+            return;
+        };
+        if link.shared.state.load(Ordering::SeqCst) == STATE_OPEN {
+            // Breaker open: the server has repeatedly failed to deliver a
+            // single frame. Don't queue traffic it will never see — the
+            // quorum logic treats it like a silent Byzantine server.
+            safereg_obs::global()
+                .counter(names::TRANSPORT_SEND_DROPPED)
+                .inc();
+            return;
+        }
+        let sealed = seal_envelope(&self.chain, env);
+        let class = MsgClass::of(&env.msg);
+        let reg = safereg_obs::global();
+        reg.counter(&format!("transport.sent.{class}")).inc();
+        reg.counter(&format!("transport.sent_bytes.{class}"))
+            .add(sealed.len() as u64);
+        self.recorder.record(trace::Event {
+            at: trace::wall_micros(),
+            kind: trace::EventKind::MsgSent {
+                class,
+                bytes: sealed.len() as u64,
+            },
+        });
+        if link.outbox.send(sealed).is_err() {
+            reg.counter(names::TRANSPORT_SEND_DROPPED).inc();
         }
     }
 
     /// Drives an operation to completion.
     ///
+    /// The operation deadline is sliced into `retry_budget + 1` windows;
+    /// at each window boundary every envelope whose server has not yet
+    /// answered is resent (safe — ops dedupe per server). Combined with
+    /// the link supervisors this heals the common failure: a connection
+    /// died carrying the request, the supervisor reconnected, and the
+    /// resend lands on the fresh socket.
+    ///
     /// # Errors
     ///
     /// [`ClientError::Timeout`] if the quorum never materialises within the
-    /// deadline, [`ClientError::Disconnected`] if every connection died.
+    /// deadline, [`ClientError::Disconnected`] if the client is shut down.
     pub fn run_op(&mut self, op: &mut dyn ClientOp) -> Result<OpOutput, ClientError> {
         // Drain stale responses from previous (timed-out) operations.
         while self.responses.try_recv().is_ok() {}
@@ -207,32 +360,58 @@ impl ClusterClient {
             },
         });
         let started = std::time::Instant::now();
+        // Last envelope sent to each server and not yet answered — the
+        // resend set for retry ticks.
+        let mut pending: BTreeMap<ServerId, Envelope> = BTreeMap::new();
         for env in op.start() {
+            if let NodeId::Server(sid) = env.dst {
+                pending.insert(sid, env.clone());
+            }
             self.send(&env);
         }
-        let deadline = started + self.timeout;
+        let deadline = started + self.config.op_deadline;
+        let slice = self.config.op_deadline / (self.config.retry_budget + 1);
+        let mut next_resend = if self.config.retry_budget > 0 {
+            Some(started + slice)
+        } else {
+            None
+        };
         loop {
             if let Some(out) = op.output() {
                 self.note_completion(op, started.elapsed());
                 return Ok(out);
             }
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            if remaining.is_zero() {
+            let now = std::time::Instant::now();
+            if now >= deadline {
                 return Err(ClientError::Timeout {
-                    waited: self.timeout,
+                    waited: self.config.op_deadline,
                 });
             }
-            match self.responses.recv_timeout(remaining) {
+            if let Some(tick) = next_resend {
+                if now >= tick {
+                    let reg = safereg_obs::global();
+                    for env in pending.values().cloned().collect::<Vec<_>>() {
+                        reg.counter(names::TRANSPORT_OP_RETRIES).inc();
+                        self.send(&env);
+                    }
+                    let following = tick + slice;
+                    next_resend = (following < deadline).then_some(following);
+                    continue;
+                }
+            }
+            let wake = next_resend.map_or(deadline, |t| t.min(deadline));
+            let wait = wake.saturating_duration_since(now);
+            match self.responses.recv_timeout(wait) {
                 Ok((sid, msg)) => {
+                    pending.remove(&sid);
                     for env in op.on_message(sid, &msg) {
+                        if let NodeId::Server(to) = env.dst {
+                            pending.insert(to, env.clone());
+                        }
                         self.send(&env);
                     }
                 }
-                Err(RecvTimeoutError::Timeout) => {
-                    return Err(ClientError::Timeout {
-                        waited: self.timeout,
-                    })
-                }
+                Err(RecvTimeoutError::Timeout) => continue,
                 Err(RecvTimeoutError::Disconnected) => return Err(ClientError::Disconnected),
             }
         }
@@ -274,5 +453,181 @@ impl ClusterClient {
                 validation_failures: failures,
             },
         });
+    }
+}
+
+impl Drop for ClusterClient {
+    fn drop(&mut self) {
+        for link in self.links.values() {
+            link.shared.stop.store(true, Ordering::SeqCst);
+        }
+        // Dropping `links` closes every outbox sender; supervisors notice
+        // on their next poll tick and tear their sockets down.
+    }
+}
+
+/// One server link's owner: connects, pumps the outbox onto the socket,
+/// and heals the connection when it dies.
+struct Supervisor {
+    addr: SocketAddr,
+    chain: KeyChain,
+    config: TransportConfig,
+    shared: Arc<LinkShared>,
+    outbox: Receiver<Vec<u8>>,
+    responses: Sender<(ServerId, ServerToClient)>,
+    rng: DetRng,
+}
+
+impl Supervisor {
+    fn run(mut self, first: Option<TcpStream>) {
+        let mut first = first;
+        // Consecutive sessions (or connect attempts) that ended without a
+        // single delivered frame — the breaker's failure count.
+        let mut failures: u32 = 0;
+        let mut ever_connected = first.is_some();
+        loop {
+            if self.stopped() {
+                return;
+            }
+            let stream = match first.take() {
+                Some(s) => Some(s),
+                None => {
+                    if failures > 0 && !self.backoff_wait(failures - 1) {
+                        return;
+                    }
+                    let connected =
+                        TcpStream::connect_timeout(&self.addr, self.config.connect_timeout).ok();
+                    if connected.is_some() {
+                        // Every supervisor-loop connect replaces a lost or
+                        // refused connection; the initial synchronous
+                        // connect happens before the loop and is excluded.
+                        safereg_obs::global()
+                            .counter(names::TRANSPORT_RECONNECTS)
+                            .inc();
+                    }
+                    connected
+                }
+            };
+            let Some(stream) = stream else {
+                failures += 1;
+                self.note_link_failure(failures);
+                continue;
+            };
+            stream.set_nodelay(true).ok();
+            if ever_connected && self.shared.state.load(Ordering::SeqCst) != STATE_CLOSED {
+                // Reconnected after trouble, but a TCP handshake is weak
+                // evidence (backlogs accept for dead apps): stay half-open
+                // until a frame actually arrives.
+                self.shared.set_state(STATE_HALF_OPEN);
+            }
+            ever_connected = true;
+            let delivered_before = self.shared.delivered.load(Ordering::SeqCst);
+            self.pump_session(stream);
+            if self.shared.delivered.load(Ordering::SeqCst) > delivered_before {
+                // The server proved itself this session; the next death is
+                // a fresh incident, not an escalation.
+                failures = 0;
+            } else {
+                failures += 1;
+                self.note_link_failure(failures);
+            }
+        }
+    }
+
+    fn stopped(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    fn note_link_failure(&self, failures: u32) {
+        if failures >= self.config.breaker_threshold {
+            self.shared.set_state(STATE_OPEN);
+        }
+    }
+
+    /// Sleeps the backoff delay for `attempt`, draining (and dropping)
+    /// queued frames so stale traffic is not replayed onto the next
+    /// connection. Returns `false` when the client shut down mid-wait.
+    fn backoff_wait(&mut self, attempt: u32) -> bool {
+        let delay = self.config.backoff.delay(attempt, self.rng.next_u64());
+        let reg = safereg_obs::global();
+        reg.histogram(names::TRANSPORT_BACKOFF_WAIT_MS)
+            .record(delay.as_millis() as u64);
+        let until = std::time::Instant::now() + delay;
+        loop {
+            if self.stopped() {
+                return false;
+            }
+            let now = std::time::Instant::now();
+            if now >= until {
+                return true;
+            }
+            let step = (until - now).min(Duration::from_millis(50));
+            match self.outbox.recv_timeout(step) {
+                Ok(_) => {
+                    reg.counter(names::TRANSPORT_SEND_DROPPED).inc();
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return false,
+            }
+        }
+    }
+
+    /// Runs one connected session: spawns the reader, pumps the outbox
+    /// onto the socket, and tears both halves down when either side dies.
+    fn pump_session(&mut self, stream: TcpStream) {
+        let Ok(reader) = stream.try_clone() else {
+            return;
+        };
+        let session_dead = Arc::new(AtomicBool::new(false));
+        let reader_dead = Arc::clone(&session_dead);
+        let shared = Arc::clone(&self.shared);
+        let chain = self.chain.clone();
+        let tx = self.responses.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("safereg-client-rx-{}", self.shared.server))
+            .spawn(move || {
+                let mut reader = reader;
+                let sid = shared.server;
+                while let Ok(frame) = read_frame(&mut reader) {
+                    let env = match open_envelope(&chain, &frame) {
+                        Ok(e) => e,
+                        Err(_) => continue, // corrupted/forged: MAC rejected
+                    };
+                    // Delivery, not connection, closes the breaker.
+                    shared.delivered.fetch_add(1, Ordering::SeqCst);
+                    shared.set_state(STATE_CLOSED);
+                    let class = MsgClass::of(&env.msg);
+                    let reg = safereg_obs::global();
+                    reg.counter(&format!("transport.recv.{class}")).inc();
+                    reg.counter(&format!("transport.recv_bytes.{class}"))
+                        .add(frame.len() as u64);
+                    if let (NodeId::Server(src), Message::ToClient(m)) = (env.src, env.msg) {
+                        if src == sid && tx.send((src, m)).is_err() {
+                            break;
+                        }
+                    }
+                }
+                reader_dead.store(true, Ordering::SeqCst);
+                let _ = reader.shutdown(Shutdown::Both);
+            })
+            .expect("spawn client reader");
+
+        let mut writer = stream;
+        loop {
+            if self.stopped() || session_dead.load(Ordering::SeqCst) {
+                break;
+            }
+            match self.outbox.recv_timeout(Duration::from_millis(50)) {
+                Ok(sealed) => {
+                    if write_frame(&mut writer, &sealed).is_err() {
+                        break;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        let _ = writer.shutdown(Shutdown::Both);
+        let _ = handle.join();
     }
 }

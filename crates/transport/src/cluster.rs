@@ -100,6 +100,27 @@ impl LocalCluster {
         ClusterClient::connect(id.into(), &self.addrs(), self.chain.clone())
     }
 
+    /// Connects a new client with an explicit transport policy — e.g.
+    /// [`TransportConfig::aggressive`](safereg_common::config::TransportConfig::aggressive)
+    /// for fault-injection tests that want fast reconnect/retry cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn client_with_config(
+        &self,
+        id: impl Into<ClientId>,
+        config: safereg_common::config::TransportConfig,
+    ) -> Result<ClusterClient, ClientError> {
+        ClusterClient::connect_with(id.into(), &self.addrs(), self.chain.clone(), config)
+    }
+
+    /// The deployment's key chain — lets external harnesses (e.g. a
+    /// chaos proxy setup) build clients against substituted addresses.
+    pub fn chain(&self) -> &KeyChain {
+        &self.chain
+    }
+
     /// Crashes a server (stops its host) — models a crash/silent fault.
     pub fn crash(&mut self, sid: ServerId) {
         if let Some(host) = self.hosts.get_mut(&sid) {

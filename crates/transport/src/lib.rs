@@ -7,7 +7,11 @@
 //! [`safereg_core::server::ServerNode`] behind a listener with one thread
 //! per connection; [`client`] connects a client to every server and drives
 //! any [`safereg_core::op::ClientOp`] to completion; [`cluster`] spins up a
-//! whole in-process cluster on loopback for examples and tests.
+//! whole in-process cluster on loopback for examples and tests; [`chaos`]
+//! is the simulator's fault bestiary ported to real sockets — seeded,
+//! reproducible proxies that drop, delay, corrupt, truncate and kill
+//! connections so the client's supervisors, retries and circuit breakers
+//! can be exercised deterministically.
 //!
 //! The RB baseline is deliberately not given a TCP runtime — it exists to
 //! be *measured against* under controlled delays, which the simulator does
@@ -35,12 +39,16 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod chaos;
 pub mod client;
 pub mod cluster;
 pub mod frame;
 pub mod server;
 
-pub use client::{ClientError, ClusterClient};
+pub use chaos::{
+    ChaosNet, ChaosProxy, Direction, FaultAction, FaultPlan, FaultSchedule, FaultSpec,
+};
+pub use client::{ClientError, ClusterClient, FaultClass};
 pub use cluster::LocalCluster;
 pub use frame::{read_frame, write_frame, FrameError};
 pub use server::ServerHost;

@@ -22,10 +22,22 @@ run cargo test -q --offline
 run cargo test --workspace -q --offline
 
 # Observability smoke: a contended simnet scenario must emit the
-# fast-read-ratio gauge through the metrics dump.
+# fast-read-ratio gauge through the metrics dump. Capture, then grep:
+# under pipefail, grep -q's early exit would SIGPIPE the producer.
 echo "==> paper_harness metrics | grep sim.read.fast_ratio_permille"
-cargo run --release --offline -q -p safereg-bench --bin paper_harness metrics |
-    grep -q '"metric":"sim.read.fast_ratio_permille"' ||
+metrics_out=$(cargo run --release --offline -q -p safereg-bench --bin paper_harness metrics)
+grep -q '"metric":"sim.read.fast_ratio_permille"' <<< "$metrics_out" ||
     { echo "ci.sh: metrics dump missing fast-read-ratio gauge" >&2; exit 1; }
+
+# Chaos smoke: one bounded seeded run over the real TCP stack behind the
+# fault-injection proxies. The scenario itself asserts the self-healing
+# predicate (all ops complete, checker safety holds, nonzero reconnects
+# and breaker transitions, seed-stable schedule) and exits nonzero on
+# failure; the grep pins the human-readable verdict line too.
+echo "==> paper_harness chaos | grep 'chaos: self-healing ok'"
+chaos_out=$(cargo run --release --offline -q -p safereg-bench --bin paper_harness chaos)
+echo "$chaos_out"
+grep -q 'chaos: self-healing ok' <<< "$chaos_out" ||
+    { echo "ci.sh: chaos smoke run did not self-heal" >&2; exit 1; }
 
 echo "ci.sh: all checks passed"

@@ -1,0 +1,150 @@
+//! Chaos torture: the KV store over real TCP behind seeded fault-injection
+//! proxies, with `≤ f` replicas killed and restarted mid-run. Every
+//! completed operation must still satisfy the checker's per-key safety
+//! predicates, and the metrics must show the transport actually healed
+//! (reconnects happened) rather than the run getting lucky.
+
+use std::time::Duration;
+
+use safereg::checker::CheckSummary;
+use safereg::common::config::{QuorumConfig, TransportConfig};
+use safereg::common::history::History;
+use safereg::common::ids::{ClientId, ReaderId, ServerId, WriterId};
+use safereg::common::msg::OpId;
+use safereg::common::value::Value;
+use safereg::kv::{KvClient, KvMode, TcpKvCluster, TcpKvTransport};
+use safereg::obs::names;
+use safereg::obs::trace::wall_micros;
+use safereg::transport::chaos::{ChaosNet, FaultPlan, FaultSpec};
+
+/// An aggressive-but-sane policy for the torture run: fast reconnects and
+/// several retry passes, so a killed replica costs milliseconds.
+fn torture_policy() -> TransportConfig {
+    let mut config = TransportConfig::aggressive();
+    config.io_timeout = Duration::from_millis(800);
+    config.retry_budget = 6;
+    config
+}
+
+#[test]
+fn kv_ops_survive_chaos_with_server_kill_and_restart() {
+    let reg = safereg::obs::global();
+    let reconnects_before = reg.counter(names::KV_RECONNECTS).get();
+
+    let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+    let mut cluster = TcpKvCluster::start(cfg, KvMode::Replicated, b"kv-chaos").unwrap();
+    // Mild chaos on every link, plus a hard kill/restart of one replica
+    // (<= f = 1) injected below.
+    let plan = FaultPlan::new(0x7041_7041, FaultSpec::mild());
+    let net = ChaosNet::wrap(&cluster.addrs(), &plan).unwrap();
+    let mut transport =
+        TcpKvTransport::connect_with(&net.addrs(), cluster.chain().clone(), torture_policy());
+
+    let mut client = KvClient::new(cfg, WriterId(0), ReaderId(0));
+    client.set_policy(torture_policy());
+
+    // Per-key histories: each key is its own register, so the checker's
+    // safety predicate applies per key.
+    let mut histories: Vec<History> = (0..3).map(|_| History::new()).collect();
+    let keys: [&[u8]; 3] = [b"alpha", b"beta", b"gamma"];
+
+    let rounds = 8usize;
+    for i in 0..rounds {
+        match i {
+            // Kill one replica's connections outright.
+            2 => net.sever(ServerId(4)),
+            // Kill and restart the replica process itself (state lost —
+            // a crash-recover server the register model tolerates for
+            // <= f replicas); its proxy reconnects to the new listener
+            // on the same address.
+            4 => {
+                cluster.crash(ServerId(4));
+                cluster.restart(ServerId(4), KvMode::Replicated).unwrap();
+            }
+            _ => {}
+        }
+        for (k, key) in keys.iter().enumerate() {
+            let value =
+                Value::from(format!("{}-gen{i}", String::from_utf8_lossy(key)).into_bytes());
+            let op = OpId::new(
+                ClientId::Writer(WriterId(0)),
+                (i * keys.len() + k) as u64 + 1,
+            );
+            let h = histories[k].begin_write(op, value.clone(), wall_micros());
+            let tag = client
+                .put(&mut transport, key, value)
+                .unwrap_or_else(|e| panic!("put {key:?} round {i} failed: {e}"));
+            histories[k].complete_write(h, tag, wall_micros());
+
+            let op = OpId::new(
+                ClientId::Reader(ReaderId(0)),
+                (i * keys.len() + k) as u64 + 1,
+            );
+            let h = histories[k].begin_read(op, wall_micros());
+            let got = client
+                .get(&mut transport, key)
+                .unwrap_or_else(|e| panic!("get {key:?} round {i} failed: {e}"));
+            // Tags are not surfaced by the KV API; recover the written tag
+            // for the history from the read value itself (sequential
+            // client: the read must return the just-written value or a
+            // newer one for this key — checker verifies).
+            histories[k].complete_read(h, got, tag, wall_micros());
+        }
+    }
+
+    for (k, history) in histories.iter().enumerate() {
+        let summary = CheckSummary::check_all(history);
+        assert!(
+            summary.is_safe(),
+            "key {k}: chaos run violated register safety: {:?}",
+            summary.safety
+        );
+        assert!(
+            summary.order.is_empty(),
+            "key {k}: write order violated: {:?}",
+            summary.order
+        );
+    }
+    assert!(
+        reg.counter(names::KV_RECONNECTS).get() > reconnects_before,
+        "the kill/restart must have forced kv reconnects"
+    );
+}
+
+/// Unreachable vs. silent: a crashed replica reports `Unreachable` (and is
+/// retried), while the quorum error distinguishes network faults from
+/// Byzantine silence.
+#[test]
+fn quorum_error_reports_unreachable_servers() {
+    let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+    let mut cluster = TcpKvCluster::start(cfg, KvMode::Replicated, b"kv-unreach").unwrap();
+    let mut transport = cluster.transport_with(torture_policy());
+    let mut client = KvClient::new(cfg, WriterId(1), ReaderId(1));
+    // Keep the test fast: one extra pass is enough to prove retry wiring.
+    let mut policy = torture_policy();
+    policy.retry_budget = 1;
+    client.set_policy(policy);
+
+    client.put(&mut transport, b"k", "v1").unwrap();
+
+    // 2 > f crashes: the op must fail, and the error must say how many
+    // servers were network-unreachable (not silently count them as
+    // Byzantine).
+    cluster.crash(ServerId(0));
+    cluster.crash(ServerId(1));
+    let err = client.put(&mut transport, b"k", "v2").unwrap_err();
+    match err {
+        safereg::kv::KvError::QuorumUnavailable {
+            responded,
+            needed,
+            unreachable,
+        } => {
+            assert_eq!(needed, 4);
+            assert!(responded < needed);
+            assert!(
+                unreachable >= 2,
+                "both crashed replicas must be classified unreachable, got {unreachable}"
+            );
+        }
+    }
+}
