@@ -30,13 +30,13 @@ mod criterion_suite {
         let mut group = c.benchmark_group("codec/envelope");
         for size in [128usize, 16 << 10] {
             let env = put_envelope(size);
-            let bytes = env.to_wire_bytes();
+            let bytes = env.to_bytes();
             group.throughput(Throughput::Bytes(bytes.len() as u64));
             group.bench_with_input(BenchmarkId::new("encode", size), &size, |b, _| {
-                b.iter(|| env.to_wire_bytes())
+                b.iter(|| env.to_bytes())
             });
             group.bench_with_input(BenchmarkId::new("decode", size), &size, |b, _| {
-                b.iter(|| Envelope::from_wire_bytes(&bytes).unwrap())
+                b.iter(|| Envelope::from_bytes(&bytes).unwrap())
             });
         }
         group.finish();
@@ -45,7 +45,7 @@ mod criterion_suite {
         let query = ClientToServer::QueryData {
             op: OpId::new(ReaderId(0), 1),
         };
-        c.bench_function("codec/query-data", |b| b.iter(|| query.to_wire_bytes()));
+        c.bench_function("codec/query-data", |b| b.iter(|| query.to_bytes()));
     }
 
     criterion_group!(benches, bench_codec);

@@ -9,6 +9,12 @@ use safereg_bench::ablations;
 use safereg_bench::chaos as chaos_scenario;
 use safereg_bench::experiments;
 use safereg_bench::table;
+use safereg_bench::wire as wire_bench;
+
+/// The wire microbench counts heap allocations, so the harness runs under
+/// the counting allocator (a pass-through over `System`).
+#[global_allocator]
+static COUNTING_ALLOC: wire_bench::CountingAlloc = wire_bench::CountingAlloc;
 
 fn yes_no(b: bool) -> String {
     if b {
@@ -430,6 +436,50 @@ fn chaos() {
     }
 }
 
+fn wire() {
+    println!("== wire: zero-copy wire path, BCSR write fan-out at n=11, f=2 ==");
+    let r = wire_bench::run();
+    let rows = vec![vec![
+        format!("{}", r.n),
+        format!("{}", r.f),
+        format!("{} B", r.value_bytes),
+        format!("{:.1}", r.old_allocs_per_write),
+        format!("{:.1}", r.new_allocs_per_write),
+        format!("{:.2}x", r.alloc_ratio),
+        format!("{}", r.relay_frames),
+        r.relay_bytes_copied.to_string(),
+    ]];
+    println!(
+        "{}",
+        table::render(
+            &[
+                "n",
+                "f",
+                "value",
+                "old allocs/write",
+                "new allocs/write",
+                "ratio",
+                "relay frames",
+                "relay B copied"
+            ],
+            &rows
+        )
+    );
+    if let Err(e) = std::fs::write("BENCH_wire.json", r.to_json()) {
+        eprintln!("wire: could not write BENCH_wire.json: {e}");
+    }
+    println!(
+        "wire: alloc ratio = {:.2}x (>= 2x required); relay bytes copied = {} (0 required)",
+        r.alloc_ratio, r.relay_bytes_copied
+    );
+    if r.ok() {
+        println!("wire: ok");
+    } else {
+        println!("wire: FAILED ({r:?})");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all: Vec<(&str, fn())> = vec![
@@ -447,6 +497,7 @@ fn main() {
         ("e12", e12),
         ("e13", e13),
         ("chaos", chaos),
+        ("wire", wire),
         ("metrics", metrics),
         ("a1", a1),
         ("a2", a2),
@@ -462,7 +513,7 @@ fn main() {
             .collect()
     };
     if selected.is_empty() {
-        eprintln!("unknown experiment; available: e1..e13, a1..a5, chaos, metrics");
+        eprintln!("unknown experiment; available: e1..e13, a1..a5, chaos, wire, metrics");
         std::process::exit(2);
     }
     for (_, run) in selected {

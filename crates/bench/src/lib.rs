@@ -31,3 +31,4 @@ pub mod chaos;
 pub mod experiments;
 pub mod search;
 pub mod table;
+pub mod wire;

@@ -1,0 +1,251 @@
+//! `wire` microbench: allocation accounting for the zero-copy wire path.
+//!
+//! Measures the BCSR write fan-out at the paper's running point `n = 11,
+//! f = 2` (so `k = 1`): a writer stripes one value and ships a `PutData`
+//! frame to each of the `n` servers. Two implementations of that fan-out
+//! are compared under a counting global allocator:
+//!
+//! * **old** — the pre-`Bytes` path: one fragment `Vec` per server, one
+//!   `Bytes` wrap per fragment, one contiguous encode (`to_wire_bytes`)
+//!   per envelope, and one sealed-output `Vec` per frame: ~4 heap
+//!   allocations per server, `4n` per write.
+//! * **new** — the encode-once path: all fragments live in a single arena
+//!   `Bytes` (one `Vec` + one `Arc`), each server's payload is an O(1)
+//!   slice, and [`seal_envelope`] allocates only the metadata head
+//!   (the MAC is streamed over `(head, tail)`): `n + 2` allocations per
+//!   write.
+//!
+//! The Reed–Solomon striping itself (one codeword per column) is identical
+//! in both paths and excluded from the measured region — this bench
+//! isolates the *wire* cost the zero-copy redesign changed, not the coding
+//! math it didn't touch.
+//!
+//! A relay simulation then feeds every new-path frame through the
+//! borrowing [`open_envelope`] and asserts the `wire.bytes_copied` counter
+//! stays flat: the server relay path must never memcpy payload bytes.
+//!
+//! [`run`] only produces meaningful numbers when [`CountingAlloc`] is
+//! installed as the `#[global_allocator]` (the `paper_harness` binary does
+//! this); under the default allocator every count reads zero and the
+//! result is marked failed.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use safereg_common::buf::Bytes;
+use safereg_common::codec::Wire;
+use safereg_common::ids::{ClientId, ServerId, WriterId};
+use safereg_common::msg::{ClientToServer, CodedElement, Envelope, OpId, Payload};
+use safereg_common::tag::Tag;
+use safereg_common::value::Value;
+use safereg_crypto::auth::AuthCodec;
+use safereg_crypto::keychain::KeyChain;
+use safereg_mds::rs::ReedSolomon;
+use safereg_mds::stripe::encode_value;
+use safereg_transport::frame::{open_envelope, seal_envelope};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A pass-through allocator that counts every allocation (alloc,
+/// alloc_zeroed, and realloc each count once). Install it in a binary with
+/// `#[global_allocator]` to make [`allocations`] live.
+pub struct CountingAlloc;
+
+// SAFETY: defers every operation to `System`; the counter is a relaxed
+// atomic with no allocation of its own.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Total allocations observed since process start (0 unless
+/// [`CountingAlloc`] is the global allocator).
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Outcome of the wire microbench.
+#[derive(Debug, Clone)]
+pub struct WireBenchResult {
+    /// Cluster size of the measured BCSR point.
+    pub n: usize,
+    /// Fault bound of the measured point.
+    pub f: usize,
+    /// Value size striped per write.
+    pub value_bytes: usize,
+    /// Measured writes per path.
+    pub iters: u64,
+    /// Mean heap allocations per write on the pre-`Bytes` path.
+    pub old_allocs_per_write: f64,
+    /// Mean heap allocations per write on the encode-once path.
+    pub new_allocs_per_write: f64,
+    /// `old / new`; the acceptance bar is ≥ 2.
+    pub alloc_ratio: f64,
+    /// Frames pushed through the borrowing relay decode.
+    pub relay_frames: usize,
+    /// `wire.bytes_copied` delta across the relay; the bar is 0.
+    pub relay_bytes_copied: u64,
+}
+
+impl WireBenchResult {
+    /// Whether both acceptance bars hold.
+    pub fn ok(&self) -> bool {
+        self.alloc_ratio >= 2.0 && self.relay_bytes_copied == 0 && self.relay_frames > 0
+    }
+
+    /// The result as one JSON object (BENCH_wire.json).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"bench\":\"wire\",\"n\":{},\"f\":{},\"value_bytes\":{},",
+                "\"iters\":{},\"old_allocs_per_write\":{:.2},",
+                "\"new_allocs_per_write\":{:.2},\"alloc_ratio\":{:.2},",
+                "\"relay_frames\":{},\"relay_bytes_copied\":{},\"ok\":{}}}\n"
+            ),
+            self.n,
+            self.f,
+            self.value_bytes,
+            self.iters,
+            self.old_allocs_per_write,
+            self.new_allocs_per_write,
+            self.alloc_ratio,
+            self.relay_frames,
+            self.relay_bytes_copied,
+            self.ok(),
+        )
+    }
+}
+
+const N: usize = 11;
+const F: usize = 2;
+const VALUE_BYTES: usize = 16 << 10;
+const ITERS: u64 = 64;
+
+fn put_envelope(server: usize, element: CodedElement) -> Envelope {
+    Envelope::to_server(
+        ClientId::Writer(WriterId(1)),
+        ServerId(server as u16),
+        ClientToServer::PutData {
+            op: OpId::new(WriterId(1), 7),
+            tag: Tag::new(42, WriterId(1)),
+            payload: Payload::Coded(element),
+        },
+    )
+}
+
+/// Runs the microbench. See the module docs for what is measured.
+pub fn run() -> WireBenchResult {
+    let k = N - 5 * F; // BCSR dimension: k = 1 at the paper's point
+    let code = ReedSolomon::new(N, k).expect("valid BCSR point");
+    let value = Value::from(vec![0xF0u8; VALUE_BYTES]);
+    let chain = KeyChain::from_master_seed(b"wire-bench");
+
+    // Stripe once, outside the measured region: the RS math is common to
+    // both paths. `flat` is the raw fragment arena (element i occupies
+    // `flat[i*frag .. (i+1)*frag]`), `frag` the per-server fragment size.
+    let elements = encode_value(&code, &value);
+    let frag = elements[0].data.len();
+    let mut flat = Vec::with_capacity(N * frag);
+    for e in &elements {
+        flat.extend_from_slice(e.data.as_ref());
+    }
+    let value_len = value.len() as u32;
+
+    // Warm up key derivation and the obs registry so one-time allocations
+    // stay out of the measured deltas.
+    for (i, e) in elements.iter().enumerate() {
+        let env = put_envelope(i, e.clone());
+        let sealed = seal_envelope(&chain, &env);
+        let _ = open_envelope(&chain, sealed.to_bytes()).expect("warm-up frame opens");
+    }
+
+    // Old path: per-server fragment Vec + Bytes wrap + contiguous encode +
+    // sealed-output Vec (4 allocations per server).
+    let mut old_frames: Vec<Vec<u8>> = Vec::with_capacity(N);
+    let before = allocations();
+    for _ in 0..ITERS {
+        old_frames.clear();
+        for i in 0..N {
+            let fragment = flat[i * frag..(i + 1) * frag].to_vec();
+            let element = CodedElement {
+                index: i as u16,
+                value_len,
+                data: Bytes::from(fragment),
+            };
+            let env = put_envelope(i, element);
+            #[allow(deprecated)]
+            let bytes = env.to_wire_bytes();
+            let codec = AuthCodec::new(chain.pair_key(env.src, env.dst));
+            old_frames.push(codec.seal(&bytes));
+        }
+    }
+    let old_allocs = allocations() - before;
+
+    // New path: one arena (Vec + Arc), O(1) slices per server, and a
+    // streamed seal that allocates only the metadata head.
+    let mut new_frames = Vec::with_capacity(N);
+    let before = allocations();
+    for _ in 0..ITERS {
+        new_frames.clear();
+        let arena = Bytes::from(flat.clone());
+        for i in 0..N {
+            let element = CodedElement {
+                index: i as u16,
+                value_len,
+                data: arena
+                    .try_slice(i * frag..(i + 1) * frag)
+                    .expect("arena sized as n*frag"),
+            };
+            let env = put_envelope(i, element);
+            new_frames.push(seal_envelope(&chain, &env));
+        }
+    }
+    let new_allocs = allocations() - before;
+
+    // Relay simulation: every new-path frame is opened with the borrowing
+    // decode; the global copy counter must not move.
+    let reg = safereg_obs::global();
+    let copied_before = reg.counter(safereg_obs::names::WIRE_BYTES_COPIED).get();
+    let mut relay_frames = 0usize;
+    for sealed in &new_frames {
+        let env = open_envelope(&chain, sealed.to_bytes()).expect("sealed frame opens");
+        let Envelope { msg, .. } = env;
+        assert!(
+            matches!(msg, safereg_common::msg::Message::ToServer(_)),
+            "relay decoded an unexpected message"
+        );
+        relay_frames += 1;
+    }
+    let relay_bytes_copied =
+        reg.counter(safereg_obs::names::WIRE_BYTES_COPIED).get() - copied_before;
+
+    let old_allocs_per_write = old_allocs as f64 / ITERS as f64;
+    let new_allocs_per_write = new_allocs as f64 / ITERS as f64;
+    WireBenchResult {
+        n: N,
+        f: F,
+        value_bytes: VALUE_BYTES,
+        iters: ITERS,
+        old_allocs_per_write,
+        new_allocs_per_write,
+        alloc_ratio: old_allocs_per_write / new_allocs_per_write.max(f64::MIN_POSITIVE),
+        relay_frames,
+        relay_bytes_copied,
+    }
+}

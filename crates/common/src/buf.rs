@@ -29,10 +29,16 @@ use std::sync::Arc;
 
 /// Backing storage: either borrowed `'static` data (no allocation, no
 /// reference count) or a shared heap allocation.
+///
+/// The shared variant wraps the `Vec` itself rather than `Arc<[u8]>` so that
+/// `Bytes::from(Vec<u8>)` reuses the vector's existing heap buffer: the only
+/// cost is the `Arc` control block, never a second copy of the payload. The
+/// wire path depends on this — encode-once hands the same allocation to every
+/// destination.
 #[derive(Clone)]
 enum Repr {
     Static(&'static [u8]),
-    Shared(Arc<[u8]>),
+    Shared(Arc<Vec<u8>>),
 }
 
 /// An immutable, cheaply cloneable, zero-copy-sliceable byte buffer.
@@ -86,8 +92,25 @@ impl Bytes {
     /// # Panics
     ///
     /// Panics if the range is decreasing or extends past `self.len()`,
-    /// matching slice-indexing semantics.
+    /// matching slice-indexing semantics; the message carries the full buffer
+    /// bounds (see [`SliceOutOfBounds`]). Use [`Bytes::try_slice`] where the
+    /// range is derived from untrusted or computed input.
     pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        match self.try_slice(range) {
+            Ok(b) => b,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Bytes::slice`]: returns the zero-copy view, or a
+    /// [`SliceOutOfBounds`] carrying the requested range and the buffer
+    /// length instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SliceOutOfBounds`] when the range is decreasing or its end
+    /// exceeds `self.len()`.
+    pub fn try_slice(&self, range: impl RangeBounds<usize>) -> Result<Self, SliceOutOfBounds> {
         let start = match range.start_bound() {
             Bound::Included(&b) => b,
             Bound::Excluded(&b) => b + 1,
@@ -98,20 +121,18 @@ impl Bytes {
             Bound::Excluded(&b) => b,
             Bound::Unbounded => self.len,
         };
-        assert!(
-            start <= end,
-            "slice range starts at {start} but ends at {end}"
-        );
-        assert!(
-            end <= self.len,
-            "slice range end {end} out of bounds for length {}",
-            self.len
-        );
-        Bytes {
+        if start > end || end > self.len {
+            return Err(SliceOutOfBounds {
+                start,
+                end,
+                len: self.len,
+            });
+        }
+        Ok(Bytes {
             repr: self.repr.clone(),
             off: self.off + start,
             len: end - start,
-        }
+        })
     }
 
     /// Borrows the underlying bytes.
@@ -123,6 +144,39 @@ impl Bytes {
     }
 }
 
+/// Error from [`Bytes::try_slice`]: the requested range does not fit the
+/// buffer. Carries the full context (range and buffer length), unlike the
+/// bare index of a slice-indexing panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceOutOfBounds {
+    /// Resolved start of the requested range.
+    pub start: usize,
+    /// Resolved (exclusive) end of the requested range.
+    pub end: usize,
+    /// Length of the buffer being sliced.
+    pub len: usize,
+}
+
+impl fmt::Display for SliceOutOfBounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.start > self.end {
+            write!(
+                f,
+                "slice range starts at {} but ends at {} (buffer length {})",
+                self.start, self.end, self.len
+            )
+        } else {
+            write!(
+                f,
+                "slice range {}..{} end out of bounds for length {}",
+                self.start, self.end, self.len
+            )
+        }
+    }
+}
+
+impl std::error::Error for SliceOutOfBounds {}
+
 impl Default for Bytes {
     fn default() -> Self {
         Bytes::new()
@@ -130,10 +184,11 @@ impl Default for Bytes {
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Wraps the vector's existing allocation; no bytes are copied.
     fn from(v: Vec<u8>) -> Self {
         let len = v.len();
         Bytes {
-            repr: Repr::Shared(Arc::from(v.into_boxed_slice())),
+            repr: Repr::Shared(Arc::new(v)),
             off: 0,
             len,
         }
@@ -142,18 +197,21 @@ impl From<Vec<u8>> for Bytes {
 
 impl From<Box<[u8]>> for Bytes {
     fn from(b: Box<[u8]>) -> Self {
-        let len = b.len();
-        Bytes {
-            repr: Repr::Shared(Arc::from(b)),
-            off: 0,
-            len,
-        }
+        Bytes::from(b.into_vec())
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(s: &[u8]) -> Self {
         Bytes::copy_from_slice(s)
+    }
+}
+
+impl From<&Bytes> for Bytes {
+    /// O(1): shares the backing allocation, so `impl Into<Bytes>` entry
+    /// points accept `&Bytes` without copying.
+    fn from(b: &Bytes) -> Self {
+        b.clone()
     }
 }
 
@@ -301,6 +359,36 @@ mod tests {
         map.insert(c, 2);
         // Borrow<[u8]> lets byte-slice keys look up Bytes entries.
         assert_eq!(map.get(&b[..]), Some(&1));
+    }
+
+    #[test]
+    fn from_vec_reuses_the_allocation() {
+        let v = vec![9u8; 256];
+        let data_ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        // The Vec's heap buffer is wrapped, not copied.
+        assert_eq!(b.as_ref().as_ptr(), data_ptr);
+    }
+
+    #[test]
+    fn try_slice_reports_bounds_instead_of_panicking() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        assert_eq!(b.try_slice(1..3).unwrap().as_ref(), &[2, 3]);
+        let err = b.try_slice(1..5).unwrap_err();
+        assert_eq!(
+            err,
+            SliceOutOfBounds {
+                start: 1,
+                end: 5,
+                len: 3
+            }
+        );
+        // The message names the offending range AND the buffer length.
+        assert!(err.to_string().contains("1..5"));
+        assert!(err.to_string().contains("length 3"));
+        #[allow(clippy::reversed_empty_ranges)]
+        let err = b.try_slice(2..1).unwrap_err();
+        assert!(err.to_string().contains("starts at 2"));
     }
 
     #[test]

@@ -11,22 +11,45 @@
 //! no self-description; both sides must agree on the expected type, which the
 //! transport guarantees by framing each [`Wire`] message with its type.
 //!
+//! Decoding comes in two flavors. The original [`WireReader`] path copies
+//! variable-size payloads into fresh allocations. The [`BytesReader`] path
+//! borrows: when the input is already a [`Bytes`] buffer (as every framed
+//! message is), `Bytes` fields decode as O(1) slices of that buffer, so a
+//! relayed payload is never copied. [`payload_bytes_copied`] counts the bytes
+//! the copying path moves, which the transport surfaces as the
+//! `wire.bytes_copied` metric.
+//!
 //! # Examples
 //!
 //! ```
-//! use safereg_common::codec::{Wire, WireReader};
+//! use safereg_common::codec::Wire;
 //!
 //! let xs: Vec<u16> = vec![1, 2, 3];
-//! let buf = xs.to_wire_bytes();
-//! let back = Vec::<u16>::from_wire_bytes(&buf)?;
+//! let buf = xs.to_bytes();
+//! let back = Vec::<u16>::from_bytes(&buf)?;
 //! assert_eq!(back, xs);
 //! # Ok::<(), safereg_common::codec::WireError>(())
 //! ```
 
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::buf::Bytes;
+
+/// Payload bytes copied out of buffers by the *copying* decode path
+/// ([`Wire::decode_from`] on [`Bytes`] fields). The borrowing path
+/// ([`Wire::decode_borrowed`]) never bumps this. Process-global and
+/// monotonic; consumers read deltas.
+static PAYLOAD_BYTES_COPIED: AtomicU64 = AtomicU64::new(0);
+
+/// Running total of payload bytes the copying decode path has duplicated.
+///
+/// Zero-copy proofs (the `wire.bytes_copied` metric, the `paper_harness
+/// wire` gate) assert the delta across a borrowing decode stays 0.
+pub fn payload_bytes_copied() -> u64 {
+    PAYLOAD_BYTES_COPIED.load(Ordering::Relaxed)
+}
 
 /// Maximum length accepted for a single variable-size field (64 MiB).
 ///
@@ -155,6 +178,116 @@ impl<'a> WireReader<'a> {
         }
         Ok(len)
     }
+
+    /// Number of bytes consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+}
+
+/// Cursor over a [`Bytes`] buffer being decoded *borrowingly*: variable-size
+/// fields come back as zero-copy slices of the underlying buffer instead of
+/// fresh allocations.
+///
+/// Mirrors [`WireReader`]'s hardening: every length prefix is checked against
+/// [`MAX_FIELD_LEN`] and the remaining buffer before any slice is taken.
+#[derive(Debug)]
+pub struct BytesReader<'a> {
+    src: &'a Bytes,
+    pos: usize,
+}
+
+impl<'a> BytesReader<'a> {
+    /// Creates a reader over `src` starting at offset 0.
+    pub fn new(src: &'a Bytes) -> Self {
+        BytesReader { src, pos: 0 }
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.src.len() - self.pos
+    }
+
+    /// Returns `true` once every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Number of bytes consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    /// Borrows the unconsumed tail of the buffer without advancing.
+    pub fn rest(&self) -> &'a [u8] {
+        &self.src.as_slice()[self.pos..]
+    }
+
+    /// Advances the cursor by `n` already-validated bytes.
+    ///
+    /// Used by the bridging default of [`Wire::decode_borrowed`] after a
+    /// copying decode ran over [`BytesReader::rest`].
+    pub fn advance(&mut self, n: usize) {
+        debug_assert!(n <= self.remaining());
+        self.pos += n.min(self.remaining());
+    }
+
+    /// Takes the next `n` bytes as a borrowed slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.src.as_slice()[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Takes the next `n` bytes as a zero-copy [`Bytes`] view sharing the
+    /// source allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] if fewer than `n` bytes remain.
+    pub fn take_bytes(&mut self, n: usize) -> Result<Bytes, WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let b = self.src.slice(self.pos..self.pos + n);
+        self.pos += n;
+        Ok(b)
+    }
+
+    /// Reads a `u32` length prefix, validating it against both
+    /// [`MAX_FIELD_LEN`] and the remaining buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::LengthOverflow`] for oversized claims and
+    /// [`WireError::Truncated`] when the buffer cannot hold the claimed
+    /// length.
+    pub fn take_len(&mut self) -> Result<usize, WireError> {
+        let len = u32::decode_borrowed(self)? as usize;
+        if len > MAX_FIELD_LEN {
+            return Err(WireError::LengthOverflow { claimed: len });
+        }
+        if len > self.remaining() {
+            return Err(WireError::Truncated {
+                needed: len,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(len)
+    }
 }
 
 /// Types that can be serialized to and deserialized from the workspace wire
@@ -163,26 +296,87 @@ pub trait Wire: Sized {
     /// Appends the encoding of `self` to `buf`.
     fn encode_to(&self, buf: &mut Vec<u8>);
 
-    /// Decodes a value from the reader, advancing it.
+    /// Decodes a value from the reader, advancing it. Variable-size fields
+    /// are copied out of the buffer; prefer [`Wire::decode_borrowed`] when
+    /// the input is a [`Bytes`] buffer.
     ///
     /// # Errors
     ///
     /// Returns a [`WireError`] describing the first malformed field.
     fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError>;
 
+    /// Decodes a value from a [`BytesReader`], advancing it. `Bytes` fields
+    /// come back as zero-copy views of the source buffer.
+    ///
+    /// The default bridges to [`Wire::decode_from`] (copying), which is
+    /// correct for every type; fixed-size and payload-bearing types override
+    /// it to stay allocation-free. Overrides must consume exactly the bytes
+    /// the copying decode would.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] describing the first malformed field.
+    fn decode_borrowed(r: &mut BytesReader<'_>) -> Result<Self, WireError> {
+        let mut inner = WireReader::new(r.rest());
+        let v = Self::decode_from(&mut inner)?;
+        let used = inner.consumed();
+        r.advance(used);
+        Ok(v)
+    }
+
+    /// Encodes `self` into a fresh immutable [`Bytes`] buffer.
+    ///
+    /// The buffer is built once and can then be cloned/sliced in O(1) for
+    /// each destination — this is the encode-once entry point of the wire
+    /// path.
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = Vec::new();
+        self.encode_to(&mut buf);
+        Bytes::from(buf)
+    }
+
+    /// Decodes a value that must span the entire [`Bytes`] buffer, borrowing
+    /// payload fields as zero-copy views.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::TrailingBytes`] when the buffer is longer than
+    /// the encoding, in addition to any decode error.
+    fn from_bytes(buf: &Bytes) -> Result<Self, WireError> {
+        let mut r = BytesReader::new(buf);
+        let v = Self::decode_borrowed(&mut r)?;
+        if !r.is_empty() {
+            return Err(WireError::TrailingBytes {
+                count: r.remaining(),
+            });
+        }
+        Ok(v)
+    }
+
     /// Encodes `self` into a fresh byte vector.
+    #[deprecated(
+        note = "use `to_bytes()` — it returns an immutable `Bytes` buffer that clones and \
+                slices in O(1); call `.to_vec()` on the result if an owned `Vec<u8>` is \
+                genuinely required"
+    )]
     fn to_wire_bytes(&self) -> Vec<u8> {
         let mut buf = Vec::new();
         self.encode_to(&mut buf);
         buf
     }
 
-    /// Decodes a value that must span the entire buffer.
+    /// Decodes a value that must span the entire buffer, copying payload
+    /// fields.
     ///
     /// # Errors
     ///
     /// Returns [`WireError::TrailingBytes`] when the buffer is longer than
     /// the encoding, in addition to any decode error.
+    #[deprecated(
+        note = "use `from_bytes(&Bytes)` — it borrows payload fields zero-copy; wrap a \
+                slice with `Bytes::copy_from_slice` (or `Bytes::from(vec)`) if the input \
+                is not already a `Bytes`"
+    )]
     fn from_wire_bytes(buf: &[u8]) -> Result<Self, WireError> {
         let mut r = WireReader::new(buf);
         let v = Self::decode_from(&mut r)?;
@@ -199,7 +393,9 @@ pub trait Wire: Sized {
     /// Used by the bandwidth-accounting experiments; the default encodes into
     /// a scratch buffer.
     fn wire_len(&self) -> usize {
-        self.to_wire_bytes().len()
+        let mut buf = Vec::new();
+        self.encode_to(&mut buf);
+        buf.len()
     }
 }
 
@@ -211,6 +407,14 @@ macro_rules! impl_wire_int {
             }
 
             fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                let n = std::mem::size_of::<$t>();
+                let bytes = r.take(n)?;
+                let mut arr = [0u8; std::mem::size_of::<$t>()];
+                arr.copy_from_slice(bytes);
+                Ok(<$t>::from_le_bytes(arr))
+            }
+
+            fn decode_borrowed(r: &mut BytesReader<'_>) -> Result<Self, WireError> {
                 let n = std::mem::size_of::<$t>();
                 let bytes = r.take(n)?;
                 let mut arr = [0u8; std::mem::size_of::<$t>()];
@@ -240,6 +444,14 @@ impl Wire for bool {
         }
     }
 
+    fn decode_borrowed(r: &mut BytesReader<'_>) -> Result<Self, WireError> {
+        match u8::decode_borrowed(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(WireError::BadDiscriminant { ty: "bool", got: t }),
+        }
+    }
+
     fn wire_len(&self) -> usize {
         1
     }
@@ -253,7 +465,15 @@ impl Wire for Bytes {
 
     fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         let len = r.take_len()?;
+        PAYLOAD_BYTES_COPIED.fetch_add(len as u64, Ordering::Relaxed);
         Ok(Bytes::copy_from_slice(r.take(len)?))
+    }
+
+    fn decode_borrowed(r: &mut BytesReader<'_>) -> Result<Self, WireError> {
+        // Zero-copy: the returned Bytes shares the source allocation, so
+        // `payload_bytes_copied()` stays flat on this path.
+        let len = r.take_len()?;
+        r.take_bytes(len)
     }
 
     fn wire_len(&self) -> usize {
@@ -268,6 +488,15 @@ impl Wire for String {
     }
 
     fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = r.take_len()?;
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Invalid {
+            what: "utf-8 string",
+        })
+    }
+
+    fn decode_borrowed(r: &mut BytesReader<'_>) -> Result<Self, WireError> {
+        // Strings are owned either way; borrowing only avoids the bridge.
         let len = r.take_len()?;
         let bytes = r.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Invalid {
@@ -303,6 +532,24 @@ impl<T: Wire> Wire for Vec<T> {
         }
         Ok(out)
     }
+
+    fn decode_borrowed(r: &mut BytesReader<'_>) -> Result<Self, WireError> {
+        let count = u32::decode_borrowed(r)? as usize;
+        if count > MAX_FIELD_LEN {
+            return Err(WireError::LengthOverflow { claimed: count });
+        }
+        if count > r.remaining() {
+            return Err(WireError::Truncated {
+                needed: count,
+                remaining: r.remaining(),
+            });
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(T::decode_borrowed(r)?);
+        }
+        Ok(out)
+    }
 }
 
 impl<T: Wire> Wire for Option<T> {
@@ -326,6 +573,17 @@ impl<T: Wire> Wire for Option<T> {
             }),
         }
     }
+
+    fn decode_borrowed(r: &mut BytesReader<'_>) -> Result<Self, WireError> {
+        match u8::decode_borrowed(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode_borrowed(r)?)),
+            t => Err(WireError::BadDiscriminant {
+                ty: "Option",
+                got: t,
+            }),
+        }
+    }
 }
 
 impl<A: Wire, B: Wire> Wire for (A, B) {
@@ -337,6 +595,10 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
     fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         Ok((A::decode_from(r)?, B::decode_from(r)?))
     }
+
+    fn decode_borrowed(r: &mut BytesReader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode_borrowed(r)?, B::decode_borrowed(r)?))
+    }
 }
 
 #[cfg(test)]
@@ -345,26 +607,25 @@ mod tests {
 
     #[test]
     fn integers_roundtrip_little_endian() {
-        let mut buf = Vec::new();
-        0xABCDu16.encode_to(&mut buf);
-        assert_eq!(buf, [0xCD, 0xAB]);
-        assert_eq!(u16::from_wire_bytes(&buf).unwrap(), 0xABCD);
+        let buf = 0xABCDu16.to_bytes();
+        assert_eq!(buf.as_ref(), [0xCD, 0xAB]);
+        assert_eq!(u16::from_bytes(&buf).unwrap(), 0xABCD);
     }
 
     #[test]
     fn vec_roundtrips_and_reports_wire_len() {
         let v: Vec<u32> = (0..10).collect();
-        let buf = v.to_wire_bytes();
+        let buf = v.to_bytes();
         assert_eq!(buf.len(), 4 + 10 * 4);
         assert_eq!(v.wire_len(), buf.len());
-        assert_eq!(Vec::<u32>::from_wire_bytes(&buf).unwrap(), v);
+        assert_eq!(Vec::<u32>::from_bytes(&buf).unwrap(), v);
     }
 
     #[test]
     fn truncated_input_is_detected() {
-        let buf = 0xDEADBEEFu32.to_wire_bytes();
+        let buf = 0xDEADBEEFu32.to_bytes();
         assert!(matches!(
-            u64::from_wire_bytes(&buf),
+            u64::from_bytes(&buf),
             Err(WireError::Truncated {
                 needed: 8,
                 remaining: 4
@@ -374,10 +635,10 @@ mod tests {
 
     #[test]
     fn trailing_bytes_are_detected() {
-        let mut buf = 7u8.to_wire_bytes();
+        let mut buf = 7u8.to_bytes().to_vec();
         buf.push(0);
         assert!(matches!(
-            u8::from_wire_bytes(&buf),
+            u8::from_bytes(&Bytes::from(buf)),
             Err(WireError::TrailingBytes { count: 1 })
         ));
     }
@@ -385,16 +646,16 @@ mod tests {
     #[test]
     fn forged_length_prefix_is_rejected_before_allocation() {
         // Claim a 4 GiB Bytes field backed by a 2-byte buffer.
-        let buf = u32::MAX.to_wire_bytes();
+        let buf = u32::MAX.to_bytes();
         assert!(matches!(
-            Bytes::from_wire_bytes(&buf),
+            Bytes::from_bytes(&buf),
             Err(WireError::LengthOverflow { .. })
         ));
         // Claim a count of elements larger than the buffer could hold.
         let mut vbuf = Vec::new();
         1_000_000u32.encode_to(&mut vbuf);
         assert!(matches!(
-            Vec::<u8>::from_wire_bytes(&vbuf),
+            Vec::<u8>::from_bytes(&Bytes::from(vbuf)),
             Err(WireError::Truncated { .. })
         ));
     }
@@ -402,10 +663,13 @@ mod tests {
     #[test]
     fn option_and_tuple_roundtrip() {
         let v: Option<(u16, Bytes)> = Some((3, Bytes::from_static(b"xyz")));
-        let buf = v.to_wire_bytes();
-        let back = Option::<(u16, Bytes)>::from_wire_bytes(&buf).unwrap();
+        let buf = v.to_bytes();
+        let back = Option::<(u16, Bytes)>::from_bytes(&buf).unwrap();
         assert_eq!(back, v);
-        assert_eq!(Option::<u8>::from_wire_bytes(&[0]).unwrap(), None);
+        assert_eq!(
+            Option::<u8>::from_bytes(&Bytes::from_static(&[0])).unwrap(),
+            None
+        );
     }
 
     #[test]
@@ -414,11 +678,92 @@ mod tests {
         2u32.encode_to(&mut buf);
         buf.extend_from_slice(&[0xFF, 0xFE]);
         assert!(matches!(
-            String::from_wire_bytes(&buf),
+            String::from_bytes(&Bytes::from(buf)),
             Err(WireError::Invalid {
                 what: "utf-8 string"
             })
         ));
+    }
+
+    #[test]
+    fn borrowed_bytes_decode_is_zero_copy_and_counted() {
+        let payload = Bytes::from(vec![0x5Au8; 1024]);
+        let framed = payload.to_bytes();
+        // Borrowing: the decoded view aliases the framed buffer, and the
+        // process-wide copy counter does not move.
+        let before = payload_bytes_copied();
+        let view = Bytes::from_bytes(&framed).unwrap();
+        assert_eq!(view, payload);
+        assert_eq!(view.as_ref().as_ptr(), framed.as_ref()[4..].as_ptr());
+        assert_eq!(payload_bytes_copied(), before);
+        // Copying: decode_from duplicates the payload and counts it.
+        let mut r = WireReader::new(framed.as_ref());
+        let copied = Bytes::decode_from(&mut r).unwrap();
+        assert_eq!(copied, payload);
+        assert_ne!(copied.as_ref().as_ptr(), framed.as_ref()[4..].as_ptr());
+        assert_eq!(payload_bytes_copied(), before + 1024);
+    }
+
+    #[test]
+    fn borrowing_reader_is_hardened_like_the_copying_one() {
+        // Oversized length claim.
+        let framed = u32::MAX.to_bytes();
+        let mut r = BytesReader::new(&framed);
+        assert!(matches!(
+            r.take_len(),
+            Err(WireError::LengthOverflow { .. })
+        ));
+        // Length beyond the remaining buffer.
+        let mut short = Vec::new();
+        9u32.encode_to(&mut short);
+        short.extend_from_slice(b"abc");
+        let short = Bytes::from(short);
+        let mut r = BytesReader::new(&short);
+        assert!(matches!(r.take_len(), Err(WireError::Truncated { .. })));
+        // take_bytes past the end.
+        let mut r = BytesReader::new(&short);
+        assert!(matches!(
+            r.take_bytes(100),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn default_decode_borrowed_bridges_and_advances_correctly() {
+        // A type with no override exercises the WireReader bridge: two
+        // values decoded in sequence must consume exactly their encodings.
+        struct Pair(u16, u16);
+        impl Wire for Pair {
+            fn encode_to(&self, buf: &mut Vec<u8>) {
+                self.0.encode_to(buf);
+                self.1.encode_to(buf);
+            }
+            fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                Ok(Pair(u16::decode_from(r)?, u16::decode_from(r)?))
+            }
+        }
+        let mut buf = Vec::new();
+        Pair(1, 2).encode_to(&mut buf);
+        Pair(3, 4).encode_to(&mut buf);
+        let buf = Bytes::from(buf);
+        let mut r = BytesReader::new(&buf);
+        let a = Pair::decode_borrowed(&mut r).unwrap();
+        let b = Pair::decode_borrowed(&mut r).unwrap();
+        assert_eq!((a.0, a.1, b.0, b.1), (1, 2, 3, 4));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_stay_byte_compatible() {
+        // The old Vec-based surface must keep producing/accepting exactly
+        // the bytes the new Bytes-based surface does.
+        let v: Vec<u32> = (0..10).collect();
+        assert_eq!(v.to_wire_bytes(), v.to_bytes().to_vec());
+        assert_eq!(
+            Vec::<u32>::from_wire_bytes(&v.to_wire_bytes()).unwrap(),
+            Vec::<u32>::from_bytes(&v.to_bytes()).unwrap()
+        );
     }
 
     #[test]

@@ -296,6 +296,12 @@ pub struct TransportConfig {
     /// Consecutive dead connections (refused, or closed before delivering
     /// a single frame) before the breaker opens for that server.
     pub breaker_threshold: u32,
+    /// Capacity of each bounded wire-path queue (per-link outboxes, the
+    /// client's response funnel, the KV host's per-connection writer).
+    pub chan_capacity: usize,
+    /// What a full wire-path queue does with the next message; sheds are
+    /// counted under the `chan.shed` metrics.
+    pub shed_policy: crate::sync::channel::ShedPolicy,
 }
 
 impl Default for TransportConfig {
@@ -307,6 +313,8 @@ impl Default for TransportConfig {
             retry_budget: 2,
             backoff: BackoffPolicy::default(),
             breaker_threshold: 3,
+            chan_capacity: 1024,
+            shed_policy: crate::sync::channel::ShedPolicy::Block,
         }
     }
 }
@@ -314,7 +322,7 @@ impl Default for TransportConfig {
 impl TransportConfig {
     /// A configuration with tight timings for tests and chaos runs:
     /// sub-second connects, fast retries, a breaker that reacts after two
-    /// failures.
+    /// failures, smaller wire-path queues.
     pub fn aggressive() -> Self {
         TransportConfig {
             connect_timeout: Duration::from_millis(250),
@@ -327,6 +335,8 @@ impl TransportConfig {
                 jitter_permille: 200,
             },
             breaker_threshold: 2,
+            chan_capacity: 256,
+            shed_policy: crate::sync::channel::ShedPolicy::Block,
         }
     }
 }
@@ -474,6 +484,14 @@ mod tests {
         let fast = TransportConfig::aggressive();
         assert!(fast.connect_timeout < cfg.connect_timeout);
         assert!(fast.breaker_threshold <= cfg.breaker_threshold);
+        // Wire-path queues are bounded but roomy, and lossless by default.
+        assert!(cfg.chan_capacity >= 64);
+        assert!(fast.chan_capacity <= cfg.chan_capacity);
+        assert_eq!(
+            cfg.shed_policy,
+            crate::sync::channel::ShedPolicy::Block,
+            "default policy must not silently drop frames"
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! the asynchronous model where messages may be arbitrarily delayed.
 
 use crate::buf::Bytes;
-use crate::codec::{Wire, WireError, WireReader};
+use crate::codec::{BytesReader, Wire, WireError, WireReader};
 use crate::ids::{ClientId, NodeId, ServerId};
 use crate::tag::Tag;
 use crate::value::Value;
@@ -348,6 +348,94 @@ impl Envelope {
     pub fn to_client(server: ServerId, client: ClientId, msg: ServerToClient) -> Self {
         Envelope::new(server, client, msg)
     }
+
+    /// Splits the wire encoding into a small owned *head* and an optional
+    /// zero-copy payload *tail* such that `head ++ tail` equals
+    /// [`Wire::to_bytes`] byte-for-byte.
+    ///
+    /// The tail, when present, is the raw bytes of the envelope's single
+    /// trailing payload field ([`Payload::Full`] value or
+    /// [`Payload::Coded`] element data), returned as an O(1) clone of the
+    /// payload's own `Bytes` — the payload is never re-copied into the
+    /// encoding. Envelopes whose payload is not in trailing position
+    /// (history replies, payload-free queries/acks) return the full encoding
+    /// as the head and no tail.
+    ///
+    /// This is the encode-once primitive: the transport seals `(head, tail)`
+    /// with a streaming MAC and writes them with one vectored syscall, so a
+    /// BCSR writer hands each server a slice of the fragment arena without
+    /// the payload ever being memcpy'd after encoding.
+    pub fn encode_parts(&self) -> (Vec<u8>, Option<Bytes>) {
+        fn payload_head(p: &Payload, buf: &mut Vec<u8>) -> Bytes {
+            // Mirrors `Payload::encode_to` up to (and including) the u32
+            // length prefix of the trailing data, returning the data itself.
+            match p {
+                Payload::Full(v) => {
+                    buf.push(0);
+                    (v.len() as u32).encode_to(buf);
+                    v.bytes().clone()
+                }
+                Payload::Coded(c) => {
+                    buf.push(1);
+                    c.index.encode_to(buf);
+                    c.value_len.encode_to(buf);
+                    (c.data.len() as u32).encode_to(buf);
+                    c.data.clone()
+                }
+            }
+        }
+
+        let mut head = Vec::with_capacity(64);
+        self.src.encode_to(&mut head);
+        self.dst.encode_to(&mut head);
+        let tail = match &self.msg {
+            Message::ToServer(ClientToServer::PutData { op, tag, payload }) => {
+                head.push(0); // Message::ToServer
+                head.push(1); // ClientToServer::PutData
+                op.encode_to(&mut head);
+                tag.encode_to(&mut head);
+                Some(payload_head(payload, &mut head))
+            }
+            Message::ToClient(ServerToClient::DataResp { op, tag, payload }) => {
+                head.push(1); // Message::ToClient
+                head.push(2); // ServerToClient::DataResp
+                op.encode_to(&mut head);
+                tag.encode_to(&mut head);
+                Some(payload_head(payload, &mut head))
+            }
+            Message::ToClient(ServerToClient::ValueAtResp {
+                op,
+                tag,
+                payload: Some(p),
+            }) => {
+                head.push(1); // Message::ToClient
+                head.push(4); // ServerToClient::ValueAtResp
+                op.encode_to(&mut head);
+                tag.encode_to(&mut head);
+                head.push(1); // Option::Some
+                Some(payload_head(p, &mut head))
+            }
+            Message::Peer(PeerMessage::RbEcho { bid, tag, payload }) => {
+                head.push(2); // Message::Peer
+                head.push(0); // PeerMessage::RbEcho
+                bid.encode_to(&mut head);
+                tag.encode_to(&mut head);
+                Some(payload_head(payload, &mut head))
+            }
+            Message::Peer(PeerMessage::RbReady { bid, tag, payload }) => {
+                head.push(2); // Message::Peer
+                head.push(1); // PeerMessage::RbReady
+                bid.encode_to(&mut head);
+                tag.encode_to(&mut head);
+                Some(payload_head(payload, &mut head))
+            }
+            _ => {
+                self.msg.encode_to(&mut head);
+                None
+            }
+        };
+        (head, tail)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -382,6 +470,14 @@ impl Wire for CodedElement {
             data: Bytes::decode_from(r)?,
         })
     }
+
+    fn decode_borrowed(r: &mut BytesReader<'_>) -> Result<Self, WireError> {
+        Ok(CodedElement {
+            index: u16::decode_borrowed(r)?,
+            value_len: u32::decode_borrowed(r)?,
+            data: Bytes::decode_borrowed(r)?,
+        })
+    }
 }
 
 impl Wire for Payload {
@@ -402,6 +498,17 @@ impl Wire for Payload {
         match u8::decode_from(r)? {
             0 => Ok(Payload::Full(Value::decode_from(r)?)),
             1 => Ok(Payload::Coded(CodedElement::decode_from(r)?)),
+            t => Err(WireError::BadDiscriminant {
+                ty: "Payload",
+                got: t,
+            }),
+        }
+    }
+
+    fn decode_borrowed(r: &mut BytesReader<'_>) -> Result<Self, WireError> {
+        match u8::decode_borrowed(r)? {
+            0 => Ok(Payload::Full(Value::decode_borrowed(r)?)),
+            1 => Ok(Payload::Coded(CodedElement::decode_borrowed(r)?)),
             t => Err(WireError::BadDiscriminant {
                 ty: "Payload",
                 got: t,
@@ -490,6 +597,45 @@ impl Wire for ClientToServer {
             }
         })
     }
+
+    fn decode_borrowed(r: &mut BytesReader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::decode_borrowed(r)? {
+            0 => ClientToServer::QueryTag {
+                op: OpId::decode_borrowed(r)?,
+            },
+            1 => ClientToServer::PutData {
+                op: OpId::decode_borrowed(r)?,
+                tag: Tag::decode_borrowed(r)?,
+                payload: Payload::decode_borrowed(r)?,
+            },
+            2 => ClientToServer::QueryData {
+                op: OpId::decode_borrowed(r)?,
+            },
+            3 => ClientToServer::QueryHistory {
+                op: OpId::decode_borrowed(r)?,
+                above: Tag::decode_borrowed(r)?,
+            },
+            4 => ClientToServer::QueryValueAt {
+                op: OpId::decode_borrowed(r)?,
+                tag: Tag::decode_borrowed(r)?,
+            },
+            5 => ClientToServer::QueryDataSub {
+                op: OpId::decode_borrowed(r)?,
+            },
+            6 => ClientToServer::ReadComplete {
+                op: OpId::decode_borrowed(r)?,
+            },
+            7 => ClientToServer::QueryTagList {
+                op: OpId::decode_borrowed(r)?,
+            },
+            t => {
+                return Err(WireError::BadDiscriminant {
+                    ty: "ClientToServer",
+                    got: t,
+                })
+            }
+        })
+    }
 }
 
 impl Wire for ServerToClient {
@@ -566,6 +712,43 @@ impl Wire for ServerToClient {
             }
         })
     }
+
+    fn decode_borrowed(r: &mut BytesReader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::decode_borrowed(r)? {
+            0 => ServerToClient::TagResp {
+                op: OpId::decode_borrowed(r)?,
+                tag: Tag::decode_borrowed(r)?,
+            },
+            1 => ServerToClient::PutAck {
+                op: OpId::decode_borrowed(r)?,
+                tag: Tag::decode_borrowed(r)?,
+            },
+            2 => ServerToClient::DataResp {
+                op: OpId::decode_borrowed(r)?,
+                tag: Tag::decode_borrowed(r)?,
+                payload: Payload::decode_borrowed(r)?,
+            },
+            3 => ServerToClient::HistoryResp {
+                op: OpId::decode_borrowed(r)?,
+                entries: Vec::<(Tag, Payload)>::decode_borrowed(r)?,
+            },
+            4 => ServerToClient::ValueAtResp {
+                op: OpId::decode_borrowed(r)?,
+                tag: Tag::decode_borrowed(r)?,
+                payload: Option::<Payload>::decode_borrowed(r)?,
+            },
+            5 => ServerToClient::TagListResp {
+                op: OpId::decode_borrowed(r)?,
+                tags: Vec::<Tag>::decode_borrowed(r)?,
+            },
+            t => {
+                return Err(WireError::BadDiscriminant {
+                    ty: "ServerToClient",
+                    got: t,
+                })
+            }
+        })
+    }
 }
 
 impl Wire for BroadcastId {
@@ -614,6 +797,21 @@ impl Wire for PeerMessage {
             }),
         }
     }
+
+    fn decode_borrowed(r: &mut BytesReader<'_>) -> Result<Self, WireError> {
+        let disc = u8::decode_borrowed(r)?;
+        let bid = BroadcastId::decode_borrowed(r)?;
+        let tag = Tag::decode_borrowed(r)?;
+        let payload = Payload::decode_borrowed(r)?;
+        match disc {
+            0 => Ok(PeerMessage::RbEcho { bid, tag, payload }),
+            1 => Ok(PeerMessage::RbReady { bid, tag, payload }),
+            t => Err(WireError::BadDiscriminant {
+                ty: "PeerMessage",
+                got: t,
+            }),
+        }
+    }
 }
 
 impl Wire for Message {
@@ -647,6 +845,20 @@ impl Wire for Message {
             }
         })
     }
+
+    fn decode_borrowed(r: &mut BytesReader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::decode_borrowed(r)? {
+            0 => Message::ToServer(ClientToServer::decode_borrowed(r)?),
+            1 => Message::ToClient(ServerToClient::decode_borrowed(r)?),
+            2 => Message::Peer(PeerMessage::decode_borrowed(r)?),
+            t => {
+                return Err(WireError::BadDiscriminant {
+                    ty: "Message",
+                    got: t,
+                })
+            }
+        })
+    }
 }
 
 impl Wire for Envelope {
@@ -661,6 +873,14 @@ impl Wire for Envelope {
             src: NodeId::decode_from(r)?,
             dst: NodeId::decode_from(r)?,
             msg: Message::decode_from(r)?,
+        })
+    }
+
+    fn decode_borrowed(r: &mut BytesReader<'_>) -> Result<Self, WireError> {
+        Ok(Envelope {
+            src: NodeId::decode_borrowed(r)?,
+            dst: NodeId::decode_borrowed(r)?,
+            msg: Message::decode_borrowed(r)?,
         })
     }
 }
@@ -726,8 +946,8 @@ mod tests {
             ClientToServer::ReadComplete { op },
         ];
         for m in msgs {
-            let buf = m.to_wire_bytes();
-            assert_eq!(ClientToServer::from_wire_bytes(&buf).unwrap(), m);
+            let buf = m.to_bytes();
+            assert_eq!(ClientToServer::from_bytes(&buf).unwrap(), m);
         }
     }
 
@@ -764,8 +984,8 @@ mod tests {
             },
         ];
         for m in msgs {
-            let buf = m.to_wire_bytes();
-            assert_eq!(ServerToClient::from_wire_bytes(&buf).unwrap(), m);
+            let buf = m.to_bytes();
+            assert_eq!(ServerToClient::from_bytes(&buf).unwrap(), m);
             assert_eq!(m.op(), op);
         }
     }
@@ -791,9 +1011,117 @@ mod tests {
             },
         ] {
             let env = Envelope::new(ServerId(0), ServerId(1), m);
-            let buf = env.to_wire_bytes();
-            assert_eq!(Envelope::from_wire_bytes(&buf).unwrap(), env);
+            let buf = env.to_bytes();
+            assert_eq!(Envelope::from_bytes(&buf).unwrap(), env);
         }
+    }
+
+    #[test]
+    fn encode_parts_concatenation_matches_full_encoding() {
+        let op = sample_op();
+        let tag = Tag::new(3, WriterId(2));
+        let value = Value::from(vec![0xAB; 64]);
+        let coded = Payload::Coded(CodedElement {
+            index: 4,
+            value_len: 100,
+            data: Bytes::from(vec![0xCD; 25]),
+        });
+        let envs = vec![
+            // Tail-bearing shapes.
+            Envelope::new(
+                WriterId(1),
+                ServerId(0),
+                ClientToServer::PutData {
+                    op,
+                    tag,
+                    payload: Payload::Full(value.clone()),
+                },
+            ),
+            Envelope::new(
+                WriterId(1),
+                ServerId(0),
+                ClientToServer::PutData {
+                    op,
+                    tag,
+                    payload: coded.clone(),
+                },
+            ),
+            Envelope::new(
+                ServerId(0),
+                ReaderId(0),
+                ServerToClient::DataResp {
+                    op,
+                    tag,
+                    payload: Payload::Full(value.clone()),
+                },
+            ),
+            Envelope::new(
+                ServerId(0),
+                ReaderId(0),
+                ServerToClient::ValueAtResp {
+                    op,
+                    tag,
+                    payload: Some(coded.clone()),
+                },
+            ),
+            Envelope::new(
+                ServerId(0),
+                ServerId(1),
+                PeerMessage::RbEcho {
+                    bid: BroadcastId {
+                        origin: ClientId::Writer(WriterId(3)),
+                        seq: 1,
+                    },
+                    tag,
+                    payload: Payload::Full(value.clone()),
+                },
+            ),
+            // Headless shapes (no trailing payload).
+            Envelope::new(WriterId(1), ServerId(0), ClientToServer::QueryTag { op }),
+            Envelope::new(
+                ServerId(0),
+                ReaderId(0),
+                ServerToClient::ValueAtResp {
+                    op,
+                    tag,
+                    payload: None,
+                },
+            ),
+            Envelope::new(
+                ServerId(0),
+                ReaderId(0),
+                ServerToClient::HistoryResp {
+                    op,
+                    entries: vec![(tag, coded.clone())],
+                },
+            ),
+        ];
+        for env in envs {
+            let full = env.to_bytes();
+            let (head, tail) = env.encode_parts();
+            let mut joined = head;
+            if let Some(t) = &tail {
+                joined.extend_from_slice(t);
+            }
+            assert_eq!(joined, full.to_vec(), "parts must concat to {env:?}");
+        }
+
+        // The tail is the payload's own allocation, not a copy.
+        let env = Envelope::new(
+            WriterId(1),
+            ServerId(0),
+            ClientToServer::PutData {
+                op,
+                tag,
+                payload: Payload::Full(value.clone()),
+            },
+        );
+        let (_, tail) = env.encode_parts();
+        assert_eq!(
+            tail.unwrap().as_ref().as_ptr(),
+            value.as_bytes().as_ptr(),
+            "tail must alias the value's buffer"
+        );
     }
 
     #[test]
@@ -814,10 +1142,12 @@ mod tests {
 
     #[test]
     fn corrupted_discriminants_fail_to_decode() {
-        let mut buf = ClientToServer::QueryData { op: sample_op() }.to_wire_bytes();
+        let mut buf = ClientToServer::QueryData { op: sample_op() }
+            .to_bytes()
+            .to_vec();
         buf[0] = 250;
         assert!(matches!(
-            ClientToServer::from_wire_bytes(&buf),
+            ClientToServer::from_bytes(&Bytes::from(buf)),
             Err(WireError::BadDiscriminant {
                 ty: "ClientToServer",
                 got: 250

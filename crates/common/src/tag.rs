@@ -177,8 +177,9 @@ mod tests {
     #[test]
     fn wire_roundtrip() {
         let t = Tag::new(42, WriterId(7));
-        assert_eq!(Tag::from_wire_bytes(&t.to_wire_bytes()).unwrap(), t);
-        assert_eq!(t.wire_len(), t.to_wire_bytes().len());
+        let buf = t.to_bytes();
+        assert_eq!(Tag::from_bytes(&buf).unwrap(), t);
+        assert_eq!(t.wire_len(), buf.len());
     }
 
     #[test]

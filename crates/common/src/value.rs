@@ -8,7 +8,7 @@
 use std::fmt;
 
 use crate::buf::Bytes;
-use crate::codec::{Wire, WireError, WireReader};
+use crate::codec::{BytesReader, Wire, WireError, WireReader};
 
 /// An immutable register value (an element of the paper's domain `V`).
 ///
@@ -37,6 +37,13 @@ impl Value {
 
     /// Borrows the underlying bytes.
     pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Borrows the underlying [`Bytes`] buffer, so callers can take O(1)
+    /// clones/slices of the value's allocation (the encode-once wire path
+    /// does this to avoid re-copying payloads).
+    pub fn bytes(&self) -> &Bytes {
         &self.0
     }
 
@@ -127,6 +134,10 @@ impl Wire for Value {
         Ok(Value(Bytes::decode_from(r)?))
     }
 
+    fn decode_borrowed(r: &mut BytesReader<'_>) -> Result<Self, WireError> {
+        Ok(Value(Bytes::decode_borrowed(r)?))
+    }
+
     fn wire_len(&self) -> usize {
         4 + self.0.len()
     }
@@ -171,7 +182,7 @@ mod tests {
     #[test]
     fn wire_roundtrip() {
         let v = Value::from("roundtrip");
-        assert_eq!(Value::from_wire_bytes(&v.to_wire_bytes()).unwrap(), v);
+        assert_eq!(Value::from_bytes(&v.to_bytes()).unwrap(), v);
         assert_eq!(v.wire_len(), 4 + 9);
     }
 }

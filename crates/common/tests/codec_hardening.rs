@@ -2,17 +2,34 @@
 //! bytes must never panic, never over-allocate, and always either produce
 //! a value that re-encodes faithfully or return a structured error.
 //!
+//! Both decode paths are driven — the borrowing [`Wire::from_bytes`] the
+//! transport uses and the copying [`Wire::decode_from`] — and must agree on
+//! every input, success or failure.
+//!
 //! The always-on suite drives the same properties with the workspace's
 //! deterministic [`DetRng`] (shrinking-free, reproducible from the printed
 //! seed); the original proptest suite is kept behind the off-by-default
 //! `proptests` feature.
 
-use safereg_common::codec::Wire;
+use safereg_common::buf::Bytes;
+use safereg_common::codec::{Wire, WireError, WireReader};
 use safereg_common::ids::{ReaderId, WriterId};
 use safereg_common::msg::{ClientToServer, Envelope, Message, OpId, Payload, ServerToClient};
 use safereg_common::rng::DetRng;
 use safereg_common::tag::Tag;
 use safereg_common::value::Value;
+
+/// The copying decode path, spelled out with the non-deprecated pieces.
+fn copying_decode<T: Wire>(buf: &[u8]) -> Result<T, WireError> {
+    let mut r = WireReader::new(buf);
+    let v = T::decode_from(&mut r)?;
+    if !r.is_empty() {
+        return Err(WireError::TrailingBytes {
+            count: r.remaining(),
+        });
+    }
+    Ok(v)
+}
 
 #[test]
 fn arbitrary_bytes_never_panic_any_decoder() {
@@ -21,17 +38,23 @@ fn arbitrary_bytes_never_panic_any_decoder() {
         let len = rng.index(256);
         let mut data = vec![0u8; len];
         rng.fill_bytes(&mut data);
-        // Every decoder must be total over arbitrary input.
-        let _ = ClientToServer::from_wire_bytes(&data);
-        let _ = ServerToClient::from_wire_bytes(&data);
-        let _ = Envelope::from_wire_bytes(&data);
-        let _ = Tag::from_wire_bytes(&data);
-        let _ = Value::from_wire_bytes(&data);
+        let data = Bytes::from(data);
+        // Every decoder must be total over arbitrary input, on both paths.
+        let _ = ClientToServer::from_bytes(&data);
+        let _ = ServerToClient::from_bytes(&data);
+        let _ = Envelope::from_bytes(&data);
+        let _ = Tag::from_bytes(&data);
+        let _ = Value::from_bytes(&data);
+        let _ = copying_decode::<Envelope>(&data);
 
         // Round-trip stability: whatever decodes must encode back to the
-        // same bytes (the format has a canonical encoding).
-        if let Ok(msg) = Message::from_wire_bytes(&data) {
-            assert_eq!(msg.to_wire_bytes(), data, "case {case}");
+        // same bytes (the format has a canonical encoding), and the two
+        // decode paths must agree.
+        let borrowed = Message::from_bytes(&data);
+        let copied = copying_decode::<Message>(&data);
+        assert_eq!(borrowed, copied, "case {case}: decode paths disagree");
+        if let Ok(msg) = borrowed {
+            assert_eq!(msg.to_bytes(), data, "case {case}");
         }
     }
 }
@@ -46,12 +69,17 @@ fn truncations_of_valid_messages_fail_cleanly() {
             tag: Tag::new(num, WriterId(1)),
             payload: Payload::Full(Value::from("payload bytes")),
         };
-        let bytes = msg.to_wire_bytes();
+        let bytes = msg.to_bytes();
         // Every strict prefix must fail, not just a sampled one.
         for cut in 0..bytes.len() {
+            let prefix = bytes.slice(..cut);
             assert!(
-                ServerToClient::from_wire_bytes(&bytes[..cut]).is_err(),
+                ServerToClient::from_bytes(&prefix).is_err(),
                 "decode of {cut}-byte prefix unexpectedly succeeded"
+            );
+            assert!(
+                copying_decode::<ServerToClient>(&prefix).is_err(),
+                "copying decode of {cut}-byte prefix unexpectedly succeeded"
             );
         }
     }
@@ -65,14 +93,15 @@ fn bit_flips_never_roundtrip_to_a_different_op() {
         let msg = ClientToServer::QueryData {
             op: OpId::new(ReaderId(1), num),
         };
-        let mut bytes = msg.to_wire_bytes();
+        let mut bytes = msg.to_bytes().to_vec();
         let idx = rng.index(bytes.len());
         let bit = rng.index(8) as u8;
         bytes[idx] ^= 1 << bit;
+        let bytes = Bytes::from(bytes);
         // The flip either fails to decode or decodes to exactly the bytes
         // sent (no silent normalization that could confuse op matching).
-        if let Ok(decoded) = ClientToServer::from_wire_bytes(&bytes) {
-            assert_eq!(decoded.to_wire_bytes(), bytes);
+        if let Ok(decoded) = ClientToServer::from_bytes(&bytes) {
+            assert_eq!(decoded.to_bytes(), bytes);
         }
     }
 }
@@ -84,6 +113,7 @@ mod proptest_suite {
     use proptest::collection::vec;
     use proptest::prelude::*;
 
+    use safereg_common::buf::Bytes;
     use safereg_common::codec::Wire;
     use safereg_common::msg::{ClientToServer, Envelope, Message, ServerToClient};
     use safereg_common::tag::Tag;
@@ -94,18 +124,20 @@ mod proptest_suite {
 
         #[test]
         fn arbitrary_bytes_never_panic_any_decoder(data in vec(any::<u8>(), 0..256)) {
-            let _ = ClientToServer::from_wire_bytes(&data);
-            let _ = ServerToClient::from_wire_bytes(&data);
-            let _ = Envelope::from_wire_bytes(&data);
-            let _ = Message::from_wire_bytes(&data);
-            let _ = Tag::from_wire_bytes(&data);
-            let _ = Value::from_wire_bytes(&data);
+            let data = Bytes::from(data);
+            let _ = ClientToServer::from_bytes(&data);
+            let _ = ServerToClient::from_bytes(&data);
+            let _ = Envelope::from_bytes(&data);
+            let _ = Message::from_bytes(&data);
+            let _ = Tag::from_bytes(&data);
+            let _ = Value::from_bytes(&data);
         }
 
         #[test]
         fn successful_decodes_reencode_identically(data in vec(any::<u8>(), 0..256)) {
-            if let Ok(msg) = Message::from_wire_bytes(&data) {
-                prop_assert_eq!(msg.to_wire_bytes(), data);
+            let data = Bytes::from(data);
+            if let Ok(msg) = Message::from_bytes(&data) {
+                prop_assert_eq!(msg.to_bytes(), data);
             }
         }
     }

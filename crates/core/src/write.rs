@@ -19,6 +19,12 @@ use safereg_mds::stripe::encode_value;
 use crate::op::{ClientOp, OpOutput};
 
 /// What the write stores at each server.
+///
+/// Both variants are zero-copy fan-outs: the replicated value clones a
+/// shared [`Bytes`](safereg_common::buf::Bytes) buffer per envelope, and
+/// the coded elements are all O(1) slices of a single arena built by
+/// [`encode_value`] — encoding once and slicing per destination, so `n`
+/// `put-data` envelopes share one payload allocation.
 #[derive(Debug, Clone)]
 enum WriteKind {
     /// The same full value to every server (BSR).
@@ -432,5 +438,39 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn coded_put_data_payloads_share_one_arena() {
+        let cfg = QuorumConfig::minimal_bcsr(1).unwrap();
+        let code = ReedSolomon::new(6, 1).unwrap();
+        let value = Value::from(vec![9u8; 30]);
+        let mut op = WriteOp::coded(WriterId(0), 1, cfg, &code, &value);
+        op.start();
+        let mut puts = Vec::new();
+        for i in 0..5u16 {
+            let out = op.on_message(ServerId(i), &tag_resp(op.op_id(), Tag::ZERO));
+            if !out.is_empty() {
+                puts = out;
+                break;
+            }
+        }
+        // Every fragment's bytes live in one contiguous arena: the
+        // envelopes' payloads are slices, not per-server allocations.
+        let ptrs: Vec<usize> = puts
+            .iter()
+            .map(|env| match &env.msg {
+                Message::ToServer(ClientToServer::PutData {
+                    payload: Payload::Coded(c),
+                    ..
+                }) => c.data.as_ref().as_ptr() as usize,
+                other => panic!("unexpected message {other:?}"),
+            })
+            .collect();
+        let frag_len = 30usize.div_ceil(1); // ⌈value_len / k⌉ with k = 1
+        let base = ptrs[0];
+        for (i, p) in ptrs.iter().enumerate() {
+            assert_eq!(*p, base + i * frag_len, "fragment {i} not in the arena");
+        }
     }
 }

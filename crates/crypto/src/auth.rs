@@ -5,6 +5,8 @@
 //! message in such a frame, giving the point-to-point authenticity the
 //! paper's model assumes of its channels.
 
+use safereg_common::buf::Bytes;
+
 use crate::hmac::HmacSha256;
 use crate::keychain::Key;
 use crate::sha256::DIGEST_LEN;
@@ -70,6 +72,22 @@ impl AuthCodec {
         frame
     }
 
+    /// MACs a payload given as discontiguous parts, without concatenating
+    /// them first.
+    ///
+    /// The MAC is over the parts' logical concatenation, so
+    /// `mac_of_parts(&[a, b])` equals the MAC `seal` would embed for
+    /// `a ++ b`. This is what lets the transport seal an envelope whose
+    /// encoding is split into a serialized head and a zero-copy payload
+    /// tail without ever materializing the joined buffer.
+    pub fn mac_of_parts(&self, parts: &[&[u8]]) -> [u8; DIGEST_LEN] {
+        let mut h = HmacSha256::new(self.key.as_bytes());
+        for part in parts {
+            h.update(part);
+        }
+        h.finalize()
+    }
+
     /// Verifies a frame and returns its payload.
     ///
     /// # Errors
@@ -87,6 +105,17 @@ impl AuthCodec {
         } else {
             Err(AuthError::BadMac)
         }
+    }
+
+    /// Verifies a [`Bytes`] frame and returns its payload as an O(1) slice
+    /// of the same buffer — no copy is made.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AuthCodec::open`].
+    pub fn open_bytes(&self, frame: &Bytes) -> Result<Bytes, AuthError> {
+        let payload = self.open(frame.as_ref())?;
+        Ok(frame.slice(..payload.len()))
     }
 }
 
@@ -139,6 +168,36 @@ mod tests {
     fn short_frame_is_rejected() {
         let codec = codec_for(b"seed");
         assert_eq!(codec.open(&[0u8; 5]), Err(AuthError::TooShort { len: 5 }));
+    }
+
+    #[test]
+    fn mac_of_parts_matches_contiguous_seal() {
+        let codec = codec_for(b"seed");
+        let frame = codec.seal(b"head-bytes|tail-bytes");
+        let mac = codec.mac_of_parts(&[b"head-bytes|", b"tail-bytes"]);
+        assert_eq!(&frame[frame.len() - DIGEST_LEN..], &mac);
+        // Degenerate splits agree too.
+        assert_eq!(
+            codec.mac_of_parts(&[b"", b"head-bytes|tail-bytes", b""]),
+            mac
+        );
+    }
+
+    #[test]
+    fn open_bytes_returns_a_zero_copy_slice() {
+        let codec = codec_for(b"seed");
+        let frame = Bytes::from(codec.seal(b"zero-copy payload"));
+        let payload = codec.open_bytes(&frame).unwrap();
+        assert_eq!(payload.as_ref(), b"zero-copy payload");
+        // The payload aliases the frame's allocation.
+        assert_eq!(payload.as_ref().as_ptr(), frame.as_ref().as_ptr());
+
+        let mut tampered = frame.as_ref().to_vec();
+        tampered[0] ^= 0xFF;
+        assert_eq!(
+            codec.open_bytes(&Bytes::from(tampered)),
+            Err(AuthError::BadMac)
+        );
     }
 
     #[test]

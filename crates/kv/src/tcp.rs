@@ -6,6 +6,19 @@
 //! protocol is strict request/response at the server), so the transport is
 //! a simple synchronous exchange — the quorum logic above it supplies the
 //! fault tolerance.
+//!
+//! The wire path is zero-copy end to end: requests and replies are encoded
+//! once into `(head, tail)` parts where the tail is an O(1) [`Bytes`] slice
+//! of the value being shipped, the MAC is streamed over the parts, and the
+//! receiving side decodes borrowed views of the frame buffer
+//! ([`Wire::from_bytes`]) so payload bytes are never memcpy'd after the
+//! socket read. Replies leave each server connection through a *bounded*
+//! writer outbox sized by
+//! [`TransportConfig::chan_capacity`](safereg_common::config::TransportConfig);
+//! when a slow client lets it fill, the configured
+//! [`ShedPolicy`] decides whether the serving thread blocks or sheds, and
+//! every shed increments `chan.shed` plus a per-policy counter in the
+//! metrics dump.
 
 use std::collections::BTreeMap;
 use std::io::ErrorKind;
@@ -15,13 +28,15 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use safereg_common::buf::Bytes;
-use safereg_common::codec::{Wire, WireError, WireReader};
-use safereg_common::config::QuorumConfig;
+use safereg_common::codec::{BytesReader, Wire, WireError, WireReader};
+use safereg_common::config::{QuorumConfig, TransportConfig};
 use safereg_common::ids::{ClientId, NodeId, ServerId};
 use safereg_common::msg::{ClientToServer, Envelope, Message, ServerToClient};
+use safereg_common::sync::channel::{bounded, BoundedSender, SendTimeoutError, ShedPolicy};
 use safereg_common::sync::Mutex;
 use safereg_crypto::auth::AuthCodec;
 use safereg_crypto::keychain::KeyChain;
+use safereg_crypto::sha256::DIGEST_LEN;
 
 use safereg_common::msg::{OpId, Payload};
 use safereg_common::tag::Tag;
@@ -57,9 +72,59 @@ impl Wire for KvFrame {
             env: Envelope::decode_from(r)?,
         })
     }
+
+    fn decode_borrowed(r: &mut BytesReader<'_>) -> Result<Self, WireError> {
+        // Both the key and the envelope payload come out as O(1) slices of
+        // the frame buffer.
+        Ok(KvFrame {
+            key: Bytes::decode_borrowed(r)?,
+            env: Envelope::decode_borrowed(r)?,
+        })
+    }
 }
 
-fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+impl KvFrame {
+    /// Splits the encoding into a metadata head and the envelope's trailing
+    /// payload (an O(1) slice of the value being shipped, when the message
+    /// carries one). `head ++ tail` equals [`Wire::to_bytes`] byte for byte.
+    fn encode_parts(&self) -> (Vec<u8>, Option<Bytes>) {
+        let (env_head, tail) = self.env.encode_parts();
+        let mut head = Vec::with_capacity(8 + self.key.len() + env_head.len());
+        self.key.encode_to(&mut head);
+        head.extend_from_slice(&env_head);
+        (head, tail)
+    }
+}
+
+/// A KV frame sealed for one link: metadata head, zero-copy payload tail,
+/// and the streaming MAC over both. Written as one length-prefixed wire
+/// frame without ever concatenating the parts.
+struct SealedKv {
+    head: Vec<u8>,
+    tail: Bytes,
+    mac: [u8; DIGEST_LEN],
+}
+
+impl SealedKv {
+    fn seal(codec: &AuthCodec, frame: &KvFrame) -> SealedKv {
+        let (head, tail) = frame.encode_parts();
+        let tail = tail.unwrap_or_default();
+        let mac = codec.mac_of_parts(&[&head, tail.as_ref()]);
+        SealedKv { head, tail, mac }
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        use std::io::Write;
+        let len = self.head.len() + self.tail.len() + self.mac.len();
+        stream.write_all(&(len as u32).to_le_bytes())?;
+        stream.write_all(&self.head)?;
+        stream.write_all(self.tail.as_ref())?;
+        stream.write_all(&self.mac)?;
+        stream.flush()
+    }
+}
+
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Bytes> {
     use std::io::Read;
     let mut len = [0u8; 4];
     stream.read_exact(&mut len)?;
@@ -72,14 +137,42 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
     }
     let mut payload = vec![0u8; len];
     stream.read_exact(&mut payload)?;
-    Ok(payload)
+    // One allocation per frame; every decoded field below borrows from it.
+    Ok(Bytes::from(payload))
 }
 
-fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
-    use std::io::Write;
-    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
-    stream.write_all(payload)?;
-    stream.flush()
+/// Queues `reply` on the connection's writer outbox under the configured
+/// shed policy, counting sheds. Returns `false` when the writer is gone and
+/// the connection should be torn down.
+fn enqueue_reply(tx: &BoundedSender<SealedKv>, reply: SealedKv, config: &TransportConfig) -> bool {
+    let reg = safereg_obs::global();
+    match config.shed_policy {
+        ShedPolicy::Block => match tx.send_timeout(reply, config.io_timeout) {
+            Ok(_) => true,
+            Err(SendTimeoutError::Timeout(_)) => {
+                // The channel never sheds under Block; a send that cannot
+                // complete within the io budget is this layer's shed.
+                reg.counter(safereg_obs::names::CHAN_SHED).inc();
+                reg.counter(&safereg_obs::names::shed_counter(
+                    config.shed_policy.label(),
+                ))
+                .inc();
+                true
+            }
+            Err(SendTimeoutError::Disconnected(_)) => false,
+        },
+        policy => match tx.send(reply) {
+            Ok(outcome) => {
+                if outcome.shed() {
+                    reg.counter(safereg_obs::names::CHAN_SHED).inc();
+                    reg.counter(&safereg_obs::names::shed_counter(policy.label()))
+                        .inc();
+                }
+                true
+            }
+            Err(_) => false,
+        },
+    }
 }
 
 /// A KV replica served over TCP.
@@ -98,7 +191,8 @@ impl std::fmt::Debug for KvServerHost {
 }
 
 impl KvServerHost {
-    /// Spawns a replica on an ephemeral loopback port.
+    /// Spawns a replica on an ephemeral loopback port with the default
+    /// [`TransportConfig`].
     ///
     /// # Errors
     ///
@@ -110,6 +204,22 @@ impl KvServerHost {
         chain: KeyChain,
     ) -> std::io::Result<Self> {
         Self::spawn_on(id, cfg, mode, chain, ("127.0.0.1", 0))
+    }
+
+    /// Spawns a replica on an ephemeral loopback port with an explicit
+    /// transport policy (reply-outbox capacity and shed policy).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn spawn_with(
+        id: ServerId,
+        cfg: QuorumConfig,
+        mode: KvMode,
+        chain: KeyChain,
+        tconfig: TransportConfig,
+    ) -> std::io::Result<Self> {
+        Self::spawn_on_with(id, cfg, mode, chain, ("127.0.0.1", 0), tconfig)
     }
 
     /// Spawns a replica on a caller-chosen address (the `safereg-kv-server`
@@ -125,6 +235,23 @@ impl KvServerHost {
         chain: KeyChain,
         bind: impl std::net::ToSocketAddrs,
     ) -> std::io::Result<Self> {
+        Self::spawn_on_with(id, cfg, mode, chain, bind, TransportConfig::default())
+    }
+
+    /// Spawns a replica on a caller-chosen address with an explicit
+    /// transport policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn spawn_on_with(
+        id: ServerId,
+        cfg: QuorumConfig,
+        mode: KvMode,
+        chain: KeyChain,
+        bind: impl std::net::ToSocketAddrs,
+        tconfig: TransportConfig,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(bind)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -132,6 +259,14 @@ impl KvServerHost {
             KvMode::Replicated => KvServer::new(id, cfg),
             KvMode::Coded => KvServer::new_coded(id, cfg),
         }));
+
+        // Register the shed counters up front so a metrics dump shows them
+        // (at zero) even before any backpressure occurs.
+        let reg = safereg_obs::global();
+        reg.counter(safereg_obs::names::CHAN_SHED);
+        reg.counter(&safereg_obs::names::shed_counter(
+            tconfig.shed_policy.label(),
+        ));
 
         let accept_stop = Arc::clone(&stop);
         let accept_thread = std::thread::Builder::new()
@@ -150,7 +285,7 @@ impl KvServerHost {
                     let chain = chain.clone();
                     let _ = std::thread::Builder::new()
                         .name("safereg-kv-conn".into())
-                        .spawn(move || serve(stream, server, chain, stop, id));
+                        .spawn(move || serve(stream, server, chain, stop, id, tconfig));
                 }
             })
             .expect("spawn kv accept thread");
@@ -188,8 +323,30 @@ fn serve(
     chain: KeyChain,
     stop: Arc<AtomicBool>,
     me: ServerId,
+    tconfig: TransportConfig,
 ) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    // Replies leave through a bounded outbox drained by a writer thread, so
+    // a client that stops reading exerts backpressure here (or gets shed,
+    // per policy) instead of wedging the serving loop on a full socket.
+    let (reply_tx, reply_rx) = bounded::<SealedKv>(tconfig.chan_capacity, tconfig.shed_policy);
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let writer = std::thread::Builder::new()
+        .name("safereg-kv-writer".into())
+        .spawn(move || {
+            let mut stream = writer_stream;
+            while let Ok(reply) = reply_rx.recv() {
+                if reply.write_to(&mut stream).is_err() {
+                    return;
+                }
+            }
+        });
+    if writer.is_err() {
+        return;
+    }
     loop {
         if stop.load(Ordering::SeqCst) {
             return;
@@ -209,16 +366,18 @@ fn serve(
         }
         // Authenticate: the MAC is keyed by the claimed endpoints of the
         // inner envelope.
-        if sealed.len() < 32 {
+        if sealed.len() < DIGEST_LEN {
             continue;
         }
-        let (payload, _mac) = sealed.split_at(sealed.len() - 32);
-        let frame = match KvFrame::from_wire_bytes(payload) {
+        let payload = sealed.slice(..sealed.len() - DIGEST_LEN);
+        // Borrowing decode: the frame's key and value fields are O(1)
+        // slices of `sealed`; `wire.bytes_copied` stays at zero here.
+        let frame = match KvFrame::from_bytes(&payload) {
             Ok(f) => f,
             Err(_) => continue,
         };
         let codec = AuthCodec::new(chain.pair_key(frame.env.src, frame.env.dst));
-        if codec.open(&sealed).is_err() {
+        if codec.open(sealed.as_ref()).is_err() {
             continue; // forged or corrupted: drop, not fatal
         }
         let (from, msg) = match (&frame.env.src, &frame.env.msg) {
@@ -245,10 +404,8 @@ fn serve(
                     key: frame.key.clone(),
                     env: Envelope::to_client(me, from, resp),
                 };
-                let bytes = reply.to_wire_bytes();
-                let sealed =
-                    AuthCodec::new(chain.pair_key(reply.env.src, reply.env.dst)).seal(&bytes);
-                if write_frame(&mut stream, &sealed).is_err() {
+                let codec = AuthCodec::new(chain.pair_key(reply.env.src, reply.env.dst));
+                if !enqueue_reply(&reply_tx, SealedKv::seal(&codec, &reply), &tconfig) {
                     return;
                 }
             }
@@ -256,14 +413,12 @@ fn serve(
         }
         let responses = server.lock().handle(from, &frame.key, msg);
         for resp in responses {
-            let out = Envelope::to_client(me, from, resp);
             let reply = KvFrame {
                 key: frame.key.clone(),
-                env: out,
+                env: Envelope::to_client(me, from, resp),
             };
-            let bytes = reply.to_wire_bytes();
-            let sealed = AuthCodec::new(chain.pair_key(reply.env.src, reply.env.dst)).seal(&bytes);
-            if write_frame(&mut stream, &sealed).is_err() {
+            let codec = AuthCodec::new(chain.pair_key(reply.env.src, reply.env.dst));
+            if !enqueue_reply(&reply_tx, SealedKv::seal(&codec, &reply), &tconfig) {
                 return;
             }
         }
@@ -315,7 +470,7 @@ impl KvLink {
 pub struct TcpKvTransport {
     chain: KeyChain,
     links: BTreeMap<ServerId, KvLink>,
-    config: safereg_common::config::TransportConfig,
+    config: TransportConfig,
     /// Jitter rolls for backoff waits.
     rng: safereg_common::rng::DetRng,
 }
@@ -334,18 +489,14 @@ impl TcpKvTransport {
     /// Unreachable replicas are not abandoned — they are retried lazily on
     /// later exchanges.
     pub fn connect(servers: &BTreeMap<ServerId, SocketAddr>, chain: KeyChain) -> Self {
-        Self::connect_with(
-            servers,
-            chain,
-            safereg_common::config::TransportConfig::default(),
-        )
+        Self::connect_with(servers, chain, TransportConfig::default())
     }
 
     /// Connects with an explicit transport policy.
     pub fn connect_with(
         servers: &BTreeMap<ServerId, SocketAddr>,
         chain: KeyChain,
-        config: safereg_common::config::TransportConfig,
+        config: TransportConfig,
     ) -> Self {
         let mut links = BTreeMap::new();
         for (sid, addr) in servers {
@@ -389,7 +540,7 @@ impl TcpKvTransport {
     /// Overrides the whole transport policy (applies to future connects
     /// and backoff decisions; live streams keep their read timeout until
     /// [`set_timeout`](Self::set_timeout) or a reconnect).
-    pub fn set_config(&mut self, config: safereg_common::config::TransportConfig) {
+    pub fn set_config(&mut self, config: TransportConfig) {
         self.config = config;
     }
 
@@ -469,14 +620,17 @@ impl KvTransport for TcpKvTransport {
             key: Bytes::copy_from_slice(key),
             env: Envelope::to_server(from, to, msg.clone()),
         };
-        let bytes = frame.to_wire_bytes();
-        let sealed = AuthCodec::new(self.chain.pair_key(frame.env.src, frame.env.dst)).seal(&bytes);
+        // Encode once into (head, tail) parts — the tail is a slice of the
+        // value being put, never a re-buffered copy — and MAC them in
+        // streaming fashion.
+        let codec = AuthCodec::new(self.chain.pair_key(frame.env.src, frame.env.dst));
+        let sealed = SealedKv::seal(&codec, &frame);
         let stream = self
             .links
             .get_mut(&to)
             .and_then(|l| l.stream.as_mut())
             .expect("ensure_connected left a live stream");
-        if write_frame(stream, &sealed).is_err() {
+        if sealed.write_to(stream).is_err() {
             return Err(self.fail_link(to));
         }
         // One response per request in the KV protocol.
@@ -491,16 +645,17 @@ impl KvTransport for TcpKvTransport {
             link.failures = 0;
             link.set_state(to, STATE_CLOSED);
         }
-        if sealed.len() < 32 {
+        if sealed.len() < DIGEST_LEN {
             return Ok(Vec::new());
         }
-        let (payload, _mac) = sealed.split_at(sealed.len() - 32);
-        let reply = match KvFrame::from_wire_bytes(payload) {
+        let payload = sealed.slice(..sealed.len() - DIGEST_LEN);
+        // Borrowing decode: the returned value aliases the frame buffer.
+        let reply = match KvFrame::from_bytes(&payload) {
             Ok(f) => f,
             Err(_) => return Ok(Vec::new()),
         };
         if AuthCodec::new(self.chain.pair_key(reply.env.src, reply.env.dst))
-            .open(&sealed)
+            .open(sealed.as_ref())
             .is_err()
         {
             return Ok(Vec::new());
@@ -545,22 +700,47 @@ pub fn fetch_metrics(
 pub struct TcpKvCluster {
     cfg: QuorumConfig,
     chain: KeyChain,
+    tconfig: TransportConfig,
     hosts: BTreeMap<ServerId, KvServerHost>,
 }
 
 impl TcpKvCluster {
-    /// Starts `n` replicas in the given mode.
+    /// Starts `n` replicas in the given mode with the default
+    /// [`TransportConfig`].
     ///
     /// # Errors
     ///
     /// Propagates bind errors.
     pub fn start(cfg: QuorumConfig, mode: KvMode, master_seed: &[u8]) -> std::io::Result<Self> {
+        Self::start_with(cfg, mode, master_seed, TransportConfig::default())
+    }
+
+    /// Starts `n` replicas with an explicit transport policy governing each
+    /// replica's per-connection reply outbox (capacity and shed policy).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn start_with(
+        cfg: QuorumConfig,
+        mode: KvMode,
+        master_seed: &[u8],
+        tconfig: TransportConfig,
+    ) -> std::io::Result<Self> {
         let chain = KeyChain::from_master_seed(master_seed);
         let mut hosts = BTreeMap::new();
         for sid in cfg.servers() {
-            hosts.insert(sid, KvServerHost::spawn(sid, cfg, mode, chain.clone())?);
+            hosts.insert(
+                sid,
+                KvServerHost::spawn_with(sid, cfg, mode, chain.clone(), tconfig)?,
+            );
         }
-        Ok(TcpKvCluster { cfg, chain, hosts })
+        Ok(TcpKvCluster {
+            cfg,
+            chain,
+            tconfig,
+            hosts,
+        })
     }
 
     /// The deployment configuration.
@@ -588,10 +768,7 @@ impl TcpKvCluster {
     /// A transport with an explicit policy (e.g.
     /// [`TransportConfig::aggressive`](safereg_common::config::TransportConfig::aggressive)
     /// for fault-injection tests).
-    pub fn transport_with(
-        &self,
-        config: safereg_common::config::TransportConfig,
-    ) -> TcpKvTransport {
+    pub fn transport_with(&self, config: TransportConfig) -> TcpKvTransport {
         TcpKvTransport::connect_with(&self.addrs(), self.chain.clone(), config)
     }
 
@@ -616,7 +793,14 @@ impl TcpKvCluster {
         };
         let addr = old.addr();
         self.hosts.remove(&sid); // drop stops the old host first
-        let host = KvServerHost::spawn_on(sid, self.cfg, mode, self.chain.clone(), addr)?;
+        let host = KvServerHost::spawn_on_with(
+            sid,
+            self.cfg,
+            mode,
+            self.chain.clone(),
+            addr,
+            self.tconfig,
+        )?;
         self.hosts.insert(sid, host);
         Ok(())
     }
@@ -681,6 +865,9 @@ mod tests {
         // The replica counted the traffic the put/get just generated.
         assert!(dump.contains("\"metric\":\"kv.recv.query_tag\""));
         assert!(dump.contains("\"metric\":\"kv.recv.query_data\""));
+        // Backpressure counters are registered eagerly at host spawn, so
+        // the dump exposes them even when nothing has been shed yet.
+        assert!(dump.contains("\"metric\":\"chan.shed\""));
         // The admin read itself never touches register state.
         assert!(client
             .get(&mut transport, METRICS_KEY)
@@ -700,5 +887,28 @@ mod tests {
             client.get(&mut transport, b"blob").unwrap().as_bytes(),
             &blob[..]
         );
+    }
+
+    #[test]
+    fn every_shed_policy_serves_a_roundtrip() {
+        // The bounded reply outbox must be transparent when it never
+        // fills: each policy serves the same put/get sequence.
+        for (i, policy) in ShedPolicy::ALL.iter().enumerate() {
+            let tconfig = TransportConfig {
+                chan_capacity: 2,
+                shed_policy: *policy,
+                ..TransportConfig::default()
+            };
+            let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+            let cluster =
+                TcpKvCluster::start_with(cfg, KvMode::Replicated, b"kv-shed", tconfig).unwrap();
+            let mut transport = cluster.transport();
+            let mut client = KvClient::new(cfg, WriterId(i as u16), ReaderId(i as u16));
+            client.put(&mut transport, b"key", "value").unwrap();
+            assert_eq!(
+                client.get(&mut transport, b"key").unwrap().as_bytes(),
+                b"value"
+            );
+        }
     }
 }

@@ -58,12 +58,17 @@ pub fn column_count(value_len: usize, k: usize) -> usize {
 /// assert_eq!(elements[0].data.len(), 2); // ⌈2 / k⌉ with k = 1
 /// # Ok::<(), safereg_mds::MdsError>(())
 /// ```
+/// All `n` elements are written into a single arena buffer (element `i`
+/// occupying `arena[i·cols .. (i+1)·cols]`) that is converted to [`Bytes`]
+/// once; each element's `data` is then an O(1) slice of that arena. The
+/// BCSR writer turns these directly into per-server `PutData` envelopes,
+/// so one allocation backs every fragment the write fans out.
 pub fn encode_value(code: &ReedSolomon, value: &Value) -> Vec<CodedElement> {
     let n = code.n();
     let k = code.k();
     let bytes = value.as_bytes();
     let cols = column_count(bytes.len(), k);
-    let mut outputs: Vec<Vec<u8>> = vec![Vec::with_capacity(cols); n];
+    let mut arena = vec![0u8; n * cols];
     let mut column = vec![0u8; k];
     for c in 0..cols {
         column.fill(0);
@@ -72,16 +77,17 @@ pub fn encode_value(code: &ReedSolomon, value: &Value) -> Vec<CodedElement> {
         column[..end - start].copy_from_slice(&bytes[start..end]);
         let cw = code.encode(&column);
         for (i, symbol) in cw.iter().enumerate() {
-            outputs[i].push(*symbol);
+            arena[i * cols + c] = *symbol;
         }
     }
-    outputs
-        .into_iter()
-        .enumerate()
-        .map(|(i, data)| CodedElement {
+    let arena = Bytes::from(arena);
+    (0..n)
+        .map(|i| CodedElement {
             index: i as u16,
             value_len: bytes.len() as u32,
-            data: Bytes::from(data),
+            data: arena
+                .try_slice(i * cols..(i + 1) * cols)
+                .expect("arena sized as n*cols"),
         })
         .collect()
 }
@@ -149,6 +155,20 @@ mod tests {
         assert_eq!(elements.len(), 8);
         let back = decode_elements(&code, v.len(), &views(&elements)).unwrap();
         assert_eq!(back, v);
+    }
+
+    #[test]
+    fn elements_share_one_arena_allocation() {
+        let code = ReedSolomon::new(11, 1).unwrap();
+        let v = Value::from(vec![3u8; 64]);
+        let elements = encode_value(&code, &v);
+        let cols = column_count(v.len(), 1);
+        let base = elements[0].data.as_ref().as_ptr() as usize;
+        for (i, e) in elements.iter().enumerate() {
+            // Element i sits exactly i*cols bytes into the shared arena:
+            // adjacent slices of one allocation, not n separate buffers.
+            assert_eq!(e.data.as_ref().as_ptr() as usize, base + i * cols);
+        }
     }
 
     #[test]

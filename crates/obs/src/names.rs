@@ -37,6 +37,16 @@ pub const KV_BACKOFF_WAIT_MS: &str = "kv.backoff.wait_ms";
 /// from a reachable server answering nothing, which is Byzantine silence).
 pub const KV_EXCHANGE_UNREACHABLE: &str = "kv.exchange.unreachable";
 
+/// Payload bytes memcpy'd while opening envelopes on the wire path. The
+/// zero-copy decode keeps this at 0 for every relayed frame; a regression
+/// that reintroduces an owned-`Vec<u8>` payload copy shows up here (and is
+/// grep-gated in `scripts/ci.sh`).
+pub const WIRE_BYTES_COPIED: &str = "wire.bytes_copied";
+
+/// Frames shed by a bounded transport channel, summed over all links and
+/// policies. Per-policy breakdowns live under [`shed_counter`].
+pub const CHAN_SHED: &str = "chan.shed";
+
 /// Chaos proxy: frames forwarded untouched.
 pub const CHAOS_FORWARDED: &str = "chaos.frames.forwarded";
 
@@ -51,6 +61,12 @@ pub fn link_state_gauge(prefix: &str, server: u16) -> String {
     format!("{prefix}.link.state.s{server}")
 }
 
+/// Per-policy shed counter name (`chan.shed.block`, `chan.shed.drop_newest`,
+/// `chan.shed.drop_oldest`). `label` is `ShedPolicy::label()`.
+pub fn shed_counter(label: &str) -> String {
+    format!("{}.{label}", CHAN_SHED)
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -60,5 +76,12 @@ mod tests {
             "transport.link.state.s3"
         );
         assert_eq!(super::link_state_gauge("kv", 0), "kv.link.state.s0");
+    }
+
+    #[test]
+    fn shed_counter_names_are_stable() {
+        assert_eq!(super::shed_counter("block"), "chan.shed.block");
+        assert_eq!(super::shed_counter("drop_oldest"), "chan.shed.drop_oldest");
+        assert_eq!(super::WIRE_BYTES_COPIED, "wire.bytes_copied");
     }
 }

@@ -31,6 +31,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use safereg_common::buf::Bytes;
 use safereg_common::ids::ServerId;
 use safereg_common::msg::Envelope;
 use safereg_common::rng::DetRng;
@@ -287,12 +288,12 @@ impl FaultSchedule {
 /// Best-effort classification of a raw frame payload: sealed register
 /// envelopes decode directly; KV frames carry a key first, which the
 /// envelope decode rejects, so those (and garbage) classify as `None`.
-fn classify(payload: &[u8]) -> Option<MsgClass> {
+fn classify(payload: &Bytes) -> Option<MsgClass> {
     if payload.len() < 32 {
         return None;
     }
-    let (body, _mac) = payload.split_at(payload.len() - 32);
-    Envelope::from_wire_bytes(body)
+    let body = payload.slice(..payload.len() - 32);
+    Envelope::from_bytes(&body)
         .ok()
         .map(|e| MsgClass::of(&e.msg))
 }
@@ -309,8 +310,9 @@ impl FrameBuf {
         FrameBuf { buf: Vec::new() }
     }
 
-    /// Extracts the next complete frame payload, if buffered.
-    fn extract(&mut self) -> Option<Vec<u8>> {
+    /// Extracts the next complete frame payload, if buffered, as an
+    /// immutable [`Bytes`] the fault actions can slice without copying.
+    fn extract(&mut self) -> Option<Bytes> {
         if self.buf.len() < 4 {
             return None;
         }
@@ -318,7 +320,7 @@ impl FrameBuf {
         if self.buf.len() < 4 + len {
             return None;
         }
-        let payload = self.buf[4..4 + len].to_vec();
+        let payload = Bytes::from(self.buf[4..4 + len].to_vec());
         self.buf.drain(..4 + len);
         Some(payload)
     }
@@ -491,7 +493,7 @@ fn relay(
         let _ = dst.shutdown(Shutdown::Both);
     };
     loop {
-        while let Some(mut payload) = fb.extract() {
+        while let Some(payload) = fb.extract() {
             let class = classify(&payload);
             let action = sched.next_action(class);
             if action == FaultAction::Forward {
@@ -502,7 +504,7 @@ fn relay(
             }
             match action {
                 FaultAction::Forward => {
-                    if write_raw(&mut dst, &payload).is_err() {
+                    if write_raw(&mut dst, &[payload.as_ref()]).is_err() {
                         teardown(&src, &dst);
                         return;
                     }
@@ -510,19 +512,32 @@ fn relay(
                 FaultAction::Drop => {}
                 FaultAction::Delay { micros } => {
                     std::thread::sleep(Duration::from_micros(micros));
-                    if write_raw(&mut dst, &payload).is_err() {
+                    if write_raw(&mut dst, &[payload.as_ref()]).is_err() {
                         teardown(&src, &dst);
                         return;
                     }
                 }
                 FaultAction::Corrupt => {
-                    if !payload.is_empty() {
+                    // One byte is flipped; the untouched prefix and suffix
+                    // are written as slices of the original buffer, never
+                    // re-allocated.
+                    if payload.is_empty() {
+                        if write_raw(&mut dst, &[payload.as_ref()]).is_err() {
+                            teardown(&src, &dst);
+                            return;
+                        }
+                    } else {
                         let mid = payload.len() / 2;
-                        payload[mid] ^= 0xFF;
-                    }
-                    if write_raw(&mut dst, &payload).is_err() {
-                        teardown(&src, &dst);
-                        return;
+                        let flipped = [payload.as_ref()[mid] ^ 0xFF];
+                        let parts = [
+                            &payload.as_ref()[..mid],
+                            &flipped[..],
+                            &payload.as_ref()[mid + 1..],
+                        ];
+                        if write_raw(&mut dst, &parts).is_err() {
+                            teardown(&src, &dst);
+                            return;
+                        }
                     }
                 }
                 FaultAction::Truncate => {
@@ -531,7 +546,7 @@ fn relay(
                     // completes until the kill lands.
                     let len = payload.len() as u32;
                     let _ = dst.write_all(&len.to_le_bytes());
-                    let _ = dst.write_all(&payload[..payload.len() / 2]);
+                    let _ = dst.write_all(&payload.as_ref()[..payload.len() / 2]);
                     let _ = dst.flush();
                     teardown(&src, &dst);
                     return;
@@ -566,9 +581,15 @@ fn relay(
     }
 }
 
-fn write_raw(dst: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
-    dst.write_all(&(payload.len() as u32).to_le_bytes())?;
-    dst.write_all(payload)?;
+/// Writes one raw frame whose payload is the concatenation of `parts` —
+/// the corrupt path hands over (prefix, flipped byte, suffix) slices so
+/// the untouched bytes are never re-buffered.
+fn write_raw(dst: &mut TcpStream, parts: &[&[u8]]) -> std::io::Result<()> {
+    let len: usize = parts.iter().map(|p| p.len()).sum();
+    dst.write_all(&(len as u32).to_le_bytes())?;
+    for part in parts {
+        dst.write_all(part)?;
+    }
     dst.flush()
 }
 
@@ -717,7 +738,13 @@ mod tests {
                 got.push(f);
             }
         }
-        assert_eq!(got, vec![b"abc".to_vec(), b"xy".to_vec()]);
+        assert_eq!(
+            got,
+            vec![
+                Bytes::copy_from_slice(b"abc"),
+                Bytes::copy_from_slice(b"xy")
+            ]
+        );
     }
 
     #[test]
@@ -737,7 +764,7 @@ mod tests {
                     if s.read_exact(&mut buf).is_err() {
                         return;
                     }
-                    if write_raw(&mut s, &buf).is_err() {
+                    if write_raw(&mut s, &[&buf[..]]).is_err() {
                         return;
                     }
                 });
@@ -747,7 +774,7 @@ mod tests {
         let plan = FaultPlan::new(7, FaultSpec::calm());
         let proxy = ChaosProxy::spawn(ServerId(0), upstream, plan).unwrap();
         let mut client = TcpStream::connect(proxy.addr()).unwrap();
-        write_raw(&mut client, b"ping").unwrap();
+        write_raw(&mut client, &[&b"ping"[..]]).unwrap();
         let mut len = [0u8; 4];
         client.read_exact(&mut len).unwrap();
         let mut buf = vec![0u8; u32::from_le_bytes(len) as usize];
@@ -756,8 +783,8 @@ mod tests {
 
         proxy.sever();
         // The severed connection dies: either the write or the read fails.
-        let dead =
-            write_raw(&mut client, b"again").is_err() || client.read_exact(&mut [0u8; 4]).is_err();
+        let dead = write_raw(&mut client, &[&b"again"[..]]).is_err()
+            || client.read_exact(&mut [0u8; 4]).is_err();
         assert!(dead, "severed connection must not keep working");
     }
 }

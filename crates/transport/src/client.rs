@@ -16,6 +16,15 @@
 //! servers to answer (§II of the paper); the supervisors' job is to make
 //! sure a transient disconnect costs one retry slice instead of the whole
 //! deadline.
+//!
+//! Frames queue on *bounded* channels sized by
+//! [`TransportConfig::chan_capacity`]. When a link's writer stalls and its
+//! outbox fills, the config's [`ShedPolicy`] decides: block (with the
+//! `io_timeout` as a bound), drop the newest frame, or drop the oldest.
+//! Shedding is protocol-safe for the same reason resending is — a lost
+//! request is indistinguishable from a lost packet, and the retry schedule
+//! covers both. Every shed is counted on `chan.shed` plus a per-policy
+//! counter.
 
 use std::collections::BTreeMap;
 use std::net::{Shutdown, SocketAddr, TcpStream};
@@ -28,13 +37,15 @@ use safereg_common::history::ReadPath;
 use safereg_common::ids::{ClientId, NodeId, ServerId};
 use safereg_common::msg::{Envelope, Message, ServerToClient};
 use safereg_common::rng::DetRng;
-use safereg_common::sync::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use safereg_common::sync::channel::{
+    bounded, BoundedReceiver, BoundedSender, RecvTimeoutError, SendTimeoutError, ShedPolicy,
+};
 use safereg_core::op::{ClientOp, OpOutput};
 use safereg_crypto::keychain::KeyChain;
 use safereg_obs::names;
 use safereg_obs::trace::{self, MsgClass, NullRecorder, Recorder};
 
-use crate::frame::{open_envelope, read_frame, seal_envelope, write_frame};
+use crate::frame::{open_envelope, read_frame, seal_envelope, SealedFrame};
 
 /// Errors from driving operations over TCP.
 #[derive(Debug)]
@@ -142,8 +153,13 @@ impl LinkShared {
 }
 
 /// The client-side handle to one supervised server link.
+///
+/// The outbox carries already-sealed frames behind an [`Arc`], so a
+/// resend is an `Arc` clone, never a re-encode or re-MAC. It is bounded
+/// by [`TransportConfig::chan_capacity`]; what happens when it fills is
+/// the config's [`ShedPolicy`].
 struct ServerLink {
-    outbox: Sender<Vec<u8>>,
+    outbox: BoundedSender<Arc<SealedFrame>>,
     shared: Arc<LinkShared>,
 }
 
@@ -152,10 +168,10 @@ pub struct ClusterClient {
     id: ClientId,
     chain: KeyChain,
     links: BTreeMap<ServerId, ServerLink>,
-    responses: Receiver<(ServerId, ServerToClient)>,
+    responses: BoundedReceiver<(ServerId, ServerToClient)>,
     /// Kept so the response channel never reports `Disconnected` while
     /// the client is alive, even if every link is momentarily down.
-    _tx: Sender<(ServerId, ServerToClient)>,
+    _tx: BoundedSender<(ServerId, ServerToClient)>,
     config: TransportConfig,
     recorder: Arc<dyn Recorder>,
 }
@@ -199,7 +215,15 @@ impl ClusterClient {
         chain: KeyChain,
         config: TransportConfig,
     ) -> Result<Self, ClientError> {
-        let (tx, rx) = unbounded();
+        // Both directions are bounded: a stalled writer or a slow op
+        // sheds (or blocks) per the configured policy instead of growing
+        // an unbounded queue. Counters are created up front so the
+        // metrics dump shows them at 0 rather than omitting them.
+        let reg = safereg_obs::global();
+        reg.counter(names::WIRE_BYTES_COPIED);
+        reg.counter(names::CHAN_SHED);
+        reg.counter(&names::shed_counter(config.shed_policy.label()));
+        let (tx, rx) = bounded(config.chan_capacity, config.shed_policy);
         let mut links = BTreeMap::new();
         let mut reachable = 0usize;
         for (sid, addr) in servers {
@@ -216,7 +240,8 @@ impl ClusterClient {
             safereg_obs::global()
                 .gauge(&names::link_state_gauge("transport", sid.0))
                 .set(u64::from(STATE_CLOSED));
-            let (out_tx, out_rx) = unbounded::<Vec<u8>>();
+            let (out_tx, out_rx) =
+                bounded::<Arc<SealedFrame>>(config.chan_capacity, config.shed_policy);
             links.insert(
                 *sid,
                 ServerLink {
@@ -302,37 +327,72 @@ impl ClusterClient {
             .count()
     }
 
-    fn send(&self, env: &Envelope) {
+    /// Seals an envelope once for its destination link. Returns `None`
+    /// for non-server destinations. The caller keeps the [`Arc`] for
+    /// retries — a resend is an `Arc` clone, not a re-encode.
+    fn seal_for(&self, env: &Envelope) -> Option<(ServerId, MsgClass, Arc<SealedFrame>)> {
         let NodeId::Server(sid) = env.dst else {
-            return;
+            return None;
         };
+        Some((
+            sid,
+            MsgClass::of(&env.msg),
+            Arc::new(seal_envelope(&self.chain, env)),
+        ))
+    }
+
+    /// Queues a sealed frame on its link's bounded outbox.
+    ///
+    /// Under [`ShedPolicy::Block`] a full outbox blocks for at most the
+    /// config's `io_timeout`; a timeout is accounted as a shed (the frame
+    /// is protocol-safe to lose — ops resend). Under the drop policies
+    /// the channel sheds internally and reports the outcome.
+    fn send_sealed(&self, sid: ServerId, class: MsgClass, sealed: &Arc<SealedFrame>) {
         let Some(link) = self.links.get(&sid) else {
             return;
         };
+        let reg = safereg_obs::global();
         if link.shared.state.load(Ordering::SeqCst) == STATE_OPEN {
             // Breaker open: the server has repeatedly failed to deliver a
             // single frame. Don't queue traffic it will never see — the
             // quorum logic treats it like a silent Byzantine server.
-            safereg_obs::global()
-                .counter(names::TRANSPORT_SEND_DROPPED)
-                .inc();
+            reg.counter(names::TRANSPORT_SEND_DROPPED).inc();
             return;
         }
-        let sealed = seal_envelope(&self.chain, env);
-        let class = MsgClass::of(&env.msg);
-        let reg = safereg_obs::global();
+        let bytes = sealed.payload_len() as u64;
         reg.counter(&format!("transport.sent.{class}")).inc();
         reg.counter(&format!("transport.sent_bytes.{class}"))
-            .add(sealed.len() as u64);
+            .add(bytes);
         self.recorder.record(trace::Event {
             at: trace::wall_micros(),
-            kind: trace::EventKind::MsgSent {
-                class,
-                bytes: sealed.len() as u64,
-            },
+            kind: trace::EventKind::MsgSent { class, bytes },
         });
-        if link.outbox.send(sealed).is_err() {
-            reg.counter(names::TRANSPORT_SEND_DROPPED).inc();
+        let shed = match self.config.shed_policy {
+            ShedPolicy::Block => {
+                match link
+                    .outbox
+                    .send_timeout(Arc::clone(sealed), self.config.io_timeout)
+                {
+                    Ok(outcome) => outcome.shed(),
+                    Err(SendTimeoutError::Timeout(_)) => true,
+                    Err(SendTimeoutError::Disconnected(_)) => {
+                        reg.counter(names::TRANSPORT_SEND_DROPPED).inc();
+                        return;
+                    }
+                }
+            }
+            _ => match link.outbox.send(Arc::clone(sealed)) {
+                Ok(outcome) => outcome.shed(),
+                Err(_) => {
+                    reg.counter(names::TRANSPORT_SEND_DROPPED).inc();
+                    return;
+                }
+            },
+        };
+        if shed {
+            reg.counter(names::CHAN_SHED).inc();
+            reg.counter(&names::shed_counter(self.config.shed_policy.label()))
+                .inc();
         }
     }
 
@@ -360,14 +420,15 @@ impl ClusterClient {
             },
         });
         let started = std::time::Instant::now();
-        // Last envelope sent to each server and not yet answered — the
-        // resend set for retry ticks.
-        let mut pending: BTreeMap<ServerId, Envelope> = BTreeMap::new();
+        // Last frame sent to each server and not yet answered — the
+        // resend set for retry ticks. Frames are sealed exactly once;
+        // resends clone the `Arc`, not the bytes.
+        let mut pending: BTreeMap<ServerId, (MsgClass, Arc<SealedFrame>)> = BTreeMap::new();
         for env in op.start() {
-            if let NodeId::Server(sid) = env.dst {
-                pending.insert(sid, env.clone());
+            if let Some((sid, class, sealed)) = self.seal_for(&env) {
+                self.send_sealed(sid, class, &sealed);
+                pending.insert(sid, (class, sealed));
             }
-            self.send(&env);
         }
         let deadline = started + self.config.op_deadline;
         let slice = self.config.op_deadline / (self.config.retry_budget + 1);
@@ -390,9 +451,13 @@ impl ClusterClient {
             if let Some(tick) = next_resend {
                 if now >= tick {
                     let reg = safereg_obs::global();
-                    for env in pending.values().cloned().collect::<Vec<_>>() {
+                    let resend: Vec<_> = pending
+                        .iter()
+                        .map(|(sid, (class, sealed))| (*sid, *class, Arc::clone(sealed)))
+                        .collect();
+                    for (sid, class, sealed) in resend {
                         reg.counter(names::TRANSPORT_OP_RETRIES).inc();
-                        self.send(&env);
+                        self.send_sealed(sid, class, &sealed);
                     }
                     let following = tick + slice;
                     next_resend = (following < deadline).then_some(following);
@@ -405,10 +470,10 @@ impl ClusterClient {
                 Ok((sid, msg)) => {
                     pending.remove(&sid);
                     for env in op.on_message(sid, &msg) {
-                        if let NodeId::Server(to) = env.dst {
-                            pending.insert(to, env.clone());
+                        if let Some((to, class, sealed)) = self.seal_for(&env) {
+                            self.send_sealed(to, class, &sealed);
+                            pending.insert(to, (class, sealed));
                         }
-                        self.send(&env);
                     }
                 }
                 Err(RecvTimeoutError::Timeout) => continue,
@@ -473,8 +538,8 @@ struct Supervisor {
     chain: KeyChain,
     config: TransportConfig,
     shared: Arc<LinkShared>,
-    outbox: Receiver<Vec<u8>>,
-    responses: Sender<(ServerId, ServerToClient)>,
+    outbox: BoundedReceiver<Arc<SealedFrame>>,
+    responses: BoundedSender<(ServerId, ServerToClient)>,
     rng: DetRng,
 }
 
@@ -583,6 +648,7 @@ impl Supervisor {
         let shared = Arc::clone(&self.shared);
         let chain = self.chain.clone();
         let tx = self.responses.clone();
+        let policy = self.config.shed_policy;
         let handle = std::thread::Builder::new()
             .name(format!("safereg-client-rx-{}", self.shared.server))
             .spawn(move || {
@@ -602,8 +668,16 @@ impl Supervisor {
                     reg.counter(&format!("transport.recv_bytes.{class}"))
                         .add(frame.len() as u64);
                     if let (NodeId::Server(src), Message::ToClient(m)) = (env.src, env.msg) {
-                        if src == sid && tx.send((src, m)).is_err() {
-                            break;
+                        if src == sid {
+                            match tx.send((src, m)) {
+                                Ok(outcome) => {
+                                    if outcome.shed() {
+                                        reg.counter(names::CHAN_SHED).inc();
+                                        reg.counter(&names::shed_counter(policy.label())).inc();
+                                    }
+                                }
+                                Err(_) => break,
+                            }
                         }
                     }
                 }
@@ -619,7 +693,7 @@ impl Supervisor {
             }
             match self.outbox.recv_timeout(Duration::from_millis(50)) {
                 Ok(sealed) => {
-                    if write_frame(&mut writer, &sealed).is_err() {
+                    if sealed.write_to(&mut writer).is_err() {
                         break;
                     }
                 }
@@ -629,5 +703,86 @@ impl Supervisor {
         }
         let _ = writer.shutdown(Shutdown::Both);
         let _ = handle.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safereg_common::ids::WriterId;
+    use safereg_common::msg::{ClientToServer, OpId, Payload};
+    use safereg_common::tag::Tag;
+    use safereg_common::value::Value;
+    use std::net::TcpListener;
+
+    /// A full bounded outbox sheds frames (instead of queueing without
+    /// limit) and the sheds are visible on the `chan.shed` counters.
+    ///
+    /// Deterministic setup: the "server" accepts the connection but never
+    /// reads, so the link's writer thread blocks mid-write on a frame
+    /// larger than the kernel socket buffers. With `chan_capacity = 1`,
+    /// the next send fills the queue and every send after that sheds.
+    #[test]
+    fn full_outbox_sheds_and_counts() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let mut conns = Vec::new();
+            while let Ok((stream, _)) = listener.accept() {
+                conns.push(stream); // hold open, never read
+            }
+        });
+
+        let cfg = TransportConfig {
+            chan_capacity: 1,
+            shed_policy: ShedPolicy::DropNewest,
+            breaker_threshold: u32::MAX, // keep the breaker out of the way
+            ..TransportConfig::default()
+        };
+        let servers = BTreeMap::from([(ServerId(0), addr)]);
+        let client = ClusterClient::connect_with(
+            ClientId::Writer(WriterId(0)),
+            &servers,
+            KeyChain::from_master_seed(b"shed-test"),
+            cfg,
+        )
+        .unwrap();
+
+        let reg = safereg_obs::global();
+        let total_before = reg.counter(names::CHAN_SHED).get();
+        let policy_before = reg
+            .counter(&names::shed_counter(cfg.shed_policy.label()))
+            .get();
+
+        // 8 MiB payload: far beyond loopback socket buffering, so the
+        // writer thread wedges inside `write_to` on the first frame.
+        let env = Envelope::to_server(
+            ClientId::Writer(WriterId(0)),
+            ServerId(0),
+            ClientToServer::PutData {
+                op: OpId::new(WriterId(0), 1),
+                tag: Tag::new(1, WriterId(0)),
+                payload: Payload::Full(Value::from(vec![0xA5u8; 8 << 20])),
+            },
+        );
+        let (sid, class, sealed) = client.seal_for(&env).unwrap();
+        client.send_sealed(sid, class, &sealed);
+        // Let the writer thread pick the frame up and block on the socket.
+        std::thread::sleep(Duration::from_millis(300));
+        // Fills the capacity-1 queue, then sheds.
+        for _ in 0..3 {
+            client.send_sealed(sid, class, &sealed);
+        }
+
+        assert!(
+            reg.counter(names::CHAN_SHED).get() >= total_before + 2,
+            "expected at least 2 sheds on the full outbox"
+        );
+        assert!(
+            reg.counter(&names::shed_counter(cfg.shed_policy.label()))
+                .get()
+                >= policy_before + 2,
+            "per-policy shed counter must move with chan.shed"
+        );
     }
 }

@@ -1,21 +1,39 @@
-//! Length-prefixed, MAC-authenticated frames.
+//! Length-prefixed, MAC-authenticated frames over zero-copy [`Bytes`].
 //!
 //! Wire layout per frame: `u32` little-endian length, then `length` bytes
 //! of payload. For authenticated envelope exchange the payload is
 //! `encode(envelope) || HMAC(pair_key(src, dst), encode(envelope))` —
-//! sealed and opened by [`seal_envelope`] / [`open_envelope`], which derive
-//! the link key from the envelope's own endpoints. A frame whose MAC does
-//! not verify under the claimed endpoints' key is rejected, which is
-//! exactly the authentication guarantee the paper's model assumes.
+//! sealed by [`seal_envelope`] into a [`SealedFrame`] and opened by
+//! [`open_envelope`], which derive the link key from the envelope's own
+//! endpoints. A frame whose MAC does not verify under the claimed
+//! endpoints' key is rejected, which is exactly the authentication
+//! guarantee the paper's model assumes.
+//!
+//! # Zero-copy discipline
+//!
+//! Sealing never materializes the full frame: [`Envelope::encode_parts`]
+//! splits the encoding into a small serialized head and an O(1) clone of
+//! the payload's [`Bytes`] tail, the MAC is streamed over both parts
+//! ([`AuthCodec::mac_of_parts`]), and [`write_frame`] hands the header,
+//! head, tail and MAC to the socket as a vectored write. Opening borrows:
+//! [`read_frame`] returns the payload as [`Bytes`] and
+//! [`open_envelope`] decodes it with the borrowing decoder, so payload
+//! fields are O(1) slices of the received buffer. The
+//! [`wire.bytes_copied`](safereg_obs::names::WIRE_BYTES_COPIED) counter
+//! observes any payload memcpy the copying fallback performs; on this path
+//! it stays at zero.
 
-use std::io::{Read, Write};
+use std::io::{ErrorKind, IoSlice, Read, Write};
 use std::sync::{Arc, OnceLock};
 
-use safereg_common::codec::{Wire, WireError};
+use safereg_common::buf::Bytes;
+use safereg_common::codec::{payload_bytes_copied, Wire, WireError};
 use safereg_common::msg::Envelope;
 use safereg_crypto::auth::{AuthCodec, AuthError};
 use safereg_crypto::keychain::KeyChain;
+use safereg_crypto::sha256::DIGEST_LEN;
 use safereg_obs::metrics::{Counter, Histogram};
+use safereg_obs::names;
 
 /// Cached handles into the global registry so the per-frame hot path
 /// pays one atomic instead of a name lookup.
@@ -32,6 +50,11 @@ fn open_hist() -> &'static Arc<Histogram> {
 fn auth_fail_counter() -> &'static Arc<Counter> {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();
     C.get_or_init(|| safereg_obs::global().counter("transport.frame.auth_fail"))
+}
+
+fn bytes_copied_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| safereg_obs::global().counter(names::WIRE_BYTES_COPIED))
 }
 
 /// Maximum accepted frame length (64 MiB + MAC headroom).
@@ -72,25 +95,63 @@ impl From<std::io::Error> for FrameError {
     }
 }
 
-/// Writes one frame.
+/// Writes one frame whose payload is the concatenation of `parts`,
+/// without joining them into a contiguous buffer first: the length
+/// header and every part go to the socket as one vectored write.
 ///
 /// # Errors
 ///
 /// Propagates socket errors.
-pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), FrameError> {
-    let len = payload.len() as u32;
-    w.write_all(&len.to_le_bytes())?;
-    w.write_all(payload)?;
+pub fn write_frame<W: Write, B: AsRef<[u8]>>(w: &mut W, parts: &[B]) -> Result<(), FrameError> {
+    let len: usize = parts.iter().map(|p| p.as_ref().len()).sum();
+    let header = (len as u32).to_le_bytes();
+    let mut slices: Vec<&[u8]> = Vec::with_capacity(parts.len() + 1);
+    slices.push(&header);
+    slices.extend(parts.iter().map(AsRef::as_ref));
+    write_all_vectored(w, &mut slices)?;
     w.flush()?;
     Ok(())
 }
 
-/// Reads one frame.
+/// Drives `Write::write_vectored` to completion across short writes,
+/// advancing through `parts` in place.
+fn write_all_vectored<W: Write>(w: &mut W, parts: &mut [&[u8]]) -> std::io::Result<()> {
+    let mut idx = 0;
+    while idx < parts.len() {
+        if parts[idx].is_empty() {
+            idx += 1;
+            continue;
+        }
+        let bufs: Vec<IoSlice<'_>> = parts[idx..].iter().map(|p| IoSlice::new(p)).collect();
+        let mut n = match w.write_vectored(&bufs) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::WriteZero,
+                    "failed to write whole frame",
+                ))
+            }
+            Ok(n) => n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        while idx < parts.len() && n >= parts[idx].len() {
+            n -= parts[idx].len();
+            idx += 1;
+        }
+        if idx < parts.len() {
+            parts[idx] = &parts[idx][n..];
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame, returning its payload as an immutable [`Bytes`]
+/// buffer ready for O(1) slicing by the decode path.
 ///
 /// # Errors
 ///
 /// Propagates socket errors; refuses frames larger than [`MAX_FRAME`].
-pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, FrameError> {
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Bytes, FrameError> {
     let mut len_buf = [0u8; 4];
     r.read_exact(&mut len_buf)?;
     let len = u32::from_le_bytes(len_buf) as usize;
@@ -99,30 +160,88 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, FrameError> {
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
-    Ok(payload)
+    Ok(Bytes::from(payload))
 }
 
-/// Seals an envelope: wire-encodes it and appends the MAC under the
-/// link key of its `(src, dst)` pair.
-pub fn seal_envelope(chain: &KeyChain, env: &Envelope) -> Vec<u8> {
+/// An envelope sealed for one link: the serialized head, the payload
+/// tail (an O(1) clone of the sender's value buffer) and the MAC over
+/// their concatenation.
+///
+/// The three parts are kept separate so the frame can be written
+/// vectored and resent any number of times without re-encoding or
+/// re-MACing; [`SealedFrame::write_to`] is the hot-path sink.
+#[derive(Debug, Clone)]
+pub struct SealedFrame {
+    head: Vec<u8>,
+    tail: Bytes,
+    mac: [u8; DIGEST_LEN],
+}
+
+impl SealedFrame {
+    /// Total payload length of the frame (head + tail + MAC), i.e. the
+    /// value the `u32` length header carries.
+    pub fn payload_len(&self) -> usize {
+        self.head.len() + self.tail.len() + DIGEST_LEN
+    }
+
+    /// Writes the frame as one vectored write: header, head, tail, MAC.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), FrameError> {
+        write_frame(w, &[&self.head[..], self.tail.as_ref(), &self.mac[..]])
+    }
+
+    /// Materializes the sealed payload contiguously (tests, proxies).
+    /// The hot path never calls this — it writes the parts directly.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut joined = Vec::with_capacity(self.payload_len());
+        joined.extend_from_slice(&self.head);
+        joined.extend_from_slice(self.tail.as_ref());
+        joined.extend_from_slice(&self.mac);
+        Bytes::from(joined)
+    }
+}
+
+/// Seals an envelope under the link key of its `(src, dst)` pair.
+///
+/// The encoding is split by [`Envelope::encode_parts`]: the payload tail
+/// is an O(1) clone of the envelope's value buffer, never copied, and the
+/// MAC is streamed over `head ++ tail` without concatenating them.
+pub fn seal_envelope(chain: &KeyChain, env: &Envelope) -> SealedFrame {
     let start = std::time::Instant::now();
-    let bytes = env.to_wire_bytes();
-    let sealed = AuthCodec::new(chain.pair_key(env.src, env.dst)).seal(&bytes);
+    let (head, tail) = env.encode_parts();
+    let tail = tail.unwrap_or_default();
+    let mac =
+        AuthCodec::new(chain.pair_key(env.src, env.dst)).mac_of_parts(&[&head, tail.as_ref()]);
     seal_hist().record(start.elapsed().as_micros() as u64);
-    sealed
+    SealedFrame { head, tail, mac }
 }
 
-/// Opens a sealed envelope: decodes, then verifies the MAC under the key
-/// of the *claimed* endpoints — a forger who lacks that pair key cannot
-/// produce a frame that passes.
+/// Opens a sealed envelope: decodes with the borrowing decoder (payload
+/// fields are O(1) slices of `frame`), then verifies the MAC under the
+/// key of the *claimed* endpoints — a forger who lacks that pair key
+/// cannot produce a frame that passes.
+///
+/// Accepts anything convertible into [`Bytes`]; pass `&Bytes` (an O(1)
+/// clone) to keep the relay path copy-free. Any payload bytes the decode
+/// does copy are surfaced on the
+/// [`wire.bytes_copied`](names::WIRE_BYTES_COPIED) counter.
 ///
 /// # Errors
 ///
 /// [`FrameError::Codec`] for malformed bytes, [`FrameError::Auth`] for MAC
 /// failures.
-pub fn open_envelope(chain: &KeyChain, frame: &[u8]) -> Result<Envelope, FrameError> {
+pub fn open_envelope(chain: &KeyChain, frame: impl Into<Bytes>) -> Result<Envelope, FrameError> {
+    let frame = frame.into();
     let start = std::time::Instant::now();
-    let result = open_envelope_inner(chain, frame);
+    let copied_before = payload_bytes_copied();
+    let result = open_envelope_inner(chain, &frame);
+    // Global delta: exact on the wire path, where only this open runs; a
+    // concurrent copying decode elsewhere can only inflate it, never hide
+    // a copy — safe for a "must be zero" gate.
+    bytes_copied_counter().add(payload_bytes_copied() - copied_before);
     open_hist().record(start.elapsed().as_micros() as u64);
     if matches!(result, Err(FrameError::Auth(_))) {
         auth_fail_counter().inc();
@@ -130,14 +249,14 @@ pub fn open_envelope(chain: &KeyChain, frame: &[u8]) -> Result<Envelope, FrameEr
     result
 }
 
-fn open_envelope_inner(chain: &KeyChain, frame: &[u8]) -> Result<Envelope, FrameError> {
-    if frame.len() < 32 {
+fn open_envelope_inner(chain: &KeyChain, frame: &Bytes) -> Result<Envelope, FrameError> {
+    if frame.len() < DIGEST_LEN {
         return Err(FrameError::Auth(AuthError::TooShort { len: frame.len() }));
     }
-    let (payload, _mac) = frame.split_at(frame.len() - 32);
-    let env = Envelope::from_wire_bytes(payload).map_err(FrameError::Codec)?;
+    let payload = frame.slice(..frame.len() - DIGEST_LEN);
+    let env = Envelope::from_bytes(&payload).map_err(FrameError::Codec)?;
     AuthCodec::new(chain.pair_key(env.src, env.dst))
-        .open(frame)
+        .open(frame.as_ref())
         .map_err(FrameError::Auth)?;
     Ok(env)
 }
@@ -145,8 +264,10 @@ fn open_envelope_inner(chain: &KeyChain, frame: &[u8]) -> Result<Envelope, Frame
 #[cfg(test)]
 mod tests {
     use super::*;
-    use safereg_common::ids::{ClientId, ReaderId, ServerId};
-    use safereg_common::msg::{ClientToServer, OpId};
+    use safereg_common::ids::{ClientId, ReaderId, ServerId, WriterId};
+    use safereg_common::msg::{ClientToServer, Message, OpId, Payload};
+    use safereg_common::tag::Tag;
+    use safereg_common::value::Value;
 
     fn env() -> Envelope {
         Envelope::to_server(
@@ -161,11 +282,33 @@ mod tests {
     #[test]
     fn frame_roundtrip_over_a_buffer() {
         let mut buf = Vec::new();
-        write_frame(&mut buf, b"hello").unwrap();
-        write_frame(&mut buf, b"world!").unwrap();
+        write_frame(&mut buf, &[&b"hello"[..]]).unwrap();
+        write_frame(&mut buf, &[&b"wor"[..], &b""[..], &b"ld!"[..]]).unwrap();
         let mut cursor = std::io::Cursor::new(buf);
-        assert_eq!(read_frame(&mut cursor).unwrap(), b"hello");
-        assert_eq!(read_frame(&mut cursor).unwrap(), b"world!");
+        assert_eq!(read_frame(&mut cursor).unwrap().as_ref(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().as_ref(), b"world!");
+    }
+
+    #[test]
+    fn vectored_write_survives_short_writes() {
+        /// A writer that accepts one byte per call.
+        struct OneByte(Vec<u8>);
+        impl Write for OneByte {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if buf.is_empty() {
+                    return Ok(0);
+                }
+                self.0.push(buf[0]);
+                Ok(1)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = OneByte(Vec::new());
+        write_frame(&mut w, &[&b"ab"[..], &b"cde"[..]]).unwrap();
+        let mut cursor = std::io::Cursor::new(w.0);
+        assert_eq!(read_frame(&mut cursor).unwrap().as_ref(), b"abcde");
     }
 
     #[test]
@@ -182,18 +325,82 @@ mod tests {
     #[test]
     fn sealed_envelope_roundtrips() {
         let chain = KeyChain::from_master_seed(b"seed");
-        let frame = seal_envelope(&chain, &env());
+        let sealed = seal_envelope(&chain, &env());
+        let frame = sealed.to_bytes();
+        assert_eq!(frame.len(), sealed.payload_len());
         let back = open_envelope(&chain, &frame).unwrap();
         assert_eq!(back, env());
     }
 
     #[test]
+    fn write_to_emits_the_same_bytes_as_to_bytes() {
+        let chain = KeyChain::from_master_seed(b"seed");
+        let sealed = seal_envelope(&chain, &env());
+        let mut wire = Vec::new();
+        sealed.write_to(&mut wire).unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut cursor).unwrap(), sealed.to_bytes());
+    }
+
+    #[test]
+    fn sealing_shares_the_payload_buffer() {
+        // The sealed tail aliases the value's allocation: encode-once,
+        // slice-per-destination.
+        let chain = KeyChain::from_master_seed(b"seed");
+        let value = Value::from(vec![7u8; 512]);
+        let payload_ptr = value.bytes().as_ref().as_ptr();
+        let e = Envelope::to_server(
+            ClientId::Writer(WriterId(0)),
+            ServerId(0),
+            ClientToServer::PutData {
+                op: OpId::new(WriterId(0), 1),
+                tag: Tag::new(1, WriterId(0)),
+                payload: Payload::Full(value),
+            },
+        );
+        let sealed = seal_envelope(&chain, &e);
+        assert_eq!(sealed.tail.as_ref().as_ptr(), payload_ptr);
+        let back = open_envelope(&chain, sealed.to_bytes()).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn opening_copies_no_payload_bytes() {
+        let chain = KeyChain::from_master_seed(b"seed");
+        let e = Envelope::to_server(
+            ClientId::Writer(WriterId(0)),
+            ServerId(0),
+            ClientToServer::PutData {
+                op: OpId::new(WriterId(0), 1),
+                tag: Tag::new(1, WriterId(0)),
+                payload: Payload::Full(Value::from(vec![9u8; 4096])),
+            },
+        );
+        let frame = seal_envelope(&chain, &e).to_bytes();
+        let before = payload_bytes_copied();
+        let back = open_envelope(&chain, &frame).unwrap();
+        assert_eq!(payload_bytes_copied(), before, "open must not memcpy");
+        // And the decoded payload aliases the received frame.
+        match back.msg {
+            Message::ToServer(ClientToServer::PutData {
+                payload: Payload::Full(v),
+                ..
+            }) => {
+                let frame_range = frame.as_ref().as_ptr() as usize
+                    ..frame.as_ref().as_ptr() as usize + frame.len();
+                assert!(frame_range.contains(&(v.bytes().as_ref().as_ptr() as usize)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn tampered_envelope_is_rejected() {
         let chain = KeyChain::from_master_seed(b"seed");
-        let mut frame = seal_envelope(&chain, &env());
+        let mut frame = seal_envelope(&chain, &env()).to_bytes().to_vec();
         frame[4] ^= 0xFF;
         assert!(matches!(
-            open_envelope(&chain, &frame),
+            open_envelope(&chain, frame),
             Err(FrameError::Auth(_)) | Err(FrameError::Codec(_))
         ));
     }
@@ -202,7 +409,7 @@ mod tests {
     fn wrong_keychain_is_rejected() {
         let chain = KeyChain::from_master_seed(b"seed");
         let other = KeyChain::from_master_seed(b"other");
-        let frame = seal_envelope(&chain, &env());
+        let frame = seal_envelope(&chain, &env()).to_bytes();
         assert!(matches!(
             open_envelope(&other, &frame),
             Err(FrameError::Auth(_))
@@ -215,14 +422,13 @@ mod tests {
         // process; the MAC was made under the wrong pair key and fails.
         let chain = KeyChain::from_master_seed(b"seed");
         let mut e = env();
-        let frame = seal_envelope(&chain, &e);
+        let frame = seal_envelope(&chain, &e).to_bytes();
         // Forge: claim the same payload came from server 5 instead.
         e.src = ServerId(5).into();
-        let forged_payload = e.to_wire_bytes();
-        let mut forged = forged_payload.clone();
-        forged.extend_from_slice(&frame[frame.len() - 32..]); // reuse old MAC
+        let mut forged = e.to_bytes().to_vec();
+        forged.extend_from_slice(&frame.as_ref()[frame.len() - DIGEST_LEN..]); // reuse old MAC
         assert!(matches!(
-            open_envelope(&chain, &forged),
+            open_envelope(&chain, forged),
             Err(FrameError::Auth(_))
         ));
     }

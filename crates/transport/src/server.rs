@@ -20,7 +20,7 @@ use safereg_core::server::ServerNode;
 use safereg_crypto::keychain::KeyChain;
 use safereg_obs::trace::MsgClass;
 
-use crate::frame::{open_envelope, read_frame, seal_envelope, write_frame, FrameError};
+use crate::frame::{open_envelope, read_frame, seal_envelope, FrameError};
 
 /// Counts a connection open on creation and the matching close on drop,
 /// so every exit path out of [`serve_connection`] balances the books.
@@ -163,6 +163,8 @@ fn serve_connection(
             }
             Err(_) => return, // disconnect or garbage: drop the connection
         };
+        // Borrowing decode: the envelope's payload fields are O(1) slices
+        // of `frame`; `wire.bytes_copied` stays at zero on this path.
         let env = match open_envelope(&chain, &frame) {
             Ok(e) => e,
             Err(_) => continue, // unauthenticated frame: ignored, not fatal
@@ -185,12 +187,14 @@ fn serve_connection(
         };
         for resp in responses {
             let out = Envelope::to_client(sid, from, resp);
+            // Sealing slices the node's stored value (no payload copy) and
+            // the frame goes out as one vectored write.
             let sealed = seal_envelope(&chain, &out);
             let class = MsgClass::of(&out.msg);
             reg.counter(&format!("transport.sent.{class}")).inc();
             reg.counter(&format!("transport.sent_bytes.{class}"))
-                .add(sealed.len() as u64);
-            if write_frame(&mut stream, &sealed).is_err() {
+                .add(sealed.payload_len() as u64);
+            if sealed.write_to(&mut stream).is_err() {
                 return;
             }
         }
@@ -224,7 +228,7 @@ mod tests {
                 op: OpId::new(ReaderId(0), 1),
             },
         );
-        write_frame(&mut stream, &seal_envelope(&chain, &env)).unwrap();
+        seal_envelope(&chain, &env).write_to(&mut stream).unwrap();
         let frame = read_frame(&mut stream).unwrap();
         let resp = open_envelope(&chain, &frame).unwrap();
         match resp.msg {
@@ -238,7 +242,7 @@ mod tests {
         let (host, chain, _cfg) = start_one();
         let mut stream = TcpStream::connect(host.addr()).unwrap();
         // Garbage first...
-        write_frame(&mut stream, b"not an envelope at all").unwrap();
+        crate::frame::write_frame(&mut stream, &[&b"not an envelope at all"[..]]).unwrap();
         // ...then a genuine request still gets served on the same stream.
         let env = Envelope::to_server(
             ClientId::Reader(ReaderId(0)),
@@ -247,7 +251,7 @@ mod tests {
                 op: OpId::new(ReaderId(0), 1),
             },
         );
-        write_frame(&mut stream, &seal_envelope(&chain, &env)).unwrap();
+        seal_envelope(&chain, &env).write_to(&mut stream).unwrap();
         stream
             .set_read_timeout(Some(std::time::Duration::from_secs(5)))
             .unwrap();

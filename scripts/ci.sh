@@ -40,4 +40,17 @@ echo "$chaos_out"
 grep -q 'chaos: self-healing ok' <<< "$chaos_out" ||
     { echo "ci.sh: chaos smoke run did not self-heal" >&2; exit 1; }
 
+# Wire smoke: the zero-copy wire-path microbench (BCSR write fan-out at
+# n=11, f=2). The run emits BENCH_wire.json and exits nonzero when either
+# acceptance bar fails; the greps pin both bars on the verdict line — the
+# borrowing relay decode must copy zero payload bytes, and the encode-once
+# path must allocate at least 2x less than the old per-destination path.
+echo "==> paper_harness wire | grep verdicts"
+wire_out=$(cargo run --release --offline -q -p safereg-bench --bin paper_harness wire)
+echo "$wire_out"
+grep -q 'relay bytes copied = 0 ' <<< "$wire_out" ||
+    { echo "ci.sh: wire relay path copied payload bytes" >&2; exit 1; }
+grep -q 'wire: ok' <<< "$wire_out" ||
+    { echo "ci.sh: wire microbench failed its acceptance bars" >&2; exit 1; }
+
 echo "ci.sh: all checks passed"

@@ -111,6 +111,116 @@ fn kv_ops_survive_chaos_with_server_kill_and_restart() {
     );
 }
 
+/// Every shedding policy must preserve per-key register safety under the
+/// same chaos torture: replies leave each replica through a deliberately
+/// tiny bounded outbox, the adversary severs and kill/restarts one replica
+/// (`<= f`), and the checker's predicates must still hold for every key.
+/// The metrics dump fetched from a live replica must expose the `chan.shed`
+/// counters (registered eagerly, so visible even at zero).
+#[test]
+fn every_shed_policy_survives_chaos_torture() {
+    use safereg::common::sync::channel::ShedPolicy;
+    use safereg::kv::fetch_metrics;
+
+    for (p, policy) in ShedPolicy::ALL.iter().enumerate() {
+        let tconfig = TransportConfig {
+            // A 4-deep outbox: small enough that shedding is plausible
+            // under chaos, large enough that the strict request/response
+            // exchange never deadlocks.
+            chan_capacity: 4,
+            shed_policy: *policy,
+            ..torture_policy()
+        };
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let mut cluster =
+            TcpKvCluster::start_with(cfg, KvMode::Replicated, b"kv-shed-chaos", tconfig).unwrap();
+        let plan = FaultPlan::new(0x5EED_0000 + p as u64, FaultSpec::mild());
+        let net = ChaosNet::wrap(&cluster.addrs(), &plan).unwrap();
+        let mut transport =
+            TcpKvTransport::connect_with(&net.addrs(), cluster.chain().clone(), torture_policy());
+
+        let mut client = KvClient::new(cfg, WriterId(p as u16), ReaderId(p as u16));
+        client.set_policy(torture_policy());
+
+        let mut histories: Vec<History> = (0..2).map(|_| History::new()).collect();
+        let keys: [&[u8]; 2] = [b"alpha", b"beta"];
+
+        let rounds = 4usize;
+        for i in 0..rounds {
+            match i {
+                1 => net.sever(ServerId(4)),
+                2 => {
+                    cluster.crash(ServerId(4));
+                    cluster.restart(ServerId(4), KvMode::Replicated).unwrap();
+                }
+                _ => {}
+            }
+            for (k, key) in keys.iter().enumerate() {
+                let value = Value::from(
+                    format!("{}-{}-gen{i}", policy.label(), String::from_utf8_lossy(key))
+                        .into_bytes(),
+                );
+                let op = OpId::new(
+                    ClientId::Writer(WriterId(p as u16)),
+                    (i * keys.len() + k) as u64 + 1,
+                );
+                let h = histories[k].begin_write(op, value.clone(), wall_micros());
+                let tag = client.put(&mut transport, key, value).unwrap_or_else(|e| {
+                    panic!("[{}] put {key:?} round {i} failed: {e}", policy.label())
+                });
+                histories[k].complete_write(h, tag, wall_micros());
+
+                let op = OpId::new(
+                    ClientId::Reader(ReaderId(p as u16)),
+                    (i * keys.len() + k) as u64 + 1,
+                );
+                let h = histories[k].begin_read(op, wall_micros());
+                let got = client.get(&mut transport, key).unwrap_or_else(|e| {
+                    panic!("[{}] get {key:?} round {i} failed: {e}", policy.label())
+                });
+                histories[k].complete_read(h, got, tag, wall_micros());
+            }
+        }
+
+        for (k, history) in histories.iter().enumerate() {
+            let summary = CheckSummary::check_all(history);
+            assert!(
+                summary.is_safe(),
+                "[{}] key {k}: chaos run violated register safety: {:?}",
+                policy.label(),
+                summary.safety
+            );
+            assert!(
+                summary.order.is_empty(),
+                "[{}] key {k}: write order violated: {:?}",
+                policy.label(),
+                summary.order
+            );
+        }
+
+        // The dump from an untouched replica must carry the backpressure
+        // counters for the policy this cluster runs under.
+        let dump = fetch_metrics(
+            &mut transport,
+            ClientId::Reader(ReaderId(p as u16)),
+            ServerId(0),
+            9_000 + p as u64,
+        )
+        .unwrap_or_else(|| panic!("[{}] metrics dump unavailable", policy.label()));
+        assert!(
+            dump.contains("\"metric\":\"chan.shed\""),
+            "[{}] dump is missing chan.shed",
+            policy.label()
+        );
+        let per_policy = format!("\"metric\":\"chan.shed.{}\"", policy.label());
+        assert!(
+            dump.contains(&per_policy),
+            "[{}] dump is missing the per-policy shed counter",
+            policy.label()
+        );
+    }
+}
+
 /// Unreachable vs. silent: a crashed replica reports `Unreachable` (and is
 /// retried), while the quorum error distinguishes network faults from
 /// Byzantine silence.
