@@ -8,6 +8,7 @@
 use safereg_bench::ablations;
 use safereg_bench::chaos as chaos_scenario;
 use safereg_bench::experiments;
+use safereg_bench::soak as soak_harness;
 use safereg_bench::table;
 use safereg_bench::wire as wire_bench;
 
@@ -480,8 +481,125 @@ fn wire() {
     }
 }
 
+/// Parses `soak` flags and runs the harness; exits nonzero on failure.
+///
+/// ```text
+/// paper_harness soak --ops 20000 --byz f --seed 7 [--epochs 5]
+///                    [--writers 4] [--readers 4] [--keys 4]
+/// ```
+fn soak(flags: &[String]) -> ! {
+    let mut cfg = soak_harness::SoakConfig::default();
+    let mut i = 0;
+    while i < flags.len() {
+        let flag = flags[i].as_str();
+        let Some(value) = flags.get(i + 1) else {
+            eprintln!("soak: {flag} needs a value");
+            std::process::exit(2);
+        };
+        let parse = |what: &str| {
+            value.parse::<u64>().unwrap_or_else(|_| {
+                eprintln!("soak: {what} must be a number, got {value}");
+                std::process::exit(2);
+            })
+        };
+        match flag {
+            "--ops" => cfg.ops = parse("--ops"),
+            // `--byz f` pins the count to the deployment's resilience
+            // bound; a number is clamped to `f` by the harness anyway.
+            "--byz" if value == "f" => cfg.byz = usize::MAX,
+            "--byz" => cfg.byz = parse("--byz") as usize,
+            "--seed" => cfg.seed = parse("--seed"),
+            "--epochs" => cfg.epochs = parse("--epochs") as usize,
+            "--writers" => cfg.writers = parse("--writers") as usize,
+            "--readers" => cfg.readers = parse("--readers") as usize,
+            "--keys" => cfg.keys = parse("--keys") as usize,
+            _ => {
+                eprintln!("soak: unknown flag {flag}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+
+    println!(
+        "== soak: {} ops, {} writers + {} readers, {} epochs, seed {} ==",
+        cfg.ops, cfg.writers, cfg.readers, cfg.epochs, cfg.seed
+    );
+    let r = soak_harness::soak_run(&cfg);
+    let rows: Vec<Vec<String>> = r
+        .epochs
+        .iter()
+        .map(|s| {
+            vec![
+                s.epoch.to_string(),
+                s.byz
+                    .iter()
+                    .map(|(sid, label)| format!("{}={label}", sid.0))
+                    .collect::<Vec<_>>()
+                    .join(","),
+                s.ops_completed.to_string(),
+                s.failures.to_string(),
+                format!("{} ms", s.millis),
+                format!("{} KiB", s.rss_kib),
+                s.evictions.to_string(),
+                s.restarts.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "epoch",
+                "byzantine",
+                "ops",
+                "failures",
+                "wall",
+                "rss",
+                "evictions",
+                "restarts"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "soak: {}/{} ops completed, {} failures, {} reads checked, \
+         peak window {} records, {} pruned",
+        r.ops_completed, r.ops_attempted, r.failures, r.reads_checked, r.peak_window, r.pruned
+    );
+    println!(
+        "soak: violations = {} (0 required); rss bounded = {}; progressed = {}; \
+         schedule reproducible = {}",
+        r.violations.len(),
+        yes_no(r.rss_bounded),
+        yes_no(r.progressed),
+        yes_no(r.schedule_reproducible)
+    );
+    for v in &r.violations {
+        println!("  violation: {v}");
+    }
+    if let Err(e) = std::fs::write("BENCH_soak.json", r.to_json()) {
+        eprintln!("soak: could not write BENCH_soak.json: {e}");
+    }
+    // Full metrics dump: the CI smoke greps this for the degradation
+    // counters (`server.evictions`, `transport.batch.frames`).
+    println!(
+        "{}",
+        safereg_obs::render_jsonl(&safereg_obs::global().snapshot())
+    );
+    if r.ok() {
+        println!("soak: ok");
+        std::process::exit(0);
+    }
+    println!("soak: FAILED (rerun with --seed {} to replay)", r.seed);
+    std::process::exit(1);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("soak") {
+        soak(&args[1..]);
+    }
     let all: Vec<(&str, fn())> = vec![
         ("e1", e1),
         ("e2", e2),
@@ -513,7 +631,7 @@ fn main() {
             .collect()
     };
     if selected.is_empty() {
-        eprintln!("unknown experiment; available: e1..e13, a1..a5, chaos, wire, metrics");
+        eprintln!("unknown experiment; available: e1..e13, a1..a5, chaos, wire, metrics, soak");
         std::process::exit(2);
     }
     for (_, run) in selected {

@@ -21,8 +21,11 @@
 //!
 //! plus the design ablations [`ablations::a1_witness_threshold`],
 //! [`ablations::a2_tag_selection`], [`ablations::a3_decode_strategy`] and
-//! [`ablations::a4_history_retention`], and the [`chaos`] scenario that
-//! tortures the real TCP stack behind seeded fault-injection proxies.
+//! [`ablations::a4_history_retention`], the [`chaos`] scenario that
+//! tortures the real TCP stack behind seeded fault-injection proxies, and
+//! the [`soak`] harness that runs the kv store for epochs under rotating
+//! live-Byzantine replicas, server-side chaos and crash/restarts with a
+//! memory-bounded online safety checker.
 //!
 //! Run everything: `cargo run -p safereg-bench --bin paper_harness`.
 
@@ -30,5 +33,6 @@ pub mod ablations;
 pub mod chaos;
 pub mod experiments;
 pub mod search;
+pub mod soak;
 pub mod table;
 pub mod wire;

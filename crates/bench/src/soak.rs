@@ -1,0 +1,563 @@
+//! Memory-bounded soak: the live TCP kv stack under rotating Byzantine
+//! replicas, server-side chaos and crash/restarts, checked incrementally.
+//!
+//! The [`chaos`](crate::chaos) scenario runs a short, client-side-faulted
+//! workload and checks the full recorded history afterwards. The soak is
+//! the long-haul complement: `N` writer and `M` reader threads hammer a
+//! chaos-fronted [`TcpKvCluster`] for several *epochs*, and in every epoch
+//!
+//! * up to `f` replicas play a live Byzantine role from
+//!   [`ByzRole::FAULTY`], rotating both the afflicted replica and the role
+//!   each epoch ([`ByzRole::for_epoch`]);
+//! * every replica's accept path runs behind a server-side
+//!   [`ChaosProxy`](safereg_transport::chaos::ChaosProxy) whose
+//!   [`FaultPlan`] seed rotates per epoch (`seed ^ epoch`);
+//! * a supervisor kills and respawns the Byzantine replicas mid-epoch —
+//!   never more than `f` faulty at any instant, since the restarted
+//!   replica *is* the faulty one.
+//!
+//! Safety is judged online by one [`WindowedChecker`] per key, so memory
+//! stays flat no matter how many operations run: reads are checked at
+//! completion and forgotten, superseded writes are pruned. A watchdog
+//! snapshots `VmRSS` and the completed-op counter per epoch; the run fails
+//! on monotone RSS growth beyond a slack or on an epoch that completed
+//! nothing. Rebuilding every epoch's [`FaultPlan`] from its seed must
+//! reproduce the identical fault schedule ([`FaultPlan::fingerprint`]),
+//! so any failure is replayable from the `--seed` alone.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use safereg_checker::{Violation, WindowedChecker};
+use safereg_common::config::{BackoffPolicy, QuorumConfig, TransportConfig};
+use safereg_common::ids::{ReaderId, ServerId, WriterId};
+use safereg_common::msg::OpId;
+use safereg_common::value::Value;
+use safereg_core::behavior::ByzRole;
+use safereg_kv::{KvClient, KvMode, TcpKvCluster};
+use safereg_obs::names;
+use safereg_transport::chaos::{Direction, FaultPlan, FaultSpec};
+
+/// Knobs for one soak run.
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// Total operations budgeted across all threads and epochs.
+    pub ops: u64,
+    /// Byzantine replicas per epoch, clamped to the deployment's `f`.
+    pub byz: usize,
+    /// Master seed: feeds every epoch's fault plan (`seed ^ epoch`) and
+    /// the Byzantine servers' forgery streams.
+    pub seed: u64,
+    /// Epochs (role-rotation periods). The RSS watchdog needs at least 2.
+    pub epochs: usize,
+    /// Writer threads.
+    pub writers: usize,
+    /// Reader threads.
+    pub readers: usize,
+    /// Distinct keys; writers cycle through all of them every epoch so
+    /// each key is re-written between replica restarts (state lost by a
+    /// respawned replica is replenished before the next one loses its).
+    pub keys: usize,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig {
+            ops: 20_000,
+            byz: 1,
+            seed: 7,
+            epochs: 5,
+            writers: 4,
+            readers: 4,
+            keys: 4,
+        }
+    }
+}
+
+/// Watchdog snapshot taken at the end of each epoch.
+#[derive(Debug, Clone)]
+pub struct EpochStat {
+    /// Epoch index.
+    pub epoch: usize,
+    /// The replicas that played a Byzantine role this epoch, with labels.
+    pub byz: Vec<(ServerId, &'static str)>,
+    /// Operations completed during this epoch.
+    pub ops_completed: u64,
+    /// Operations abandoned during this epoch (retry budget exhausted).
+    pub failures: u64,
+    /// Wall-clock duration of the epoch's workload in milliseconds.
+    pub millis: u64,
+    /// `VmRSS` in KiB at epoch end (0 when `/proc` is unavailable).
+    pub rss_kib: u64,
+    /// `server.evictions` accumulated since the run started.
+    pub evictions: u64,
+    /// `server.restarts` accumulated since the run started.
+    pub restarts: u64,
+}
+
+/// Outcome of one soak run.
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    /// The master seed (reproduces the whole fault schedule).
+    pub seed: u64,
+    /// Operations attempted.
+    pub ops_attempted: u64,
+    /// Operations completed.
+    pub ops_completed: u64,
+    /// Operations abandoned after soak-level retries.
+    pub failures: u64,
+    /// Per-key safety violations found by the windowed checkers.
+    pub violations: Vec<Violation>,
+    /// Reads judged across all keys.
+    pub reads_checked: u64,
+    /// Largest per-key checker window seen — the memory bound in records.
+    pub peak_window: usize,
+    /// Records pruned across all keys.
+    pub pruned: u64,
+    /// Per-epoch watchdog snapshots.
+    pub epochs: Vec<EpochStat>,
+    /// RSS did not grow monotonically beyond the slack across epochs.
+    pub rss_bounded: bool,
+    /// Every epoch completed at least one operation.
+    pub progressed: bool,
+    /// Every epoch's fault plan, rebuilt from its seed, reproduced the
+    /// identical schedule bytes.
+    pub schedule_reproducible: bool,
+}
+
+impl SoakReport {
+    /// The acceptance predicate the CI smoke run greps for. Individual
+    /// operation failures under chaos are expected (and retried); what
+    /// must hold is safety, bounded memory, progress and replayability.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+            && self.rss_bounded
+            && self.progressed
+            && self.schedule_reproducible
+    }
+
+    /// Line-oriented JSON for `BENCH_soak.json`.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"seed\":{},\"ops_attempted\":{},\"ops_completed\":{},",
+                "\"failures\":{},\"violations\":{},\"reads_checked\":{},",
+                "\"peak_window\":{},\"pruned\":{},\"epochs\":{},",
+                "\"rss_bounded\":{},\"progressed\":{},",
+                "\"schedule_reproducible\":{},\"ok\":{}}}\n"
+            ),
+            self.seed,
+            self.ops_attempted,
+            self.ops_completed,
+            self.failures,
+            self.violations.len(),
+            self.reads_checked,
+            self.peak_window,
+            self.pruned,
+            self.epochs.len(),
+            self.rss_bounded,
+            self.progressed,
+            self.schedule_reproducible,
+            self.ok()
+        )
+    }
+}
+
+/// `VmRSS` of this process in KiB, 0 where `/proc` is unavailable.
+fn rss_kib() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmRSS:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Growth slack for the RSS watchdog: strictly-monotone growth below this
+/// total is tolerated (allocator warmup, thread stacks), above it the run
+/// is flagged as leaking.
+const RSS_SLACK_KIB: u64 = 8 * 1024;
+
+/// Soak-level retries per operation; each retry is a fresh protocol
+/// operation, the checker keeps judging the one logical op.
+const OP_RETRIES: usize = 4;
+
+/// Transport policy tuned for the soak's fault mix. The kv transport is
+/// synchronous, so every dropped/killed frame stalls the client one full
+/// `io_timeout` on the critical path — and the mild chaos spec faults a
+/// few percent of frames, so the timeout is the soak's unit of wasted
+/// time. Correct replicas on loopback answer in microseconds and injected
+/// delays cap at 5 ms, so 30 ms is still a 6× margin. In-op retries
+/// re-ask unreachable servers *and* reachable-but-silent ones (dropped
+/// or corrupted responses), so one extra pass heals most single-frame
+/// faults; beyond that the soak retries with a fresh operation, which
+/// re-asks everyone. The long breaker cooldown keeps Silent-replica
+/// probes rare.
+fn soak_transport() -> TransportConfig {
+    TransportConfig {
+        connect_timeout: Duration::from_millis(250),
+        op_deadline: Duration::from_secs(3),
+        io_timeout: Duration::from_millis(30),
+        retry_budget: 1,
+        backoff: BackoffPolicy {
+            base: Duration::from_millis(20),
+            cap: Duration::from_millis(1000),
+            jitter_permille: 200,
+        },
+        breaker_threshold: 3,
+        ..TransportConfig::aggressive()
+    }
+}
+
+/// Runs the soak against an `n = 4f + 1`, `f = 1` replicated deployment.
+///
+/// # Panics
+///
+/// Panics when the cluster cannot be started or a replica cannot be
+/// respawned — environment failures, not soak outcomes.
+#[allow(clippy::too_many_lines)]
+pub fn soak_run(cfg: &SoakConfig) -> SoakReport {
+    let q = QuorumConfig::minimal_bsr(1).expect("n = 5, f = 1 is valid");
+    let n = q.n();
+    let byz_n = cfg.byz.min(q.f());
+    let epochs = cfg.epochs.max(1);
+    let tconfig = soak_transport();
+
+    let reg = safereg_obs::global();
+    let evictions_base = reg.counter(names::SERVER_EVICTIONS).get();
+    let restarts_base = reg.counter(names::SERVER_RESTARTS).get();
+
+    let cluster = TcpKvCluster::start_chaos(
+        q,
+        KvMode::Replicated,
+        b"soak-harness",
+        tconfig,
+        FaultPlan::new(cfg.seed, FaultSpec::mild()),
+    )
+    .expect("start soak cluster");
+    let cluster = Mutex::new(cluster);
+
+    let keys: Vec<Vec<u8>> = (0..cfg.keys.max(1))
+        .map(|k| format!("soak-k{k}").into_bytes())
+        .collect();
+    let checkers: Vec<Mutex<WindowedChecker>> = keys
+        .iter()
+        .map(|_| Mutex::new(WindowedChecker::new()))
+        .collect();
+    // Logical clock for checker instants; fetched while holding the key's
+    // checker lock, so per key the feed order matches the instant order.
+    let clock = AtomicU64::new(1);
+
+    // Clients persist across epochs: a fresh client would restart its
+    // sequence numbers, and the replicas would rightly ignore the stale
+    // tags — which the checker would then flag as failed writes.
+    let mut writer_clients: Vec<(KvClient, safereg_kv::TcpKvTransport)> = (0..cfg.writers.max(1))
+        .map(|w| {
+            let mut c = KvClient::new(q, WriterId(w as u16), ReaderId(100 + w as u16));
+            c.set_policy(tconfig);
+            (
+                c,
+                cluster
+                    .lock()
+                    .expect("cluster lock")
+                    .transport_with(tconfig),
+            )
+        })
+        .collect();
+    let mut reader_clients: Vec<(KvClient, safereg_kv::TcpKvTransport)> = (0..cfg.readers.max(1))
+        .map(|r| {
+            let mut c = KvClient::new(q, WriterId(200 + r as u16), ReaderId(r as u16));
+            c.set_policy(tconfig);
+            (
+                c,
+                cluster
+                    .lock()
+                    .expect("cluster lock")
+                    .transport_with(tconfig),
+            )
+        })
+        .collect();
+
+    let attempted = AtomicU64::new(0);
+    let completed = AtomicU64::new(0);
+    let failures = AtomicU64::new(0);
+
+    let threads = (writer_clients.len() + reader_clients.len()) as u64;
+    let quota = (cfg.ops / (epochs as u64 * threads)).max(1);
+
+    let mut stats: Vec<EpochStat> = Vec::with_capacity(epochs);
+    let mut current_byz: Vec<ServerId> = Vec::new();
+    let mut epoch_seeds: Vec<u64> = Vec::with_capacity(epochs);
+
+    for e in 0..epochs {
+        let eseed = cfg.seed ^ e as u64;
+        epoch_seeds.push(eseed);
+
+        // Epoch boundary: rotate the fault-plan seed and the Byzantine
+        // assignment. Restores run before conversions so the faulty set
+        // never exceeds `f` replicas at any instant — a restore's
+        // restart-in-place is a transient fault of an already-faulty
+        // replica, and only then does a fresh replica turn Byzantine.
+        let byz_now: Vec<(ServerId, &'static str)> = {
+            let mut cl = cluster.lock().expect("cluster lock");
+            cl.set_plan(Some(FaultPlan::new(eseed, FaultSpec::mild())));
+            let next: Vec<(ServerId, ByzRole)> = (0..byz_n)
+                .map(|i| {
+                    (
+                        ServerId(((e + i) % n) as u16),
+                        ByzRole::for_epoch(e as u64, i),
+                    )
+                })
+                .collect();
+            for sid in current_byz.drain(..) {
+                if !next.iter().any(|(s, _)| *s == sid) {
+                    cl.set_role(sid, KvMode::Replicated, ByzRole::Correct, 0)
+                        .expect("restore replica");
+                }
+            }
+            for (sid, role) in &next {
+                cl.set_role(*sid, KvMode::Replicated, *role, eseed)
+                    .expect("convert replica");
+            }
+            current_byz = next.iter().map(|(s, _)| *s).collect();
+            next.iter().map(|(s, r)| (*s, r.label())).collect()
+        };
+
+        let epoch_completed_base = completed.load(Ordering::Relaxed);
+        let epoch_failures_base = failures.load(Ordering::Relaxed);
+        let epoch_started = std::time::Instant::now();
+
+        let keys = &keys;
+        let checkers = &checkers;
+        let clock = &clock;
+        let attempted = &attempted;
+        let completed = &completed;
+        let failures = &failures;
+        let cluster_ref = &cluster;
+        let supervisor_byz = current_byz.clone();
+
+        std::thread::scope(|s| {
+            // Crash/restart supervisor: mid-epoch, kill and respawn the
+            // Byzantine replicas in place (same role, same seed, same
+            // advertised address). The faulty set is unchanged, so the
+            // run never has more than `f` faulty replicas; with no
+            // Byzantine replicas configured, one correct replica takes
+            // the crash instead (`≤ f` either way).
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_millis(200));
+                let mut cl = cluster_ref.lock().expect("cluster lock");
+                if supervisor_byz.is_empty() {
+                    let _ = cl.restart(ServerId((e % n) as u16), KvMode::Replicated);
+                } else {
+                    for (i, sid) in supervisor_byz.iter().enumerate() {
+                        let _ = cl.set_role(
+                            *sid,
+                            KvMode::Replicated,
+                            ByzRole::for_epoch(e as u64, i),
+                            eseed,
+                        );
+                    }
+                }
+            });
+
+            for (w, (client, transport)) in writer_clients.iter_mut().enumerate() {
+                s.spawn(move || {
+                    let nk = keys.len();
+                    for i in 0..quota {
+                        let kidx = (w + i as usize) % nk;
+                        let value = format!("w{w}:e{e}:{i}");
+                        let op = OpId::new(WriterId(w as u16), e as u64 * quota + i + 1);
+                        attempted.fetch_add(1, Ordering::Relaxed);
+                        let h = {
+                            let mut c = checkers[kidx].lock().expect("checker lock");
+                            let at = clock.fetch_add(1, Ordering::Relaxed);
+                            c.begin_write(op, Value::from(value.clone().into_bytes()), at)
+                        };
+                        let mut tag = None;
+                        for attempt in 0..OP_RETRIES {
+                            match client.put(transport, &keys[kidx], value.clone().into_bytes()) {
+                                Ok(t) => {
+                                    tag = Some(t);
+                                    break;
+                                }
+                                Err(_) if attempt + 1 < OP_RETRIES => {
+                                    std::thread::sleep(Duration::from_millis(10));
+                                }
+                                Err(_) => {}
+                            }
+                        }
+                        let mut c = checkers[kidx].lock().expect("checker lock");
+                        let at = clock.fetch_add(1, Ordering::Relaxed);
+                        match tag {
+                            Some(t) => {
+                                c.complete_write(h, t, at);
+                                completed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            None => {
+                                c.abandon(h);
+                                failures.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        if i % 32 == 31 {
+                            c.prune();
+                        }
+                    }
+                });
+            }
+
+            for (r, (client, transport)) in reader_clients.iter_mut().enumerate() {
+                s.spawn(move || {
+                    let nk = keys.len();
+                    for i in 0..quota {
+                        let kidx = (r + i as usize) % nk;
+                        let op = OpId::new(ReaderId(r as u16), e as u64 * quota + i + 1);
+                        attempted.fetch_add(1, Ordering::Relaxed);
+                        let h = {
+                            let mut c = checkers[kidx].lock().expect("checker lock");
+                            let at = clock.fetch_add(1, Ordering::Relaxed);
+                            c.begin_read(op, at)
+                        };
+                        let mut out = None;
+                        for attempt in 0..OP_RETRIES {
+                            match client.get_with_tag(transport, &keys[kidx]) {
+                                Ok(vt) => {
+                                    out = Some(vt);
+                                    break;
+                                }
+                                Err(_) if attempt + 1 < OP_RETRIES => {
+                                    std::thread::sleep(Duration::from_millis(10));
+                                }
+                                Err(_) => {}
+                            }
+                        }
+                        let mut c = checkers[kidx].lock().expect("checker lock");
+                        let at = clock.fetch_add(1, Ordering::Relaxed);
+                        match out {
+                            Some((v, t)) => {
+                                c.complete_read(h, v, t, at);
+                                completed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            None => {
+                                c.abandon(h);
+                                failures.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        if i % 32 == 31 {
+                            c.prune();
+                        }
+                    }
+                });
+            }
+        });
+
+        stats.push(EpochStat {
+            epoch: e,
+            byz: byz_now,
+            ops_completed: completed.load(Ordering::Relaxed) - epoch_completed_base,
+            failures: failures.load(Ordering::Relaxed) - epoch_failures_base,
+            millis: epoch_started.elapsed().as_millis() as u64,
+            rss_kib: rss_kib(),
+            evictions: reg.counter(names::SERVER_EVICTIONS).get() - evictions_base,
+            restarts: reg.counter(names::SERVER_RESTARTS).get() - restarts_base,
+        });
+    }
+
+    let mut violations = Vec::new();
+    let mut reads_checked = 0;
+    let mut peak_window = 0;
+    let mut pruned = 0;
+    for c in &checkers {
+        let mut c = c.lock().expect("checker lock");
+        c.prune();
+        violations.extend(c.take_violations());
+        reads_checked += c.reads_checked();
+        peak_window = peak_window.max(c.peak_window());
+        pruned += c.pruned();
+    }
+
+    let rss: Vec<u64> = stats.iter().map(|s| s.rss_kib).collect();
+    let strictly_up = rss.len() >= 2 && rss.windows(2).all(|w| w[1] > w[0]);
+    let growth = rss
+        .last()
+        .copied()
+        .unwrap_or(0)
+        .saturating_sub(rss.first().copied().unwrap_or(0));
+    let rss_bounded = !(strictly_up && growth > RSS_SLACK_KIB);
+    let progressed = stats.iter().all(|s| s.ops_completed > 0);
+
+    // The same master seed must reproduce every epoch's fault schedule
+    // exactly — this is what makes a soak failure replayable.
+    let dirs = [Direction::ClientToServer, Direction::ServerToClient];
+    let schedule_reproducible = epoch_seeds.iter().all(|&es| {
+        let a = FaultPlan::new(es, FaultSpec::mild());
+        let b = FaultPlan::new(es, FaultSpec::mild());
+        (0..n as u16).all(|s| {
+            dirs.iter().all(|&d| {
+                (0..2).all(|conn| {
+                    a.fingerprint(ServerId(s), conn, d, 128)
+                        == b.fingerprint(ServerId(s), conn, d, 128)
+                })
+            })
+        })
+    });
+
+    SoakReport {
+        seed: cfg.seed,
+        ops_attempted: attempted.into_inner(),
+        ops_completed: completed.into_inner(),
+        failures: failures.into_inner(),
+        violations,
+        reads_checked,
+        peak_window,
+        pruned,
+        epochs: stats,
+        rss_bounded,
+        progressed,
+        schedule_reproducible,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature soak: two epochs, one Byzantine replica rotating role,
+    /// mid-epoch restarts, server-side chaos — no safety violations, and
+    /// the schedule replays from the seed.
+    #[test]
+    fn tiny_soak_is_safe_and_reproducible() {
+        let cfg = SoakConfig {
+            ops: 160,
+            byz: 1,
+            seed: 11,
+            epochs: 2,
+            writers: 1,
+            readers: 1,
+            keys: 2,
+        };
+        let report = soak_run(&cfg);
+        for s in &report.epochs {
+            eprintln!(
+                "epoch {}: {} ops, {} failures, {} ms, byz {:?}",
+                s.epoch, s.ops_completed, s.failures, s.millis, s.byz
+            );
+        }
+        assert!(
+            report.violations.is_empty(),
+            "soak found safety violations: {:?}",
+            report.violations
+        );
+        assert!(report.progressed, "an epoch completed no operations");
+        assert!(report.schedule_reproducible, "fault schedule diverged");
+        assert!(
+            report.peak_window < 64,
+            "checker window grew to {}",
+            report.peak_window
+        );
+        assert!(report.epochs.iter().any(|s| s.restarts > 0));
+    }
+}

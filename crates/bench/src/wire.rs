@@ -6,8 +6,8 @@
 //! are compared under a counting global allocator:
 //!
 //! * **old** — the pre-`Bytes` path: one fragment `Vec` per server, one
-//!   `Bytes` wrap per fragment, one contiguous encode (`to_wire_bytes`)
-//!   per envelope, and one sealed-output `Vec` per frame: ~4 heap
+//!   `Bytes` wrap per fragment, one contiguous encode (`encode_to` into a
+//!   fresh `Vec`) per envelope, and one sealed-output `Vec` per frame: ~4 heap
 //!   allocations per server, `4n` per write.
 //! * **new** — the encode-once path: all fragments live in a single arena
 //!   `Bytes` (one `Vec` + one `Arc`), each server's payload is an O(1)
@@ -189,8 +189,8 @@ pub fn run() -> WireBenchResult {
                 data: Bytes::from(fragment),
             };
             let env = put_envelope(i, element);
-            #[allow(deprecated)]
-            let bytes = env.to_wire_bytes();
+            let mut bytes = Vec::new();
+            env.encode_to(&mut bytes);
             let codec = AuthCodec::new(chain.pair_key(env.src, env.dst));
             old_frames.push(codec.seal(&bytes));
         }

@@ -19,6 +19,9 @@
 //!   client-to-server rounds reads used (one-shot protocols must show 1).
 //! * [`atomic::check_no_new_old_inversion`] — the atomicity-grade condition
 //!   the paper's registers deliberately give up (new/old inversions).
+//! * [`window::WindowedChecker`] — the safety check re-cast as an
+//!   incremental, memory-bounded pass for soak runs: reads are judged at
+//!   completion, superseded writes are pruned, RSS stays flat.
 //!
 //! Each checker returns the list of [`Violation`]s it found (empty =
 //! property held).
@@ -31,6 +34,7 @@ pub mod rounds;
 pub mod safety;
 pub mod stats;
 pub mod timeline;
+pub mod window;
 
 use safereg_common::msg::OpId;
 
@@ -42,6 +46,7 @@ pub use rounds::read_round_profile;
 pub use safety::check_safety;
 pub use stats::{latency_stats, LatencyStats};
 pub use timeline::render_timeline;
+pub use window::{WinHandle, WindowedChecker};
 
 /// Which property a violation breaks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -54,87 +54,102 @@ pub fn check_safety(history: &History) -> Vec<Violation> {
         .collect();
 
     for read in history.completed_reads() {
-        let (value, tag) = match read_outcome(read) {
-            Some(v) => v,
-            None => continue,
-        };
-
-        let concurrent = writes.iter().any(|w| w.concurrent_with(read));
-        if concurrent {
-            // Definition 1(ii) + validity: the value must have been written
-            // (by a complete or incomplete write) or be v0.
-            let written = value.is_initial()
-                || writes.iter().any(|w| match &w.kind {
-                    OpKind::Write { value: wv, .. } => wv == value,
-                    OpKind::Read { .. } => false,
-                });
-            if !written {
-                violations.push(Violation {
-                    op: read.op,
-                    kind: ViolationKind::InvalidValue,
-                    detail: format!("read returned never-written value {value}"),
-                });
-            }
-            continue;
-        }
-
-        // Definition 1(i): the admissible writes are the completed
-        // predecessors not entirely superseded by another completed
-        // predecessor.
-        let preceding: Vec<&OpRecord> = writes
-            .iter()
-            .copied()
-            .filter(|w| w.is_complete() && w.precedes(read))
-            .collect();
-        let admissible: Vec<&OpRecord> = preceding
-            .iter()
-            .copied()
-            .filter(|w| {
-                !preceding.iter().any(|between| {
-                    !std::ptr::eq(*between, *w) && w.precedes(between) && between.precedes(read)
-                })
-            })
-            .collect();
-
-        if admissible.is_empty() {
-            // No write precedes the read: only v0 is admissible.
-            if !value.is_initial() {
-                violations.push(Violation {
-                    op: read.op,
-                    kind: ViolationKind::InvalidValue,
-                    detail: format!("read with no preceding write returned {value}"),
-                });
-            }
-            continue;
-        }
-
-        let matches_admissible = admissible.iter().any(|w| match &w.kind {
-            OpKind::Write {
-                value: wv,
-                tag: wtag,
-            } => wv == value && (tag.is_none() || *wtag == tag),
-            OpKind::Read { .. } => false,
-        });
-        if !matches_admissible {
-            let admissible_tags: Vec<String> = admissible
-                .iter()
-                .filter_map(|w| match &w.kind {
-                    OpKind::Write { tag: Some(t), .. } => Some(t.to_string()),
-                    _ => None,
-                })
-                .collect();
-            violations.push(Violation {
-                op: read.op,
-                kind: ViolationKind::StaleRead,
-                detail: format!(
-                    "non-concurrent read returned {value} (tag {:?}), admissible writes: [{}]",
-                    tag,
-                    admissible_tags.join(", ")
-                ),
-            });
-        }
+        violations.extend(check_one_read(read, &writes, |_| false));
     }
     violations
+}
+
+/// Checks Definition 1 for a single completed read against a set of write
+/// records. Shared between the whole-history pass above and the incremental
+/// [`WindowedChecker`](crate::window::WindowedChecker), which judges each
+/// read at completion against its live window. `ever_written` answers
+/// whether a value was written by some operation *no longer in `writes`*:
+/// the unbounded pass holds the whole history and passes `|_| false`; the
+/// windowed checker passes its pruned-value digest so Definition 1(ii)
+/// validity still sees writes the window has dropped.
+pub(crate) fn check_one_read(
+    read: &OpRecord,
+    writes: &[&OpRecord],
+    ever_written: impl Fn(&safereg_common::value::Value) -> bool,
+) -> Option<Violation> {
+    let (value, tag) = read_outcome(read)?;
+
+    let concurrent = writes.iter().any(|w| w.concurrent_with(read));
+    if concurrent {
+        // Definition 1(ii) + validity: the value must have been written
+        // (by a complete or incomplete write) or be v0.
+        let written = value.is_initial()
+            || writes.iter().any(|w| match &w.kind {
+                OpKind::Write { value: wv, .. } => wv == value,
+                OpKind::Read { .. } => false,
+            })
+            || ever_written(value);
+        if !written {
+            return Some(Violation {
+                op: read.op,
+                kind: ViolationKind::InvalidValue,
+                detail: format!("read returned never-written value {value}"),
+            });
+        }
+        return None;
+    }
+
+    // Definition 1(i): the admissible writes are the completed
+    // predecessors not entirely superseded by another completed
+    // predecessor.
+    let preceding: Vec<&OpRecord> = writes
+        .iter()
+        .copied()
+        .filter(|w| w.is_complete() && w.precedes(read))
+        .collect();
+    let admissible: Vec<&OpRecord> = preceding
+        .iter()
+        .copied()
+        .filter(|w| {
+            !preceding.iter().any(|between| {
+                !std::ptr::eq(*between, *w) && w.precedes(between) && between.precedes(read)
+            })
+        })
+        .collect();
+
+    if admissible.is_empty() {
+        // No write precedes the read: only v0 is admissible.
+        if !value.is_initial() {
+            return Some(Violation {
+                op: read.op,
+                kind: ViolationKind::InvalidValue,
+                detail: format!("read with no preceding write returned {value}"),
+            });
+        }
+        return None;
+    }
+
+    let matches_admissible = admissible.iter().any(|w| match &w.kind {
+        OpKind::Write {
+            value: wv,
+            tag: wtag,
+        } => wv == value && (tag.is_none() || *wtag == tag),
+        OpKind::Read { .. } => false,
+    });
+    if !matches_admissible {
+        let admissible_tags: Vec<String> = admissible
+            .iter()
+            .filter_map(|w| match &w.kind {
+                OpKind::Write { tag: Some(t), .. } => Some(t.to_string()),
+                _ => None,
+            })
+            .collect();
+        return Some(Violation {
+            op: read.op,
+            kind: ViolationKind::StaleRead,
+            detail: format!(
+                "non-concurrent read returned {value} (tag {:?}), admissible writes: [{}]",
+                tag,
+                admissible_tags.join(", ")
+            ),
+        });
+    }
+    None
 }
 
 #[cfg(test)]

@@ -1,0 +1,465 @@
+//! Memory-bounded incremental safety checking.
+//!
+//! [`check_safety`](crate::check_safety) holds the whole history in memory,
+//! which is exactly wrong for a soak run that wants to execute tens of
+//! millions of operations: the history *is* the memory leak. The
+//! [`WindowedChecker`] keeps only the live *window* of a single key's
+//! history and judges each read the moment it completes.
+//!
+//! Why that is sound: by the time a read completes, every fact Definition 1
+//! consults about it is settled, provided operations are fed in real-time
+//! order. Its preceding-write set is fixed at invocation (a write precedes
+//! the read iff it completed before the read was invoked), the superseded
+//! relation among those writes is likewise in the past, and no write
+//! invoked after the read completes can ever be concurrent with it. So a
+//! read is checked once, at completion, and immediately forgotten — reads
+//! never participate in other operations' checks.
+//!
+//! Completed writes must stick around longer: a later read may still return
+//! them. The pruning rule mirrors admissibility. Let the *frontier* be the
+//! smallest invocation instant among still-incomplete operations (or the
+//! latest event fed, when none are in flight). A completed write `w` can be
+//! dropped once some other completed write `w'` supersedes it *below the
+//! frontier* — `w` completed before `w'` was invoked and `w'` completed
+//! before the frontier — because every current and future read then sees
+//! `w'` (or something newer) strictly between `w` and itself, making `w`
+//! inadmissible forever.
+//!
+//! Pruning alone would make the checker **strictly stricter** than the
+//! unbounded one for concurrent reads: Definition 1(ii) lets a concurrent
+//! read return any previously written value, and a value written
+//! arbitrarily long ago may have been pruned. Live Byzantine replicas
+//! produce exactly that history — a faulty server replaying epochs-old
+//! state next to a correct-but-behind replica can legitimately witness a
+//! long-superseded value. The checker therefore keeps a *validity digest*:
+//! an 8-byte FNV-1a fingerprint of every value ever handed to
+//! [`begin_write`](WindowedChecker::begin_write), consulted by the
+//! Definition 1(ii) validity test after the window itself misses. The
+//! window stays bounded by concurrency; the digest grows 8 bytes per
+//! write — two orders of magnitude below a retained [`OpRecord`] — and a
+//! fingerprint collision (odds ~`n²/2⁶⁴`) can only suppress a violation,
+//! never invent one. With the digest the windowed checker is **exact**:
+//! the property test in this module drives both checkers over randomized
+//! schedules, including concurrent reads of long-pruned values, and
+//! demands identical verdicts.
+
+use std::collections::BTreeMap;
+
+use safereg_common::history::{Instant, OpKind, OpRecord};
+use safereg_common::msg::OpId;
+use safereg_common::tag::Tag;
+use safereg_common::value::Value;
+
+use crate::safety::check_one_read;
+use crate::Violation;
+
+/// FNV-1a 64-bit over the value bytes: the validity digest's fingerprint.
+fn fingerprint(value: &Value) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in value.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Handle to an operation in flight inside a [`WindowedChecker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WinHandle(u64);
+
+/// An incremental, memory-bounded MWMR-safeness checker for one key.
+///
+/// Feed invocations and responses in real-time order; each read is judged
+/// at completion against the live window and the verdicts accumulate in
+/// [`violations`](Self::violations). Call [`prune`](Self::prune)
+/// periodically (every few completions is fine) to drop writes that can no
+/// longer matter; [`peak_window`](Self::peak_window) reports the high-water
+/// mark, which stays bounded by the degree of concurrency rather than the
+/// length of the run.
+#[derive(Debug, Default)]
+pub struct WindowedChecker {
+    next: u64,
+    window: BTreeMap<u64, OpRecord>,
+    /// Abandoned writes: kept in the window (their value may yet be
+    /// witnessed by a reader) but excluded from the frontier so they do
+    /// not block pruning forever.
+    zombies: std::collections::BTreeSet<u64>,
+    /// FNV-1a fingerprints of every value ever written, surviving pruning
+    /// so Definition 1(ii) validity stays exact for concurrent reads that
+    /// return values the window has long dropped.
+    ever_written: std::collections::BTreeSet<u64>,
+    violations: Vec<Violation>,
+    /// Latest event instant fed; the frontier when nothing is in flight.
+    now: Instant,
+    checked: u64,
+    pruned: u64,
+    peak: usize,
+}
+
+impl WindowedChecker {
+    /// Creates an empty checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn insert(&mut self, rec: OpRecord) -> WinHandle {
+        let id = self.next;
+        self.next += 1;
+        self.window.insert(id, rec);
+        self.peak = self.peak.max(self.window.len());
+        WinHandle(id)
+    }
+
+    /// Records a write invocation.
+    pub fn begin_write(&mut self, op: OpId, value: Value, at: Instant) -> WinHandle {
+        self.now = self.now.max(at);
+        self.ever_written.insert(fingerprint(&value));
+        self.insert(OpRecord {
+            op,
+            kind: OpKind::Write { value, tag: None },
+            invoked_at: at,
+            completed_at: None,
+            rounds: 0,
+            msgs: 0,
+            bytes: 0,
+        })
+    }
+
+    /// Records a write response.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stale or read handle — a harness bug, not bad input.
+    pub fn complete_write(&mut self, h: WinHandle, tag: Tag, at: Instant) {
+        self.now = self.now.max(at);
+        let rec = self.window.get_mut(&h.0).expect("live write handle");
+        match &mut rec.kind {
+            OpKind::Write { tag: slot, .. } => *slot = Some(tag),
+            OpKind::Read { .. } => panic!("complete_write on a read handle"),
+        }
+        rec.completed_at = Some(at);
+    }
+
+    /// Records a read invocation.
+    pub fn begin_read(&mut self, op: OpId, at: Instant) -> WinHandle {
+        self.now = self.now.max(at);
+        self.insert(OpRecord {
+            op,
+            kind: OpKind::Read {
+                returned: None,
+                returned_tag: None,
+            },
+            invoked_at: at,
+            completed_at: None,
+            rounds: 0,
+            msgs: 0,
+            bytes: 0,
+        })
+    }
+
+    /// Records a read response, judges the read against the live window,
+    /// and forgets it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stale or write handle.
+    pub fn complete_read(&mut self, h: WinHandle, value: Value, tag: Tag, at: Instant) {
+        self.now = self.now.max(at);
+        let mut rec = self.window.remove(&h.0).expect("live read handle");
+        match &mut rec.kind {
+            OpKind::Read {
+                returned,
+                returned_tag,
+            } => {
+                *returned = Some(value);
+                *returned_tag = Some(tag);
+            }
+            OpKind::Write { .. } => panic!("complete_read on a write handle"),
+        }
+        rec.completed_at = Some(at);
+        let writes: Vec<&OpRecord> = self.window.values().filter(|r| r.kind.is_write()).collect();
+        self.checked += 1;
+        let digest = &self.ever_written;
+        if let Some(v) = check_one_read(&rec, &writes, |v| digest.contains(&fingerprint(v))) {
+            self.violations.push(v);
+        }
+    }
+
+    /// Gives up on an operation whose client stopped driving it (op retry
+    /// budget exhausted, thread shut down).
+    ///
+    /// An abandoned *read* is simply forgotten — it was never judged and
+    /// influences nothing. An abandoned *write* is different: its frames
+    /// may have partially reached the replicas, so a later read can
+    /// legitimately return its value under Definition 1(ii) (the write is
+    /// incomplete, hence concurrent with every later read). It therefore
+    /// stays in the window as a permanently-incomplete "zombie", but stops
+    /// pinning the frontier so pruning continues around it.
+    pub fn abandon(&mut self, h: WinHandle) {
+        let Some(rec) = self.window.get(&h.0) else {
+            return;
+        };
+        if rec.is_complete() {
+            return;
+        }
+        if rec.kind.is_read() {
+            self.window.remove(&h.0);
+        } else {
+            self.zombies.insert(h.0);
+        }
+    }
+
+    /// The smallest invocation instant among in-flight operations, or the
+    /// latest fed event when none are in flight: no *future* operation can
+    /// be invoked before this. Zombie writes are exempt — they will never
+    /// complete, so they constrain nothing a future read can observe
+    /// beyond their (retained) value.
+    fn frontier(&self) -> Instant {
+        self.window
+            .iter()
+            .filter(|(id, r)| !r.is_complete() && !self.zombies.contains(id))
+            .map(|(_, r)| r.invoked_at)
+            .min()
+            .unwrap_or(self.now)
+    }
+
+    /// Drops every completed write superseded below the frontier. Returns
+    /// how many records were pruned.
+    pub fn prune(&mut self) -> usize {
+        let frontier = self.frontier();
+        // A write `w` dies when some completed `w'` both follows it
+        // (w.completed < w'.invoked) and completed before the frontier:
+        // every read invoked from here on sees `w'` strictly between
+        // itself and `w`.
+        let doomed: Vec<u64> = self
+            .window
+            .iter()
+            .filter(|(_, w)| w.kind.is_write() && w.is_complete())
+            .filter(|(_, w)| {
+                let done = w.completed_at.expect("filtered complete");
+                self.window.values().any(|w2| {
+                    w2.kind.is_write()
+                        && w2
+                            .completed_at
+                            .is_some_and(|d2| done < w2.invoked_at && d2 < frontier)
+                })
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &doomed {
+            self.window.remove(id);
+        }
+        self.pruned += doomed.len() as u64;
+        doomed.len()
+    }
+
+    /// Violations found so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Takes the accumulated violations, leaving the checker running.
+    pub fn take_violations(&mut self) -> Vec<Violation> {
+        std::mem::take(&mut self.violations)
+    }
+
+    /// Completed reads judged so far.
+    pub fn reads_checked(&self) -> u64 {
+        self.checked
+    }
+
+    /// Records pruned so far.
+    pub fn pruned(&self) -> u64 {
+        self.pruned
+    }
+
+    /// Current number of retained records.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// High-water mark of retained records across the whole run.
+    pub fn peak_window(&self) -> usize {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_safety, ViolationKind};
+    use safereg_common::history::History;
+    use safereg_common::ids::{ReaderId, WriterId};
+    use safereg_common::rng::DetRng;
+
+    fn t(num: u64, w: u16) -> Tag {
+        Tag::new(num, WriterId(w))
+    }
+
+    #[test]
+    fn sequential_history_stays_tiny_and_clean() {
+        let mut c = WindowedChecker::new();
+        let mut at = 0u64;
+        for i in 1..=1_000u64 {
+            let w = c.begin_write(
+                OpId::new(WriterId(0), i),
+                Value::from(format!("v{i}").into_bytes()),
+                at,
+            );
+            c.complete_write(w, t(i, 0), at + 1);
+            let r = c.begin_read(OpId::new(ReaderId(0), i), at + 2);
+            c.complete_read(
+                r,
+                Value::from(format!("v{i}").into_bytes()),
+                t(i, 0),
+                at + 3,
+            );
+            c.prune();
+            at += 4;
+        }
+        assert!(c.violations().is_empty());
+        assert_eq!(c.reads_checked(), 1_000);
+        assert!(
+            c.peak_window() <= 4,
+            "sequential window stays O(1), got {}",
+            c.peak_window()
+        );
+        assert!(c.pruned() >= 990);
+    }
+
+    #[test]
+    fn stale_read_is_caught_after_pruning_started() {
+        let mut c = WindowedChecker::new();
+        let w1 = c.begin_write(OpId::new(WriterId(0), 1), Value::from("a"), 0);
+        c.complete_write(w1, t(1, 0), 10);
+        let w2 = c.begin_write(OpId::new(WriterId(0), 2), Value::from("b"), 20);
+        c.complete_write(w2, t(2, 0), 30);
+        c.prune();
+        let r = c.begin_read(OpId::new(ReaderId(0), 1), 40);
+        c.complete_read(r, Value::from("a"), t(1, 0), 50);
+        let v = c.violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::StaleRead);
+    }
+
+    #[test]
+    fn in_flight_read_holds_the_frontier() {
+        let mut c = WindowedChecker::new();
+        let w1 = c.begin_write(OpId::new(WriterId(0), 1), Value::from("a"), 0);
+        c.complete_write(w1, t(1, 0), 10);
+        // A slow read invoked while w1 is the latest write…
+        let r = c.begin_read(OpId::new(ReaderId(0), 1), 20);
+        // …must keep w1 admissible even as later writes land and pruning
+        // runs: the frontier is pinned at the read's invocation.
+        let w2 = c.begin_write(OpId::new(WriterId(0), 2), Value::from("b"), 30);
+        c.complete_write(w2, t(2, 0), 40);
+        let w3 = c.begin_write(OpId::new(WriterId(0), 3), Value::from("c"), 50);
+        c.complete_write(w3, t(3, 0), 60);
+        c.prune();
+        c.complete_read(r, Value::from("a"), t(1, 0), 70);
+        assert!(
+            c.violations().is_empty(),
+            "read concurrent with w2/w3 may return w1: {:?}",
+            c.violations()
+        );
+    }
+
+    /// Randomized equivalence: the windowed checker accepts exactly the
+    /// histories the unbounded checker accepts and flags exactly the reads
+    /// it flags — including concurrent reads that resurrect values written
+    /// (and pruned) arbitrarily long ago, which Definition 1(ii) allows
+    /// and the validity digest must remember.
+    #[test]
+    fn pruned_checker_matches_unbounded_on_random_traces() {
+        for seed in 0..8u64 {
+            let mut rng = DetRng::seed_from(0xC0FFEE ^ seed);
+            let mut h = History::new();
+            let mut c = WindowedChecker::new();
+            let mut at = 0u64;
+            let mut seq = 0u64;
+            // (value, tag, completed_at, invoked_at) of completed writes,
+            // newest last — the generator's own record, not the checker's.
+            let mut done: Vec<(Value, Tag, u64, u64)> = Vec::new();
+            // One possibly in-flight write: (handles, value, tag, invoked).
+            let mut open: Option<(
+                crate::window::WinHandle,
+                safereg_common::history::OpHandle,
+                Value,
+                Tag,
+                u64,
+            )> = None;
+
+            for _ in 0..10_000 {
+                at += 1 + rng.range_u64(0..3);
+                let roll = rng.range_u64(0..100);
+                if roll < 40 {
+                    // Start or land a write.
+                    if let Some((wh, hh, v, tag, _inv)) = open.take() {
+                        c.complete_write(wh, tag, at);
+                        h.complete_write(hh, tag, at);
+                        done.push((v, tag, at, _inv));
+                    } else {
+                        seq += 1;
+                        let v = Value::from(format!("v{seq}").into_bytes());
+                        let tag = t(seq, 0);
+                        let op = OpId::new(WriterId(0), seq);
+                        let wh = c.begin_write(op, v.clone(), at);
+                        let hh = h.begin_write(op, v.clone(), at);
+                        open = Some((wh, hh, v, tag, at));
+                    }
+                } else if !done.is_empty() || open.is_some() {
+                    // A read. Usually returns the newest completed write
+                    // (or the in-flight one's value, which is valid under
+                    // concurrency); rarely returns a deliberately stale
+                    // value to plant a violation both checkers must flag.
+                    let op = OpId::new(ReaderId(0), at);
+                    let rh = c.begin_read(op, at);
+                    let hh = h.begin_read(op, at);
+                    at += 1 + rng.range_u64(0..2);
+                    let stale = rng.range_u64(0..100) < 3 && done.len() >= 2 && open.is_none();
+                    // Concurrent reads may resurrect the *oldest* value —
+                    // long pruned from the window — and both checkers must
+                    // accept (Definition 1(ii) validity via the digest).
+                    let ancient = rng.range_u64(0..100) < 3 && done.len() >= 4 && open.is_some();
+                    let (v, tag) = if ancient {
+                        let (v, tag, ..) = &done[0];
+                        (v.clone(), *tag)
+                    } else if stale {
+                        let (v, tag, ..) = &done[done.len() - 2];
+                        (v.clone(), *tag)
+                    } else if let Some((_, _, v, tag, _)) = &open {
+                        (v.clone(), *tag)
+                    } else {
+                        let (v, tag, ..) = done.last().expect("non-empty");
+                        (v.clone(), *tag)
+                    };
+                    c.complete_read(rh, v.clone(), tag, at);
+                    h.complete_read(hh, v, tag, at);
+                }
+                if rng.range_u64(0..4) == 0 {
+                    c.prune();
+                }
+            }
+            if let Some((wh, hh, _, tag, _)) = open.take() {
+                at += 1;
+                c.complete_write(wh, tag, at);
+                h.complete_write(hh, tag, at);
+            }
+            c.prune();
+
+            let unbounded: Vec<(OpId, ViolationKind)> =
+                check_safety(&h).iter().map(|v| (v.op, v.kind)).collect();
+            let windowed: Vec<(OpId, ViolationKind)> =
+                c.violations().iter().map(|v| (v.op, v.kind)).collect();
+            assert_eq!(
+                windowed, unbounded,
+                "seed {seed}: windowed and unbounded verdicts diverge"
+            );
+            assert!(
+                c.peak_window() < 16,
+                "seed {seed}: window grew to {}",
+                c.peak_window()
+            );
+        }
+    }
+}

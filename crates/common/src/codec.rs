@@ -353,41 +353,6 @@ pub trait Wire: Sized {
         Ok(v)
     }
 
-    /// Encodes `self` into a fresh byte vector.
-    #[deprecated(
-        note = "use `to_bytes()` — it returns an immutable `Bytes` buffer that clones and \
-                slices in O(1); call `.to_vec()` on the result if an owned `Vec<u8>` is \
-                genuinely required"
-    )]
-    fn to_wire_bytes(&self) -> Vec<u8> {
-        let mut buf = Vec::new();
-        self.encode_to(&mut buf);
-        buf
-    }
-
-    /// Decodes a value that must span the entire buffer, copying payload
-    /// fields.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`WireError::TrailingBytes`] when the buffer is longer than
-    /// the encoding, in addition to any decode error.
-    #[deprecated(
-        note = "use `from_bytes(&Bytes)` — it borrows payload fields zero-copy; wrap a \
-                slice with `Bytes::copy_from_slice` (or `Bytes::from(vec)`) if the input \
-                is not already a `Bytes`"
-    )]
-    fn from_wire_bytes(buf: &[u8]) -> Result<Self, WireError> {
-        let mut r = WireReader::new(buf);
-        let v = Self::decode_from(&mut r)?;
-        if !r.is_empty() {
-            return Err(WireError::TrailingBytes {
-                count: r.remaining(),
-            });
-        }
-        Ok(v)
-    }
-
     /// Number of bytes the encoding of `self` occupies.
     ///
     /// Used by the bandwidth-accounting experiments; the default encodes into
@@ -754,14 +719,15 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_stay_byte_compatible() {
-        // The old Vec-based surface must keep producing/accepting exactly
-        // the bytes the new Bytes-based surface does.
+    fn encode_to_matches_to_bytes() {
+        // A manual `encode_to` into a scratch Vec must produce exactly the
+        // bytes `to_bytes` returns, and both must round-trip.
         let v: Vec<u32> = (0..10).collect();
-        assert_eq!(v.to_wire_bytes(), v.to_bytes().to_vec());
+        let mut manual = Vec::new();
+        v.encode_to(&mut manual);
+        assert_eq!(manual, v.to_bytes().to_vec());
         assert_eq!(
-            Vec::<u32>::from_wire_bytes(&v.to_wire_bytes()).unwrap(),
+            Vec::<u32>::from_bytes(&Bytes::from(manual)).unwrap(),
             Vec::<u32>::from_bytes(&v.to_bytes()).unwrap()
         );
     }

@@ -302,6 +302,14 @@ pub struct TransportConfig {
     /// What a full wire-path queue does with the next message; sheds are
     /// counted under the `chan.shed` metrics.
     pub shed_policy: crate::sync::channel::ShedPolicy,
+    /// Server-side: a connection with no inbound frame for this long is
+    /// evicted (`server.evictions.idle`). Clients reconnect on demand, so
+    /// eviction costs one reconnect, not correctness.
+    pub idle_timeout: Duration,
+    /// Server-side: a connection whose peer stops draining replies — the
+    /// socket write or the bounded reply outbox stalls for this long — is
+    /// evicted (`server.evictions.stall`) instead of wedging a host thread.
+    pub stall_timeout: Duration,
 }
 
 impl Default for TransportConfig {
@@ -315,6 +323,8 @@ impl Default for TransportConfig {
             breaker_threshold: 3,
             chan_capacity: 1024,
             shed_policy: crate::sync::channel::ShedPolicy::Block,
+            idle_timeout: Duration::from_secs(60),
+            stall_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -337,6 +347,8 @@ impl TransportConfig {
             breaker_threshold: 2,
             chan_capacity: 256,
             shed_policy: crate::sync::channel::ShedPolicy::Block,
+            idle_timeout: Duration::from_secs(10),
+            stall_timeout: Duration::from_millis(1500),
         }
     }
 }
@@ -492,6 +504,11 @@ mod tests {
             crate::sync::channel::ShedPolicy::Block,
             "default policy must not silently drop frames"
         );
+        // Eviction deadlines: idle must dominate stall, and the aggressive
+        // preset must be strictly tighter than the default.
+        assert!(cfg.idle_timeout > cfg.stall_timeout);
+        assert!(fast.idle_timeout < cfg.idle_timeout);
+        assert!(fast.stall_timeout < cfg.stall_timeout);
     }
 
     #[test]

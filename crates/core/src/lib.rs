@@ -68,6 +68,7 @@
 //! ```
 
 pub mod bcsr;
+pub mod behavior;
 pub mod client;
 pub mod op;
 pub mod read;
@@ -76,6 +77,7 @@ pub mod server;
 pub mod write;
 
 pub use bcsr::BcsrReadOp;
+pub use behavior::{ByzRole, ServerBehavior};
 pub use client::{BcsrReader, BcsrWriter, Bsr2pReader, BsrHReader, BsrReader, BsrWriter};
 pub use op::{ClientOp, OpOutput};
 pub use read::BsrReadOp;

@@ -193,6 +193,21 @@ impl KvClient {
     /// [`KvError::QuorumUnavailable`] when fewer than `n − f` servers
     /// respond.
     pub fn get(&mut self, transport: &mut impl KvTransport, key: &[u8]) -> Result<Value, KvError> {
+        self.get_with_tag(transport, key).map(|(value, _)| value)
+    }
+
+    /// Reads the value under `key` together with its tag — the handle a
+    /// checker needs to match a read against the write it observed.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::QuorumUnavailable`] when fewer than `n − f` servers
+    /// respond.
+    pub fn get_with_tag(
+        &mut self,
+        transport: &mut impl KvTransport,
+        key: &[u8],
+    ) -> Result<(Value, Tag), KvError> {
         self.seq += 1;
         let local = self
             .local
@@ -225,7 +240,7 @@ impl KvClient {
                 if (tag, &value) > (entry.0, &entry.1) {
                     *entry = (tag, value.clone());
                 }
-                Ok(value)
+                Ok((value, tag))
             }
             OpOutput::Written { .. } => unreachable!("read op yields a read outcome"),
         }
@@ -250,9 +265,12 @@ impl KvClient {
         let reg = safereg_obs::global();
         let mut queue: Vec<Envelope> = op.start();
         let mut responded = 0usize;
-        // Envelopes whose server was unreachable this pass — the retry
-        // set. Reachable-but-silent servers are *not* retried: asking a
-        // Byzantine server again buys nothing.
+        // The retry set: envelopes whose server was unreachable this
+        // pass, plus reachable servers that returned *nothing*. An empty
+        // reply set means the response was lost or failed to
+        // authenticate in flight — indistinguishable from a Byzantine
+        // server, but re-asking is idempotent for a correct one and
+        // merely wastes a bounded pass on a faulty one, so we re-ask.
         let mut failed: Vec<Envelope> = Vec::new();
         let mut unreachable: BTreeSet<ServerId> = BTreeSet::new();
         let mut pass: u32 = 0;
@@ -275,9 +293,13 @@ impl KvClient {
                 match transport.exchange(from, to, key, msg) {
                     Ok(replies) => {
                         unreachable.remove(&to);
-                        if !replies.is_empty() {
-                            responded += 1;
+                        if replies.is_empty() {
+                            // Reachable silence: a dropped or corrupted
+                            // response. Queue for another ask next pass.
+                            failed.push(env);
+                            continue;
                         }
+                        responded += 1;
                         for reply in replies {
                             queue.extend(op.on_message(to, &reply));
                             if let Some(out) = op.output() {

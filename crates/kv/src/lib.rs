@@ -31,4 +31,6 @@ pub mod tcp;
 pub use client::{KvClient, KvError, KvTransport, Unreachable};
 pub use cluster::InMemKvCluster;
 pub use server::{KvMode, KvServer};
-pub use tcp::{fetch_metrics, KvServerHost, TcpKvCluster, TcpKvTransport, METRICS_KEY};
+pub use tcp::{
+    fetch_metrics, KvHostOptions, KvServerHost, TcpKvCluster, TcpKvTransport, METRICS_KEY,
+};

@@ -1,15 +1,24 @@
 //! KV replica: a table of per-key register server states.
+//!
+//! A replica normally runs the honest protocol, but it can be constructed
+//! with a Byzantine [`ByzRole`] from the shared bestiary — then every key
+//! gets its own behavior instance (silent, stale-ack, fabricating,
+//! equivocating) driven by a seeded [`DetRng`], so a live KV replica can
+//! misbehave exactly like a simulated one, reproducibly.
 
 use std::collections::BTreeMap;
 
 use safereg_common::buf::Bytes;
 use safereg_common::config::QuorumConfig;
-use safereg_common::ids::{ClientId, ServerId};
-use safereg_common::msg::{ClientToServer, Payload, ServerToClient};
+use safereg_common::ids::{ClientId, NodeId, ServerId};
+use safereg_common::msg::{ClientToServer, Envelope, Message, Payload, ServerToClient};
+use safereg_common::rng::DetRng;
 use safereg_common::value::Value;
+use safereg_core::behavior::{ByzRole, ServerBehavior};
 use safereg_core::server::ServerNode;
 use safereg_mds::rs::ReedSolomon;
 use safereg_mds::stripe::encode_value;
+use safereg_obs::trace::wall_micros;
 
 /// How a KV replica stores values: full copies (BSR registers) or coded
 /// elements (BCSR registers, `n ≥ 5f + 1`).
@@ -26,24 +35,48 @@ pub enum KvMode {
 ///
 /// Each key gets an independent [`ServerNode`] (its own list `L` and tag
 /// space), created lazily on first access — reading a never-written key
-/// behaves like a fresh register and returns `v_0`.
-#[derive(Debug)]
+/// behaves like a fresh register and returns `v_0`. A replica spawned with
+/// a faulty [`ByzRole`] instead routes every key through a per-key
+/// Byzantine behavior.
 pub struct KvServer {
     id: ServerId,
     cfg: QuorumConfig,
     mode: KvMode,
+    role: ByzRole,
+    byz_seed: u64,
     objects: BTreeMap<Bytes, ServerNode>,
+    byz: BTreeMap<Bytes, Box<dyn ServerBehavior>>,
+    rng: DetRng,
+}
+
+impl std::fmt::Debug for KvServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvServer")
+            .field("id", &self.id)
+            .field("mode", &self.mode)
+            .field("role", &self.role)
+            .field("keys", &(self.objects.len() + self.byz.len()))
+            .finish()
+    }
+}
+
+/// Mixes a key into the replica seed so each key's behavior gets its own
+/// deterministic fault stream (SplitMix-style avalanche over FNV bytes).
+fn key_seed(seed: u64, key: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for &b in key {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^ (h >> 33)
 }
 
 impl KvServer {
     /// Creates a replicated-mode replica.
     pub fn new(id: ServerId, cfg: QuorumConfig) -> Self {
-        KvServer {
-            id,
-            cfg,
-            mode: KvMode::Replicated,
-            objects: BTreeMap::new(),
-        }
+        Self::with_role(id, cfg, KvMode::Replicated, ByzRole::Correct, 0)
     }
 
     /// Creates a coded-mode replica: fresh key registers start with this
@@ -54,11 +87,28 @@ impl KvServer {
     /// Panics when the configuration admits no `[n, n − 5f]` code.
     pub fn new_coded(id: ServerId, cfg: QuorumConfig) -> Self {
         assert!(cfg.mds_k().is_some(), "coded KV needs n > 5f");
+        Self::with_role(id, cfg, KvMode::Coded, ByzRole::Correct, 0)
+    }
+
+    /// Creates a replica playing `role`. Faulty roles build replicated-mode
+    /// behaviors regardless of `mode` — a Byzantine replica's answers are
+    /// untrusted either way, so the storage representation is moot.
+    pub fn with_role(
+        id: ServerId,
+        cfg: QuorumConfig,
+        mode: KvMode,
+        role: ByzRole,
+        byz_seed: u64,
+    ) -> Self {
         KvServer {
             id,
             cfg,
-            mode: KvMode::Coded,
+            mode,
+            role,
+            byz_seed,
             objects: BTreeMap::new(),
+            byz: BTreeMap::new(),
+            rng: DetRng::seed_from(byz_seed ^ 0x5AFE_B12E),
         }
     }
 
@@ -67,14 +117,21 @@ impl KvServer {
         self.id
     }
 
+    /// The role this replica plays.
+    pub fn role(&self) -> ByzRole {
+        self.role
+    }
+
     /// Number of keys this replica has register state for.
     pub fn key_count(&self) -> usize {
-        self.objects.len()
+        self.objects.len() + self.byz.len()
     }
 
     /// Total payload bytes stored across all keys.
     pub fn storage_bytes(&self) -> usize {
-        self.objects.values().map(ServerNode::storage_bytes).sum()
+        let honest: usize = self.objects.values().map(ServerNode::storage_bytes).sum();
+        let byz: usize = self.byz.values().map(|b| b.storage_bytes()).sum();
+        honest + byz
     }
 
     /// Handles one register message addressed to `key`.
@@ -86,6 +143,23 @@ impl KvServer {
     ) -> Vec<ServerToClient> {
         let id = self.id;
         let cfg = self.cfg;
+        if self.role != ByzRole::Correct {
+            let role = self.role;
+            let seed = key_seed(self.byz_seed, key);
+            let behavior = self
+                .byz
+                .entry(Bytes::copy_from_slice(key))
+                .or_insert_with(|| role.build(id, cfg, seed));
+            let env = Envelope::to_server(from, id, msg.clone());
+            return behavior
+                .on_envelope(wall_micros(), &env, &mut self.rng)
+                .into_iter()
+                .filter_map(|out| match (out.dst, out.msg) {
+                    (NodeId::Client(c), Message::ToClient(m)) if c == from => Some(m),
+                    _ => None,
+                })
+                .collect();
+        }
         let mode = self.mode;
         let node = self
             .objects
@@ -159,5 +233,69 @@ mod tests {
         put(&mut s, b"k1", 1, "12345");
         put(&mut s, b"k2", 1, "123");
         assert_eq!(s.storage_bytes(), 8);
+    }
+
+    #[test]
+    fn silent_role_answers_nothing_on_any_key() {
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let mut s = KvServer::with_role(ServerId(1), cfg, KvMode::Replicated, ByzRole::Silent, 7);
+        put(&mut s, b"k", 1, "v");
+        let resp = s.handle(
+            ClientId::Reader(ReaderId(0)),
+            b"k",
+            &ClientToServer::QueryTag {
+                op: OpId::new(ReaderId(0), 1),
+            },
+        );
+        assert!(resp.is_empty());
+    }
+
+    #[test]
+    fn fabricator_role_forges_per_key_deterministically() {
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let mut a = KvServer::with_role(
+            ServerId(2),
+            cfg,
+            KvMode::Replicated,
+            ByzRole::Fabricator,
+            42,
+        );
+        let mut b = KvServer::with_role(
+            ServerId(2),
+            cfg,
+            KvMode::Replicated,
+            ByzRole::Fabricator,
+            42,
+        );
+        let ta = get_tag(&mut a, b"key-x");
+        let tb = get_tag(&mut b, b"key-x");
+        assert_eq!(ta, tb, "same seed, same forgery");
+        assert!(ta.num >= 1_000_000, "forged tag");
+        assert_ne!(
+            get_tag(&mut a, b"key-y"),
+            ta,
+            "each key draws its own fault stream"
+        );
+    }
+
+    #[test]
+    fn stale_ack_role_acks_writes_but_serves_old_reads() {
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let mut s = KvServer::with_role(ServerId(3), cfg, KvMode::Replicated, ByzRole::StaleAck, 1);
+        put(&mut s, b"k", 1, "v1");
+        put(&mut s, b"k", 2, "v2");
+        let resp = s.handle(
+            ClientId::Reader(ReaderId(0)),
+            b"k",
+            &ClientToServer::QueryData {
+                op: OpId::new(ReaderId(0), 1),
+            },
+        );
+        match &resp[0] {
+            ServerToClient::DataResp { tag, .. } => {
+                assert_eq!(*tag, Tag::new(1, WriterId(0)), "one entry stale")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

@@ -41,10 +41,19 @@ use safereg_crypto::sha256::DIGEST_LEN;
 use safereg_common::msg::{OpId, Payload};
 use safereg_common::tag::Tag;
 use safereg_common::value::Value;
+use safereg_core::behavior::ByzRole;
+use safereg_obs::names;
 use safereg_obs::trace::MsgClass;
+use safereg_transport::chaos::{ChaosProxy, FaultPlan};
+use safereg_transport::write_all_vectored;
 
 use crate::client::{KvTransport, Unreachable};
 use crate::server::{KvMode, KvServer};
+
+/// Largest number of queued replies drained into one vectored write. Small
+/// enough that a batch is a handful of iovecs, large enough to amortise
+/// syscalls when a reader fans in responses faster than the socket drains.
+const MAX_BATCH: usize = 16;
 
 /// Reserved key addressing the replica's observability dump rather than a
 /// register: a `QUERY-DATA` on this key is answered with the server
@@ -113,15 +122,39 @@ impl SealedKv {
         SealedKv { head, tail, mac }
     }
 
+    /// Length of the framed payload (head + tail + MAC), i.e. the value of
+    /// the `u32` length prefix.
+    fn payload_len(&self) -> usize {
+        self.head.len() + self.tail.len() + self.mac.len()
+    }
+
     fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
         use std::io::Write;
-        let len = self.head.len() + self.tail.len() + self.mac.len();
-        stream.write_all(&(len as u32).to_le_bytes())?;
+        stream.write_all(&(self.payload_len() as u32).to_le_bytes())?;
         stream.write_all(&self.head)?;
         stream.write_all(self.tail.as_ref())?;
         stream.write_all(&self.mac)?;
         stream.flush()
     }
+}
+
+/// Flushes a batch of sealed replies with one vectored write: four iovecs
+/// per frame (length prefix, head, zero-copy tail, MAC), no concatenation.
+fn write_batch(stream: &mut TcpStream, batch: &[SealedKv]) -> std::io::Result<()> {
+    use std::io::Write;
+    let lens: Vec<[u8; 4]> = batch
+        .iter()
+        .map(|s| (s.payload_len() as u32).to_le_bytes())
+        .collect();
+    let mut parts: Vec<&[u8]> = Vec::with_capacity(batch.len() * 4);
+    for (sealed, len) in batch.iter().zip(&lens) {
+        parts.push(len);
+        parts.push(&sealed.head);
+        parts.push(sealed.tail.as_ref());
+        parts.push(&sealed.mac);
+    }
+    write_all_vectored(stream, &mut parts)?;
+    stream.flush()
 }
 
 fn read_frame(stream: &mut TcpStream) -> std::io::Result<Bytes> {
@@ -141,23 +174,35 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Bytes> {
     Ok(Bytes::from(payload))
 }
 
+/// Counts one slow-client eviction: the aggregate `server.evictions` plus
+/// the per-reason counter (`server.evictions.idle` / `server.evictions.stall`).
+fn count_eviction(reason: &str) {
+    let reg = safereg_obs::global();
+    reg.counter(names::SERVER_EVICTIONS).inc();
+    reg.counter(&names::eviction_counter(reason)).inc();
+}
+
 /// Queues `reply` on the connection's writer outbox under the configured
-/// shed policy, counting sheds. Returns `false` when the writer is gone and
-/// the connection should be torn down.
+/// shed policy, counting sheds. Returns `false` when the connection should
+/// be torn down: the writer is gone, or (under [`ShedPolicy::Block`]) the
+/// client stalled the outbox past the stall budget and is evicted rather
+/// than allowed to wedge the serving thread indefinitely.
 fn enqueue_reply(tx: &BoundedSender<SealedKv>, reply: SealedKv, config: &TransportConfig) -> bool {
     let reg = safereg_obs::global();
     match config.shed_policy {
-        ShedPolicy::Block => match tx.send_timeout(reply, config.io_timeout) {
+        ShedPolicy::Block => match tx.send_timeout(reply, config.stall_timeout) {
             Ok(_) => true,
             Err(SendTimeoutError::Timeout(_)) => {
                 // The channel never sheds under Block; a send that cannot
-                // complete within the io budget is this layer's shed.
+                // complete within the stall budget means the client has
+                // stopped draining — evict it.
                 reg.counter(safereg_obs::names::CHAN_SHED).inc();
                 reg.counter(&safereg_obs::names::shed_counter(
                     config.shed_policy.label(),
                 ))
                 .inc();
-                true
+                count_eviction("stall");
+                false
             }
             Err(SendTimeoutError::Disconnected(_)) => false,
         },
@@ -175,17 +220,43 @@ fn enqueue_reply(tx: &BoundedSender<SealedKv>, reply: SealedKv, config: &Transpo
     }
 }
 
+/// Everything optional about how a KV replica is hosted: the transport
+/// policy, the (possibly Byzantine) role it plays, and an optional
+/// server-side chaos plan that fronts the listener with a fault-injecting
+/// proxy so *accepted* connections drop, delay, corrupt and die on the
+/// server's side of the wire.
+#[derive(Debug, Clone, Default)]
+pub struct KvHostOptions {
+    /// Transport policy: outbox capacity, shed policy, idle/stall budgets.
+    pub tconfig: TransportConfig,
+    /// The role this replica plays ([`ByzRole::Correct`] by default).
+    pub role: ByzRole,
+    /// Seed for the role's fault stream (fabricated tags, forged values).
+    pub byz_seed: u64,
+    /// When set, the advertised address is a seeded [`ChaosProxy`] in front
+    /// of the real listener, injecting this plan on the accept side.
+    pub chaos: Option<FaultPlan>,
+}
+
 /// A KV replica served over TCP.
 pub struct KvServerHost {
+    /// Advertised address: the chaos proxy when one fronts the listener,
+    /// the listener itself otherwise.
     addr: SocketAddr,
+    /// The real listener address (used to unblock the accept loop on stop).
+    listen_addr: SocketAddr,
+    role: ByzRole,
     stop: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    chaos: Option<ChaosProxy>,
 }
 
 impl std::fmt::Debug for KvServerHost {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("KvServerHost")
             .field("addr", &self.addr)
+            .field("role", &self.role)
+            .field("chaos", &self.chaos.is_some())
             .finish()
     }
 }
@@ -252,21 +323,76 @@ impl KvServerHost {
         bind: impl std::net::ToSocketAddrs,
         tconfig: TransportConfig,
     ) -> std::io::Result<Self> {
-        let listener = TcpListener::bind(bind)?;
-        let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let server = Arc::new(Mutex::new(match mode {
-            KvMode::Replicated => KvServer::new(id, cfg),
-            KvMode::Coded => KvServer::new_coded(id, cfg),
-        }));
+        Self::spawn_opts(
+            id,
+            cfg,
+            mode,
+            chain,
+            bind,
+            KvHostOptions {
+                tconfig,
+                ..KvHostOptions::default()
+            },
+        )
+    }
 
-        // Register the shed counters up front so a metrics dump shows them
-        // (at zero) even before any backpressure occurs.
+    /// Spawns a replica with the full option set: transport policy, role,
+    /// and optional server-side chaos. With chaos, the real listener binds
+    /// ephemerally and a seeded [`ChaosProxy`] binds `bind` in front of it —
+    /// the advertised [`addr`](Self::addr) is the proxy, so every accepted
+    /// connection runs through the fault plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors from the listener or the proxy.
+    pub fn spawn_opts(
+        id: ServerId,
+        cfg: QuorumConfig,
+        mode: KvMode,
+        chain: KeyChain,
+        bind: impl std::net::ToSocketAddrs,
+        opts: KvHostOptions,
+    ) -> std::io::Result<Self> {
+        let tconfig = opts.tconfig;
+        let listener = match opts.chaos {
+            // The proxy owns the requested address; the listener hides on
+            // an ephemeral port behind it.
+            Some(_) => TcpListener::bind(("127.0.0.1", 0))?,
+            None => TcpListener::bind(bind_first(&bind)?)?,
+        };
+        let listen_addr = listener.local_addr()?;
+        let chaos = match opts.chaos {
+            Some(plan) => Some(ChaosProxy::spawn_on(
+                id,
+                listen_addr,
+                plan,
+                bind_first(&bind)?,
+            )?),
+            None => None,
+        };
+        let addr = chaos.as_ref().map_or(listen_addr, ChaosProxy::addr);
+        let stop = Arc::new(AtomicBool::new(false));
+        let server = Arc::new(Mutex::new(KvServer::with_role(
+            id,
+            cfg,
+            mode,
+            opts.role,
+            opts.byz_seed,
+        )));
+
+        // Register the degradation metrics up front so a dump shows them
+        // (at zero) even before any backpressure, eviction or restart.
         let reg = safereg_obs::global();
         reg.counter(safereg_obs::names::CHAN_SHED);
         reg.counter(&safereg_obs::names::shed_counter(
             tconfig.shed_policy.label(),
         ));
+        reg.counter(names::SERVER_EVICTIONS);
+        reg.counter(&names::eviction_counter("idle"));
+        reg.counter(&names::eviction_counter("stall"));
+        reg.counter(names::SERVER_RESTARTS);
+        reg.gauge(names::SERVER_BYZ_ACTIVE);
+        reg.histogram(names::TRANSPORT_BATCH_FRAMES);
 
         let accept_stop = Arc::clone(&stop);
         let accept_thread = std::thread::Builder::new()
@@ -280,6 +406,10 @@ impl KvServerHost {
                         Ok(s) => s,
                         Err(_) => continue,
                     };
+                    // Replies are small frames on a request/response path:
+                    // Nagle against the client's delayed ACK turns every
+                    // exchange into a ~40 ms stall, so send eagerly.
+                    let _ = stream.set_nodelay(true);
                     let server = Arc::clone(&server);
                     let stop = Arc::clone(&accept_stop);
                     let chain = chain.clone();
@@ -291,24 +421,43 @@ impl KvServerHost {
             .expect("spawn kv accept thread");
         Ok(KvServerHost {
             addr,
+            listen_addr,
+            role: opts.role,
             stop,
             accept_thread: Some(accept_thread),
+            chaos,
         })
     }
 
-    /// The bound address.
+    /// The advertised address (the chaos proxy's, when one is configured).
     pub fn addr(&self) -> SocketAddr {
         self.addr
     }
 
-    /// Stops the host.
+    /// The role this replica was spawned with.
+    pub fn role(&self) -> ByzRole {
+        self.role
+    }
+
+    /// Stops the host (proxy first, then the listener).
     pub fn stop(&mut self) {
+        if let Some(mut proxy) = self.chaos.take() {
+            proxy.stop();
+        }
         self.stop.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
+        let _ = TcpStream::connect(self.listen_addr);
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
     }
+}
+
+/// Resolves `bind` to its first address (both the listener and the proxy
+/// need a concrete `SocketAddr`, and `ToSocketAddrs` is consumed on use).
+fn bind_first(bind: &impl std::net::ToSocketAddrs) -> std::io::Result<SocketAddr> {
+    bind.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(ErrorKind::InvalidInput, "bind address resolves to nothing")
+    })
 }
 
 impl Drop for KvServerHost {
@@ -334,27 +483,63 @@ fn serve(
         Ok(s) => s,
         Err(_) => return,
     };
+    let stall_timeout = tconfig.stall_timeout;
     let writer = std::thread::Builder::new()
         .name("safereg-kv-writer".into())
         .spawn(move || {
             let mut stream = writer_stream;
-            while let Ok(reply) = reply_rx.recv() {
-                if reply.write_to(&mut stream).is_err() {
-                    return;
+            // A client that stops draining its socket stalls the writer; a
+            // bounded write budget turns that into an eviction instead of a
+            // thread parked forever.
+            let _ = stream.set_write_timeout(Some(stall_timeout));
+            while let Ok(first) = reply_rx.recv() {
+                // Opportunistically drain queued replies into one vectored
+                // write: fan-in bursts (quorum reads hitting many keys)
+                // amortise to a syscall per batch instead of per frame.
+                let mut batch = vec![first];
+                while batch.len() < MAX_BATCH {
+                    match reply_rx.try_recv() {
+                        Ok(next) => batch.push(next),
+                        Err(_) => break,
+                    }
+                }
+                safereg_obs::global()
+                    .histogram(names::TRANSPORT_BATCH_FRAMES)
+                    .record(batch.len() as u64);
+                match write_batch(&mut stream, &batch) {
+                    Ok(()) => {}
+                    Err(e)
+                        if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+                    {
+                        count_eviction("stall");
+                        return;
+                    }
+                    Err(_) => return,
                 }
             }
         });
     if writer.is_err() {
         return;
     }
+    let idle_timeout = tconfig.idle_timeout;
+    let mut last_inbound = std::time::Instant::now();
     loop {
         if stop.load(Ordering::SeqCst) {
             return;
         }
         let sealed = match read_frame(&mut stream) {
-            Ok(f) => f,
+            Ok(f) => {
+                last_inbound = std::time::Instant::now();
+                f
+            }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                continue
+                if last_inbound.elapsed() >= idle_timeout {
+                    // The client went quiet past the idle budget: reclaim
+                    // the connection thread rather than poll forever.
+                    count_eviction("idle");
+                    return;
+                }
+                continue;
             }
             Err(_) => return,
         };
@@ -701,6 +886,9 @@ pub struct TcpKvCluster {
     cfg: QuorumConfig,
     chain: KeyChain,
     tconfig: TransportConfig,
+    /// The server-side fault plan every replica is fronted with, if any;
+    /// restarts respawn the proxy with the same plan on the old address.
+    plan: Option<FaultPlan>,
     hosts: BTreeMap<ServerId, KvServerHost>,
 }
 
@@ -727,18 +915,56 @@ impl TcpKvCluster {
         master_seed: &[u8],
         tconfig: TransportConfig,
     ) -> std::io::Result<Self> {
+        Self::start_opts(cfg, mode, master_seed, tconfig, None)
+    }
+
+    /// Starts `n` replicas with every listener fronted by a seeded
+    /// server-side [`ChaosProxy`] injecting `plan` on accepted connections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn start_chaos(
+        cfg: QuorumConfig,
+        mode: KvMode,
+        master_seed: &[u8],
+        tconfig: TransportConfig,
+        plan: FaultPlan,
+    ) -> std::io::Result<Self> {
+        Self::start_opts(cfg, mode, master_seed, tconfig, Some(plan))
+    }
+
+    fn start_opts(
+        cfg: QuorumConfig,
+        mode: KvMode,
+        master_seed: &[u8],
+        tconfig: TransportConfig,
+        plan: Option<FaultPlan>,
+    ) -> std::io::Result<Self> {
         let chain = KeyChain::from_master_seed(master_seed);
         let mut hosts = BTreeMap::new();
         for sid in cfg.servers() {
             hosts.insert(
                 sid,
-                KvServerHost::spawn_with(sid, cfg, mode, chain.clone(), tconfig)?,
+                KvServerHost::spawn_opts(
+                    sid,
+                    cfg,
+                    mode,
+                    chain.clone(),
+                    ("127.0.0.1", 0),
+                    KvHostOptions {
+                        tconfig,
+                        chaos: plan.clone(),
+                        ..KvHostOptions::default()
+                    },
+                )?,
             );
         }
         Ok(TcpKvCluster {
             cfg,
             chain,
             tconfig,
+            plan,
             hosts,
         })
     }
@@ -779,29 +1005,86 @@ impl TcpKvCluster {
         }
     }
 
-    /// Restarts a crashed replica on its **old address** with empty
-    /// register state — a crash-recover server. Safe for `≤ f` replicas:
-    /// the register protocol treats lost state like a slow server that
-    /// never saw the writes.
+    /// Restarts a crashed replica on its **old advertised address** with
+    /// empty register state — a crash-recover server. A chaos-fronted
+    /// replica gets a fresh proxy with the same plan on the same address.
+    /// Safe for `≤ f` replicas: the register protocol treats lost state
+    /// like a slow server that never saw the writes. Restarting always
+    /// restores the replica to [`ByzRole::Correct`].
     ///
     /// # Errors
     ///
     /// Propagates bind errors (e.g. the old port was reclaimed).
     pub fn restart(&mut self, sid: ServerId, mode: KvMode) -> std::io::Result<()> {
+        self.respawn(sid, mode, ByzRole::Correct, 0)
+    }
+
+    /// Converts a replica to `role` by restarting it in place (old
+    /// advertised address, fresh state). State loss is acceptable both
+    /// ways: a Byzantine replica's state is untrusted, and restoring to
+    /// `Correct` is the crash-recovery case the protocol already absorbs
+    /// for `≤ f` replicas. Updates the `server.byz.active` gauge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn set_role(
+        &mut self,
+        sid: ServerId,
+        mode: KvMode,
+        role: ByzRole,
+        seed: u64,
+    ) -> std::io::Result<()> {
+        self.respawn(sid, mode, role, seed)
+    }
+
+    /// The role each replica currently plays.
+    pub fn roles(&self) -> BTreeMap<ServerId, ByzRole> {
+        self.hosts.iter().map(|(s, h)| (*s, h.role())).collect()
+    }
+
+    /// Swaps the fault plan used by *future* respawns: a soak harness
+    /// rotates chaos seeds per epoch, and every replica restarted from then
+    /// on comes back behind a proxy driven by the new plan. Running proxies
+    /// keep their old plan until their host is restarted.
+    pub fn set_plan(&mut self, plan: Option<FaultPlan>) {
+        self.plan = plan;
+    }
+
+    fn respawn(
+        &mut self,
+        sid: ServerId,
+        mode: KvMode,
+        role: ByzRole,
+        seed: u64,
+    ) -> std::io::Result<()> {
         let Some(old) = self.hosts.get(&sid) else {
             return Ok(());
         };
         let addr = old.addr();
         self.hosts.remove(&sid); // drop stops the old host first
-        let host = KvServerHost::spawn_on_with(
+        let host = KvServerHost::spawn_opts(
             sid,
             self.cfg,
             mode,
             self.chain.clone(),
             addr,
-            self.tconfig,
+            KvHostOptions {
+                tconfig: self.tconfig,
+                role,
+                byz_seed: seed,
+                chaos: self.plan.clone(),
+            },
         )?;
         self.hosts.insert(sid, host);
+        let reg = safereg_obs::global();
+        reg.counter(names::SERVER_RESTARTS).inc();
+        let byz = self
+            .hosts
+            .values()
+            .filter(|h| h.role() != ByzRole::Correct)
+            .count();
+        reg.gauge(names::SERVER_BYZ_ACTIVE).set(byz as u64);
         Ok(())
     }
 }
@@ -887,6 +1170,102 @@ mod tests {
             client.get(&mut transport, b"blob").unwrap().as_bytes(),
             &blob[..]
         );
+    }
+
+    #[test]
+    fn byzantine_replica_cannot_corrupt_the_register() {
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let mut cluster = TcpKvCluster::start(cfg, KvMode::Replicated, b"kv-byz").unwrap();
+        let mut client = KvClient::new(cfg, WriterId(0), ReaderId(0));
+        {
+            let mut transport = cluster.transport();
+            client.put(&mut transport, b"k", "truth").unwrap();
+        }
+        cluster
+            .set_role(ServerId(3), KvMode::Replicated, ByzRole::Fabricator, 99)
+            .unwrap();
+        assert_eq!(cluster.roles()[&ServerId(3)], ByzRole::Fabricator);
+        // With one live fabricating replica (f = 1), writes still reach a
+        // quorum and reads still return a genuinely-written value: the
+        // forged high tag lacks the f + 1 witnesses validation demands.
+        let mut transport = cluster.transport();
+        client.put(&mut transport, b"k", "still truth").unwrap();
+        let (value, tag) = client.get_with_tag(&mut transport, b"k").unwrap();
+        assert_eq!(value.as_bytes(), b"still truth");
+        assert!(tag.num < 1_000_000, "forged tag did not win");
+        // Rotation back to honest service is a restart-in-place.
+        cluster
+            .set_role(ServerId(3), KvMode::Replicated, ByzRole::Correct, 0)
+            .unwrap();
+        assert_eq!(cluster.roles()[&ServerId(3)], ByzRole::Correct);
+    }
+
+    #[test]
+    fn chaos_fronted_cluster_still_serves() {
+        use safereg_transport::chaos::FaultSpec;
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let plan = FaultPlan::new(7, FaultSpec::calm());
+        let cluster = TcpKvCluster::start_chaos(
+            cfg,
+            KvMode::Replicated,
+            b"kv-server-chaos",
+            TransportConfig::default(),
+            plan,
+        )
+        .unwrap();
+        let mut transport = cluster.transport();
+        let mut client = KvClient::new(cfg, WriterId(1), ReaderId(1));
+        client
+            .put(&mut transport, b"k", "through the proxy")
+            .unwrap();
+        assert_eq!(
+            client.get(&mut transport, b"k").unwrap().as_bytes(),
+            b"through the proxy"
+        );
+    }
+
+    #[test]
+    fn restart_respawns_on_the_old_address_and_counts() {
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let mut cluster = TcpKvCluster::start(cfg, KvMode::Replicated, b"kv-restart").unwrap();
+        let addrs = cluster.addrs();
+        let before = safereg_obs::global().counter(names::SERVER_RESTARTS).get();
+        cluster.crash(ServerId(2));
+        cluster.restart(ServerId(2), KvMode::Replicated).unwrap();
+        assert_eq!(cluster.addrs(), addrs, "restart keeps the old address");
+        assert!(safereg_obs::global().counter(names::SERVER_RESTARTS).get() > before);
+        let mut transport = cluster.transport();
+        let mut client = KvClient::new(cfg, WriterId(2), ReaderId(2));
+        client.put(&mut transport, b"k", "after restart").unwrap();
+        assert_eq!(
+            client.get(&mut transport, b"k").unwrap().as_bytes(),
+            b"after restart"
+        );
+    }
+
+    #[test]
+    fn idle_kv_connections_are_evicted() {
+        use std::io::Read;
+        let tconfig = TransportConfig {
+            idle_timeout: Duration::from_millis(250),
+            ..TransportConfig::default()
+        };
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let chain = KeyChain::from_master_seed(b"kv-idle");
+        let host =
+            KvServerHost::spawn_with(ServerId(0), cfg, KvMode::Replicated, chain, tconfig).unwrap();
+        let before = safereg_obs::global()
+            .counter(&names::eviction_counter("idle"))
+            .get();
+        let mut conn = TcpStream::connect(host.addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // Send nothing: the host must close the connection once the idle
+        // budget elapses, observable here as EOF.
+        let mut buf = [0u8; 1];
+        assert_eq!(conn.read(&mut buf).unwrap(), 0, "server closed the link");
+        let reg = safereg_obs::global();
+        assert!(reg.counter(&names::eviction_counter("idle")).get() > before);
+        assert!(reg.counter(names::SERVER_EVICTIONS).get() > 0);
     }
 
     #[test]

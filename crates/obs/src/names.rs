@@ -47,6 +47,23 @@ pub const WIRE_BYTES_COPIED: &str = "wire.bytes_copied";
 /// policies. Per-policy breakdowns live under [`shed_counter`].
 pub const CHAN_SHED: &str = "chan.shed";
 
+/// Server hosts: connections evicted for misbehaving at the socket level
+/// (idle with no traffic, or stalled so writes time out), summed over all
+/// reasons. Per-reason breakdowns live under [`eviction_counter`].
+pub const SERVER_EVICTIONS: &str = "server.evictions";
+
+/// Server hosts: replicas killed and respawned by a crash/restart
+/// supervisor (`TcpKvCluster::restart` and friends).
+pub const SERVER_RESTARTS: &str = "server.restarts";
+
+/// Server hosts currently running a Byzantine behavior instead of the
+/// honest protocol node (a gauge; role rotation moves it up and down).
+pub const SERVER_BYZ_ACTIVE: &str = "server.byz.active";
+
+/// Histogram of frames flushed per vectored batch write on a bounded
+/// outbox drain (1 = no batching happened for that flush).
+pub const TRANSPORT_BATCH_FRAMES: &str = "transport.batch.frames";
+
 /// Chaos proxy: frames forwarded untouched.
 pub const CHAOS_FORWARDED: &str = "chaos.frames.forwarded";
 
@@ -67,6 +84,12 @@ pub fn shed_counter(label: &str) -> String {
     format!("{}.{label}", CHAN_SHED)
 }
 
+/// Per-reason eviction counter name (`server.evictions.idle`,
+/// `server.evictions.stall`).
+pub fn eviction_counter(reason: &str) -> String {
+    format!("{}.{reason}", SERVER_EVICTIONS)
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -83,5 +106,14 @@ mod tests {
         assert_eq!(super::shed_counter("block"), "chan.shed.block");
         assert_eq!(super::shed_counter("drop_oldest"), "chan.shed.drop_oldest");
         assert_eq!(super::WIRE_BYTES_COPIED, "wire.bytes_copied");
+    }
+
+    #[test]
+    fn eviction_counter_names_are_stable() {
+        assert_eq!(super::eviction_counter("idle"), "server.evictions.idle");
+        assert_eq!(super::eviction_counter("stall"), "server.evictions.stall");
+        assert_eq!(super::SERVER_EVICTIONS, "server.evictions");
+        assert_eq!(super::SERVER_RESTARTS, "server.restarts");
+        assert_eq!(super::TRANSPORT_BATCH_FRAMES, "transport.batch.frames");
     }
 }

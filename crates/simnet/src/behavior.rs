@@ -1,72 +1,26 @@
-//! Server behaviors: correct replicas and a bestiary of Byzantine
-//! strategies.
+//! Server behaviors under simulation.
 //!
-//! A [`ServerBehavior`] receives every envelope addressed to its server and
-//! returns the envelopes the server emits. Correct behaviors wrap the real
-//! protocol state machines; Byzantine ones deviate in the ways the paper's
-//! adversary is allowed to (§II-A): wrong values, wrong timestamps, no
-//! replies, multiple replies — but they can never forge *another* server's
-//! messages (the channels are authenticated).
+//! The [`ServerBehavior`] trait and the protocol-level bestiary (correct,
+//! silent, stale, fabricating, equivocating, …) live in
+//! [`safereg_core::behavior`] so the live TCP hosts can run the same
+//! adversaries; this module re-exports them under their historical simnet
+//! paths and adds [`CorrectBaseline`], the RB-baseline wrapper that only
+//! the simulator needs (it pulls in `safereg-rb`, which core does not
+//! depend on).
+//!
+//! `SimTime` is a plain `u64`, so the simulator's virtual clock satisfies
+//! the trait's opaque monotone `now` directly.
 
-use safereg_common::ids::{ClientId, NodeId, ServerId};
-use safereg_common::msg::{ClientToServer, Envelope, Message, Payload, ServerToClient};
+pub use safereg_core::behavior::{
+    AckForger, ByzRole, Correct, CrashAt, DownBetween, Equivocator, Fabricator, FixedResponder,
+    ServerBehavior, Silent, StaleReplier,
+};
+
+use safereg_common::msg::Envelope;
 use safereg_common::rng::DetRng;
-use safereg_common::tag::Tag;
-use safereg_common::value::Value;
-use safereg_core::server::ServerNode;
 use safereg_rb::baseline::BaselineServer;
 
 use crate::event::SimTime;
-
-/// A server's behavior under simulation.
-pub trait ServerBehavior: Send {
-    /// The server this behavior plays.
-    fn id(&self) -> ServerId;
-
-    /// Handles one delivered envelope, returning envelopes to send.
-    fn on_envelope(&mut self, now: SimTime, env: &Envelope, rng: &mut DetRng) -> Vec<Envelope>;
-
-    /// Payload bytes this server currently stores (E4's storage metric);
-    /// behaviors without real storage report 0.
-    fn storage_bytes(&self) -> usize {
-        0
-    }
-}
-
-/// A correct server running [`ServerNode`] (BSR/BCSR/variants).
-#[derive(Debug)]
-pub struct Correct {
-    node: ServerNode,
-}
-
-impl Correct {
-    /// Wraps a protocol server node.
-    pub fn new(node: ServerNode) -> Self {
-        Correct { node }
-    }
-}
-
-impl ServerBehavior for Correct {
-    fn id(&self) -> ServerId {
-        self.node.id()
-    }
-
-    fn on_envelope(&mut self, _now: SimTime, env: &Envelope, _rng: &mut DetRng) -> Vec<Envelope> {
-        let (from, msg) = match (&env.src, &env.msg) {
-            (NodeId::Client(c), Message::ToServer(m)) => (*c, m),
-            _ => return Vec::new(),
-        };
-        self.node
-            .handle(from, msg)
-            .into_iter()
-            .map(|resp| Envelope::to_client(self.node.id(), from, resp))
-            .collect()
-    }
-
-    fn storage_bytes(&self) -> usize {
-        self.node.storage_bytes()
-    }
-}
 
 /// A correct RB-baseline server (relay + Bracha).
 #[derive(Debug)]
@@ -82,7 +36,7 @@ impl CorrectBaseline {
 }
 
 impl ServerBehavior for CorrectBaseline {
-    fn id(&self) -> ServerId {
+    fn id(&self) -> safereg_common::ids::ServerId {
         self.server.id()
     }
 
@@ -91,427 +45,15 @@ impl ServerBehavior for CorrectBaseline {
     }
 }
 
-/// Byzantine: never responds to anything.
-#[derive(Debug)]
-pub struct Silent {
-    id: ServerId,
-}
-
-impl Silent {
-    /// A server that is silent from the start.
-    pub fn new(id: ServerId) -> Self {
-        Silent { id }
-    }
-}
-
-impl ServerBehavior for Silent {
-    fn id(&self) -> ServerId {
-        self.id
-    }
-
-    fn on_envelope(&mut self, _now: SimTime, _env: &Envelope, _rng: &mut DetRng) -> Vec<Envelope> {
-        Vec::new()
-    }
-}
-
-/// Crash fault: correct until `crash_at`, silent afterwards.
-pub struct CrashAt {
-    inner: Box<dyn ServerBehavior>,
-    crash_at: SimTime,
-}
-
-impl CrashAt {
-    /// Wraps a behavior that dies at `crash_at`.
-    pub fn new(inner: Box<dyn ServerBehavior>, crash_at: SimTime) -> Self {
-        CrashAt { inner, crash_at }
-    }
-}
-
-impl ServerBehavior for CrashAt {
-    fn id(&self) -> ServerId {
-        self.inner.id()
-    }
-
-    fn on_envelope(&mut self, now: SimTime, env: &Envelope, rng: &mut DetRng) -> Vec<Envelope> {
-        if now >= self.crash_at {
-            return Vec::new();
-        }
-        self.inner.on_envelope(now, env, rng)
-    }
-}
-
-/// Crash-recovery fault: silent during `[down_from, down_to)`, correct
-/// otherwise. Messages delivered while down are lost to this server (its
-/// channel endpoint is dead), which a recovered replica experiences as a
-/// gap in its log — the quorum logic masks it as long as at most `f`
-/// servers are down at once.
-pub struct DownBetween {
-    inner: Box<dyn ServerBehavior>,
-    down_from: SimTime,
-    down_to: SimTime,
-}
-
-impl DownBetween {
-    /// Wraps a behavior that is unavailable during `[down_from, down_to)`.
-    pub fn new(inner: Box<dyn ServerBehavior>, down_from: SimTime, down_to: SimTime) -> Self {
-        DownBetween {
-            inner,
-            down_from,
-            down_to,
-        }
-    }
-}
-
-impl ServerBehavior for DownBetween {
-    fn id(&self) -> ServerId {
-        self.inner.id()
-    }
-
-    fn on_envelope(&mut self, now: SimTime, env: &Envelope, rng: &mut DetRng) -> Vec<Envelope> {
-        if (self.down_from..self.down_to).contains(&now) {
-            return Vec::new();
-        }
-        self.inner.on_envelope(now, env, rng)
-    }
-
-    fn storage_bytes(&self) -> usize {
-        self.inner.storage_bytes()
-    }
-}
-
-/// Byzantine: acknowledges writes without storing them, so reads see stale
-/// state; it also answers reads from the pre-attack state.
-///
-/// With `lag = 0` the server simply never applies any write (it always
-/// answers from `(t_0, v_0)`); with `lag = k` it answers from the entry `k`
-/// positions below its maximum — the strategy the Theorem 5 replay uses to
-/// resurrect an overwritten value.
-#[derive(Debug)]
-pub struct StaleReplier {
-    node: ServerNode,
-    lag: usize,
-}
-
-impl StaleReplier {
-    /// Creates a stale replier with the given lag.
-    pub fn new(node: ServerNode, lag: usize) -> Self {
-        StaleReplier { node, lag }
-    }
-}
-
-impl ServerBehavior for StaleReplier {
-    fn id(&self) -> ServerId {
-        self.node.id()
-    }
-
-    fn on_envelope(&mut self, _now: SimTime, env: &Envelope, _rng: &mut DetRng) -> Vec<Envelope> {
-        let (from, msg) = match (&env.src, &env.msg) {
-            (NodeId::Client(c), Message::ToServer(m)) => (*c, m),
-            _ => return Vec::new(),
-        };
-        match msg {
-            // Maintain the log correctly (so the lagged entry exists), ack
-            // normally — the lie is in the read path.
-            ClientToServer::PutData { .. } | ClientToServer::QueryTag { .. } => self
-                .node
-                .handle(from, msg)
-                .into_iter()
-                .map(|r| Envelope::to_client(self.node.id(), from, r))
-                .collect(),
-            ClientToServer::QueryData { op } => {
-                // Answer with a stale pair: use the full history to find
-                // the entry `lag` below the max.
-                let hist = self.node.handle(
-                    from,
-                    &ClientToServer::QueryHistory {
-                        op: *op,
-                        above: Tag::ZERO,
-                    },
-                );
-                let entries = match hist.into_iter().next() {
-                    Some(ServerToClient::HistoryResp { entries, .. }) if !entries.is_empty() => {
-                        entries
-                    }
-                    _ => return Vec::new(),
-                };
-                let idx = entries.len().saturating_sub(1 + self.lag);
-                let (tag, payload) = entries[idx].clone();
-                vec![Envelope::to_client(
-                    self.node.id(),
-                    from,
-                    ServerToClient::DataResp {
-                        op: *op,
-                        tag,
-                        payload,
-                    },
-                )]
-            }
-            // For history-style queries, truncate the newest `lag` entries.
-            ClientToServer::QueryHistory { .. }
-            | ClientToServer::QueryTagList { .. }
-            | ClientToServer::QueryValueAt { .. } => {
-                let out = self.node.handle(from, msg);
-                out.into_iter()
-                    .map(|r| {
-                        let r = match r {
-                            ServerToClient::HistoryResp { op, mut entries } => {
-                                entries.truncate(entries.len().saturating_sub(self.lag));
-                                ServerToClient::HistoryResp { op, entries }
-                            }
-                            ServerToClient::TagListResp { op, mut tags } => {
-                                tags.truncate(tags.len().saturating_sub(self.lag));
-                                ServerToClient::TagListResp { op, tags }
-                            }
-                            other => other,
-                        };
-                        Envelope::to_client(self.node.id(), from, r)
-                    })
-                    .collect()
-            }
-            _ => Vec::new(),
-        }
-    }
-}
-
-/// Byzantine: responds to reads with fabricated values and huge tags, and
-/// to `get-tag` queries with inflated tags (the attack ablation A2 guards
-/// against); acks writes without storing.
-#[derive(Debug)]
-pub struct Fabricator {
-    id: ServerId,
-    rng: DetRng,
-}
-
-impl Fabricator {
-    /// Creates a fabricator with its own random stream.
-    pub fn new(id: ServerId, seed: u64) -> Self {
-        Fabricator {
-            id,
-            rng: DetRng::seed_from(seed),
-        }
-    }
-
-    fn forged_pair(&mut self) -> (Tag, Payload) {
-        let tag = Tag::new(
-            self.rng.range_u64(1_000_000..2_000_000),
-            safereg_common::ids::WriterId(9999),
-        );
-        let mut bytes = vec![0u8; 8];
-        self.rng.fill_bytes(&mut bytes);
-        (tag, Payload::Full(Value::from(bytes)))
-    }
-}
-
-impl ServerBehavior for Fabricator {
-    fn id(&self) -> ServerId {
-        self.id
-    }
-
-    fn on_envelope(&mut self, _now: SimTime, env: &Envelope, _rng: &mut DetRng) -> Vec<Envelope> {
-        let (from, msg) = match (&env.src, &env.msg) {
-            (NodeId::Client(c), Message::ToServer(m)) => (*c, m),
-            _ => return Vec::new(),
-        };
-        let op = msg.op();
-        let resp = match msg {
-            ClientToServer::QueryTag { .. } => {
-                let (tag, _) = self.forged_pair();
-                ServerToClient::TagResp { op, tag }
-            }
-            ClientToServer::PutData { tag, .. } => ServerToClient::PutAck { op, tag: *tag },
-            ClientToServer::QueryData { .. } => {
-                let (tag, payload) = self.forged_pair();
-                ServerToClient::DataResp { op, tag, payload }
-            }
-            ClientToServer::QueryHistory { .. } => {
-                let (tag, payload) = self.forged_pair();
-                ServerToClient::HistoryResp {
-                    op,
-                    entries: vec![(tag, payload)],
-                }
-            }
-            ClientToServer::QueryTagList { .. } => {
-                let (tag, _) = self.forged_pair();
-                ServerToClient::TagListResp {
-                    op,
-                    tags: vec![tag],
-                }
-            }
-            ClientToServer::QueryValueAt { tag, .. } => {
-                let (_, payload) = self.forged_pair();
-                ServerToClient::ValueAtResp {
-                    op,
-                    tag: *tag,
-                    payload: Some(payload),
-                }
-            }
-            _ => return Vec::new(),
-        };
-        vec![Envelope::to_client(self.id, from, resp)]
-    }
-}
-
-/// Byzantine: behaves correctly except it reports different (fabricated)
-/// values to different *readers* — equivocation. Writers see a correct
-/// server, so writes complete; readers get per-client lies.
-#[derive(Debug)]
-pub struct Equivocator {
-    node: ServerNode,
-}
-
-impl Equivocator {
-    /// Wraps a correctly-maintained node whose read answers equivocate.
-    pub fn new(node: ServerNode) -> Self {
-        Equivocator { node }
-    }
-}
-
-impl ServerBehavior for Equivocator {
-    fn id(&self) -> ServerId {
-        self.node.id()
-    }
-
-    fn on_envelope(&mut self, _now: SimTime, env: &Envelope, _rng: &mut DetRng) -> Vec<Envelope> {
-        let (from, msg) = match (&env.src, &env.msg) {
-            (NodeId::Client(c), Message::ToServer(m)) => (*c, m),
-            _ => return Vec::new(),
-        };
-        match msg {
-            ClientToServer::QueryData { op } => {
-                // Value depends on who asks: reader r gets "evil-r".
-                let salt = match from {
-                    ClientId::Reader(r) => r.0,
-                    ClientId::Writer(w) => w.0,
-                };
-                let tag = self
-                    .node
-                    .max_tag()
-                    .next_for(safereg_common::ids::WriterId(8888));
-                let payload = Payload::Full(Value::from(format!("evil-{salt}").into_bytes()));
-                vec![Envelope::to_client(
-                    self.node.id(),
-                    from,
-                    ServerToClient::DataResp {
-                        op: *op,
-                        tag,
-                        payload,
-                    },
-                )]
-            }
-            _ => self
-                .node
-                .handle(from, msg)
-                .into_iter()
-                .map(|r| Envelope::to_client(self.node.id(), from, r))
-                .collect(),
-        }
-    }
-}
-
-/// Byzantine: acknowledges `put-data` without storing anything (write
-/// durability silently broken); reads answer from the initial state.
-#[derive(Debug)]
-pub struct AckForger {
-    id: ServerId,
-    cfg: safereg_common::config::QuorumConfig,
-}
-
-impl AckForger {
-    /// Creates an ack forger.
-    pub fn new(id: ServerId, cfg: safereg_common::config::QuorumConfig) -> Self {
-        AckForger { id, cfg }
-    }
-}
-
-impl ServerBehavior for AckForger {
-    fn id(&self) -> ServerId {
-        self.id
-    }
-
-    fn on_envelope(&mut self, now: SimTime, env: &Envelope, rng: &mut DetRng) -> Vec<Envelope> {
-        let (from, msg) = match (&env.src, &env.msg) {
-            (NodeId::Client(c), Message::ToServer(m)) => (*c, m),
-            _ => return Vec::new(),
-        };
-        match msg {
-            ClientToServer::PutData { op, tag, .. } => {
-                vec![Envelope::to_client(
-                    self.id,
-                    from,
-                    ServerToClient::PutAck { op: *op, tag: *tag },
-                )]
-            }
-            _ => {
-                // Everything else: act like a pristine (empty) correct node.
-                let mut fresh = Correct::new(ServerNode::new_replicated(self.id, self.cfg));
-                fresh.on_envelope(now, env, rng)
-            }
-        }
-    }
-}
-
-/// Byzantine: answers every read query with one fixed `(tag, payload)` pair
-/// and acks writes without storing — the building block for hand-crafted
-/// adversarial schedules (the Theorem 6 replay uses it to make servers
-/// vouch for elements they never received).
-#[derive(Debug)]
-pub struct FixedResponder {
-    id: ServerId,
-    tag: Tag,
-    payload: Payload,
-}
-
-impl FixedResponder {
-    /// Creates a responder pinned to one pair.
-    pub fn new(id: ServerId, tag: Tag, payload: Payload) -> Self {
-        FixedResponder { id, tag, payload }
-    }
-}
-
-impl ServerBehavior for FixedResponder {
-    fn id(&self) -> ServerId {
-        self.id
-    }
-
-    fn on_envelope(&mut self, _now: SimTime, env: &Envelope, _rng: &mut DetRng) -> Vec<Envelope> {
-        let (from, msg) = match (&env.src, &env.msg) {
-            (NodeId::Client(c), Message::ToServer(m)) => (*c, m),
-            _ => return Vec::new(),
-        };
-        let op = msg.op();
-        let resp = match msg {
-            ClientToServer::QueryTag { .. } => ServerToClient::TagResp { op, tag: self.tag },
-            ClientToServer::PutData { tag, .. } => ServerToClient::PutAck { op, tag: *tag },
-            ClientToServer::QueryData { .. } => ServerToClient::DataResp {
-                op,
-                tag: self.tag,
-                payload: self.payload.clone(),
-            },
-            ClientToServer::QueryHistory { .. } => ServerToClient::HistoryResp {
-                op,
-                entries: vec![(self.tag, self.payload.clone())],
-            },
-            ClientToServer::QueryTagList { .. } => ServerToClient::TagListResp {
-                op,
-                tags: vec![self.tag],
-            },
-            ClientToServer::QueryValueAt { tag, .. } => ServerToClient::ValueAtResp {
-                op,
-                tag: *tag,
-                payload: (*tag == self.tag).then(|| self.payload.clone()),
-            },
-            _ => return Vec::new(),
-        };
-        vec![Envelope::to_client(self.id, from, resp)]
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use safereg_common::config::QuorumConfig;
-    use safereg_common::ids::{ReaderId, WriterId};
-    use safereg_common::msg::OpId;
+    use safereg_common::ids::{ClientId, ReaderId, ServerId, WriterId};
+    use safereg_common::msg::{ClientToServer, Message, OpId, Payload, ServerToClient};
+    use safereg_common::tag::Tag;
+    use safereg_common::value::Value;
+    use safereg_core::server::ServerNode;
 
     fn cfg() -> QuorumConfig {
         QuorumConfig::minimal_bsr(1).unwrap()

@@ -364,7 +364,22 @@ impl ChaosProxy {
     ///
     /// Propagates bind errors.
     pub fn spawn(server: ServerId, upstream: SocketAddr, plan: FaultPlan) -> std::io::Result<Self> {
-        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        Self::spawn_on(server, upstream, plan, ("127.0.0.1", 0))
+    }
+
+    /// Starts a proxy on an explicit bind address — restart supervisors use
+    /// this to bring a proxy back on the address clients already hold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn spawn_on(
+        server: ServerId,
+        upstream: SocketAddr,
+        plan: FaultPlan,
+        bind: impl std::net::ToSocketAddrs,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(bind)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(ProxyShared {
             stop: AtomicBool::new(false),

@@ -47,6 +47,10 @@ use safereg_obs::trace::{self, MsgClass, NullRecorder, Recorder};
 
 use crate::frame::{open_envelope, read_frame, seal_envelope, SealedFrame};
 
+/// Largest number of queued frames drained into one vectored write by a
+/// link's writer thread.
+const MAX_BATCH: usize = 16;
+
 /// Errors from driving operations over TCP.
 #[derive(Debug)]
 pub enum ClientError {
@@ -693,7 +697,20 @@ impl Supervisor {
             }
             match self.outbox.recv_timeout(Duration::from_millis(50)) {
                 Ok(sealed) => {
-                    if sealed.write_to(&mut writer).is_err() {
+                    // Drain whatever else is already queued into the same
+                    // vectored write: a burst of round-1 messages to this
+                    // server leaves in one syscall instead of one each.
+                    let mut batch = vec![sealed];
+                    while batch.len() < MAX_BATCH {
+                        match self.outbox.try_recv() {
+                            Ok(next) => batch.push(next),
+                            Err(_) => break,
+                        }
+                    }
+                    safereg_obs::global()
+                        .histogram(names::TRANSPORT_BATCH_FRAMES)
+                        .record(batch.len() as u64);
+                    if SealedFrame::write_batch(&mut writer, &batch).is_err() {
                         break;
                     }
                 }

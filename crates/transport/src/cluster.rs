@@ -1,9 +1,11 @@
 //! In-process loopback clusters for examples and tests.
 //!
 //! [`LocalCluster`] spawns `n` [`crate::server::ServerHost`]s on ephemeral
-//! loopback ports — a full deployment in one process. Byzantine servers are
-//! modelled by simply stopping hosts (crash/silent faults); richer
-//! adversaries live in the simulator where schedules are reproducible.
+//! loopback ports — a full deployment in one process. Replicas can be
+//! crashed ([`LocalCluster::crash`]), respawned in place on the same
+//! address ([`LocalCluster::restart`]), or swapped for a live Byzantine
+//! behavior from the shared bestiary ([`LocalCluster::set_role`]) — the
+//! same seeded adversaries the simulator runs, now over real sockets.
 
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
@@ -12,8 +14,10 @@ use safereg_common::config::QuorumConfig;
 use safereg_common::ids::{ClientId, ServerId};
 use safereg_common::msg::Payload;
 use safereg_common::value::Value;
+use safereg_core::behavior::ByzRole;
 use safereg_core::server::ServerNode;
 use safereg_crypto::keychain::KeyChain;
+use safereg_obs::names;
 
 use crate::client::{ClientError, ClusterClient};
 use crate::server::ServerHost;
@@ -127,6 +131,63 @@ impl LocalCluster {
             host.stop();
         }
     }
+
+    /// Restarts a crashed replica in place: a fresh (state-lost) honest
+    /// node listening on the old address — the crash-recover supervisor
+    /// the soak harness leans on. Counts under `server.restarts`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors (e.g. the old port was reclaimed).
+    pub fn restart(&mut self, sid: ServerId) -> std::io::Result<()> {
+        let addr = match self.hosts.get_mut(&sid) {
+            Some(host) => {
+                let addr = host.addr();
+                host.stop();
+                addr
+            }
+            None => return Ok(()),
+        };
+        let node = ServerNode::new_replicated(sid, self.cfg);
+        let host = ServerHost::spawn_on(node, self.chain.clone(), addr)?;
+        self.hosts.insert(sid, host);
+        safereg_obs::global().counter(names::SERVER_RESTARTS).inc();
+        Ok(())
+    }
+
+    /// Replaces a replica with a live Byzantine behavior (or restores it to
+    /// `ByzRole::Correct`), respawning on the same address so clients keep
+    /// their configured endpoints. `seed` drives the behavior's fault
+    /// stream, making the misbehavior reproducible.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn set_role(&mut self, sid: ServerId, role: ByzRole, seed: u64) -> std::io::Result<()> {
+        let addr = match self.hosts.get_mut(&sid) {
+            Some(host) => {
+                let addr = host.addr();
+                host.stop();
+                addr
+            }
+            None => return Ok(()),
+        };
+        let host = match role {
+            ByzRole::Correct => ServerHost::spawn_on(
+                ServerNode::new_replicated(sid, self.cfg),
+                self.chain.clone(),
+                addr,
+            )?,
+            faulty => ServerHost::spawn_behavior_on(
+                faulty.build(sid, self.cfg, seed),
+                self.chain.clone(),
+                seed,
+                addr,
+            )?,
+        };
+        self.hosts.insert(sid, host);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -220,6 +281,61 @@ mod tests {
                 ..
             }
         )));
+    }
+
+    #[test]
+    fn restart_in_place_serves_on_the_old_address() {
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let mut cluster = LocalCluster::start(cfg, b"t-restart").unwrap();
+        let addrs_before = cluster.addrs();
+
+        cluster.crash(ServerId(2));
+        cluster.restart(ServerId(2)).unwrap();
+        assert_eq!(cluster.addrs(), addrs_before, "address must be stable");
+
+        let mut wc = cluster.client(WriterId(0)).unwrap();
+        let mut writer = BsrWriter::new(WriterId(0), cfg);
+        wc.run_op(&mut writer.write(Value::from("post-restart")))
+            .unwrap();
+        let mut rc = cluster.client(ReaderId(0)).unwrap();
+        let mut reader = BsrReader::new(ReaderId(0), cfg);
+        let mut read = reader.read();
+        let out = rc.run_op(&mut read).unwrap();
+        assert_eq!(out.read_value().unwrap().as_bytes(), b"post-restart");
+    }
+
+    #[test]
+    fn bsr_survives_f_live_byzantine_replicas() {
+        use safereg_core::behavior::ByzRole;
+
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let mut cluster = LocalCluster::start(cfg, b"t-byz").unwrap();
+        // f = 1: one replica turns fabricator mid-run; quorums mask it.
+        cluster
+            .set_role(ServerId(3), ByzRole::Fabricator, 99)
+            .unwrap();
+
+        let mut wc = cluster.client(WriterId(0)).unwrap();
+        let mut writer = BsrWriter::new(WriterId(0), cfg);
+        wc.run_op(&mut writer.write(Value::from("truth"))).unwrap();
+
+        let mut rc = cluster.client(ReaderId(0)).unwrap();
+        let mut reader = BsrReader::new(ReaderId(0), cfg);
+        let mut read = reader.read();
+        let out = rc.run_op(&mut read).unwrap();
+        assert_eq!(
+            out.read_value().unwrap().as_bytes(),
+            b"truth",
+            "f+1 witness rule must reject the fabricator's forgery"
+        );
+
+        // Rotation back to correct keeps the address and the service.
+        cluster.set_role(ServerId(3), ByzRole::Correct, 0).unwrap();
+        let mut rc2 = cluster.client(ReaderId(1)).unwrap();
+        let mut reader2 = BsrReader::new(ReaderId(1), cfg);
+        let mut read2 = reader2.read();
+        let out = rc2.run_op(&mut read2).unwrap();
+        assert_eq!(out.read_value().unwrap().as_bytes(), b"truth");
     }
 
     #[test]

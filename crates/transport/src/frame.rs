@@ -114,8 +114,15 @@ pub fn write_frame<W: Write, B: AsRef<[u8]>>(w: &mut W, parts: &[B]) -> Result<(
 }
 
 /// Drives `Write::write_vectored` to completion across short writes,
-/// advancing through `parts` in place.
-fn write_all_vectored<W: Write>(w: &mut W, parts: &mut [&[u8]]) -> std::io::Result<()> {
+/// advancing through `parts` in place. Public so other wire layers (the KV
+/// host's batched reply drain) can flush multi-frame batches with one
+/// vectored write instead of a `write_all` per part.
+///
+/// # Errors
+///
+/// Propagates socket errors; a zero-length vectored write becomes
+/// [`ErrorKind::WriteZero`].
+pub fn write_all_vectored<W: Write>(w: &mut W, parts: &mut [&[u8]]) -> std::io::Result<()> {
     let mut idx = 0;
     while idx < parts.len() {
         if parts[idx].is_empty() {
@@ -182,6 +189,34 @@ impl SealedFrame {
     /// value the `u32` length header carries.
     pub fn payload_len(&self) -> usize {
         self.head.len() + self.tail.len() + DIGEST_LEN
+    }
+
+    /// Writes a batch of sealed frames as one vectored write — four iovecs
+    /// per frame (length header, head, zero-copy tail, MAC) — so an outbox
+    /// drained in bursts costs a syscall per batch, not per frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn write_batch<W: Write, F: std::borrow::Borrow<SealedFrame>>(
+        w: &mut W,
+        frames: &[F],
+    ) -> Result<(), FrameError> {
+        let headers: Vec<[u8; 4]> = frames
+            .iter()
+            .map(|f| (f.borrow().payload_len() as u32).to_le_bytes())
+            .collect();
+        let mut slices: Vec<&[u8]> = Vec::with_capacity(frames.len() * 4);
+        for (frame, header) in frames.iter().zip(&headers) {
+            let frame = frame.borrow();
+            slices.push(header);
+            slices.push(&frame.head);
+            slices.push(frame.tail.as_ref());
+            slices.push(&frame.mac);
+        }
+        write_all_vectored(w, &mut slices)?;
+        w.flush()?;
+        Ok(())
     }
 
     /// Writes the frame as one vectored write: header, head, tail, MAC.

@@ -50,5 +50,5 @@ pub use chaos::{
 };
 pub use client::{ClientError, ClusterClient, FaultClass};
 pub use cluster::LocalCluster;
-pub use frame::{read_frame, write_frame, FrameError};
+pub use frame::{read_frame, write_all_vectored, write_frame, FrameError};
 pub use server::ServerHost;

@@ -1,24 +1,41 @@
 //! TCP server host.
 //!
-//! [`ServerHost`] runs one [`ServerNode`] behind a `TcpListener` with a
-//! thread per connection. Every inbound frame is authenticated and decoded
-//! before it reaches the node; responses travel back on the same
-//! connection. The node sits behind a mutex — the paper's server is a
-//! sequential process, so serialising its steps is the model, not a
-//! shortcut.
+//! [`ServerHost`] runs one replica behind a `TcpListener` with a thread per
+//! connection. Every inbound frame is authenticated and decoded before it
+//! reaches the replica; responses travel back on the same connection. The
+//! replica sits behind a mutex — the paper's server is a sequential
+//! process, so serialising its steps is the model, not a shortcut.
+//!
+//! A host serves either a plain [`ServerNode`] (the honest protocol state
+//! machine) or any [`ServerBehavior`] from the shared bestiary — the same
+//! silent / stale / fabricating / equivocating adversaries the simulator
+//! runs, now reachable over real sockets and driven by a seeded
+//! [`DetRng`] so live Byzantine runs are reproducible.
+//!
+//! Hosts degrade gracefully rather than wedging: each connection carries an
+//! idle deadline (no inbound frame for `idle_timeout`) and a stall deadline
+//! (peer stops draining replies for `stall_timeout`). A connection that
+//! trips either is evicted and counted under `server.evictions.*`; clients
+//! reconnect on demand, so eviction costs one reconnect, not correctness.
 
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
+use safereg_common::config::TransportConfig;
 use safereg_common::ids::NodeId;
 use safereg_common::msg::{Envelope, Message};
+use safereg_common::rng::DetRng;
 use safereg_common::sync::Mutex;
+use safereg_common::tag::Tag;
+use safereg_core::behavior::ServerBehavior;
 use safereg_core::server::ServerNode;
 use safereg_crypto::keychain::KeyChain;
-use safereg_obs::trace::MsgClass;
+use safereg_obs::names;
+use safereg_obs::trace::{wall_micros, MsgClass};
 
 use crate::frame::{open_envelope, read_frame, seal_envelope, FrameError};
 
@@ -39,12 +56,66 @@ impl Drop for ConnGuard {
     }
 }
 
+/// Evicts a connection: counts it under the aggregate and per-reason
+/// `server.evictions` counters. The caller returns right after.
+fn evict(reason: &str) {
+    let reg = safereg_obs::global();
+    reg.counter(names::SERVER_EVICTIONS).inc();
+    reg.counter(&names::eviction_counter(reason)).inc();
+}
+
+/// What a host is serving: the honest state machine, or a behavior from
+/// the shared bestiary with its own deterministic fault stream.
+enum Hosted {
+    Node(ServerNode),
+    Behavior {
+        behavior: Box<dyn ServerBehavior>,
+        rng: DetRng,
+    },
+}
+
+impl Hosted {
+    fn id(&self) -> safereg_common::ids::ServerId {
+        match self {
+            Hosted::Node(node) => node.id(),
+            Hosted::Behavior { behavior, .. } => behavior.id(),
+        }
+    }
+
+    /// Handles one inbound envelope, returning the envelopes to send back.
+    /// Behaviors see the raw envelope (they may lie about anything); the
+    /// honest node gets the same client-to-server filtering as before.
+    fn handle_env(&mut self, env: &Envelope) -> Vec<Envelope> {
+        match self {
+            Hosted::Node(node) => {
+                let (from, msg) = match (&env.src, &env.msg) {
+                    (NodeId::Client(c), Message::ToServer(m)) => (*c, m),
+                    _ => return Vec::new(),
+                };
+                node.handle(from, msg)
+                    .into_iter()
+                    .map(|resp| Envelope::to_client(node.id(), from, resp))
+                    .collect()
+            }
+            Hosted::Behavior { behavior, rng } => behavior.on_envelope(wall_micros(), env, rng),
+        }
+    }
+
+    fn max_tag(&self) -> Tag {
+        match self {
+            Hosted::Node(node) => node.max_tag(),
+            // Byzantine hosts have no trustworthy notion of a max tag.
+            Hosted::Behavior { .. } => Tag::ZERO,
+        }
+    }
+}
+
 /// A running TCP server hosting one replica.
 pub struct ServerHost {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    node: Arc<Mutex<ServerNode>>,
+    hosted: Arc<Mutex<Hosted>>,
 }
 
 impl std::fmt::Debug for ServerHost {
@@ -76,13 +147,83 @@ impl ServerHost {
         chain: KeyChain,
         bind: impl std::net::ToSocketAddrs,
     ) -> std::io::Result<ServerHost> {
+        Self::spawn_hosted(Hosted::Node(node), chain, bind, TransportConfig::default())
+    }
+
+    /// Binds to an explicit address with an explicit eviction policy
+    /// (`idle_timeout` / `stall_timeout` from the config).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn spawn_on_with(
+        node: ServerNode,
+        chain: KeyChain,
+        bind: impl std::net::ToSocketAddrs,
+        config: TransportConfig,
+    ) -> std::io::Result<ServerHost> {
+        Self::spawn_hosted(Hosted::Node(node), chain, bind, config)
+    }
+
+    /// Hosts an arbitrary [`ServerBehavior`] — the live-network twin of the
+    /// simulator's Byzantine bestiary. `seed` feeds the behavior's private
+    /// [`DetRng`], so the same seed replays the same misbehavior.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn spawn_behavior(
+        behavior: Box<dyn ServerBehavior>,
+        chain: KeyChain,
+        seed: u64,
+    ) -> std::io::Result<ServerHost> {
+        Self::spawn_behavior_on(behavior, chain, seed, ("127.0.0.1", 0))
+    }
+
+    /// Hosts a behavior on an explicit address (restart-in-place keeps the
+    /// advertised address stable across role changes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn spawn_behavior_on(
+        behavior: Box<dyn ServerBehavior>,
+        chain: KeyChain,
+        seed: u64,
+        bind: impl std::net::ToSocketAddrs,
+    ) -> std::io::Result<ServerHost> {
+        Self::spawn_hosted(
+            Hosted::Behavior {
+                behavior,
+                rng: DetRng::seed_from(seed),
+            },
+            chain,
+            bind,
+            TransportConfig::default(),
+        )
+    }
+
+    fn spawn_hosted(
+        hosted: Hosted,
+        chain: KeyChain,
+        bind: impl std::net::ToSocketAddrs,
+        config: TransportConfig,
+    ) -> std::io::Result<ServerHost> {
         let listener = TcpListener::bind(bind)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let node = Arc::new(Mutex::new(node));
+        let hosted = Arc::new(Mutex::new(hosted));
+
+        // Eager registration: eviction/restart counters appear in metric
+        // dumps even when the run never tripped them.
+        let reg = safereg_obs::global();
+        reg.counter(names::SERVER_EVICTIONS);
+        reg.counter(&names::eviction_counter("idle"));
+        reg.counter(&names::eviction_counter("stall"));
+        reg.counter(names::SERVER_RESTARTS);
 
         let accept_stop = Arc::clone(&stop);
-        let accept_node = Arc::clone(&node);
+        let accept_hosted = Arc::clone(&hosted);
         let accept_thread = std::thread::Builder::new()
             .name(format!("safereg-server-{addr}"))
             .spawn(move || {
@@ -94,14 +235,14 @@ impl ServerHost {
                         Ok(s) => s,
                         Err(_) => continue,
                     };
-                    let node = Arc::clone(&accept_node);
+                    let hosted = Arc::clone(&accept_hosted);
                     let stop = Arc::clone(&accept_stop);
                     let chain = chain.clone();
                     // One thread per connection; exits when the peer hangs
-                    // up or the host stops.
+                    // up, trips an eviction deadline, or the host stops.
                     let _ = std::thread::Builder::new()
                         .name("safereg-conn".into())
-                        .spawn(move || serve_connection(stream, node, chain, stop));
+                        .spawn(move || serve_connection(stream, hosted, chain, stop, config));
                 }
             })
             .expect("spawn accept thread");
@@ -110,7 +251,7 @@ impl ServerHost {
             addr,
             stop,
             accept_thread: Some(accept_thread),
-            node,
+            hosted,
         })
     }
 
@@ -119,9 +260,10 @@ impl ServerHost {
         self.addr
     }
 
-    /// Snapshot of the node's highest tag (for tests and demos).
-    pub fn max_tag(&self) -> safereg_common::tag::Tag {
-        self.node.lock().max_tag()
+    /// Snapshot of the node's highest tag (for tests and demos). Byzantine
+    /// behavior hosts report [`Tag::ZERO`] — they have no honest state.
+    pub fn max_tag(&self) -> Tag {
+        self.hosted.lock().max_tag()
     }
 
     /// Stops accepting and unblocks the accept loop.
@@ -143,13 +285,18 @@ impl Drop for ServerHost {
 
 fn serve_connection(
     mut stream: TcpStream,
-    node: Arc<Mutex<ServerNode>>,
+    hosted: Arc<Mutex<Hosted>>,
     chain: KeyChain,
     stop: Arc<AtomicBool>,
+    config: TransportConfig,
 ) {
     let _conn = ConnGuard::open();
-    // A polling read timeout lets the thread notice shutdown.
+    // A polling read timeout lets the thread notice shutdown and measure
+    // idleness; a write timeout bounds how long a stalled peer can pin
+    // this thread.
     let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(200)));
+    let _ = stream.set_write_timeout(Some(config.stall_timeout));
+    let mut last_inbound = Instant::now();
     loop {
         if stop.load(Ordering::SeqCst) {
             return;
@@ -159,10 +306,15 @@ fn serve_connection(
             Err(FrameError::Io(e))
                 if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
             {
+                if last_inbound.elapsed() >= config.idle_timeout {
+                    evict("idle");
+                    return;
+                }
                 continue;
             }
             Err(_) => return, // disconnect or garbage: drop the connection
         };
+        last_inbound = Instant::now();
         // Borrowing decode: the envelope's payload fields are O(1) slices
         // of `frame`; `wire.bytes_copied` stays at zero on this path.
         let env = match open_envelope(&chain, &frame) {
@@ -174,28 +326,35 @@ fn serve_connection(
         reg.counter(&format!("transport.recv.{class}")).inc();
         reg.counter(&format!("transport.recv_bytes.{class}"))
             .add(frame.len() as u64);
-        let (from, msg, sid) = match (&env.src, &env.msg, &env.dst) {
-            (NodeId::Client(c), Message::ToServer(m), NodeId::Server(s)) => (*c, m, *s),
+        let sid = match env.dst {
+            NodeId::Server(s) => s,
             _ => continue,
         };
         let responses = {
-            let mut guard = node.lock();
+            let mut guard = hosted.lock();
             if guard.id() != sid {
                 continue; // misaddressed
             }
-            guard.handle(from, msg)
+            guard.handle_env(&env)
         };
-        for resp in responses {
-            let out = Envelope::to_client(sid, from, resp);
-            // Sealing slices the node's stored value (no payload copy) and
-            // the frame goes out as one vectored write.
+        for out in responses {
+            // Sealing slices the replica's stored value (no payload copy)
+            // and the frame goes out as one vectored write.
             let sealed = seal_envelope(&chain, &out);
             let class = MsgClass::of(&out.msg);
             reg.counter(&format!("transport.sent.{class}")).inc();
             reg.counter(&format!("transport.sent_bytes.{class}"))
                 .add(sealed.payload_len() as u64);
-            if sealed.write_to(&mut stream).is_err() {
-                return;
+            match sealed.write_to(&mut stream) {
+                Ok(()) => {}
+                Err(FrameError::Io(e))
+                    if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+                {
+                    // The peer stopped draining: evict rather than wedge.
+                    evict("stall");
+                    return;
+                }
+                Err(_) => return,
             }
         }
     }
@@ -207,7 +366,7 @@ mod tests {
     use safereg_common::config::QuorumConfig;
     use safereg_common::ids::{ClientId, ReaderId, ServerId};
     use safereg_common::msg::{ClientToServer, OpId, ServerToClient};
-    use safereg_common::tag::Tag;
+    use safereg_core::behavior::ByzRole;
 
     fn start_one() -> (ServerHost, KeyChain, QuorumConfig) {
         let cfg = QuorumConfig::minimal_bsr(1).unwrap();
@@ -217,18 +376,23 @@ mod tests {
         (host, chain, cfg)
     }
 
+    fn query_tag_env(s: u16) -> Envelope {
+        Envelope::to_server(
+            ClientId::Reader(ReaderId(0)),
+            ServerId(s),
+            ClientToServer::QueryTag {
+                op: OpId::new(ReaderId(0), 1),
+            },
+        )
+    }
+
     #[test]
     fn serves_a_query_over_tcp() {
         let (host, chain, _cfg) = start_one();
         let mut stream = TcpStream::connect(host.addr()).unwrap();
-        let env = Envelope::to_server(
-            ClientId::Reader(ReaderId(0)),
-            ServerId(0),
-            ClientToServer::QueryTag {
-                op: OpId::new(ReaderId(0), 1),
-            },
-        );
-        seal_envelope(&chain, &env).write_to(&mut stream).unwrap();
+        seal_envelope(&chain, &query_tag_env(0))
+            .write_to(&mut stream)
+            .unwrap();
         let frame = read_frame(&mut stream).unwrap();
         let resp = open_envelope(&chain, &frame).unwrap();
         match resp.msg {
@@ -244,14 +408,9 @@ mod tests {
         // Garbage first...
         crate::frame::write_frame(&mut stream, &[&b"not an envelope at all"[..]]).unwrap();
         // ...then a genuine request still gets served on the same stream.
-        let env = Envelope::to_server(
-            ClientId::Reader(ReaderId(0)),
-            ServerId(0),
-            ClientToServer::QueryTag {
-                op: OpId::new(ReaderId(0), 1),
-            },
-        );
-        seal_envelope(&chain, &env).write_to(&mut stream).unwrap();
+        seal_envelope(&chain, &query_tag_env(0))
+            .write_to(&mut stream)
+            .unwrap();
         stream
             .set_read_timeout(Some(std::time::Duration::from_secs(5)))
             .unwrap();
@@ -264,5 +423,84 @@ mod tests {
         let (mut host, _chain, _cfg) = start_one();
         host.stop();
         host.stop();
+    }
+
+    #[test]
+    fn byzantine_silent_host_accepts_but_never_answers() {
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let chain = KeyChain::from_master_seed(b"byz-silent");
+        let host = ServerHost::spawn_behavior(
+            ByzRole::Silent.build(ServerId(2), cfg, 1),
+            chain.clone(),
+            1,
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(host.addr()).unwrap();
+        seal_envelope(&chain, &query_tag_env(2))
+            .write_to(&mut stream)
+            .unwrap();
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_millis(300)))
+            .unwrap();
+        assert!(
+            read_frame(&mut stream).is_err(),
+            "silent replica must not reply"
+        );
+    }
+
+    #[test]
+    fn byzantine_fabricator_host_forges_over_tcp() {
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let chain = KeyChain::from_master_seed(b"byz-fab");
+        let host = ServerHost::spawn_behavior(
+            ByzRole::Fabricator.build(ServerId(1), cfg, 42),
+            chain.clone(),
+            42,
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(host.addr()).unwrap();
+        seal_envelope(&chain, &query_tag_env(1))
+            .write_to(&mut stream)
+            .unwrap();
+        let frame = read_frame(&mut stream).unwrap();
+        let resp = open_envelope(&chain, &frame).unwrap();
+        match resp.msg {
+            Message::ToClient(ServerToClient::TagResp { tag, .. }) => {
+                assert!(tag.num >= 1_000_000, "forged tag expected, got {tag:?}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn idle_connections_are_evicted_and_counted() {
+        let reg = safereg_obs::global();
+        let before = reg.counter(names::SERVER_EVICTIONS).get();
+        let idle_before = reg.counter(&names::eviction_counter("idle")).get();
+
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let chain = KeyChain::from_master_seed(b"evict-idle");
+        let config = TransportConfig {
+            idle_timeout: std::time::Duration::from_millis(250),
+            ..TransportConfig::default()
+        };
+        let host = ServerHost::spawn_on_with(
+            ServerNode::new_replicated(ServerId(0), cfg),
+            chain,
+            ("127.0.0.1", 0),
+            config,
+        )
+        .unwrap();
+
+        let stream = TcpStream::connect(host.addr()).unwrap();
+        // Say nothing: the host must hang up on us, not wait forever.
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        let mut buf = [0u8; 1];
+        let n = std::io::Read::read(&mut (&stream), &mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "host must close the idle connection");
+        assert!(reg.counter(names::SERVER_EVICTIONS).get() > before);
+        assert!(reg.counter(&names::eviction_counter("idle")).get() > idle_before);
     }
 }

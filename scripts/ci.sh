@@ -53,4 +53,21 @@ grep -q 'relay bytes copied = 0 ' <<< "$wire_out" ||
 grep -q 'wire: ok' <<< "$wire_out" ||
     { echo "ci.sh: wire microbench failed its acceptance bars" >&2; exit 1; }
 
+# Soak smoke: a bounded epoch-rotating run against the live TCP stack with
+# f replicas genuinely Byzantine (rotating silent / stale-ack / fabricator /
+# equivocator roles), server-side chaos proxies, and mid-epoch crash/
+# restarts. The harness itself exits nonzero on any per-key safety
+# violation, unbounded RSS growth, a stalled epoch, or a non-reproducible
+# fault schedule; the greps pin the verdict line and the two server-side
+# metrics the run must surface even when zero.
+echo "==> paper_harness soak --ops 20000 --byz f --seed 7 | grep verdicts"
+soak_out=$(cargo run --release --offline -q -p safereg-bench --bin paper_harness soak --ops 20000 --byz f --seed 7)
+echo "$soak_out"
+grep -q 'soak: ok' <<< "$soak_out" ||
+    { echo "ci.sh: soak smoke failed its safety/memory/reproducibility bars" >&2; exit 1; }
+grep -q '"metric":"server.evictions"' <<< "$soak_out" ||
+    { echo "ci.sh: soak dump missing server.evictions counter" >&2; exit 1; }
+grep -q '"metric":"transport.batch.frames"' <<< "$soak_out" ||
+    { echo "ci.sh: soak dump missing transport.batch.frames histogram" >&2; exit 1; }
+
 echo "ci.sh: all checks passed"

@@ -199,14 +199,23 @@ fn every_shed_policy_survives_chaos_torture() {
         }
 
         // The dump from an untouched replica must carry the backpressure
-        // counters for the policy this cluster runs under.
-        let dump = fetch_metrics(
-            &mut transport,
-            ClientId::Reader(ReaderId(p as u16)),
-            ServerId(0),
-            9_000 + p as u64,
-        )
-        .unwrap_or_else(|| panic!("[{}] metrics dump unavailable", policy.label()));
+        // counters for the policy this cluster runs under. The fetch is a
+        // single unretried exchange and this link still runs mild chaos,
+        // so re-ask with fresh sequence numbers until a reply survives;
+        // the sleep lets an open circuit breaker finish its cooldown.
+        let dump = (0..8)
+            .find_map(|attempt| {
+                if attempt > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(300));
+                }
+                fetch_metrics(
+                    &mut transport,
+                    ClientId::Reader(ReaderId(p as u16)),
+                    ServerId(0),
+                    9_000 + 10 * p as u64 + attempt,
+                )
+            })
+            .unwrap_or_else(|| panic!("[{}] metrics dump unavailable", policy.label()));
         assert!(
             dump.contains("\"metric\":\"chan.shed\""),
             "[{}] dump is missing chan.shed",
