@@ -8,6 +8,7 @@
 use safereg_bench::ablations;
 use safereg_bench::chaos as chaos_scenario;
 use safereg_bench::experiments;
+use safereg_bench::shard as shard_bench;
 use safereg_bench::soak as soak_harness;
 use safereg_bench::table;
 use safereg_bench::wire as wire_bench;
@@ -473,6 +474,10 @@ fn wire() {
         "wire: alloc ratio = {:.2}x (>= 2x required); relay bytes copied = {} (0 required)",
         r.alloc_ratio, r.relay_bytes_copied
     );
+    println!(
+        "wire: batch flushes = {}, max frames/flush = {} (ceiling {})",
+        r.batch_samples, r.batch_max_frames, r.batch_ceiling
+    );
     if r.ok() {
         println!("wire: ok");
     } else {
@@ -481,11 +486,57 @@ fn wire() {
     }
 }
 
+fn shard() {
+    println!("== shard: {{1, 4, 16}} register groups x {{uniform, zipf}} keys on one n=5 fleet ==",);
+    let r = shard_bench::run();
+    let rows: Vec<Vec<String>> = r
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.shards.to_string(),
+                c.skew.into(),
+                c.ops.to_string(),
+                format!("{:.0}", c.ops_per_sec),
+                format!("{} us", c.p99_micros),
+                format!("{}..{}", c.sockets_min, c.sockets_max),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &["shards", "skew", "ops", "ops/sec", "p99", "sockets"],
+            &rows
+        )
+    );
+    println!(
+        "shard: hottest shard under zipf at s=16 was g{} ({} ops)",
+        r.hot_shard, r.hot_shard_ops
+    );
+    println!(
+        "shard: sockets per client = {} (exactly n={} required, never s*n); \
+         monotone scaling = {}",
+        yes_no(r.sockets_ok()),
+        r.n,
+        yes_no(r.monotone_ok())
+    );
+    if let Err(e) = std::fs::write("BENCH_shard.json", r.to_json()) {
+        eprintln!("shard: could not write BENCH_shard.json: {e}");
+    }
+    if r.ok() {
+        println!("shard: ok");
+    } else {
+        println!("shard: FAILED ({r:?})");
+        std::process::exit(1);
+    }
+}
+
 /// Parses `soak` flags and runs the harness; exits nonzero on failure.
 ///
 /// ```text
 /// paper_harness soak --ops 20000 --byz f --seed 7 [--epochs 5]
-///                    [--writers 4] [--readers 4] [--keys 4]
+///                    [--writers 4] [--readers 4] [--keys 4] [--shards 4]
 /// ```
 fn soak(flags: &[String]) -> ! {
     let mut cfg = soak_harness::SoakConfig::default();
@@ -513,6 +564,7 @@ fn soak(flags: &[String]) -> ! {
             "--writers" => cfg.writers = parse("--writers") as usize,
             "--readers" => cfg.readers = parse("--readers") as usize,
             "--keys" => cfg.keys = parse("--keys") as usize,
+            "--shards" => cfg.shards = parse("--shards") as u16,
             _ => {
                 eprintln!("soak: unknown flag {flag}");
                 std::process::exit(2);
@@ -567,6 +619,16 @@ fn soak(flags: &[String]) -> ! {
          peak window {} records, {} pruned",
         r.ops_completed, r.ops_attempted, r.failures, r.reads_checked, r.peak_window, r.pruned
     );
+    // Sharded runs: one line per register group so smoke tests can grep
+    // each shard's health without parsing the JSON report.
+    for s in &r.shard_stats {
+        println!(
+            "soak: shard g{} ops = {}, fast_ratio = {:.3}",
+            s.shard,
+            s.ops,
+            s.fast_ratio_permille as f64 / 1000.0
+        );
+    }
     println!(
         "soak: violations = {} (0 required); rss bounded = {}; progressed = {}; \
          schedule reproducible = {}",
@@ -588,6 +650,9 @@ fn soak(flags: &[String]) -> ! {
         safereg_obs::render_jsonl(&safereg_obs::global().snapshot())
     );
     if r.ok() {
+        if r.shards > 1 {
+            println!("shard: ok");
+        }
         println!("soak: ok");
         std::process::exit(0);
     }
@@ -616,6 +681,7 @@ fn main() {
         ("e13", e13),
         ("chaos", chaos),
         ("wire", wire),
+        ("shard", shard),
         ("metrics", metrics),
         ("a1", a1),
         ("a2", a2),
@@ -631,7 +697,9 @@ fn main() {
             .collect()
     };
     if selected.is_empty() {
-        eprintln!("unknown experiment; available: e1..e13, a1..a5, chaos, wire, metrics, soak");
+        eprintln!(
+            "unknown experiment; available: e1..e13, a1..a5, chaos, wire, shard, metrics, soak"
+        );
         std::process::exit(2);
     }
     for (_, run) in selected {

@@ -33,6 +33,7 @@ pub mod ablations;
 pub mod chaos;
 pub mod experiments;
 pub mod search;
+pub mod shard;
 pub mod soak;
 pub mod table;
 pub mod wire;

@@ -33,6 +33,7 @@ use safereg_checker::{Violation, WindowedChecker};
 use safereg_common::config::{BackoffPolicy, QuorumConfig, TransportConfig};
 use safereg_common::ids::{ReaderId, ServerId, WriterId};
 use safereg_common::msg::OpId;
+use safereg_common::shard::ShardMap;
 use safereg_common::value::Value;
 use safereg_core::behavior::ByzRole;
 use safereg_kv::{KvClient, KvMode, TcpKvCluster};
@@ -59,6 +60,12 @@ pub struct SoakConfig {
     /// each key is re-written between replica restarts (state lost by a
     /// respawned replica is replenished before the next one loses its).
     pub keys: usize,
+    /// Register-group shards. `1` is the classic single-group soak; above
+    /// that the cluster runs a [`ShardMap`] over the same `n` servers and
+    /// Byzantine roles rotate **independently per shard**: each epoch one
+    /// victim host turns Byzantine with a *different* role in every group
+    /// it serves, so every shard still has at most `f` faulty replicas.
+    pub shards: u16,
 }
 
 impl Default for SoakConfig {
@@ -71,6 +78,7 @@ impl Default for SoakConfig {
             writers: 4,
             readers: 4,
             keys: 4,
+            shards: 1,
         }
     }
 }
@@ -96,11 +104,28 @@ pub struct EpochStat {
     pub restarts: u64,
 }
 
+/// Per-shard traffic accounting for a sharded soak, read back as deltas
+/// of the global `kv.shard.*` series across the run.
+#[derive(Debug, Clone)]
+pub struct ShardSoakStat {
+    /// The shard.
+    pub shard: u16,
+    /// Operations this run completed against the shard.
+    pub ops: u64,
+    /// Fast-read share of the run's reads on this shard, in permille
+    /// (1000 when the shard saw no reads — vacuously all-fast).
+    pub fast_ratio_permille: u64,
+}
+
 /// Outcome of one soak run.
 #[derive(Debug, Clone)]
 pub struct SoakReport {
     /// The master seed (reproduces the whole fault schedule).
     pub seed: u64,
+    /// Register-group shards the run was partitioned into.
+    pub shards: u16,
+    /// Per-shard traffic deltas (one entry per shard, including idle ones).
+    pub shard_stats: Vec<ShardSoakStat>,
     /// Operations attempted.
     pub ops_attempted: u64,
     /// Operations completed.
@@ -139,15 +164,28 @@ impl SoakReport {
 
     /// Line-oriented JSON for `BENCH_soak.json`.
     pub fn to_json(&self) -> String {
+        let shard_stats: Vec<String> = self
+            .shard_stats
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"shard\":{},\"ops\":{},\"fast_ratio_permille\":{}}}",
+                    s.shard, s.ops, s.fast_ratio_permille
+                )
+            })
+            .collect();
         format!(
             concat!(
-                "{{\"seed\":{},\"ops_attempted\":{},\"ops_completed\":{},",
+                "{{\"seed\":{},\"shards\":{},\"shard_stats\":[{}],",
+                "\"ops_attempted\":{},\"ops_completed\":{},",
                 "\"failures\":{},\"violations\":{},\"reads_checked\":{},",
                 "\"peak_window\":{},\"pruned\":{},\"epochs\":{},",
                 "\"rss_bounded\":{},\"progressed\":{},",
                 "\"schedule_reproducible\":{},\"ok\":{}}}\n"
             ),
             self.seed,
+            self.shards,
+            shard_stats.join(","),
             self.ops_attempted,
             self.ops_completed,
             self.failures,
@@ -213,7 +251,9 @@ fn soak_transport() -> TransportConfig {
     }
 }
 
-/// Runs the soak against an `n = 4f + 1`, `f = 1` replicated deployment.
+/// Runs the soak against an `n = 4f + 1`, `f = 1` replicated deployment
+/// (each of `cfg.shards` register groups runs that same `(m, f)` point
+/// over the shared fleet).
 ///
 /// # Panics
 ///
@@ -226,17 +266,34 @@ pub fn soak_run(cfg: &SoakConfig) -> SoakReport {
     let byz_n = cfg.byz.min(q.f());
     let epochs = cfg.epochs.max(1);
     let tconfig = soak_transport();
+    let shards = cfg.shards.max(1);
+    let map = if shards == 1 {
+        ShardMap::single(q)
+    } else {
+        ShardMap::new(cfg.seed, shards, q.servers().collect(), q).expect("m = n fits the fleet")
+    };
 
     let reg = safereg_obs::global();
     let evictions_base = reg.counter(names::SERVER_EVICTIONS).get();
     let restarts_base = reg.counter(names::SERVER_RESTARTS).get();
+    // Per-shard series are global and cumulative; deltas isolate this run.
+    let shard_base: Vec<(u64, u64, u64)> = map
+        .shards()
+        .map(|g| {
+            (
+                reg.counter(&names::shard_ops_counter(g.0)).get(),
+                reg.counter(&names::shard_reads_counter(g.0, "fast")).get(),
+                reg.counter(&names::shard_reads_counter(g.0, "slow")).get(),
+            )
+        })
+        .collect();
 
-    let cluster = TcpKvCluster::start_chaos(
-        q,
+    let cluster = TcpKvCluster::start_sharded(
+        map.clone(),
         KvMode::Replicated,
         b"soak-harness",
         tconfig,
-        FaultPlan::new(cfg.seed, FaultSpec::mild()),
+        Some(FaultPlan::new(cfg.seed, FaultSpec::mild())),
     )
     .expect("start soak cluster");
     let cluster = Mutex::new(cluster);
@@ -257,7 +314,8 @@ pub fn soak_run(cfg: &SoakConfig) -> SoakReport {
     // tags — which the checker would then flag as failed writes.
     let mut writer_clients: Vec<(KvClient, safereg_kv::TcpKvTransport)> = (0..cfg.writers.max(1))
         .map(|w| {
-            let mut c = KvClient::new(q, WriterId(w as u16), ReaderId(100 + w as u16));
+            let mut c =
+                KvClient::sharded(map.clone(), WriterId(w as u16), ReaderId(100 + w as u16));
             c.set_policy(tconfig);
             (
                 c,
@@ -270,7 +328,8 @@ pub fn soak_run(cfg: &SoakConfig) -> SoakReport {
         .collect();
     let mut reader_clients: Vec<(KvClient, safereg_kv::TcpKvTransport)> = (0..cfg.readers.max(1))
         .map(|r| {
-            let mut c = KvClient::new(q, WriterId(200 + r as u16), ReaderId(r as u16));
+            let mut c =
+                KvClient::sharded(map.clone(), WriterId(200 + r as u16), ReaderId(r as u16));
             c.set_policy(tconfig);
             (
                 c,
@@ -281,6 +340,19 @@ pub fn soak_run(cfg: &SoakConfig) -> SoakReport {
             )
         })
         .collect();
+    // Dedicated writer for the sharded boundary scrub (see the epoch loop);
+    // its own identity keeps its sequence numbers off the workload writers'.
+    let mut scrub: (KvClient, safereg_kv::TcpKvTransport) = {
+        let mut c = KvClient::sharded(map.clone(), WriterId(250), ReaderId(250));
+        c.set_policy(tconfig);
+        (
+            c,
+            cluster
+                .lock()
+                .expect("cluster lock")
+                .transport_with(tconfig),
+        )
+    };
 
     let attempted = AtomicU64::new(0);
     let completed = AtomicU64::new(0);
@@ -305,26 +377,107 @@ pub fn soak_run(cfg: &SoakConfig) -> SoakReport {
         let byz_now: Vec<(ServerId, &'static str)> = {
             let mut cl = cluster.lock().expect("cluster lock");
             cl.set_plan(Some(FaultPlan::new(eseed, FaultSpec::mild())));
-            let next: Vec<(ServerId, ByzRole)> = (0..byz_n)
-                .map(|i| {
-                    (
-                        ServerId(((e + i) % n) as u16),
-                        ByzRole::for_epoch(e as u64, i),
-                    )
-                })
-                .collect();
-            for sid in current_byz.drain(..) {
-                if !next.iter().any(|(s, _)| *s == sid) {
-                    cl.set_role(sid, KvMode::Replicated, ByzRole::Correct, 0)
-                        .expect("restore replica");
+            if map.num_shards() == 1 {
+                let next: Vec<(ServerId, ByzRole)> = (0..byz_n)
+                    .map(|i| {
+                        (
+                            ServerId(((e + i) % n) as u16),
+                            ByzRole::for_epoch(e as u64, i),
+                        )
+                    })
+                    .collect();
+                for sid in current_byz.drain(..) {
+                    if !next.iter().any(|(s, _)| *s == sid) {
+                        cl.set_role(sid, KvMode::Replicated, ByzRole::Correct, 0)
+                            .expect("restore replica");
+                    }
+                }
+                for (sid, role) in &next {
+                    cl.set_role(*sid, KvMode::Replicated, *role, eseed)
+                        .expect("convert replica");
+                }
+                current_byz = next.iter().map(|(s, _)| *s).collect();
+                next.iter().map(|(s, r)| (*s, r.label())).collect()
+            } else if byz_n == 0 {
+                current_byz.clear();
+                Vec::new()
+            } else {
+                // Sharded rotation, step 1 of 3: restore last epoch's
+                // victim to honest service (live — its register state is
+                // frozen at whatever it held before turning Byzantine).
+                for sid in current_byz.drain(..) {
+                    for g in cl.map().shards_of_server(sid) {
+                        cl.set_shard_role(sid, g, ByzRole::Correct, 0);
+                    }
+                }
+                Vec::new()
+            }
+        };
+        // Sharded rotation, steps 2 and 3. The restored replica missed
+        // every write of the epoch it spent Byzantine, so before the next
+        // victim converts, a scrub re-writes every key: the amnesiac
+        // catches up while *zero* replicas are faulty, keeping each
+        // shard's effective fault count at `f` across the boundary (the
+        // same replenish-between-state-losses invariant the single-group
+        // soak documents on `SoakConfig::keys`). Only then does the new
+        // victim turn Byzantine — with a different live role per register
+        // group it serves, so roles rotate independently per shard while
+        // all faulty groups still share one physical host.
+        let byz_now: Vec<(ServerId, &'static str)> = if map.num_shards() > 1 && byz_n > 0 {
+            let (scrub_client, scrub_transport) = &mut scrub;
+            for (kidx, key) in keys.iter().enumerate() {
+                let value = format!("scrub:e{e}:{kidx}");
+                let op = OpId::new(
+                    WriterId(250),
+                    e as u64 * keys.len() as u64 + kidx as u64 + 1,
+                );
+                attempted.fetch_add(1, Ordering::Relaxed);
+                let h = {
+                    let mut c = checkers[kidx].lock().expect("checker lock");
+                    let at = clock.fetch_add(1, Ordering::Relaxed);
+                    c.begin_write(op, Value::from(value.clone().into_bytes()), at)
+                };
+                let mut tag = None;
+                for attempt in 0..OP_RETRIES {
+                    match scrub_client.put(scrub_transport, key, value.clone().into_bytes()) {
+                        Ok(t) => {
+                            tag = Some(t);
+                            break;
+                        }
+                        Err(_) if attempt + 1 < OP_RETRIES => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => {}
+                    }
+                }
+                let mut c = checkers[kidx].lock().expect("checker lock");
+                let at = clock.fetch_add(1, Ordering::Relaxed);
+                match tag {
+                    Some(t) => {
+                        c.complete_write(h, t, at);
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => {
+                        c.abandon(h);
+                        failures.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
-            for (sid, role) in &next {
-                cl.set_role(*sid, KvMode::Replicated, *role, eseed)
-                    .expect("convert replica");
+            let cl = cluster.lock().expect("cluster lock");
+            let victim = ServerId((e % n) as u16);
+            let mut labels = Vec::new();
+            for g in cl.map().shards_of_server(victim) {
+                let role = ByzRole::for_epoch(e as u64, g.0 as usize);
+                assert!(
+                    cl.set_shard_role(victim, g, role, eseed ^ u64::from(g.0)),
+                    "victim must serve its placed shard"
+                );
+                labels.push((victim, role.label()));
             }
-            current_byz = next.iter().map(|(s, _)| *s).collect();
-            next.iter().map(|(s, r)| (*s, r.label())).collect()
+            current_byz = vec![victim];
+            labels
+        } else {
+            byz_now
         };
 
         let epoch_completed_base = completed.load(Ordering::Relaxed);
@@ -352,7 +505,7 @@ pub fn soak_run(cfg: &SoakConfig) -> SoakReport {
                 let mut cl = cluster_ref.lock().expect("cluster lock");
                 if supervisor_byz.is_empty() {
                     let _ = cl.restart(ServerId((e % n) as u16), KvMode::Replicated);
-                } else {
+                } else if cl.map().num_shards() == 1 {
                     for (i, sid) in supervisor_byz.iter().enumerate() {
                         let _ = cl.set_role(
                             *sid,
@@ -360,6 +513,21 @@ pub fn soak_run(cfg: &SoakConfig) -> SoakReport {
                             ByzRole::for_epoch(e as u64, i),
                             eseed,
                         );
+                    }
+                } else {
+                    // Crash-recover the (already faulty) victim, then put
+                    // its per-shard roles back: the faulty set never grows
+                    // beyond the one host, in any shard.
+                    for sid in supervisor_byz {
+                        let _ = cl.restart(sid, KvMode::Replicated);
+                        for g in cl.map().shards_of_server(sid) {
+                            cl.set_shard_role(
+                                sid,
+                                g,
+                                ByzRole::for_epoch(e as u64, g.0 as usize),
+                                eseed ^ u64::from(g.0),
+                            );
+                        }
                     }
                 }
             });
@@ -505,8 +673,26 @@ pub fn soak_run(cfg: &SoakConfig) -> SoakReport {
         })
     });
 
+    let shard_stats: Vec<ShardSoakStat> = map
+        .shards()
+        .zip(&shard_base)
+        .map(|(g, &(ops0, fast0, slow0))| {
+            let ops = reg.counter(&names::shard_ops_counter(g.0)).get() - ops0;
+            let fast = reg.counter(&names::shard_reads_counter(g.0, "fast")).get() - fast0;
+            let slow = reg.counter(&names::shard_reads_counter(g.0, "slow")).get() - slow0;
+            ShardSoakStat {
+                shard: g.0,
+                ops,
+                // A shard that saw no reads is vacuously all-fast.
+                fast_ratio_permille: (fast * 1000).checked_div(fast + slow).unwrap_or(1000),
+            }
+        })
+        .collect();
+
     SoakReport {
         seed: cfg.seed,
+        shards: map.num_shards(),
+        shard_stats,
         ops_attempted: attempted.into_inner(),
         ops_completed: completed.into_inner(),
         failures: failures.into_inner(),
@@ -538,6 +724,7 @@ mod tests {
             writers: 1,
             readers: 1,
             keys: 2,
+            shards: 1,
         };
         let report = soak_run(&cfg);
         for s in &report.epochs {
@@ -559,5 +746,40 @@ mod tests {
             report.peak_window
         );
         assert!(report.epochs.iter().any(|s| s.restarts > 0));
+    }
+
+    /// A sharded miniature soak: 4 register groups over the same 5
+    /// servers, one victim host per epoch playing a different live role
+    /// in every group — still zero violations, and the per-shard traffic
+    /// accounting adds up to real work.
+    #[test]
+    fn tiny_sharded_soak_is_safe_with_per_shard_roles() {
+        let cfg = SoakConfig {
+            ops: 240,
+            byz: 1,
+            seed: 13,
+            epochs: 2,
+            writers: 2,
+            readers: 2,
+            keys: 8,
+            shards: 4,
+        };
+        let report = soak_run(&cfg);
+        assert!(
+            report.violations.is_empty(),
+            "sharded soak found safety violations: {:?}",
+            report.violations
+        );
+        assert!(report.progressed, "an epoch completed no operations");
+        assert!(report.schedule_reproducible, "fault schedule diverged");
+        assert_eq!(report.shards, 4);
+        assert_eq!(report.shard_stats.len(), 4);
+        let shard_ops: u64 = report.shard_stats.iter().map(|s| s.ops).sum();
+        assert!(
+            shard_ops >= report.ops_completed,
+            "per-shard counters missed completed ops: {} < {}",
+            shard_ops,
+            report.ops_completed
+        );
     }
 }

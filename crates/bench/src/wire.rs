@@ -24,6 +24,12 @@
 //! borrowing [`open_envelope`] and asserts the `wire.bytes_copied` counter
 //! stays flat: the server relay path must never memcpy payload bytes.
 //!
+//! A final batching leg drives a real TCP cluster and checks the vectored
+//! outbox drain: every flush recorded in `transport.batch.frames` must
+//! respect the [`TransportConfig::max_batch_frames`] ceiling (default 32),
+//! and at least one flush must have happened — a writer loop that stops
+//! reporting (or stops bounding) its batches fails the bench.
+//!
 //! [`run`] only produces meaningful numbers when [`CountingAlloc`] is
 //! installed as the `#[global_allocator]` (the `paper_harness` binary does
 //! this); under the default allocator every count reads zero and the
@@ -101,12 +107,22 @@ pub struct WireBenchResult {
     pub relay_frames: usize,
     /// `wire.bytes_copied` delta across the relay; the bar is 0.
     pub relay_bytes_copied: u64,
+    /// Configured vectored-drain ceiling (`TransportConfig::max_batch_frames`).
+    pub batch_ceiling: usize,
+    /// `transport.batch.frames` samples recorded by the TCP leg.
+    pub batch_samples: u64,
+    /// Largest batch any writer flushed; the bar is `≤ batch_ceiling`.
+    pub batch_max_frames: u64,
 }
 
 impl WireBenchResult {
-    /// Whether both acceptance bars hold.
+    /// Whether every acceptance bar holds.
     pub fn ok(&self) -> bool {
-        self.alloc_ratio >= 2.0 && self.relay_bytes_copied == 0 && self.relay_frames > 0
+        self.alloc_ratio >= 2.0
+            && self.relay_bytes_copied == 0
+            && self.relay_frames > 0
+            && self.batch_samples > 0
+            && self.batch_max_frames <= self.batch_ceiling as u64
     }
 
     /// The result as one JSON object (BENCH_wire.json).
@@ -116,7 +132,9 @@ impl WireBenchResult {
                 "{{\"bench\":\"wire\",\"n\":{},\"f\":{},\"value_bytes\":{},",
                 "\"iters\":{},\"old_allocs_per_write\":{:.2},",
                 "\"new_allocs_per_write\":{:.2},\"alloc_ratio\":{:.2},",
-                "\"relay_frames\":{},\"relay_bytes_copied\":{},\"ok\":{}}}\n"
+                "\"relay_frames\":{},\"relay_bytes_copied\":{},",
+                "\"batch_ceiling\":{},\"batch_samples\":{},",
+                "\"batch_max_frames\":{},\"ok\":{}}}\n"
             ),
             self.n,
             self.f,
@@ -127,6 +145,9 @@ impl WireBenchResult {
             self.alloc_ratio,
             self.relay_frames,
             self.relay_bytes_copied,
+            self.batch_ceiling,
+            self.batch_samples,
+            self.batch_max_frames,
             self.ok(),
         )
     }
@@ -235,6 +256,8 @@ pub fn run() -> WireBenchResult {
     let relay_bytes_copied =
         reg.counter(safereg_obs::names::WIRE_BYTES_COPIED).get() - copied_before;
 
+    let (batch_ceiling, batch_samples, batch_max_frames) = batch_drain_leg();
+
     let old_allocs_per_write = old_allocs as f64 / ITERS as f64;
     let new_allocs_per_write = new_allocs as f64 / ITERS as f64;
     WireBenchResult {
@@ -247,5 +270,52 @@ pub fn run() -> WireBenchResult {
         alloc_ratio: old_allocs_per_write / new_allocs_per_write.max(f64::MIN_POSITIVE),
         relay_frames,
         relay_bytes_copied,
+        batch_ceiling,
+        batch_samples,
+        batch_max_frames,
     }
+}
+
+/// Drives a real `n = 5` TCP cluster through enough traffic that every
+/// host's writer thread flushes batches, then reads back the
+/// `transport.batch.frames` histogram. Returns `(ceiling, samples, max)`;
+/// the caller asserts `max ≤ ceiling`. The leg runs after both measured
+/// alloc regions, so its (substantial) heap traffic never skews them.
+fn batch_drain_leg() -> (usize, u64, u64) {
+    use safereg_common::config::{QuorumConfig, TransportConfig};
+    use safereg_common::ids::ReaderId;
+    use safereg_kv::client::KvClient;
+    use safereg_kv::server::KvMode;
+    use safereg_kv::tcp::TcpKvCluster;
+
+    let ceiling = TransportConfig::default().max_batch_frames;
+    let reg = safereg_obs::global();
+    let before = reg
+        .histogram(safereg_obs::names::TRANSPORT_BATCH_FRAMES)
+        .count();
+
+    let cfg = QuorumConfig::minimal_bsr(1).expect("n = 5 BSR point");
+    let Ok(cluster) = TcpKvCluster::start(cfg, KvMode::Replicated, b"wire-batch-leg") else {
+        // No loopback listener available: report an empty leg; ok() fails
+        // loudly rather than pretending the ceiling was checked.
+        return (ceiling, 0, 0);
+    };
+    let mut transport = cluster.transport();
+    let mut client = KvClient::new(cfg, WriterId(7), ReaderId(7));
+    for i in 0u32..48 {
+        let key = format!("batch-{}", i % 8);
+        client
+            .put(&mut transport, key.as_bytes(), i.to_le_bytes().to_vec())
+            .expect("put under no faults");
+        client
+            .get(&mut transport, key.as_bytes())
+            .expect("get under no faults");
+    }
+    drop(transport);
+    drop(cluster);
+
+    let snap = reg
+        .histogram(safereg_obs::names::TRANSPORT_BATCH_FRAMES)
+        .snapshot();
+    (ceiling, snap.count.saturating_sub(before), snap.max)
 }

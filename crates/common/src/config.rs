@@ -310,6 +310,10 @@ pub struct TransportConfig {
     /// socket write or the bounded reply outbox stalls for this long — is
     /// evicted (`server.evictions.stall`) instead of wedging a host thread.
     pub stall_timeout: Duration,
+    /// Maximum frames coalesced into one vectored batch write when
+    /// draining a bounded outbox; batch sizes land in the
+    /// `transport.batch.frames` histogram.
+    pub max_batch_frames: usize,
 }
 
 impl Default for TransportConfig {
@@ -325,6 +329,7 @@ impl Default for TransportConfig {
             shed_policy: crate::sync::channel::ShedPolicy::Block,
             idle_timeout: Duration::from_secs(60),
             stall_timeout: Duration::from_secs(5),
+            max_batch_frames: 32,
         }
     }
 }
@@ -349,6 +354,7 @@ impl TransportConfig {
             shed_policy: crate::sync::channel::ShedPolicy::Block,
             idle_timeout: Duration::from_secs(10),
             stall_timeout: Duration::from_millis(1500),
+            max_batch_frames: 32,
         }
     }
 }
@@ -509,6 +515,9 @@ mod tests {
         assert!(cfg.idle_timeout > cfg.stall_timeout);
         assert!(fast.idle_timeout < cfg.idle_timeout);
         assert!(fast.stall_timeout < cfg.stall_timeout);
+        // The vectored drain ceiling doubled from the old MAX_BATCH = 16.
+        assert_eq!(cfg.max_batch_frames, 32);
+        assert_eq!(fast.max_batch_frames, 32);
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod history;
 pub mod ids;
 pub mod msg;
 pub mod rng;
+pub mod shard;
 pub mod sync;
 pub mod tag;
 pub mod value;
@@ -48,5 +49,6 @@ pub use history::{History, OpKind, OpRecord};
 pub use ids::{ClientId, NodeId, ReaderId, ServerId, WriterId};
 pub use msg::{ClientToServer, Envelope, Message, OpId, Payload, ServerToClient};
 pub use rng::DetRng;
+pub use shard::{ShardId, ShardMap};
 pub use tag::Tag;
 pub use value::Value;

@@ -142,6 +142,68 @@ impl DetRng {
     }
 }
 
+/// Zipf-distributed index sampler over `0..n` with exponent `s`.
+///
+/// Rank `r` (1-based) is drawn with probability `∝ 1/r^s` — the classic
+/// skewed-access model where a handful of hot keys absorb most of the
+/// traffic. The sampler precomputes the cumulative mass function once, so
+/// each draw is one uniform double plus a binary search; with `s = 0` it
+/// degenerates to the uniform distribution.
+///
+/// # Examples
+///
+/// ```
+/// use safereg_common::rng::{DetRng, Zipf};
+///
+/// let zipf = Zipf::new(100, 1.0);
+/// let mut rng = DetRng::seed_from(1);
+/// let i = zipf.sample(&mut rng);
+/// assert!(i < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `0..n` with skew exponent `s ≥ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf requires a non-empty index range");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 1..=n {
+            acc += (rank as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for w in &mut cdf {
+            *w /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of indices the sampler draws from.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the index range is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one index in `0..n`; index `0` is the hottest.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.cdf.partition_point(|c| *c < u).min(self.cdf.len() - 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,5 +287,45 @@ mod tests {
         let mut root = DetRng::seed_from(1);
         let mut child = root.fork();
         assert_ne!(root.next_u64(), child.next_u64());
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let zipf = Zipf::new(64, 1.1);
+        let mut rng = DetRng::seed_from(17);
+        let mut counts = [0usize; 64];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(
+            counts[0] > counts[32] * 5,
+            "rank 0 ({}) should dwarf rank 32 ({})",
+            counts[0],
+            counts[32]
+        );
+        assert!(counts[0] > 2000, "hot key absorbs a large share");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let zipf = Zipf::new(10, 0.0);
+        let mut rng = DetRng::seed_from(23);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((4000..6000).contains(&c), "uniform-ish bucket got {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_is_deterministic_per_seed() {
+        let zipf = Zipf::new(100, 0.9);
+        let mut a = DetRng::seed_from(5);
+        let mut b = DetRng::seed_from(5);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut a), zipf.sample(&mut b));
+        }
     }
 }

@@ -1,0 +1,147 @@
+//! Seeded property tests for the consistent-hash shard ring
+//! ([`safereg_common::shard::ShardMap`]).
+//!
+//! Three properties back the claims in the `shard` module docs:
+//!
+//! 1. **Determinism** — the map is a pure function of `(seed, shards,
+//!    fleet, cfg)`: rebuilt maps agree on every routing answer, and
+//!    different seeds actually produce different placements.
+//! 2. **Balance** — per-shard counts over a Zipf-drawn *key set* stay
+//!    within [`BALANCE_BOUND`] of the fair share (skew concentrates ops
+//!    on hot keys, not key placement — distinct keys still hash
+//!    uniformly onto the ring).
+//! 3. **Minimal disruption** — growing `s → s + 1` shards moves only
+//!    `≈ 1/(s+1)` of the keys, and every moved key lands on the new
+//!    shard (old ring points are never disturbed).
+//!
+//! All randomness flows through [`DetRng`], so a failure reproduces from
+//! the printed seed.
+
+use safereg_common::config::QuorumConfig;
+use safereg_common::ids::ServerId;
+use safereg_common::rng::{DetRng, Zipf};
+use safereg_common::shard::{ShardId, ShardMap, BALANCE_BOUND};
+
+fn fleet(n: u16) -> Vec<ServerId> {
+    (0..n).map(ServerId).collect()
+}
+
+/// A synthetic key for Zipf rank `r` — the id scheme workloads use.
+fn key_of(rank: usize) -> Vec<u8> {
+    format!("user-{rank:08}").into_bytes()
+}
+
+#[test]
+fn placement_is_deterministic_per_seed() {
+    let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+    let mut rng = DetRng::seed_from(0x5EED_D00D);
+    for trial in 0..8 {
+        let seed = rng.next_u64();
+        let a = ShardMap::new(seed, 16, fleet(12), cfg).unwrap();
+        let b = ShardMap::new(seed, 16, fleet(12), cfg).unwrap();
+        assert_eq!(a, b, "seed {seed:#x} (trial {trial}): maps differ");
+        for g in a.shards() {
+            assert_eq!(
+                a.replicas(g),
+                b.replicas(g),
+                "seed {seed:#x}: placement differs for {g}"
+            );
+        }
+        for k in 0..512usize {
+            let key = key_of(k);
+            assert_eq!(
+                a.shard_of(&key),
+                b.shard_of(&key),
+                "seed {seed:#x}: routing differs for rank {k}"
+            );
+        }
+    }
+
+    // Different seeds must not collapse to one placement: across 8 seed
+    // pairs, at least one shard's replica set or one key's route differs.
+    let a = ShardMap::new(1, 16, fleet(12), cfg).unwrap();
+    let b = ShardMap::new(2, 16, fleet(12), cfg).unwrap();
+    let placements_differ = a.shards().any(|g| a.replicas(g) != b.replicas(g));
+    let routes_differ = (0..512usize).any(|k| a.shard_of(&key_of(k)) != b.shard_of(&key_of(k)));
+    assert!(
+        placements_differ || routes_differ,
+        "seeds 1 and 2 produced identical maps"
+    );
+}
+
+#[test]
+fn zipf_key_sets_stay_within_balance_bound() {
+    let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+    let mut rng = DetRng::seed_from(0xBA1A_7CE5);
+    for &shards in &[2u16, 4, 16, 64] {
+        let seed = rng.next_u64();
+        let map = ShardMap::new(seed, shards, fleet(8), cfg).unwrap();
+
+        // Draw a skewed workload, then measure placement of the *distinct*
+        // key set it touches: the bound is about where keys live, not how
+        // often the hot ones are hit.
+        let zipf = Zipf::new(16_384, 1.0);
+        let mut touched = vec![false; zipf.len()];
+        for _ in 0..200_000 {
+            touched[zipf.sample(&mut rng)] = true;
+        }
+        let mut counts = vec![0u64; shards as usize];
+        let mut distinct = 0u64;
+        for (rank, hit) in touched.iter().enumerate() {
+            if *hit {
+                counts[map.shard_of(&key_of(rank)).0 as usize] += 1;
+                distinct += 1;
+            }
+        }
+        let mean = distinct as f64 / f64::from(shards);
+        for (g, &c) in counts.iter().enumerate() {
+            let lo = mean / BALANCE_BOUND;
+            let hi = mean * BALANCE_BOUND;
+            assert!(
+                (c as f64) >= lo && (c as f64) <= hi,
+                "seed {seed:#x}, s={shards}: shard g{g} holds {c} of {distinct} \
+                 distinct keys (fair {mean:.0}, bound [{lo:.0}, {hi:.0}])"
+            );
+        }
+    }
+}
+
+#[test]
+fn adding_a_shard_moves_about_one_in_s_keys() {
+    let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+    let mut rng = DetRng::seed_from(0x0E_C0DE);
+    const KEYS: usize = 20_000;
+    for &s in &[3u16, 7, 15] {
+        let seed = rng.next_u64();
+        let small = ShardMap::new(seed, s, fleet(8), cfg).unwrap();
+        let grown = ShardMap::new(seed, s + 1, fleet(8), cfg).unwrap();
+        let newcomer = ShardId(s);
+        let mut moved = 0usize;
+        for k in 0..KEYS {
+            let key = key_of(k);
+            let before = small.shard_of(&key);
+            let after = grown.shard_of(&key);
+            if before != after {
+                // Growth only *adds* ring points, so a moved key can only
+                // have been captured by the new shard.
+                assert_eq!(
+                    after, newcomer,
+                    "seed {seed:#x}, s={s}: key rank {k} moved {before} → {after}, \
+                     not to the new shard"
+                );
+                moved += 1;
+            }
+        }
+        let expected = KEYS as f64 / f64::from(s + 1);
+        let frac = moved as f64 / KEYS as f64;
+        assert!(
+            (moved as f64) <= 2.0 * expected,
+            "seed {seed:#x}, s={s}: {moved} keys moved ({frac:.3} of all); \
+             consistent hashing promises ≈ {expected:.0}"
+        );
+        assert!(
+            moved > 0,
+            "seed {seed:#x}, s={s}: no keys moved — the new shard owns nothing"
+        );
+    }
+}

@@ -1,18 +1,29 @@
-//! KV client: `put`/`get` over per-key BSR operations.
+//! KV client: `put`/`get` over per-key BSR operations, routed through a
+//! [`ShardMap`].
+//!
+//! Every key hashes to one register-group shard; the client runs the
+//! BSR/BCSR exchange against only that shard's replica subset, addressing
+//! the protocol's **logical** replica indices and translating them to
+//! physical fleet ids at the transport boundary. One transport serves all
+//! shards — the per-server connections are keyed by physical id, so `s`
+//! shards over `n` servers reuse `n` sockets instead of opening `s × n`.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use safereg_common::buf::Bytes;
 use safereg_common::config::{QuorumConfig, TransportConfig};
 use safereg_common::ids::{ClientId, ReaderId, ServerId, WriterId};
 use safereg_common::msg::{ClientToServer, Envelope, Message, ServerToClient};
+use safereg_common::shard::{ShardId, ShardMap};
 use safereg_common::tag::Tag;
 use safereg_common::value::Value;
 use safereg_core::bcsr::BcsrReadOp;
-use safereg_core::op::{ClientOp, OpOutput};
+use safereg_core::op::{ClientOp, OpOutput, ReadPath};
 use safereg_core::read::BsrReadOp;
 use safereg_core::write::WriteOp;
 use safereg_mds::rs::ReedSolomon;
+use safereg_obs::metrics::{Counter, Gauge};
 
 use crate::server::KvMode;
 
@@ -25,7 +36,7 @@ use crate::server::KvMode;
 /// often it is asked.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Unreachable {
-    /// The server that could not be reached.
+    /// The (physical) server that could not be reached.
     pub server: ServerId,
 }
 
@@ -38,12 +49,13 @@ impl std::fmt::Display for Unreachable {
 impl std::error::Error for Unreachable {}
 
 /// Transport used by the KV client: delivers one register message for one
-/// key to one server and returns that server's responses.
+/// key of one shard to one **physical** server and returns that server's
+/// responses.
 ///
 /// `Err(Unreachable)` means the network failed; `Ok(vec![])` means the
 /// server was reached but did not answer (Byzantine silence, a rejected
-/// MAC, or a message the server has no reply for). The client's retry
-/// logic only retries the former.
+/// MAC, a shard the server does not host, or a message the server has no
+/// reply for). The client's retry logic only retries the former.
 pub trait KvTransport {
     /// Exchanges one message with one server.
     ///
@@ -54,6 +66,7 @@ pub trait KvTransport {
         &mut self,
         from: ClientId,
         to: ServerId,
+        shard: ShardId,
         key: &[u8],
         msg: &ClientToServer,
     ) -> Result<Vec<ServerToClient>, Unreachable>;
@@ -62,7 +75,8 @@ pub trait KvTransport {
 /// Errors from KV operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KvError {
-    /// The operation could not reach a quorum of `n − f` servers.
+    /// The operation could not reach a quorum of `m − f` servers within
+    /// its key's shard.
     QuorumUnavailable {
         /// Servers that responded.
         responded: usize,
@@ -94,10 +108,20 @@ impl std::fmt::Display for KvError {
 
 impl std::error::Error for KvError {}
 
-/// A key-value client: one writer identity, one reader identity, and the
-/// per-key reader-local pairs.
-#[derive(Debug)]
+/// Cached per-shard metric handles: formatted names and registry lookups
+/// happen once at construction, never on the op hot path.
+struct ShardStats {
+    ops: Arc<Counter>,
+    fast: Arc<Counter>,
+    slow: Arc<Counter>,
+    ratio: Arc<Gauge>,
+}
+
+/// A key-value client: one writer identity, one reader identity, the
+/// shard routing table, and the per-key reader-local pairs.
 pub struct KvClient {
+    map: ShardMap,
+    /// The per-shard quorum configuration (`m`, `f`).
     cfg: QuorumConfig,
     writer: WriterId,
     reader: ReaderId,
@@ -108,43 +132,111 @@ pub struct KvClient {
     local: BTreeMap<Bytes, (Tag, Value)>,
     /// Retry/backoff policy for unreachable servers.
     policy: TransportConfig,
+    /// Per-shard op/read-path counters, indexed by `ShardId`.
+    stats: Vec<ShardStats>,
+    /// Hot-shard tracking: the id and op count of the busiest shard.
+    hot: Arc<Gauge>,
+    hot_ops: Arc<Gauge>,
+}
+
+impl std::fmt::Debug for KvClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvClient")
+            .field("map", &self.map)
+            .field("writer", &self.writer)
+            .field("reader", &self.reader)
+            .field("mode", &self.mode)
+            .finish()
+    }
 }
 
 impl KvClient {
-    /// Creates a client with distinct writer and reader identities
-    /// (replicated mode).
+    /// Creates a single-shard client with distinct writer and reader
+    /// identities (replicated mode) — the pre-sharding deployment shape.
     pub fn new(cfg: QuorumConfig, writer: WriterId, reader: ReaderId) -> Self {
-        KvClient {
-            cfg,
-            writer,
-            reader,
-            seq: 0,
-            mode: KvMode::Replicated,
-            code: None,
-            local: BTreeMap::new(),
-            policy: TransportConfig::default(),
-        }
+        Self::sharded(ShardMap::single(cfg), writer, reader)
     }
 
-    /// Creates a coded-mode client for a [`crate::server::KvServer::new_coded`]
-    /// deployment.
+    /// Creates a single-shard coded-mode client for a
+    /// [`crate::server::KvServer::new_coded`] deployment.
     ///
     /// # Panics
     ///
     /// Panics when the configuration admits no `[n, n − 5f]` code.
     pub fn new_coded(cfg: QuorumConfig, writer: WriterId, reader: ReaderId) -> Self {
-        let k = cfg.mds_k().expect("coded KV needs n > 5f");
-        let code = ReedSolomon::new(cfg.n(), k).expect("valid code");
+        Self::sharded_coded(ShardMap::single(cfg), writer, reader)
+    }
+
+    /// Creates a client routing keys through `map` (replicated mode).
+    pub fn sharded(map: ShardMap, writer: WriterId, reader: ReaderId) -> Self {
+        Self::build(map, writer, reader, KvMode::Replicated)
+    }
+
+    /// Creates a coded-mode client routing keys through `map`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the per-shard configuration admits no `[m, m − 5f]`
+    /// code.
+    pub fn sharded_coded(map: ShardMap, writer: WriterId, reader: ReaderId) -> Self {
+        Self::build(map, writer, reader, KvMode::Coded)
+    }
+
+    fn build(map: ShardMap, writer: WriterId, reader: ReaderId, mode: KvMode) -> Self {
+        let cfg = map.shard_config();
+        let code = match mode {
+            KvMode::Replicated => None,
+            KvMode::Coded => {
+                let k = cfg.mds_k().expect("coded KV needs per-shard m > 5f");
+                Some(ReedSolomon::new(cfg.n(), k).expect("valid code"))
+            }
+        };
+        // Eager registration: every per-shard series exists (at zero) from
+        // the first metrics dump, traffic or not, so JSONL schemas are
+        // stable across runs.
+        let reg = safereg_obs::global();
+        let stats = map
+            .shards()
+            .map(|g| ShardStats {
+                ops: reg.counter(&safereg_obs::names::shard_ops_counter(g.0)),
+                fast: reg.counter(&safereg_obs::names::shard_reads_counter(g.0, "fast")),
+                slow: reg.counter(&safereg_obs::names::shard_reads_counter(g.0, "slow")),
+                ratio: reg.gauge(&safereg_obs::names::shard_fast_ratio_gauge(g.0)),
+            })
+            .collect();
         KvClient {
+            map,
             cfg,
             writer,
             reader,
             seq: 0,
-            mode: KvMode::Coded,
-            code: Some(code),
+            mode,
+            code,
             local: BTreeMap::new(),
             policy: TransportConfig::default(),
+            stats,
+            hot: reg.gauge(safereg_obs::names::KV_SHARD_HOT),
+            hot_ops: reg.gauge(safereg_obs::names::KV_SHARD_HOT_OPS),
         }
+    }
+
+    /// The shard placement this client routes through.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The shard that serves `key`.
+    pub fn shard_of(&self, key: &[u8]) -> ShardId {
+        self.map.shard_of(key)
+    }
+
+    /// The hottest shard this process has observed and its op count —
+    /// the [`KV_SHARD_HOT`](safereg_obs::names::KV_SHARD_HOT) /
+    /// [`KV_SHARD_HOT_OPS`](safereg_obs::names::KV_SHARD_HOT_OPS) gauge
+    /// pair read back as values. Gauges are global, so under several
+    /// clients this reports the fleet-wide maximum, not a per-client one.
+    pub fn hot_shard(&self) -> (u16, u64) {
+        (self.hot.get() as u16, self.hot_ops.get())
     }
 
     /// Overrides the retry/backoff policy applied when servers are
@@ -154,12 +246,37 @@ impl KvClient {
         self.policy = policy;
     }
 
+    /// Counts one completed operation against its shard, maintaining the
+    /// fast-ratio gauge and the hot-shard pair.
+    fn note_op(&self, shard: ShardId, path: Option<ReadPath>) {
+        let Some(stats) = self.stats.get(shard.0 as usize) else {
+            return;
+        };
+        stats.ops.inc();
+        match path {
+            Some(ReadPath::Fast) => stats.fast.inc(),
+            Some(ReadPath::Slow) => stats.slow.inc(),
+            None => {}
+        }
+        if path.is_some() {
+            let (fast, slow) = (stats.fast.get(), stats.slow.get());
+            if let Some(ratio) = (fast * 1000).checked_div(fast + slow) {
+                stats.ratio.set(ratio);
+            }
+        }
+        let ops = stats.ops.get();
+        if ops > self.hot_ops.get() {
+            self.hot_ops.set(ops);
+            self.hot.set(u64::from(shard.0));
+        }
+    }
+
     /// Writes `value` under `key`.
     ///
     /// # Errors
     ///
-    /// [`KvError::QuorumUnavailable`] when fewer than `n − f` servers
-    /// respond in either phase.
+    /// [`KvError::QuorumUnavailable`] when fewer than `m − f` of the
+    /// key's shard replicas respond in either phase.
     pub fn put(
         &mut self,
         transport: &mut impl KvTransport,
@@ -167,6 +284,7 @@ impl KvClient {
         value: impl Into<Value>,
     ) -> Result<Tag, KvError> {
         self.seq += 1;
+        let shard = self.map.shard_of(key);
         let mut op = match self.mode {
             KvMode::Replicated => {
                 WriteOp::replicated(self.writer, self.seq, self.cfg, value.into())
@@ -179,7 +297,9 @@ impl KvClient {
                 &value.into(),
             ),
         };
-        match self.drive(transport, key, &mut op)? {
+        let out = self.drive_dyn(transport, shard, key, &mut op)?;
+        self.note_op(shard, None);
+        match out {
             OpOutput::Written { tag } => Ok(tag),
             OpOutput::Read { .. } => unreachable!("write op yields a write outcome"),
         }
@@ -190,8 +310,8 @@ impl KvClient {
     ///
     /// # Errors
     ///
-    /// [`KvError::QuorumUnavailable`] when fewer than `n − f` servers
-    /// respond.
+    /// [`KvError::QuorumUnavailable`] when fewer than `m − f` of the
+    /// key's shard replicas respond.
     pub fn get(&mut self, transport: &mut impl KvTransport, key: &[u8]) -> Result<Value, KvError> {
         self.get_with_tag(transport, key).map(|(value, _)| value)
     }
@@ -201,14 +321,15 @@ impl KvClient {
     ///
     /// # Errors
     ///
-    /// [`KvError::QuorumUnavailable`] when fewer than `n − f` servers
-    /// respond.
+    /// [`KvError::QuorumUnavailable`] when fewer than `m − f` of the
+    /// key's shard replicas respond.
     pub fn get_with_tag(
         &mut self,
         transport: &mut impl KvTransport,
         key: &[u8],
     ) -> Result<(Value, Tag), KvError> {
         self.seq += 1;
+        let shard = self.map.shard_of(key);
         let local = self
             .local
             .get(key)
@@ -231,7 +352,9 @@ impl KvClient {
                 &mut coded
             }
         };
-        match self.drive_dyn(transport, key, op)? {
+        let out = self.drive_dyn(transport, shard, key, &mut *op)?;
+        self.note_op(shard, op.read_path());
+        match out {
             OpOutput::Read { value, tag } => {
                 let entry = self
                     .local
@@ -247,18 +370,13 @@ impl KvClient {
     }
 
     /// Drives one sans-io operation over the transport until it completes.
-    fn drive(
-        &mut self,
-        transport: &mut impl KvTransport,
-        key: &[u8],
-        op: &mut dyn ClientOp,
-    ) -> Result<OpOutput, KvError> {
-        self.drive_dyn(transport, key, op)
-    }
-
+    /// The op addresses logical replica indices `0 .. m−1`; this loop
+    /// translates them to the shard's physical replicas on send and back
+    /// on receive, so the protocol crates stay shard-oblivious.
     fn drive_dyn(
         &mut self,
         transport: &mut impl KvTransport,
+        shard: ShardId,
         key: &[u8],
         op: &mut dyn ClientOp,
     ) -> Result<OpOutput, KvError> {
@@ -290,9 +408,13 @@ impl KvClient {
                     .src
                     .as_client()
                     .expect("client ops originate at clients");
-                match transport.exchange(from, to, key, msg) {
+                let phys = self
+                    .map
+                    .physical(shard, to)
+                    .expect("ops address the shard's m replicas");
+                match transport.exchange(from, phys, shard, key, msg) {
                     Ok(replies) => {
-                        unreachable.remove(&to);
+                        unreachable.remove(&phys);
                         if replies.is_empty() {
                             // Reachable silence: a dropped or corrupted
                             // response. Queue for another ask next pass.
@@ -412,5 +534,53 @@ mod tests {
             alice.get(&mut cluster, b"shared").unwrap().as_bytes(),
             b"from-bob"
         );
+    }
+
+    #[test]
+    fn sharded_roundtrip_spreads_keys() {
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let fleet: Vec<ServerId> = (0..8).map(ServerId).collect();
+        let map = ShardMap::new(42, 4, fleet, cfg).unwrap();
+        let mut cluster = InMemKvCluster::new_sharded(map.clone(), KvMode::Replicated);
+        let mut client = KvClient::sharded(map.clone(), WriterId(0), ReaderId(0));
+        let mut shards_seen = BTreeSet::new();
+        for i in 0..32 {
+            let key = format!("key-{i}");
+            shards_seen.insert(client.shard_of(key.as_bytes()));
+            let val = format!("val-{i}");
+            client
+                .put(&mut cluster, key.as_bytes(), val.clone().into_bytes())
+                .unwrap();
+            assert_eq!(
+                client.get(&mut cluster, key.as_bytes()).unwrap().as_bytes(),
+                val.as_bytes()
+            );
+        }
+        assert!(
+            shards_seen.len() > 1,
+            "32 keys over 4 shards must touch several: {shards_seen:?}"
+        );
+    }
+
+    #[test]
+    fn sharded_ops_count_per_shard() {
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let fleet: Vec<ServerId> = (0..5).map(ServerId).collect();
+        let map = ShardMap::new(9, 2, fleet, cfg).unwrap();
+        let mut cluster = InMemKvCluster::new_sharded(map.clone(), KvMode::Replicated);
+        let mut client = KvClient::sharded(map, WriterId(7), ReaderId(7));
+        let reg = safereg_obs::global();
+        let before: u64 = (0..2)
+            .map(|g| reg.counter(&safereg_obs::names::shard_ops_counter(g)).get())
+            .sum();
+        for i in 0..10 {
+            let key = format!("count-{i}");
+            client.put(&mut cluster, key.as_bytes(), "v").unwrap();
+            client.get(&mut cluster, key.as_bytes()).unwrap();
+        }
+        let after: u64 = (0..2)
+            .map(|g| reg.counter(&safereg_obs::names::shard_ops_counter(g)).get())
+            .sum();
+        assert_eq!(after - before, 20, "every op lands in some shard counter");
     }
 }

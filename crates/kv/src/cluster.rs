@@ -5,50 +5,67 @@ use std::collections::BTreeSet;
 use safereg_common::config::QuorumConfig;
 use safereg_common::ids::{ClientId, ServerId};
 use safereg_common::msg::{ClientToServer, ServerToClient};
+use safereg_common::shard::{ShardId, ShardMap};
 
 use crate::client::{KvTransport, Unreachable};
-use crate::server::KvServer;
+use crate::server::{KvMode, KvServer};
 
 /// An in-memory cluster of [`KvServer`]s with crash injection — the
 /// synchronous deployment used by examples and tests (the simulator and
 /// the TCP transport cover asynchronous and real-network deployments of
-/// the underlying registers).
+/// the underlying registers). One process per fleet server; each hosts a
+/// register group per shard the [`ShardMap`] places on it.
 #[derive(Debug)]
 pub struct InMemKvCluster {
-    cfg: QuorumConfig,
+    map: ShardMap,
     servers: Vec<KvServer>,
     crashed: BTreeSet<ServerId>,
 }
 
 impl InMemKvCluster {
-    /// Starts `n` replicated-mode replicas.
+    /// Starts `n` replicated-mode replicas serving one register group
+    /// (the pre-sharding deployment shape).
     pub fn new(cfg: QuorumConfig) -> Self {
-        InMemKvCluster {
-            cfg,
-            servers: cfg.servers().map(|sid| KvServer::new(sid, cfg)).collect(),
-            crashed: BTreeSet::new(),
-        }
+        Self::new_sharded(ShardMap::single(cfg), KvMode::Replicated)
     }
 
-    /// Starts `n` coded-mode replicas (`n ≥ 5f + 1`).
+    /// Starts `n` coded-mode replicas (`n ≥ 5f + 1`), one register group.
     ///
     /// # Panics
     ///
     /// Panics when the configuration admits no `[n, n − 5f]` code.
     pub fn new_coded(cfg: QuorumConfig) -> Self {
+        Self::new_sharded(ShardMap::single(cfg), KvMode::Coded)
+    }
+
+    /// Starts one replica per fleet server of `map`, each hosting its
+    /// placed register groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics in coded mode when the per-shard configuration admits no
+    /// `[m, m − 5f]` code.
+    pub fn new_sharded(map: ShardMap, mode: KvMode) -> Self {
+        let servers = map
+            .fleet()
+            .iter()
+            .map(|sid| KvServer::sharded(*sid, map.clone(), mode))
+            .collect();
         InMemKvCluster {
-            cfg,
-            servers: cfg
-                .servers()
-                .map(|sid| KvServer::new_coded(sid, cfg))
-                .collect(),
+            map,
+            servers,
             crashed: BTreeSet::new(),
         }
     }
 
-    /// The deployment configuration.
-    pub fn config(&self) -> &QuorumConfig {
-        &self.cfg
+    /// The per-shard deployment configuration.
+    pub fn config(&self) -> QuorumConfig {
+        self.map.shard_config()
+    }
+
+    /// The shard placement the cluster serves.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
     }
 
     /// Crashes a server: it stops responding (fail-silent).
@@ -78,6 +95,7 @@ impl KvTransport for InMemKvCluster {
         &mut self,
         from: ClientId,
         to: ServerId,
+        shard: ShardId,
         key: &[u8],
         msg: &ClientToServer,
     ) -> Result<Vec<ServerToClient>, Unreachable> {
@@ -86,8 +104,8 @@ impl KvTransport for InMemKvCluster {
         if self.crashed.contains(&to) {
             return Err(Unreachable { server: to });
         }
-        match self.servers.get_mut(to.0 as usize) {
-            Some(server) => Ok(server.handle(from, key, msg)),
+        match self.servers.iter().find(|s| s.id() == to) {
+            Some(server) => Ok(server.handle(from, shard, key, msg)),
             None => Err(Unreachable { server: to }),
         }
     }
@@ -131,6 +149,24 @@ mod tests {
         assert!((2 * quorum..=2 * cfg.n()).contains(&cluster.total_keys()));
         let bytes = cluster.total_storage_bytes();
         assert!((2 * 2 * quorum..=2 * 2 * cfg.n()).contains(&bytes));
+    }
+
+    #[test]
+    fn sharded_cluster_tolerates_f_crashes_per_shard() {
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let fleet: Vec<ServerId> = (0..7).map(ServerId).collect();
+        let map = ShardMap::new(3, 4, fleet, cfg).unwrap();
+        let mut cluster = InMemKvCluster::new_sharded(map.clone(), KvMode::Replicated);
+        let mut client = KvClient::sharded(map.clone(), WriterId(0), ReaderId(0));
+        client.put(&mut cluster, b"resilient", "v").unwrap();
+        // Crash one replica of the key's own shard: still f-tolerant.
+        let g = map.shard_of(b"resilient");
+        let victim = map.replicas(g).unwrap()[0];
+        cluster.crash(victim);
+        assert_eq!(
+            client.get(&mut cluster, b"resilient").unwrap().as_bytes(),
+            b"v"
+        );
     }
 }
 

@@ -1,10 +1,18 @@
-//! KV replica: a table of per-key register server states.
+//! KV replica: register groups (one per shard) of per-key server states.
 //!
-//! A replica normally runs the honest protocol, but it can be constructed
-//! with a Byzantine [`ByzRole`] from the shared bestiary — then every key
-//! gets its own behavior instance (silent, stale-ack, fabricating,
+//! A replica process hosts one [`ShardGroup`] per shard the
+//! [`ShardMap`] places on it; each group is an independent table of
+//! per-key register states guarded by its **own** lock, so concurrent
+//! connection threads serving different shards never contend — this
+//! per-shard locking is what lets throughput scale with the shard count
+//! on one fleet.
+//!
+//! A group normally runs the honest protocol, but it can be put into a
+//! Byzantine [`ByzRole`] from the shared bestiary — then every key gets
+//! its own behavior instance (silent, stale-ack, fabricating,
 //! equivocating) driven by a seeded [`DetRng`], so a live KV replica can
-//! misbehave exactly like a simulated one, reproducibly.
+//! misbehave exactly like a simulated one, reproducibly, and a server can
+//! be Byzantine in one shard while serving another honestly.
 
 use std::collections::BTreeMap;
 
@@ -13,6 +21,8 @@ use safereg_common::config::QuorumConfig;
 use safereg_common::ids::{ClientId, NodeId, ServerId};
 use safereg_common::msg::{ClientToServer, Envelope, Message, Payload, ServerToClient};
 use safereg_common::rng::DetRng;
+use safereg_common::shard::{ShardId, ShardMap};
+use safereg_common::sync::Mutex;
 use safereg_common::value::Value;
 use safereg_core::behavior::{ByzRole, ServerBehavior};
 use safereg_core::server::ServerNode;
@@ -31,15 +41,13 @@ pub enum KvMode {
     Coded,
 }
 
-/// One replica of the key-value store.
-///
-/// Each key gets an independent [`ServerNode`] (its own list `L` and tag
-/// space), created lazily on first access — reading a never-written key
-/// behaves like a fresh register and returns `v_0`. A replica spawned with
-/// a faulty [`ByzRole`] instead routes every key through a per-key
-/// Byzantine behavior.
-pub struct KvServer {
-    id: ServerId,
+/// One register group: the per-key server states of one shard on one
+/// replica. Protocol state is keyed by the replica's **logical** index
+/// within the shard (`0 .. m−1`), not its physical fleet id — the
+/// protocol crates never learn about sharding.
+struct ShardGroup {
+    /// This replica's logical index within the shard's replica subset.
+    logical: ServerId,
     cfg: QuorumConfig,
     mode: KvMode,
     role: ByzRole,
@@ -47,17 +55,6 @@ pub struct KvServer {
     objects: BTreeMap<Bytes, ServerNode>,
     byz: BTreeMap<Bytes, Box<dyn ServerBehavior>>,
     rng: DetRng,
-}
-
-impl std::fmt::Debug for KvServer {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("KvServer")
-            .field("id", &self.id)
-            .field("mode", &self.mode)
-            .field("role", &self.role)
-            .field("keys", &(self.objects.len() + self.byz.len()))
-            .finish()
-    }
 }
 
 /// Mixes a key into the replica seed so each key's behavior gets its own
@@ -73,35 +70,16 @@ fn key_seed(seed: u64, key: &[u8]) -> u64 {
     h ^ (h >> 33)
 }
 
-impl KvServer {
-    /// Creates a replicated-mode replica.
-    pub fn new(id: ServerId, cfg: QuorumConfig) -> Self {
-        Self::with_role(id, cfg, KvMode::Replicated, ByzRole::Correct, 0)
-    }
-
-    /// Creates a coded-mode replica: fresh key registers start with this
-    /// server's coded element of the initial value.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the configuration admits no `[n, n − 5f]` code.
-    pub fn new_coded(id: ServerId, cfg: QuorumConfig) -> Self {
-        assert!(cfg.mds_k().is_some(), "coded KV needs n > 5f");
-        Self::with_role(id, cfg, KvMode::Coded, ByzRole::Correct, 0)
-    }
-
-    /// Creates a replica playing `role`. Faulty roles build replicated-mode
-    /// behaviors regardless of `mode` — a Byzantine replica's answers are
-    /// untrusted either way, so the storage representation is moot.
-    pub fn with_role(
-        id: ServerId,
+impl ShardGroup {
+    fn new(
+        logical: ServerId,
         cfg: QuorumConfig,
         mode: KvMode,
         role: ByzRole,
         byz_seed: u64,
     ) -> Self {
-        KvServer {
-            id,
+        ShardGroup {
+            logical,
             cfg,
             mode,
             role,
@@ -112,36 +90,30 @@ impl KvServer {
         }
     }
 
-    /// This replica's identifier.
-    pub fn id(&self) -> ServerId {
-        self.id
-    }
-
-    /// The role this replica plays.
-    pub fn role(&self) -> ByzRole {
-        self.role
-    }
-
-    /// Number of keys this replica has register state for.
-    pub fn key_count(&self) -> usize {
+    fn key_count(&self) -> usize {
         self.objects.len() + self.byz.len()
     }
 
-    /// Total payload bytes stored across all keys.
-    pub fn storage_bytes(&self) -> usize {
+    fn storage_bytes(&self) -> usize {
         let honest: usize = self.objects.values().map(ServerNode::storage_bytes).sum();
         let byz: usize = self.byz.values().map(|b| b.storage_bytes()).sum();
         honest + byz
     }
 
-    /// Handles one register message addressed to `key`.
-    pub fn handle(
-        &mut self,
-        from: ClientId,
-        key: &[u8],
-        msg: &ClientToServer,
-    ) -> Vec<ServerToClient> {
-        let id = self.id;
+    /// Changes the role the group plays from now on. Byzantine state is
+    /// discarded either way: old per-key behaviors belong to the old
+    /// role's fault stream, and the honest register state a recovering
+    /// group kept is exactly the crash-recover state the protocol absorbs
+    /// for `≤ f` replicas.
+    fn set_role(&mut self, role: ByzRole, byz_seed: u64) {
+        self.role = role;
+        self.byz_seed = byz_seed;
+        self.byz.clear();
+        self.rng = DetRng::seed_from(byz_seed ^ 0x5AFE_B12E);
+    }
+
+    fn handle(&mut self, from: ClientId, key: &[u8], msg: &ClientToServer) -> Vec<ServerToClient> {
+        let id = self.logical;
         let cfg = self.cfg;
         if self.role != ByzRole::Correct {
             let role = self.role;
@@ -180,6 +152,184 @@ impl KvServer {
     }
 }
 
+/// One replica of the key-value store: a register group per shard the
+/// [`ShardMap`] places on this server.
+///
+/// Within a group, each key gets an independent [`ServerNode`] (its own
+/// list `L` and tag space), created lazily on first access — reading a
+/// never-written key behaves like a fresh register and returns `v_0`.
+///
+/// All methods take `&self`: every group sits behind its own
+/// [`Mutex`], so shared hosts (`Arc<KvServer>`) serve concurrent
+/// connections with per-shard locking instead of one process-wide lock,
+/// and roles can be rotated per shard while connections are live.
+pub struct KvServer {
+    id: ServerId,
+    map: ShardMap,
+    mode: KvMode,
+    shards: BTreeMap<ShardId, Mutex<ShardGroup>>,
+}
+
+impl std::fmt::Debug for KvServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvServer")
+            .field("id", &self.id)
+            .field("mode", &self.mode)
+            .field("shards", &self.shards.len())
+            .field("keys", &self.key_count())
+            .finish()
+    }
+}
+
+impl KvServer {
+    /// Creates a single-shard replicated-mode replica (the pre-sharding
+    /// deployment shape: one register group over the whole fleet).
+    pub fn new(id: ServerId, cfg: QuorumConfig) -> Self {
+        Self::with_role(id, cfg, KvMode::Replicated, ByzRole::Correct, 0)
+    }
+
+    /// Creates a single-shard coded-mode replica: fresh key registers
+    /// start with this server's coded element of the initial value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration admits no `[n, n − 5f]` code.
+    pub fn new_coded(id: ServerId, cfg: QuorumConfig) -> Self {
+        assert!(cfg.mds_k().is_some(), "coded KV needs n > 5f");
+        Self::with_role(id, cfg, KvMode::Coded, ByzRole::Correct, 0)
+    }
+
+    /// Creates a single-shard replica playing `role`.
+    pub fn with_role(
+        id: ServerId,
+        cfg: QuorumConfig,
+        mode: KvMode,
+        role: ByzRole,
+        byz_seed: u64,
+    ) -> Self {
+        Self::sharded_with_role(id, ShardMap::single(cfg), mode, role, byz_seed)
+    }
+
+    /// Creates a replica hosting one register group per shard the map
+    /// places on `id` (all groups honest).
+    ///
+    /// # Panics
+    ///
+    /// Panics in coded mode when the per-shard configuration admits no
+    /// `[m, m − 5f]` code.
+    pub fn sharded(id: ServerId, map: ShardMap, mode: KvMode) -> Self {
+        Self::sharded_with_role(id, map, mode, ByzRole::Correct, 0)
+    }
+
+    /// Creates a sharded replica with every hosted group playing `role`
+    /// (per-shard roles can then be changed live via
+    /// [`KvServer::set_shard_role`]). Faulty roles build replicated-mode
+    /// behaviors regardless of `mode` — a Byzantine replica's answers are
+    /// untrusted either way, so the storage representation is moot.
+    pub fn sharded_with_role(
+        id: ServerId,
+        map: ShardMap,
+        mode: KvMode,
+        role: ByzRole,
+        byz_seed: u64,
+    ) -> Self {
+        let cfg = map.shard_config();
+        if mode == KvMode::Coded {
+            assert!(cfg.mds_k().is_some(), "coded KV needs per-shard m > 5f");
+        }
+        let shards = map
+            .shards_of_server(id)
+            .into_iter()
+            .map(|g| {
+                let logical = map
+                    .logical_of(g, id)
+                    .expect("shards_of_server returns hosted shards");
+                (
+                    g,
+                    Mutex::new(ShardGroup::new(logical, cfg, mode, role, byz_seed)),
+                )
+            })
+            .collect();
+        KvServer {
+            id,
+            map,
+            mode,
+            shards,
+        }
+    }
+
+    /// This replica's (physical) identifier.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// The shard placement this replica was built from.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The shards this replica hosts a register group for.
+    pub fn shards(&self) -> impl Iterator<Item = ShardId> + '_ {
+        self.shards.keys().copied()
+    }
+
+    /// The role the group for `shard` plays, or `None` when this replica
+    /// does not serve the shard.
+    pub fn shard_role(&self, shard: ShardId) -> Option<ByzRole> {
+        self.shards.get(&shard).map(|g| g.lock().role)
+    }
+
+    /// The role of this replica's first group — the whole-replica role
+    /// for single-shard deployments.
+    pub fn role(&self) -> ByzRole {
+        self.shards
+            .values()
+            .next()
+            .map_or(ByzRole::Correct, |g| g.lock().role)
+    }
+
+    /// Changes the role one shard's group plays, live (connections keep
+    /// flowing; only that shard's lock is taken). Returns `false` when
+    /// this replica does not serve the shard.
+    pub fn set_shard_role(&self, shard: ShardId, role: ByzRole, byz_seed: u64) -> bool {
+        match self.shards.get(&shard) {
+            Some(group) => {
+                group.lock().set_role(role, byz_seed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of keys this replica has register state for, over all
+    /// groups.
+    pub fn key_count(&self) -> usize {
+        self.shards.values().map(|g| g.lock().key_count()).sum()
+    }
+
+    /// Total payload bytes stored across all groups.
+    pub fn storage_bytes(&self) -> usize {
+        self.shards.values().map(|g| g.lock().storage_bytes()).sum()
+    }
+
+    /// Handles one register message addressed to `key` within `shard`.
+    /// A message for a shard this replica does not serve is dropped (the
+    /// empty reply — indistinguishable from Byzantine silence, which is
+    /// exactly how a misrouting client must treat it).
+    pub fn handle(
+        &self,
+        from: ClientId,
+        shard: ShardId,
+        key: &[u8],
+        msg: &ClientToServer,
+    ) -> Vec<ServerToClient> {
+        match self.shards.get(&shard) {
+            Some(group) => group.lock().handle(from, key, msg),
+            None => Vec::new(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,9 +338,12 @@ mod tests {
     use safereg_common::tag::Tag;
     use safereg_common::value::Value;
 
-    fn put(s: &mut KvServer, key: &[u8], num: u64, val: &str) {
+    const G0: ShardId = ShardId(0);
+
+    fn put(s: &KvServer, key: &[u8], num: u64, val: &str) {
         s.handle(
             ClientId::Writer(WriterId(0)),
+            G0,
             key,
             &ClientToServer::PutData {
                 op: OpId::new(WriterId(0), num),
@@ -200,9 +353,10 @@ mod tests {
         );
     }
 
-    fn get_tag(s: &mut KvServer, key: &[u8]) -> Tag {
+    fn get_tag(s: &KvServer, key: &[u8]) -> Tag {
         let resp = s.handle(
             ClientId::Reader(ReaderId(0)),
+            G0,
             key,
             &ClientToServer::QueryTag {
                 op: OpId::new(ReaderId(0), 1),
@@ -217,31 +371,32 @@ mod tests {
     #[test]
     fn keys_have_independent_registers() {
         let cfg = QuorumConfig::minimal_bsr(1).unwrap();
-        let mut s = KvServer::new(ServerId(0), cfg);
-        put(&mut s, b"alpha", 5, "a");
-        put(&mut s, b"beta", 2, "b");
-        assert_eq!(get_tag(&mut s, b"alpha"), Tag::new(5, WriterId(0)));
-        assert_eq!(get_tag(&mut s, b"beta"), Tag::new(2, WriterId(0)));
-        assert_eq!(get_tag(&mut s, b"never-written"), Tag::ZERO);
+        let s = KvServer::new(ServerId(0), cfg);
+        put(&s, b"alpha", 5, "a");
+        put(&s, b"beta", 2, "b");
+        assert_eq!(get_tag(&s, b"alpha"), Tag::new(5, WriterId(0)));
+        assert_eq!(get_tag(&s, b"beta"), Tag::new(2, WriterId(0)));
+        assert_eq!(get_tag(&s, b"never-written"), Tag::ZERO);
         assert_eq!(s.key_count(), 3, "reading creates the fresh register");
     }
 
     #[test]
     fn storage_accounts_all_keys() {
         let cfg = QuorumConfig::minimal_bsr(1).unwrap();
-        let mut s = KvServer::new(ServerId(0), cfg);
-        put(&mut s, b"k1", 1, "12345");
-        put(&mut s, b"k2", 1, "123");
+        let s = KvServer::new(ServerId(0), cfg);
+        put(&s, b"k1", 1, "12345");
+        put(&s, b"k2", 1, "123");
         assert_eq!(s.storage_bytes(), 8);
     }
 
     #[test]
     fn silent_role_answers_nothing_on_any_key() {
         let cfg = QuorumConfig::minimal_bsr(1).unwrap();
-        let mut s = KvServer::with_role(ServerId(1), cfg, KvMode::Replicated, ByzRole::Silent, 7);
-        put(&mut s, b"k", 1, "v");
+        let s = KvServer::with_role(ServerId(1), cfg, KvMode::Replicated, ByzRole::Silent, 7);
+        put(&s, b"k", 1, "v");
         let resp = s.handle(
             ClientId::Reader(ReaderId(0)),
+            G0,
             b"k",
             &ClientToServer::QueryTag {
                 op: OpId::new(ReaderId(0), 1),
@@ -253,26 +408,26 @@ mod tests {
     #[test]
     fn fabricator_role_forges_per_key_deterministically() {
         let cfg = QuorumConfig::minimal_bsr(1).unwrap();
-        let mut a = KvServer::with_role(
+        let a = KvServer::with_role(
             ServerId(2),
             cfg,
             KvMode::Replicated,
             ByzRole::Fabricator,
             42,
         );
-        let mut b = KvServer::with_role(
+        let b = KvServer::with_role(
             ServerId(2),
             cfg,
             KvMode::Replicated,
             ByzRole::Fabricator,
             42,
         );
-        let ta = get_tag(&mut a, b"key-x");
-        let tb = get_tag(&mut b, b"key-x");
+        let ta = get_tag(&a, b"key-x");
+        let tb = get_tag(&b, b"key-x");
         assert_eq!(ta, tb, "same seed, same forgery");
         assert!(ta.num >= 1_000_000, "forged tag");
         assert_ne!(
-            get_tag(&mut a, b"key-y"),
+            get_tag(&a, b"key-y"),
             ta,
             "each key draws its own fault stream"
         );
@@ -281,11 +436,12 @@ mod tests {
     #[test]
     fn stale_ack_role_acks_writes_but_serves_old_reads() {
         let cfg = QuorumConfig::minimal_bsr(1).unwrap();
-        let mut s = KvServer::with_role(ServerId(3), cfg, KvMode::Replicated, ByzRole::StaleAck, 1);
-        put(&mut s, b"k", 1, "v1");
-        put(&mut s, b"k", 2, "v2");
+        let s = KvServer::with_role(ServerId(3), cfg, KvMode::Replicated, ByzRole::StaleAck, 1);
+        put(&s, b"k", 1, "v1");
+        put(&s, b"k", 2, "v2");
         let resp = s.handle(
             ClientId::Reader(ReaderId(0)),
+            G0,
             b"k",
             &ClientToServer::QueryData {
                 op: OpId::new(ReaderId(0), 1),
@@ -297,5 +453,50 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn unserved_shard_is_silence() {
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let s = KvServer::new(ServerId(0), cfg);
+        let resp = s.handle(
+            ClientId::Reader(ReaderId(0)),
+            ShardId(7),
+            b"k",
+            &ClientToServer::QueryTag {
+                op: OpId::new(ReaderId(0), 1),
+            },
+        );
+        assert!(resp.is_empty(), "a shard this replica lacks gets nothing");
+    }
+
+    #[test]
+    fn per_shard_roles_rotate_independently() {
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let fleet: Vec<ServerId> = (0..5).map(ServerId).collect();
+        let map = ShardMap::new(3, 4, fleet, cfg).unwrap();
+        // Every shard uses all 5 servers (m = n = 5), so server 0 hosts
+        // all four groups.
+        let s = KvServer::sharded(ServerId(0), map, KvMode::Replicated);
+        assert_eq!(s.shards().count(), 4);
+        assert!(s.set_shard_role(ShardId(1), ByzRole::Silent, 9));
+        assert_eq!(s.shard_role(ShardId(1)), Some(ByzRole::Silent));
+        assert_eq!(s.shard_role(ShardId(0)), Some(ByzRole::Correct));
+        // The silent group answers nothing; the honest ones still serve.
+        let q = ClientToServer::QueryTag {
+            op: OpId::new(ReaderId(0), 1),
+        };
+        assert!(s
+            .handle(ClientId::Reader(ReaderId(0)), ShardId(1), b"k", &q)
+            .is_empty());
+        assert!(!s
+            .handle(ClientId::Reader(ReaderId(0)), ShardId(0), b"k", &q)
+            .is_empty());
+        // Rotating back to honest drops the Byzantine state.
+        assert!(s.set_shard_role(ShardId(1), ByzRole::Correct, 0));
+        assert!(!s
+            .handle(ClientId::Reader(ReaderId(0)), ShardId(1), b"k", &q)
+            .is_empty());
+        assert!(!s.set_shard_role(ShardId(99), ByzRole::Silent, 0));
     }
 }

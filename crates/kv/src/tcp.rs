@@ -32,8 +32,8 @@ use safereg_common::codec::{BytesReader, Wire, WireError, WireReader};
 use safereg_common::config::{QuorumConfig, TransportConfig};
 use safereg_common::ids::{ClientId, NodeId, ServerId};
 use safereg_common::msg::{ClientToServer, Envelope, Message, ServerToClient};
+use safereg_common::shard::{ShardId, ShardMap};
 use safereg_common::sync::channel::{bounded, BoundedSender, SendTimeoutError, ShedPolicy};
-use safereg_common::sync::Mutex;
 use safereg_crypto::auth::AuthCodec;
 use safereg_crypto::keychain::KeyChain;
 use safereg_crypto::sha256::DIGEST_LEN;
@@ -50,11 +50,6 @@ use safereg_transport::write_all_vectored;
 use crate::client::{KvTransport, Unreachable};
 use crate::server::{KvMode, KvServer};
 
-/// Largest number of queued replies drained into one vectored write. Small
-/// enough that a batch is a handful of iovecs, large enough to amortise
-/// syscalls when a reader fans in responses faster than the socket drains.
-const MAX_BATCH: usize = 16;
-
 /// Reserved key addressing the replica's observability dump rather than a
 /// register: a `QUERY-DATA` on this key is answered with the server
 /// process's metrics snapshot rendered as line-oriented JSON. The prefix
@@ -62,21 +57,24 @@ const MAX_BATCH: usize = 16;
 /// intercepts it before the KV table is consulted.
 pub const METRICS_KEY: &[u8] = b"__safereg/metrics";
 
-/// One key-addressed message on the wire.
+/// One shard- and key-addressed message on the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct KvFrame {
+    shard: ShardId,
     key: Bytes,
     env: Envelope,
 }
 
 impl Wire for KvFrame {
     fn encode_to(&self, buf: &mut Vec<u8>) {
+        self.shard.encode_to(buf);
         self.key.encode_to(buf);
         self.env.encode_to(buf);
     }
 
     fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         Ok(KvFrame {
+            shard: ShardId::decode_from(r)?,
             key: Bytes::decode_from(r)?,
             env: Envelope::decode_from(r)?,
         })
@@ -86,6 +84,7 @@ impl Wire for KvFrame {
         // Both the key and the envelope payload come out as O(1) slices of
         // the frame buffer.
         Ok(KvFrame {
+            shard: ShardId::decode_borrowed(r)?,
             key: Bytes::decode_borrowed(r)?,
             env: Envelope::decode_borrowed(r)?,
         })
@@ -98,7 +97,8 @@ impl KvFrame {
     /// carries one). `head ++ tail` equals [`Wire::to_bytes`] byte for byte.
     fn encode_parts(&self) -> (Vec<u8>, Option<Bytes>) {
         let (env_head, tail) = self.env.encode_parts();
-        let mut head = Vec::with_capacity(8 + self.key.len() + env_head.len());
+        let mut head = Vec::with_capacity(10 + self.key.len() + env_head.len());
+        self.shard.encode_to(&mut head);
         self.key.encode_to(&mut head);
         head.extend_from_slice(&env_head);
         (head, tail)
@@ -229,13 +229,19 @@ fn enqueue_reply(tx: &BoundedSender<SealedKv>, reply: SealedKv, config: &Transpo
 pub struct KvHostOptions {
     /// Transport policy: outbox capacity, shed policy, idle/stall budgets.
     pub tconfig: TransportConfig,
-    /// The role this replica plays ([`ByzRole::Correct`] by default).
+    /// The role this replica plays ([`ByzRole::Correct`] by default) —
+    /// applied to every hosted register group; rotate individual shards
+    /// afterwards with [`KvServerHost::set_shard_role`].
     pub role: ByzRole,
     /// Seed for the role's fault stream (fabricated tags, forged values).
     pub byz_seed: u64,
     /// When set, the advertised address is a seeded [`ChaosProxy`] in front
     /// of the real listener, injecting this plan on the accept side.
     pub chaos: Option<FaultPlan>,
+    /// Shard placement: the replica hosts one register group per shard
+    /// placed on it. `None` hosts the single pre-sharding group over the
+    /// whole fleet.
+    pub shards: Option<ShardMap>,
 }
 
 /// A KV replica served over TCP.
@@ -246,6 +252,9 @@ pub struct KvServerHost {
     /// The real listener address (used to unblock the accept loop on stop).
     listen_addr: SocketAddr,
     role: ByzRole,
+    /// The hosted replica, shared with every connection thread; kept here
+    /// so per-shard roles can be rotated live.
+    server: Arc<KvServer>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
     chaos: Option<ChaosProxy>,
@@ -372,13 +381,14 @@ impl KvServerHost {
         };
         let addr = chaos.as_ref().map_or(listen_addr, ChaosProxy::addr);
         let stop = Arc::new(AtomicBool::new(false));
-        let server = Arc::new(Mutex::new(KvServer::with_role(
+        let map = opts.shards.unwrap_or_else(|| ShardMap::single(cfg));
+        let server = Arc::new(KvServer::sharded_with_role(
             id,
-            cfg,
+            map.clone(),
             mode,
             opts.role,
             opts.byz_seed,
-        )));
+        ));
 
         // Register the degradation metrics up front so a dump shows them
         // (at zero) even before any backpressure, eviction or restart.
@@ -393,7 +403,18 @@ impl KvServerHost {
         reg.counter(names::SERVER_RESTARTS);
         reg.gauge(names::SERVER_BYZ_ACTIVE);
         reg.histogram(names::TRANSPORT_BATCH_FRAMES);
+        // Likewise every per-shard series, so JSONL dumps are
+        // schema-stable regardless of which shards saw traffic.
+        for g in map.shards() {
+            reg.counter(&names::shard_ops_counter(g.0));
+            reg.counter(&names::shard_reads_counter(g.0, "fast"));
+            reg.counter(&names::shard_reads_counter(g.0, "slow"));
+            reg.gauge(&names::shard_fast_ratio_gauge(g.0));
+        }
+        reg.gauge(names::KV_SHARD_HOT);
+        reg.gauge(names::KV_SHARD_HOT_OPS);
 
+        let host_server = Arc::clone(&server);
         let accept_stop = Arc::clone(&stop);
         let accept_thread = std::thread::Builder::new()
             .name(format!("safereg-kv-{addr}"))
@@ -423,6 +444,7 @@ impl KvServerHost {
             addr,
             listen_addr,
             role: opts.role,
+            server: host_server,
             stop,
             accept_thread: Some(accept_thread),
             chaos,
@@ -437,6 +459,19 @@ impl KvServerHost {
     /// The role this replica was spawned with.
     pub fn role(&self) -> ByzRole {
         self.role
+    }
+
+    /// The role one shard's register group currently plays, or `None`
+    /// when this replica does not serve the shard.
+    pub fn shard_role(&self, shard: ShardId) -> Option<ByzRole> {
+        self.server.shard_role(shard)
+    }
+
+    /// Rotates one shard's role **live** — connections keep flowing and
+    /// the other shards' groups are untouched. Returns `false` when this
+    /// replica does not serve the shard.
+    pub fn set_shard_role(&self, shard: ShardId, role: ByzRole, byz_seed: u64) -> bool {
+        self.server.set_shard_role(shard, role, byz_seed)
     }
 
     /// Stops the host (proxy first, then the listener).
@@ -468,7 +503,7 @@ impl Drop for KvServerHost {
 
 fn serve(
     mut stream: TcpStream,
-    server: Arc<Mutex<KvServer>>,
+    server: Arc<KvServer>,
     chain: KeyChain,
     stop: Arc<AtomicBool>,
     me: ServerId,
@@ -484,6 +519,7 @@ fn serve(
         Err(_) => return,
     };
     let stall_timeout = tconfig.stall_timeout;
+    let max_batch = tconfig.max_batch_frames.max(1);
     let writer = std::thread::Builder::new()
         .name("safereg-kv-writer".into())
         .spawn(move || {
@@ -497,7 +533,7 @@ fn serve(
                 // write: fan-in bursts (quorum reads hitting many keys)
                 // amortise to a syscall per batch instead of per frame.
                 let mut batch = vec![first];
-                while batch.len() < MAX_BATCH {
+                while batch.len() < max_batch {
                     match reply_rx.try_recv() {
                         Ok(next) => batch.push(next),
                         Err(_) => break,
@@ -586,6 +622,7 @@ fn serve(
                     payload: Payload::Full(Value::from(dump.into_bytes())),
                 };
                 let reply = KvFrame {
+                    shard: frame.shard,
                     key: frame.key.clone(),
                     env: Envelope::to_client(me, from, resp),
                 };
@@ -596,9 +633,12 @@ fn serve(
             }
             continue;
         }
-        let responses = server.lock().handle(from, &frame.key, msg);
+        // Per-shard dispatch: only the addressed register group's lock is
+        // taken, so connections serving different shards run in parallel.
+        let responses = server.handle(from, frame.shard, &frame.key, msg);
         for resp in responses {
             let reply = KvFrame {
+                shard: frame.shard,
                 key: frame.key.clone(),
                 env: Envelope::to_client(me, from, resp),
             };
@@ -735,6 +775,14 @@ impl TcpKvTransport {
         self.links.get(&server).map(|l| l.state)
     }
 
+    /// Number of currently open sockets. The transport keys connections
+    /// by **physical** server, so this is bounded by the fleet size `n`
+    /// no matter how many shards route through it — the socket-sharing
+    /// invariant the sharding bench asserts (`n` sockets, not `s × n`).
+    pub fn live_sockets(&self) -> usize {
+        self.links.values().filter(|l| l.stream.is_some()).count()
+    }
+
     /// Marks a link failed: drops the stream, escalates the breaker, and
     /// schedules the earliest reconnect.
     fn fail_link(&mut self, to: ServerId) -> Unreachable {
@@ -797,11 +845,13 @@ impl KvTransport for TcpKvTransport {
         &mut self,
         from: ClientId,
         to: ServerId,
+        shard: ShardId,
         key: &[u8],
         msg: &ClientToServer,
     ) -> Result<Vec<ServerToClient>, Unreachable> {
         self.ensure_connected(to)?;
         let frame = KvFrame {
+            shard,
             key: Bytes::copy_from_slice(key),
             env: Envelope::to_server(from, to, msg.clone()),
         };
@@ -845,7 +895,8 @@ impl KvTransport for TcpKvTransport {
         {
             return Ok(Vec::new());
         }
-        if reply.key.as_ref() != key || reply.env.src != NodeId::Server(to) {
+        if reply.shard != shard || reply.key.as_ref() != key || reply.env.src != NodeId::Server(to)
+        {
             return Ok(Vec::new());
         }
         match reply.env.msg {
@@ -867,8 +918,16 @@ pub fn fetch_metrics(
     seq: u64,
 ) -> Option<String> {
     let op = OpId::new(from, seq);
+    // The admin path is intercepted before shard dispatch, so any shard id
+    // works; 0 by convention.
     let responses = transport
-        .exchange(from, to, METRICS_KEY, &ClientToServer::QueryData { op })
+        .exchange(
+            from,
+            to,
+            ShardId(0),
+            METRICS_KEY,
+            &ClientToServer::QueryData { op },
+        )
         .ok()?;
     responses.into_iter().find_map(|resp| match resp {
         ServerToClient::DataResp {
@@ -880,10 +939,11 @@ pub fn fetch_metrics(
     })
 }
 
-/// A whole KV deployment on loopback TCP.
+/// A whole KV deployment on loopback TCP: one host per fleet server,
+/// each serving a register group per shard placed on it.
 #[derive(Debug)]
 pub struct TcpKvCluster {
-    cfg: QuorumConfig,
+    map: ShardMap,
     chain: KeyChain,
     tconfig: TransportConfig,
     /// The server-side fault plan every replica is fronted with, if any;
@@ -941,27 +1001,44 @@ impl TcpKvCluster {
         tconfig: TransportConfig,
         plan: Option<FaultPlan>,
     ) -> std::io::Result<Self> {
+        Self::start_sharded(ShardMap::single(cfg), mode, master_seed, tconfig, plan)
+    }
+
+    /// Starts one host per fleet server of `map`, each serving a register
+    /// group per shard placed on it, optionally chaos-fronted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn start_sharded(
+        map: ShardMap,
+        mode: KvMode,
+        master_seed: &[u8],
+        tconfig: TransportConfig,
+        plan: Option<FaultPlan>,
+    ) -> std::io::Result<Self> {
         let chain = KeyChain::from_master_seed(master_seed);
         let mut hosts = BTreeMap::new();
-        for sid in cfg.servers() {
+        for sid in map.fleet().iter().copied() {
             hosts.insert(
                 sid,
                 KvServerHost::spawn_opts(
                     sid,
-                    cfg,
+                    map.shard_config(),
                     mode,
                     chain.clone(),
                     ("127.0.0.1", 0),
                     KvHostOptions {
                         tconfig,
                         chaos: plan.clone(),
+                        shards: Some(map.clone()),
                         ..KvHostOptions::default()
                     },
                 )?,
             );
         }
         Ok(TcpKvCluster {
-            cfg,
+            map,
             chain,
             tconfig,
             plan,
@@ -969,9 +1046,14 @@ impl TcpKvCluster {
         })
     }
 
-    /// The deployment configuration.
-    pub fn config(&self) -> &QuorumConfig {
-        &self.cfg
+    /// The per-shard deployment configuration.
+    pub fn config(&self) -> QuorumConfig {
+        self.map.shard_config()
+    }
+
+    /// The shard placement the cluster serves.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
     }
 
     /// Replica addresses, for external transports (e.g. one built against
@@ -1043,6 +1125,44 @@ impl TcpKvCluster {
         self.hosts.iter().map(|(s, h)| (*s, h.role())).collect()
     }
 
+    /// Rotates the role of one `(shard, replica)` register group **live**
+    /// — no respawn, no state loss in other shards, connections keep
+    /// flowing. Returns `false` when the replica is unknown or does not
+    /// serve the shard. Updates the `server.byz.active` gauge with the
+    /// count of replicas hosting at least one Byzantine group.
+    pub fn set_shard_role(&self, sid: ServerId, shard: ShardId, role: ByzRole, seed: u64) -> bool {
+        let Some(host) = self.hosts.get(&sid) else {
+            return false;
+        };
+        let changed = host.set_shard_role(shard, role, seed);
+        if changed {
+            let byz = self
+                .hosts
+                .values()
+                .filter(|h| {
+                    self.map
+                        .shards()
+                        .any(|g| h.shard_role(g).is_some_and(|r| r != ByzRole::Correct))
+                })
+                .count();
+            safereg_obs::global()
+                .gauge(names::SERVER_BYZ_ACTIVE)
+                .set(byz as u64);
+        }
+        changed
+    }
+
+    /// The per-shard roles one replica's register groups currently play.
+    pub fn shard_roles(&self, sid: ServerId) -> BTreeMap<ShardId, ByzRole> {
+        let Some(host) = self.hosts.get(&sid) else {
+            return BTreeMap::new();
+        };
+        self.map
+            .shards()
+            .filter_map(|g| host.shard_role(g).map(|r| (g, r)))
+            .collect()
+    }
+
     /// Swaps the fault plan used by *future* respawns: a soak harness
     /// rotates chaos seeds per epoch, and every replica restarted from then
     /// on comes back behind a proxy driven by the new plan. Running proxies
@@ -1065,7 +1185,7 @@ impl TcpKvCluster {
         self.hosts.remove(&sid); // drop stops the old host first
         let host = KvServerHost::spawn_opts(
             sid,
-            self.cfg,
+            self.map.shard_config(),
             mode,
             self.chain.clone(),
             addr,
@@ -1074,6 +1194,7 @@ impl TcpKvCluster {
                 role,
                 byz_seed: seed,
                 chaos: self.plan.clone(),
+                shards: Some(self.map.clone()),
             },
         )?;
         self.hosts.insert(sid, host);

@@ -90,6 +90,30 @@ pub fn eviction_counter(reason: &str) -> String {
     format!("{}.{reason}", SERVER_EVICTIONS)
 }
 
+/// Hottest shard id observed by a sharded client (a gauge holding the
+/// `ShardId` whose op counter currently leads).
+pub const KV_SHARD_HOT: &str = "kv.shard.hot";
+
+/// Op count of the hottest shard (the gauge [`KV_SHARD_HOT`] points at).
+pub const KV_SHARD_HOT_OPS: &str = "kv.shard.hot.ops";
+
+/// Per-shard completed-operation counter (`kv.shard.g3.ops`).
+pub fn shard_ops_counter(shard: u16) -> String {
+    format!("kv.shard.g{shard}.ops")
+}
+
+/// Per-shard read-path counter (`kv.shard.g3.reads.fast` / `.slow`).
+/// `path` is `"fast"` or `"slow"`.
+pub fn shard_reads_counter(shard: u16, path: &str) -> String {
+    format!("kv.shard.g{shard}.reads.{path}")
+}
+
+/// Per-shard fast-read ratio gauge in permille
+/// (`kv.shard.g3.fast_ratio_permille`).
+pub fn shard_fast_ratio_gauge(shard: u16) -> String {
+    format!("kv.shard.g{shard}.fast_ratio_permille")
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -106,6 +130,21 @@ mod tests {
         assert_eq!(super::shed_counter("block"), "chan.shed.block");
         assert_eq!(super::shed_counter("drop_oldest"), "chan.shed.drop_oldest");
         assert_eq!(super::WIRE_BYTES_COPIED, "wire.bytes_copied");
+    }
+
+    #[test]
+    fn shard_metric_names_are_stable() {
+        assert_eq!(super::shard_ops_counter(3), "kv.shard.g3.ops");
+        assert_eq!(
+            super::shard_reads_counter(0, "fast"),
+            "kv.shard.g0.reads.fast"
+        );
+        assert_eq!(
+            super::shard_fast_ratio_gauge(7),
+            "kv.shard.g7.fast_ratio_permille"
+        );
+        assert_eq!(super::KV_SHARD_HOT, "kv.shard.hot");
+        assert_eq!(super::KV_SHARD_HOT_OPS, "kv.shard.hot.ops");
     }
 
     #[test]

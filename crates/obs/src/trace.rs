@@ -57,6 +57,27 @@ pub enum MsgClass {
 }
 
 impl MsgClass {
+    /// Every class, in declaration order — for consumers that pre-register
+    /// per-class metric series so dumps keep one schema across runs.
+    pub const ALL: [MsgClass; 16] = [
+        MsgClass::QueryTag,
+        MsgClass::PutData,
+        MsgClass::QueryData,
+        MsgClass::QueryHistory,
+        MsgClass::QueryTagList,
+        MsgClass::QueryValueAt,
+        MsgClass::QueryDataSub,
+        MsgClass::ReadComplete,
+        MsgClass::TagResp,
+        MsgClass::PutAck,
+        MsgClass::DataResp,
+        MsgClass::HistoryResp,
+        MsgClass::TagListResp,
+        MsgClass::ValueAtResp,
+        MsgClass::RbEcho,
+        MsgClass::RbReady,
+    ];
+
     /// Classifies any wire message.
     pub fn of(msg: &Message) -> MsgClass {
         match msg {

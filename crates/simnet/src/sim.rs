@@ -129,6 +129,24 @@ impl std::fmt::Debug for Sim {
 impl Sim {
     /// Creates a simulation with the given delay policy and seed.
     pub fn new(cfg: QuorumConfig, seed: u64, delay: Box<dyn DelayPolicy>) -> Self {
+        // Eager registration: every `sim.*` series a run can emit exists
+        // (at zero) from the first snapshot, so rendered JSONL dumps keep
+        // one schema regardless of which paths a particular seed, protocol
+        // or fault mix happens to exercise.
+        let registry = Arc::new(Registry::new());
+        for class in MsgClass::ALL {
+            registry.counter(&format!("sim.sent.{class}"));
+            registry.counter(&format!("sim.sent_bytes.{class}"));
+        }
+        registry.counter("sim.msgs.late");
+        registry.counter("sim.reads.fast");
+        registry.counter("sim.reads.slow");
+        registry.counter("sim.read.validation_failures");
+        registry.histogram("sim.quorum_wait");
+        registry.histogram("sim.read.latency.fast");
+        registry.histogram("sim.read.latency.slow");
+        registry.histogram("sim.write.latency");
+        registry.gauge("sim.read.fast_ratio_permille");
         Sim {
             cfg,
             time: 0,
@@ -143,7 +161,7 @@ impl Sim {
             op_handles: BTreeMap::new(),
             messages: 0,
             bytes: 0,
-            registry: Arc::new(Registry::new()),
+            registry,
             recorder: Arc::new(NullRecorder),
             fast_reads: 0,
             slow_reads: 0,

@@ -47,10 +47,6 @@ use safereg_obs::trace::{self, MsgClass, NullRecorder, Recorder};
 
 use crate::frame::{open_envelope, read_frame, seal_envelope, SealedFrame};
 
-/// Largest number of queued frames drained into one vectored write by a
-/// link's writer thread.
-const MAX_BATCH: usize = 16;
-
 /// Errors from driving operations over TCP.
 #[derive(Debug)]
 pub enum ClientError {
@@ -691,6 +687,7 @@ impl Supervisor {
             .expect("spawn client reader");
 
         let mut writer = stream;
+        let max_batch = self.config.max_batch_frames.max(1);
         loop {
             if self.stopped() || session_dead.load(Ordering::SeqCst) {
                 break;
@@ -701,7 +698,7 @@ impl Supervisor {
                     // vectored write: a burst of round-1 messages to this
                     // server leaves in one syscall instead of one each.
                     let mut batch = vec![sealed];
-                    while batch.len() < MAX_BATCH {
+                    while batch.len() < max_batch {
                         match self.outbox.try_recv() {
                             Ok(next) => batch.push(next),
                             Err(_) => break,

@@ -70,4 +70,33 @@ grep -q '"metric":"server.evictions"' <<< "$soak_out" ||
 grep -q '"metric":"transport.batch.frames"' <<< "$soak_out" ||
     { echo "ci.sh: soak dump missing transport.batch.frames histogram" >&2; exit 1; }
 
+# Sharded soak smoke: the same live-Byzantine soak, but with the key space
+# split over 4 register groups on one fleet — the epoch victim plays a
+# *different* live role per shard it serves, and a boundary scrub re-writes
+# every key so the restored replica catches up before the next victim
+# converts (per-shard faults never exceed f). The greps pin the sharded
+# verdict marker, the per-shard fast-ratio lines, and the zero-violation
+# count.
+echo "==> paper_harness soak --shards 4 --byz f --seed 11 | grep verdicts"
+shard_soak_out=$(cargo run --release --offline -q -p safereg-bench --bin paper_harness \
+    soak --ops 2000 --byz f --seed 11 --epochs 2 --shards 4 --keys 8)
+echo "$shard_soak_out"
+grep -q 'shard: ok' <<< "$shard_soak_out" ||
+    { echo "ci.sh: sharded soak smoke failed its per-shard bars" >&2; exit 1; }
+grep -q 'soak: shard g0 .* fast_ratio = ' <<< "$shard_soak_out" ||
+    { echo "ci.sh: sharded soak missing per-shard fast_ratio lines" >&2; exit 1; }
+grep -q 'soak: violations = 0 (0 required)' <<< "$shard_soak_out" ||
+    { echo "ci.sh: sharded soak reported checker violations" >&2; exit 1; }
+
+# Shard-scaling smoke: {1,4,16} register groups x {uniform, zipf} keys on
+# one n=5 fleet. The bench itself exits nonzero unless every client
+# transport holds exactly n sockets (socket sharing: n, never s*n) and
+# median throughput is monotone in shard count within the noise allowance;
+# the grep pins the verdict.
+echo "==> paper_harness shard | grep 'shard: ok'"
+shard_out=$(cargo run --release --offline -q -p safereg-bench --bin paper_harness shard)
+echo "$shard_out"
+grep -q 'shard: ok' <<< "$shard_out" ||
+    { echo "ci.sh: shard-scaling bench failed socket or monotonicity bars" >&2; exit 1; }
+
 echo "ci.sh: all checks passed"

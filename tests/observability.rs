@@ -71,9 +71,10 @@ fn quiescent_run_reports_every_read_fast() {
         Some(1000),
         "the dump reports a 100% fast-read ratio:\n{dump}"
     );
-    // The slow-read counter is created lazily; a quiescent run never
-    // touches it.
-    assert!(!dump.contains("sim.reads.slow"));
+    // Every series is registered eagerly at spawn so dumps are
+    // schema-stable: the slow-read counter is present — and zero — even
+    // though a quiescent run never touches it.
+    assert!(dump.contains("\"metric\":\"sim.reads.slow\",\"type\":\"counter\",\"value\":0"));
     assert!(dump.contains("\"metric\":\"sim.reads.fast\",\"type\":\"counter\",\"value\":6"));
 }
 
