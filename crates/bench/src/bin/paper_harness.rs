@@ -11,6 +11,7 @@ use safereg_bench::experiments;
 use safereg_bench::shard as shard_bench;
 use safereg_bench::soak as soak_harness;
 use safereg_bench::table;
+use safereg_bench::trace as trace_bench;
 use safereg_bench::wire as wire_bench;
 
 /// The wire microbench counts heap allocations, so the harness runs under
@@ -486,6 +487,69 @@ fn wire() {
     }
 }
 
+fn trace() {
+    println!("== trace: causal op tracing (determinism, slow-read attribution, violation dumps, overhead) ==");
+    let r = trace_bench::trace_run(0x7AC3_5EED);
+    let rows = vec![vec![
+        format!("{:#x}", r.seed),
+        format!("{}/{}", yes_no(r.sim_deterministic), r.sim_span_lines),
+        format!("{}/{}", r.ops_completed, r.ops_attempted),
+        r.slow_reads.to_string(),
+        r.unattributed_slow.to_string(),
+        r.violations_found.to_string(),
+        r.violation_tree_spans.to_string(),
+        format!("{}‰", r.overhead_off_permille),
+    ]];
+    println!(
+        "{}",
+        table::render(
+            &[
+                "seed",
+                "sim stable/lines",
+                "ops",
+                "slow reads",
+                "unattributed",
+                "violations",
+                "tree spans",
+                "off overhead"
+            ],
+            &rows
+        )
+    );
+    // One line per nonzero cause: the CI smoke greps these as proof that
+    // every slow read of the fault-injected run carried a concrete label.
+    for c in r.causes.iter().filter(|c| c.count > 0) {
+        println!("trace: slow cause {} = {}", c.cause, c.count);
+    }
+    for p in r.phases.iter().filter(|p| p.count > 0) {
+        println!(
+            "trace: phase {} count = {}, p99 = {} us",
+            p.phase, p.count, p.p99_us
+        );
+    }
+    println!("trace: sample span {}", r.sim_first_line);
+    println!(
+        "trace: sim determinism = {} ({} span lines, {} with sampling off)",
+        yes_no(r.sim_deterministic),
+        r.sim_span_lines,
+        r.sim_unsampled_lines
+    );
+    println!(
+        "trace: overhead off = {} permille (< 50 required); sampling on = {} permille \
+         ({:.0} vs {:.0} ops/sec in-memory)",
+        r.overhead_off_permille, r.overhead_on_permille, r.ops_per_sec_on, r.ops_per_sec_off
+    );
+    if let Err(e) = std::fs::write("BENCH_trace.json", r.to_json()) {
+        eprintln!("trace: could not write BENCH_trace.json: {e}");
+    }
+    if r.ok() {
+        println!("trace: ok");
+    } else {
+        println!("trace: FAILED ({r:?})");
+        std::process::exit(1);
+    }
+}
+
 fn shard() {
     println!("== shard: {{1, 4, 16}} register groups x {{uniform, zipf}} keys on one n=5 fleet ==",);
     let r = shard_bench::run();
@@ -682,6 +746,7 @@ fn main() {
         ("chaos", chaos),
         ("wire", wire),
         ("shard", shard),
+        ("trace", trace),
         ("metrics", metrics),
         ("a1", a1),
         ("a2", a2),
@@ -698,7 +763,7 @@ fn main() {
     };
     if selected.is_empty() {
         eprintln!(
-            "unknown experiment; available: e1..e13, a1..a5, chaos, wire, shard, metrics, soak"
+            "unknown experiment; available: e1..e13, a1..a5, chaos, wire, shard, trace, metrics, soak"
         );
         std::process::exit(2);
     }

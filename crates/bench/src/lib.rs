@@ -36,4 +36,5 @@ pub mod search;
 pub mod shard;
 pub mod soak;
 pub mod table;
+pub mod trace;
 pub mod wire;

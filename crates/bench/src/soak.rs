@@ -657,6 +657,16 @@ pub fn soak_run(cfg: &SoakConfig) -> SoakReport {
     let rss_bounded = !(strictly_up && growth > RSS_SLACK_KIB);
     let progressed = stats.iter().all(|s| s.ops_completed > 0);
 
+    // Flight-recorder hooks: a watchdog trip or a checker violation spills
+    // the last few thousand spans to stderr so the failure arrives with
+    // its causal context attached (empty book-ends when sampling was off).
+    if !rss_bounded || !progressed {
+        safereg_obs::dump_flight("watchdog");
+    }
+    if !violations.is_empty() {
+        safereg_obs::dump_flight("violation");
+    }
+
     // The same master seed must reproduce every epoch's fault schedule
     // exactly — this is what makes a soak failure replayable.
     let dirs = [Direction::ClientToServer, Direction::ServerToClient];

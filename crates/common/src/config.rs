@@ -314,6 +314,11 @@ pub struct TransportConfig {
     /// draining a bounded outbox; batch sizes land in the
     /// `transport.batch.frames` histogram.
     pub max_batch_frames: usize,
+    /// Head-based trace sampling rate in permille of operations
+    /// (`0` = tracing off, `1000` = every op). The decision is made once
+    /// per operation by [`crate::trace::TraceCtx::for_op`]; unsampled ops
+    /// pay one branch plus the 16 reserved wire bytes per frame.
+    pub trace_sample: u16,
 }
 
 impl Default for TransportConfig {
@@ -330,6 +335,7 @@ impl Default for TransportConfig {
             idle_timeout: Duration::from_secs(60),
             stall_timeout: Duration::from_secs(5),
             max_batch_frames: 32,
+            trace_sample: 0,
         }
     }
 }
@@ -355,6 +361,7 @@ impl TransportConfig {
             idle_timeout: Duration::from_secs(10),
             stall_timeout: Duration::from_millis(1500),
             max_batch_frames: 32,
+            trace_sample: 0,
         }
     }
 }
@@ -518,6 +525,9 @@ mod tests {
         // The vectored drain ceiling doubled from the old MAX_BATCH = 16.
         assert_eq!(cfg.max_batch_frames, 32);
         assert_eq!(fast.max_batch_frames, 32);
+        // Tracing is opt-in: both presets ship with sampling off.
+        assert_eq!(cfg.trace_sample, 0);
+        assert_eq!(fast.trace_sample, 0);
     }
 
     #[test]

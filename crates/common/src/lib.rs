@@ -40,6 +40,7 @@ pub mod rng;
 pub mod shard;
 pub mod sync;
 pub mod tag;
+pub mod trace;
 pub mod value;
 
 pub use buf::Bytes;
@@ -51,4 +52,5 @@ pub use msg::{ClientToServer, Envelope, Message, OpId, Payload, ServerToClient};
 pub use rng::DetRng;
 pub use shard::{ShardId, ShardMap};
 pub use tag::Tag;
+pub use trace::{Phase, TraceCtx};
 pub use value::Value;

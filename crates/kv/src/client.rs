@@ -14,9 +14,10 @@ use std::sync::Arc;
 use safereg_common::buf::Bytes;
 use safereg_common::config::{QuorumConfig, TransportConfig};
 use safereg_common::ids::{ClientId, ReaderId, ServerId, WriterId};
-use safereg_common::msg::{ClientToServer, Envelope, Message, ServerToClient};
+use safereg_common::msg::{ClientToServer, Envelope, Message, OpId, ServerToClient};
 use safereg_common::shard::{ShardId, ShardMap};
 use safereg_common::tag::Tag;
+use safereg_common::trace::{Phase, TraceCtx};
 use safereg_common::value::Value;
 use safereg_core::bcsr::BcsrReadOp;
 use safereg_core::op::{ClientOp, OpOutput, ReadPath};
@@ -24,6 +25,8 @@ use safereg_core::read::BsrReadOp;
 use safereg_core::write::WriteOp;
 use safereg_mds::rs::ReedSolomon;
 use safereg_obs::metrics::{Counter, Gauge};
+use safereg_obs::span::{self, SlowEvidence, SpanKind};
+use safereg_obs::trace::wall_micros;
 
 use crate::server::KvMode;
 
@@ -57,7 +60,10 @@ impl std::error::Error for Unreachable {}
 /// MAC, a shard the server does not host, or a message the server has no
 /// reply for). The client's retry logic only retries the former.
 pub trait KvTransport {
-    /// Exchanges one message with one server.
+    /// Exchanges one message with one server, propagating the caller's
+    /// causal trace context (MAC-covered on authenticated transports;
+    /// [`TraceCtx::NONE`] when the operation is unsampled, so tracing
+    /// costs one branch on the frame path).
     ///
     /// # Errors
     ///
@@ -69,6 +75,7 @@ pub trait KvTransport {
         shard: ShardId,
         key: &[u8],
         msg: &ClientToServer,
+        trace: TraceCtx,
     ) -> Result<Vec<ServerToClient>, Unreachable>;
 }
 
@@ -297,8 +304,21 @@ impl KvClient {
                 &value.into(),
             ),
         };
-        let out = self.drive_dyn(transport, shard, key, &mut op)?;
+        let root = TraceCtx::for_op(&OpId::new(self.writer, self.seq), self.policy.trace_sample);
+        let me = span::node::client(ClientId::Writer(self.writer));
+        let started = self.note_start(root, me);
+        let (out, _) = self.drive_dyn(transport, shard, key, &mut op, root)?;
         self.note_op(shard, None);
+        if root.is_sampled() {
+            let now = wall_micros();
+            span::record_global_end(
+                root.with_phase(Phase::ClientOp),
+                now,
+                now.saturating_sub(started),
+                me,
+                None,
+            );
+        }
         match out {
             OpOutput::Written { tag } => Ok(tag),
             OpOutput::Read { .. } => unreachable!("write op yields a write outcome"),
@@ -352,8 +372,33 @@ impl KvClient {
                 &mut coded
             }
         };
-        let out = self.drive_dyn(transport, shard, key, &mut *op)?;
-        self.note_op(shard, op.read_path());
+        let root = TraceCtx::for_op(&OpId::new(self.reader, self.seq), self.policy.trace_sample);
+        let me = span::node::client(ClientId::Reader(self.reader));
+        let started = self.note_start(root, me);
+        let (out, evidence) = self.drive_dyn(transport, shard, key, &mut *op, root)?;
+        let path = op.read_path();
+        self.note_op(shard, path);
+        // Every non-fast read gets a concrete cause, sampled or not — the
+        // per-cause counters are the histogram the trace bench reports;
+        // the exemplar trace id only exists when the op was sampled.
+        let cause = match path {
+            Some(ReadPath::Slow) => {
+                let cause = span::attribute_slow_read(&evidence);
+                span::count_slow_cause(cause, root.id);
+                Some(cause)
+            }
+            _ => None,
+        };
+        if root.is_sampled() {
+            let now = wall_micros();
+            span::record_global_end(
+                root.with_phase(Phase::ClientOp),
+                now,
+                now.saturating_sub(started),
+                me,
+                cause,
+            );
+        }
         match out {
             OpOutput::Read { value, tag } => {
                 let entry = self
@@ -369,18 +414,49 @@ impl KvClient {
         }
     }
 
+    /// Opens the client-side root span for a sampled op; returns the
+    /// wall-clock start stamp (0 when unsampled, never read back).
+    fn note_start(&self, root: TraceCtx, me: u32) -> u64 {
+        if !root.is_sampled() {
+            return 0;
+        }
+        safereg_obs::global()
+            .counter(safereg_obs::names::TRACE_SAMPLED_OPS)
+            .inc();
+        let now = wall_micros();
+        span::record_global(
+            root.with_phase(Phase::ClientOp),
+            SpanKind::Start,
+            now,
+            0,
+            me,
+            0,
+        );
+        now
+    }
+
     /// Drives one sans-io operation over the transport until it completes.
     /// The op addresses logical replica indices `0 .. m−1`; this loop
     /// translates them to the shard's physical replicas on send and back
     /// on receive, so the protocol crates stay shard-oblivious.
+    ///
+    /// Alongside the outcome it returns the [`SlowEvidence`] the retry
+    /// loop accumulated — retry passes, unreachable servers, reachable
+    /// silence, the op's validation failures, and (only when `trace` is
+    /// sampled, so the untraced path never reads a clock per RPC) the
+    /// spread between the fastest and slowest exchange.
     fn drive_dyn(
         &mut self,
         transport: &mut impl KvTransport,
         shard: ShardId,
         key: &[u8],
         op: &mut dyn ClientOp,
-    ) -> Result<OpOutput, KvError> {
+        trace: TraceCtx,
+    ) -> Result<(OpOutput, SlowEvidence), KvError> {
         let reg = safereg_obs::global();
+        let mut evidence = SlowEvidence::default();
+        let rpc_trace = trace.with_phase(Phase::Rpc);
+        let me_node = span::node::client(op.op_id().client);
         let mut queue: Vec<Envelope> = op.start();
         let mut responded = 0usize;
         // The retry set: envelopes whose server was unreachable this
@@ -392,10 +468,16 @@ impl KvClient {
         let mut failed: Vec<Envelope> = Vec::new();
         let mut unreachable: BTreeSet<ServerId> = BTreeSet::new();
         let mut pass: u32 = 0;
+        let done = |op: &mut dyn ClientOp, out, mut evidence: SlowEvidence, pass, unr: usize| {
+            evidence.retry_passes = pass;
+            evidence.unreachable = unr as u32;
+            evidence.validation_failures = u64::from(op.validation_failures());
+            (out, evidence)
+        };
         loop {
             while let Some(env) = queue.pop() {
                 if let Some(out) = op.output() {
-                    return Ok(out);
+                    return Ok(done(op, out, evidence, pass, unreachable.len()));
                 }
                 let (to, msg) = match (&env.dst, &env.msg) {
                     (dst, Message::ToServer(m)) => match dst.as_server() {
@@ -412,12 +494,37 @@ impl KvClient {
                     .map
                     .physical(shard, to)
                     .expect("ops address the shard's m replicas");
-                match transport.exchange(from, phys, shard, key, msg) {
+                let rpc_start = if rpc_trace.is_sampled() {
+                    wall_micros()
+                } else {
+                    0
+                };
+                let outcome = transport.exchange(from, phys, shard, key, msg, rpc_trace);
+                if rpc_trace.is_sampled() {
+                    let now = wall_micros();
+                    let dur = now.saturating_sub(rpc_start);
+                    evidence.rpc_max_us = evidence.rpc_max_us.max(dur);
+                    evidence.rpc_min_us = if evidence.rpc_min_us == 0 {
+                        dur
+                    } else {
+                        evidence.rpc_min_us.min(dur)
+                    };
+                    span::record_global(
+                        rpc_trace,
+                        SpanKind::Segment,
+                        rpc_start,
+                        dur,
+                        span::node::client(from),
+                        u32::from(phys.0),
+                    );
+                }
+                match outcome {
                     Ok(replies) => {
                         unreachable.remove(&phys);
                         if replies.is_empty() {
                             // Reachable silence: a dropped or corrupted
                             // response. Queue for another ask next pass.
+                            evidence.silent += 1;
                             failed.push(env);
                             continue;
                         }
@@ -425,7 +532,7 @@ impl KvClient {
                         for reply in replies {
                             queue.extend(op.on_message(to, &reply));
                             if let Some(out) = op.output() {
-                                return Ok(out);
+                                return Ok(done(op, out, evidence, pass, unreachable.len()));
                             }
                         }
                     }
@@ -438,7 +545,7 @@ impl KvClient {
                 }
             }
             if let Some(out) = op.output() {
-                return Ok(out);
+                return Ok(done(op, out, evidence, pass, unreachable.len()));
             }
             if failed.is_empty() || pass >= self.policy.retry_budget {
                 break;
@@ -452,6 +559,16 @@ impl KvClient {
             let wait = self.policy.backoff.delay(pass, roll);
             reg.histogram(safereg_obs::names::KV_BACKOFF_WAIT_MS)
                 .record(wait.as_millis() as u64);
+            if trace.is_sampled() {
+                span::record_global(
+                    trace.with_phase(Phase::Backoff),
+                    SpanKind::Retry,
+                    wall_micros(),
+                    wait.as_micros() as u64,
+                    me_node,
+                    pass + 1,
+                );
+            }
             std::thread::sleep(wait);
             queue = std::mem::take(&mut failed);
             pass += 1;

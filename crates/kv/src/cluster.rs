@@ -6,6 +6,7 @@ use safereg_common::config::QuorumConfig;
 use safereg_common::ids::{ClientId, ServerId};
 use safereg_common::msg::{ClientToServer, ServerToClient};
 use safereg_common::shard::{ShardId, ShardMap};
+use safereg_common::trace::{Phase, TraceCtx};
 
 use crate::client::{KvTransport, Unreachable};
 use crate::server::{KvMode, KvServer};
@@ -98,6 +99,7 @@ impl KvTransport for InMemKvCluster {
         shard: ShardId,
         key: &[u8],
         msg: &ClientToServer,
+        trace: TraceCtx,
     ) -> Result<Vec<ServerToClient>, Unreachable> {
         // A crashed replica is a network-level fault (connection refused),
         // not Byzantine silence — retry logic may probe it again.
@@ -105,7 +107,12 @@ impl KvTransport for InMemKvCluster {
             return Err(Unreachable { server: to });
         }
         match self.servers.iter().find(|s| s.id() == to) {
-            Some(server) => Ok(server.handle(from, shard, key, msg)),
+            // The in-memory hop keeps the causal chain: the server's
+            // lock-wait and dispatch segments attach one hop below the
+            // client's op, same as over TCP.
+            Some(server) => {
+                Ok(server.handle_traced(from, shard, key, msg, trace.hopped(Phase::Dispatch)))
+            }
             None => Err(Unreachable { server: to }),
         }
     }

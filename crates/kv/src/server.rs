@@ -23,11 +23,13 @@ use safereg_common::msg::{ClientToServer, Envelope, Message, Payload, ServerToCl
 use safereg_common::rng::DetRng;
 use safereg_common::shard::{ShardId, ShardMap};
 use safereg_common::sync::Mutex;
+use safereg_common::trace::{Phase, TraceCtx};
 use safereg_common::value::Value;
 use safereg_core::behavior::{ByzRole, ServerBehavior};
 use safereg_core::server::ServerNode;
 use safereg_mds::rs::ReedSolomon;
 use safereg_mds::stripe::encode_value;
+use safereg_obs::span::{self, SpanKind};
 use safereg_obs::trace::wall_micros;
 
 /// How a KV replica stores values: full copies (BSR registers) or coded
@@ -323,10 +325,52 @@ impl KvServer {
         key: &[u8],
         msg: &ClientToServer,
     ) -> Vec<ServerToClient> {
-        match self.shards.get(&shard) {
-            Some(group) => group.lock().handle(from, key, msg),
-            None => Vec::new(),
+        self.handle_traced(from, shard, key, msg, TraceCtx::NONE)
+    }
+
+    /// [`KvServer::handle`] with causal attribution: when `trace` is
+    /// sampled, the time spent *waiting for the group lock* is recorded as
+    /// a `mutex_wait` segment and the time spent *inside the register
+    /// dispatch* as a `dispatch` segment (detail = number of responses),
+    /// both stamped with wall-clock microseconds — the TCP side of the
+    /// caller-stamped clock rule.
+    pub fn handle_traced(
+        &self,
+        from: ClientId,
+        shard: ShardId,
+        key: &[u8],
+        msg: &ClientToServer,
+        trace: TraceCtx,
+    ) -> Vec<ServerToClient> {
+        let Some(group) = self.shards.get(&shard) else {
+            return Vec::new();
+        };
+        if !trace.is_sampled() {
+            return group.lock().handle(from, key, msg);
         }
+        let me = span::node::server(self.id.0);
+        let queued = wall_micros();
+        let mut guard = group.lock();
+        let acquired = wall_micros();
+        span::record_global(
+            trace.with_phase(Phase::MutexWait),
+            SpanKind::Segment,
+            queued,
+            acquired.saturating_sub(queued),
+            me,
+            0,
+        );
+        let responses = guard.handle(from, key, msg);
+        let done = wall_micros();
+        span::record_global(
+            trace.with_phase(Phase::Dispatch),
+            SpanKind::Segment,
+            acquired,
+            done.saturating_sub(acquired),
+            me,
+            responses.len() as u32,
+        );
+        responses
     }
 }
 

@@ -40,10 +40,12 @@ use safereg_crypto::sha256::DIGEST_LEN;
 
 use safereg_common::msg::{OpId, Payload};
 use safereg_common::tag::Tag;
+use safereg_common::trace::{Phase, TraceCtx};
 use safereg_common::value::Value;
 use safereg_core::behavior::ByzRole;
 use safereg_obs::names;
-use safereg_obs::trace::MsgClass;
+use safereg_obs::span::{self, SpanKind};
+use safereg_obs::trace::{wall_micros, MsgClass};
 use safereg_transport::chaos::{ChaosProxy, FaultPlan};
 use safereg_transport::write_all_vectored;
 
@@ -57,10 +59,13 @@ use crate::server::{KvMode, KvServer};
 /// intercepts it before the KV table is consulted.
 pub const METRICS_KEY: &[u8] = b"__safereg/metrics";
 
-/// One shard- and key-addressed message on the wire.
+/// One shard- and key-addressed message on the wire, carrying its causal
+/// trace context (always present — [`TraceCtx::NONE`] when unsampled — so
+/// the frame layout never depends on sampling and the MAC covers it).
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct KvFrame {
     shard: ShardId,
+    trace: TraceCtx,
     key: Bytes,
     env: Envelope,
 }
@@ -68,6 +73,7 @@ struct KvFrame {
 impl Wire for KvFrame {
     fn encode_to(&self, buf: &mut Vec<u8>) {
         self.shard.encode_to(buf);
+        self.trace.encode_to(buf);
         self.key.encode_to(buf);
         self.env.encode_to(buf);
     }
@@ -75,6 +81,7 @@ impl Wire for KvFrame {
     fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         Ok(KvFrame {
             shard: ShardId::decode_from(r)?,
+            trace: TraceCtx::decode_from(r)?,
             key: Bytes::decode_from(r)?,
             env: Envelope::decode_from(r)?,
         })
@@ -85,6 +92,7 @@ impl Wire for KvFrame {
         // the frame buffer.
         Ok(KvFrame {
             shard: ShardId::decode_borrowed(r)?,
+            trace: TraceCtx::decode_borrowed(r)?,
             key: Bytes::decode_borrowed(r)?,
             env: Envelope::decode_borrowed(r)?,
         })
@@ -97,8 +105,10 @@ impl KvFrame {
     /// carries one). `head ++ tail` equals [`Wire::to_bytes`] byte for byte.
     fn encode_parts(&self) -> (Vec<u8>, Option<Bytes>) {
         let (env_head, tail) = self.env.encode_parts();
-        let mut head = Vec::with_capacity(10 + self.key.len() + env_head.len());
+        let mut head =
+            Vec::with_capacity(10 + TraceCtx::WIRE_LEN + self.key.len() + env_head.len());
         self.shard.encode_to(&mut head);
+        self.trace.encode_to(&mut head);
         self.key.encode_to(&mut head);
         head.extend_from_slice(&env_head);
         (head, tail)
@@ -176,10 +186,13 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Bytes> {
 
 /// Counts one slow-client eviction: the aggregate `server.evictions` plus
 /// the per-reason counter (`server.evictions.idle` / `server.evictions.stall`).
+/// Every eviction also dumps the flight recorder — the evicted connection's
+/// recent spans are exactly the forensics a stall post-mortem needs.
 fn count_eviction(reason: &str) {
     let reg = safereg_obs::global();
     reg.counter(names::SERVER_EVICTIONS).inc();
     reg.counter(&names::eviction_counter(reason)).inc();
+    span::dump_flight("eviction");
 }
 
 /// Queues `reply` on the connection's writer outbox under the configured
@@ -411,6 +424,15 @@ impl KvServerHost {
             reg.counter(&names::shard_reads_counter(g.0, "slow"));
             reg.gauge(&names::shard_fast_ratio_gauge(g.0));
         }
+        // Server-side serving counters for the shards *this* replica hosts,
+        // plus one receive counter per message class — the admin dump shows
+        // the whole schema at zero before any traffic.
+        for g in server.shards() {
+            reg.counter(&names::shard_served_counter(g.0));
+        }
+        for class in MsgClass::ALL {
+            reg.counter(&names::kv_recv_counter(class.as_str()));
+        }
         reg.gauge(names::KV_SHARD_HOT);
         reg.gauge(names::KV_SHARD_HOT_OPS);
 
@@ -597,9 +619,31 @@ fn serve(
             Ok(f) => f,
             Err(_) => continue,
         };
+        // Tracing is one branch when the frame is unsampled; when it is,
+        // time the MAC verification as the server's `server_decode` phase.
+        let auth_start = if frame.trace.is_sampled() {
+            wall_micros()
+        } else {
+            0
+        };
         let codec = AuthCodec::new(chain.pair_key(frame.env.src, frame.env.dst));
         if codec.open(sealed.as_ref()).is_err() {
             continue; // forged or corrupted: drop, not fatal
+        }
+        // The MAC covered the trace bytes, so the context is authentic
+        // from here on. The server's spans run one hop below the client's.
+        let strace = frame.trace.hopped(Phase::ServerDecode);
+        let me_node = span::node::server(me.0);
+        if strace.is_sampled() {
+            let now = wall_micros();
+            span::record_global(
+                strace,
+                SpanKind::Segment,
+                auth_start,
+                now.saturating_sub(auth_start),
+                me_node,
+                sealed.len() as u32,
+            );
         }
         let (from, msg) = match (&frame.env.src, &frame.env.msg) {
             (NodeId::Client(c), Message::ToServer(m)) => (*c, m),
@@ -609,13 +653,16 @@ fn serve(
             continue; // misaddressed
         }
         safereg_obs::global()
-            .counter(&format!("kv.recv.{}", MsgClass::of(&frame.env.msg)))
+            .counter(&names::kv_recv_counter(
+                MsgClass::of(&frame.env.msg).as_str(),
+            ))
             .inc();
         // Admin path: the metrics key is served from the observability
         // registry, never from register state.
         if frame.key.as_slice() == METRICS_KEY {
             if let ClientToServer::QueryData { op } = msg {
-                let dump = safereg_obs::render_jsonl(&safereg_obs::global().snapshot());
+                let mut dump = safereg_obs::render_jsonl(&safereg_obs::global().snapshot());
+                dump.push_str(&placement_summary(server.map()));
                 let resp = ServerToClient::DataResp {
                     op: *op,
                     tag: Tag::ZERO,
@@ -623,6 +670,7 @@ fn serve(
                 };
                 let reply = KvFrame {
                     shard: frame.shard,
+                    trace: frame.trace.hopped(Phase::Reply),
                     key: frame.key.clone(),
                     env: Envelope::to_client(me, from, resp),
                 };
@@ -635,19 +683,75 @@ fn serve(
         }
         // Per-shard dispatch: only the addressed register group's lock is
         // taken, so connections serving different shards run in parallel.
-        let responses = server.handle(from, frame.shard, &frame.key, msg);
+        let responses = server.handle_traced(from, frame.shard, &frame.key, msg, strace);
+        safereg_obs::global()
+            .counter(&names::shard_served_counter(frame.shard.0))
+            .inc();
         for resp in responses {
             let reply = KvFrame {
                 shard: frame.shard,
+                trace: frame.trace.hopped(Phase::Reply),
                 key: frame.key.clone(),
                 env: Envelope::to_client(me, from, resp),
             };
             let codec = AuthCodec::new(chain.pair_key(reply.env.src, reply.env.dst));
-            if !enqueue_reply(&reply_tx, SealedKv::seal(&codec, &reply), &tconfig) {
+            let sealed_reply = SealedKv::seal(&codec, &reply);
+            let outbox_start = if strace.is_sampled() {
+                wall_micros()
+            } else {
+                0
+            };
+            let reply_len = sealed_reply.payload_len() as u32;
+            let queued = enqueue_reply(&reply_tx, sealed_reply, &tconfig);
+            if strace.is_sampled() {
+                let now = wall_micros();
+                span::record_global(
+                    strace.with_phase(Phase::Outbox),
+                    SpanKind::Segment,
+                    outbox_start,
+                    now.saturating_sub(outbox_start),
+                    me_node,
+                    reply_len,
+                );
+            }
+            if !queued {
                 return;
             }
         }
     }
+}
+
+/// Renders the replica's shard placement as JSONL lines appended to the
+/// `__safereg/metrics` admin dump: one `shard_map` header with the
+/// placement parameters, then one `placement` line per shard listing its
+/// replica subset — so an operator reading a single replica's dump can see
+/// *which* physical servers each `kv.shard.g{i}.*` series routes to.
+fn placement_summary(map: &ShardMap) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"{{"shard_map":{{"seed":{},"num_shards":{},"fleet":{},"shard_size":{}}}}}"#,
+        map.seed(),
+        map.num_shards(),
+        map.fleet().len(),
+        map.shard_config().n(),
+    );
+    for g in map.shards() {
+        let replicas = map
+            .replicas(g)
+            .unwrap_or(&[])
+            .iter()
+            .map(|s| s.0.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let _ = writeln!(
+            out,
+            r#"{{"placement":{{"shard":{},"replicas":[{replicas}]}}}}"#,
+            g.0,
+        );
+    }
+    out
 }
 
 /// Circuit-breaker states for one KV link.
@@ -848,10 +952,12 @@ impl KvTransport for TcpKvTransport {
         shard: ShardId,
         key: &[u8],
         msg: &ClientToServer,
+        trace: TraceCtx,
     ) -> Result<Vec<ServerToClient>, Unreachable> {
         self.ensure_connected(to)?;
         let frame = KvFrame {
             shard,
+            trace,
             key: Bytes::copy_from_slice(key),
             env: Envelope::to_server(from, to, msg.clone()),
         };
@@ -927,6 +1033,7 @@ pub fn fetch_metrics(
             ShardId(0),
             METRICS_KEY,
             &ClientToServer::QueryData { op },
+            TraceCtx::NONE,
         )
         .ok()?;
     responses.into_iter().find_map(|resp| match resp {

@@ -40,10 +40,15 @@
 pub mod export;
 pub mod metrics;
 pub mod names;
+pub mod span;
 pub mod trace;
 
 pub use export::{render_jsonl, render_table};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, Registry, Snapshot};
+pub use span::{
+    attribute_slow_read, dump_flight, flight, violation_trees, FlightRecorder, SlowCause,
+    SlowEvidence, SpanKind, SpanLog, SpanRecord, SpanSink,
+};
 pub use trace::{Event, EventKind, MsgClass, NullRecorder, Recorder, RingRecorder, Span};
 
 /// The process-wide registry used by the TCP transport and kv server.

@@ -114,6 +114,57 @@ pub fn shard_fast_ratio_gauge(shard: u16) -> String {
     format!("kv.shard.g{shard}.fast_ratio_permille")
 }
 
+/// Server-side per-shard dispatch counter (`kv.shard.g3.served`): requests a
+/// host actually handled for that group. Deliberately distinct from the
+/// client-owned [`shard_ops_counter`] series so in-process deployments
+/// (client and server sharing one registry) never double-count.
+pub fn shard_served_counter(shard: u16) -> String {
+    format!("kv.shard.g{shard}.served")
+}
+
+/// Server-side inbound message counter by class (`kv.recv.query_tag` …);
+/// `class` is `MsgClass::as_str()`.
+pub fn kv_recv_counter(class: &str) -> String {
+    format!("kv.recv.{class}")
+}
+
+/// Operations head-sampled into the trace layer (root contexts created
+/// with a nonzero trace id).
+pub const TRACE_SAMPLED_OPS: &str = "trace.sampled.ops";
+
+/// Span records dropped because the flight-recorder ring lapped them
+/// before a dump could read them (monotone, informational).
+pub const TRACE_RING_LAPPED: &str = "trace.ring.lapped";
+
+/// Flight-recorder dumps triggered (`trace.dump.violation`,
+/// `.eviction`, `.watchdog`), summed over all reasons.
+pub const TRACE_DUMPS: &str = "trace.dumps";
+
+/// Per-reason flight-recorder dump counter (`trace.dump.violation` …).
+pub fn trace_dump_counter(reason: &str) -> String {
+    format!("trace.dump.{reason}")
+}
+
+/// Per-phase latency histogram for sampled spans
+/// (`trace.phase.rpc.us` …); `phase` is `Phase::as_str()`.
+pub fn trace_phase_hist(phase: &str) -> String {
+    format!("trace.phase.{phase}.us")
+}
+
+/// Slow reads attributed to one concrete cause
+/// (`kv.read.slow_cause.straggler_replica` …); `cause` is
+/// `SlowCause::as_str()`.
+pub fn slow_cause_counter(cause: &str) -> String {
+    format!("kv.read.slow_cause.{cause}")
+}
+
+/// Exemplar gauge holding the most recent trace id attributed to a cause
+/// (`kv.read.slow_cause.straggler_replica.exemplar`): joins the cause
+/// histogram back to a concrete span tree in the flight recorder.
+pub fn slow_cause_exemplar(cause: &str) -> String {
+    format!("kv.read.slow_cause.{cause}.exemplar")
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -145,6 +196,30 @@ mod tests {
         );
         assert_eq!(super::KV_SHARD_HOT, "kv.shard.hot");
         assert_eq!(super::KV_SHARD_HOT_OPS, "kv.shard.hot.ops");
+    }
+
+    #[test]
+    fn trace_metric_names_are_stable() {
+        assert_eq!(super::shard_served_counter(3), "kv.shard.g3.served");
+        assert_eq!(super::kv_recv_counter("query_tag"), "kv.recv.query_tag");
+        assert_eq!(super::TRACE_SAMPLED_OPS, "trace.sampled.ops");
+        assert_eq!(super::TRACE_RING_LAPPED, "trace.ring.lapped");
+        assert_eq!(
+            super::trace_dump_counter("violation"),
+            "trace.dump.violation"
+        );
+        assert_eq!(
+            super::trace_phase_hist("mutex_wait"),
+            "trace.phase.mutex_wait.us"
+        );
+        assert_eq!(
+            super::slow_cause_counter("straggler_replica"),
+            "kv.read.slow_cause.straggler_replica"
+        );
+        assert_eq!(
+            super::slow_cause_exemplar("shed_outbox"),
+            "kv.read.slow_cause.shed_outbox.exemplar"
+        );
     }
 
     #[test]

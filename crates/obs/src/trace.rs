@@ -373,6 +373,82 @@ mod tests {
     }
 
     #[test]
+    fn ring_recorder_wraparound_property_under_random_shapes() {
+        // Property loop: for random capacities and batch sizes, the ring
+        // always keeps exactly the newest min(total, capacity) events in
+        // order and accounts every eviction.
+        let mut rng = safereg_common::rng::DetRng::seed_from(0x0B5E_7261_CE01);
+        for _ in 0..50 {
+            let capacity = 1 + (rng.next_u64() % 33) as usize;
+            let total = rng.next_u64() % 400;
+            let ring = RingRecorder::new(capacity);
+            for at in 0..total {
+                ring.record(Event {
+                    at,
+                    kind: EventKind::ConnOpened,
+                });
+            }
+            let events = ring.events();
+            let kept = total.min(capacity as u64);
+            assert_eq!(events.len() as u64, kept, "cap {capacity} total {total}");
+            assert_eq!(ring.evicted(), total - kept);
+            for (i, e) in events.iter().enumerate() {
+                assert_eq!(e.at, total - kept + i as u64, "oldest-first order");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_recorder_concurrent_emit_loses_nothing_it_should_keep() {
+        // Hammer one ring from several threads; afterwards the buffered
+        // count plus the evictions must equal the total emitted, and every
+        // surviving event is intact (its `at` encodes emitter * 10_000 +
+        // sequence, so torn or duplicated entries would show up).
+        let threads = 4usize;
+        let per_thread = 1_000u64;
+        let ring = std::sync::Arc::new(RingRecorder::new(64));
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let ring = std::sync::Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        ring.record(Event {
+                            at: t as u64 * 10_000 + i,
+                            kind: EventKind::ConnOpened,
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let events = ring.events();
+        assert_eq!(events.len(), 64, "full ring stays at capacity");
+        assert_eq!(
+            events.len() as u64 + ring.evicted(),
+            threads as u64 * per_thread,
+            "every emit is either buffered or counted as evicted"
+        );
+        for e in &events {
+            let (t, i) = (e.at / 10_000, e.at % 10_000);
+            assert!(t < threads as u64 && i < per_thread, "intact event {e:?}");
+        }
+        // Per-thread subsequences survive in emission order.
+        for t in 0..threads as u64 {
+            let seqs: Vec<u64> = events
+                .iter()
+                .filter(|e| e.at / 10_000 == t)
+                .map(|e| e.at % 10_000)
+                .collect();
+            assert!(
+                seqs.windows(2).all(|w| w[0] < w[1]),
+                "thread {t} order: {seqs:?}"
+            );
+        }
+    }
+
+    #[test]
     fn span_records_into_histogram() {
         let reg = crate::metrics::Registry::new();
         {

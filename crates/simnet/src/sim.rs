@@ -14,8 +14,10 @@ use safereg_common::history::{History, OpHandle, ReadPath};
 use safereg_common::ids::{ClientId, NodeId, ServerId};
 use safereg_common::msg::{Envelope, Message, OpId};
 use safereg_common::rng::DetRng;
+use safereg_common::trace::{Phase, TraceCtx};
 use safereg_core::op::{ClientOp, OpOutput};
 use safereg_obs::metrics::{Registry, Snapshot};
+use safereg_obs::span::{self, SlowEvidence, SpanKind, SpanLog, SpanRecord};
 use safereg_obs::trace::{self, MsgClass, NullRecorder, Recorder};
 
 use crate::behavior::ServerBehavior;
@@ -109,6 +111,10 @@ pub struct Sim {
     /// bit-for-bit from their seed.
     registry: Arc<Registry>,
     recorder: Arc<dyn Recorder>,
+    /// Causal span capture: when set, sampled operations emit
+    /// [`SpanRecord`]s stamped with **virtual ticks** into the log, so an
+    /// identically-seeded run reproduces the trace stream byte for byte.
+    spans: Option<(Arc<SpanLog>, u16)>,
     fast_reads: u64,
     slow_reads: u64,
     late_messages: u64,
@@ -163,6 +169,7 @@ impl Sim {
             bytes: 0,
             registry,
             recorder: Arc::new(NullRecorder),
+            spans: None,
             fast_reads: 0,
             slow_reads: 0,
             late_messages: 0,
@@ -184,6 +191,32 @@ impl Sim {
     /// Events are stamped with virtual ticks.
     pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
         self.recorder = recorder;
+    }
+
+    /// Installs a causal span log: operations whose derived trace id
+    /// passes `sample_permille` head-sampling emit [`SpanRecord`]s into
+    /// `log`, stamped with virtual ticks (the deterministic half of the
+    /// caller-stamped clock rule — the span module itself never reads a
+    /// clock, so a seed reproduces its trace stream bit for bit).
+    pub fn set_span_log(&mut self, log: Arc<SpanLog>, sample_permille: u16) {
+        self.spans = Some((log, sample_permille));
+    }
+
+    /// The trace context of `op` under the installed sampling rate, or
+    /// [`TraceCtx::NONE`] when no span log is installed. Pure: every call
+    /// site derives the same context from the same operation id.
+    fn trace_of(&self, op: &OpId) -> TraceCtx {
+        match &self.spans {
+            Some((_, permille)) => TraceCtx::for_op(op, *permille),
+            None => TraceCtx::NONE,
+        }
+    }
+
+    fn emit_span(&self, rec: SpanRecord) {
+        if let Some((log, _)) = &self.spans {
+            use safereg_obs::span::SpanSink;
+            log.emit(rec);
+        }
     }
 
     /// The deployment configuration.
@@ -257,6 +290,28 @@ impl Sim {
         });
         let delay = self.delay.delay(self.time, &env, &mut self.rng);
         let at = self.time.saturating_add(delay.0.max(1));
+        // One span segment per sampled message, its duration the link
+        // delay the policy just rolled: client requests are `rpc` legs at
+        // hop 0, server responses `reply` legs at hop 1.
+        if self.spans.is_some() {
+            if let Some(op) = op_of(&env.msg) {
+                let root = self.trace_of(&op);
+                if root.is_sampled() {
+                    let (ctx, node) = match env.src {
+                        NodeId::Client(c) => (root.with_phase(Phase::Rpc), span::node::client(c)),
+                        NodeId::Server(s) => (root.hopped(Phase::Reply), span::node::server(s.0)),
+                    };
+                    self.emit_span(SpanRecord::new(
+                        ctx,
+                        SpanKind::Segment,
+                        self.time,
+                        at - self.time,
+                        node,
+                        wire as u32,
+                    ));
+                }
+            }
+        }
         self.push_event(at, EventKind::Deliver(env));
     }
 
@@ -319,6 +374,22 @@ impl Sim {
                 write: matches!(plan.action, Action::Write(_)),
             },
         });
+        // Field-disjoint from the live `actor` borrow, so inline rather
+        // than going through `trace_of`/`emit_span`.
+        if let Some((log, permille)) = &self.spans {
+            use safereg_obs::span::SpanSink;
+            let root = TraceCtx::for_op(&op_id, *permille);
+            if root.is_sampled() {
+                log.emit(SpanRecord::new(
+                    root.with_phase(Phase::ClientOp),
+                    SpanKind::Start,
+                    self.time,
+                    0,
+                    span::node::client(client),
+                    0,
+                ));
+            }
+        }
         let first = op.start();
         actor.current = Some(InFlight {
             op,
@@ -454,6 +525,38 @@ impl Sim {
                             validation_failures: failures,
                         },
                     });
+                    if let Some((log, permille)) = &self.spans {
+                        use safereg_obs::span::SpanSink;
+                        let root = TraceCtx::for_op(&op_id, *permille);
+                        if root.is_sampled() {
+                            // A slow read gets its concrete cause from the
+                            // evidence the virtual run can see: failed
+                            // validations mean a Byzantine stale ack,
+                            // anything else here is the protocol's honest
+                            // second phase.
+                            let cause = match path {
+                                Some(ReadPath::Slow) => {
+                                    Some(span::attribute_slow_read(&SlowEvidence {
+                                        validation_failures: u64::from(failures),
+                                        ..SlowEvidence::default()
+                                    }))
+                                }
+                                _ => None,
+                            };
+                            let mut rec = SpanRecord::new(
+                                root.with_phase(Phase::ClientOp),
+                                SpanKind::End,
+                                now,
+                                latency,
+                                span::node::client(cid),
+                                rounds,
+                            );
+                            if let Some(c) = cause {
+                                rec = rec.with_cause(c);
+                            }
+                            log.emit(rec);
+                        }
+                    }
                 }
                 self.send_all(follow_up);
             }
@@ -573,6 +676,52 @@ mod tests {
         assert_eq!(read.latency(), Some(20));
         assert_eq!(write.rounds, 2);
         assert_eq!(read.rounds, 1);
+    }
+
+    #[test]
+    fn identically_seeded_runs_emit_identical_span_streams() {
+        let run = |seed: u64| {
+            let mut sim = bsr_sim(1, seed, 1);
+            let cfg = *sim.config();
+            let log = Arc::new(SpanLog::new());
+            sim.set_span_log(Arc::clone(&log), 1000);
+            sim.add_client(
+                ClientDriver::BsrWriter(BsrWriter::new(WriterId(0), cfg)),
+                vec![Plan::write_at(0, "traced"), Plan::write_at(500, "again")],
+            );
+            sim.add_client(
+                ClientDriver::BsrReader(BsrReader::new(ReaderId(0), cfg)),
+                vec![Plan::read_at(100), Plan::read_at(600)],
+            );
+            sim.run();
+            log.render_jsonl()
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b, "same seed must reproduce the trace byte for byte");
+        assert!(
+            a.lines().any(|l| l.contains("\"phase\":\"client_op\"")),
+            "root spans present: {a}"
+        );
+        assert!(
+            a.lines().any(|l| l.contains("\"phase\":\"rpc\"")),
+            "per-message rpc legs present: {a}"
+        );
+        // Virtual stamps only: every record's time is a small tick count,
+        // not wall-clock microseconds since the epoch.
+        let log_sampled_off = {
+            let mut sim = bsr_sim(1, 7, 0);
+            let cfg = *sim.config();
+            let log = Arc::new(SpanLog::new());
+            sim.set_span_log(Arc::clone(&log), 0);
+            sim.add_client(
+                ClientDriver::BsrWriter(BsrWriter::new(WriterId(0), cfg)),
+                vec![Plan::write_at(0, "untraced")],
+            );
+            sim.run();
+            log.records().len()
+        };
+        assert_eq!(log_sampled_off, 0, "permille 0 samples nothing");
     }
 
     #[test]

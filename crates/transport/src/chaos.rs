@@ -36,6 +36,7 @@ use safereg_common::ids::ServerId;
 use safereg_common::msg::Envelope;
 use safereg_common::rng::DetRng;
 use safereg_common::sync::Mutex;
+use safereg_common::trace::TraceCtx;
 use safereg_obs::names;
 use safereg_obs::trace::MsgClass;
 
@@ -286,16 +287,21 @@ impl FaultSchedule {
 }
 
 /// Best-effort classification of a raw frame payload: sealed register
-/// envelopes decode directly; KV frames carry a key first, which the
-/// envelope decode rejects, so those (and garbage) classify as `None`.
+/// frames carry a 16-byte trace context then the envelope; KV frames
+/// carry a shard id and key first, which the envelope decode rejects, so
+/// those (and garbage) classify as `None`.
 fn classify(payload: &Bytes) -> Option<MsgClass> {
-    if payload.len() < 32 {
+    if payload.len() < 32 + TraceCtx::WIRE_LEN {
         return None;
     }
     let body = payload.slice(..payload.len() - 32);
-    Envelope::from_bytes(&body)
-        .ok()
-        .map(|e| MsgClass::of(&e.msg))
+    let mut r = safereg_common::codec::BytesReader::new(&body);
+    TraceCtx::decode_borrowed(&mut r).ok()?;
+    let env = Envelope::decode_borrowed(&mut r).ok()?;
+    if !r.is_empty() {
+        return None;
+    }
+    Some(MsgClass::of(&env.msg))
 }
 
 /// Incremental frame parser over the raw `u32`-length-prefixed stream.

@@ -40,12 +40,14 @@ use safereg_common::rng::DetRng;
 use safereg_common::sync::channel::{
     bounded, BoundedReceiver, BoundedSender, RecvTimeoutError, SendTimeoutError, ShedPolicy,
 };
+use safereg_common::trace::{Phase, TraceCtx};
 use safereg_core::op::{ClientOp, OpOutput};
 use safereg_crypto::keychain::KeyChain;
 use safereg_obs::names;
+use safereg_obs::span::{self, SlowEvidence, SpanKind};
 use safereg_obs::trace::{self, MsgClass, NullRecorder, Recorder};
 
-use crate::frame::{open_envelope, read_frame, seal_envelope, SealedFrame};
+use crate::frame::{open_envelope, read_frame, seal_envelope_traced, SealedFrame};
 
 /// Errors from driving operations over TCP.
 #[derive(Debug)]
@@ -330,14 +332,18 @@ impl ClusterClient {
     /// Seals an envelope once for its destination link. Returns `None`
     /// for non-server destinations. The caller keeps the [`Arc`] for
     /// retries — a resend is an `Arc` clone, not a re-encode.
-    fn seal_for(&self, env: &Envelope) -> Option<(ServerId, MsgClass, Arc<SealedFrame>)> {
+    fn seal_for(
+        &self,
+        env: &Envelope,
+        trace: TraceCtx,
+    ) -> Option<(ServerId, MsgClass, Arc<SealedFrame>)> {
         let NodeId::Server(sid) = env.dst else {
             return None;
         };
         Some((
             sid,
             MsgClass::of(&env.msg),
-            Arc::new(seal_envelope(&self.chain, env)),
+            Arc::new(seal_envelope_traced(&self.chain, env, trace)),
         ))
     }
 
@@ -419,13 +425,25 @@ impl ClusterClient {
                 write: op.is_write(),
             },
         });
+        // Head-based sampling: one decision for the whole op; every frame
+        // of the op carries the same (possibly NONE) context.
+        let op_id = op.op_id();
+        let root = TraceCtx::for_op(&op_id, self.config.trace_sample);
+        let me = span::node::client(op_id.client);
+        if root.is_sampled() {
+            safereg_obs::global()
+                .counter(names::TRACE_SAMPLED_OPS)
+                .inc();
+            span::record_global(root, SpanKind::Start, trace::wall_micros(), 0, me, 0);
+        }
         let started = std::time::Instant::now();
+        let mut resends: u32 = 0;
         // Last frame sent to each server and not yet answered — the
         // resend set for retry ticks. Frames are sealed exactly once;
         // resends clone the `Arc`, not the bytes.
         let mut pending: BTreeMap<ServerId, (MsgClass, Arc<SealedFrame>)> = BTreeMap::new();
         for env in op.start() {
-            if let Some((sid, class, sealed)) = self.seal_for(&env) {
+            if let Some((sid, class, sealed)) = self.seal_for(&env, root.with_phase(Phase::Rpc)) {
                 self.send_sealed(sid, class, &sealed);
                 pending.insert(sid, (class, sealed));
             }
@@ -439,7 +457,7 @@ impl ClusterClient {
         };
         loop {
             if let Some(out) = op.output() {
-                self.note_completion(op, started.elapsed());
+                self.note_completion(op, started.elapsed(), root, resends);
                 return Ok(out);
             }
             let now = std::time::Instant::now();
@@ -455,6 +473,17 @@ impl ClusterClient {
                         .iter()
                         .map(|(sid, (class, sealed))| (*sid, *class, Arc::clone(sealed)))
                         .collect();
+                    if !resend.is_empty() {
+                        resends += 1;
+                        span::record_global(
+                            root.with_phase(Phase::Rpc),
+                            SpanKind::Retry,
+                            trace::wall_micros(),
+                            0,
+                            me,
+                            resends,
+                        );
+                    }
                     for (sid, class, sealed) in resend {
                         reg.counter(names::TRANSPORT_OP_RETRIES).inc();
                         self.send_sealed(sid, class, &sealed);
@@ -470,7 +499,9 @@ impl ClusterClient {
                 Ok((sid, msg)) => {
                     pending.remove(&sid);
                     for env in op.on_message(sid, &msg) {
-                        if let Some((to, class, sealed)) = self.seal_for(&env) {
+                        if let Some((to, class, sealed)) =
+                            self.seal_for(&env, root.with_phase(Phase::Rpc))
+                        {
                             self.send_sealed(to, class, &sealed);
                             pending.insert(to, (class, sealed));
                         }
@@ -484,8 +515,9 @@ impl ClusterClient {
 
     /// Accounts a finished operation: wall-clock latency into the fast,
     /// slow or write histogram, fast/slow read counters, validation
-    /// failures and a structured completion event.
-    fn note_completion(&self, op: &dyn ClientOp, elapsed: Duration) {
+    /// failures, a structured completion event and — when the op was
+    /// head-sampled — a root `end` span carrying the slow-read cause.
+    fn note_completion(&self, op: &dyn ClientOp, elapsed: Duration, root: TraceCtx, resends: u32) {
         let reg = safereg_obs::global();
         let micros = elapsed.as_micros() as u64;
         let path = op.read_path();
@@ -518,6 +550,28 @@ impl ClusterClient {
                 validation_failures: failures,
             },
         });
+        if root.is_sampled() {
+            // On this path a resend pass only ever happens because a
+            // server went quiet within its slice, so resends double as
+            // the network-fault evidence.
+            let cause = (path == Some(ReadPath::Slow)).then(|| {
+                let cause = span::attribute_slow_read(&SlowEvidence {
+                    retry_passes: resends,
+                    unreachable: resends,
+                    validation_failures: u64::from(failures),
+                    ..SlowEvidence::default()
+                });
+                span::count_slow_cause(cause, root.id);
+                cause
+            });
+            span::record_global_end(
+                root,
+                trace::wall_micros(),
+                micros,
+                span::node::client(op.op_id().client),
+                cause,
+            );
+        }
     }
 }
 
@@ -779,7 +833,7 @@ mod tests {
                 payload: Payload::Full(Value::from(vec![0xA5u8; 8 << 20])),
             },
         );
-        let (sid, class, sealed) = client.seal_for(&env).unwrap();
+        let (sid, class, sealed) = client.seal_for(&env, TraceCtx::NONE).unwrap();
         client.send_sealed(sid, class, &sealed);
         // Let the writer thread pick the frame up and block on the socket.
         std::thread::sleep(Duration::from_millis(300));

@@ -2,12 +2,16 @@
 //!
 //! Wire layout per frame: `u32` little-endian length, then `length` bytes
 //! of payload. For authenticated envelope exchange the payload is
-//! `encode(envelope) || HMAC(pair_key(src, dst), encode(envelope))` —
-//! sealed by [`seal_envelope`] into a [`SealedFrame`] and opened by
-//! [`open_envelope`], which derive the link key from the envelope's own
-//! endpoints. A frame whose MAC does not verify under the claimed
-//! endpoints' key is rejected, which is exactly the authentication
-//! guarantee the paper's model assumes.
+//! `encode(trace) || encode(envelope) || HMAC(pair_key(src, dst), …)` —
+//! a fixed 16-byte [`TraceCtx`] ahead of the envelope head, both under
+//! the MAC — sealed by [`seal_envelope_traced`] into a [`SealedFrame`]
+//! and opened by [`open_envelope_traced`], which derive the link key from
+//! the envelope's own endpoints. A frame whose MAC does not verify under
+//! the claimed endpoints' key is rejected, which is exactly the
+//! authentication guarantee the paper's model assumes — and because the
+//! trace context sits under the same MAC, a Byzantine relay can no more
+//! forge causality than payloads. The untraced [`seal_envelope`] /
+//! [`open_envelope`] wrappers carry [`TraceCtx::NONE`] (16 zero bytes).
 //!
 //! # Zero-copy discipline
 //!
@@ -27,8 +31,9 @@ use std::io::{ErrorKind, IoSlice, Read, Write};
 use std::sync::{Arc, OnceLock};
 
 use safereg_common::buf::Bytes;
-use safereg_common::codec::{payload_bytes_copied, Wire, WireError};
+use safereg_common::codec::{payload_bytes_copied, BytesReader, Wire, WireError};
 use safereg_common::msg::Envelope;
+use safereg_common::trace::TraceCtx;
 use safereg_crypto::auth::{AuthCodec, AuthError};
 use safereg_crypto::keychain::KeyChain;
 use safereg_crypto::sha256::DIGEST_LEN;
@@ -239,15 +244,26 @@ impl SealedFrame {
     }
 }
 
-/// Seals an envelope under the link key of its `(src, dst)` pair.
+/// Seals an untraced envelope: [`seal_envelope_traced`] with
+/// [`TraceCtx::NONE`] (one branch downstream, 16 zero bytes on the wire).
+pub fn seal_envelope(chain: &KeyChain, env: &Envelope) -> SealedFrame {
+    seal_envelope_traced(chain, env, TraceCtx::NONE)
+}
+
+/// Seals an envelope under the link key of its `(src, dst)` pair, with
+/// the sender's trace context ahead of the envelope head.
 ///
 /// The encoding is split by [`Envelope::encode_parts`]: the payload tail
 /// is an O(1) clone of the envelope's value buffer, never copied, and the
-/// MAC is streamed over `head ++ tail` without concatenating them.
-pub fn seal_envelope(chain: &KeyChain, env: &Envelope) -> SealedFrame {
+/// MAC is streamed over `trace ++ head ++ tail` without concatenating
+/// them — the trace context is MAC-covered for free.
+pub fn seal_envelope_traced(chain: &KeyChain, env: &Envelope, trace: TraceCtx) -> SealedFrame {
     let start = std::time::Instant::now();
-    let (head, tail) = env.encode_parts();
+    let (env_head, tail) = env.encode_parts();
     let tail = tail.unwrap_or_default();
+    let mut head = Vec::with_capacity(TraceCtx::WIRE_LEN + env_head.len());
+    trace.encode_to(&mut head);
+    head.extend_from_slice(&env_head);
     let mac =
         AuthCodec::new(chain.pair_key(env.src, env.dst)).mac_of_parts(&[&head, tail.as_ref()]);
     seal_hist().record(start.elapsed().as_micros() as u64);
@@ -269,6 +285,20 @@ pub fn seal_envelope(chain: &KeyChain, env: &Envelope) -> SealedFrame {
 /// [`FrameError::Codec`] for malformed bytes, [`FrameError::Auth`] for MAC
 /// failures.
 pub fn open_envelope(chain: &KeyChain, frame: impl Into<Bytes>) -> Result<Envelope, FrameError> {
+    open_envelope_traced(chain, frame).map(|(env, _)| env)
+}
+
+/// As [`open_envelope`], additionally returning the MAC-verified trace
+/// context the sender stamped into the frame head.
+///
+/// # Errors
+///
+/// [`FrameError::Codec`] for malformed bytes, [`FrameError::Auth`] for MAC
+/// failures.
+pub fn open_envelope_traced(
+    chain: &KeyChain,
+    frame: impl Into<Bytes>,
+) -> Result<(Envelope, TraceCtx), FrameError> {
     let frame = frame.into();
     let start = std::time::Instant::now();
     let copied_before = payload_bytes_copied();
@@ -284,16 +314,26 @@ pub fn open_envelope(chain: &KeyChain, frame: impl Into<Bytes>) -> Result<Envelo
     result
 }
 
-fn open_envelope_inner(chain: &KeyChain, frame: &Bytes) -> Result<Envelope, FrameError> {
+fn open_envelope_inner(
+    chain: &KeyChain,
+    frame: &Bytes,
+) -> Result<(Envelope, TraceCtx), FrameError> {
     if frame.len() < DIGEST_LEN {
         return Err(FrameError::Auth(AuthError::TooShort { len: frame.len() }));
     }
     let payload = frame.slice(..frame.len() - DIGEST_LEN);
-    let env = Envelope::from_bytes(&payload).map_err(FrameError::Codec)?;
+    let mut r = BytesReader::new(&payload);
+    let trace = TraceCtx::decode_borrowed(&mut r).map_err(FrameError::Codec)?;
+    let env = Envelope::decode_borrowed(&mut r).map_err(FrameError::Codec)?;
+    if !r.is_empty() {
+        return Err(FrameError::Codec(WireError::TrailingBytes {
+            count: r.remaining(),
+        }));
+    }
     AuthCodec::new(chain.pair_key(env.src, env.dst))
         .open(frame.as_ref())
         .map_err(FrameError::Auth)?;
-    Ok(env)
+    Ok((env, trace))
 }
 
 #[cfg(test)]
@@ -460,11 +500,58 @@ mod tests {
         let frame = seal_envelope(&chain, &e).to_bytes();
         // Forge: claim the same payload came from server 5 instead.
         e.src = ServerId(5).into();
-        let mut forged = e.to_bytes().to_vec();
+        let mut forged = Vec::new();
+        TraceCtx::NONE.encode_to(&mut forged);
+        e.encode_to(&mut forged);
         forged.extend_from_slice(&frame.as_ref()[frame.len() - DIGEST_LEN..]); // reuse old MAC
         assert!(matches!(
             open_envelope(&chain, forged),
             Err(FrameError::Auth(_))
         ));
+    }
+
+    #[test]
+    fn trace_context_roundtrips_under_the_mac() {
+        let chain = KeyChain::from_master_seed(b"seed");
+        let trace = TraceCtx {
+            id: 0xABCD_EF01_2345_6789,
+            op_seq: 7,
+            phase: safereg_common::trace::Phase::Rpc as u8,
+            hop: 1,
+        };
+        let sealed = seal_envelope_traced(&chain, &env(), trace);
+        let (back, got) = open_envelope_traced(&chain, sealed.to_bytes()).unwrap();
+        assert_eq!(back, env());
+        assert_eq!(got, trace);
+        // The untraced wrapper carries NONE and still interoperates.
+        let (_, none) =
+            open_envelope_traced(&chain, seal_envelope(&chain, &env()).to_bytes()).unwrap();
+        assert_eq!(none, TraceCtx::NONE);
+    }
+
+    #[test]
+    fn tampered_trace_context_fails_authentication() {
+        // The trace bytes sit under the MAC: flipping any of the 16
+        // head bytes must be rejected, not silently mis-attributed.
+        let chain = KeyChain::from_master_seed(b"seed");
+        let trace = TraceCtx {
+            id: 99,
+            op_seq: 1,
+            phase: 0,
+            hop: 0,
+        };
+        for byte in 0..TraceCtx::WIRE_LEN {
+            let mut frame = seal_envelope_traced(&chain, &env(), trace)
+                .to_bytes()
+                .to_vec();
+            frame[byte] ^= 0x40;
+            assert!(
+                matches!(
+                    open_envelope(&chain, frame),
+                    Err(FrameError::Auth(_)) | Err(FrameError::Codec(_))
+                ),
+                "flipped trace byte {byte} must not verify"
+            );
+        }
     }
 }

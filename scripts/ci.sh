@@ -88,6 +88,25 @@ grep -q 'soak: shard g0 .* fast_ratio = ' <<< "$shard_soak_out" ||
 grep -q 'soak: violations = 0 (0 required)' <<< "$shard_soak_out" ||
     { echo "ci.sh: sharded soak reported checker violations" >&2; exit 1; }
 
+# Trace smoke: the causal-tracing scenario. The run itself asserts that
+# two identically-seeded simulator runs render byte-identical span
+# streams (schema stability across runs), that a checker violation dumps
+# the offending op's span tree, and that the sampling-off overhead stays
+# under its gate; the greps pin an attributed slow-read cause line, the
+# determinism verdict, and the span-line schema (flight dumps go to
+# stderr, so the captured stdout stays clean).
+echo "==> paper_harness trace | grep verdicts"
+trace_out=$(cargo run --release --offline -q -p safereg-bench --bin paper_harness trace 2>/dev/null)
+echo "$trace_out"
+grep -Eq 'trace: slow cause [a-z_]+ = [1-9]' <<< "$trace_out" ||
+    { echo "ci.sh: trace run produced no attributed slow read" >&2; exit 1; }
+grep -q 'trace: sim determinism = yes' <<< "$trace_out" ||
+    { echo "ci.sh: identically-seeded trace streams diverged" >&2; exit 1; }
+grep -Eq 'trace: sample span \{"trace":"[0-9a-f]{16}","seq":[0-9]+,"hop":[0-9]+,"phase":"[a-z_]+","kind":"[a-z]+","at":[0-9]+,"dur":[0-9]+,"node":"[a-z0-9-]+","cause":(null|"[a-z_]+"),"detail":[0-9]+\}' <<< "$trace_out" ||
+    { echo "ci.sh: trace span JSONL schema drifted" >&2; exit 1; }
+grep -q 'trace: ok' <<< "$trace_out" ||
+    { echo "ci.sh: trace scenario failed its acceptance bars" >&2; exit 1; }
+
 # Shard-scaling smoke: {1,4,16} register groups x {uniform, zipf} keys on
 # one n=5 fleet. The bench itself exits nonzero unless every client
 # transport holds exactly n sockets (socket sharing: n, never s*n) and
