@@ -7,6 +7,7 @@
 
 use safereg_bench::ablations;
 use safereg_bench::chaos as chaos_scenario;
+use safereg_bench::churn as churn_scenario;
 use safereg_bench::experiments;
 use safereg_bench::shard as shard_bench;
 use safereg_bench::soak as soak_harness;
@@ -596,11 +597,118 @@ fn shard() {
     }
 }
 
+/// Parses `churn` flags and runs the scenario; exits nonzero on failure.
+///
+/// ```text
+/// paper_harness churn [--ops 200] [--seed 0xC1124E] [--shards 2] [--keys 3]
+/// ```
+fn churn(flags: &[String]) -> ! {
+    let mut cfg = churn_scenario::ChurnConfig::default();
+    let mut i = 0;
+    while i < flags.len() {
+        let flag = flags[i].as_str();
+        let Some(value) = flags.get(i + 1) else {
+            eprintln!("churn: {flag} needs a value");
+            std::process::exit(2);
+        };
+        let parse = |what: &str| {
+            value.parse::<u64>().unwrap_or_else(|_| {
+                eprintln!("churn: {what} must be a number, got {value}");
+                std::process::exit(2);
+            })
+        };
+        match flag {
+            "--ops" => cfg.ops_per_phase = parse("--ops"),
+            "--seed" => cfg.seed = parse("--seed"),
+            "--shards" => cfg.shards = parse("--shards") as u16,
+            "--keys" => cfg.keys = parse("--keys") as usize,
+            _ => {
+                eprintln!("churn: unknown flag {flag}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+
+    println!(
+        "== churn: add/remove/replace under a live Fabricator, {} ops/phase, seed {} ==",
+        cfg.ops_per_phase, cfg.seed
+    );
+    let r = churn_scenario::churn_run(&cfg);
+    let rows: Vec<Vec<String>> = r
+        .phases
+        .iter()
+        .map(|p| {
+            vec![
+                p.label.clone(),
+                p.epoch.to_string(),
+                p.ops.to_string(),
+                p.failures.to_string(),
+                format!("{:.0}", p.ops_per_sec),
+                format!("{} us", p.p99_micros),
+                p.adoptions.to_string(),
+                p.stale_frames.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "phase",
+                "epoch",
+                "ops",
+                "failures",
+                "ops/sec",
+                "p99",
+                "adoptions",
+                "stale frames"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "churn: {} steps applied, final epoch {}, {} keys transferred, byz = {}",
+        r.steps, r.final_epoch, r.transfer_keys, r.byz_role
+    );
+    println!(
+        "churn: {}/{} ops completed, {} failures (0 required), violations = {} (0 required)",
+        r.ops_completed,
+        r.ops_attempted,
+        r.failures,
+        r.violations.len()
+    );
+    for v in &r.violations {
+        println!("  violation: {v}");
+    }
+    println!(
+        "churn: coded joiner rebuilt logical slot {} from m - f slices, digest match = {}",
+        r.coded_joiner_logical,
+        yes_no(r.coded_digest_ok)
+    );
+    if r.reconfig_slow_reads > 0 {
+        println!(
+            "churn: slow cause reconfig_transfer = {}",
+            r.reconfig_slow_reads
+        );
+    }
+    if let Err(e) = std::fs::write("BENCH_churn.json", r.to_json()) {
+        eprintln!("churn: could not write BENCH_churn.json: {e}");
+    }
+    if r.ok() {
+        println!("churn: ok");
+        std::process::exit(0);
+    }
+    println!("churn: FAILED (rerun with --seed {} to replay)", r.seed);
+    std::process::exit(1);
+}
+
 /// Parses `soak` flags and runs the harness; exits nonzero on failure.
 ///
 /// ```text
 /// paper_harness soak --ops 20000 --byz f --seed 7 [--epochs 5]
 ///                    [--writers 4] [--readers 4] [--keys 4] [--shards 4]
+///                    [--minutes 10]
 /// ```
 fn soak(flags: &[String]) -> ! {
     let mut cfg = soak_harness::SoakConfig::default();
@@ -629,6 +737,7 @@ fn soak(flags: &[String]) -> ! {
             "--readers" => cfg.readers = parse("--readers") as usize,
             "--keys" => cfg.keys = parse("--keys") as usize,
             "--shards" => cfg.shards = parse("--shards") as u16,
+            "--minutes" => cfg.minutes = parse("--minutes"),
             _ => {
                 eprintln!("soak: unknown flag {flag}");
                 std::process::exit(2);
@@ -729,6 +838,9 @@ fn main() {
     if args.first().map(String::as_str) == Some("soak") {
         soak(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("churn") {
+        churn(&args[1..]);
+    }
     let all: Vec<(&str, fn())> = vec![
         ("e1", e1),
         ("e2", e2),
@@ -763,7 +875,8 @@ fn main() {
     };
     if selected.is_empty() {
         eprintln!(
-            "unknown experiment; available: e1..e13, a1..a5, chaos, wire, shard, trace, metrics, soak"
+            "unknown experiment; available: e1..e13, a1..a5, chaos, wire, shard, trace, \
+             metrics, soak, churn"
         );
         std::process::exit(2);
     }

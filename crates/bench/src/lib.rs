@@ -25,12 +25,15 @@
 //! tortures the real TCP stack behind seeded fault-injection proxies, and
 //! the [`soak`] harness that runs the kv store for epochs under rotating
 //! live-Byzantine replicas, server-side chaos and crash/restarts with a
-//! memory-bounded online safety checker.
+//! memory-bounded online safety checker, and the [`churn`] scenario that
+//! rolls add/remove/replace reconfigurations through a live cluster while
+//! a Fabricator stays active and a checker judges every op.
 //!
 //! Run everything: `cargo run -p safereg-bench --bin paper_harness`.
 
 pub mod ablations;
 pub mod chaos;
+pub mod churn;
 pub mod experiments;
 pub mod search;
 pub mod shard;

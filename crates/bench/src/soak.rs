@@ -66,6 +66,12 @@ pub struct SoakConfig {
     /// victim host turns Byzantine with a *different* role in every group
     /// it serves, so every shard still has at most `f` faulty replicas.
     pub shards: u16,
+    /// Wall-clock target in minutes. `0` (the default) runs exactly
+    /// `epochs` role-rotation periods; above that the soak keeps cycling
+    /// further epochs — same per-epoch op quota, rotating seeds — until
+    /// the target has elapsed, so one flag turns the smoke run into an
+    /// overnight burn-in without retuning `ops`/`epochs`.
+    pub minutes: u64,
 }
 
 impl Default for SoakConfig {
@@ -79,6 +85,7 @@ impl Default for SoakConfig {
             readers: 4,
             keys: 4,
             shards: 1,
+            minutes: 0,
         }
     }
 }
@@ -365,7 +372,13 @@ pub fn soak_run(cfg: &SoakConfig) -> SoakReport {
     let mut current_byz: Vec<ServerId> = Vec::new();
     let mut epoch_seeds: Vec<u64> = Vec::with_capacity(epochs);
 
-    for e in 0..epochs {
+    // `--minutes` trades the fixed epoch count for a wall-clock target:
+    // the loop keeps rotating further epochs (fresh seeds, same quota)
+    // until the deadline passes, with at least `epochs` always run.
+    let soak_started = std::time::Instant::now();
+    let deadline = (cfg.minutes > 0).then(|| Duration::from_secs(cfg.minutes * 60));
+    let mut e = 0usize;
+    loop {
         let eseed = cfg.seed ^ e as u64;
         epoch_seeds.push(eseed);
 
@@ -632,6 +645,14 @@ pub fn soak_run(cfg: &SoakConfig) -> SoakReport {
             evictions: reg.counter(names::SERVER_EVICTIONS).get() - evictions_base,
             restarts: reg.counter(names::SERVER_RESTARTS).get() - restarts_base,
         });
+        e += 1;
+        let done = match deadline {
+            Some(d) => e >= epochs && soak_started.elapsed() >= d,
+            None => e >= epochs,
+        };
+        if done {
+            break;
+        }
     }
 
     let mut violations = Vec::new();
@@ -735,6 +756,7 @@ mod tests {
             readers: 1,
             keys: 2,
             shards: 1,
+            minutes: 0,
         };
         let report = soak_run(&cfg);
         for s in &report.epochs {
@@ -773,6 +795,7 @@ mod tests {
             readers: 2,
             keys: 8,
             shards: 4,
+            minutes: 0,
         };
         let report = soak_run(&cfg);
         assert!(

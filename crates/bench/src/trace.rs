@@ -290,12 +290,14 @@ fn chaos_leg(seed: u64) -> ChaosLeg {
 
     // Slow-read phase: crash-recover four honest replicas one at a time
     // (never more than f = 1 down at once — a restart is a transient
-    // crash). Each comes back amnesiac, so afterwards no f + 1 = 2
-    // replicas still witness the reader's cached pair: every following
-    // read is forced onto the slow path and must carry a concrete cause.
+    // crash). The amnesiac respawn is deliberate — `restart()` would pull
+    // the register state back from a quorum and keep reads fast; skipping
+    // the pull means afterwards no f + 1 = 2 replicas still witness the
+    // reader's cached pair, so every following read is forced onto the
+    // slow path and must carry a concrete cause.
     for sid in [ServerId(0), ServerId(1), ServerId(2), ServerId(3)] {
         cluster
-            .restart(sid, KvMode::Replicated)
+            .restart_amnesiac(sid, KvMode::Replicated)
             .expect("respawn replica");
     }
     for _ in 0..6 {

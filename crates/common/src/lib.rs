@@ -33,6 +33,7 @@
 pub mod buf;
 pub mod codec;
 pub mod config;
+pub mod epoch;
 pub mod history;
 pub mod ids;
 pub mod msg;
@@ -46,6 +47,7 @@ pub mod value;
 pub use buf::Bytes;
 pub use codec::{Wire, WireError};
 pub use config::QuorumConfig;
+pub use epoch::{ConfigStamp, EpochConfig, Member};
 pub use history::{History, OpKind, OpRecord};
 pub use ids::{ClientId, NodeId, ReaderId, ServerId, WriterId};
 pub use msg::{ClientToServer, Envelope, Message, OpId, Payload, ServerToClient};

@@ -18,6 +18,7 @@
 
 use crate::buf::Bytes;
 use crate::codec::{BytesReader, Wire, WireError, WireReader};
+use crate::epoch::EpochConfig;
 use crate::ids::{ClientId, NodeId, ServerId};
 use crate::tag::Tag;
 use crate::value::Value;
@@ -236,6 +237,17 @@ pub enum ServerToClient {
         /// the tag.
         payload: Option<Payload>,
     },
+    /// Redirect: the frame's [`crate::epoch::ConfigStamp`] did not match
+    /// the server's current configuration. Carries the server's full view
+    /// so the client can refresh its membership and re-issue the op. A
+    /// client only *adopts* a redirected config once `f + 1` distinct
+    /// servers vouch for the same `(epoch, digest)` — see `crate::epoch`.
+    WrongEpoch {
+        /// Operation being redirected.
+        op: OpId,
+        /// The server's current configuration.
+        config: EpochConfig,
+    },
 }
 
 impl ServerToClient {
@@ -247,7 +259,8 @@ impl ServerToClient {
             | ServerToClient::DataResp { op, .. }
             | ServerToClient::HistoryResp { op, .. }
             | ServerToClient::TagListResp { op, .. }
-            | ServerToClient::ValueAtResp { op, .. } => *op,
+            | ServerToClient::ValueAtResp { op, .. }
+            | ServerToClient::WrongEpoch { op, .. } => *op,
         }
     }
 }
@@ -673,6 +686,11 @@ impl Wire for ServerToClient {
                 op.encode_to(buf);
                 tags.encode_to(buf);
             }
+            ServerToClient::WrongEpoch { op, config } => {
+                buf.push(6);
+                op.encode_to(buf);
+                config.encode_to(buf);
+            }
         }
     }
 
@@ -703,6 +721,10 @@ impl Wire for ServerToClient {
             5 => ServerToClient::TagListResp {
                 op: OpId::decode_from(r)?,
                 tags: Vec::<Tag>::decode_from(r)?,
+            },
+            6 => ServerToClient::WrongEpoch {
+                op: OpId::decode_from(r)?,
+                config: EpochConfig::decode_from(r)?,
             },
             t => {
                 return Err(WireError::BadDiscriminant {
@@ -740,6 +762,10 @@ impl Wire for ServerToClient {
             5 => ServerToClient::TagListResp {
                 op: OpId::decode_borrowed(r)?,
                 tags: Vec::<Tag>::decode_borrowed(r)?,
+            },
+            6 => ServerToClient::WrongEpoch {
+                op: OpId::decode_borrowed(r)?,
+                config: EpochConfig::decode_borrowed(r)?,
             },
             t => {
                 return Err(WireError::BadDiscriminant {

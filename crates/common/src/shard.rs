@@ -280,6 +280,26 @@ impl ShardMap {
             .filter(|g| self.logical_of(*g, physical).is_some())
             .collect()
     }
+
+    /// The same map re-resolved over a different fleet — the epoch-change
+    /// primitive. Seed, shard count, and per-shard `(m, f)` are preserved,
+    /// so `shard_of` is *identical* across epochs (the key ring only
+    /// depends on seed and shard count) and only shard→replica placement
+    /// moves. Rendezvous scores are per `(shard, server)` and independent
+    /// of the rest of the fleet, so a single added server displaces at
+    /// most one incumbent per shard (the lowest-scored one), and a removed
+    /// server is backfilled by exactly one newcomer per affected shard —
+    /// the minimal-disruption property the churn tests assert.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardMapError`] when the new fleet is empty or smaller than the
+    /// per-shard subset `m`.
+    pub fn for_fleet(&self, mut fleet: Vec<ServerId>) -> Result<ShardMap, ShardMapError> {
+        fleet.sort_unstable();
+        fleet.dedup();
+        ShardMap::new(self.seed, self.num_shards(), fleet, self.shard_cfg)
+    }
 }
 
 impl fmt::Display for ShardMap {

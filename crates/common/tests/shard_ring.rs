@@ -17,6 +17,8 @@
 //! All randomness flows through [`DetRng`], so a failure reproduces from
 //! the printed seed.
 
+use std::collections::BTreeSet;
+
 use safereg_common::config::QuorumConfig;
 use safereg_common::ids::ServerId;
 use safereg_common::rng::{DetRng, Zipf};
@@ -143,5 +145,113 @@ fn adding_a_shard_moves_about_one_in_s_keys() {
             moved > 0,
             "seed {seed:#x}, s={s}: no keys moved — the new shard owns nothing"
         );
+    }
+}
+
+/// Replica-set difference between two maps for one shard: `(gained, lost)`.
+fn placement_diff(a: &ShardMap, b: &ShardMap, g: ShardId) -> (Vec<ServerId>, Vec<ServerId>) {
+    let before: BTreeSet<ServerId> = a.replicas(g).unwrap().iter().copied().collect();
+    let after: BTreeSet<ServerId> = b.replicas(g).unwrap().iter().copied().collect();
+    (
+        after.difference(&before).copied().collect(),
+        before.difference(&after).copied().collect(),
+    )
+}
+
+#[test]
+fn growing_the_fleet_disrupts_placement_minimally() {
+    // The reconfiguration property `ShardMap::for_fleet` exists for:
+    // joining one server swaps at most one replica per shard (always the
+    // newcomer, in), ≈ m/(n+1) shards are touched at all, and the key
+    // ring never moves — so a client adopting the successor epoch keeps
+    // routing every key to the same shard id.
+    let cfg = QuorumConfig::minimal_bsr(1).unwrap(); // m = 5
+    let mut rng = DetRng::seed_from(0xF1EE_7000);
+    const SHARDS: u16 = 64;
+    for &n in &[6u16, 8, 12, 24] {
+        let seed = rng.next_u64();
+        let old = ShardMap::new(seed, SHARDS, fleet(n), cfg).unwrap();
+        let newcomer = ServerId(n);
+        let grown = old.for_fleet((0..=n).map(ServerId).collect()).unwrap();
+
+        // Key → shard routing is fleet-independent.
+        for k in 0..2_000usize {
+            let key = key_of(k);
+            assert_eq!(
+                old.shard_of(&key),
+                grown.shard_of(&key),
+                "seed {seed:#x}, n={n}: fleet growth re-sharded key rank {k}"
+            );
+        }
+
+        let mut swapped = 0usize;
+        for g in old.shards() {
+            let (gained, lost) = placement_diff(&old, &grown, g);
+            match gained.as_slice() {
+                [] => assert!(
+                    lost.is_empty(),
+                    "seed {seed:#x}, n={n}, {g}: lost {lost:?} without gaining"
+                ),
+                [sole] => {
+                    assert_eq!(
+                        *sole, newcomer,
+                        "seed {seed:#x}, n={n}, {g}: a non-joining server moved in"
+                    );
+                    assert_eq!(
+                        lost.len(),
+                        1,
+                        "seed {seed:#x}, n={n}, {g}: swap was not one-for-one"
+                    );
+                    swapped += 1;
+                }
+                more => panic!(
+                    "seed {seed:#x}, n={n}, {g}: rendezvous moved {} members at once",
+                    more.len()
+                ),
+            }
+        }
+        // Each shard admits the newcomer iff it scores top-m among n + 1
+        // contenders: probability m/(n+1), independent per shard.
+        let expected = f64::from(SHARDS) * cfg.n() as f64 / f64::from(n + 1);
+        assert!(
+            (swapped as f64) <= 2.5 * expected && swapped > 0,
+            "seed {seed:#x}, n={n}: {swapped} shards re-placed \
+             (rendezvous promises ≈ {expected:.0})"
+        );
+
+        // Leaving is the mirror image, and rendezvous is memoryless: the
+        // newcomer leaving again restores the exact old placement.
+        let shrunk = grown.for_fleet(fleet(n)).unwrap();
+        assert_eq!(
+            shrunk, old,
+            "seed {seed:#x}, n={n}: join → leave did not round-trip"
+        );
+
+        // Removing an incumbent touches only the shards that hosted it,
+        // each swapping exactly the leaver for one replacement.
+        let leaver = ServerId(1);
+        let less: Vec<ServerId> = (0..n).map(ServerId).filter(|s| *s != leaver).collect();
+        let without = old.for_fleet(less).unwrap();
+        for g in old.shards() {
+            let hosted = old.replicas(g).unwrap().contains(&leaver);
+            let (gained, lost) = placement_diff(&old, &without, g);
+            if hosted {
+                assert_eq!(
+                    lost,
+                    vec![leaver],
+                    "seed {seed:#x}, n={n}, {g}: leaver not swapped out cleanly"
+                );
+                assert_eq!(
+                    gained.len(),
+                    1,
+                    "seed {seed:#x}, n={n}, {g}: leaver replaced by {gained:?}"
+                );
+            } else {
+                assert!(
+                    gained.is_empty() && lost.is_empty(),
+                    "seed {seed:#x}, n={n}, {g}: unaffected shard was re-placed"
+                );
+            }
+        }
     }
 }

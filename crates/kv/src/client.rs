@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use safereg_common::buf::Bytes;
 use safereg_common::config::{QuorumConfig, TransportConfig};
+use safereg_common::epoch::EpochConfig;
 use safereg_common::ids::{ClientId, ReaderId, ServerId, WriterId};
 use safereg_common::msg::{ClientToServer, Envelope, Message, OpId, ServerToClient};
 use safereg_common::shard::{ShardId, ShardMap};
@@ -77,6 +78,12 @@ pub trait KvTransport {
         msg: &ClientToServer,
         trace: TraceCtx,
     ) -> Result<Vec<ServerToClient>, Unreachable>;
+
+    /// Switches the transport to a newly adopted membership: re-stamp
+    /// outgoing frames, connect joiners, drop leavers. The default is a
+    /// no-op — in-process transports have no links or stamps to move, and
+    /// epoch admission is a wire-path concern.
+    fn reconfigure(&mut self, _config: &EpochConfig) {}
 }
 
 /// Errors from KV operations.
@@ -115,6 +122,12 @@ impl std::fmt::Display for KvError {
 
 impl std::error::Error for KvError {}
 
+/// How many epoch adoptions a single `put`/`get` rides out before giving
+/// up: reconfiguration is one replica per step, so a client more than a
+/// few epochs behind re-issues a few times, and a Byzantine server cannot
+/// force hops at all (adoption needs `f + 1` distinct voters).
+const MAX_EPOCH_HOPS: u32 = 3;
+
 /// Cached per-shard metric handles: formatted names and registry lookups
 /// happen once at construction, never on the op hot path.
 struct ShardStats {
@@ -133,6 +146,10 @@ pub struct KvClient {
     writer: WriterId,
     reader: ReaderId,
     seq: u64,
+    /// The membership epoch this client believes is current. Bumped by the
+    /// `f + 1`-vote adoption rule when `WrongEpoch` redirects converge on a
+    /// newer configuration.
+    epoch: u32,
     mode: KvMode,
     code: Option<ReedSolomon>,
     /// Per-key `(t_local, v_local)` (Fig. 2 line 1, one per register).
@@ -217,6 +234,7 @@ impl KvClient {
             writer,
             reader,
             seq: 0,
+            epoch: 0,
             mode,
             code,
             local: BTreeMap::new(),
@@ -230,6 +248,19 @@ impl KvClient {
     /// The shard placement this client routes through.
     pub fn map(&self) -> &ShardMap {
         &self.map
+    }
+
+    /// The membership epoch this client believes is current.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Aligns the client's epoch counter with a configuration adopted out
+    /// of band (cluster-internal transfer clients are born mid-epoch, with
+    /// their placement already resolved; only the adoption threshold needs
+    /// to know the number).
+    pub fn align_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
     }
 
     /// The shard that serves `key`.
@@ -291,23 +322,42 @@ impl KvClient {
         value: impl Into<Value>,
     ) -> Result<Tag, KvError> {
         self.seq += 1;
+        let value: Value = value.into();
         let shard = self.map.shard_of(key);
-        let mut op = match self.mode {
-            KvMode::Replicated => {
-                WriteOp::replicated(self.writer, self.seq, self.cfg, value.into())
-            }
-            KvMode::Coded => WriteOp::coded(
-                self.writer,
-                self.seq,
-                self.cfg,
-                self.code.as_ref().expect("coded client holds a code"),
-                &value.into(),
-            ),
-        };
         let root = TraceCtx::for_op(&OpId::new(self.writer, self.seq), self.policy.trace_sample);
         let me = span::node::client(ClientId::Writer(self.writer));
         let started = self.note_start(root, me);
-        let (out, _) = self.drive_dyn(transport, shard, key, &mut op, root)?;
+        let mut evidence = SlowEvidence::default();
+        let mut hops = 0u32;
+        // Each epoch adoption re-issues the protocol op (same sequence
+        // number, same trace root) against the new membership — the shard
+        // ring depends only on seed and count, so the key's shard is
+        // stable across epochs.
+        let out = loop {
+            let mut op = match self.mode {
+                KvMode::Replicated => {
+                    WriteOp::replicated(self.writer, self.seq, self.cfg, value.clone())
+                }
+                KvMode::Coded => WriteOp::coded(
+                    self.writer,
+                    self.seq,
+                    self.cfg,
+                    self.code.as_ref().expect("coded client holds a code"),
+                    &value,
+                ),
+            };
+            match self.drive_dyn(transport, shard, key, &mut op, root, &mut evidence)? {
+                Some(out) => break out,
+                None if hops < MAX_EPOCH_HOPS => hops += 1,
+                None => {
+                    return Err(KvError::QuorumUnavailable {
+                        responded: 0,
+                        needed: self.cfg.response_quorum(),
+                        unreachable: 0,
+                    })
+                }
+            }
+        };
         self.note_op(shard, None);
         if root.is_sampled() {
             let now = wall_micros();
@@ -355,28 +405,41 @@ impl KvClient {
             .get(key)
             .cloned()
             .unwrap_or_else(|| (Tag::ZERO, Value::initial()));
-        let mut replicated;
-        let mut coded;
-        let op: &mut dyn ClientOp = match self.mode {
-            KvMode::Replicated => {
-                replicated = BsrReadOp::new(self.reader, self.seq, self.cfg, local);
-                &mut replicated
-            }
-            KvMode::Coded => {
-                coded = BcsrReadOp::new(
-                    self.reader,
-                    self.seq,
-                    self.cfg,
-                    self.code.clone().expect("coded client holds a code"),
-                );
-                &mut coded
-            }
-        };
         let root = TraceCtx::for_op(&OpId::new(self.reader, self.seq), self.policy.trace_sample);
         let me = span::node::client(ClientId::Reader(self.reader));
         let started = self.note_start(root, me);
-        let (out, evidence) = self.drive_dyn(transport, shard, key, &mut *op, root)?;
-        let path = op.read_path();
+        let mut evidence = SlowEvidence::default();
+        let mut hops = 0u32;
+        let (out, path) = loop {
+            let mut replicated;
+            let mut coded;
+            let op: &mut dyn ClientOp = match self.mode {
+                KvMode::Replicated => {
+                    replicated = BsrReadOp::new(self.reader, self.seq, self.cfg, local.clone());
+                    &mut replicated
+                }
+                KvMode::Coded => {
+                    coded = BcsrReadOp::new(
+                        self.reader,
+                        self.seq,
+                        self.cfg,
+                        self.code.clone().expect("coded client holds a code"),
+                    );
+                    &mut coded
+                }
+            };
+            match self.drive_dyn(transport, shard, key, &mut *op, root, &mut evidence)? {
+                Some(out) => break (out, op.read_path()),
+                None if hops < MAX_EPOCH_HOPS => hops += 1,
+                None => {
+                    return Err(KvError::QuorumUnavailable {
+                        responded: 0,
+                        needed: self.cfg.response_quorum(),
+                        unreachable: 0,
+                    })
+                }
+            }
+        };
         self.note_op(shard, path);
         // Every non-fast read gets a concrete cause, sampled or not — the
         // per-cause counters are the histogram the trace bench reports;
@@ -435,16 +498,23 @@ impl KvClient {
         now
     }
 
-    /// Drives one sans-io operation over the transport until it completes.
-    /// The op addresses logical replica indices `0 .. m−1`; this loop
-    /// translates them to the shard's physical replicas on send and back
-    /// on receive, so the protocol crates stay shard-oblivious.
+    /// Drives one sans-io operation over the transport until it completes
+    /// or a newer membership is adopted. The op addresses logical replica
+    /// indices `0 .. m−1`; this loop translates them to the shard's
+    /// physical replicas on send and back on receive, so the protocol
+    /// crates stay shard-oblivious.
     ///
-    /// Alongside the outcome it returns the [`SlowEvidence`] the retry
-    /// loop accumulated — retry passes, unreachable servers, reachable
-    /// silence, the op's validation failures, and (only when `trace` is
-    /// sampled, so the untraced path never reads a clock per RPC) the
-    /// spread between the fastest and slowest exchange.
+    /// Returns `Ok(None)` when `WrongEpoch` redirects from at least
+    /// `f + 1` distinct servers converged on the same newer configuration:
+    /// the client has already switched its map, epoch, and transport, and
+    /// the caller must re-issue the op against the new membership. A
+    /// single Byzantine replica cannot trigger this — nor can it forge a
+    /// digest `f` honest servers also vouch for.
+    ///
+    /// `evidence` accumulates across re-issues — retry passes, unreachable
+    /// servers, reachable silence, validation failures, adoptions, and
+    /// (only when `trace` is sampled, so the untraced path never reads a
+    /// clock per RPC) the spread between fastest and slowest exchange.
     fn drive_dyn(
         &mut self,
         transport: &mut impl KvTransport,
@@ -452,9 +522,9 @@ impl KvClient {
         key: &[u8],
         op: &mut dyn ClientOp,
         trace: TraceCtx,
-    ) -> Result<(OpOutput, SlowEvidence), KvError> {
+        evidence: &mut SlowEvidence,
+    ) -> Result<Option<OpOutput>, KvError> {
         let reg = safereg_obs::global();
-        let mut evidence = SlowEvidence::default();
         let rpc_trace = trace.with_phase(Phase::Rpc);
         let me_node = span::node::client(op.op_id().client);
         let mut queue: Vec<Envelope> = op.start();
@@ -467,17 +537,20 @@ impl KvClient {
         // merely wastes a bounded pass on a faulty one, so we re-ask.
         let mut failed: Vec<Envelope> = Vec::new();
         let mut unreachable: BTreeSet<ServerId> = BTreeSet::new();
+        // Membership votes: `(epoch, digest)` → the distinct physical
+        // servers vouching for that configuration via `WrongEpoch`.
+        let mut votes: BTreeMap<(u32, u64), (BTreeSet<ServerId>, EpochConfig)> = BTreeMap::new();
         let mut pass: u32 = 0;
-        let done = |op: &mut dyn ClientOp, out, mut evidence: SlowEvidence, pass, unr: usize| {
+        let done = |op: &mut dyn ClientOp, evidence: &mut SlowEvidence, pass, unr: usize| {
             evidence.retry_passes = pass;
             evidence.unreachable = unr as u32;
             evidence.validation_failures = u64::from(op.validation_failures());
-            (out, evidence)
         };
         loop {
             while let Some(env) = queue.pop() {
                 if let Some(out) = op.output() {
-                    return Ok(done(op, out, evidence, pass, unreachable.len()));
+                    done(op, evidence, pass, unreachable.len());
+                    return Ok(Some(out));
                 }
                 let (to, msg) = match (&env.dst, &env.msg) {
                     (dst, Message::ToServer(m)) => match dst.as_server() {
@@ -521,18 +594,68 @@ impl KvClient {
                 match outcome {
                     Ok(replies) => {
                         unreachable.remove(&phys);
-                        if replies.is_empty() {
-                            // Reachable silence: a dropped or corrupted
-                            // response. Queue for another ask next pass.
-                            evidence.silent += 1;
+                        let mut redirected = false;
+                        let mut proto = Vec::with_capacity(replies.len());
+                        for reply in replies {
+                            match reply {
+                                ServerToClient::WrongEpoch { config, .. } => {
+                                    redirected = true;
+                                    // Only *newer* views gather votes: a
+                                    // leaver redirecting with its stale
+                                    // config must never win back a client.
+                                    if config.epoch > self.epoch {
+                                        let slot = (config.epoch, config.digest());
+                                        votes
+                                            .entry(slot)
+                                            .or_insert_with(|| (BTreeSet::new(), config))
+                                            .0
+                                            .insert(phys);
+                                    }
+                                }
+                                other => proto.push(other),
+                            }
+                        }
+                        let threshold = self.cfg.witness_threshold();
+                        let adopt = votes
+                            .iter()
+                            .find(|(_, (voters, _))| voters.len() >= threshold)
+                            .map(|(slot, (_, config))| (*slot, config.clone()));
+                        if let Some((slot, config)) = adopt {
+                            match self.map.for_fleet(config.ids()) {
+                                Ok(map) => {
+                                    self.map = map;
+                                    self.epoch = config.epoch;
+                                    transport.reconfigure(&config);
+                                    evidence.reconfig += 1;
+                                    reg.counter(safereg_obs::names::KV_EPOCH_ADOPTIONS).inc();
+                                    done(op, evidence, pass, unreachable.len());
+                                    return Ok(None);
+                                }
+                                // A vouched-for fleet the ring cannot place
+                                // (fewer members than a shard needs) is
+                                // unusable; drop its votes and carry on.
+                                Err(_) => {
+                                    votes.remove(&slot);
+                                }
+                            }
+                        }
+                        if proto.is_empty() {
+                            if !redirected {
+                                // Reachable silence: a dropped or corrupted
+                                // response. Epoch skew (`redirected`) is
+                                // *not* silence — the server answered; it
+                                // just cannot serve this stamp.
+                                evidence.silent += 1;
+                            }
                             failed.push(env);
                             continue;
                         }
                         responded += 1;
-                        for reply in replies {
+                        for reply in proto {
                             queue.extend(op.on_message(to, &reply));
                             if let Some(out) = op.output() {
-                                return Ok(done(op, out, evidence, pass, unreachable.len()));
+                                done(op, evidence, pass, unreachable.len());
+                                return Ok(Some(out));
                             }
                         }
                     }
@@ -545,7 +668,8 @@ impl KvClient {
                 }
             }
             if let Some(out) = op.output() {
-                return Ok(done(op, out, evidence, pass, unreachable.len()));
+                done(op, evidence, pass, unreachable.len());
+                return Ok(Some(out));
             }
             if failed.is_empty() || pass >= self.policy.retry_budget {
                 break;

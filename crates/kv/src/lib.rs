@@ -30,7 +30,7 @@ pub mod tcp;
 
 pub use client::{KvClient, KvError, KvTransport, Unreachable};
 pub use cluster::InMemKvCluster;
-pub use server::{KvMode, KvServer};
+pub use server::{entry_digest, KvMode, KvServer};
 pub use tcp::{
     fetch_metrics, KvHostOptions, KvServerHost, TcpKvCluster, TcpKvTransport, METRICS_KEY,
 };

@@ -17,12 +17,15 @@
 use std::collections::BTreeMap;
 
 use safereg_common::buf::Bytes;
+use safereg_common::codec::Wire;
 use safereg_common::config::QuorumConfig;
-use safereg_common::ids::{ClientId, NodeId, ServerId};
-use safereg_common::msg::{ClientToServer, Envelope, Message, Payload, ServerToClient};
+use safereg_common::epoch::{ConfigStamp, EpochConfig};
+use safereg_common::ids::{ClientId, NodeId, ServerId, WriterId};
+use safereg_common::msg::{ClientToServer, Envelope, Message, OpId, Payload, ServerToClient};
 use safereg_common::rng::DetRng;
 use safereg_common::shard::{ShardId, ShardMap};
-use safereg_common::sync::Mutex;
+use safereg_common::sync::{Mutex, RwLock};
+use safereg_common::tag::Tag;
 use safereg_common::trace::{Phase, TraceCtx};
 use safereg_common::value::Value;
 use safereg_core::behavior::{ByzRole, ServerBehavior};
@@ -138,19 +141,82 @@ impl ShardGroup {
         let node = self
             .objects
             .entry(Bytes::copy_from_slice(key))
-            .or_insert_with(|| match mode {
-                KvMode::Replicated => ServerNode::new_replicated(id, cfg),
-                KvMode::Coded => {
-                    let k = cfg.mds_k().expect("checked at construction");
-                    let code = ReedSolomon::new(cfg.n(), k).expect("valid code");
-                    let initial = encode_value(&code, &Value::initial())
-                        .into_iter()
-                        .nth(id.0 as usize)
-                        .expect("element per server");
-                    ServerNode::with_initial(id, cfg, Payload::Coded(initial))
-                }
-            });
+            .or_insert_with(|| fresh_node(id, cfg, mode));
         node.handle(from, msg)
+    }
+
+    /// Installs a transferred `(tag, payload)` pair into this group's
+    /// honest register state for `key`, bypassing any Byzantine behavior
+    /// (transfer writes are cluster-internal, not client traffic). The
+    /// install is a synthesized `PUT-DATA` through the ordinary
+    /// [`ServerNode::handle`] path, so the protocol's own tag-monotonicity
+    /// rule applies — a concurrent genuinely-newer write is never clobbered.
+    fn install(&mut self, key: &[u8], tag: Tag, payload: Payload) {
+        let id = self.logical;
+        let cfg = self.cfg;
+        let mode = self.mode;
+        let node = self
+            .objects
+            .entry(Bytes::copy_from_slice(key))
+            .or_insert_with(|| fresh_node(id, cfg, mode));
+        let _ = node.handle(
+            ClientId::Writer(TRANSFER_WRITER),
+            &ClientToServer::PutData {
+                op: OpId::new(TRANSFER_WRITER, tag.num),
+                tag,
+                payload,
+            },
+        );
+    }
+
+    /// The keys with honest register state (Byzantine per-key behaviors
+    /// hold no transferable state).
+    fn keys(&self) -> Vec<Bytes> {
+        self.objects.keys().cloned().collect()
+    }
+
+    /// The highest-tag entry stored for `key`, if any.
+    fn top_entry(&self, key: &[u8]) -> Option<(Tag, Payload)> {
+        let node = self.objects.get(key)?;
+        let tag = node.max_tag();
+        let payload = node.stored(&tag)?.clone();
+        Some((tag, payload))
+    }
+}
+
+/// Writer id used for cluster-internal state-transfer installs; far above
+/// any id the harnesses allocate, so transfer tags never collide with a
+/// real writer's tag space (the tag itself is the *original* writer's).
+const TRANSFER_WRITER: WriterId = WriterId(0xFFFE);
+
+/// FNV-1a digest over the wire encoding of a `(tag, payload)` register
+/// entry. Pinned here (next to [`KvServer::payload_digest`], which uses
+/// it) so harnesses can compute the *expected* digest of a rebuilt coded
+/// fragment independently and compare it against what a joiner stores.
+pub fn entry_digest(tag: &Tag, payload: &Payload) -> u64 {
+    let mut buf = Vec::new();
+    tag.encode_to(&mut buf);
+    payload.encode_to(&mut buf);
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in buf {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A fresh per-key register in the representation `mode` dictates.
+fn fresh_node(id: ServerId, cfg: QuorumConfig, mode: KvMode) -> ServerNode {
+    match mode {
+        KvMode::Replicated => ServerNode::new_replicated(id, cfg),
+        KvMode::Coded => {
+            let k = cfg.mds_k().expect("checked at construction");
+            let code = ReedSolomon::new(cfg.n(), k).expect("valid code");
+            let initial = encode_value(&code, &Value::initial())
+                .into_iter()
+                .nth(id.0 as usize)
+                .expect("element per server");
+            ServerNode::with_initial(id, cfg, Payload::Coded(initial))
+        }
     }
 }
 
@@ -165,20 +231,37 @@ impl ShardGroup {
 /// [`Mutex`], so shared hosts (`Arc<KvServer>`) serve concurrent
 /// connections with per-shard locking instead of one process-wide lock,
 /// and roles can be rotated per shard while connections are live.
+///
+/// Membership is epoch-aware: the replica holds its current
+/// [`EpochConfig`] plus the [`ShardMap`] resolved over that epoch's fleet
+/// behind one [`RwLock`] (reads are the per-message dispatch path; writes
+/// happen only on reconfiguration). [`KvServer::check_stamp`] is the
+/// admission rule the TCP host applies to every authenticated frame, and
+/// [`KvServer::apply_config`] is the epoch-change entry point — it keeps
+/// the groups whose logical slot is unchanged and restarts (for state
+/// transfer) the ones that are new or re-placed, since a coded group's
+/// fragments are bound to its logical index.
 pub struct KvServer {
     id: ServerId,
-    map: ShardMap,
     mode: KvMode,
+    state: RwLock<ServerState>,
+}
+
+/// Epoch-scoped state: everything a reconfiguration swaps atomically.
+struct ServerState {
+    config: EpochConfig,
+    map: ShardMap,
     shards: BTreeMap<ShardId, Mutex<ShardGroup>>,
 }
 
 impl std::fmt::Debug for KvServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.read();
         f.debug_struct("KvServer")
             .field("id", &self.id)
             .field("mode", &self.mode)
-            .field("shards", &self.shards.len())
-            .field("keys", &self.key_count())
+            .field("epoch", &st.config.epoch)
+            .field("shards", &st.shards.len())
             .finish()
     }
 }
@@ -252,11 +335,15 @@ impl KvServer {
                 )
             })
             .collect();
+        let config = EpochConfig::genesis(map.fleet().iter().copied());
         KvServer {
             id,
-            map,
             mode,
-            shards,
+            state: RwLock::new(ServerState {
+                config,
+                map,
+                shards,
+            }),
         }
     }
 
@@ -265,26 +352,154 @@ impl KvServer {
         self.id
     }
 
-    /// The shard placement this replica was built from.
-    pub fn map(&self) -> &ShardMap {
-        &self.map
+    /// The storage representation this replica runs.
+    pub fn mode(&self) -> KvMode {
+        self.mode
+    }
+
+    /// The shard placement this replica currently serves (a snapshot —
+    /// reconfiguration replaces it).
+    pub fn map(&self) -> ShardMap {
+        self.state.read().map.clone()
+    }
+
+    /// The membership configuration this replica currently serves (a
+    /// snapshot).
+    pub fn config(&self) -> EpochConfig {
+        self.state.read().config.clone()
+    }
+
+    /// The current epoch number.
+    pub fn epoch(&self) -> u32 {
+        self.state.read().config.epoch
+    }
+
+    /// The wire fingerprint of the current configuration.
+    pub fn stamp(&self) -> ConfigStamp {
+        self.state.read().config.stamp()
+    }
+
+    /// Admission rule for authenticated frames: accepts a stamp iff it
+    /// fingerprints this replica's current configuration. On mismatch the
+    /// caller must answer `WrongEpoch` with the returned config — both a
+    /// *stale* client (lower epoch) and a *newer* one (this replica has
+    /// not switched yet) get redirected; the client's `f + 1`-vote rule
+    /// sorts out which side is behind.
+    ///
+    /// # Errors
+    ///
+    /// The replica's current configuration, to be carried in the redirect.
+    pub fn check_stamp(&self, stamp: ConfigStamp) -> Result<(), EpochConfig> {
+        let st = self.state.read();
+        if stamp.matches(&st.config) {
+            Ok(())
+        } else {
+            Err(st.config.clone())
+        }
+    }
+
+    /// Switches this replica to `config`, re-resolving its groups under
+    /// `map` (which must be the placement over `config`'s fleet). Returns
+    /// the shards whose group restarted **empty** and needs state
+    /// transfer before this replica can usefully answer for them: for
+    /// coded groups that is brand-new placements *and* re-placed ones (a
+    /// fragment is bound to its logical index, so relabeled state is
+    /// unusable); replicated groups hold the full value, so a relabel
+    /// just renames the slot in place and the state — registers, role,
+    /// fault streams — carries across the epoch. Configs older than the
+    /// current epoch are ignored.
+    pub fn apply_config(&self, config: EpochConfig, map: ShardMap) -> Vec<ShardId> {
+        let mut st = self.state.write();
+        if config.epoch < st.config.epoch {
+            return Vec::new();
+        }
+        let cfg = map.shard_config();
+        let mut needs = Vec::new();
+        let mut shards = BTreeMap::new();
+        let mut prev = std::mem::take(&mut st.shards);
+        for g in map.shards_of_server(self.id) {
+            let logical = map
+                .logical_of(g, self.id)
+                .expect("shards_of_server returns hosted shards");
+            match prev.remove(&g) {
+                Some(group)
+                    if self.mode == KvMode::Replicated || group.lock().logical == logical =>
+                {
+                    group.lock().logical = logical;
+                    shards.insert(g, group);
+                }
+                old => {
+                    let (role, byz_seed) = old
+                        .map(Mutex::into_inner)
+                        .map_or((ByzRole::Correct, 0), |o| (o.role, o.byz_seed));
+                    shards.insert(
+                        g,
+                        Mutex::new(ShardGroup::new(logical, cfg, self.mode, role, byz_seed)),
+                    );
+                    needs.push(g);
+                }
+            }
+        }
+        // Shards left in `prev` are no longer placed here; their state drops.
+        st.shards = shards;
+        st.map = map;
+        st.config = config;
+        needs
+    }
+
+    /// Installs one transferred `(tag, payload)` pair for `key` into the
+    /// group serving `shard`. Returns `false` when this replica does not
+    /// serve the shard.
+    pub fn install_state(&self, shard: ShardId, key: &[u8], tag: Tag, payload: Payload) -> bool {
+        let st = self.state.read();
+        match st.shards.get(&shard) {
+            Some(group) => {
+                group.lock().install(key, tag, payload);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The keys with honest register state in the group serving `shard`
+    /// (empty when this replica does not serve the shard). Donor-side
+    /// enumeration for state transfer.
+    pub fn keys_of_shard(&self, shard: ShardId) -> Vec<Bytes> {
+        let st = self.state.read();
+        st.shards
+            .get(&shard)
+            .map(|g| g.lock().keys())
+            .unwrap_or_default()
+    }
+
+    /// FNV-1a digest of the highest-tag `(tag, payload)` entry stored for
+    /// `key` in `shard` — `None` when the shard is unserved or the key has
+    /// no state. The churn harness compares a rebuilt coded fragment
+    /// against an independently computed expectation through this.
+    pub fn payload_digest(&self, shard: ShardId, key: &[u8]) -> Option<u64> {
+        let st = self.state.read();
+        let group = st.shards.get(&shard)?;
+        let (tag, payload) = group.lock().top_entry(key)?;
+        Some(entry_digest(&tag, &payload))
     }
 
     /// The shards this replica hosts a register group for.
-    pub fn shards(&self) -> impl Iterator<Item = ShardId> + '_ {
-        self.shards.keys().copied()
+    pub fn shards(&self) -> Vec<ShardId> {
+        self.state.read().shards.keys().copied().collect()
     }
 
     /// The role the group for `shard` plays, or `None` when this replica
     /// does not serve the shard.
     pub fn shard_role(&self, shard: ShardId) -> Option<ByzRole> {
-        self.shards.get(&shard).map(|g| g.lock().role)
+        self.state.read().shards.get(&shard).map(|g| g.lock().role)
     }
 
     /// The role of this replica's first group — the whole-replica role
     /// for single-shard deployments.
     pub fn role(&self) -> ByzRole {
-        self.shards
+        self.state
+            .read()
+            .shards
             .values()
             .next()
             .map_or(ByzRole::Correct, |g| g.lock().role)
@@ -294,7 +509,7 @@ impl KvServer {
     /// flowing; only that shard's lock is taken). Returns `false` when
     /// this replica does not serve the shard.
     pub fn set_shard_role(&self, shard: ShardId, role: ByzRole, byz_seed: u64) -> bool {
-        match self.shards.get(&shard) {
+        match self.state.read().shards.get(&shard) {
             Some(group) => {
                 group.lock().set_role(role, byz_seed);
                 true
@@ -306,12 +521,22 @@ impl KvServer {
     /// Number of keys this replica has register state for, over all
     /// groups.
     pub fn key_count(&self) -> usize {
-        self.shards.values().map(|g| g.lock().key_count()).sum()
+        self.state
+            .read()
+            .shards
+            .values()
+            .map(|g| g.lock().key_count())
+            .sum()
     }
 
     /// Total payload bytes stored across all groups.
     pub fn storage_bytes(&self) -> usize {
-        self.shards.values().map(|g| g.lock().storage_bytes()).sum()
+        self.state
+            .read()
+            .shards
+            .values()
+            .map(|g| g.lock().storage_bytes())
+            .sum()
     }
 
     /// Handles one register message addressed to `key` within `shard`.
@@ -342,7 +567,8 @@ impl KvServer {
         msg: &ClientToServer,
         trace: TraceCtx,
     ) -> Vec<ServerToClient> {
-        let Some(group) = self.shards.get(&shard) else {
+        let st = self.state.read();
+        let Some(group) = st.shards.get(&shard) else {
             return Vec::new();
         };
         if !trace.is_sampled() {
@@ -522,7 +748,7 @@ mod tests {
         // Every shard uses all 5 servers (m = n = 5), so server 0 hosts
         // all four groups.
         let s = KvServer::sharded(ServerId(0), map, KvMode::Replicated);
-        assert_eq!(s.shards().count(), 4);
+        assert_eq!(s.shards().len(), 4);
         assert!(s.set_shard_role(ShardId(1), ByzRole::Silent, 9));
         assert_eq!(s.shard_role(ShardId(1)), Some(ByzRole::Silent));
         assert_eq!(s.shard_role(ShardId(0)), Some(ByzRole::Correct));
@@ -542,5 +768,78 @@ mod tests {
             .handle(ClientId::Reader(ReaderId(0)), ShardId(1), b"k", &q)
             .is_empty());
         assert!(!s.set_shard_role(ShardId(99), ByzRole::Silent, 0));
+    }
+
+    #[test]
+    fn stamp_admission_follows_the_current_config() {
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let s = KvServer::new(ServerId(0), cfg);
+        let genesis = s.config();
+        assert_eq!(genesis.epoch, 0);
+        assert!(s.check_stamp(genesis.stamp()).is_ok());
+
+        let next = genesis.with_added(safereg_common::epoch::Member::unaddressed(ServerId(9)));
+        let current = s.check_stamp(next.stamp()).unwrap_err();
+        assert_eq!(current, genesis, "redirect carries the server's view");
+    }
+
+    #[test]
+    fn apply_config_keeps_unmoved_groups_and_restarts_replaced_ones() {
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap(); // m = 5
+        let fleet: Vec<ServerId> = (0..6).map(ServerId).collect();
+        let map = ShardMap::new(11, 2, fleet, cfg).unwrap();
+        let sid = map.replicas(G0).unwrap()[0];
+        let s = KvServer::sharded(sid, map.clone(), KvMode::Replicated);
+        s.handle(
+            ClientId::Writer(WriterId(0)),
+            G0,
+            b"k",
+            &ClientToServer::PutData {
+                op: OpId::new(WriterId(0), 3),
+                tag: Tag::new(3, WriterId(0)),
+                payload: Payload::Full(Value::from("kept")),
+            },
+        );
+
+        // Same placement at a bumped epoch: every logical slot unchanged,
+        // state carries over, nothing needs transfer.
+        let same = map.for_fleet(map.fleet().to_vec()).unwrap();
+        let cfg1 = s
+            .config()
+            .with_added(safereg_common::epoch::Member::unaddressed(ServerId(99)));
+        // (membership digest differs from the map's fleet here, which is
+        // fine — apply_config trusts its caller, the cluster orchestrator)
+        let needs = s.apply_config(cfg1.clone(), same);
+        assert!(needs.is_empty(), "unmoved groups carry state: {needs:?}");
+        assert_eq!(s.epoch(), 1);
+        assert!(s.payload_digest(G0, b"k").is_some(), "state survived");
+
+        // Stale configs are ignored.
+        let stale = EpochConfig::genesis(map.fleet().iter().copied());
+        assert!(s.apply_config(stale, map.clone()).is_empty());
+        assert_eq!(s.epoch(), 1, "epoch never goes backwards");
+    }
+
+    #[test]
+    fn install_state_feeds_tag_monotonic_registers() {
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let s = KvServer::new(ServerId(0), cfg);
+        assert!(s.install_state(
+            G0,
+            b"k",
+            Tag::new(7, WriterId(2)),
+            Payload::Full(Value::from("transferred")),
+        ));
+        assert_eq!(get_tag(&s, b"k"), Tag::new(7, WriterId(2)));
+        // An older transfer never clobbers newer state.
+        assert!(s.install_state(
+            G0,
+            b"k",
+            Tag::new(3, WriterId(2)),
+            Payload::Full(Value::from("stale")),
+        ));
+        assert_eq!(get_tag(&s, b"k"), Tag::new(7, WriterId(2)));
+        assert!(!s.install_state(ShardId(9), b"k", Tag::ZERO, Payload::Full(Value::initial())));
+        assert_eq!(s.keys_of_shard(G0), vec![Bytes::copy_from_slice(b"k")]);
     }
 }

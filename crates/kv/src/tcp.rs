@@ -30,7 +30,8 @@ use std::time::Duration;
 use safereg_common::buf::Bytes;
 use safereg_common::codec::{BytesReader, Wire, WireError, WireReader};
 use safereg_common::config::{QuorumConfig, TransportConfig};
-use safereg_common::ids::{ClientId, NodeId, ServerId};
+use safereg_common::epoch::{ConfigStamp, EpochConfig, Member};
+use safereg_common::ids::{ClientId, NodeId, ReaderId, ServerId, WriterId};
 use safereg_common::msg::{ClientToServer, Envelope, Message, ServerToClient};
 use safereg_common::shard::{ShardId, ShardMap};
 use safereg_common::sync::channel::{bounded, BoundedSender, SendTimeoutError, ShedPolicy};
@@ -49,7 +50,10 @@ use safereg_obs::trace::{wall_micros, MsgClass};
 use safereg_transport::chaos::{ChaosProxy, FaultPlan};
 use safereg_transport::write_all_vectored;
 
-use crate::client::{KvTransport, Unreachable};
+use safereg_mds::rs::ReedSolomon;
+use safereg_mds::stripe::encode_value;
+
+use crate::client::{KvClient, KvTransport, Unreachable};
 use crate::server::{KvMode, KvServer};
 
 /// Reserved key addressing the replica's observability dump rather than a
@@ -61,11 +65,15 @@ pub const METRICS_KEY: &[u8] = b"__safereg/metrics";
 
 /// One shard- and key-addressed message on the wire, carrying its causal
 /// trace context (always present — [`TraceCtx::NONE`] when unsampled — so
-/// the frame layout never depends on sampling and the MAC covers it).
+/// the frame layout never depends on sampling and the MAC covers it) and
+/// the sender's [`ConfigStamp`] — the epoch fingerprint a server checks
+/// before dispatching, likewise MAC-covered so a Byzantine network cannot
+/// splice a frame from one epoch into another.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct KvFrame {
     shard: ShardId,
     trace: TraceCtx,
+    stamp: ConfigStamp,
     key: Bytes,
     env: Envelope,
 }
@@ -74,6 +82,7 @@ impl Wire for KvFrame {
     fn encode_to(&self, buf: &mut Vec<u8>) {
         self.shard.encode_to(buf);
         self.trace.encode_to(buf);
+        self.stamp.encode_to(buf);
         self.key.encode_to(buf);
         self.env.encode_to(buf);
     }
@@ -82,6 +91,7 @@ impl Wire for KvFrame {
         Ok(KvFrame {
             shard: ShardId::decode_from(r)?,
             trace: TraceCtx::decode_from(r)?,
+            stamp: ConfigStamp::decode_from(r)?,
             key: Bytes::decode_from(r)?,
             env: Envelope::decode_from(r)?,
         })
@@ -93,6 +103,7 @@ impl Wire for KvFrame {
         Ok(KvFrame {
             shard: ShardId::decode_borrowed(r)?,
             trace: TraceCtx::decode_borrowed(r)?,
+            stamp: ConfigStamp::decode_borrowed(r)?,
             key: Bytes::decode_borrowed(r)?,
             env: Envelope::decode_borrowed(r)?,
         })
@@ -105,10 +116,12 @@ impl KvFrame {
     /// carries one). `head ++ tail` equals [`Wire::to_bytes`] byte for byte.
     fn encode_parts(&self) -> (Vec<u8>, Option<Bytes>) {
         let (env_head, tail) = self.env.encode_parts();
-        let mut head =
-            Vec::with_capacity(10 + TraceCtx::WIRE_LEN + self.key.len() + env_head.len());
+        let mut head = Vec::with_capacity(
+            10 + TraceCtx::WIRE_LEN + ConfigStamp::WIRE_LEN + self.key.len() + env_head.len(),
+        );
         self.shard.encode_to(&mut head);
         self.trace.encode_to(&mut head);
+        self.stamp.encode_to(&mut head);
         self.key.encode_to(&mut head);
         head.extend_from_slice(&env_head);
         (head, tail)
@@ -435,6 +448,12 @@ impl KvServerHost {
         }
         reg.gauge(names::KV_SHARD_HOT);
         reg.gauge(names::KV_SHARD_HOT_OPS);
+        // Epoch/reconfiguration series, likewise schema-stable from spawn.
+        reg.gauge(names::KV_EPOCH_CURRENT).set(0);
+        reg.counter(names::KV_EPOCH_STALE_FRAMES);
+        reg.counter(names::KV_EPOCH_ADOPTIONS);
+        reg.counter(names::KV_EPOCH_RECONFIGS);
+        reg.counter(names::KV_TRANSFER_KEYS);
 
         let host_server = Arc::clone(&server);
         let accept_stop = Arc::clone(&stop);
@@ -494,6 +513,55 @@ impl KvServerHost {
     /// replica does not serve the shard.
     pub fn set_shard_role(&self, shard: ShardId, role: ByzRole, byz_seed: u64) -> bool {
         self.server.set_shard_role(shard, role, byz_seed)
+    }
+
+    /// The membership epoch this replica currently serves.
+    pub fn epoch(&self) -> u32 {
+        self.server.epoch()
+    }
+
+    /// The membership configuration this replica currently serves.
+    pub fn epoch_config(&self) -> EpochConfig {
+        self.server.config()
+    }
+
+    /// Switches this replica to `config` with placement `map`, returning
+    /// the shards whose register group restarted empty and needs state
+    /// transfer (see [`KvServer::apply_config`]). Live — connections keep
+    /// flowing; frames stamped with the old epoch get `WrongEpoch` from
+    /// the next dispatch on.
+    pub fn apply_config(&self, config: EpochConfig, map: ShardMap) -> Vec<ShardId> {
+        let needs = self.server.apply_config(config, map);
+        safereg_obs::global()
+            .gauge(names::KV_EPOCH_CURRENT)
+            .set(u64::from(self.server.epoch()));
+        needs
+    }
+
+    /// Installs one transferred `(tag, payload)` pair (see
+    /// [`KvServer::install_state`]).
+    pub fn install_state(&self, shard: ShardId, key: &[u8], tag: Tag, payload: Payload) -> bool {
+        self.server.install_state(shard, key, tag, payload)
+    }
+
+    /// Donor-side key enumeration for state transfer.
+    pub fn keys_of_shard(&self, shard: ShardId) -> Vec<Bytes> {
+        self.server.keys_of_shard(shard)
+    }
+
+    /// Digest of the highest-tag entry stored for `key` in `shard` (see
+    /// [`KvServer::payload_digest`]).
+    pub fn payload_digest(&self, shard: ShardId, key: &[u8]) -> Option<u64> {
+        self.server.payload_digest(shard, key)
+    }
+
+    /// Retires a leaving replica: waits out `grace` so in-flight replies
+    /// drain through the bounded per-connection outboxes (the hand-off —
+    /// clients stamped with the new epoch have already stopped counting
+    /// this replica), then stops the host.
+    pub fn retire(&mut self, grace: Duration) {
+        std::thread::sleep(grace);
+        self.stop();
     }
 
     /// Stops the host (proxy first, then the listener).
@@ -662,7 +730,7 @@ fn serve(
         if frame.key.as_slice() == METRICS_KEY {
             if let ClientToServer::QueryData { op } = msg {
                 let mut dump = safereg_obs::render_jsonl(&safereg_obs::global().snapshot());
-                dump.push_str(&placement_summary(server.map()));
+                dump.push_str(&placement_summary(&server.map()));
                 let resp = ServerToClient::DataResp {
                     op: *op,
                     tag: Tag::ZERO,
@@ -671,6 +739,7 @@ fn serve(
                 let reply = KvFrame {
                     shard: frame.shard,
                     trace: frame.trace.hopped(Phase::Reply),
+                    stamp: frame.stamp,
                     key: frame.key.clone(),
                     env: Envelope::to_client(me, from, resp),
                 };
@@ -678,6 +747,32 @@ fn serve(
                 if !enqueue_reply(&reply_tx, SealedKv::seal(&codec, &reply), &tconfig) {
                     return;
                 }
+            }
+            continue;
+        }
+        // Epoch admission (the admin path above deliberately bypasses it:
+        // operators must be able to read metrics from a replica whatever
+        // epoch it serves). A mismatched stamp is answered with this
+        // replica's full configuration; the client's `f + 1`-vote rule
+        // decides whether to adopt it.
+        if let Err(current) = server.check_stamp(frame.stamp) {
+            safereg_obs::global()
+                .counter(names::KV_EPOCH_STALE_FRAMES)
+                .inc();
+            let resp = ServerToClient::WrongEpoch {
+                op: msg.op(),
+                config: current,
+            };
+            let reply = KvFrame {
+                shard: frame.shard,
+                trace: frame.trace.hopped(Phase::Reply),
+                stamp: frame.stamp,
+                key: frame.key.clone(),
+                env: Envelope::to_client(me, from, resp),
+            };
+            let codec = AuthCodec::new(chain.pair_key(reply.env.src, reply.env.dst));
+            if !enqueue_reply(&reply_tx, SealedKv::seal(&codec, &reply), &tconfig) {
+                return;
             }
             continue;
         }
@@ -691,6 +786,7 @@ fn serve(
             let reply = KvFrame {
                 shard: frame.shard,
                 trace: frame.trace.hopped(Phase::Reply),
+                stamp: frame.stamp,
                 key: frame.key.clone(),
                 env: Envelope::to_client(me, from, resp),
             };
@@ -800,6 +896,11 @@ pub struct TcpKvTransport {
     chain: KeyChain,
     links: BTreeMap<ServerId, KvLink>,
     config: TransportConfig,
+    /// The epoch fingerprint stamped into every outgoing frame. Starts as
+    /// the genesis stamp over the connected fleet; updated by
+    /// [`reconfigure`](KvTransport::reconfigure) when the client adopts a
+    /// newer membership.
+    stamp: ConfigStamp,
     /// Jitter rolls for backoff waits.
     rng: safereg_common::rng::DetRng,
 }
@@ -852,8 +953,14 @@ impl TcpKvTransport {
             chain,
             links,
             config,
+            stamp: EpochConfig::genesis(servers.keys().copied()).stamp(),
             rng: safereg_common::rng::DetRng::seed_from(0x5AFE_4B56),
         }
+    }
+
+    /// The epoch fingerprint currently stamped into outgoing frames.
+    pub fn stamp(&self) -> ConfigStamp {
+        self.stamp
     }
 
     /// Overrides the per-exchange response timeout.
@@ -958,6 +1065,7 @@ impl KvTransport for TcpKvTransport {
         let frame = KvFrame {
             shard,
             trace,
+            stamp: self.stamp,
             key: Bytes::copy_from_slice(key),
             env: Envelope::to_server(from, to, msg.clone()),
         };
@@ -1010,6 +1118,44 @@ impl KvTransport for TcpKvTransport {
             _ => Ok(Vec::new()),
         }
     }
+
+    /// Switches the transport to a newly adopted membership: stamps future
+    /// frames with the new epoch's fingerprint, drops links to ex-members,
+    /// opens (lazy) links to joiners whose address the config carries, and
+    /// re-addresses members whose address changed. Members the config has
+    /// no address for keep their existing link — the digest never covered
+    /// addresses, so an id-only view is still a full adoption.
+    fn reconfigure(&mut self, config: &EpochConfig) {
+        self.stamp = config.stamp();
+        self.links.retain(|sid, _| config.contains(*sid));
+        for m in &config.members {
+            let Some(addr) = m.addr() else { continue };
+            match self.links.get_mut(&m.id) {
+                Some(link) if link.addr == addr => {}
+                Some(link) => {
+                    link.addr = addr;
+                    link.stream = None;
+                    link.failures = 0;
+                    link.next_retry_at = None;
+                }
+                None => {
+                    safereg_obs::global()
+                        .gauge(&safereg_obs::names::link_state_gauge("kv", m.id.0))
+                        .set(u64::from(STATE_CLOSED));
+                    self.links.insert(
+                        m.id,
+                        KvLink {
+                            addr,
+                            stream: None, // connected lazily on first exchange
+                            failures: 0,
+                            state: STATE_CLOSED,
+                            next_retry_at: None,
+                        },
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// Fetches one replica's metrics dump (line-oriented JSON) over any
@@ -1046,13 +1192,36 @@ pub fn fetch_metrics(
     })
 }
 
+/// Writer/reader identity used by cluster-internal state-transfer reads;
+/// far above any id the harnesses allocate.
+const TRANSFER_CLIENT: u16 = 0xFFFD;
+
+/// One staged state-transfer install: `(target, shard, key, tag, payload)`.
+type TransferEntry = (ServerId, ShardId, Bytes, Tag, Payload);
+
 /// A whole KV deployment on loopback TCP: one host per fleet server,
 /// each serving a register group per shard placed on it.
+///
+/// The cluster is the reconfiguration orchestrator: [`add_replica`],
+/// [`remove_replica`] and [`replace_replica`] perform rolling membership
+/// changes (one replica per step, epoch bumped per step) with cross-epoch
+/// state transfer — every re-placed or joining register group is rebuilt
+/// from a quorum of the *old* epoch before the fleet flips, so quorum
+/// intersection holds across the boundary while reads and writes keep
+/// running.
+///
+/// [`add_replica`]: TcpKvCluster::add_replica
+/// [`remove_replica`]: TcpKvCluster::remove_replica
+/// [`replace_replica`]: TcpKvCluster::replace_replica
 #[derive(Debug)]
 pub struct TcpKvCluster {
     map: ShardMap,
     chain: KeyChain,
     tconfig: TransportConfig,
+    mode: KvMode,
+    /// The current membership view, addresses included — the config new
+    /// servers are flipped to and `WrongEpoch` redirects advertise.
+    config: EpochConfig,
     /// The server-side fault plan every replica is fronted with, if any;
     /// restarts respawn the proxy with the same plan on the old address.
     plan: Option<FaultPlan>,
@@ -1144,10 +1313,19 @@ impl TcpKvCluster {
                 )?,
             );
         }
+        let config = EpochConfig::at_epoch(
+            0,
+            hosts
+                .iter()
+                .map(|(s, h)| Member::at(*s, h.addr()))
+                .collect(),
+        );
         Ok(TcpKvCluster {
             map,
             chain,
             tconfig,
+            mode,
+            config,
             plan,
             hosts,
         })
@@ -1175,16 +1353,36 @@ impl TcpKvCluster {
         &self.chain
     }
 
-    /// A transport connected to every live replica.
+    /// A transport connected to every live replica, stamped with the
+    /// cluster's current epoch.
     pub fn transport(&self) -> TcpKvTransport {
-        TcpKvTransport::connect(&self.addrs(), self.chain.clone())
+        self.transport_with(TransportConfig::default())
     }
 
     /// A transport with an explicit policy (e.g.
     /// [`TransportConfig::aggressive`](safereg_common::config::TransportConfig::aggressive)
     /// for fault-injection tests).
     pub fn transport_with(&self, config: TransportConfig) -> TcpKvTransport {
-        TcpKvTransport::connect_with(&self.addrs(), self.chain.clone(), config)
+        let mut t = TcpKvTransport::connect_with(&self.addrs(), self.chain.clone(), config);
+        t.reconfigure(&self.config);
+        t
+    }
+
+    /// The current membership epoch.
+    pub fn epoch(&self) -> u32 {
+        self.config.epoch
+    }
+
+    /// The current membership configuration (addresses included).
+    pub fn epoch_config(&self) -> &EpochConfig {
+        &self.config
+    }
+
+    /// Digest of the highest-tag entry replica `sid` stores for `key` in
+    /// `shard` — the churn harness's fragment-rebuild assertion reads
+    /// this. `None` when the replica is unknown, unplaced, or empty.
+    pub fn payload_digest(&self, sid: ServerId, shard: ShardId, key: &[u8]) -> Option<u64> {
+        self.hosts.get(&sid)?.payload_digest(shard, key)
     }
 
     /// Crashes a replica.
@@ -1194,17 +1392,51 @@ impl TcpKvCluster {
         }
     }
 
-    /// Restarts a crashed replica on its **old advertised address** with
-    /// empty register state — a crash-recover server. A chaos-fronted
-    /// replica gets a fresh proxy with the same plan on the same address.
-    /// Safe for `≤ f` replicas: the register protocol treats lost state
-    /// like a slow server that never saw the writes. Restarting always
-    /// restores the replica to [`ByzRole::Correct`].
+    /// Restarts a crashed replica on its **old advertised address**,
+    /// pulling its register state back from a quorum of its peers before
+    /// returning — a crash-recover server is *not* allowed to rejoin
+    /// amnesiac. Without the pull, a restarted replica mid-epoch answers
+    /// `ZERO` tags; paired with `f` Byzantine replicas that is enough to
+    /// starve a later read of its `f + 1` witnesses or (worse) vouch for a
+    /// stale tag. A chaos-fronted replica gets a fresh proxy with the same
+    /// plan on the same address. Restarting always restores the replica to
+    /// [`ByzRole::Correct`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors (e.g. the old port was reclaimed) and
+    /// quorum failures during the state pull.
+    pub fn restart(&mut self, sid: ServerId, mode: KvMode) -> std::io::Result<()> {
+        self.respawn(sid, mode, ByzRole::Correct, 0)?;
+        let needs = BTreeMap::from([(sid, self.map.shards_of_server(sid))]);
+        // Same-epoch pull: donors and receiver share the current config,
+        // so the transferred entries are installed directly (no flip).
+        let staged = self.pull_entries(&needs, &self.map, &self.config, &self.map)?;
+        safereg_obs::global()
+            .counter(names::KV_TRANSFER_KEYS)
+            .add(staged.len() as u64);
+        for (target, shard, key, tag, payload) in staged {
+            if let Some(host) = self.hosts.get(&target) {
+                host.install_state(shard, &key, tag, payload);
+            }
+        }
+        Ok(())
+    }
+
+    /// Restarts a replica **without** the state pull: it rejoins with
+    /// empty registers, exactly the amnesiac crash-recovery hazard
+    /// [`restart`] exists to close. Fault-injection harnesses use this to
+    /// manufacture slow reads deliberately — after enough amnesiac
+    /// restarts no `f + 1` replicas still witness a reader's cached pair,
+    /// so every following read is forced onto the slow path. Production
+    /// paths must use [`restart`].
+    ///
+    /// [`restart`]: TcpKvCluster::restart
     ///
     /// # Errors
     ///
     /// Propagates bind errors (e.g. the old port was reclaimed).
-    pub fn restart(&mut self, sid: ServerId, mode: KvMode) -> std::io::Result<()> {
+    pub fn restart_amnesiac(&mut self, sid: ServerId, mode: KvMode) -> std::io::Result<()> {
         self.respawn(sid, mode, ByzRole::Correct, 0)
     }
 
@@ -1304,6 +1536,9 @@ impl TcpKvCluster {
                 shards: Some(self.map.clone()),
             },
         )?;
+        // A fresh host boots at the genesis epoch; mid-epoch respawns must
+        // serve the cluster's current config or every frame bounces.
+        host.apply_config(self.config.clone(), self.map.clone());
         self.hosts.insert(sid, host);
         let reg = safereg_obs::global();
         reg.counter(names::SERVER_RESTARTS).inc();
@@ -1314,6 +1549,306 @@ impl TcpKvCluster {
             .count();
         reg.gauge(names::SERVER_BYZ_ACTIVE).set(byz as u64);
         Ok(())
+    }
+
+    /// Grows the fleet by one replica (epoch + 1). The joiner spawns on an
+    /// ephemeral address, rebuilds every register group placed on it from
+    /// a quorum of the old epoch *before* the fleet flips — the coded-mode
+    /// joiner rebuilds its **own** fragment by decoding full values from
+    /// `m − f` donors' slices and re-encoding its logical slot — and only
+    /// then starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Bind errors, an already-present joiner id, or a failed transfer
+    /// quorum.
+    pub fn add_replica(&mut self, joiner: ServerId) -> std::io::Result<()> {
+        self.reconfigure_to(&[joiner], &[])
+    }
+
+    /// Shrinks the fleet by one replica (epoch + 1). The leaver keeps
+    /// serving the old epoch through the transfer, then drains its
+    /// outboxes and stops — its `WrongEpoch` answers carry a *lower*
+    /// epoch, which no client adopts.
+    ///
+    /// # Errors
+    ///
+    /// A fleet that would drop below the per-shard replica count, or a
+    /// failed transfer quorum.
+    pub fn remove_replica(&mut self, leaver: ServerId) -> std::io::Result<()> {
+        self.reconfigure_to(&[], &[leaver])
+    }
+
+    /// Swaps one replica for another in a single epoch bump — the rolling
+    /// upgrade step. State flows donors → joiner around the flip (coded
+    /// snapshots pre-flip, replicated pulls post-flip); the leaver then
+    /// retires as in [`remove_replica`].
+    ///
+    /// # Errors
+    ///
+    /// As [`add_replica`] and [`remove_replica`].
+    ///
+    /// [`remove_replica`]: TcpKvCluster::remove_replica
+    /// [`add_replica`]: TcpKvCluster::add_replica
+    pub fn replace_replica(&mut self, out: ServerId, joiner: ServerId) -> std::io::Result<()> {
+        self.reconfigure_to(&[joiner], &[out])
+    }
+
+    /// One rolling reconfiguration step: pull the state the new placement
+    /// is missing, flip every surviving member to the new config, install
+    /// the staged entries, then retire the leavers — with the pull placed
+    /// on the side of the flip that is sound for the mode (see the
+    /// ordering comment in the body): coded groups snapshot at the old
+    /// epoch *before* the flip (fragments only decode against the old
+    /// logical slots — placements sort replicas by physical id, so a
+    /// small-id joiner relabels every higher member, and flipping first
+    /// would destroy the donor state the transfer still needs), while
+    /// replicated groups pull at the new epoch *after* the flip (a
+    /// pre-flip snapshot races concurrent writes and lets a joiner vouch
+    /// for a superseded tag).
+    fn reconfigure_to(
+        &mut self,
+        joiners: &[ServerId],
+        leavers: &[ServerId],
+    ) -> std::io::Result<()> {
+        let old_map = self.map.clone();
+        let old_config = self.config.clone();
+        let fleet: Vec<ServerId> = old_config
+            .ids()
+            .into_iter()
+            .filter(|s| !leavers.contains(s))
+            .chain(joiners.iter().copied())
+            .collect();
+        let new_map = old_map.for_fleet(fleet).map_err(|e| {
+            std::io::Error::new(
+                ErrorKind::InvalidInput,
+                format!("no placement over the new fleet: {e:?}"),
+            )
+        })?;
+        // Joiners spawn with the *new* placement (right logical slots from
+        // the start) but stay out of the serving epoch until the flip.
+        let mut joined: BTreeMap<ServerId, KvServerHost> = BTreeMap::new();
+        for sid in joiners {
+            if self.hosts.contains_key(sid) {
+                return Err(std::io::Error::new(
+                    ErrorKind::InvalidInput,
+                    format!("joiner {sid:?} is already a fleet member"),
+                ));
+            }
+            joined.insert(
+                *sid,
+                KvServerHost::spawn_opts(
+                    *sid,
+                    new_map.shard_config(),
+                    self.mode,
+                    self.chain.clone(),
+                    ("127.0.0.1", 0),
+                    KvHostOptions {
+                        tconfig: self.tconfig,
+                        chaos: self.plan.clone(),
+                        shards: Some(new_map.clone()),
+                        ..KvHostOptions::default()
+                    },
+                )?,
+            );
+        }
+        // The successor config advertises every member's address — the
+        // `WrongEpoch` redirect is how clients learn where a joiner lives.
+        let members: Vec<Member> = self
+            .hosts
+            .iter()
+            .filter(|(s, _)| !leavers.contains(s))
+            .chain(joined.iter())
+            .map(|(s, h)| Member::at(*s, h.addr()))
+            .collect();
+        let new_config = EpochConfig::at_epoch(old_config.epoch + 1, members);
+        // Dry-run placement diff, mirroring `apply_config`'s restart rule:
+        // a coded (host, shard) pair needs transfer iff it is newly placed
+        // or lands on a different logical slot (fragments are bound to
+        // their index); a replicated one only iff newly placed — a relabel
+        // renames the slot in place and the full value carries across.
+        let mut needs: BTreeMap<ServerId, Vec<ShardId>> = BTreeMap::new();
+        for sid in new_map.fleet().iter().copied() {
+            for g in new_map.shards_of_server(sid) {
+                let moved = match self.mode {
+                    KvMode::Coded => old_map.logical_of(g, sid) != new_map.logical_of(g, sid),
+                    KvMode::Replicated => old_map.logical_of(g, sid).is_none(),
+                };
+                if moved {
+                    needs.entry(sid).or_default().push(g);
+                }
+            }
+        }
+        // PULL ordering differs by mode.
+        //
+        // Coded groups pull at the OLD epoch, against the old placement,
+        // *before* the flip: donors' fragments only decode against the old
+        // logical slots, so the snapshot must be taken while they still
+        // serve them (the relabeled survivors' installs then restore slot
+        // consistency under the new placement).
+        //
+        // Replicated groups instead pull at the NEW epoch *after* the
+        // flip. The flip freezes the set of old-epoch-completed writes —
+        // stale-stamped frames are rejected, so no further old-epoch write
+        // can reach its quorum — and a new-epoch quorum read then observes
+        // every one of them. Installing a pre-flip snapshot would let a
+        // joiner vouch for a tag that a racing write superseded between
+        // snapshot and flip; with `f` faulty replicas plus the one honest
+        // member that legitimately missed the write, that stale vouch
+        // reaches `f + 1` witnesses and a later read returns it (a
+        // regularity violation). An empty joiner answering `Tag::ZERO`
+        // corroborates nothing, so the post-flip window is safe: reads in
+        // it either find `f + 1` fresh witnesses or go slow and retry.
+        let staged = if self.mode == KvMode::Coded {
+            self.pull_entries(&needs, &old_map, &old_config, &new_map)?
+        } else {
+            Vec::new()
+        };
+        // FLIP: joiners enter the host table, then every member of the new
+        // epoch switches config; leavers keep serving the old epoch until
+        // retired below. Install staged state immediately after each flip
+        // — the per-key registers are tag-monotonic, so a concurrent write
+        // that already landed in the new epoch is never clobbered.
+        self.hosts.append(&mut joined);
+        for sid in new_map.fleet() {
+            if let Some(host) = self.hosts.get(sid) {
+                host.apply_config(new_config.clone(), new_map.clone());
+            }
+        }
+        let staged = if self.mode == KvMode::Replicated {
+            self.pull_entries(&needs, &new_map, &new_config, &new_map)?
+        } else {
+            staged
+        };
+        safereg_obs::global()
+            .counter(names::KV_TRANSFER_KEYS)
+            .add(staged.len() as u64);
+        for (target, shard, key, tag, payload) in staged {
+            if let Some(host) = self.hosts.get(&target) {
+                host.install_state(shard, &key, tag, payload);
+            }
+        }
+        self.map = new_map;
+        self.config = new_config;
+        let reg = safereg_obs::global();
+        reg.counter(names::KV_EPOCH_RECONFIGS).inc();
+        reg.gauge(names::KV_EPOCH_CURRENT)
+            .set(u64::from(self.config.epoch));
+        for sid in leavers {
+            if let Some(mut host) = self.hosts.remove(sid) {
+                host.retire(Duration::from_millis(100));
+            }
+        }
+        Ok(())
+    }
+
+    /// Quorum-reads every key of every shard in `needs` at `donor_config`'s
+    /// epoch over `donor_map`'s placement, and returns the entries to
+    /// install — `(target, shard, key, tag, payload)` — where the payload
+    /// is the full value (replicated) or the fragment for the target's
+    /// logical slot in `target_map` (coded), re-encoded from the value the
+    /// quorum decoded out of `m − f` donors' slices.
+    fn pull_entries(
+        &self,
+        needs: &BTreeMap<ServerId, Vec<ShardId>>,
+        donor_map: &ShardMap,
+        donor_config: &EpochConfig,
+        target_map: &ShardMap,
+    ) -> std::io::Result<Vec<TransferEntry>> {
+        if needs.values().all(Vec::is_empty) {
+            return Ok(Vec::new());
+        }
+        let cfg = donor_map.shard_config();
+        // Transport over the donor epoch's members only: joiners (not yet
+        // serving that epoch) must not be asked and cannot answer.
+        let addrs: BTreeMap<ServerId, SocketAddr> = donor_config
+            .ids()
+            .into_iter()
+            .filter_map(|s| self.hosts.get(&s).map(|h| (s, h.addr())))
+            .collect();
+        let mut transport = TcpKvTransport::connect_with(&addrs, self.chain.clone(), self.tconfig);
+        transport.reconfigure(donor_config);
+        let (mut client, code) = match self.mode {
+            KvMode::Replicated => (
+                KvClient::sharded(
+                    donor_map.clone(),
+                    WriterId(TRANSFER_CLIENT),
+                    ReaderId(TRANSFER_CLIENT),
+                ),
+                None,
+            ),
+            KvMode::Coded => {
+                let k = cfg.mds_k().expect("coded cluster checked at start");
+                (
+                    KvClient::sharded_coded(
+                        donor_map.clone(),
+                        WriterId(TRANSFER_CLIENT),
+                        ReaderId(TRANSFER_CLIENT),
+                    ),
+                    Some(ReedSolomon::new(cfg.n(), k).expect("valid code")),
+                )
+            }
+        };
+        client.align_epoch(donor_config.epoch);
+        let mut by_shard: BTreeMap<ShardId, Vec<ServerId>> = BTreeMap::new();
+        for (sid, shards) in needs {
+            for g in shards {
+                by_shard.entry(*g).or_default().push(*sid);
+            }
+        }
+        let mut staged = Vec::new();
+        for (g, targets) in by_shard {
+            // Key discovery is the union over all old donors: up to `f` of
+            // them are Byzantine and enumerate nothing, but every key with
+            // completed writes lives on at least one honest donor.
+            let mut keys: std::collections::BTreeSet<Bytes> = std::collections::BTreeSet::new();
+            for donor in donor_map.replicas(g).unwrap_or(&[]) {
+                if let Some(host) = self.hosts.get(donor) {
+                    keys.extend(host.keys_of_shard(g));
+                }
+            }
+            for key in keys {
+                // The pull shares the wire with live (possibly Byzantine)
+                // traffic; a bounded retry rides out transient quorum
+                // misses without letting a dead fleet wedge the step.
+                let mut attempt: u64 = 0;
+                let (value, tag) = loop {
+                    match client.get_with_tag(&mut transport, &key) {
+                        Ok(read) => break read,
+                        Err(_) if attempt < 5 => {
+                            attempt += 1;
+                            std::thread::sleep(Duration::from_millis(20 * attempt));
+                        }
+                        Err(e) => {
+                            return Err(std::io::Error::other(format!(
+                                "state transfer read failed: {e}"
+                            )));
+                        }
+                    }
+                };
+                if tag == Tag::ZERO {
+                    continue; // never written: a fresh register transfers nothing
+                }
+                for &target in &targets {
+                    let payload = match &code {
+                        None => Payload::Full(value.clone()),
+                        Some(code) => {
+                            let logical = target_map
+                                .logical_of(g, target)
+                                .expect("needs lists only placed shards");
+                            Payload::Coded(
+                                encode_value(code, &value)
+                                    .into_iter()
+                                    .nth(logical.0 as usize)
+                                    .expect("one element per logical slot"),
+                            )
+                        }
+                    };
+                    staged.push((target, g, key.clone(), tag, payload));
+                }
+            }
+        }
+        Ok(staged)
     }
 }
 
@@ -1517,5 +2052,108 @@ mod tests {
                 b"value"
             );
         }
+    }
+
+    #[test]
+    fn rolling_reconfiguration_redirects_live_clients() {
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let mut cluster = TcpKvCluster::start(cfg, KvMode::Replicated, b"kv-churn").unwrap();
+        let mut transport = cluster.transport();
+        let mut client = KvClient::new(cfg, WriterId(0), ReaderId(0));
+        client.put(&mut transport, b"k", "epoch0").unwrap();
+        assert_eq!(cluster.epoch(), 0);
+
+        // Add: the stale client learns the successor config from f + 1
+        // matching `WrongEpoch` votes and finishes the op against it.
+        cluster.add_replica(ServerId(5)).unwrap();
+        assert_eq!(cluster.epoch(), 1);
+        assert_eq!(
+            client.get(&mut transport, b"k").unwrap().as_bytes(),
+            b"epoch0"
+        );
+        assert_eq!(client.epoch(), 1, "client adopted the redirect");
+
+        // Remove: the leaver retires after a drain grace; writes keep
+        // completing against the shrunk fleet.
+        cluster.remove_replica(ServerId(1)).unwrap();
+        assert_eq!(cluster.epoch(), 2);
+        client.put(&mut transport, b"k", "epoch2").unwrap();
+        assert_eq!(client.epoch(), 2);
+
+        // Replace: one epoch bump swaps a member for a joiner.
+        cluster.replace_replica(ServerId(2), ServerId(9)).unwrap();
+        assert_eq!(cluster.epoch(), 3);
+        assert_eq!(
+            client.get(&mut transport, b"k").unwrap().as_bytes(),
+            b"epoch2"
+        );
+        assert_eq!(client.epoch(), 3);
+        let fleet = cluster.epoch_config().ids();
+        assert!(fleet.contains(&ServerId(9)) && !fleet.contains(&ServerId(2)));
+
+        // The joiner replaced a fully-placed member (m = n), so it pulled
+        // the register's state before serving; every replica of a BSR
+        // group stores the identical `(tag, value)` entry.
+        let g = cluster.map().shard_of(b"k");
+        let survivor = cluster.payload_digest(ServerId(3), g, b"k");
+        assert!(survivor.is_some(), "survivor holds the register");
+        assert_eq!(cluster.payload_digest(ServerId(9), g, b"k"), survivor);
+    }
+
+    #[test]
+    fn coded_joiner_rebuilds_its_own_fragment() {
+        let cfg = QuorumConfig::new(8, 1).unwrap(); // k = 3
+        let mut cluster = TcpKvCluster::start(cfg, KvMode::Coded, b"kv-churn-coded").unwrap();
+        let mut transport = cluster.transport();
+        let mut client = KvClient::new_coded(cfg, WriterId(0), ReaderId(0));
+        let blob = vec![0x5Au8; 3 * 1024];
+        client.put(&mut transport, b"blob", blob.clone()).unwrap();
+        let (value, tag) = client.get_with_tag(&mut transport, b"blob").unwrap();
+
+        // Replacing the smallest id relabels *every* survivor's logical
+        // slot (ascending-id order), so each re-derives its fragment and
+        // the joiner decodes the value out of m − f old slices before
+        // re-encoding its own — the PULL-before-FLIP ordering under test.
+        cluster.replace_replica(ServerId(0), ServerId(9)).unwrap();
+        let g = cluster.map().shard_of(b"blob");
+        let code = ReedSolomon::new(cfg.n(), cfg.mds_k().unwrap()).unwrap();
+        let elems = encode_value(&code, &value);
+        for sid in [ServerId(9), ServerId(1)] {
+            let logical = cluster.map().logical_of(g, sid).unwrap().0 as usize;
+            assert_eq!(
+                cluster.payload_digest(sid, g, b"blob").unwrap(),
+                crate::server::entry_digest(&tag, &Payload::Coded(elems[logical].clone())),
+                "{sid:?} stores exactly the fragment its new slot demands"
+            );
+        }
+        // And the register still reads back through the new epoch.
+        assert_eq!(
+            client.get(&mut transport, b"blob").unwrap().as_bytes(),
+            &blob[..]
+        );
+        assert_eq!(client.epoch(), 1);
+    }
+
+    #[test]
+    fn restarted_replica_is_rehydrated_not_amnesiac() {
+        let cfg = QuorumConfig::minimal_bsr(1).unwrap();
+        let mut cluster = TcpKvCluster::start(cfg, KvMode::Replicated, b"kv-amnesia").unwrap();
+        let mut transport = cluster.transport();
+        let mut client = KvClient::new(cfg, WriterId(0), ReaderId(0));
+        client.put(&mut transport, b"k", "v1").unwrap();
+        client.put(&mut transport, b"k", "v2").unwrap();
+        let (value, tag) = client.get_with_tag(&mut transport, b"k").unwrap();
+        let expected = crate::server::entry_digest(&tag, &Payload::Full(value));
+
+        cluster.crash(ServerId(2));
+        cluster.restart(ServerId(2), KvMode::Replicated).unwrap();
+        // The restart pulled `(tag, value)` back from a quorum before the
+        // replica serves again: it can never vouch for the pre-crash tag
+        // (or an empty register) in a read quorum — the StaleRead hazard
+        // an amnesiac restart would reintroduce.
+        let g = cluster.map().shard_of(b"k");
+        assert_eq!(cluster.payload_digest(ServerId(2), g, b"k"), Some(expected));
+        transport.set_timeout(Duration::from_millis(500));
+        assert_eq!(client.get(&mut transport, b"k").unwrap().as_bytes(), b"v2");
     }
 }

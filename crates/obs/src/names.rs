@@ -90,6 +90,27 @@ pub fn eviction_counter(reason: &str) -> String {
     format!("{}.{reason}", SERVER_EVICTIONS)
 }
 
+/// Current membership epoch a server host is serving (a gauge; every
+/// reconfiguration step moves it up by one).
+pub const KV_EPOCH_CURRENT: &str = "kv.epoch.current";
+
+/// Frames a server rejected because their MAC-covered config stamp did not
+/// match its current epoch (each one was answered with `WrongEpoch`).
+pub const KV_EPOCH_STALE_FRAMES: &str = "kv.epoch.stale_frames";
+
+/// Client-side configuration adoptions: a `WrongEpoch` redirect gathered
+/// `f + 1` distinct votes for the same `(epoch, digest)` and the client
+/// switched membership mid-operation.
+pub const KV_EPOCH_ADOPTIONS: &str = "kv.epoch.adoptions";
+
+/// Reconfiguration steps (add/remove/replace, one replica each) applied by
+/// cluster orchestration.
+pub const KV_EPOCH_RECONFIGS: &str = "kv.epoch.reconfigs";
+
+/// Keys state-transferred into a joining, re-placed, or restarted replica
+/// before it serves its epoch.
+pub const KV_TRANSFER_KEYS: &str = "kv.reconfig.transfer.keys";
+
 /// Hottest shard id observed by a sharded client (a gauge holding the
 /// `ShardId` whose op counter currently leads).
 pub const KV_SHARD_HOT: &str = "kv.shard.hot";
@@ -217,9 +238,22 @@ mod tests {
             "kv.read.slow_cause.straggler_replica"
         );
         assert_eq!(
+            super::slow_cause_counter("reconfig_transfer"),
+            "kv.read.slow_cause.reconfig_transfer"
+        );
+        assert_eq!(
             super::slow_cause_exemplar("shed_outbox"),
             "kv.read.slow_cause.shed_outbox.exemplar"
         );
+    }
+
+    #[test]
+    fn epoch_metric_names_are_stable() {
+        assert_eq!(super::KV_EPOCH_CURRENT, "kv.epoch.current");
+        assert_eq!(super::KV_EPOCH_STALE_FRAMES, "kv.epoch.stale_frames");
+        assert_eq!(super::KV_EPOCH_ADOPTIONS, "kv.epoch.adoptions");
+        assert_eq!(super::KV_EPOCH_RECONFIGS, "kv.epoch.reconfigs");
+        assert_eq!(super::KV_TRANSFER_KEYS, "kv.reconfig.transfer.keys");
     }
 
     #[test]

@@ -86,26 +86,32 @@ impl SpanKind {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum SlowCause {
+    /// The operation straddled an epoch change: the client was redirected
+    /// with `WrongEpoch`, adopted the new configuration, and re-issued.
+    /// Highest priority — retries and unreachable old members during a
+    /// reconfiguration are symptoms of the epoch change, not root causes.
+    ReconfigTransfer = 0,
     /// The client re-drove the quorum after a network-level fault
     /// (unreachable server, chaos drop/sever, timeout).
-    RetryAfterFault = 0,
+    RetryAfterFault = 1,
     /// A bounded outbox shed frames during the operation.
-    ShedOutbox = 1,
+    ShedOutbox = 2,
     /// A reachable replica answered with a stale or invalid value
     /// (validation failures at the protocol layer).
-    ByzStaleAck = 2,
+    ByzStaleAck = 3,
     /// A reachable replica returned no reply at all — Byzantine silence.
-    ByzSilence = 3,
+    ByzSilence = 4,
     /// One replica answered far slower than its peers.
-    StragglerReplica = 4,
+    StragglerReplica = 5,
     /// The protocol simply required its second phase (insufficient
     /// witnesses on the fast round) with no fault evidence.
-    SecondPhase = 5,
+    SecondPhase = 6,
 }
 
 impl SlowCause {
     /// All causes, priority order (stable for schema dumps).
-    pub const ALL: [SlowCause; 6] = [
+    pub const ALL: [SlowCause; 7] = [
+        SlowCause::ReconfigTransfer,
         SlowCause::RetryAfterFault,
         SlowCause::ShedOutbox,
         SlowCause::ByzStaleAck,
@@ -117,6 +123,7 @@ impl SlowCause {
     /// Stable snake_case name used in metric names and JSONL dumps.
     pub fn as_str(self) -> &'static str {
         match self {
+            SlowCause::ReconfigTransfer => "reconfig_transfer",
             SlowCause::RetryAfterFault => "retry_after_fault",
             SlowCause::ShedOutbox => "shed_outbox",
             SlowCause::ByzStaleAck => "byz_stale_ack",
@@ -151,6 +158,9 @@ pub struct SlowEvidence {
     pub validation_failures: u64,
     /// A bounded wire queue shed frames during the operation.
     pub shed: bool,
+    /// Epoch configurations adopted mid-operation after a `WrongEpoch`
+    /// redirect (each adoption forced a re-issue against new membership).
+    pub reconfig: u32,
     /// Slowest single-server exchange, µs (0 = untimed).
     pub rpc_max_us: u64,
     /// Fastest single-server exchange, µs (0 = untimed).
@@ -163,7 +173,9 @@ pub struct SlowEvidence {
 /// [`SlowCause::SecondPhase`] as the no-fault floor — the paper's honest
 /// "not enough witnesses on the fast round" outcome.
 pub fn attribute_slow_read(ev: &SlowEvidence) -> SlowCause {
-    if ev.unreachable > 0 && ev.retry_passes > 0 {
+    if ev.reconfig > 0 {
+        SlowCause::ReconfigTransfer
+    } else if ev.unreachable > 0 && ev.retry_passes > 0 {
         SlowCause::RetryAfterFault
     } else if ev.shed {
         SlowCause::ShedOutbox
@@ -663,6 +675,20 @@ mod tests {
         assert_eq!(attribute_slow_read(&base), SlowCause::SecondPhase);
         assert_eq!(
             attribute_slow_read(&SlowEvidence {
+                reconfig: 1,
+                unreachable: 1,
+                retry_passes: 1,
+                silent: 2,
+                validation_failures: 3,
+                shed: true,
+                ..base
+            }),
+            SlowCause::ReconfigTransfer,
+            "an in-flight epoch change outranks everything: the retries and \
+             unreachable old members it causes are symptoms"
+        );
+        assert_eq!(
+            attribute_slow_read(&SlowEvidence {
                 unreachable: 1,
                 retry_passes: 1,
                 silent: 2,
@@ -671,7 +697,17 @@ mod tests {
                 ..base
             }),
             SlowCause::RetryAfterFault,
-            "network-fault retry outranks everything"
+            "network-fault retry outranks the rest"
+        );
+        assert_eq!(
+            attribute_slow_read(&SlowEvidence {
+                reconfig: 1,
+                rpc_min_us: 100,
+                rpc_max_us: 5000,
+                ..base
+            }),
+            SlowCause::ReconfigTransfer,
+            "a redirected read never falls through to straggler_replica"
         );
         assert_eq!(
             attribute_slow_read(&SlowEvidence {

@@ -50,6 +50,8 @@ pub enum MsgClass {
     TagListResp,
     /// Reply to a value fetch.
     ValueAtResp,
+    /// Epoch redirect: the frame's config stamp was stale.
+    WrongEpoch,
     /// Bracha `ECHO` (RB baseline, server-to-server).
     RbEcho,
     /// Bracha `READY` (RB baseline, server-to-server).
@@ -59,7 +61,7 @@ pub enum MsgClass {
 impl MsgClass {
     /// Every class, in declaration order — for consumers that pre-register
     /// per-class metric series so dumps keep one schema across runs.
-    pub const ALL: [MsgClass; 16] = [
+    pub const ALL: [MsgClass; 17] = [
         MsgClass::QueryTag,
         MsgClass::PutData,
         MsgClass::QueryData,
@@ -74,6 +76,7 @@ impl MsgClass {
         MsgClass::HistoryResp,
         MsgClass::TagListResp,
         MsgClass::ValueAtResp,
+        MsgClass::WrongEpoch,
         MsgClass::RbEcho,
         MsgClass::RbReady,
     ];
@@ -98,6 +101,7 @@ impl MsgClass {
                 ServerToClient::HistoryResp { .. } => MsgClass::HistoryResp,
                 ServerToClient::TagListResp { .. } => MsgClass::TagListResp,
                 ServerToClient::ValueAtResp { .. } => MsgClass::ValueAtResp,
+                ServerToClient::WrongEpoch { .. } => MsgClass::WrongEpoch,
             },
             Message::Peer(p) => match p {
                 PeerMessage::RbEcho { .. } => MsgClass::RbEcho,
@@ -123,6 +127,7 @@ impl MsgClass {
             MsgClass::HistoryResp => "history_resp",
             MsgClass::TagListResp => "tag_list_resp",
             MsgClass::ValueAtResp => "value_at_resp",
+            MsgClass::WrongEpoch => "wrong_epoch",
             MsgClass::RbEcho => "rb_echo",
             MsgClass::RbReady => "rb_ready",
         }

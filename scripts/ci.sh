@@ -107,6 +107,23 @@ grep -Eq 'trace: sample span \{"trace":"[0-9a-f]{16}","seq":[0-9]+,"hop":[0-9]+,
 grep -q 'trace: ok' <<< "$trace_out" ||
     { echo "ci.sh: trace scenario failed its acceptance bars" >&2; exit 1; }
 
+# Churn smoke: one add + one remove + one replace rolled through a live
+# two-shard cluster while a Fabricator replica stays active — clients must
+# adopt every successor epoch through WrongEpoch redirects, every op must
+# terminate, the windowed checkers must stay clean, and the coded leg must
+# rebuild the joiner's fragment (digest-asserted). The scenario exits
+# nonzero on any of those; the greps pin the verdict line and the written
+# BENCH_churn.json report.
+echo "==> paper_harness churn | grep 'churn: ok'"
+churn_out=$(cargo run --release --offline -q -p safereg-bench --bin paper_harness churn --ops 120)
+echo "$churn_out"
+grep -q 'churn: ok' <<< "$churn_out" ||
+    { echo "ci.sh: churn smoke failed its reconfiguration bars" >&2; exit 1; }
+grep -q 'churn: coded joiner rebuilt logical slot .*digest match = yes' <<< "$churn_out" ||
+    { echo "ci.sh: churn coded joiner fragment digest mismatch" >&2; exit 1; }
+test -s BENCH_churn.json ||
+    { echo "ci.sh: churn smoke did not write BENCH_churn.json" >&2; exit 1; }
+
 # Shard-scaling smoke: {1,4,16} register groups x {uniform, zipf} keys on
 # one n=5 fleet. The bench itself exits nonzero unless every client
 # transport holds exactly n sockets (socket sharing: n, never s*n) and
