@@ -9,6 +9,7 @@ use safereg_bench::ablations;
 use safereg_bench::chaos as chaos_scenario;
 use safereg_bench::churn as churn_scenario;
 use safereg_bench::experiments;
+use safereg_bench::runtime as runtime_bench;
 use safereg_bench::shard as shard_bench;
 use safereg_bench::soak as soak_harness;
 use safereg_bench::table;
@@ -833,8 +834,124 @@ fn soak(flags: &[String]) -> ! {
     std::process::exit(1);
 }
 
+/// Parses `runtime` flags and runs the saturation ladder; exits nonzero
+/// on failure.
+///
+/// ```text
+/// paper_harness runtime [--conns 1000,10000,50000] [--rate 2000]
+///                       [--secs 6] [--reactors 2] [--quick]
+/// ```
+fn runtime(flags: &[String]) -> ! {
+    let mut cfg = runtime_bench::RuntimeConfig::default();
+    let mut i = 0;
+    while i < flags.len() {
+        let flag = flags[i].as_str();
+        if flag == "--quick" {
+            cfg = runtime_bench::RuntimeConfig::quick();
+            i += 1;
+            continue;
+        }
+        let Some(value) = flags.get(i + 1) else {
+            eprintln!("runtime: {flag} needs a value");
+            std::process::exit(2);
+        };
+        let parse = |what: &str| {
+            value.parse::<u64>().unwrap_or_else(|_| {
+                eprintln!("runtime: {what} must be a number, got {value}");
+                std::process::exit(2);
+            })
+        };
+        match flag {
+            "--conns" => {
+                cfg.rungs = value
+                    .split(',')
+                    .map(|v| {
+                        v.parse::<usize>().unwrap_or_else(|_| {
+                            eprintln!("runtime: --conns wants a comma list, got {value}");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            "--rate" => cfg.rate = parse("--rate"),
+            "--secs" => cfg.secs = parse("--secs"),
+            "--reactors" => cfg.reactors = parse("--reactors") as usize,
+            "--threaded-max" => cfg.threaded_max = parse("--threaded-max") as usize,
+            _ => {
+                eprintln!("runtime: unknown flag {flag}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+
+    println!(
+        "== runtime: latency under load, reactor vs thread-per-connection, rungs {:?} ==",
+        cfg.rungs
+    );
+    let r = runtime_bench::runtime_run(&cfg);
+    let rows: Vec<Vec<String>> = r
+        .runs
+        .iter()
+        .map(|s| {
+            vec![
+                s.runtime.clone(),
+                format!("{}/{}", s.achieved_conns, s.requested_conns),
+                s.sent.to_string(),
+                s.received.to_string(),
+                format!("{:.0}", s.ops_per_sec),
+                format!("{} us", s.p50_micros),
+                format!("{} us", s.p99_micros),
+                s.threads_peak.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "runtime",
+                "conns (got/asked)",
+                "sent",
+                "received",
+                "ops/sec",
+                "p50",
+                "p99",
+                "threads"
+            ],
+            &rows
+        )
+    );
+    for f in &r.failures {
+        println!("runtime: check failed: {f}");
+    }
+    if let Err(e) = std::fs::write("BENCH_runtime.json", r.to_json()) {
+        eprintln!("runtime: could not write BENCH_runtime.json: {e}");
+    }
+    // Full metrics dump: the CI smoke greps this for the reactor gauges
+    // and counters (`reactor.threads`, `reactor.events`, ...).
+    println!(
+        "{}",
+        safereg_obs::render_jsonl(&safereg_obs::global().snapshot())
+    );
+    if r.ok() {
+        println!("runtime: ok");
+        std::process::exit(0);
+    }
+    println!("runtime: FAILED");
+    std::process::exit(1);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // The hidden load-generator child (spawned by `runtime`): not part of
+    // the experiment list on purpose.
+    if args.first().map(String::as_str) == Some("runtime-loadgen") {
+        runtime_bench::loadgen_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("runtime") {
+        runtime(&args[1..]);
+    }
     if args.first().map(String::as_str) == Some("soak") {
         soak(&args[1..]);
     }
@@ -876,7 +993,7 @@ fn main() {
     if selected.is_empty() {
         eprintln!(
             "unknown experiment; available: e1..e13, a1..a5, chaos, wire, shard, trace, \
-             metrics, soak, churn"
+             metrics, soak, churn, runtime"
         );
         std::process::exit(2);
     }

@@ -40,6 +40,7 @@ use safereg_kv::{entry_digest, KvClient, KvMode, TcpKvCluster, TcpKvTransport};
 use safereg_mds::rs::ReedSolomon;
 use safereg_mds::stripe::encode_value;
 use safereg_obs::names;
+use safereg_transport::chaos::{FaultPlan, FaultSpec};
 
 /// Knobs for one churn run.
 #[derive(Debug, Clone)]
@@ -373,7 +374,10 @@ fn assert_fabricator(cluster: &TcpKvCluster, seed: u64) {
 /// the slot index it rebuilt.
 fn coded_fragment_check(seed: u64) -> (bool, u16) {
     let q = QuorumConfig::new(8, 1).expect("n = 8, f = 1 is a valid BCSR point");
-    let mut cluster = match TcpKvCluster::start(q, KvMode::Coded, b"churn-coded") {
+    let mut cluster = match TcpKvCluster::builder(KvMode::Coded, b"churn-coded")
+        .quorum(q)
+        .start()
+    {
         Ok(c) => c,
         Err(_) => return (false, 0),
     };
@@ -427,14 +431,14 @@ pub fn churn_run(cfg: &ChurnConfig) -> ChurnReport {
         .counter(&names::slow_cause_counter("reconfig_transfer"))
         .get();
 
-    let cluster = TcpKvCluster::start_sharded(
-        map.clone(),
-        KvMode::Replicated,
-        b"churn-harness",
-        tconfig,
-        None,
-    )
-    .expect("start churn cluster");
+    // Calm chaos proxies front every replica: mild jitter without drops,
+    // so each epoch step crosses a perturbed (but live) network.
+    let cluster = TcpKvCluster::builder(KvMode::Replicated, b"churn-harness")
+        .shards(map.clone())
+        .config(tconfig)
+        .chaos(FaultPlan::new(cfg.seed, FaultSpec::calm()))
+        .start()
+        .expect("start churn cluster");
     assert_fabricator(&cluster, cfg.seed);
     let cluster = Mutex::new(cluster);
 

@@ -35,6 +35,7 @@ pub mod ablations;
 pub mod chaos;
 pub mod churn;
 pub mod experiments;
+pub mod runtime;
 pub mod search;
 pub mod shard;
 pub mod soak;

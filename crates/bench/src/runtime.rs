@@ -1,0 +1,653 @@
+//! Runtime saturation scenario: latency under load at high connection
+//! counts, thread-per-connection vs the readiness-driven reactor.
+//!
+//! The tentpole claim behind [`ServerRuntime::Reactor`] is that serving
+//! `C` connections must not cost `O(C)` threads. This scenario measures
+//! it on a live single-replica deployment (`n = 1, f = 0` — quorum
+//! assembly is not under test, the serving runtime is):
+//!
+//! * **open-loop load**: external load-generator *processes* hold a rung
+//!   of `C` idle-ish connections and offer a fixed aggregate request rate
+//!   on a schedule that does not wait for replies — the latency a slow
+//!   server causes cannot slow the offered load down (no coordinated
+//!   omission);
+//! * **rungs** of 1k / 10k / 50k connections; each rung runs against the
+//!   reactor runtime and (up to a thread-budget ceiling) the threaded
+//!   runtime, same wire bytes, same rate;
+//! * **fd clamping**: the container's `RLIM_NOFILE` is a hard wall — a
+//!   rung that does not fit is clamped and reported as requested vs
+//!   achieved rather than silently skipped;
+//! * **verdict**: the reactor must match threaded throughput at the
+//!   smallest rung, beat its p99 at 10k+, and hold its thread count at
+//!   `O(reactors)` while threaded pays two threads per connection.
+//!
+//! The load generators are child processes of the same binary (the
+//! hidden `runtime-loadgen` subcommand): separate fd tables, separate
+//! scheduler queues, and the server process's `Threads:` line stays a
+//! pure measurement of the serving runtime. Each child pre-seals one
+//! request with [`encode_request`] and replays it verbatim — replies are
+//! counted by framing alone, so the generator never pays a decode on the
+//! hot path.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use safereg_common::config::{QuorumConfig, ServerRuntime, TransportConfig};
+use safereg_common::epoch::EpochConfig;
+use safereg_common::ids::{ClientId, ReaderId, ServerId};
+use safereg_common::msg::{ClientToServer, OpId};
+use safereg_common::shard::ShardId;
+use safereg_crypto::keychain::KeyChain;
+use safereg_kv::{encode_request, KvMode, KvServerHost};
+use safereg_transport::poll::{Interest, PollEvent, Poller};
+
+/// Per-child connection ceiling: keeps every generator comfortably under
+/// its own fd limit and spreads connect/read work across processes.
+const CONNS_PER_CHILD: usize = 6000;
+
+/// Fd headroom reserved for everything that is not a benched connection
+/// (listener, poller, wakers, children's pipes, the binary's own files).
+const FD_HEADROOM: usize = 1200;
+
+/// Configuration for the saturation scenario.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Requested connection-count rungs.
+    pub rungs: Vec<usize>,
+    /// Aggregate offered load (requests/second) across the whole rung.
+    pub rate: u64,
+    /// Measured seconds per run (after the connect ramp).
+    pub secs: u64,
+    /// Largest rung the thread-per-connection runtime is asked to hold
+    /// (two threads per connection; beyond this only the reactor runs).
+    pub threaded_max: usize,
+    /// Reactor pool size for the benched host.
+    pub reactors: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            rungs: vec![1_000, 10_000, 50_000],
+            rate: 2_000,
+            secs: 6,
+            threaded_max: 10_000,
+            reactors: 2,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// The CI smoke variant: two tiny rungs, both runtimes, ~seconds of
+    /// wall clock.
+    pub fn quick() -> Self {
+        RuntimeConfig {
+            rungs: vec![64],
+            rate: 400,
+            secs: 2,
+            threaded_max: 10_000,
+            reactors: 2,
+        }
+    }
+}
+
+/// One (rung, runtime) measurement.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// `"reactor"` or `"threaded"`.
+    pub runtime: String,
+    /// The rung as requested.
+    pub requested_conns: usize,
+    /// Connections actually held after fd clamping.
+    pub achieved_conns: usize,
+    /// Requests offered / replies observed across all generators.
+    pub sent: u64,
+    /// Replies observed.
+    pub received: u64,
+    /// Observed reply throughput over the measured window.
+    pub ops_per_sec: f64,
+    /// Request→reply latency percentiles in microseconds.
+    pub p50_micros: u64,
+    /// 99th percentile latency.
+    pub p99_micros: u64,
+    /// Worst observed latency.
+    pub max_micros: u64,
+    /// Peak `Threads:` of the server process during the run.
+    pub threads_peak: u64,
+}
+
+/// The scenario's full report, written to `BENCH_runtime.json`.
+#[derive(Debug)]
+pub struct RuntimeReport {
+    /// The process's soft fd limit (the clamping wall).
+    pub fd_limit: usize,
+    /// Offered aggregate rate.
+    pub rate: u64,
+    /// Measured seconds per run.
+    pub secs: u64,
+    /// Reactor pool size used.
+    pub reactors: usize,
+    /// All runs, in execution order.
+    pub runs: Vec<RunStats>,
+    /// Checks that failed (empty means the verdict holds).
+    pub failures: Vec<String>,
+}
+
+impl RuntimeReport {
+    /// Whether every acceptance check held.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Hand-rolled JSON (the workspace is dependency-free).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"fd_limit\":{},\"rate\":{},\"secs\":{},\"reactors\":{},\"ok\":{},",
+            self.fd_limit,
+            self.rate,
+            self.secs,
+            self.reactors,
+            self.ok()
+        ));
+        out.push_str("\"failures\":[");
+        for (i, f) in self.failures.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\"", f.replace('"', "'")));
+        }
+        out.push_str("],\"runs\":[");
+        for (i, r) in self.runs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"runtime\":\"{}\",\"requested_conns\":{},\"achieved_conns\":{},\
+                 \"sent\":{},\"received\":{},\"ops_per_sec\":{:.1},\"p50_micros\":{},\
+                 \"p99_micros\":{},\"max_micros\":{},\"threads_peak\":{}}}",
+                r.runtime,
+                r.requested_conns,
+                r.achieved_conns,
+                r.sent,
+                r.received,
+                r.ops_per_sec,
+                r.p50_micros,
+                r.p99_micros,
+                r.max_micros,
+                r.threads_peak
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// The single-replica deployment both runtimes serve: quorum assembly is
+/// out of scope, so `n = 1, f = 0` isolates the serving path.
+fn bench_quorum() -> QuorumConfig {
+    QuorumConfig::new(1, 0).expect("n = 1, f = 0 is a valid (degenerate) BSR point")
+}
+
+/// The wire bytes of one authenticated `QueryData` request against the
+/// benched replica — what every generator connection replays.
+fn canned_request(chain: &KeyChain, seq: u64) -> Vec<u8> {
+    let cfg = bench_quorum();
+    let stamp = EpochConfig::genesis(cfg.servers()).stamp();
+    let from = ClientId::Reader(ReaderId(1));
+    encode_request(
+        chain,
+        stamp,
+        from,
+        ServerId(0),
+        ShardId(0),
+        b"bench",
+        &ClientToServer::QueryData {
+            op: OpId::new(from, seq),
+        },
+    )
+}
+
+/// The soft `RLIMIT_NOFILE` of this process, read from procfs (no libc
+/// dependency). Falls back to a conservative 1024 when unreadable.
+fn fd_soft_limit() -> usize {
+    let Ok(limits) = std::fs::read_to_string("/proc/self/limits") else {
+        return 1024;
+    };
+    limits
+        .lines()
+        .find(|l| l.starts_with("Max open files"))
+        .and_then(|l| l.split_whitespace().nth(3))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1024)
+}
+
+/// The current `Threads:` count of this process.
+fn thread_count() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Transport policy for the benched host: long idle budget (a 50k-conn
+/// rung at a fixed aggregate rate leaves each connection quiet for many
+/// seconds between requests — that is the scenario, not a dead peer).
+fn bench_tconfig() -> TransportConfig {
+    TransportConfig {
+        idle_timeout: Duration::from_secs(600),
+        stall_timeout: Duration::from_secs(30),
+        ..TransportConfig::default()
+    }
+}
+
+/// Runs one (rung, runtime) cell: spawns the host, fans the connections
+/// out over loadgen child processes, samples the server's thread count,
+/// and merges the children's latency samples.
+fn run_cell(
+    runtime: ServerRuntime,
+    requested: usize,
+    achieved: usize,
+    cfg: &RuntimeConfig,
+    secret: &str,
+) -> std::io::Result<RunStats> {
+    let chain = KeyChain::from_master_seed(secret.as_bytes());
+    let host = KvServerHost::builder(ServerId(0), bench_quorum(), KvMode::Replicated, chain)
+        .config(bench_tconfig())
+        .runtime(runtime)
+        .reactors(cfg.reactors)
+        .spawn()?;
+
+    let exe = std::env::current_exe()?;
+    let children_n = achieved.div_ceil(CONNS_PER_CHILD).max(1);
+    let mut children = Vec::with_capacity(children_n);
+    let mut left = achieved;
+    for i in 0..children_n {
+        let share = left.div_ceil(children_n - i);
+        left -= share;
+        let rate = (cfg.rate / children_n as u64).max(1);
+        let child = Command::new(&exe)
+            .args([
+                "runtime-loadgen",
+                "--addr",
+                &host.addr().to_string(),
+                "--conns",
+                &share.to_string(),
+                "--rate",
+                &rate.to_string(),
+                "--secs",
+                &cfg.secs.to_string(),
+                "--secret",
+                secret,
+                "--stagger-us",
+                "200",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        children.push(child);
+    }
+
+    // Sample the server's thread count while the generators run; the peak
+    // is the number the O(reactors)-threads claim is judged on.
+    let mut threads_peak = thread_count();
+    let mut done = vec![false; children.len()];
+    while !done.iter().all(|d| *d) {
+        std::thread::sleep(Duration::from_millis(100));
+        threads_peak = threads_peak.max(thread_count());
+        for (i, child) in children.iter_mut().enumerate() {
+            if !done[i] && child.try_wait()?.is_some() {
+                done[i] = true;
+            }
+        }
+    }
+
+    let mut sent = 0u64;
+    let mut received = 0u64;
+    let mut held = 0usize;
+    let mut samples: Vec<u64> = Vec::new();
+    for child in children {
+        let out = child.wait_with_output()?;
+        let text = String::from_utf8_lossy(&out.stdout);
+        for line in text.lines() {
+            let Some(rest) = line.strip_prefix("loadgen ") else {
+                continue;
+            };
+            for field in rest.split_whitespace() {
+                let Some((k, v)) = field.split_once('=') else {
+                    continue;
+                };
+                match k {
+                    "sent" => sent += v.parse::<u64>().unwrap_or(0),
+                    "received" => received += v.parse::<u64>().unwrap_or(0),
+                    "conns" => held += v.parse::<usize>().unwrap_or(0),
+                    "samples" => samples.extend(v.split(',').filter_map(|s| s.parse::<u64>().ok())),
+                    _ => {}
+                }
+            }
+        }
+    }
+    drop(host);
+
+    samples.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if samples.is_empty() {
+            return 0;
+        }
+        let idx = ((samples.len() as f64 * p).ceil() as usize).clamp(1, samples.len()) - 1;
+        samples[idx]
+    };
+    Ok(RunStats {
+        runtime: runtime.label().to_string(),
+        requested_conns: requested,
+        achieved_conns: held,
+        sent,
+        received,
+        ops_per_sec: received as f64 / cfg.secs as f64,
+        p50_micros: pct(0.50),
+        p99_micros: pct(0.99),
+        max_micros: samples.last().copied().unwrap_or(0),
+        threads_peak,
+    })
+}
+
+/// Runs the whole ladder and judges the acceptance checks.
+///
+/// # Panics
+///
+/// Panics when a host cannot bind or a generator cannot be spawned — an
+/// environment failure, not a runtime verdict.
+pub fn runtime_run(cfg: &RuntimeConfig) -> RuntimeReport {
+    let fd_limit = fd_soft_limit();
+    let budget = fd_limit.saturating_sub(FD_HEADROOM).max(64);
+    let mut runs: Vec<RunStats> = Vec::new();
+
+    for &requested in &cfg.rungs {
+        let achieved = requested.min(budget);
+        if achieved < requested {
+            println!(
+                "runtime: rung {requested} clamped to {achieved} by the fd limit ({fd_limit})"
+            );
+        }
+        for runtime in [ServerRuntime::Reactor, ServerRuntime::Threaded] {
+            if runtime == ServerRuntime::Threaded && requested > cfg.threaded_max {
+                println!(
+                    "runtime: skipping threaded at {requested} conns \
+                     (2 threads/conn exceeds the thread budget; ceiling {})",
+                    cfg.threaded_max
+                );
+                continue;
+            }
+            println!(
+                "runtime: {} at {achieved} conns, {} req/s for {}s ...",
+                runtime.label(),
+                cfg.rate,
+                cfg.secs
+            );
+            let stats = run_cell(runtime, requested, achieved, cfg, "runtime-bench")
+                .unwrap_or_else(|e| panic!("runtime {} rung {requested}: {e}", runtime.label()));
+            runs.push(stats);
+        }
+    }
+
+    let mut failures = Vec::new();
+    for r in &runs {
+        if r.achieved_conns == 0 || r.received == 0 {
+            failures.push(format!(
+                "{} at {} conns observed no replies",
+                r.runtime, r.requested_conns
+            ));
+        }
+        if r.sent > 0 && (r.received as f64) < 0.90 * r.sent as f64 {
+            failures.push(format!(
+                "{} at {} conns lost replies: {}/{}",
+                r.runtime, r.requested_conns, r.received, r.sent
+            ));
+        }
+    }
+    // Pairwise checks where both runtimes held the same rung.
+    let paired: Vec<(&RunStats, &RunStats)> = runs
+        .iter()
+        .filter(|r| r.runtime == "reactor")
+        .filter_map(|re| {
+            runs.iter()
+                .find(|th| th.runtime == "threaded" && th.requested_conns == re.requested_conns)
+                .map(|th| (re, th))
+        })
+        .collect();
+    if let Some((re, th)) = paired.first() {
+        // Smallest paired rung: the reactor must not give up throughput.
+        if re.ops_per_sec < 0.95 * th.ops_per_sec {
+            failures.push(format!(
+                "reactor throughput {:.0}/s under threaded {:.0}/s at {} conns",
+                re.ops_per_sec, th.ops_per_sec, re.requested_conns
+            ));
+        }
+    }
+    for (re, th) in &paired {
+        if re.requested_conns >= 10_000 && re.p99_micros >= th.p99_micros {
+            failures.push(format!(
+                "reactor p99 {}us not better than threaded {}us at {} conns",
+                re.p99_micros, th.p99_micros, re.requested_conns
+            ));
+        }
+        // Two threads per connection is the threaded runtime's signature.
+        if th.threads_peak < th.achieved_conns as u64 {
+            failures.push(format!(
+                "threaded at {} conns shows only {} threads — not thread-per-connection?",
+                th.requested_conns, th.threads_peak
+            ));
+        }
+    }
+    for r in runs.iter().filter(|r| r.runtime == "reactor") {
+        // The reactor's whole point: thread count independent of conns.
+        // Budget: pool + accept + main + a generous slack for the test
+        // runner's own machinery.
+        let budget = cfg.reactors as u64 + 16;
+        if r.threads_peak > budget {
+            failures.push(format!(
+                "reactor at {} conns used {} threads (budget {budget})",
+                r.requested_conns, r.threads_peak
+            ));
+        }
+    }
+
+    RuntimeReport {
+        fd_limit,
+        rate: cfg.rate,
+        secs: cfg.secs,
+        reactors: cfg.reactors,
+        runs,
+        failures,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The load-generator child process.
+// ---------------------------------------------------------------------------
+
+struct GenConn {
+    stream: TcpStream,
+    /// Send times of requests whose replies have not yet been framed.
+    pending: VecDeque<Instant>,
+    /// Partial-reply accumulator (replies are framed, never decoded).
+    acc: Vec<u8>,
+    /// Write offset into the canned request when a send was partial.
+    woff: usize,
+    dead: bool,
+}
+
+/// Entry point of the hidden `runtime-loadgen` subcommand: holds `--conns`
+/// connections, offers `--rate` requests/second open-loop for `--secs`,
+/// and prints one `loadgen sent=.. received=.. conns=.. samples=..` line.
+///
+/// # Panics
+///
+/// Panics on malformed flags or when the target address is unreachable.
+pub fn loadgen_main(flags: &[String]) -> ! {
+    let mut addr = String::new();
+    let mut conns = 0usize;
+    let mut rate = 100u64;
+    let mut secs = 5u64;
+    let mut secret = String::from("runtime-bench");
+    let mut stagger_us = 200u64;
+    let mut i = 0;
+    while i + 1 < flags.len() {
+        let (flag, value) = (flags[i].as_str(), flags[i + 1].as_str());
+        match flag {
+            "--addr" => addr = value.to_string(),
+            "--conns" => conns = value.parse().expect("--conns"),
+            "--rate" => rate = value.parse().expect("--rate"),
+            "--secs" => secs = value.parse().expect("--secs"),
+            "--secret" => secret = value.to_string(),
+            "--stagger-us" => stagger_us = value.parse().expect("--stagger-us"),
+            other => panic!("runtime-loadgen: unknown flag {other}"),
+        }
+        i += 2;
+    }
+    let chain = KeyChain::from_master_seed(secret.as_bytes());
+    let request = canned_request(&chain, 1);
+
+    let mut poller = Poller::new().expect("poller");
+    let mut table: Vec<GenConn> = Vec::with_capacity(conns);
+    for t in 0..conns {
+        let stream = match TcpStream::connect(&addr) {
+            Ok(s) => s,
+            Err(_) => break, // clamp: hold what connected, report it
+        };
+        stream.set_nonblocking(true).expect("nonblocking");
+        poller
+            .register(
+                {
+                    use std::os::fd::AsRawFd;
+                    stream.as_raw_fd()
+                },
+                t as u64,
+                Interest::READ,
+            )
+            .expect("register");
+        table.push(GenConn {
+            stream,
+            pending: VecDeque::new(),
+            acc: Vec::new(),
+            woff: 0,
+            dead: false,
+        });
+        if stagger_us > 0 {
+            std::thread::sleep(Duration::from_micros(stagger_us));
+        }
+    }
+    let held = table.len();
+    assert!(held > 0, "runtime-loadgen: no connection reached {addr}");
+
+    let mut events: Vec<PollEvent> = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    let mut samples: Vec<u64> = Vec::new();
+    let mut sent = 0u64;
+    let mut received = 0u64;
+    let start = Instant::now();
+    let window = Duration::from_secs(secs);
+    let gap = Duration::from_micros(1_000_000 / rate.max(1));
+    let mut next_send = start;
+    let mut rr = 0usize;
+
+    // Open loop with a drain grace: keep reading for one extra second
+    // after the send window so in-flight replies are counted.
+    let deadline = start + window + Duration::from_secs(1);
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        // Offer load strictly on schedule; a busy server never slows the
+        // schedule down (only unsendable sockets shed offered requests).
+        while next_send <= Instant::now() && Instant::now() < start + window {
+            next_send += gap;
+            for _ in 0..held {
+                let conn = &mut table[rr];
+                rr = (rr + 1) % held;
+                if conn.dead {
+                    continue;
+                }
+                match (&conn.stream).write(&request[conn.woff..]) {
+                    Ok(n) => {
+                        conn.woff += n;
+                        if conn.woff == request.len() {
+                            conn.woff = 0;
+                            conn.pending.push_back(Instant::now());
+                            sent += 1;
+                        }
+                        // A partial write resumes on this conn's next turn;
+                        // the stream stays framed either way.
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                    Err(_) => conn.dead = true,
+                }
+                break;
+            }
+        }
+        let timeout = next_send
+            .min(deadline)
+            .saturating_duration_since(Instant::now())
+            .min(Duration::from_millis(50));
+        let _ = poller.wait(&mut events, Some(timeout));
+        for ev in &events {
+            let Some(conn) = table.get_mut(ev.token as usize) else {
+                continue;
+            };
+            if conn.dead || !(ev.readable || ev.hangup) {
+                continue;
+            }
+            loop {
+                match (&conn.stream).read(&mut scratch) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.acc.extend_from_slice(&scratch[..n]);
+                        if n < scratch.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            // Frame replies: 4-byte LE length prefix, payload skipped.
+            let mut off = 0usize;
+            while conn.acc.len() - off >= 4 {
+                let len = u32::from_le_bytes(conn.acc[off..off + 4].try_into().expect("4 bytes"))
+                    as usize;
+                if conn.acc.len() - off - 4 < len {
+                    break;
+                }
+                off += 4 + len;
+                received += 1;
+                if let Some(t0) = conn.pending.pop_front() {
+                    samples.push(t0.elapsed().as_micros() as u64);
+                }
+            }
+            conn.acc.drain(..off);
+        }
+    }
+
+    let list: Vec<String> = samples.iter().map(u64::to_string).collect();
+    println!(
+        "loadgen sent={sent} received={received} conns={held} samples={}",
+        list.join(",")
+    );
+    std::process::exit(0)
+}

@@ -200,13 +200,9 @@ impl Cell {
         } else {
             ShardMap::new(0x5AFE_BE9C, shards, fleet, cfg).expect("m = n fits the fleet")
         };
-        let cluster = TcpKvCluster::start_sharded(
-            map.clone(),
-            KvMode::Replicated,
-            b"shard-bench",
-            safereg_common::config::TransportConfig::default(),
-            None,
-        )?;
+        let cluster = TcpKvCluster::builder(KvMode::Replicated, b"shard-bench")
+            .shards(map.clone())
+            .start()?;
         let workers = (0..THREADS)
             .map(|t| {
                 let c = KvClient::sharded(map.clone(), WriterId(t as u16), ReaderId(t as u16));

@@ -227,6 +227,31 @@ fn rss_kib() -> u64 {
 /// is flagged as leaking.
 const RSS_SLACK_KIB: u64 = 8 * 1024;
 
+/// Pins glibc to its main malloc arena for the rest of the process.
+///
+/// The restart ladder churns server threads, and glibc answers each
+/// burst of cross-thread contention by spinning up a fresh per-thread
+/// arena it never returns to the OS — so a leak-free run still shows
+/// strictly-monotone RSS growth for far longer than the soak's epoch
+/// window and trips the watchdog. Capping the arena count makes the
+/// RSS series measure the workload, not the allocator: with one arena
+/// the same run plateaus mid-soak. Loopback ops spend their time in
+/// syscalls and MACs, not malloc, so the lost arena parallelism is
+/// noise here.
+#[cfg(all(target_os = "linux", target_env = "gnu"))]
+fn pin_malloc_arena() {
+    const M_ARENA_MAX: i32 = -8;
+    extern "C" {
+        fn mallopt(param: i32, value: i32) -> i32;
+    }
+    unsafe {
+        mallopt(M_ARENA_MAX, 1);
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_env = "gnu")))]
+fn pin_malloc_arena() {}
+
 /// Soak-level retries per operation; each retry is a fresh protocol
 /// operation, the checker keeps judging the one logical op.
 const OP_RETRIES: usize = 4;
@@ -268,6 +293,7 @@ fn soak_transport() -> TransportConfig {
 /// respawned — environment failures, not soak outcomes.
 #[allow(clippy::too_many_lines)]
 pub fn soak_run(cfg: &SoakConfig) -> SoakReport {
+    pin_malloc_arena();
     let q = QuorumConfig::minimal_bsr(1).expect("n = 5, f = 1 is valid");
     let n = q.n();
     let byz_n = cfg.byz.min(q.f());
@@ -295,14 +321,12 @@ pub fn soak_run(cfg: &SoakConfig) -> SoakReport {
         })
         .collect();
 
-    let cluster = TcpKvCluster::start_sharded(
-        map.clone(),
-        KvMode::Replicated,
-        b"soak-harness",
-        tconfig,
-        Some(FaultPlan::new(cfg.seed, FaultSpec::mild())),
-    )
-    .expect("start soak cluster");
+    let cluster = TcpKvCluster::builder(KvMode::Replicated, b"soak-harness")
+        .shards(map.clone())
+        .config(tconfig)
+        .chaos(FaultPlan::new(cfg.seed, FaultSpec::mild()))
+        .start()
+        .expect("start soak cluster");
     let cluster = Mutex::new(cluster);
 
     let keys: Vec<Vec<u8>> = (0..cfg.keys.max(1))

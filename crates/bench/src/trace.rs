@@ -233,14 +233,12 @@ fn chaos_leg(seed: u64) -> ChaosLeg {
     let reg = safereg_obs::global();
     let q = QuorumConfig::minimal_bsr(1).expect("n = 5, f = 1 is valid");
     let tconfig = trace_transport(1000);
-    let mut cluster = TcpKvCluster::start_sharded(
-        ShardMap::single(q),
-        KvMode::Replicated,
-        b"trace-bench",
-        tconfig,
-        Some(FaultPlan::new(seed, FaultSpec::mild())),
-    )
-    .expect("start trace cluster");
+    let mut cluster = TcpKvCluster::builder(KvMode::Replicated, b"trace-bench")
+        .shards(ShardMap::single(q))
+        .config(tconfig)
+        .chaos(FaultPlan::new(seed, FaultSpec::mild()))
+        .start()
+        .expect("start trace cluster");
     cluster
         .set_role(ServerId(4), KvMode::Replicated, ByzRole::Fabricator, seed)
         .expect("convert replica");
@@ -352,8 +350,10 @@ fn chaos_leg(seed: u64) -> ChaosLeg {
 fn violation_leg(seed: u64) -> (usize, usize, usize) {
     let q = QuorumConfig::minimal_bsr(1).expect("n = 5, f = 1 is valid");
     let tconfig = trace_transport(1000);
-    let mut cluster =
-        TcpKvCluster::start(q, KvMode::Replicated, b"trace-violation").expect("start cluster");
+    let mut cluster = TcpKvCluster::builder(KvMode::Replicated, b"trace-violation")
+        .quorum(q)
+        .start()
+        .expect("start cluster");
     let mut client = KvClient::new(q, WriterId(50), ReaderId(51));
     client.set_policy(tconfig);
     let mut transport = cluster.transport_with(tconfig);

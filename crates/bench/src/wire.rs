@@ -295,7 +295,10 @@ fn batch_drain_leg() -> (usize, u64, u64) {
         .count();
 
     let cfg = QuorumConfig::minimal_bsr(1).expect("n = 5 BSR point");
-    let Ok(cluster) = TcpKvCluster::start(cfg, KvMode::Replicated, b"wire-batch-leg") else {
+    let Ok(cluster) = TcpKvCluster::builder(KvMode::Replicated, b"wire-batch-leg")
+        .quorum(cfg)
+        .start()
+    else {
         // No loopback listener available: report an empty leg; ok() fails
         // loudly rather than pretending the ceiling was checked.
         return (ceiling, 0, 0);

@@ -271,6 +271,34 @@ impl BackoffPolicy {
     }
 }
 
+/// Which serving runtime a KV host runs its connections on.
+///
+/// `Threaded` is the original thread-per-connection model: one reader
+/// thread plus one writer thread per socket. `Reactor` multiplexes every
+/// connection onto a small pool of readiness-driven event-loop threads
+/// (epoll on Linux, poll elsewhere) with the bounded outboxes drained by
+/// the reactor itself via vectored writes — thread count stays
+/// O(reactors) regardless of connection count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ServerRuntime {
+    /// One reader + one writer thread per accepted connection.
+    Threaded,
+    /// Readiness-driven event loop; N reactor threads share all
+    /// connections (default N = number of shard groups the host serves).
+    #[default]
+    Reactor,
+}
+
+impl ServerRuntime {
+    /// Stable lowercase label for metrics and bench records.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServerRuntime::Threaded => "threaded",
+            ServerRuntime::Reactor => "reactor",
+        }
+    }
+}
+
 /// Tunables for the real network path: how long to wait for connections
 /// and operations, how much to retry, and how the per-server circuit
 /// breaker behaves. Replaces the hardcoded connect/operation timeouts the
@@ -319,6 +347,15 @@ pub struct TransportConfig {
     /// per operation by [`crate::trace::TraceCtx::for_op`]; unsampled ops
     /// pay one branch plus the 16 reserved wire bytes per frame.
     pub trace_sample: u16,
+    /// Reactor runtime only: when `true`, per-connection outbox capacity
+    /// adapts to load — it doubles (up to [`Self::chan_capacity_max`])
+    /// after a window with a sustained `chan.shed` rate and halves back
+    /// toward [`Self::chan_capacity`] after consecutive quiet windows.
+    /// Resizes are counted under `chan.adaptive.grow` / `.shrink`.
+    pub adaptive_outbox: bool,
+    /// Ceiling for adaptive outbox growth; [`Self::chan_capacity`] is the
+    /// floor it shrinks back to.
+    pub chan_capacity_max: usize,
 }
 
 impl Default for TransportConfig {
@@ -334,8 +371,10 @@ impl Default for TransportConfig {
             shed_policy: crate::sync::channel::ShedPolicy::Block,
             idle_timeout: Duration::from_secs(60),
             stall_timeout: Duration::from_secs(5),
-            max_batch_frames: 32,
+            max_batch_frames: 64,
             trace_sample: 0,
+            adaptive_outbox: true,
+            chan_capacity_max: 8192,
         }
     }
 }
@@ -360,8 +399,10 @@ impl TransportConfig {
             shed_policy: crate::sync::channel::ShedPolicy::Block,
             idle_timeout: Duration::from_secs(10),
             stall_timeout: Duration::from_millis(1500),
-            max_batch_frames: 32,
+            max_batch_frames: 64,
             trace_sample: 0,
+            adaptive_outbox: true,
+            chan_capacity_max: 2048,
         }
     }
 }
@@ -522,12 +563,26 @@ mod tests {
         assert!(cfg.idle_timeout > cfg.stall_timeout);
         assert!(fast.idle_timeout < cfg.idle_timeout);
         assert!(fast.stall_timeout < cfg.stall_timeout);
-        // The vectored drain ceiling doubled from the old MAX_BATCH = 16.
-        assert_eq!(cfg.max_batch_frames, 32);
-        assert_eq!(fast.max_batch_frames, 32);
+        // The vectored drain ceiling: 16 (PR 4) → 32 (PR 6) → 64 now that
+        // the reactor drains outboxes inline and deeper batches amortise
+        // the wakeup.
+        assert_eq!(cfg.max_batch_frames, 64);
+        assert_eq!(fast.max_batch_frames, 64);
+        // Adaptive outboxes are on by default and may grow at least 4×
+        // over the base capacity before the ceiling stops them.
+        assert!(cfg.adaptive_outbox);
+        assert!(cfg.chan_capacity_max >= 4 * cfg.chan_capacity);
+        assert!(fast.chan_capacity_max >= 4 * fast.chan_capacity);
         // Tracing is opt-in: both presets ship with sampling off.
         assert_eq!(cfg.trace_sample, 0);
         assert_eq!(fast.trace_sample, 0);
+    }
+
+    #[test]
+    fn server_runtime_defaults_to_reactor_with_stable_labels() {
+        assert_eq!(ServerRuntime::default(), ServerRuntime::Reactor);
+        assert_eq!(ServerRuntime::Reactor.label(), "reactor");
+        assert_eq!(ServerRuntime::Threaded.label(), "threaded");
     }
 
     #[test]

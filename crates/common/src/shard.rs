@@ -87,6 +87,14 @@ pub enum ShardMapError {
     },
     /// The fleet was empty.
     EmptyFleet,
+    /// The requested per-shard `(m, f)` pair is not a valid quorum
+    /// configuration (`m == 0`, `f ≥ m`, or `m > 255`).
+    BadQuorum {
+        /// Requested replicas per shard.
+        m: usize,
+        /// Requested per-shard fault bound.
+        f: usize,
+    },
 }
 
 impl fmt::Display for ShardMapError {
@@ -97,6 +105,12 @@ impl fmt::Display for ShardMapError {
                 write!(f, "per-shard subset m={m} exceeds the fleet of {fleet}")
             }
             ShardMapError::EmptyFleet => write!(f, "shard map needs at least one server"),
+            ShardMapError::BadQuorum { m, f: faults } => {
+                write!(
+                    f,
+                    "per-shard quorum m={m} f={faults} is not a valid configuration"
+                )
+            }
         }
     }
 }
@@ -206,6 +220,32 @@ impl ShardMap {
             ring,
             placement,
         })
+    }
+
+    /// First-class m < n placement: `shards` register groups over `fleet`,
+    /// each served by only `m` of the fleet's servers with per-subset
+    /// fault bound `f`. This is the horizontal-scaling shape — adding
+    /// servers grows the fleet without inflating every shard's quorum —
+    /// that previously only arose transiently when the reconfig machinery
+    /// added a replica to a full-fleet map.
+    ///
+    /// Equivalent to [`ShardMap::new`] with `QuorumConfig::new(m, f)`;
+    /// exists so callers state the placement shape directly instead of
+    /// building a quorum config whose only purpose is to carry `m`.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardMapError::BadQuorum`] when `(m, f)` is not a valid quorum
+    /// configuration, plus every [`ShardMap::new`] error.
+    pub fn with_replicas(
+        seed: u64,
+        shards: u16,
+        fleet: Vec<ServerId>,
+        m: usize,
+        f: usize,
+    ) -> Result<Self, ShardMapError> {
+        let cfg = QuorumConfig::new(m, f).map_err(|_| ShardMapError::BadQuorum { m, f })?;
+        ShardMap::new(seed, shards, fleet, cfg)
     }
 
     /// The degenerate single-shard map: one register group over the whole
@@ -383,6 +423,70 @@ mod tests {
             ShardMap::new(1, 1, fleet(4), cfg),
             Err(ShardMapError::SubsetExceedsFleet { m: 5, fleet: 4 })
         );
+    }
+
+    #[test]
+    fn with_replicas_places_m_of_the_fleet_per_shard() {
+        let map = ShardMap::with_replicas(11, 4, fleet(8), 5, 1).unwrap();
+        assert_eq!(map.shard_config().n(), 5);
+        assert_eq!(map.shard_config().f(), 1);
+        for g in map.shards() {
+            assert_eq!(map.replicas(g).unwrap().len(), 5);
+        }
+        assert_eq!(
+            ShardMap::with_replicas(11, 4, fleet(8), 5, 5),
+            Err(ShardMapError::BadQuorum { m: 5, f: 5 })
+        );
+        assert_eq!(
+            ShardMap::with_replicas(11, 4, fleet(3), 5, 1),
+            Err(ShardMapError::SubsetExceedsFleet { m: 5, fleet: 3 })
+        );
+    }
+
+    /// Property sweep over `m < fleet` placements: for a grid of seeds,
+    /// shard counts, fleet sizes and `(m, f)` points, every shard must
+    /// place exactly `m` *distinct* replicas drawn from the fleet, the
+    /// logical↔physical maps must roundtrip, key routing must stay in
+    /// range, and the whole placement must be a pure function of its
+    /// inputs.
+    #[test]
+    fn shard_ring_property_holds_for_m_subsets() {
+        for seed in [1u64, 0x5AFE, 0xDEAD_BEEF] {
+            for shards in [1u16, 3, 8] {
+                for fleet_n in [6u16, 8, 11] {
+                    for (m, f) in [(5usize, 1usize), (6, 1)] {
+                        if m > fleet_n as usize {
+                            continue;
+                        }
+                        let map =
+                            ShardMap::with_replicas(seed, shards, fleet(fleet_n), m, f).unwrap();
+                        let again =
+                            ShardMap::with_replicas(seed, shards, fleet(fleet_n), m, f).unwrap();
+                        assert_eq!(map, again, "placement is deterministic");
+                        for g in map.shards() {
+                            let replicas = map.replicas(g).unwrap().to_vec();
+                            assert_eq!(replicas.len(), m, "each shard places m replicas");
+                            let mut uniq = replicas.clone();
+                            uniq.sort_unstable();
+                            uniq.dedup();
+                            assert_eq!(uniq.len(), m, "replicas are distinct");
+                            assert!(
+                                replicas.iter().all(|s| s.0 < fleet_n),
+                                "replicas come from the fleet"
+                            );
+                            for (i, p) in replicas.iter().enumerate() {
+                                assert_eq!(map.physical(g, ServerId(i as u16)), Some(*p));
+                                assert_eq!(map.logical_of(g, *p), Some(ServerId(i as u16)));
+                            }
+                        }
+                        for k in 0..32u32 {
+                            let key = format!("prop-{k}");
+                            assert!(map.shard_of(key.as_bytes()).0 < shards);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -175,7 +175,7 @@ pub mod channel {
         inner: std::sync::Mutex<Inner<T>>,
         not_empty: Condvar,
         not_full: Condvar,
-        capacity: usize,
+        capacity: std::sync::atomic::AtomicUsize,
         policy: ShedPolicy,
     }
 
@@ -206,7 +206,7 @@ pub mod channel {
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
-            capacity: capacity.max(1),
+            capacity: std::sync::atomic::AtomicUsize::new(capacity.max(1)),
             policy,
         });
         (BoundedSender(Arc::clone(&shared)), BoundedReceiver(shared))
@@ -256,7 +256,7 @@ pub mod channel {
                 if !inner.rx_alive {
                     return Err(SendTimeoutError::Disconnected(value));
                 }
-                if inner.queue.len() < shared.capacity {
+                if inner.queue.len() < shared.capacity.load(std::sync::atomic::Ordering::Relaxed) {
                     inner.queue.push_back(value);
                     shared.not_empty.notify_one();
                     return Ok(SendOutcome::Sent);
@@ -299,6 +299,23 @@ pub mod channel {
         /// Messages this channel has shed so far.
         pub fn shed_count(&self) -> u64 {
             self.0.lock().shed
+        }
+
+        /// Current capacity (may change at runtime via
+        /// [`BoundedSender::set_capacity`]).
+        pub fn capacity(&self) -> usize {
+            self.0.capacity.load(std::sync::atomic::Ordering::Relaxed)
+        }
+
+        /// Resizes the channel in place (clamped to ≥ 1). Growing wakes
+        /// senders blocked on a full queue; shrinking never discards queued
+        /// messages — the queue just stays over-full until drained below
+        /// the new bound.
+        pub fn set_capacity(&self, capacity: usize) {
+            self.0
+                .capacity
+                .store(capacity.max(1), std::sync::atomic::Ordering::Relaxed);
+            self.0.not_full.notify_all();
         }
     }
 
@@ -412,6 +429,112 @@ pub mod channel {
             // observe the disconnect instead of waiting forever.
             inner.queue.clear();
             self.0.not_full.notify_all();
+        }
+    }
+
+    /// A capacity change decided by [`AdaptiveCap::record`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum CapChange {
+        /// Capacity doubled (value = new capacity).
+        Grew(usize),
+        /// Capacity halved back toward the base (value = new capacity).
+        Shrank(usize),
+    }
+
+    /// Windowed grow/shrink policy for adaptive queue capacity.
+    ///
+    /// The caller reports every enqueue attempt (and whether it shed) with
+    /// a timestamp; at each window boundary the policy decides:
+    ///
+    /// - **grow** — the window shed ≥ 5 % of attempts: capacity doubles,
+    ///   capped at `max`;
+    /// - **shrink** — [`AdaptiveCap::QUIET_WINDOWS_TO_SHRINK`] consecutive
+    ///   windows shed nothing: capacity halves, floored at `base`.
+    ///
+    /// The policy is a pure function of the reported events and timestamps
+    /// — time is injected, so tests are deterministic. It deliberately
+    /// knows nothing about queues; the reactor applies the returned
+    /// [`CapChange`] to its own outboxes and counts them under
+    /// `chan.adaptive.grow` / `chan.adaptive.shrink`.
+    #[derive(Debug, Clone)]
+    pub struct AdaptiveCap {
+        base: usize,
+        max: usize,
+        cap: usize,
+        window: Duration,
+        window_start: Option<Instant>,
+        attempts: u64,
+        shed: u64,
+        quiet_windows: u32,
+    }
+
+    impl AdaptiveCap {
+        /// Shed permille of a window's attempts at which capacity grows.
+        pub const GROW_SHED_PERMILLE: u64 = 50;
+        /// Consecutive shed-free windows before capacity shrinks one step.
+        pub const QUIET_WINDOWS_TO_SHRINK: u32 = 4;
+        /// Default evaluation window.
+        pub const DEFAULT_WINDOW: Duration = Duration::from_millis(250);
+
+        /// Creates a policy starting at `base` capacity, growing at most to
+        /// `max` (both clamped to ≥ 1; `max` to ≥ `base`).
+        pub fn new(base: usize, max: usize, window: Duration) -> Self {
+            let base = base.max(1);
+            AdaptiveCap {
+                base,
+                max: max.max(base),
+                cap: base,
+                window: window.max(Duration::from_millis(1)),
+                window_start: None,
+                attempts: 0,
+                shed: 0,
+                quiet_windows: 0,
+            }
+        }
+
+        /// The capacity the policy currently prescribes.
+        pub fn capacity(&self) -> usize {
+            self.cap
+        }
+
+        /// Reports one enqueue attempt at `now` (`shed` = the queue was
+        /// full and the message was dropped). Returns a [`CapChange`] when
+        /// this attempt closes a window whose shed rate crosses a
+        /// threshold.
+        pub fn record(&mut self, shed: bool, now: Instant) -> Option<CapChange> {
+            let start = *self.window_start.get_or_insert(now);
+            self.attempts += 1;
+            if shed {
+                self.shed += 1;
+            }
+            if now.duration_since(start) < self.window {
+                return None;
+            }
+            let (attempts, sheds) = (self.attempts, self.shed);
+            self.attempts = 0;
+            self.shed = 0;
+            self.window_start = Some(now);
+            if sheds * 1000 >= attempts * Self::GROW_SHED_PERMILLE && sheds > 0 {
+                self.quiet_windows = 0;
+                if self.cap < self.max {
+                    self.cap = (self.cap * 2).min(self.max);
+                    return Some(CapChange::Grew(self.cap));
+                }
+            } else if sheds == 0 {
+                self.quiet_windows += 1;
+                if self.quiet_windows >= Self::QUIET_WINDOWS_TO_SHRINK {
+                    self.quiet_windows = 0;
+                    if self.cap > self.base {
+                        self.cap = (self.cap / 2).max(self.base);
+                        return Some(CapChange::Shrank(self.cap));
+                    }
+                }
+            } else {
+                // Some shedding, below the grow threshold: hold steady and
+                // restart the quiet streak.
+                self.quiet_windows = 0;
+            }
+            None
         }
     }
 }
@@ -545,6 +668,101 @@ mod tests {
             rx.recv_timeout(Duration::from_millis(5)),
             Err(channel::RecvTimeoutError::Disconnected)
         ));
+    }
+
+    #[test]
+    fn bounded_capacity_can_grow_and_shrink_at_runtime() {
+        use channel::{bounded, SendOutcome, ShedPolicy};
+        let (tx, rx) = bounded::<u32>(1, ShedPolicy::DropNewest);
+        tx.send(1).unwrap();
+        assert_eq!(tx.send(2).unwrap(), SendOutcome::ShedNewest);
+        tx.set_capacity(3);
+        assert_eq!(tx.capacity(), 3);
+        assert_eq!(tx.send(3).unwrap(), SendOutcome::Sent);
+        assert_eq!(tx.send(4).unwrap(), SendOutcome::Sent);
+        // Shrinking below the queue length discards nothing; the queue
+        // drains down to the new bound.
+        tx.set_capacity(1);
+        assert_eq!(tx.send(5).unwrap(), SendOutcome::ShedNewest);
+        assert_eq!(rx.try_recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 3);
+        assert_eq!(rx.try_recv().unwrap(), 4);
+    }
+
+    #[test]
+    fn bounded_growing_capacity_unblocks_a_blocked_sender() {
+        use channel::{bounded, ShedPolicy};
+        use std::time::Duration;
+        let (tx, rx) = bounded::<u32>(1, ShedPolicy::Block);
+        tx.send(1).unwrap();
+        let tx2 = tx.clone();
+        let h = std::thread::spawn(move || tx2.send(2));
+        std::thread::sleep(Duration::from_millis(30));
+        tx.set_capacity(2);
+        h.join().unwrap().unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn adaptive_cap_grows_on_sustained_sheds_up_to_max() {
+        use channel::{AdaptiveCap, CapChange};
+        use std::time::{Duration, Instant};
+        let w = Duration::from_millis(100);
+        let mut pol = AdaptiveCap::new(4, 16, w);
+        assert_eq!(pol.capacity(), 4);
+        let t0 = Instant::now();
+        // Window 1: 50% shed rate → grow to 8.
+        for i in 0..9 {
+            assert_eq!(pol.record(i % 2 == 0, t0 + w.mul_f64(0.1 * i as f64)), None);
+        }
+        assert_eq!(pol.record(true, t0 + w), Some(CapChange::Grew(8)));
+        // Window 2: all sheds → grow to the 16 ceiling; window 3: capped.
+        assert_eq!(pol.record(true, t0 + w * 2), Some(CapChange::Grew(16)));
+        assert_eq!(pol.record(true, t0 + w * 3), None);
+        assert_eq!(pol.capacity(), 16);
+    }
+
+    #[test]
+    fn adaptive_cap_shrinks_only_after_consecutive_quiet_windows() {
+        use channel::{AdaptiveCap, CapChange};
+        use std::time::{Duration, Instant};
+        let w = Duration::from_millis(100);
+        let mut pol = AdaptiveCap::new(4, 16, w);
+        let t0 = Instant::now();
+        pol.record(true, t0);
+        assert_eq!(pol.record(true, t0 + w), Some(CapChange::Grew(8)));
+        // Three quiet windows: no change yet; the fourth shrinks.
+        for k in 2..5u32 {
+            assert_eq!(pol.record(false, t0 + w * k), None);
+        }
+        assert_eq!(pol.record(false, t0 + w * 5), Some(CapChange::Shrank(4)));
+        // Already at base: further quiet windows do nothing.
+        for k in 6..12u32 {
+            assert_eq!(pol.record(false, t0 + w * k), None, "window {k}");
+        }
+        assert_eq!(pol.capacity(), 4);
+    }
+
+    #[test]
+    fn adaptive_cap_sub_threshold_shedding_holds_steady() {
+        use channel::AdaptiveCap;
+        use std::time::{Duration, Instant};
+        let w = Duration::from_millis(100);
+        let mut pol = AdaptiveCap::new(4, 16, w);
+        let t0 = Instant::now();
+        // 1 shed in 100 attempts = 1% — below the 5% grow threshold, and
+        // it also resets the quiet streak so no shrink can sneak in.
+        for round in 1..10u32 {
+            for i in 0..99 {
+                assert_eq!(
+                    pol.record(i == 0, t0 + w * (round - 1) + w.mul_f64(0.009 * i as f64)),
+                    None
+                );
+            }
+            assert_eq!(pol.record(false, t0 + w * round), None, "round {round}");
+        }
+        assert_eq!(pol.capacity(), 4);
     }
 
     #[test]

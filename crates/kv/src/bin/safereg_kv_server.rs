@@ -11,9 +11,11 @@
 //! ...
 //! ```
 //!
-//! Pass `--coded` for erasure-coded registers (needs `n ≥ 5f + 1`).
+//! Pass `--coded` for erasure-coded registers (needs `n ≥ 5f + 1`), and
+//! `--runtime threaded|reactor` to pick the serving runtime (reactor by
+//! default), with `--reactors <k>` sizing the reactor pool.
 
-use safereg_common::config::QuorumConfig;
+use safereg_common::config::{QuorumConfig, ServerRuntime};
 use safereg_common::ids::ServerId;
 use safereg_crypto::keychain::KeyChain;
 use safereg_kv::tcp::KvServerHost;
@@ -26,12 +28,15 @@ struct Args {
     listen: String,
     secret: String,
     coded: bool,
+    runtime: ServerRuntime,
+    reactors: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: safereg-kv-server --id <u16> --n <usize> --f <usize> \
-         --listen <addr:port> --secret <string> [--coded]"
+         --listen <addr:port> --secret <string> [--coded] \
+         [--runtime threaded|reactor] [--reactors <usize>]"
     );
     std::process::exit(2)
 }
@@ -44,6 +49,8 @@ fn parse_args() -> Args {
         listen: String::new(),
         secret: String::new(),
         coded: false,
+        runtime: ServerRuntime::default(),
+        reactors: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -55,6 +62,14 @@ fn parse_args() -> Args {
             "--listen" => args.listen = take(),
             "--secret" => args.secret = take(),
             "--coded" => args.coded = true,
+            "--runtime" => {
+                args.runtime = match take().as_str() {
+                    "threaded" => ServerRuntime::Threaded,
+                    "reactor" => ServerRuntime::Reactor,
+                    _ => usage(),
+                }
+            }
+            "--reactors" => args.reactors = take().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -87,7 +102,12 @@ fn main() {
 
     let sid = ServerId(args.id);
     let chain = KeyChain::from_master_seed(args.secret.as_bytes());
-    let host = match KvServerHost::spawn_on(sid, cfg, mode, chain, args.listen.as_str()) {
+    let host = match KvServerHost::builder(sid, cfg, mode, chain)
+        .bind(args.listen.as_str())
+        .runtime(args.runtime)
+        .reactors(args.reactors)
+        .spawn()
+    {
         Ok(h) => h,
         Err(e) => {
             eprintln!("failed to bind {}: {e}", args.listen);
@@ -95,9 +115,10 @@ fn main() {
         }
     };
     println!(
-        "safereg-kv-server {sid} serving {} kv store on {} ({cfg})",
+        "safereg-kv-server {sid} serving {} kv store on {} ({cfg}, {} runtime)",
         if args.coded { "coded" } else { "replicated" },
-        host.addr()
+        host.addr(),
+        args.runtime.label(),
     );
     // Serve until killed; the host's accept thread does the work.
     loop {

@@ -25,6 +25,7 @@
 
 pub mod client;
 pub mod cluster;
+pub(crate) mod reactor;
 pub mod server;
 pub mod tcp;
 
@@ -32,5 +33,6 @@ pub use client::{KvClient, KvError, KvTransport, Unreachable};
 pub use cluster::InMemKvCluster;
 pub use server::{entry_digest, KvMode, KvServer};
 pub use tcp::{
-    fetch_metrics, KvHostOptions, KvServerHost, TcpKvCluster, TcpKvTransport, METRICS_KEY,
+    encode_request, fetch_metrics, ClusterBuilder, KvHostBuilder, KvHostOptions, KvServerHost,
+    TcpKvCluster, TcpKvTransport, METRICS_KEY,
 };

@@ -29,7 +29,7 @@ use std::time::Duration;
 
 use safereg_common::buf::Bytes;
 use safereg_common::codec::{BytesReader, Wire, WireError, WireReader};
-use safereg_common::config::{QuorumConfig, TransportConfig};
+use safereg_common::config::{QuorumConfig, ServerRuntime, TransportConfig};
 use safereg_common::epoch::{ConfigStamp, EpochConfig, Member};
 use safereg_common::ids::{ClientId, NodeId, ReaderId, ServerId, WriterId};
 use safereg_common::msg::{ClientToServer, Envelope, Message, ServerToClient};
@@ -48,12 +48,14 @@ use safereg_obs::names;
 use safereg_obs::span::{self, SpanKind};
 use safereg_obs::trace::{wall_micros, MsgClass};
 use safereg_transport::chaos::{ChaosProxy, FaultPlan};
+use safereg_transport::poll::PollBackend;
 use safereg_transport::write_all_vectored;
 
 use safereg_mds::rs::ReedSolomon;
 use safereg_mds::stripe::encode_value;
 
 use crate::client::{KvClient, KvTransport, Unreachable};
+use crate::reactor::ReactorPool;
 use crate::server::{KvMode, KvServer};
 
 /// Reserved key addressing the replica's observability dump rather than a
@@ -70,7 +72,7 @@ pub const METRICS_KEY: &[u8] = b"__safereg/metrics";
 /// before dispatching, likewise MAC-covered so a Byzantine network cannot
 /// splice a frame from one epoch into another.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct KvFrame {
+pub(crate) struct KvFrame {
     shard: ShardId,
     trace: TraceCtx,
     stamp: ConfigStamp,
@@ -131,10 +133,10 @@ impl KvFrame {
 /// A KV frame sealed for one link: metadata head, zero-copy payload tail,
 /// and the streaming MAC over both. Written as one length-prefixed wire
 /// frame without ever concatenating the parts.
-struct SealedKv {
-    head: Vec<u8>,
-    tail: Bytes,
-    mac: [u8; DIGEST_LEN],
+pub(crate) struct SealedKv {
+    pub(crate) head: Vec<u8>,
+    pub(crate) tail: Bytes,
+    pub(crate) mac: [u8; DIGEST_LEN],
 }
 
 impl SealedKv {
@@ -147,7 +149,7 @@ impl SealedKv {
 
     /// Length of the framed payload (head + tail + MAC), i.e. the value of
     /// the `u32` length prefix.
-    fn payload_len(&self) -> usize {
+    pub(crate) fn payload_len(&self) -> usize {
         self.head.len() + self.tail.len() + self.mac.len()
     }
 
@@ -197,11 +199,42 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Bytes> {
     Ok(Bytes::from(payload))
 }
 
+/// Seals one client→server request exactly as [`TcpKvTransport::exchange`]
+/// would and returns the complete length-prefixed wire bytes, ready to be
+/// written to a replica's socket verbatim. Load generators use this to
+/// pre-encode a request once and replay it from many connections without
+/// paying the seal on the hot path.
+pub fn encode_request(
+    chain: &KeyChain,
+    stamp: ConfigStamp,
+    from: ClientId,
+    to: ServerId,
+    shard: ShardId,
+    key: &[u8],
+    msg: &ClientToServer,
+) -> Vec<u8> {
+    let frame = KvFrame {
+        shard,
+        trace: TraceCtx::NONE,
+        stamp,
+        key: Bytes::copy_from_slice(key),
+        env: Envelope::to_server(from, to, msg.clone()),
+    };
+    let codec = AuthCodec::new(chain.pair_key(frame.env.src, frame.env.dst));
+    let sealed = SealedKv::seal(&codec, &frame);
+    let mut out = Vec::with_capacity(4 + sealed.payload_len());
+    out.extend_from_slice(&(sealed.payload_len() as u32).to_le_bytes());
+    out.extend_from_slice(&sealed.head);
+    out.extend_from_slice(sealed.tail.as_ref());
+    out.extend_from_slice(&sealed.mac);
+    out
+}
+
 /// Counts one slow-client eviction: the aggregate `server.evictions` plus
 /// the per-reason counter (`server.evictions.idle` / `server.evictions.stall`).
 /// Every eviction also dumps the flight recorder — the evicted connection's
 /// recent spans are exactly the forensics a stall post-mortem needs.
-fn count_eviction(reason: &str) {
+pub(crate) fn count_eviction(reason: &str) {
     let reg = safereg_obs::global();
     reg.counter(names::SERVER_EVICTIONS).inc();
     reg.counter(&names::eviction_counter(reason)).inc();
@@ -246,6 +279,175 @@ fn enqueue_reply(tx: &BoundedSender<SealedKv>, reply: SealedKv, config: &Transpo
     }
 }
 
+/// What to do with the connection after one inbound frame was handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FrameDisposition {
+    /// Keep serving the connection.
+    Continue,
+    /// Tear the connection down (the reply sink rejected a reply, i.e. the
+    /// client was evicted or the writer is gone).
+    Close,
+}
+
+/// The per-frame serving path shared by both runtimes: authenticate,
+/// admin-intercept, epoch-admit, dispatch, and seal each reply through
+/// `queue_reply`. The thread-per-connection loop passes a closure that
+/// feeds the writer thread's bounded channel; the reactor passes one that
+/// pushes onto the connection's outbox under the shed policy. `queue_reply`
+/// returning `false` means the connection must close.
+///
+/// Malformed, forged, misaddressed or short frames are dropped without
+/// closing the connection — Byzantine input is reachable silence, not a
+/// transport fault.
+pub(crate) fn process_sealed_frame(
+    server: &KvServer,
+    chain: &KeyChain,
+    me: ServerId,
+    sealed: &Bytes,
+    queue_reply: &mut dyn FnMut(SealedKv) -> bool,
+) -> FrameDisposition {
+    // Authenticate: the MAC is keyed by the claimed endpoints of the
+    // inner envelope.
+    if sealed.len() < DIGEST_LEN {
+        return FrameDisposition::Continue;
+    }
+    let payload = sealed.slice(..sealed.len() - DIGEST_LEN);
+    // Borrowing decode: the frame's key and value fields are O(1)
+    // slices of `sealed`; `wire.bytes_copied` stays at zero here.
+    let frame = match KvFrame::from_bytes(&payload) {
+        Ok(f) => f,
+        Err(_) => return FrameDisposition::Continue,
+    };
+    // Tracing is one branch when the frame is unsampled; when it is,
+    // time the MAC verification as the server's `server_decode` phase.
+    let auth_start = if frame.trace.is_sampled() {
+        wall_micros()
+    } else {
+        0
+    };
+    let codec = AuthCodec::new(chain.pair_key(frame.env.src, frame.env.dst));
+    if codec.open(sealed.as_ref()).is_err() {
+        return FrameDisposition::Continue; // forged or corrupted: drop, not fatal
+    }
+    // The MAC covered the trace bytes, so the context is authentic
+    // from here on. The server's spans run one hop below the client's.
+    let strace = frame.trace.hopped(Phase::ServerDecode);
+    let me_node = span::node::server(me.0);
+    if strace.is_sampled() {
+        let now = wall_micros();
+        span::record_global(
+            strace,
+            SpanKind::Segment,
+            auth_start,
+            now.saturating_sub(auth_start),
+            me_node,
+            sealed.len() as u32,
+        );
+    }
+    let (from, msg) = match (&frame.env.src, &frame.env.msg) {
+        (NodeId::Client(c), Message::ToServer(m)) => (*c, m),
+        _ => return FrameDisposition::Continue,
+    };
+    if frame.env.dst != NodeId::Server(me) {
+        return FrameDisposition::Continue; // misaddressed
+    }
+    safereg_obs::global()
+        .counter(&names::kv_recv_counter(
+            MsgClass::of(&frame.env.msg).as_str(),
+        ))
+        .inc();
+    // Admin path: the metrics key is served from the observability
+    // registry, never from register state.
+    if frame.key.as_slice() == METRICS_KEY {
+        if let ClientToServer::QueryData { op } = msg {
+            let mut dump = safereg_obs::render_jsonl(&safereg_obs::global().snapshot());
+            dump.push_str(&placement_summary(&server.map()));
+            let resp = ServerToClient::DataResp {
+                op: *op,
+                tag: Tag::ZERO,
+                payload: Payload::Full(Value::from(dump.into_bytes())),
+            };
+            let reply = KvFrame {
+                shard: frame.shard,
+                trace: frame.trace.hopped(Phase::Reply),
+                stamp: frame.stamp,
+                key: frame.key.clone(),
+                env: Envelope::to_client(me, from, resp),
+            };
+            let codec = AuthCodec::new(chain.pair_key(reply.env.src, reply.env.dst));
+            if !queue_reply(SealedKv::seal(&codec, &reply)) {
+                return FrameDisposition::Close;
+            }
+        }
+        return FrameDisposition::Continue;
+    }
+    // Epoch admission (the admin path above deliberately bypasses it:
+    // operators must be able to read metrics from a replica whatever
+    // epoch it serves). A mismatched stamp is answered with this
+    // replica's full configuration; the client's `f + 1`-vote rule
+    // decides whether to adopt it.
+    if let Err(current) = server.check_stamp(frame.stamp) {
+        safereg_obs::global()
+            .counter(names::KV_EPOCH_STALE_FRAMES)
+            .inc();
+        let resp = ServerToClient::WrongEpoch {
+            op: msg.op(),
+            config: current,
+        };
+        let reply = KvFrame {
+            shard: frame.shard,
+            trace: frame.trace.hopped(Phase::Reply),
+            stamp: frame.stamp,
+            key: frame.key.clone(),
+            env: Envelope::to_client(me, from, resp),
+        };
+        let codec = AuthCodec::new(chain.pair_key(reply.env.src, reply.env.dst));
+        if !queue_reply(SealedKv::seal(&codec, &reply)) {
+            return FrameDisposition::Close;
+        }
+        return FrameDisposition::Continue;
+    }
+    // Per-shard dispatch: only the addressed register group's lock is
+    // taken, so connections serving different shards run in parallel.
+    let responses = server.handle_traced(from, frame.shard, &frame.key, msg, strace);
+    safereg_obs::global()
+        .counter(&names::shard_served_counter(frame.shard.0))
+        .inc();
+    for resp in responses {
+        let reply = KvFrame {
+            shard: frame.shard,
+            trace: frame.trace.hopped(Phase::Reply),
+            stamp: frame.stamp,
+            key: frame.key.clone(),
+            env: Envelope::to_client(me, from, resp),
+        };
+        let codec = AuthCodec::new(chain.pair_key(reply.env.src, reply.env.dst));
+        let sealed_reply = SealedKv::seal(&codec, &reply);
+        let outbox_start = if strace.is_sampled() {
+            wall_micros()
+        } else {
+            0
+        };
+        let reply_len = sealed_reply.payload_len() as u32;
+        let queued = queue_reply(sealed_reply);
+        if strace.is_sampled() {
+            let now = wall_micros();
+            span::record_global(
+                strace.with_phase(Phase::Outbox),
+                SpanKind::Segment,
+                outbox_start,
+                now.saturating_sub(outbox_start),
+                me_node,
+                reply_len,
+            );
+        }
+        if !queued {
+            return FrameDisposition::Close;
+        }
+    }
+    FrameDisposition::Continue
+}
+
 /// Everything optional about how a KV replica is hosted: the transport
 /// policy, the (possibly Byzantine) role it plays, and an optional
 /// server-side chaos plan that fronts the listener with a fault-injecting
@@ -268,6 +470,18 @@ pub struct KvHostOptions {
     /// placed on it. `None` hosts the single pre-sharding group over the
     /// whole fleet.
     pub shards: Option<ShardMap>,
+    /// Which serving runtime drains accepted connections:
+    /// [`ServerRuntime::Reactor`] (the default) multiplexes them onto a
+    /// small pool of readiness-driven event loops;
+    /// [`ServerRuntime::Threaded`] spawns a reader and a writer thread per
+    /// connection.
+    pub runtime: ServerRuntime,
+    /// Reactor pool size under [`ServerRuntime::Reactor`]; `0` (the
+    /// default) sizes the pool to the number of shards this replica hosts.
+    pub reactors: usize,
+    /// Readiness backend for the reactor pool (`epoll` on Linux, portable
+    /// `poll` elsewhere or when forced for tests).
+    pub poll_backend: PollBackend,
 }
 
 /// A KV replica served over TCP.
@@ -283,7 +497,106 @@ pub struct KvServerHost {
     server: Arc<KvServer>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    /// The reactor pool draining accepted connections under
+    /// [`ServerRuntime::Reactor`]; `None` under the threaded runtime.
+    pool: Option<ReactorPool>,
     chaos: Option<ChaosProxy>,
+}
+
+/// Builder for a [`KvServerHost`] — the one spawn path. Collapses the old
+/// `spawn` / `spawn_with` / `spawn_on` / `spawn_on_with` / `spawn_opts`
+/// constructor zoo into chained setters over [`KvHostOptions`].
+///
+/// ```no_run
+/// # use safereg_common::config::{QuorumConfig, ServerRuntime};
+/// # use safereg_common::ids::ServerId;
+/// # use safereg_crypto::keychain::KeyChain;
+/// # use safereg_kv::server::KvMode;
+/// # use safereg_kv::tcp::KvServerHost;
+/// let cfg = QuorumConfig::minimal_bsr(1)?;
+/// let chain = KeyChain::from_master_seed(b"demo");
+/// let host = KvServerHost::builder(ServerId(0), cfg, KvMode::Replicated, chain)
+///     .runtime(ServerRuntime::Reactor)
+///     .spawn()?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct KvHostBuilder {
+    id: ServerId,
+    cfg: QuorumConfig,
+    mode: KvMode,
+    chain: KeyChain,
+    bind: std::io::Result<SocketAddr>,
+    opts: KvHostOptions,
+}
+
+impl KvHostBuilder {
+    /// Binds the listener (or the fronting chaos proxy) to `bind` instead
+    /// of an ephemeral loopback port. A resolution failure is deferred to
+    /// [`spawn`](Self::spawn).
+    pub fn bind(mut self, bind: impl std::net::ToSocketAddrs) -> Self {
+        self.bind = bind_first(&bind);
+        self
+    }
+
+    /// Transport policy: outbox capacity, shed policy, idle/stall budgets,
+    /// batch sizing and the adaptive-capacity knobs.
+    pub fn config(mut self, tconfig: TransportConfig) -> Self {
+        self.opts.tconfig = tconfig;
+        self
+    }
+
+    /// The (possibly Byzantine) role every hosted register group plays,
+    /// with the seed for its fault stream.
+    pub fn role(mut self, role: ByzRole, byz_seed: u64) -> Self {
+        self.opts.role = role;
+        self.opts.byz_seed = byz_seed;
+        self
+    }
+
+    /// Fronts the listener with a seeded [`ChaosProxy`] injecting `plan`
+    /// on every accepted connection.
+    pub fn chaos(mut self, plan: FaultPlan) -> Self {
+        self.opts.chaos = Some(plan);
+        self
+    }
+
+    /// Shard placement: the replica hosts one register group per shard of
+    /// `map` placed on it.
+    pub fn shards(mut self, map: ShardMap) -> Self {
+        self.opts.shards = Some(map);
+        self
+    }
+
+    /// Selects the serving runtime (reactor pool vs thread per connection).
+    pub fn runtime(mut self, runtime: ServerRuntime) -> Self {
+        self.opts.runtime = runtime;
+        self
+    }
+
+    /// Reactor pool size (`0` = one reactor per hosted shard).
+    pub fn reactors(mut self, reactors: usize) -> Self {
+        self.opts.reactors = reactors;
+        self
+    }
+
+    /// Forces a readiness backend for the reactor pool.
+    pub fn poll_backend(mut self, backend: PollBackend) -> Self {
+        self.opts.poll_backend = backend;
+        self
+    }
+
+    /// Spawns the host.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors from the listener or the proxy, and backend
+    /// creation errors from the reactor pool.
+    pub fn spawn(self) -> std::io::Result<KvServerHost> {
+        KvServerHost::spawn_inner(
+            self.id, self.cfg, self.mode, self.chain, self.bind?, self.opts,
+        )
+    }
 }
 
 impl std::fmt::Debug for KvServerHost {
@@ -297,19 +610,37 @@ impl std::fmt::Debug for KvServerHost {
 }
 
 impl KvServerHost {
+    /// Starts building a host; see [`KvHostBuilder`].
+    pub fn builder(
+        id: ServerId,
+        cfg: QuorumConfig,
+        mode: KvMode,
+        chain: KeyChain,
+    ) -> KvHostBuilder {
+        KvHostBuilder {
+            id,
+            cfg,
+            mode,
+            chain,
+            bind: bind_first(&("127.0.0.1", 0)),
+            opts: KvHostOptions::default(),
+        }
+    }
+
     /// Spawns a replica on an ephemeral loopback port with the default
     /// [`TransportConfig`].
     ///
     /// # Errors
     ///
     /// Propagates bind errors.
+    #[deprecated(note = "use KvServerHost::builder(..).spawn()")]
     pub fn spawn(
         id: ServerId,
         cfg: QuorumConfig,
         mode: KvMode,
         chain: KeyChain,
     ) -> std::io::Result<Self> {
-        Self::spawn_on(id, cfg, mode, chain, ("127.0.0.1", 0))
+        Self::builder(id, cfg, mode, chain).spawn()
     }
 
     /// Spawns a replica on an ephemeral loopback port with an explicit
@@ -318,6 +649,7 @@ impl KvServerHost {
     /// # Errors
     ///
     /// Propagates bind errors.
+    #[deprecated(note = "use KvServerHost::builder(..).config(tconfig).spawn()")]
     pub fn spawn_with(
         id: ServerId,
         cfg: QuorumConfig,
@@ -325,7 +657,7 @@ impl KvServerHost {
         chain: KeyChain,
         tconfig: TransportConfig,
     ) -> std::io::Result<Self> {
-        Self::spawn_on_with(id, cfg, mode, chain, ("127.0.0.1", 0), tconfig)
+        Self::builder(id, cfg, mode, chain).config(tconfig).spawn()
     }
 
     /// Spawns a replica on a caller-chosen address (the `safereg-kv-server`
@@ -334,6 +666,7 @@ impl KvServerHost {
     /// # Errors
     ///
     /// Propagates bind errors.
+    #[deprecated(note = "use KvServerHost::builder(..).bind(addr).spawn()")]
     pub fn spawn_on(
         id: ServerId,
         cfg: QuorumConfig,
@@ -341,7 +674,7 @@ impl KvServerHost {
         chain: KeyChain,
         bind: impl std::net::ToSocketAddrs,
     ) -> std::io::Result<Self> {
-        Self::spawn_on_with(id, cfg, mode, chain, bind, TransportConfig::default())
+        Self::builder(id, cfg, mode, chain).bind(bind).spawn()
     }
 
     /// Spawns a replica on a caller-chosen address with an explicit
@@ -350,6 +683,7 @@ impl KvServerHost {
     /// # Errors
     ///
     /// Propagates bind errors.
+    #[deprecated(note = "use KvServerHost::builder(..).bind(addr).config(tconfig).spawn()")]
     pub fn spawn_on_with(
         id: ServerId,
         cfg: QuorumConfig,
@@ -358,28 +692,19 @@ impl KvServerHost {
         bind: impl std::net::ToSocketAddrs,
         tconfig: TransportConfig,
     ) -> std::io::Result<Self> {
-        Self::spawn_opts(
-            id,
-            cfg,
-            mode,
-            chain,
-            bind,
-            KvHostOptions {
-                tconfig,
-                ..KvHostOptions::default()
-            },
-        )
+        Self::builder(id, cfg, mode, chain)
+            .bind(bind)
+            .config(tconfig)
+            .spawn()
     }
 
     /// Spawns a replica with the full option set: transport policy, role,
-    /// and optional server-side chaos. With chaos, the real listener binds
-    /// ephemerally and a seeded [`ChaosProxy`] binds `bind` in front of it —
-    /// the advertised [`addr`](Self::addr) is the proxy, so every accepted
-    /// connection runs through the fault plan.
+    /// and optional server-side chaos.
     ///
     /// # Errors
     ///
     /// Propagates bind errors from the listener or the proxy.
+    #[deprecated(note = "use KvServerHost::builder(..) with chained setters")]
     pub fn spawn_opts(
         id: ServerId,
         cfg: QuorumConfig,
@@ -388,21 +713,35 @@ impl KvServerHost {
         bind: impl std::net::ToSocketAddrs,
         opts: KvHostOptions,
     ) -> std::io::Result<Self> {
+        Self::spawn_inner(id, cfg, mode, chain, bind_first(&bind)?, opts)
+    }
+
+    /// The one real spawn path (the builder and every shim funnel here).
+    /// With chaos, the real listener binds ephemerally and a seeded
+    /// [`ChaosProxy`] binds `bind` in front of it — the advertised
+    /// [`addr`](Self::addr) is the proxy, so every accepted connection runs
+    /// through the fault plan. Under [`ServerRuntime::Reactor`] the accept
+    /// loop hands connections off to a readiness-driven reactor pool;
+    /// under [`ServerRuntime::Threaded`] it spawns a serving thread (plus a
+    /// writer thread) per connection.
+    fn spawn_inner(
+        id: ServerId,
+        cfg: QuorumConfig,
+        mode: KvMode,
+        chain: KeyChain,
+        bind: SocketAddr,
+        opts: KvHostOptions,
+    ) -> std::io::Result<Self> {
         let tconfig = opts.tconfig;
         let listener = match opts.chaos {
             // The proxy owns the requested address; the listener hides on
             // an ephemeral port behind it.
             Some(_) => TcpListener::bind(("127.0.0.1", 0))?,
-            None => TcpListener::bind(bind_first(&bind)?)?,
+            None => TcpListener::bind(bind)?,
         };
         let listen_addr = listener.local_addr()?;
         let chaos = match opts.chaos {
-            Some(plan) => Some(ChaosProxy::spawn_on(
-                id,
-                listen_addr,
-                plan,
-                bind_first(&bind)?,
-            )?),
+            Some(plan) => Some(ChaosProxy::spawn_on(id, listen_addr, plan, bind)?),
             None => None,
         };
         let addr = chaos.as_ref().map_or(listen_addr, ChaosProxy::addr);
@@ -454,9 +793,46 @@ impl KvServerHost {
         reg.counter(names::KV_EPOCH_ADOPTIONS);
         reg.counter(names::KV_EPOCH_RECONFIGS);
         reg.counter(names::KV_TRANSFER_KEYS);
+        // Reactor-runtime series, registered whatever the runtime so the
+        // dump schema does not depend on how the replica is served.
+        reg.gauge(names::REACTOR_THREADS);
+        reg.gauge(names::REACTOR_CONNS);
+        reg.counter(names::REACTOR_EVENTS);
+        reg.counter(names::REACTOR_WAKEUPS);
+        reg.counter(names::REACTOR_HANDOFFS);
+        reg.counter(names::CHAN_ADAPTIVE_GROW);
+        reg.counter(names::CHAN_ADAPTIVE_SHRINK);
+
+        // The reactor pool needs raw-fd readiness APIs; on targets without
+        // them the host silently degrades to thread-per-connection.
+        let runtime = if cfg!(unix) {
+            opts.runtime
+        } else {
+            ServerRuntime::Threaded
+        };
+        let pool = match runtime {
+            ServerRuntime::Threaded => None,
+            ServerRuntime::Reactor => {
+                let reactors = if opts.reactors > 0 {
+                    opts.reactors
+                } else {
+                    server.shards().len().max(1)
+                };
+                Some(ReactorPool::spawn(
+                    reactors,
+                    opts.poll_backend,
+                    Arc::clone(&server),
+                    chain.clone(),
+                    id,
+                    tconfig,
+                    Arc::clone(&stop),
+                )?)
+            }
+        };
 
         let host_server = Arc::clone(&server);
         let accept_stop = Arc::clone(&stop);
+        let accept_pool = pool.as_ref().map(ReactorPool::handle);
         let accept_thread = std::thread::Builder::new()
             .name(format!("safereg-kv-{addr}"))
             .spawn(move || {
@@ -472,12 +848,21 @@ impl KvServerHost {
                     // Nagle against the client's delayed ACK turns every
                     // exchange into a ~40 ms stall, so send eagerly.
                     let _ = stream.set_nodelay(true);
-                    let server = Arc::clone(&server);
-                    let stop = Arc::clone(&accept_stop);
-                    let chain = chain.clone();
-                    let _ = std::thread::Builder::new()
-                        .name("safereg-kv-conn".into())
-                        .spawn(move || serve(stream, server, chain, stop, id, tconfig));
+                    match &accept_pool {
+                        // Accept-and-hand-off: the listener stays a plain
+                        // blocking accept loop (so the chaos proxy and the
+                        // stop dance keep working) and each connection is
+                        // round-robined onto a reactor's inbox.
+                        Some(pool) => pool.dispatch(stream),
+                        None => {
+                            let server = Arc::clone(&server);
+                            let stop = Arc::clone(&accept_stop);
+                            let chain = chain.clone();
+                            let _ = std::thread::Builder::new()
+                                .name("safereg-kv-conn".into())
+                                .spawn(move || serve(stream, server, chain, stop, id, tconfig));
+                        }
+                    }
                 }
             })
             .expect("spawn kv accept thread");
@@ -488,6 +873,7 @@ impl KvServerHost {
             server: host_server,
             stop,
             accept_thread: Some(accept_thread),
+            pool,
             chaos,
         })
     }
@@ -564,7 +950,7 @@ impl KvServerHost {
         self.stop();
     }
 
-    /// Stops the host (proxy first, then the listener).
+    /// Stops the host (proxy first, then the listener, then the reactors).
     pub fn stop(&mut self) {
         if let Some(mut proxy) = self.chaos.take() {
             proxy.stop();
@@ -573,6 +959,9 @@ impl KvServerHost {
         let _ = TcpStream::connect(self.listen_addr);
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
+        }
+        if let Some(mut pool) = self.pool.take() {
+            pool.shutdown();
         }
     }
 }
@@ -675,144 +1064,10 @@ fn serve(
         if stop.load(Ordering::SeqCst) {
             return;
         }
-        // Authenticate: the MAC is keyed by the claimed endpoints of the
-        // inner envelope.
-        if sealed.len() < DIGEST_LEN {
-            continue;
-        }
-        let payload = sealed.slice(..sealed.len() - DIGEST_LEN);
-        // Borrowing decode: the frame's key and value fields are O(1)
-        // slices of `sealed`; `wire.bytes_copied` stays at zero here.
-        let frame = match KvFrame::from_bytes(&payload) {
-            Ok(f) => f,
-            Err(_) => continue,
-        };
-        // Tracing is one branch when the frame is unsampled; when it is,
-        // time the MAC verification as the server's `server_decode` phase.
-        let auth_start = if frame.trace.is_sampled() {
-            wall_micros()
-        } else {
-            0
-        };
-        let codec = AuthCodec::new(chain.pair_key(frame.env.src, frame.env.dst));
-        if codec.open(sealed.as_ref()).is_err() {
-            continue; // forged or corrupted: drop, not fatal
-        }
-        // The MAC covered the trace bytes, so the context is authentic
-        // from here on. The server's spans run one hop below the client's.
-        let strace = frame.trace.hopped(Phase::ServerDecode);
-        let me_node = span::node::server(me.0);
-        if strace.is_sampled() {
-            let now = wall_micros();
-            span::record_global(
-                strace,
-                SpanKind::Segment,
-                auth_start,
-                now.saturating_sub(auth_start),
-                me_node,
-                sealed.len() as u32,
-            );
-        }
-        let (from, msg) = match (&frame.env.src, &frame.env.msg) {
-            (NodeId::Client(c), Message::ToServer(m)) => (*c, m),
-            _ => continue,
-        };
-        if frame.env.dst != NodeId::Server(me) {
-            continue; // misaddressed
-        }
-        safereg_obs::global()
-            .counter(&names::kv_recv_counter(
-                MsgClass::of(&frame.env.msg).as_str(),
-            ))
-            .inc();
-        // Admin path: the metrics key is served from the observability
-        // registry, never from register state.
-        if frame.key.as_slice() == METRICS_KEY {
-            if let ClientToServer::QueryData { op } = msg {
-                let mut dump = safereg_obs::render_jsonl(&safereg_obs::global().snapshot());
-                dump.push_str(&placement_summary(&server.map()));
-                let resp = ServerToClient::DataResp {
-                    op: *op,
-                    tag: Tag::ZERO,
-                    payload: Payload::Full(Value::from(dump.into_bytes())),
-                };
-                let reply = KvFrame {
-                    shard: frame.shard,
-                    trace: frame.trace.hopped(Phase::Reply),
-                    stamp: frame.stamp,
-                    key: frame.key.clone(),
-                    env: Envelope::to_client(me, from, resp),
-                };
-                let codec = AuthCodec::new(chain.pair_key(reply.env.src, reply.env.dst));
-                if !enqueue_reply(&reply_tx, SealedKv::seal(&codec, &reply), &tconfig) {
-                    return;
-                }
-            }
-            continue;
-        }
-        // Epoch admission (the admin path above deliberately bypasses it:
-        // operators must be able to read metrics from a replica whatever
-        // epoch it serves). A mismatched stamp is answered with this
-        // replica's full configuration; the client's `f + 1`-vote rule
-        // decides whether to adopt it.
-        if let Err(current) = server.check_stamp(frame.stamp) {
-            safereg_obs::global()
-                .counter(names::KV_EPOCH_STALE_FRAMES)
-                .inc();
-            let resp = ServerToClient::WrongEpoch {
-                op: msg.op(),
-                config: current,
-            };
-            let reply = KvFrame {
-                shard: frame.shard,
-                trace: frame.trace.hopped(Phase::Reply),
-                stamp: frame.stamp,
-                key: frame.key.clone(),
-                env: Envelope::to_client(me, from, resp),
-            };
-            let codec = AuthCodec::new(chain.pair_key(reply.env.src, reply.env.dst));
-            if !enqueue_reply(&reply_tx, SealedKv::seal(&codec, &reply), &tconfig) {
-                return;
-            }
-            continue;
-        }
-        // Per-shard dispatch: only the addressed register group's lock is
-        // taken, so connections serving different shards run in parallel.
-        let responses = server.handle_traced(from, frame.shard, &frame.key, msg, strace);
-        safereg_obs::global()
-            .counter(&names::shard_served_counter(frame.shard.0))
-            .inc();
-        for resp in responses {
-            let reply = KvFrame {
-                shard: frame.shard,
-                trace: frame.trace.hopped(Phase::Reply),
-                stamp: frame.stamp,
-                key: frame.key.clone(),
-                env: Envelope::to_client(me, from, resp),
-            };
-            let codec = AuthCodec::new(chain.pair_key(reply.env.src, reply.env.dst));
-            let sealed_reply = SealedKv::seal(&codec, &reply);
-            let outbox_start = if strace.is_sampled() {
-                wall_micros()
-            } else {
-                0
-            };
-            let reply_len = sealed_reply.payload_len() as u32;
-            let queued = enqueue_reply(&reply_tx, sealed_reply, &tconfig);
-            if strace.is_sampled() {
-                let now = wall_micros();
-                span::record_global(
-                    strace.with_phase(Phase::Outbox),
-                    SpanKind::Segment,
-                    outbox_start,
-                    now.saturating_sub(outbox_start),
-                    me_node,
-                    reply_len,
-                );
-            }
-            if !queued {
-                return;
-            }
+        let mut queue = |reply: SealedKv| enqueue_reply(&reply_tx, reply, &tconfig);
+        match process_sealed_frame(&server, &chain, me, &sealed, &mut queue) {
+            FrameDisposition::Continue => {}
+            FrameDisposition::Close => return,
         }
     }
 }
@@ -1225,90 +1480,143 @@ pub struct TcpKvCluster {
     /// The server-side fault plan every replica is fronted with, if any;
     /// restarts respawn the proxy with the same plan on the old address.
     plan: Option<FaultPlan>,
+    /// The serving runtime every host (including respawns and joiners)
+    /// runs under, with its pool sizing and readiness backend.
+    runtime: ServerRuntime,
+    reactors: usize,
+    poll_backend: PollBackend,
     hosts: BTreeMap<ServerId, KvServerHost>,
 }
 
-impl TcpKvCluster {
-    /// Starts `n` replicas in the given mode with the default
-    /// [`TransportConfig`].
+/// Builder for a [`TcpKvCluster`] — the one start path. Collapses the old
+/// `start` / `start_with` / `start_chaos` / `start_sharded` constructor
+/// family into chained setters.
+///
+/// Exactly one of [`quorum`](Self::quorum) (single pre-sharding group) or
+/// [`shards`](Self::shards) (explicit placement, including `m < n`
+/// subsets via [`ShardMap::with_replicas`]) must be set.
+///
+/// ```no_run
+/// # use safereg_common::config::QuorumConfig;
+/// # use safereg_kv::server::KvMode;
+/// # use safereg_kv::tcp::TcpKvCluster;
+/// let cfg = QuorumConfig::minimal_bsr(1)?;
+/// let cluster = TcpKvCluster::builder(KvMode::Replicated, b"demo")
+///     .quorum(cfg)
+///     .start()?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ClusterBuilder {
+    mode: KvMode,
+    master_seed: Vec<u8>,
+    map: Option<ShardMap>,
+    quorum: Option<QuorumConfig>,
+    tconfig: TransportConfig,
+    plan: Option<FaultPlan>,
+    roles: BTreeMap<ServerId, (ByzRole, u64)>,
+    runtime: ServerRuntime,
+    reactors: usize,
+    poll_backend: PollBackend,
+}
+
+impl ClusterBuilder {
+    /// Deploys the single pre-sharding register group over `cfg.n()`
+    /// replicas. Mutually exclusive with [`shards`](Self::shards).
+    pub fn quorum(mut self, cfg: QuorumConfig) -> Self {
+        self.quorum = Some(cfg);
+        self
+    }
+
+    /// Deploys one register group per shard of `map`, placed on `map`'s
+    /// fleet. Overrides [`quorum`](Self::quorum).
+    pub fn shards(mut self, map: ShardMap) -> Self {
+        self.map = Some(map);
+        self
+    }
+
+    /// Transport policy applied to every host and to cluster-internal
+    /// state-transfer transports.
+    pub fn config(mut self, tconfig: TransportConfig) -> Self {
+        self.tconfig = tconfig;
+        self
+    }
+
+    /// Fronts every replica's listener with a seeded [`ChaosProxy`]
+    /// injecting `plan` on accepted connections.
+    pub fn chaos(mut self, plan: FaultPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Spawns `sid` playing `role` (seeded) from the start, instead of
+    /// rotating it after [`start`](Self::start). May be called repeatedly
+    /// for different replicas.
+    pub fn role(mut self, sid: ServerId, role: ByzRole, byz_seed: u64) -> Self {
+        self.roles.insert(sid, (role, byz_seed));
+        self
+    }
+
+    /// Selects the serving runtime for every host (respawns inherit it).
+    pub fn runtime(mut self, runtime: ServerRuntime) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Reactor pool size per host (`0` = one reactor per hosted shard).
+    pub fn reactors(mut self, reactors: usize) -> Self {
+        self.reactors = reactors;
+        self
+    }
+
+    /// Forces a readiness backend for every host's reactor pool.
+    pub fn poll_backend(mut self, backend: PollBackend) -> Self {
+        self.poll_backend = backend;
+        self
+    }
+
+    /// Starts the cluster.
     ///
     /// # Errors
     ///
-    /// Propagates bind errors.
-    pub fn start(cfg: QuorumConfig, mode: KvMode, master_seed: &[u8]) -> std::io::Result<Self> {
-        Self::start_with(cfg, mode, master_seed, TransportConfig::default())
-    }
-
-    /// Starts `n` replicas with an explicit transport policy governing each
-    /// replica's per-connection reply outbox (capacity and shed policy).
-    ///
-    /// # Errors
-    ///
-    /// Propagates bind errors.
-    pub fn start_with(
-        cfg: QuorumConfig,
-        mode: KvMode,
-        master_seed: &[u8],
-        tconfig: TransportConfig,
-    ) -> std::io::Result<Self> {
-        Self::start_opts(cfg, mode, master_seed, tconfig, None)
-    }
-
-    /// Starts `n` replicas with every listener fronted by a seeded
-    /// server-side [`ChaosProxy`] injecting `plan` on accepted connections.
-    ///
-    /// # Errors
-    ///
-    /// Propagates bind errors.
-    pub fn start_chaos(
-        cfg: QuorumConfig,
-        mode: KvMode,
-        master_seed: &[u8],
-        tconfig: TransportConfig,
-        plan: FaultPlan,
-    ) -> std::io::Result<Self> {
-        Self::start_opts(cfg, mode, master_seed, tconfig, Some(plan))
-    }
-
-    fn start_opts(
-        cfg: QuorumConfig,
-        mode: KvMode,
-        master_seed: &[u8],
-        tconfig: TransportConfig,
-        plan: Option<FaultPlan>,
-    ) -> std::io::Result<Self> {
-        Self::start_sharded(ShardMap::single(cfg), mode, master_seed, tconfig, plan)
-    }
-
-    /// Starts one host per fleet server of `map`, each serving a register
-    /// group per shard placed on it, optionally chaos-fronted.
-    ///
-    /// # Errors
-    ///
-    /// Propagates bind errors.
-    pub fn start_sharded(
-        map: ShardMap,
-        mode: KvMode,
-        master_seed: &[u8],
-        tconfig: TransportConfig,
-        plan: Option<FaultPlan>,
-    ) -> std::io::Result<Self> {
-        let chain = KeyChain::from_master_seed(master_seed);
+    /// Bind errors, reactor-backend errors, or a builder with neither
+    /// [`quorum`](Self::quorum) nor [`shards`](Self::shards) set.
+    pub fn start(self) -> std::io::Result<TcpKvCluster> {
+        let map = match (self.map, self.quorum) {
+            (Some(map), _) => map,
+            (None, Some(cfg)) => ShardMap::single(cfg),
+            (None, None) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::InvalidInput,
+                    "ClusterBuilder needs .quorum(cfg) or .shards(map)",
+                ))
+            }
+        };
+        let chain = KeyChain::from_master_seed(&self.master_seed);
         let mut hosts = BTreeMap::new();
         for sid in map.fleet().iter().copied() {
+            let (role, byz_seed) = self
+                .roles
+                .get(&sid)
+                .copied()
+                .unwrap_or((ByzRole::Correct, 0));
             hosts.insert(
                 sid,
-                KvServerHost::spawn_opts(
+                KvServerHost::spawn_inner(
                     sid,
                     map.shard_config(),
-                    mode,
+                    self.mode,
                     chain.clone(),
-                    ("127.0.0.1", 0),
+                    bind_first(&("127.0.0.1", 0))?,
                     KvHostOptions {
-                        tconfig,
-                        chaos: plan.clone(),
+                        tconfig: self.tconfig,
+                        role,
+                        byz_seed,
+                        chaos: self.plan.clone(),
                         shards: Some(map.clone()),
-                        ..KvHostOptions::default()
+                        runtime: self.runtime,
+                        reactors: self.reactors,
+                        poll_backend: self.poll_backend,
                     },
                 )?,
             );
@@ -1323,12 +1631,105 @@ impl TcpKvCluster {
         Ok(TcpKvCluster {
             map,
             chain,
-            tconfig,
-            mode,
+            tconfig: self.tconfig,
+            mode: self.mode,
             config,
-            plan,
+            plan: self.plan,
+            runtime: self.runtime,
+            reactors: self.reactors,
+            poll_backend: self.poll_backend,
             hosts,
         })
+    }
+}
+
+impl TcpKvCluster {
+    /// Starts building a cluster; see [`ClusterBuilder`].
+    pub fn builder(mode: KvMode, master_seed: &[u8]) -> ClusterBuilder {
+        ClusterBuilder {
+            mode,
+            master_seed: master_seed.to_vec(),
+            map: None,
+            quorum: None,
+            tconfig: TransportConfig::default(),
+            plan: None,
+            roles: BTreeMap::new(),
+            runtime: ServerRuntime::default(),
+            reactors: 0,
+            poll_backend: PollBackend::default(),
+        }
+    }
+
+    /// Starts `n` replicas in the given mode with the default
+    /// [`TransportConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    #[deprecated(note = "use TcpKvCluster::builder(mode, seed).quorum(cfg).start()")]
+    pub fn start(cfg: QuorumConfig, mode: KvMode, master_seed: &[u8]) -> std::io::Result<Self> {
+        Self::builder(mode, master_seed).quorum(cfg).start()
+    }
+
+    /// Starts `n` replicas with an explicit transport policy governing each
+    /// replica's per-connection reply outbox (capacity and shed policy).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    #[deprecated(note = "use TcpKvCluster::builder(..).quorum(cfg).config(tconfig).start()")]
+    pub fn start_with(
+        cfg: QuorumConfig,
+        mode: KvMode,
+        master_seed: &[u8],
+        tconfig: TransportConfig,
+    ) -> std::io::Result<Self> {
+        Self::builder(mode, master_seed)
+            .quorum(cfg)
+            .config(tconfig)
+            .start()
+    }
+
+    /// Starts `n` replicas with every listener fronted by a seeded
+    /// server-side [`ChaosProxy`] injecting `plan` on accepted connections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    #[deprecated(note = "use TcpKvCluster::builder(..).quorum(cfg).chaos(plan).start()")]
+    pub fn start_chaos(
+        cfg: QuorumConfig,
+        mode: KvMode,
+        master_seed: &[u8],
+        tconfig: TransportConfig,
+        plan: FaultPlan,
+    ) -> std::io::Result<Self> {
+        Self::builder(mode, master_seed)
+            .quorum(cfg)
+            .config(tconfig)
+            .chaos(plan)
+            .start()
+    }
+
+    /// Starts one host per fleet server of `map`, each serving a register
+    /// group per shard placed on it, optionally chaos-fronted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    #[deprecated(note = "use TcpKvCluster::builder(..).shards(map).start()")]
+    pub fn start_sharded(
+        map: ShardMap,
+        mode: KvMode,
+        master_seed: &[u8],
+        tconfig: TransportConfig,
+        plan: Option<FaultPlan>,
+    ) -> std::io::Result<Self> {
+        let mut b = Self::builder(mode, master_seed).shards(map).config(tconfig);
+        if let Some(plan) = plan {
+            b = b.chaos(plan);
+        }
+        b.start()
     }
 
     /// The per-shard deployment configuration.
@@ -1522,7 +1923,7 @@ impl TcpKvCluster {
         };
         let addr = old.addr();
         self.hosts.remove(&sid); // drop stops the old host first
-        let host = KvServerHost::spawn_opts(
+        let host = KvServerHost::spawn_inner(
             sid,
             self.map.shard_config(),
             mode,
@@ -1534,6 +1935,9 @@ impl TcpKvCluster {
                 byz_seed: seed,
                 chaos: self.plan.clone(),
                 shards: Some(self.map.clone()),
+                runtime: self.runtime,
+                reactors: self.reactors,
+                poll_backend: self.poll_backend,
             },
         )?;
         // A fresh host boots at the genesis epoch; mid-epoch respawns must
@@ -1637,16 +2041,19 @@ impl TcpKvCluster {
             }
             joined.insert(
                 *sid,
-                KvServerHost::spawn_opts(
+                KvServerHost::spawn_inner(
                     *sid,
                     new_map.shard_config(),
                     self.mode,
                     self.chain.clone(),
-                    ("127.0.0.1", 0),
+                    bind_first(&("127.0.0.1", 0))?,
                     KvHostOptions {
                         tconfig: self.tconfig,
                         chaos: self.plan.clone(),
                         shards: Some(new_map.clone()),
+                        runtime: self.runtime,
+                        reactors: self.reactors,
+                        poll_backend: self.poll_backend,
                         ..KvHostOptions::default()
                     },
                 )?,
@@ -1861,7 +2268,10 @@ mod tests {
     #[test]
     fn kv_over_tcp_roundtrip() {
         let cfg = QuorumConfig::minimal_bsr(1).unwrap();
-        let cluster = TcpKvCluster::start(cfg, KvMode::Replicated, b"kv-tcp").unwrap();
+        let cluster = TcpKvCluster::builder(KvMode::Replicated, b"kv-tcp")
+            .quorum(cfg)
+            .start()
+            .unwrap();
         let mut transport = cluster.transport();
         let mut client = KvClient::new(cfg, WriterId(0), ReaderId(0));
         client
@@ -1877,7 +2287,10 @@ mod tests {
     #[test]
     fn kv_over_tcp_tolerates_f_crashes() {
         let cfg = QuorumConfig::minimal_bsr(1).unwrap();
-        let mut cluster = TcpKvCluster::start(cfg, KvMode::Replicated, b"kv-tcp2").unwrap();
+        let mut cluster = TcpKvCluster::builder(KvMode::Replicated, b"kv-tcp2")
+            .quorum(cfg)
+            .start()
+            .unwrap();
         let mut transport = cluster.transport();
         let mut client = KvClient::new(cfg, WriterId(0), ReaderId(0));
         client.put(&mut transport, b"k", "v1").unwrap();
@@ -1892,7 +2305,10 @@ mod tests {
     #[test]
     fn metrics_key_serves_the_observability_dump() {
         let cfg = QuorumConfig::minimal_bsr(1).unwrap();
-        let cluster = TcpKvCluster::start(cfg, KvMode::Replicated, b"kv-metrics").unwrap();
+        let cluster = TcpKvCluster::builder(KvMode::Replicated, b"kv-metrics")
+            .quorum(cfg)
+            .start()
+            .unwrap();
         let mut transport = cluster.transport();
         let mut client = KvClient::new(cfg, WriterId(3), ReaderId(3));
         client.put(&mut transport, b"watched", "payload").unwrap();
@@ -1924,7 +2340,10 @@ mod tests {
     #[test]
     fn coded_kv_over_tcp() {
         let cfg = QuorumConfig::new(8, 1).unwrap(); // k = 3
-        let cluster = TcpKvCluster::start(cfg, KvMode::Coded, b"kv-tcp3").unwrap();
+        let cluster = TcpKvCluster::builder(KvMode::Coded, b"kv-tcp3")
+            .quorum(cfg)
+            .start()
+            .unwrap();
         let mut transport = cluster.transport();
         let mut client = KvClient::new_coded(cfg, WriterId(0), ReaderId(0));
         let blob = vec![0xA1u8; 4096];
@@ -1938,7 +2357,10 @@ mod tests {
     #[test]
     fn byzantine_replica_cannot_corrupt_the_register() {
         let cfg = QuorumConfig::minimal_bsr(1).unwrap();
-        let mut cluster = TcpKvCluster::start(cfg, KvMode::Replicated, b"kv-byz").unwrap();
+        let mut cluster = TcpKvCluster::builder(KvMode::Replicated, b"kv-byz")
+            .quorum(cfg)
+            .start()
+            .unwrap();
         let mut client = KvClient::new(cfg, WriterId(0), ReaderId(0));
         {
             let mut transport = cluster.transport();
@@ -1968,14 +2390,11 @@ mod tests {
         use safereg_transport::chaos::FaultSpec;
         let cfg = QuorumConfig::minimal_bsr(1).unwrap();
         let plan = FaultPlan::new(7, FaultSpec::calm());
-        let cluster = TcpKvCluster::start_chaos(
-            cfg,
-            KvMode::Replicated,
-            b"kv-server-chaos",
-            TransportConfig::default(),
-            plan,
-        )
-        .unwrap();
+        let cluster = TcpKvCluster::builder(KvMode::Replicated, b"kv-server-chaos")
+            .quorum(cfg)
+            .chaos(plan)
+            .start()
+            .unwrap();
         let mut transport = cluster.transport();
         let mut client = KvClient::new(cfg, WriterId(1), ReaderId(1));
         client
@@ -1990,7 +2409,10 @@ mod tests {
     #[test]
     fn restart_respawns_on_the_old_address_and_counts() {
         let cfg = QuorumConfig::minimal_bsr(1).unwrap();
-        let mut cluster = TcpKvCluster::start(cfg, KvMode::Replicated, b"kv-restart").unwrap();
+        let mut cluster = TcpKvCluster::builder(KvMode::Replicated, b"kv-restart")
+            .quorum(cfg)
+            .start()
+            .unwrap();
         let addrs = cluster.addrs();
         let before = safereg_obs::global().counter(names::SERVER_RESTARTS).get();
         cluster.crash(ServerId(2));
@@ -2015,8 +2437,10 @@ mod tests {
         };
         let cfg = QuorumConfig::minimal_bsr(1).unwrap();
         let chain = KeyChain::from_master_seed(b"kv-idle");
-        let host =
-            KvServerHost::spawn_with(ServerId(0), cfg, KvMode::Replicated, chain, tconfig).unwrap();
+        let host = KvServerHost::builder(ServerId(0), cfg, KvMode::Replicated, chain)
+            .config(tconfig)
+            .spawn()
+            .unwrap();
         let before = safereg_obs::global()
             .counter(&names::eviction_counter("idle"))
             .get();
@@ -2042,8 +2466,11 @@ mod tests {
                 ..TransportConfig::default()
             };
             let cfg = QuorumConfig::minimal_bsr(1).unwrap();
-            let cluster =
-                TcpKvCluster::start_with(cfg, KvMode::Replicated, b"kv-shed", tconfig).unwrap();
+            let cluster = TcpKvCluster::builder(KvMode::Replicated, b"kv-shed")
+                .quorum(cfg)
+                .config(tconfig)
+                .start()
+                .unwrap();
             let mut transport = cluster.transport();
             let mut client = KvClient::new(cfg, WriterId(i as u16), ReaderId(i as u16));
             client.put(&mut transport, b"key", "value").unwrap();
@@ -2057,7 +2484,10 @@ mod tests {
     #[test]
     fn rolling_reconfiguration_redirects_live_clients() {
         let cfg = QuorumConfig::minimal_bsr(1).unwrap();
-        let mut cluster = TcpKvCluster::start(cfg, KvMode::Replicated, b"kv-churn").unwrap();
+        let mut cluster = TcpKvCluster::builder(KvMode::Replicated, b"kv-churn")
+            .quorum(cfg)
+            .start()
+            .unwrap();
         let mut transport = cluster.transport();
         let mut client = KvClient::new(cfg, WriterId(0), ReaderId(0));
         client.put(&mut transport, b"k", "epoch0").unwrap();
@@ -2103,7 +2533,10 @@ mod tests {
     #[test]
     fn coded_joiner_rebuilds_its_own_fragment() {
         let cfg = QuorumConfig::new(8, 1).unwrap(); // k = 3
-        let mut cluster = TcpKvCluster::start(cfg, KvMode::Coded, b"kv-churn-coded").unwrap();
+        let mut cluster = TcpKvCluster::builder(KvMode::Coded, b"kv-churn-coded")
+            .quorum(cfg)
+            .start()
+            .unwrap();
         let mut transport = cluster.transport();
         let mut client = KvClient::new_coded(cfg, WriterId(0), ReaderId(0));
         let blob = vec![0x5Au8; 3 * 1024];
@@ -2137,7 +2570,10 @@ mod tests {
     #[test]
     fn restarted_replica_is_rehydrated_not_amnesiac() {
         let cfg = QuorumConfig::minimal_bsr(1).unwrap();
-        let mut cluster = TcpKvCluster::start(cfg, KvMode::Replicated, b"kv-amnesia").unwrap();
+        let mut cluster = TcpKvCluster::builder(KvMode::Replicated, b"kv-amnesia")
+            .quorum(cfg)
+            .start()
+            .unwrap();
         let mut transport = cluster.transport();
         let mut client = KvClient::new(cfg, WriterId(0), ReaderId(0));
         client.put(&mut transport, b"k", "v1").unwrap();

@@ -149,6 +149,35 @@ pub fn kv_recv_counter(class: &str) -> String {
     format!("kv.recv.{class}")
 }
 
+/// Reactor runtime: event-loop threads currently running across all
+/// hosts in the process (a gauge; proves thread count is O(reactors),
+/// not O(connections)).
+pub const REACTOR_THREADS: &str = "reactor.threads";
+
+/// Reactor runtime: connections currently registered across all reactor
+/// event loops in the process (a gauge).
+pub const REACTOR_CONNS: &str = "reactor.conns";
+
+/// Reactor runtime: readiness events dispatched (one per ready
+/// connection per poll wake, wakeup tokens excluded).
+pub const REACTOR_EVENTS: &str = "reactor.events";
+
+/// Reactor runtime: explicit cross-thread wakeups delivered to an event
+/// loop (accept hand-offs and shutdown, not socket readiness).
+pub const REACTOR_WAKEUPS: &str = "reactor.wakeups";
+
+/// Reactor runtime: accepted connections handed off to a reactor by the
+/// accept-sharding layer.
+pub const REACTOR_HANDOFFS: &str = "reactor.accept.handoffs";
+
+/// Adaptive outbox capacity: grow steps (capacity doubled after a window
+/// with a sustained `chan.shed` rate).
+pub const CHAN_ADAPTIVE_GROW: &str = "chan.adaptive.grow";
+
+/// Adaptive outbox capacity: shrink steps (capacity halved back toward
+/// its base after consecutive shed-free windows).
+pub const CHAN_ADAPTIVE_SHRINK: &str = "chan.adaptive.shrink";
+
 /// Operations head-sampled into the trace layer (root contexts created
 /// with a nonzero trace id).
 pub const TRACE_SAMPLED_OPS: &str = "trace.sampled.ops";
@@ -254,6 +283,17 @@ mod tests {
         assert_eq!(super::KV_EPOCH_ADOPTIONS, "kv.epoch.adoptions");
         assert_eq!(super::KV_EPOCH_RECONFIGS, "kv.epoch.reconfigs");
         assert_eq!(super::KV_TRANSFER_KEYS, "kv.reconfig.transfer.keys");
+    }
+
+    #[test]
+    fn reactor_metric_names_are_stable() {
+        assert_eq!(super::REACTOR_THREADS, "reactor.threads");
+        assert_eq!(super::REACTOR_CONNS, "reactor.conns");
+        assert_eq!(super::REACTOR_EVENTS, "reactor.events");
+        assert_eq!(super::REACTOR_WAKEUPS, "reactor.wakeups");
+        assert_eq!(super::REACTOR_HANDOFFS, "reactor.accept.handoffs");
+        assert_eq!(super::CHAN_ADAPTIVE_GROW, "chan.adaptive.grow");
+        assert_eq!(super::CHAN_ADAPTIVE_SHRINK, "chan.adaptive.shrink");
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod chaos;
 pub mod client;
 pub mod cluster;
 pub mod frame;
+pub mod poll;
 pub mod server;
 
 pub use chaos::{
@@ -51,4 +52,5 @@ pub use chaos::{
 pub use client::{ClientError, ClusterClient, FaultClass};
 pub use cluster::LocalCluster;
 pub use frame::{read_frame, write_all_vectored, write_frame, FrameError};
+pub use poll::{Interest, PollBackend, PollEvent, Poller, Waker};
 pub use server::ServerHost;

@@ -97,9 +97,10 @@ fn main() {
 
     // --- The same store over real TCP --------------------------------------
     let tcp_cfg = QuorumConfig::minimal_bsr(1).expect("4f + 1 servers");
-    let tcp =
-        safereg::kv::TcpKvCluster::start(tcp_cfg, safereg::kv::KvMode::Replicated, b"kv-demo")
-            .expect("loopback cluster");
+    let tcp = safereg::kv::TcpKvCluster::builder(safereg::kv::KvMode::Replicated, b"kv-demo")
+        .quorum(tcp_cfg)
+        .start()
+        .expect("loopback cluster");
     let mut transport = tcp.transport();
     let mut tcp_client = KvClient::new(tcp_cfg, WriterId(7), ReaderId(7));
     tcp_client

@@ -135,4 +135,32 @@ echo "$shard_out"
 grep -q 'shard: ok' <<< "$shard_out" ||
     { echo "ci.sh: shard-scaling bench failed socket or monotonicity bars" >&2; exit 1; }
 
+# Runtime smoke: the reactor-vs-threaded saturation ladder in its --quick
+# form (tiny rung, both runtimes). The bench itself exits nonzero when a
+# run loses replies, the reactor gives up throughput against threaded, or
+# the reactor's thread count scales with connections; the greps pin the
+# verdict line and the reactor metrics the dump must surface.
+echo "==> paper_harness runtime --quick | grep 'runtime: ok'"
+runtime_out=$(cargo run --release --offline -q -p safereg-bench --bin paper_harness runtime --quick)
+echo "$runtime_out"
+grep -q 'runtime: ok' <<< "$runtime_out" ||
+    { echo "ci.sh: runtime smoke failed its reactor-vs-threaded bars" >&2; exit 1; }
+grep -q '"metric":"reactor.threads"' <<< "$runtime_out" ||
+    { echo "ci.sh: runtime dump missing reactor.threads gauge" >&2; exit 1; }
+grep -q '"metric":"reactor.accept.handoffs"' <<< "$runtime_out" ||
+    { echo "ci.sh: runtime dump missing reactor.accept.handoffs counter" >&2; exit 1; }
+test -s BENCH_runtime.json ||
+    { echo "ci.sh: runtime smoke did not write BENCH_runtime.json" >&2; exit 1; }
+
+# API gate: the deprecated KvServerHost::spawn*/TcpKvCluster::start*
+# constructors must not be called from non-test code — the builders are
+# the one public path (the builder-equivalence integration test is the
+# single sanctioned shim caller and lives under crates/kv/tests/).
+echo "==> grep gate: no deprecated spawn*/start* callers outside tests"
+if grep -rnE "KvServerHost::spawn(_with|_on|_on_with|_opts)?\(|TcpKvCluster::start(_with|_chaos|_sharded)?\(" \
+    crates/*/src src examples; then
+    echo "ci.sh: deprecated constructor call in non-test code (use the builders)" >&2
+    exit 1
+fi
+
 echo "ci.sh: all checks passed"

@@ -32,7 +32,10 @@ fn kv_ops_survive_chaos_with_server_kill_and_restart() {
     let reconnects_before = reg.counter(names::KV_RECONNECTS).get();
 
     let cfg = QuorumConfig::minimal_bsr(1).unwrap();
-    let mut cluster = TcpKvCluster::start(cfg, KvMode::Replicated, b"kv-chaos").unwrap();
+    let mut cluster = TcpKvCluster::builder(KvMode::Replicated, b"kv-chaos")
+        .quorum(cfg)
+        .start()
+        .unwrap();
     // Mild chaos on every link, plus a hard kill/restart of one replica
     // (<= f = 1) injected below.
     let plan = FaultPlan::new(0x7041_7041, FaultSpec::mild());
@@ -132,8 +135,11 @@ fn every_shed_policy_survives_chaos_torture() {
             ..torture_policy()
         };
         let cfg = QuorumConfig::minimal_bsr(1).unwrap();
-        let mut cluster =
-            TcpKvCluster::start_with(cfg, KvMode::Replicated, b"kv-shed-chaos", tconfig).unwrap();
+        let mut cluster = TcpKvCluster::builder(KvMode::Replicated, b"kv-shed-chaos")
+            .quorum(cfg)
+            .config(tconfig)
+            .start()
+            .unwrap();
         let plan = FaultPlan::new(0x5EED_0000 + p as u64, FaultSpec::mild());
         let net = ChaosNet::wrap(&cluster.addrs(), &plan).unwrap();
         let mut transport =
@@ -236,7 +242,10 @@ fn every_shed_policy_survives_chaos_torture() {
 #[test]
 fn quorum_error_reports_unreachable_servers() {
     let cfg = QuorumConfig::minimal_bsr(1).unwrap();
-    let mut cluster = TcpKvCluster::start(cfg, KvMode::Replicated, b"kv-unreach").unwrap();
+    let mut cluster = TcpKvCluster::builder(KvMode::Replicated, b"kv-unreach")
+        .quorum(cfg)
+        .start()
+        .unwrap();
     let mut transport = cluster.transport_with(torture_policy());
     let mut client = KvClient::new(cfg, WriterId(1), ReaderId(1));
     // Keep the test fast: one extra pass is enough to prove retry wiring.
