@@ -1,0 +1,562 @@
+//! Accountability harness: convict every injected Byzantine replica from
+//! evidence alone, and never convict a correct one.
+//!
+//! The audit layer ([`safereg_kv::audit`]) claims three things:
+//!
+//! 1. **Completeness** — a replica that fabricates or equivocates is
+//!    [`Verdict::Convicted`](safereg_kv::Verdict) from its own MAC-chained
+//!    response links, with evidence that re-verifies offline.
+//! 2. **Soundness** — wire corruption, drops, delays and truncation (the
+//!    chaos proxy's whole repertoire) raise *suspicion* at most; the
+//!    `kv.audit.false_accusations` counter stays at zero because a MAC
+//!    failure is distinguishable from a signed contradiction.
+//! 3. **Consequence** — a conviction quarantines the replica (read-only)
+//!    and evicts it through the reconfiguration machinery, and the
+//!    deployment keeps serving afterwards.
+//!
+//! This harness injects one Fabricator leg and one Equivocator leg into a
+//! live TCP cluster, then runs a correct-but-corrupted chaos leg on a
+//! second cluster, and checks all three claims. The Equivocator leg
+//! deliberately registers the forged writer id as legitimate, so the
+//! conviction *must* come from cross-reader equivocation pooling — the
+//! hardest detection path — rather than the inadmissible-tag shortcut.
+
+use std::time::Duration;
+
+use safereg_common::codec::Wire;
+use safereg_common::config::{BackoffPolicy, QuorumConfig, TransportConfig};
+use safereg_common::ids::{ReaderId, ServerId, WriterId};
+use safereg_core::behavior::ByzRole;
+use safereg_kv::{AuditLog, Charge, Evidence, KvClient, KvMode, TcpKvCluster, TcpKvTransport};
+use safereg_obs::names;
+use safereg_transport::chaos::{FaultPlan, FaultSpec};
+
+/// Knobs for one audit run.
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    /// Master seed: Byzantine forgery streams and the chaos schedule.
+    pub seed: u64,
+    /// Workload rounds per leg (each round is one put per fourth round
+    /// plus a read from each of the two readers).
+    pub ops: u64,
+    /// Distinct keys the workload cycles through.
+    pub keys: usize,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            seed: 0xA0D1_7EED,
+            ops: 64,
+            keys: 2,
+        }
+    }
+}
+
+/// One leg's outcome.
+#[derive(Debug, Clone)]
+pub struct LegStat {
+    /// `"fabricator"`, `"equivocator"` or `"chaos-corruption"`.
+    pub label: &'static str,
+    /// The replica playing the injected role, if any.
+    pub accused: Option<u16>,
+    /// Workload rounds driven.
+    pub rounds: u64,
+    /// Operations completed.
+    pub ops: u64,
+    /// Operations abandoned (retry budget exhausted).
+    pub failures: u64,
+    /// `kv.audit.evidence` delta over the leg.
+    pub evidence: u64,
+    /// Final verdict on the accused (or `"clean"` for the chaos leg).
+    pub verdict: String,
+    /// Whether the accused ended the leg convicted (vacuously false for
+    /// the chaos leg, which must convict nobody).
+    pub convicted: bool,
+}
+
+/// Outcome of one audit run.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// The master seed.
+    pub seed: u64,
+    /// Fabricator, equivocator and chaos legs, in order.
+    pub legs: Vec<LegStat>,
+    /// `(server, charge)` pairs the main cluster's log convicted.
+    pub convictions: Vec<(u16, String)>,
+    /// Replicas the chaos-leg log convicted — 0 required (those replicas
+    /// are all correct; only the network misbehaves).
+    pub chaos_convictions: u64,
+    /// `kv.audit.false_accusations` delta across the whole run — 0
+    /// required.
+    pub false_accusations: u64,
+    /// Evidence records filed across the whole run.
+    pub evidence_total: u64,
+    /// An `inadmissible-tag` charge convicted the Fabricator.
+    pub inadmissible_charge: bool,
+    /// An `equivocation` charge convicted the Equivocator (its forged
+    /// writer id was registered, closing the inadmissible-tag shortcut).
+    pub equivocation_charge: bool,
+    /// Every filed evidence record re-verified offline by the log.
+    pub offline_reverify_ok: bool,
+    /// Every evidence record survived a serialize → decode → re-verify
+    /// round trip, as a third party would check it.
+    pub offline_roundtrip_ok: bool,
+    /// `kv.audit.quarantines` delta (one per convicted replica).
+    pub quarantines: u64,
+    /// `(evicted, replacement)` pairs from verdict enforcement.
+    pub evicted: Vec<(u16, u16)>,
+    /// Cluster epoch after the convicted replicas were replaced.
+    pub epoch_after_eviction: u32,
+    /// Operations completed against the post-eviction membership.
+    pub post_eviction_ops: u64,
+    /// Post-eviction operations abandoned — 0 required.
+    pub post_eviction_failures: u64,
+    /// Highest suspicion accumulated against a known-correct replica on
+    /// the main log (informational: suspicion is not an accusation).
+    pub suspicion_correct_max: u64,
+}
+
+impl AuditReport {
+    /// The acceptance predicate `scripts/ci.sh` greps for: both injected
+    /// roles convicted on the right charge, evidence re-verifies offline
+    /// (including through serialization), nobody convicted under pure
+    /// network faults, zero false accusations, and conviction led to
+    /// quarantine + eviction with the cluster still serving.
+    pub fn ok(&self) -> bool {
+        let injected_convicted = self
+            .legs
+            .iter()
+            .filter(|l| l.accused.is_some())
+            .all(|l| l.convicted && l.ops > 0);
+        let chaos_clean = self
+            .legs
+            .iter()
+            .filter(|l| l.accused.is_none())
+            .all(|l| !l.convicted && l.ops > 0);
+        injected_convicted
+            && chaos_clean
+            && self.inadmissible_charge
+            && self.equivocation_charge
+            && self.chaos_convictions == 0
+            && self.false_accusations == 0
+            && self.offline_reverify_ok
+            && self.offline_roundtrip_ok
+            && self.evicted.len() == 2
+            && self.quarantines >= 2
+            && self.post_eviction_ops > 0
+            && self.post_eviction_failures == 0
+    }
+
+    /// Line-oriented JSON for `BENCH_audit.json`.
+    pub fn to_json(&self) -> String {
+        let legs: Vec<String> = self
+            .legs
+            .iter()
+            .map(|l| {
+                format!(
+                    concat!(
+                        "{{\"label\":\"{}\",\"accused\":{},\"rounds\":{},\"ops\":{},",
+                        "\"failures\":{},\"evidence\":{},\"verdict\":\"{}\",",
+                        "\"convicted\":{}}}"
+                    ),
+                    l.label,
+                    l.accused.map_or("null".into(), |s| s.to_string()),
+                    l.rounds,
+                    l.ops,
+                    l.failures,
+                    l.evidence,
+                    l.verdict,
+                    l.convicted
+                )
+            })
+            .collect();
+        let convictions: Vec<String> = self
+            .convictions
+            .iter()
+            .map(|(s, c)| format!("{{\"server\":{s},\"charge\":\"{c}\"}}"))
+            .collect();
+        let evicted: Vec<String> = self
+            .evicted
+            .iter()
+            .map(|(old, new)| format!("[{old},{new}]"))
+            .collect();
+        format!(
+            concat!(
+                "{{\"seed\":{},\"legs\":[{}],\"convictions\":[{}],",
+                "\"chaos_convictions\":{},\"false_accusations\":{},",
+                "\"evidence_total\":{},\"inadmissible_charge\":{},",
+                "\"equivocation_charge\":{},\"offline_reverify_ok\":{},",
+                "\"offline_roundtrip_ok\":{},\"quarantines\":{},",
+                "\"evicted\":[{}],\"epoch_after_eviction\":{},",
+                "\"post_eviction_ops\":{},\"post_eviction_failures\":{},",
+                "\"suspicion_correct_max\":{},\"ok\":{}}}\n"
+            ),
+            self.seed,
+            legs.join(","),
+            convictions.join(","),
+            self.chaos_convictions,
+            self.false_accusations,
+            self.evidence_total,
+            self.inadmissible_charge,
+            self.equivocation_charge,
+            self.offline_reverify_ok,
+            self.offline_roundtrip_ok,
+            self.quarantines,
+            evicted.join(","),
+            self.epoch_after_eviction,
+            self.post_eviction_ops,
+            self.post_eviction_failures,
+            self.suspicion_correct_max,
+            self.ok()
+        )
+    }
+}
+
+/// Retries per logical operation — the chaos leg drops and corrupts a few
+/// percent of frames, and the post-eviction phase crosses an epoch
+/// adoption; each must still terminate.
+const OP_RETRIES: usize = 8;
+
+/// The replica that plays the Fabricator in leg 1.
+const FABRICATOR: ServerId = ServerId(3);
+/// The replica that plays the Equivocator in leg 2.
+const EQUIVOCATOR: ServerId = ServerId(2);
+/// The forged writer id [`safereg_core::behavior::Equivocator`] stamps
+/// into its per-reader lies. Leg 2 registers it as legitimate so the
+/// conviction must come from equivocation pooling, not tag admissibility.
+const EQUIVOCATOR_FORGED_WRITER: WriterId = WriterId(8888);
+
+/// Short-timeout transport policy: chaos drops must cost milliseconds,
+/// not the default multi-second deadline.
+fn audit_transport() -> TransportConfig {
+    TransportConfig {
+        connect_timeout: Duration::from_millis(250),
+        op_deadline: Duration::from_secs(3),
+        io_timeout: Duration::from_millis(50),
+        retry_budget: 1,
+        backoff: BackoffPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(200),
+            jitter_permille: 200,
+        },
+        ..TransportConfig::aggressive()
+    }
+}
+
+/// Two audited clients (one writing, both reading) over one shared log.
+struct Workload {
+    a: (KvClient, TcpKvTransport),
+    b: (KvClient, TcpKvTransport),
+    keys: Vec<Vec<u8>>,
+    seq: u64,
+    completed: u64,
+    failures: u64,
+}
+
+impl Workload {
+    /// One workload round: a put every fourth round, then one read from
+    /// each reader *back to back on the same key* — consecutive same-key
+    /// reads are what hands an equivocator two chances to tell one story.
+    fn round(&mut self, i: u64) {
+        let kidx = (i as usize) % self.keys.len();
+        let key = self.keys[kidx].clone();
+        if i.is_multiple_of(4) {
+            self.seq += 1;
+            let value = format!("audit:w{}", self.seq).into_bytes();
+            self.one(|wl| wl.a.0.put(&mut wl.a.1, &key, value.clone()).map(|_| ()));
+        }
+        self.one(|wl| wl.a.0.get(&mut wl.a.1, &key).map(|_| ()));
+        self.one(|wl| wl.b.0.get(&mut wl.b.1, &key).map(|_| ()));
+    }
+
+    /// Runs one operation with retries, counting completion or failure.
+    fn one(&mut self, mut op: impl FnMut(&mut Self) -> Result<(), safereg_kv::KvError>) {
+        for attempt in 0..OP_RETRIES {
+            match op(self) {
+                Ok(()) => {
+                    self.completed += 1;
+                    return;
+                }
+                Err(_) if attempt + 1 < OP_RETRIES => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => {}
+            }
+        }
+        self.failures += 1;
+    }
+}
+
+/// Builds the two audited clients for `cluster`, all feeding `audit`.
+fn workload(cluster: &TcpKvCluster, audit: &std::sync::Arc<AuditLog>, keys: usize) -> Workload {
+    let tconfig = audit_transport();
+    let make = |w: u16, r: u16| {
+        let mut client = KvClient::sharded(cluster.map().clone(), WriterId(w), ReaderId(r));
+        client.set_policy(tconfig);
+        let mut transport = cluster.transport_with(tconfig);
+        transport.set_audit(audit.clone());
+        (client, transport)
+    };
+    Workload {
+        a: make(1, 1),
+        b: make(2, 2),
+        keys: (0..keys.max(1))
+            .map(|k| format!("audit-k{k}").into_bytes())
+            .collect(),
+        seq: 0,
+        completed: 0,
+        failures: 0,
+    }
+}
+
+/// Sets `role` on every register group `sid` serves.
+fn set_role_everywhere(cluster: &TcpKvCluster, sid: ServerId, role: ByzRole, seed: u64) {
+    for g in cluster.map().shards_of_server(sid) {
+        cluster.set_shard_role(sid, g, role, seed ^ u64::from(g.0));
+    }
+}
+
+/// Drives one leg of the workload and folds the outcome into a
+/// [`LegStat`], judging `accused` against the log's verdict.
+fn run_leg(
+    wl: &mut Workload,
+    audit: &AuditLog,
+    label: &'static str,
+    accused: Option<ServerId>,
+    rounds: u64,
+) -> LegStat {
+    let reg = safereg_obs::global();
+    let evidence0 = reg.counter(names::KV_AUDIT_EVIDENCE).get();
+    let completed0 = wl.completed;
+    let failures0 = wl.failures;
+    for i in 0..rounds {
+        wl.round(i);
+    }
+    let (verdict, convicted) = match accused {
+        Some(sid) => match audit.verdict(sid) {
+            safereg_kv::Verdict::Convicted(_) => {
+                let charge = audit
+                    .convictions()
+                    .into_iter()
+                    .find(|(s, _)| *s == sid)
+                    .map(|(_, c)| c.to_string())
+                    .unwrap_or_default();
+                (format!("convicted({charge})"), true)
+            }
+            safereg_kv::Verdict::Suspect => ("suspect".into(), false),
+            safereg_kv::Verdict::Clean => ("clean".into(), false),
+        },
+        // Chaos leg: the leg is "convicted" if *anyone* was — that is the
+        // false-accusation failure mode the leg exists to rule out.
+        None => {
+            let n = audit.convictions().len();
+            (format!("{n} convicted"), n > 0)
+        }
+    };
+    LegStat {
+        label,
+        accused: accused.map(|s| s.0),
+        rounds,
+        ops: wl.completed - completed0,
+        failures: wl.failures - failures0,
+        evidence: reg.counter(names::KV_AUDIT_EVIDENCE).get() - evidence0,
+        verdict,
+        convicted,
+    }
+}
+
+/// Serialize → decode → re-verify every evidence record, exactly as a
+/// third party holding only the deployment seed and writer set would.
+fn roundtrip_verifies(evidence: &[Evidence], cluster: &TcpKvCluster, audit: &AuditLog) -> bool {
+    let writers = audit.registered_writers();
+    evidence.iter().all(|e| {
+        let bytes = e.to_bytes();
+        match Evidence::from_bytes(&bytes) {
+            Ok(decoded) => decoded == *e && decoded.verify(cluster.chain(), &writers),
+            Err(_) => false,
+        }
+    })
+}
+
+/// Runs the audit scenario end to end.
+///
+/// # Panics
+///
+/// Panics when a cluster cannot be started — an environment failure, not
+/// an audit outcome.
+#[allow(clippy::too_many_lines)]
+pub fn audit_run(cfg: &AuditConfig) -> AuditReport {
+    let reg = safereg_obs::global();
+    let fa0 = reg.counter(names::KV_AUDIT_FALSE_ACCUSATIONS).get();
+    let quarantines0 = reg.counter(names::KV_AUDIT_QUARANTINES).get();
+    let evidence0 = reg.counter(names::KV_AUDIT_EVIDENCE).get();
+
+    let q = QuorumConfig::minimal_bsr(1).expect("n = 5, f = 1 is valid");
+    let mut cluster = TcpKvCluster::builder(KvMode::Replicated, b"audit-harness")
+        .quorum(q)
+        .config(audit_transport())
+        .start()
+        .expect("start audit cluster");
+    let audit = cluster.audit_log();
+    audit.register_writers([WriterId(1), WriterId(2)]);
+    // Ground truth for the false-accusation counter: replicas that stay
+    // honest through both injected legs.
+    audit.expect_correct([ServerId(0), ServerId(1), ServerId(4)]);
+    let mut wl = workload(&cluster, &audit, cfg.keys);
+    let mut legs = Vec::with_capacity(3);
+
+    // Leg 1 — Fabricator: forged tags carry an unregistered writer id, so
+    // every attested lie is a self-signed inadmissible-tag confession.
+    set_role_everywhere(&cluster, FABRICATOR, ByzRole::Fabricator, cfg.seed);
+    legs.push(run_leg(
+        &mut wl,
+        &audit,
+        "fabricator",
+        Some(FABRICATOR),
+        cfg.ops,
+    ));
+    set_role_everywhere(&cluster, FABRICATOR, ByzRole::Correct, cfg.seed);
+
+    // Leg 2 — Equivocator, with its forged writer id *registered*: the
+    // inadmissible-tag shortcut is closed, so conviction must come from
+    // two readers pooling contradictory authentic links at one tag.
+    audit.register_writers([EQUIVOCATOR_FORGED_WRITER]);
+    set_role_everywhere(&cluster, EQUIVOCATOR, ByzRole::Equivocator, cfg.seed);
+    legs.push(run_leg(
+        &mut wl,
+        &audit,
+        "equivocator",
+        Some(EQUIVOCATOR),
+        cfg.ops,
+    ));
+    set_role_everywhere(&cluster, EQUIVOCATOR, ByzRole::Correct, cfg.seed);
+
+    // Offline checks on everything filed so far: the log's own reverify
+    // pass, plus an explicit wire round trip per record.
+    let evidence = audit.evidence();
+    let offline_reverify_ok = audit.reverify().is_empty();
+    let offline_roundtrip_ok = roundtrip_verifies(&evidence, &cluster, &audit);
+    let inadmissible_charge = evidence
+        .iter()
+        .any(|e| e.charge == Charge::InadmissibleTag && e.accused == FABRICATOR);
+    let equivocation_charge = evidence
+        .iter()
+        .any(|e| e.charge == Charge::Equivocation && e.accused == EQUIVOCATOR);
+
+    // Consequence: quarantine + evict every convicted replica, then keep
+    // the workload running against the successor membership.
+    let evicted = cluster
+        .enforce_verdicts(&audit)
+        .expect("evict convicted replicas");
+    let epoch_after_eviction = cluster.epoch();
+    let post0 = (wl.completed, wl.failures);
+    for i in 0..cfg.ops {
+        wl.round(i);
+    }
+    let (post_eviction_ops, post_eviction_failures) =
+        (wl.completed - post0.0, wl.failures - post0.1);
+
+    let suspicion_correct_max = [ServerId(0), ServerId(1), ServerId(4)]
+        .iter()
+        .map(|s| audit.suspicion(*s))
+        .max()
+        .unwrap_or(0);
+
+    // Leg 3 — a fresh, fully-correct cluster behind corrupting chaos
+    // proxies: drops, delays, corruption and truncation on every link.
+    // MAC failures must surface as suspicion, never conviction.
+    let chaos_spec = FaultSpec {
+        kill_permille: 3,
+        truncate_permille: 8,
+        corrupt_permille: 40,
+        drop_permille: 20,
+        delay_permille: 20,
+        delay_micros: (50, 500),
+        classes: None,
+    };
+    let chaos_cluster = TcpKvCluster::builder(KvMode::Replicated, b"audit-chaos")
+        .quorum(q)
+        .config(audit_transport())
+        .chaos(FaultPlan::new(cfg.seed, chaos_spec))
+        .start()
+        .expect("start chaos cluster");
+    let chaos_audit = chaos_cluster.audit_log();
+    chaos_audit.register_writers([WriterId(1), WriterId(2)]);
+    chaos_audit.expect_correct(q.servers());
+    let mut chaos_wl = workload(&chaos_cluster, &chaos_audit, cfg.keys);
+    legs.push(run_leg(
+        &mut chaos_wl,
+        &chaos_audit,
+        "chaos-corruption",
+        None,
+        cfg.ops,
+    ));
+    let chaos_convictions = chaos_audit.convictions().len() as u64;
+
+    AuditReport {
+        seed: cfg.seed,
+        legs,
+        convictions: audit
+            .convictions()
+            .into_iter()
+            .map(|(s, c)| (s.0, c.to_string()))
+            .collect(),
+        chaos_convictions,
+        false_accusations: reg.counter(names::KV_AUDIT_FALSE_ACCUSATIONS).get() - fa0,
+        evidence_total: reg.counter(names::KV_AUDIT_EVIDENCE).get() - evidence0,
+        inadmissible_charge,
+        equivocation_charge,
+        offline_reverify_ok,
+        offline_roundtrip_ok,
+        quarantines: reg.counter(names::KV_AUDIT_QUARANTINES).get() - quarantines0,
+        evicted: evicted.into_iter().map(|(a, b)| (a.0, b.0)).collect(),
+        epoch_after_eviction,
+        post_eviction_ops,
+        post_eviction_failures,
+        suspicion_correct_max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A down-scaled full run: both injected roles convicted on the right
+    /// charges, the chaos leg convicts nobody, evidence survives the
+    /// offline round trip, and eviction leaves a serving cluster.
+    #[test]
+    fn tiny_audit_convicts_and_acquits() {
+        let cfg = AuditConfig {
+            seed: 11,
+            ops: 24,
+            keys: 2,
+        };
+        let report = audit_run(&cfg);
+        for l in &report.legs {
+            eprintln!(
+                "{}: {} ops, {} evidence, verdict {}",
+                l.label, l.ops, l.evidence, l.verdict
+            );
+        }
+        assert!(
+            report.legs[0].convicted,
+            "fabricator not convicted: {report:?}"
+        );
+        assert!(
+            report.legs[1].convicted,
+            "equivocator not convicted: {report:?}"
+        );
+        assert!(report.inadmissible_charge, "no inadmissible-tag evidence");
+        assert!(report.equivocation_charge, "no equivocation evidence");
+        assert_eq!(
+            report.chaos_convictions, 0,
+            "chaos convicted a correct replica"
+        );
+        assert_eq!(report.false_accusations, 0);
+        assert!(report.offline_reverify_ok && report.offline_roundtrip_ok);
+        assert_eq!(report.evicted.len(), 2, "conviction did not evict");
+        assert!(report.post_eviction_ops > 0 && report.post_eviction_failures == 0);
+        assert!(report.ok(), "{report:?}");
+    }
+}

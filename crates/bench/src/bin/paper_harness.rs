@@ -6,6 +6,7 @@
 //! ```
 
 use safereg_bench::ablations;
+use safereg_bench::audit as audit_harness;
 use safereg_bench::chaos as chaos_scenario;
 use safereg_bench::churn as churn_scenario;
 use safereg_bench::experiments;
@@ -553,7 +554,12 @@ fn trace() {
 }
 
 fn shard() {
-    println!("== shard: {{1, 4, 16}} register groups x {{uniform, zipf}} keys on one n=5 fleet ==",);
+    println!(
+        "== shard: {{1, 4, 16}} register groups x {{uniform, zipf}} keys on one n=5 fleet, \
+         plus s=64 with m={} of a {}-server fleet (m<n) ==",
+        shard_bench::WIDE_M,
+        shard_bench::WIDE_FLEET
+    );
     let r = shard_bench::run();
     let rows: Vec<Vec<String>> = r
         .cells
@@ -581,10 +587,11 @@ fn shard() {
         r.hot_shard, r.hot_shard_ops
     );
     println!(
-        "shard: sockets per client = {} (exactly n={} required, never s*n); \
-         monotone scaling = {}",
+        "shard: sockets per client = {} (exactly the fleet required — n={} for m=n cells, \
+         {} for the s=64 m<n leg — never s*n); monotone scaling = {}",
         yes_no(r.sockets_ok()),
         r.n,
+        shard_bench::WIDE_FLEET,
         yes_no(r.monotone_ok())
     );
     if let Err(e) = std::fs::write("BENCH_shard.json", r.to_json()) {
@@ -602,12 +609,19 @@ fn shard() {
 ///
 /// ```text
 /// paper_harness churn [--ops 200] [--seed 0xC1124E] [--shards 2] [--keys 3]
+///                     [--continuous] [--events 6]
 /// ```
 fn churn(flags: &[String]) -> ! {
     let mut cfg = churn_scenario::ChurnConfig::default();
     let mut i = 0;
     while i < flags.len() {
         let flag = flags[i].as_str();
+        // Boolean flags take no value; handle them before the pair logic.
+        if flag == "--continuous" {
+            cfg.continuous = true;
+            i += 1;
+            continue;
+        }
         let Some(value) = flags.get(i + 1) else {
             eprintln!("churn: {flag} needs a value");
             std::process::exit(2);
@@ -623,6 +637,7 @@ fn churn(flags: &[String]) -> ! {
             "--seed" => cfg.seed = parse("--seed"),
             "--shards" => cfg.shards = parse("--shards") as u16,
             "--keys" => cfg.keys = parse("--keys") as usize,
+            "--events" => cfg.events = parse("--events"),
             _ => {
                 eprintln!("churn: unknown flag {flag}");
                 std::process::exit(2);
@@ -631,10 +646,18 @@ fn churn(flags: &[String]) -> ! {
         i += 2;
     }
 
-    println!(
-        "== churn: add/remove/replace under a live Fabricator, {} ops/phase, seed {} ==",
-        cfg.ops_per_phase, cfg.seed
-    );
+    if cfg.continuous {
+        println!(
+            "== churn: seeded arrival/departure process ({} events) under a live \
+             Fabricator, {} ops/phase, seed {} ==",
+            cfg.events, cfg.ops_per_phase, cfg.seed
+        );
+    } else {
+        println!(
+            "== churn: add/remove/replace under a live Fabricator, {} ops/phase, seed {} ==",
+            cfg.ops_per_phase, cfg.seed
+        );
+    }
     let r = churn_scenario::churn_run(&cfg);
     let rows: Vec<Vec<String>> = r
         .phases
@@ -669,8 +692,9 @@ fn churn(flags: &[String]) -> ! {
         )
     );
     println!(
-        "churn: {} steps applied, final epoch {}, {} keys transferred, byz = {}",
-        r.steps, r.final_epoch, r.transfer_keys, r.byz_role
+        "churn: {} steps applied ({} mode, {} expected), final epoch {}, \
+         {} keys transferred, byz = {}",
+        r.steps, r.mode, r.expected_steps, r.final_epoch, r.transfer_keys, r.byz_role
     );
     println!(
         "churn: {}/{} ops completed, {} failures (0 required), violations = {} (0 required)",
@@ -704,18 +728,130 @@ fn churn(flags: &[String]) -> ! {
     std::process::exit(1);
 }
 
+/// Parses `audit` flags and runs the accountability harness; exits
+/// nonzero on failure.
+///
+/// ```text
+/// paper_harness audit [--ops 64] [--seed 0xA0D17EED] [--keys 2]
+/// ```
+fn audit(flags: &[String]) -> ! {
+    let mut cfg = audit_harness::AuditConfig::default();
+    let mut i = 0;
+    while i < flags.len() {
+        let flag = flags[i].as_str();
+        let Some(value) = flags.get(i + 1) else {
+            eprintln!("audit: {flag} needs a value");
+            std::process::exit(2);
+        };
+        let parse = |what: &str| {
+            value.parse::<u64>().unwrap_or_else(|_| {
+                eprintln!("audit: {what} must be a number, got {value}");
+                std::process::exit(2);
+            })
+        };
+        match flag {
+            "--ops" => cfg.ops = parse("--ops"),
+            "--seed" => cfg.seed = parse("--seed"),
+            "--keys" => cfg.keys = parse("--keys") as usize,
+            _ => {
+                eprintln!("audit: unknown flag {flag}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+
+    println!(
+        "== audit: convict injected Fabricator/Equivocator from chained evidence, \
+         acquit correct replicas under corruption; {} rounds/leg, seed {} ==",
+        cfg.ops, cfg.seed
+    );
+    let r = audit_harness::audit_run(&cfg);
+    let rows: Vec<Vec<String>> = r
+        .legs
+        .iter()
+        .map(|l| {
+            vec![
+                l.label.into(),
+                l.accused.map_or("-".into(), |s| format!("s{s}")),
+                l.ops.to_string(),
+                l.failures.to_string(),
+                l.evidence.to_string(),
+                l.verdict.clone(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &["leg", "accused", "ops", "failures", "evidence", "verdict"],
+            &rows
+        )
+    );
+    for (s, c) in &r.convictions {
+        println!("audit: convicted s{s} of {c}");
+    }
+    println!(
+        "audit: convictions = {} (every injected fault), false_accusations {} (0 required), \
+         {} evidence records",
+        r.convictions.len(),
+        r.false_accusations,
+        r.evidence_total
+    );
+    println!(
+        "audit: offline re-verification = {}; wire round-trip re-verification = {}",
+        yes_no(r.offline_reverify_ok),
+        yes_no(r.offline_roundtrip_ok)
+    );
+    println!(
+        "audit: {} quarantined; evicted {:?} (epoch {} after); \
+         post-eviction ops = {} ({} failures)",
+        r.quarantines,
+        r.evicted,
+        r.epoch_after_eviction,
+        r.post_eviction_ops,
+        r.post_eviction_failures
+    );
+    println!(
+        "audit: chaos leg convicted {} correct replicas (0 required); \
+         max suspicion on a correct replica = {}",
+        r.chaos_convictions, r.suspicion_correct_max
+    );
+    if let Err(e) = std::fs::write("BENCH_audit.json", r.to_json()) {
+        eprintln!("audit: could not write BENCH_audit.json: {e}");
+    }
+    // Full metrics dump: the CI smoke greps this for the audit counters
+    // (`kv.audit.evidence`, `kv.audit.convictions`, ...).
+    println!(
+        "{}",
+        safereg_obs::render_jsonl(&safereg_obs::global().snapshot())
+    );
+    if r.ok() {
+        println!("audit: ok");
+        std::process::exit(0);
+    }
+    println!("audit: FAILED (rerun with --seed {} to replay)", r.seed);
+    std::process::exit(1);
+}
+
 /// Parses `soak` flags and runs the harness; exits nonzero on failure.
 ///
 /// ```text
 /// paper_harness soak --ops 20000 --byz f --seed 7 [--epochs 5]
 ///                    [--writers 4] [--readers 4] [--keys 4] [--shards 4]
-///                    [--minutes 10]
+///                    [--minutes 10] [--continuous]
 /// ```
 fn soak(flags: &[String]) -> ! {
     let mut cfg = soak_harness::SoakConfig::default();
     let mut i = 0;
     while i < flags.len() {
         let flag = flags[i].as_str();
+        // Boolean flags take no value; handle them before the pair logic.
+        if flag == "--continuous" {
+            cfg.continuous = true;
+            i += 1;
+            continue;
+        }
         let Some(value) = flags.get(i + 1) else {
             eprintln!("soak: {flag} needs a value");
             std::process::exit(2);
@@ -801,6 +937,12 @@ fn soak(flags: &[String]) -> ! {
             s.shard,
             s.ops,
             s.fast_ratio_permille as f64 / 1000.0
+        );
+    }
+    if r.continuous {
+        println!(
+            "soak: continuous churn applied {} membership events",
+            r.reconfig_events
         );
     }
     println!(
@@ -958,6 +1100,9 @@ fn main() {
     if args.first().map(String::as_str) == Some("churn") {
         churn(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("audit") {
+        audit(&args[1..]);
+    }
     let all: Vec<(&str, fn())> = vec![
         ("e1", e1),
         ("e2", e2),
@@ -993,7 +1138,7 @@ fn main() {
     if selected.is_empty() {
         eprintln!(
             "unknown experiment; available: e1..e13, a1..a5, chaos, wire, shard, trace, \
-             metrics, soak, churn, runtime"
+             metrics, soak, churn, audit, runtime"
         );
         std::process::exit(2);
     }

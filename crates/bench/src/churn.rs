@@ -7,7 +7,12 @@
 //!
 //! * a two-shard replicated cluster performs one **add**, one **remove**
 //!   and one **replace** — three epoch bumps, each a single-replica step
-//!   as the quorum-intersection argument demands (DESIGN.md §11);
+//!   as the quorum-intersection argument demands (DESIGN.md §11) — or,
+//!   in `--continuous` mode, a seeded [`DetRng`] arrival/departure
+//!   process: joiners arrive under fresh ids and only joiners depart or
+//!   get swapped, so base members (the Fabricator included) stay and
+//!   live faults never exceed `f` per shard, with inter-arrival gaps
+//!   drawn in operations so the schedule replays from the seed;
 //! * a **Fabricator** plays its role on a surviving replica throughout —
 //!   the joiner arrives, the leaver drains, and clients adopt successor
 //!   configs all while one replica forges tags (the role is re-asserted
@@ -33,6 +38,7 @@ use safereg_checker::{Violation, WindowedChecker};
 use safereg_common::config::{BackoffPolicy, QuorumConfig, TransportConfig};
 use safereg_common::ids::{ReaderId, ServerId, WriterId};
 use safereg_common::msg::{OpId, Payload};
+use safereg_common::rng::DetRng;
 use safereg_common::shard::ShardMap;
 use safereg_common::value::Value;
 use safereg_core::behavior::ByzRole;
@@ -45,7 +51,8 @@ use safereg_transport::chaos::{FaultPlan, FaultSpec};
 /// Knobs for one churn run.
 #[derive(Debug, Clone)]
 pub struct ChurnConfig {
-    /// Master seed: Byzantine forgery streams and the shard placement.
+    /// Master seed: Byzantine forgery streams, the shard placement, and
+    /// (in continuous mode) the arrival/departure process.
     pub seed: u64,
     /// Operations per measured before/after phase (the during phase runs
     /// as many as fit while the reconfiguration is in flight).
@@ -54,6 +61,17 @@ pub struct ChurnConfig {
     pub shards: u16,
     /// Distinct keys the workload cycles through.
     pub keys: usize,
+    /// Continuous mode: instead of the fixed add/remove/replace ladder,
+    /// [`ChurnConfig::events`] membership events are drawn from a seeded
+    /// [`DetRng`] arrival/departure process — joiners arrive under fresh
+    /// ids, only joiners ever depart (base members, including the live
+    /// Fabricator, stay), so the per-shard fault count never exceeds `f`.
+    /// Inter-arrival times are drawn in *operations*: each event's
+    /// "before" phase length is a DetRng draw, so the schedule replays
+    /// exactly from the seed.
+    pub continuous: bool,
+    /// Membership events in continuous mode (ignored by the ladder).
+    pub events: u64,
 }
 
 impl Default for ChurnConfig {
@@ -63,6 +81,8 @@ impl Default for ChurnConfig {
             ops_per_phase: 200,
             shards: 2,
             keys: 3,
+            continuous: false,
+            events: 6,
         }
     }
 }
@@ -94,9 +114,14 @@ pub struct PhaseStat {
 pub struct ChurnReport {
     /// The master seed.
     pub seed: u64,
-    /// Reconfiguration steps that applied cleanly (3 expected).
+    /// `"ladder"` or `"continuous"`.
+    pub mode: &'static str,
+    /// Reconfiguration steps the run scheduled (3 for the ladder,
+    /// [`ChurnConfig::events`] in continuous mode).
+    pub expected_steps: u32,
+    /// Reconfiguration steps that applied cleanly.
     pub steps: u32,
-    /// Cluster epoch after the last step (3 expected).
+    /// Cluster epoch after the last step (one bump per applied step).
     pub final_epoch: u32,
     /// The Byzantine role live through every step.
     pub byz_role: &'static str,
@@ -124,12 +149,13 @@ pub struct ChurnReport {
 }
 
 impl ChurnReport {
-    /// The acceptance predicate `scripts/ci.sh` greps for: all three
-    /// steps applied, zero checker violations, zero abandoned ops, every
-    /// phase made progress, and the coded joiner rebuilt its fragment.
+    /// The acceptance predicate `scripts/ci.sh` greps for: every
+    /// scheduled step applied, zero checker violations, zero abandoned
+    /// ops, every phase made progress, and the coded joiner rebuilt its
+    /// fragment.
     pub fn ok(&self) -> bool {
-        self.steps == 3
-            && self.final_epoch == 3
+        self.steps == self.expected_steps
+            && self.final_epoch == self.expected_steps
             && self.violations.is_empty()
             && self.failures == 0
             && self.phases.iter().all(|p| p.ops > 0)
@@ -161,13 +187,16 @@ impl ChurnReport {
             .collect();
         format!(
             concat!(
-                "{{\"seed\":{},\"steps\":{},\"final_epoch\":{},\"byz_role\":\"{}\",",
+                "{{\"seed\":{},\"mode\":\"{}\",\"expected_steps\":{},",
+                "\"steps\":{},\"final_epoch\":{},\"byz_role\":\"{}\",",
                 "\"phases\":[{}],\"violations\":{},\"ops_attempted\":{},",
                 "\"ops_completed\":{},\"failures\":{},\"transfer_keys\":{},",
                 "\"reconfig_slow_reads\":{},\"coded_digest_ok\":{},",
                 "\"coded_joiner_logical\":{},\"ok\":{}}}\n"
             ),
             self.seed,
+            self.mode,
+            self.expected_steps,
             self.steps,
             self.final_epoch,
             self.byz_role,
@@ -410,9 +439,11 @@ fn coded_fragment_check(seed: u64) -> (bool, u16) {
     )
 }
 
-/// Runs the churn scenario: three single-replica reconfiguration steps
-/// (add, remove, replace) on a live two-shard replicated cluster with a
-/// Fabricator active throughout, then the coded fragment-rebuild check.
+/// Runs the churn scenario: single-replica reconfiguration steps (the
+/// fixed add/remove/replace ladder, or a seeded arrival/departure
+/// process in [continuous](ChurnConfig::continuous) mode) on a live
+/// two-shard replicated cluster with a Fabricator active throughout,
+/// then the coded fragment-rebuild check.
 ///
 /// # Panics
 ///
@@ -462,26 +493,96 @@ pub fn churn_run(cfg: &ChurnConfig) -> ChurnReport {
     };
     wl.client.set_policy(tconfig);
 
-    // The three rolling steps: one replica each, epoch bumped per step.
-    // The add targets a fresh id, the remove drains an original member
-    // (never the Fabricator), the replace swaps another for a joiner.
-    type Step = (&'static str, fn(&mut TcpKvCluster) -> std::io::Result<()>);
-    let steps: [Step; 3] = [
-        ("add", |cl| cl.add_replica(ServerId(5))),
-        ("remove", |cl| cl.remove_replica(ServerId(0))),
-        ("replace", |cl| cl.replace_replica(ServerId(1), ServerId(6))),
-    ];
+    // One step = (label, membership change, before-phase length). The
+    // ladder is the fixed trio: the add targets a fresh id, the remove
+    // drains an original member (never the Fabricator), the replace
+    // swaps another for a joiner. Continuous mode draws the steps from a
+    // seeded arrival/departure process instead: joiners arrive under
+    // fresh ids and only joiners depart or get swapped — base members
+    // (the Fabricator included) stay, so live faults never exceed `f`
+    // per shard — with inter-arrival gaps drawn in operations.
+    type Step = (
+        String,
+        Box<dyn FnOnce(&mut TcpKvCluster) -> std::io::Result<()> + Send>,
+        u64,
+    );
+    let steps: Vec<Step> = if cfg.continuous {
+        let mut rng = DetRng::seed_from(cfg.seed ^ 0xC027_17EE);
+        let mut next_id = 100u16;
+        let mut joiners: Vec<ServerId> = Vec::new();
+        (0..cfg.events.max(1))
+            .map(|i| {
+                // Arrive when nobody can depart; cap the fleet at +2 so
+                // departures stay available; otherwise draw uniformly.
+                let kind = if joiners.is_empty() {
+                    0
+                } else if joiners.len() >= 2 {
+                    1 + rng.index(2)
+                } else {
+                    rng.index(3)
+                };
+                let gap = cfg.ops_per_phase / 2 + rng.range_u64(1..cfg.ops_per_phase.max(2));
+                match kind {
+                    0 => {
+                        let sid = ServerId(next_id);
+                        next_id += 1;
+                        joiners.push(sid);
+                        (
+                            format!("e{i}:arrival(s{})", sid.0),
+                            Box::new(move |cl: &mut TcpKvCluster| cl.add_replica(sid)) as _,
+                            gap,
+                        )
+                    }
+                    1 => {
+                        let sid = joiners.swap_remove(rng.index(joiners.len()));
+                        (
+                            format!("e{i}:departure(s{})", sid.0),
+                            Box::new(move |cl: &mut TcpKvCluster| cl.remove_replica(sid)) as _,
+                            gap,
+                        )
+                    }
+                    _ => {
+                        let idx = rng.index(joiners.len());
+                        let old = joiners[idx];
+                        let new = ServerId(next_id);
+                        next_id += 1;
+                        joiners[idx] = new;
+                        (
+                            format!("e{i}:swap(s{}->s{})", old.0, new.0),
+                            Box::new(move |cl: &mut TcpKvCluster| cl.replace_replica(old, new))
+                                as _,
+                            gap,
+                        )
+                    }
+                }
+            })
+            .collect()
+    } else {
+        vec![
+            (
+                "add".into(),
+                Box::new(|cl: &mut TcpKvCluster| cl.add_replica(ServerId(5))) as _,
+                cfg.ops_per_phase,
+            ),
+            (
+                "remove".into(),
+                Box::new(|cl: &mut TcpKvCluster| cl.remove_replica(ServerId(0))) as _,
+                cfg.ops_per_phase,
+            ),
+            (
+                "replace".into(),
+                Box::new(|cl: &mut TcpKvCluster| cl.replace_replica(ServerId(1), ServerId(6))) as _,
+                cfg.ops_per_phase,
+            ),
+        ]
+    };
+    let expected_steps = steps.len() as u32;
 
     let mut phases = Vec::with_capacity(steps.len() * 3);
     let mut applied = 0u32;
-    for (name, step) in steps {
+    for (name, step, before_ops) in steps {
         let epoch_before = cluster.lock().expect("cluster lock").epoch();
-        phases.push(wl.run_phase(
-            &format!("{name}:before"),
-            epoch_before,
-            cfg.ops_per_phase,
-            None,
-        ));
+        phases.push(wl.run_phase(&format!("{name}:before"), epoch_before, before_ops, None));
 
         // The reconfiguration runs on its own thread while the workload
         // keeps hammering the register — the "during" window is exactly
@@ -534,6 +635,12 @@ pub fn churn_run(cfg: &ChurnConfig) -> ChurnReport {
 
     ChurnReport {
         seed: cfg.seed,
+        mode: if cfg.continuous {
+            "continuous"
+        } else {
+            "ladder"
+        },
+        expected_steps,
         steps: applied,
         final_epoch,
         byz_role: ByzRole::Fabricator.label(),
@@ -566,6 +673,7 @@ mod tests {
             ops_per_phase: 30,
             shards: 2,
             keys: 2,
+            ..ChurnConfig::default()
         };
         let report = churn_run(&cfg);
         for p in &report.phases {
@@ -588,6 +696,49 @@ mod tests {
             "no client ever adopted a successor config"
         );
         assert!(report.transfer_keys > 0, "no state was transferred");
+        assert!(report.ok(), "{report:?}");
+    }
+
+    /// Continuous mode: a DetRng arrival/departure process replaces the
+    /// ladder — every drawn event applies, the verdict stays clean, and
+    /// the schedule is a pure function of the seed (same seed, same
+    /// phase labels).
+    #[test]
+    fn tiny_continuous_churn_is_clean() {
+        let cfg = ChurnConfig {
+            seed: 33,
+            ops_per_phase: 20,
+            shards: 2,
+            keys: 2,
+            continuous: true,
+            events: 4,
+        };
+        let report = churn_run(&cfg);
+        for p in &report.phases {
+            eprintln!("{}: epoch {}, {} ops", p.label, p.epoch, p.ops);
+        }
+        assert_eq!(report.mode, "continuous");
+        assert_eq!(report.steps, 4, "a drawn membership event failed");
+        assert_eq!(report.final_epoch, 4);
+        assert!(
+            report.violations.is_empty(),
+            "continuous churn found safety violations: {:?}",
+            report.violations
+        );
+        assert_eq!(report.failures, 0, "an operation failed to terminate");
+        assert!(
+            report.phases[0].label.starts_with("e0:arrival"),
+            "first event must be an arrival (nobody can depart yet): {}",
+            report.phases[0].label
+        );
+        let replay = churn_run(&cfg);
+        let labels =
+            |r: &ChurnReport| -> Vec<String> { r.phases.iter().map(|p| p.label.clone()).collect() };
+        assert_eq!(
+            labels(&report),
+            labels(&replay),
+            "the arrival/departure schedule must replay from the seed"
+        );
         assert!(report.ok(), "{report:?}");
     }
 }

@@ -27,11 +27,14 @@
 //! live-Byzantine replicas, server-side chaos and crash/restarts with a
 //! memory-bounded online safety checker, and the [`churn`] scenario that
 //! rolls add/remove/replace reconfigurations through a live cluster while
-//! a Fabricator stays active and a checker judges every op.
+//! a Fabricator stays active and a checker judges every op, and the
+//! [`audit`] harness that convicts every injected Byzantine replica from
+//! HMAC-chained evidence (and nobody else, even under wire corruption).
 //!
 //! Run everything: `cargo run -p safereg-bench --bin paper_harness`.
 
 pub mod ablations;
+pub mod audit;
 pub mod chaos;
 pub mod churn;
 pub mod experiments;

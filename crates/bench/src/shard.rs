@@ -1,5 +1,6 @@
 //! Shard-scaling bench: the same five-server fleet at 1, 4 and 16
-//! register groups, under uniform and Zipf-skewed key traffic.
+//! register groups under uniform and Zipf-skewed key traffic, plus a
+//! wide s = 64 leg with an m &lt; n placement over a larger fleet.
 //!
 //! The sharding layer's pitch is *contention isolation on unchanged
 //! hardware*: every shard is a full BSR deployment over the same `n`
@@ -14,8 +15,10 @@
 //! Two properties are asserted, matching the claims in DESIGN.md §9:
 //!
 //! * **Socket sharing** — every client transport ends each cell with
-//!   exactly `n` live sockets, never `s × n`: connections are keyed by
-//!   physical server and multiplexed across every group the server hosts.
+//!   exactly its fleet's worth of live sockets, never `s × n`:
+//!   connections are keyed by physical server and multiplexed across
+//!   every group the server hosts. The wide leg stresses this hardest —
+//!   64 groups × 5 replicas is 320 logical endpoints through 7 sockets.
 //! * **Monotone scaling** — median throughput does not degrade as shards
 //!   grow, `rate(1) ⪅ rate(4) ⪅ rate(16)` per skew (with a small noise
 //!   allowance, [`MONOTONE_SLACK`] — the harness runs on whatever CPU it
@@ -54,6 +57,19 @@ pub const TRIALS: usize = 5;
 pub const MONOTONE_SLACK: f64 = 0.85;
 /// Shard counts swept, smallest first (the monotone check walks pairs).
 pub const SHARD_COUNTS: [u16; 3] = [1, 4, 16];
+/// The wide leg: 64 register groups with an m &lt; n placement
+/// ([`ShardMap::with_replicas`]) — each group is served by only
+/// [`WIDE_M`] of the [`WIDE_FLEET`] physical servers, the
+/// horizontal-scaling shape. Excluded from the monotone comparison (its
+/// fleet differs) but fully subject to the socket-sharing invariant:
+/// sockets stay bounded by the *fleet*, never `s × m`.
+pub const WIDE_SHARDS: u16 = 64;
+/// Physical servers in the wide leg's fleet.
+pub const WIDE_FLEET: usize = 7;
+/// Replicas per register group in the wide leg (m &lt; n).
+pub const WIDE_M: usize = 5;
+/// Per-group fault bound in the wide leg.
+pub const WIDE_F: usize = 1;
 
 /// Key-popularity skew for one cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +106,10 @@ pub struct ShardCell {
     pub sockets_min: usize,
     /// Most live sockets any client transport held at trial end.
     pub sockets_max: usize,
+    /// Physical fleet size this cell's socket invariant is judged
+    /// against (`n` for the m = n matrix, [`WIDE_FLEET`] for the wide
+    /// m &lt; n leg).
+    pub fleet: usize,
 }
 
 /// The full matrix plus the fleet size the socket invariant is judged
@@ -113,15 +133,18 @@ impl ShardBenchResult {
         self.sockets_ok() && self.monotone_ok()
     }
 
-    /// Every cell's every transport ended with exactly `n` sockets.
+    /// Every cell's every transport ended with exactly its fleet's worth
+    /// of sockets — `n` for the m = n matrix, [`WIDE_FLEET`] for the
+    /// s = 64 m &lt; n leg, and never `s × m` anywhere.
     pub fn sockets_ok(&self) -> bool {
         self.cells
             .iter()
-            .all(|c| c.sockets_min == self.n && c.sockets_max == self.n)
+            .all(|c| c.sockets_min == c.fleet && c.sockets_max == c.fleet)
     }
 
     /// Per skew, walking [`SHARD_COUNTS`] in order never loses more than
-    /// the noise allowance.
+    /// the noise allowance. The wide m &lt; n leg is excluded: it runs on
+    /// a different fleet, so its rate is not comparable.
     pub fn monotone_ok(&self) -> bool {
         for skew in [Skew::Uniform, Skew::Zipf] {
             let rates: Vec<f64> = SHARD_COUNTS
@@ -162,8 +185,15 @@ impl ShardBenchResult {
             }
             out.push_str(&format!(
                 "{{\"shards\":{},\"skew\":\"{}\",\"ops\":{},\"ops_per_sec\":{:.1},\
-                 \"p99_micros\":{},\"sockets_min\":{},\"sockets_max\":{}}}",
-                c.shards, c.skew, c.ops, c.ops_per_sec, c.p99_micros, c.sockets_min, c.sockets_max
+                 \"p99_micros\":{},\"sockets_min\":{},\"sockets_max\":{},\"fleet\":{}}}",
+                c.shards,
+                c.skew,
+                c.ops,
+                c.ops_per_sec,
+                c.p99_micros,
+                c.sockets_min,
+                c.sockets_max,
+                c.fleet
             ));
         }
         out.push_str("]}");
@@ -211,6 +241,31 @@ impl Cell {
             .collect();
         Ok(Cell {
             shards,
+            skew,
+            _cluster: cluster,
+            map,
+            workers,
+            trials: Vec::with_capacity(TRIALS),
+        })
+    }
+
+    /// The wide m &lt; n leg: [`WIDE_SHARDS`] register groups placed over a
+    /// [`WIDE_FLEET`]-server fleet with only [`WIDE_M`] replicas each.
+    fn start_wide(skew: Skew) -> std::io::Result<Cell> {
+        let fleet: Vec<ServerId> = (0..WIDE_FLEET as u16).map(ServerId).collect();
+        let map = ShardMap::with_replicas(0x5AFE_3164, WIDE_SHARDS, fleet, WIDE_M, WIDE_F)
+            .expect("m < n fits the fleet");
+        let cluster = TcpKvCluster::builder(KvMode::Replicated, b"shard-bench-wide")
+            .shards(map.clone())
+            .start()?;
+        let workers = (0..THREADS)
+            .map(|t| {
+                let c = KvClient::sharded(map.clone(), WriterId(t as u16), ReaderId(t as u16));
+                (c, cluster.transport())
+            })
+            .collect();
+        Ok(Cell {
+            shards: WIDE_SHARDS,
             skew,
             _cluster: cluster,
             map,
@@ -299,6 +354,7 @@ impl Cell {
             p99_micros: p99s[p99s.len() / 2],
             sockets_min: self.trials.iter().map(|t| t.3).min().unwrap_or(0),
             sockets_max: self.trials.iter().map(|t| t.4).max().unwrap_or(0),
+            fleet: self.map.fleet().len(),
         }
     }
 }
@@ -315,6 +371,10 @@ pub fn run() -> ShardBenchResult {
         .flat_map(|&s| [Skew::Uniform, Skew::Zipf].map(|skew| (s, skew)))
         .map(|(s, skew)| Cell::start(s, skew).expect("bind loopback listeners"))
         .collect();
+    // The wide m < n leg rides the same interleaved trial schedule; one
+    // skew is enough — the invariant under test is socket sharing, not
+    // popularity response.
+    cells.push(Cell::start_wide(Skew::Uniform).expect("bind loopback listeners"));
     // Warm-up round (not recorded): connects sockets, faults in code paths.
     for cell in &mut cells {
         let keep = std::mem::take(&mut cell.trials);
@@ -364,5 +424,23 @@ mod tests {
         let n = QuorumConfig::minimal_bsr(1).unwrap().n();
         assert_eq!(lo, n, "a client transport holds fewer than n sockets");
         assert_eq!(hi, n, "a client transport opened more than n sockets");
+    }
+
+    /// The wide leg: 64 register groups, each on only m = 5 of a
+    /// 7-server fleet — sockets stay exactly the fleet size (7), never
+    /// `s × m` (320).
+    #[test]
+    fn wide_m_lt_n_leg_shares_fleet_sockets() {
+        let mut cell = Cell::start_wide(Skew::Uniform).expect("bind listeners");
+        cell.trial(0);
+        let (ops, _, _, lo, hi) = cell.trials[0];
+        assert!(ops > 0, "wide cell made no progress");
+        assert_eq!(lo, WIDE_FLEET, "a transport holds fewer than fleet sockets");
+        assert_eq!(hi, WIDE_FLEET, "a transport opened more than fleet sockets");
+        assert_eq!(
+            cell.map.shard_config().n(),
+            WIDE_M,
+            "per-group replica count"
+        );
     }
 }

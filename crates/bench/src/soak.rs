@@ -14,7 +14,12 @@
 //!   [`FaultPlan`] seed rotates per epoch (`seed ^ epoch`);
 //! * a supervisor kills and respawns the Byzantine replicas mid-epoch —
 //!   never more than `f` faulty at any instant, since the restarted
-//!   replica *is* the faulty one.
+//!   replica *is* the faulty one;
+//! * with [`SoakConfig::continuous`], the supervisor additionally drives
+//!   a seeded arrival/departure membership process: a couple of
+//!   reconfigurations per epoch at [`DetRng`]-drawn gaps, where joiners
+//!   take fresh ids and only joiners ever depart — so the rotating
+//!   Byzantine host is always a base member and faults stay ≤ `f`.
 //!
 //! Safety is judged online by one [`WindowedChecker`] per key, so memory
 //! stays flat no matter how many operations run: reads are checked at
@@ -33,6 +38,7 @@ use safereg_checker::{Violation, WindowedChecker};
 use safereg_common::config::{BackoffPolicy, QuorumConfig, TransportConfig};
 use safereg_common::ids::{ReaderId, ServerId, WriterId};
 use safereg_common::msg::OpId;
+use safereg_common::rng::DetRng;
 use safereg_common::shard::ShardMap;
 use safereg_common::value::Value;
 use safereg_core::behavior::ByzRole;
@@ -72,6 +78,14 @@ pub struct SoakConfig {
     /// the target has elapsed, so one flag turns the smoke run into an
     /// overnight burn-in without retuning `ops`/`epochs`.
     pub minutes: u64,
+    /// Layer a seeded arrival/departure process on top of the workload:
+    /// each epoch the supervisor also fires a couple of membership
+    /// reconfigurations at [`DetRng`]-drawn inter-arrival gaps — a fresh
+    /// replica joins when no joiner is live, otherwise a joiner departs.
+    /// Joiners take ids from 100 upward and only joiners ever leave, so
+    /// the base membership (and the Byzantine victim rotation over it)
+    /// is untouched and live faults stay ≤ `f` per shard.
+    pub continuous: bool,
 }
 
 impl Default for SoakConfig {
@@ -86,6 +100,7 @@ impl Default for SoakConfig {
             keys: 4,
             shards: 1,
             minutes: 0,
+            continuous: false,
         }
     }
 }
@@ -156,6 +171,11 @@ pub struct SoakReport {
     /// Every epoch's fault plan, rebuilt from its seed, reproduced the
     /// identical schedule bytes.
     pub schedule_reproducible: bool,
+    /// The run layered the seeded arrival/departure process on top.
+    pub continuous: bool,
+    /// Membership reconfigurations (joins + departures) the continuous
+    /// process applied across all epochs.
+    pub reconfig_events: u64,
 }
 
 impl SoakReport {
@@ -167,6 +187,7 @@ impl SoakReport {
             && self.rss_bounded
             && self.progressed
             && self.schedule_reproducible
+            && (!self.continuous || self.reconfig_events > 0)
     }
 
     /// Line-oriented JSON for `BENCH_soak.json`.
@@ -188,7 +209,8 @@ impl SoakReport {
                 "\"failures\":{},\"violations\":{},\"reads_checked\":{},",
                 "\"peak_window\":{},\"pruned\":{},\"epochs\":{},",
                 "\"rss_bounded\":{},\"progressed\":{},",
-                "\"schedule_reproducible\":{},\"ok\":{}}}\n"
+                "\"schedule_reproducible\":{},\"continuous\":{},",
+                "\"reconfig_events\":{},\"ok\":{}}}\n"
             ),
             self.seed,
             self.shards,
@@ -204,6 +226,8 @@ impl SoakReport {
             self.rss_bounded,
             self.progressed,
             self.schedule_reproducible,
+            self.continuous,
+            self.reconfig_events,
             self.ok()
         )
     }
@@ -396,6 +420,16 @@ pub fn soak_run(cfg: &SoakConfig) -> SoakReport {
     let mut current_byz: Vec<ServerId> = Vec::new();
     let mut epoch_seeds: Vec<u64> = Vec::with_capacity(epochs);
 
+    // `--continuous` bookkeeping. Joiners arrive under fresh ids (100+)
+    // and only joiners ever depart, so the base membership — and with it
+    // the Byzantine victim rotation over ids `0..n` — is never
+    // reconfigured away: the at-most-one faulty host is always a base
+    // member and every joiner is honest, keeping live faults ≤ `f` per
+    // shard throughout.
+    let joiners: Mutex<Vec<ServerId>> = Mutex::new(Vec::new());
+    let next_join_id = AtomicU64::new(100);
+    let reconfig_events = AtomicU64::new(0);
+
     // `--minutes` trades the fixed epoch count for a wall-clock target:
     // the loop keeps rotating further epochs (fresh seeds, same quota)
     // until the deadline passes, with at least `epochs` always run.
@@ -529,6 +563,10 @@ pub fn soak_run(cfg: &SoakConfig) -> SoakReport {
         let failures = &failures;
         let cluster_ref = &cluster;
         let supervisor_byz = current_byz.clone();
+        let joiners = &joiners;
+        let next_join_id = &next_join_id;
+        let reconfig_events = &reconfig_events;
+        let continuous = cfg.continuous;
 
         std::thread::scope(|s| {
             // Crash/restart supervisor: mid-epoch, kill and respawn the
@@ -564,6 +602,38 @@ pub fn soak_run(cfg: &SoakConfig) -> SoakReport {
                                 ByzRole::for_epoch(e as u64, g.0 as usize),
                                 eseed ^ u64::from(g.0),
                             );
+                        }
+                    }
+                }
+                drop(cl);
+
+                // Continuous churn: a seeded arrival/departure process
+                // replaces the fixed membership — a couple of events per
+                // epoch at DetRng-drawn gaps, replayable from the epoch
+                // seed. Arrivals mint fresh ids; departures only ever
+                // pick a joiner, so the base fleet stays put and the
+                // faulty-host count never exceeds `f` in any shard.
+                if continuous {
+                    let mut rng = DetRng::seed_from(eseed ^ 0x50A7_C027);
+                    for _ in 0..2 {
+                        std::thread::sleep(Duration::from_millis(rng.range_u64(60..200)));
+                        let mut cl = cluster_ref.lock().expect("cluster lock");
+                        let mut js = joiners.lock().expect("joiners lock");
+                        let applied = if js.is_empty() {
+                            let sid = ServerId(next_join_id.fetch_add(1, Ordering::Relaxed) as u16);
+                            cl.add_replica(sid).map(|()| js.push(sid)).is_ok()
+                        } else {
+                            let idx = rng.index(js.len());
+                            match cl.remove_replica(js[idx]) {
+                                Ok(()) => {
+                                    js.swap_remove(idx);
+                                    true
+                                }
+                                Err(_) => false,
+                            }
+                        };
+                        if applied {
+                            reconfig_events.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                 }
@@ -759,6 +829,8 @@ pub fn soak_run(cfg: &SoakConfig) -> SoakReport {
         rss_bounded,
         progressed,
         schedule_reproducible,
+        continuous: cfg.continuous,
+        reconfig_events: reconfig_events.into_inner(),
     }
 }
 
@@ -781,6 +853,7 @@ mod tests {
             keys: 2,
             shards: 1,
             minutes: 0,
+            continuous: false,
         };
         let report = soak_run(&cfg);
         for s in &report.epochs {
@@ -820,6 +893,7 @@ mod tests {
             keys: 8,
             shards: 4,
             minutes: 0,
+            continuous: false,
         };
         let report = soak_run(&cfg);
         assert!(
@@ -838,5 +912,40 @@ mod tests {
             shard_ops,
             report.ops_completed
         );
+    }
+
+    /// Continuous mode: the seeded arrival/departure process fires real
+    /// reconfigurations mid-epoch while the rotating Byzantine replica
+    /// and the restart supervisor stay active — and the checker still
+    /// finds nothing, because joiners are always honest and only joiners
+    /// ever depart.
+    #[test]
+    fn tiny_continuous_soak_reconfigures_and_stays_safe() {
+        let cfg = SoakConfig {
+            ops: 160,
+            byz: 1,
+            seed: 17,
+            epochs: 2,
+            writers: 1,
+            readers: 1,
+            keys: 2,
+            shards: 1,
+            minutes: 0,
+            continuous: true,
+        };
+        let report = soak_run(&cfg);
+        assert!(
+            report.violations.is_empty(),
+            "continuous soak found safety violations: {:?}",
+            report.violations
+        );
+        assert!(report.continuous);
+        assert!(
+            report.reconfig_events > 0,
+            "the arrival/departure process never applied an event"
+        );
+        assert!(report.progressed, "an epoch completed no operations");
+        assert!(report.schedule_reproducible, "fault schedule diverged");
+        assert!(report.ok(), "continuous soak failed its own predicate");
     }
 }

@@ -9,7 +9,7 @@
 //! which is the property the paper's signature assumption provides.
 
 use safereg_common::codec::Wire;
-use safereg_common::ids::NodeId;
+use safereg_common::ids::{NodeId, ServerId};
 
 use crate::hmac::HmacSha256;
 use crate::sha256::DIGEST_LEN;
@@ -72,6 +72,22 @@ impl KeyChain {
         hi.encode_to(&mut material);
         Key(HmacSha256::mac(self.master.as_bytes(), &material))
     }
+
+    /// The per-server key under which a replica MACs its response-chain
+    /// links (see [`crate::chain`]).
+    ///
+    /// Distinct from every [`KeyChain::pair_key`] by domain separation, so a
+    /// link MAC can never be confused with channel-frame material. Any
+    /// holder of the master seed can re-derive the key and thus re-verify
+    /// (or forge) a server's links — conviction evidence is transferable
+    /// exactly within the domain that shares the deployment secret, the same
+    /// trust boundary the pairwise-MAC channel substitution already assumes.
+    pub fn audit_key(&self, server: ServerId) -> Key {
+        let mut material = Vec::with_capacity(24);
+        material.extend_from_slice(b"safereg/audit/v1");
+        server.encode_to(&mut material);
+        Key(HmacSha256::mac(self.master.as_bytes(), &material))
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +137,16 @@ mod tests {
             a.pair_key(n(ServerId(0)), n(ServerId(1))),
             b.pair_key(n(ServerId(0)), n(ServerId(1)))
         );
+    }
+
+    #[test]
+    fn audit_keys_are_per_server_and_domain_separated() {
+        let chain = KeyChain::from_master_seed(b"s");
+        assert_ne!(chain.audit_key(ServerId(0)), chain.audit_key(ServerId(1)));
+        // An audit key never collides with any pair key of the same server.
+        let pk = chain.pair_key(n(ServerId(0)), n(ServerId(1)));
+        assert_ne!(chain.audit_key(ServerId(0)), pk);
+        assert_ne!(chain.audit_key(ServerId(1)), pk);
     }
 
     #[test]

@@ -33,11 +33,13 @@
 //! ```
 
 pub mod auth;
+pub mod chain;
 pub mod hmac;
 pub mod keychain;
 pub mod sha256;
 
 pub use auth::{AuthCodec, AuthError};
+pub use chain::{ChainLink, LinkKind, ResponseChain};
 pub use hmac::HmacSha256;
 pub use keychain::{Key, KeyChain};
 pub use sha256::Sha256;

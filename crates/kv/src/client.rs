@@ -84,6 +84,14 @@ pub trait KvTransport {
     /// no-op — in-process transports have no links or stamps to move, and
     /// epoch admission is a wire-path concern.
     fn reconfigure(&mut self, _config: &EpochConfig) {}
+
+    /// Notes a circumstantial accountability signal against `server` —
+    /// the client saw it vouch for a value that contradicts another
+    /// replica's answer within one quorum. Default no-op; authenticated
+    /// transports forward it to the deployment's audit log as suspicion
+    /// (never conviction: the client alone cannot tell which of two
+    /// contradicting replicas lied).
+    fn suspect(&mut self, _server: ServerId) {}
 }
 
 /// Errors from KV operations.
@@ -540,6 +548,11 @@ impl KvClient {
         // Membership votes: `(epoch, digest)` → the distinct physical
         // servers vouching for that configuration via `WrongEpoch`.
         let mut votes: BTreeMap<(u32, u64), (BTreeSet<ServerId>, EpochConfig)> = BTreeMap::new();
+        // Quorum cross-check (replicated mode only — coded replicas hold
+        // *different* fragments at one tag by design): the first full
+        // value vouched per tag within this operation; a contradicting
+        // second voucher makes both parties suspects.
+        let mut vouched: BTreeMap<Tag, (u64, ServerId)> = BTreeMap::new();
         let mut pass: u32 = 0;
         let done = |op: &mut dyn ClientOp, evidence: &mut SlowEvidence, pass, unr: usize| {
             evidence.retry_passes = pass;
@@ -652,6 +665,25 @@ impl KvClient {
                         }
                         responded += 1;
                         for reply in proto {
+                            if self.mode == KvMode::Replicated {
+                                if let ServerToClient::DataResp { tag, payload, .. } = &reply {
+                                    let digest = crate::server::entry_digest(tag, payload);
+                                    match vouched.get(tag) {
+                                        Some((d, first)) if *d != digest => {
+                                            // Same tag, different value: one
+                                            // of the two vouchers is lying,
+                                            // and the client cannot tell
+                                            // which — suspicion for both.
+                                            transport.suspect(*first);
+                                            transport.suspect(phys);
+                                        }
+                                        Some(_) => {}
+                                        None => {
+                                            vouched.insert(*tag, (digest, phys));
+                                        }
+                                    }
+                                }
+                            }
                             queue.extend(op.on_message(to, &reply));
                             if let Some(out) = op.output() {
                                 done(op, evidence, pass, unreachable.len());

@@ -23,15 +23,17 @@
 //! latest put. There is no cross-key ordering, exactly like the weakly
 //! consistent production stores the paper cites.
 
+pub mod audit;
 pub mod client;
 pub mod cluster;
 pub(crate) mod reactor;
 pub mod server;
 pub mod tcp;
 
+pub use audit::{AuditLog, Charge, Evidence, Verdict};
 pub use client::{KvClient, KvError, KvTransport, Unreachable};
 pub use cluster::InMemKvCluster;
-pub use server::{entry_digest, KvMode, KvServer};
+pub use server::{entry_digest, key_digest, KvMode, KvServer};
 pub use tcp::{
     encode_request, fetch_metrics, ClusterBuilder, KvHostBuilder, KvHostOptions, KvServerHost,
     TcpKvCluster, TcpKvTransport, METRICS_KEY,

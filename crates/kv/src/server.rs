@@ -15,6 +15,7 @@
 //! be Byzantine in one shard while serving another honestly.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use safereg_common::buf::Bytes;
 use safereg_common::codec::Wire;
@@ -30,6 +31,8 @@ use safereg_common::trace::{Phase, TraceCtx};
 use safereg_common::value::Value;
 use safereg_core::behavior::{ByzRole, ServerBehavior};
 use safereg_core::server::ServerNode;
+use safereg_crypto::chain::{ChainLink, LinkKind, ResponseChain};
+use safereg_crypto::keychain::KeyChain;
 use safereg_mds::rs::ReedSolomon;
 use safereg_mds::stripe::encode_value;
 use safereg_obs::span::{self, SpanKind};
@@ -187,7 +190,7 @@ impl ShardGroup {
 /// Writer id used for cluster-internal state-transfer installs; far above
 /// any id the harnesses allocate, so transfer tags never collide with a
 /// real writer's tag space (the tag itself is the *original* writer's).
-const TRANSFER_WRITER: WriterId = WriterId(0xFFFE);
+pub(crate) const TRANSFER_WRITER: WriterId = WriterId(0xFFFE);
 
 /// FNV-1a digest over the wire encoding of a `(tag, payload)` register
 /// entry. Pinned here (next to [`KvServer::payload_digest`], which uses
@@ -203,6 +206,21 @@ pub fn entry_digest(tag: &Tag, payload: &Payload) -> u64 {
     }
     h
 }
+
+/// FNV-1a digest of a register key, the form a key takes inside audit
+/// [`ChainLink`]s — evidence pins the key without shipping it.
+pub fn key_digest(key: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Process-wide boot counter feeding [`ChainLink::incarnation`]: every
+/// replica (re)start gets a fresh incarnation, so a legitimately restarted
+/// chain restarting `seq` at 0 is distinguishable from a forked one.
+static INCARNATIONS: AtomicU64 = AtomicU64::new(0);
 
 /// A fresh per-key register in the representation `mode` dictates.
 fn fresh_node(id: ServerId, cfg: QuorumConfig, mode: KvMode) -> ServerNode {
@@ -245,6 +263,14 @@ pub struct KvServer {
     id: ServerId,
     mode: KvMode,
     state: RwLock<ServerState>,
+    /// Response-attestation chain, armed by the TCP host (in-memory
+    /// deployments exchange no frames and never arm it). One rolling chain
+    /// per replica process; the mutex totally orders attested responses.
+    audit: Mutex<Option<ResponseChain>>,
+    /// Quarantine latch: a convicted replica is demoted to read-only —
+    /// writes are dropped unacknowledged so it can no longer contribute to
+    /// write quorums, while reads keep being served during eviction.
+    quarantined: AtomicBool,
 }
 
 /// Epoch-scoped state: everything a reconfiguration swaps atomically.
@@ -344,7 +370,51 @@ impl KvServer {
                 map,
                 shards,
             }),
+            audit: Mutex::new(None),
+            quarantined: AtomicBool::new(false),
         }
+    }
+
+    /// Arms response attestation: from now on [`KvServer::attest`] mints a
+    /// MAC-chained [`ChainLink`] for every attestable response. Called by
+    /// the TCP host at spawn; each call starts a fresh incarnation, so a
+    /// restarted replica's chain never forks its predecessor's.
+    pub fn enable_audit(&self, chain: &KeyChain) {
+        let incarnation = INCARNATIONS.fetch_add(1, Ordering::Relaxed);
+        *self.audit.lock() = Some(ResponseChain::new(chain, self.id, incarnation));
+    }
+
+    /// Mints the chain link vouching for one response, or `None` when the
+    /// response kind is not attestable (`WrongEpoch`, admin replies) or
+    /// audit is not armed.
+    ///
+    /// This runs *after* the (possibly Byzantine) register dispatch, so a
+    /// faulty role's fabricated or equivocating answers are signed like any
+    /// other — which is exactly what makes them convictable later.
+    pub fn attest(&self, key: &[u8], resp: &ServerToClient) -> Option<ChainLink> {
+        let (op, kind, tag, value_digest) = match resp {
+            ServerToClient::TagResp { op, tag } => (*op, LinkKind::TagResp, *tag, 0),
+            ServerToClient::PutAck { op, tag } => (*op, LinkKind::PutAck, *tag, 0),
+            ServerToClient::DataResp { op, tag, payload } => {
+                (*op, LinkKind::DataResp, *tag, entry_digest(tag, payload))
+            }
+            _ => return None,
+        };
+        let mut guard = self.audit.lock();
+        let chain = guard.as_mut()?;
+        Some(chain.append(op, kind, key_digest(key), tag, value_digest))
+    }
+
+    /// Latches the quarantine: subsequent writes are dropped without an
+    /// ack. Idempotent; there is deliberately no un-quarantine — the only
+    /// way back in is eviction plus a fresh join.
+    pub fn quarantine(&self) {
+        self.quarantined.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether this replica has been quarantined.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined.load(Ordering::Relaxed)
     }
 
     /// This replica's (physical) identifier.
@@ -567,6 +637,12 @@ impl KvServer {
         msg: &ClientToServer,
         trace: TraceCtx,
     ) -> Vec<ServerToClient> {
+        // Read-only demotion: a quarantined replica drops writes silently
+        // (no ack, so it counts toward no write quorum) but keeps serving
+        // reads until the eviction reconfiguration retires it.
+        if matches!(msg, ClientToServer::PutData { .. }) && self.is_quarantined() {
+            return Vec::new();
+        }
         let st = self.state.read();
         let Some(group) = st.shards.get(&shard) else {
             return Vec::new();

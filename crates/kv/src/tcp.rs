@@ -36,6 +36,7 @@ use safereg_common::msg::{ClientToServer, Envelope, Message, ServerToClient};
 use safereg_common::shard::{ShardId, ShardMap};
 use safereg_common::sync::channel::{bounded, BoundedSender, SendTimeoutError, ShedPolicy};
 use safereg_crypto::auth::AuthCodec;
+use safereg_crypto::chain::ChainLink;
 use safereg_crypto::keychain::KeyChain;
 use safereg_crypto::sha256::DIGEST_LEN;
 
@@ -54,6 +55,7 @@ use safereg_transport::write_all_vectored;
 use safereg_mds::rs::ReedSolomon;
 use safereg_mds::stripe::encode_value;
 
+use crate::audit::AuditLog;
 use crate::client::{KvClient, KvTransport, Unreachable};
 use crate::reactor::ReactorPool;
 use crate::server::{KvMode, KvServer};
@@ -76,6 +78,12 @@ pub(crate) struct KvFrame {
     shard: ShardId,
     trace: TraceCtx,
     stamp: ConfigStamp,
+    /// Accountability attestation: servers attach a response-chain link to
+    /// every attestable reply (`TagResp`/`PutAck`/`DataResp`); requests and
+    /// admin/epoch replies carry `None`. MAC-covered like the rest of the
+    /// frame, and additionally self-authenticating under the server's audit
+    /// key, so it stays convincing once lifted out of the frame as evidence.
+    link: Option<ChainLink>,
     key: Bytes,
     env: Envelope,
 }
@@ -85,6 +93,7 @@ impl Wire for KvFrame {
         self.shard.encode_to(buf);
         self.trace.encode_to(buf);
         self.stamp.encode_to(buf);
+        self.link.encode_to(buf);
         self.key.encode_to(buf);
         self.env.encode_to(buf);
     }
@@ -94,6 +103,7 @@ impl Wire for KvFrame {
             shard: ShardId::decode_from(r)?,
             trace: TraceCtx::decode_from(r)?,
             stamp: ConfigStamp::decode_from(r)?,
+            link: Option::<ChainLink>::decode_from(r)?,
             key: Bytes::decode_from(r)?,
             env: Envelope::decode_from(r)?,
         })
@@ -106,6 +116,7 @@ impl Wire for KvFrame {
             shard: ShardId::decode_borrowed(r)?,
             trace: TraceCtx::decode_borrowed(r)?,
             stamp: ConfigStamp::decode_borrowed(r)?,
+            link: Option::<ChainLink>::decode_borrowed(r)?,
             key: Bytes::decode_borrowed(r)?,
             env: Envelope::decode_borrowed(r)?,
         })
@@ -118,12 +129,18 @@ impl KvFrame {
     /// carries one). `head ++ tail` equals [`Wire::to_bytes`] byte for byte.
     fn encode_parts(&self) -> (Vec<u8>, Option<Bytes>) {
         let (env_head, tail) = self.env.encode_parts();
+        let link_len = 1 + self.link.as_ref().map_or(0, |_| ChainLink::WIRE_LEN);
         let mut head = Vec::with_capacity(
-            10 + TraceCtx::WIRE_LEN + ConfigStamp::WIRE_LEN + self.key.len() + env_head.len(),
+            10 + TraceCtx::WIRE_LEN
+                + ConfigStamp::WIRE_LEN
+                + link_len
+                + self.key.len()
+                + env_head.len(),
         );
         self.shard.encode_to(&mut head);
         self.trace.encode_to(&mut head);
         self.stamp.encode_to(&mut head);
+        self.link.encode_to(&mut head);
         self.key.encode_to(&mut head);
         head.extend_from_slice(&env_head);
         (head, tail)
@@ -217,6 +234,7 @@ pub fn encode_request(
         shard,
         trace: TraceCtx::NONE,
         stamp,
+        link: None,
         key: Bytes::copy_from_slice(key),
         env: Envelope::to_server(from, to, msg.clone()),
     };
@@ -371,6 +389,7 @@ pub(crate) fn process_sealed_frame(
                 shard: frame.shard,
                 trace: frame.trace.hopped(Phase::Reply),
                 stamp: frame.stamp,
+                link: None,
                 key: frame.key.clone(),
                 env: Envelope::to_client(me, from, resp),
             };
@@ -398,6 +417,7 @@ pub(crate) fn process_sealed_frame(
             shard: frame.shard,
             trace: frame.trace.hopped(Phase::Reply),
             stamp: frame.stamp,
+            link: None,
             key: frame.key.clone(),
             env: Envelope::to_client(me, from, resp),
         };
@@ -414,10 +434,15 @@ pub(crate) fn process_sealed_frame(
         .counter(&names::shard_served_counter(frame.shard.0))
         .inc();
     for resp in responses {
+        // Attest after dispatch: Byzantine roles' answers flow through the
+        // same reply path, so their lies are chain-signed too — the
+        // attestation is what later convicts them.
+        let link = server.attest(&frame.key, &resp);
         let reply = KvFrame {
             shard: frame.shard,
             trace: frame.trace.hopped(Phase::Reply),
             stamp: frame.stamp,
+            link,
             key: frame.key.clone(),
             env: Envelope::to_client(me, from, resp),
         };
@@ -754,6 +779,9 @@ impl KvServerHost {
             opts.role,
             opts.byz_seed,
         ));
+        // Arm response attestation: every spawn is a fresh incarnation, so
+        // restarted replicas never look chain-forked to the auditor.
+        server.enable_audit(&chain);
 
         // Register the degradation metrics up front so a dump shows them
         // (at zero) even before any backpressure, eviction or restart.
@@ -793,6 +821,15 @@ impl KvServerHost {
         reg.counter(names::KV_EPOCH_ADOPTIONS);
         reg.counter(names::KV_EPOCH_RECONFIGS);
         reg.counter(names::KV_TRANSFER_KEYS);
+        // Accountability series: evidence/verdict counters plus one
+        // suspicion gauge per fleet member, schema-stable from spawn.
+        reg.counter(names::KV_AUDIT_EVIDENCE);
+        reg.counter(names::KV_AUDIT_CONVICTIONS);
+        reg.counter(names::KV_AUDIT_FALSE_ACCUSATIONS);
+        reg.counter(names::KV_AUDIT_QUARANTINES);
+        for s in map.fleet() {
+            reg.gauge(&names::audit_suspicion_gauge(s.0));
+        }
         // Reactor-runtime series, registered whatever the runtime so the
         // dump schema does not depend on how the replica is served.
         reg.gauge(names::REACTOR_THREADS);
@@ -939,6 +976,18 @@ impl KvServerHost {
     /// [`KvServer::payload_digest`]).
     pub fn payload_digest(&self, shard: ShardId, key: &[u8]) -> Option<u64> {
         self.server.payload_digest(shard, key)
+    }
+
+    /// Quarantines the hosted replica: writes are dropped unacknowledged
+    /// from now on (see [`KvServer::quarantine`]); reads keep flowing
+    /// until eviction.
+    pub fn quarantine(&self) {
+        self.server.quarantine();
+    }
+
+    /// Whether the hosted replica is quarantined.
+    pub fn is_quarantined(&self) -> bool {
+        self.server.is_quarantined()
     }
 
     /// Retires a leaving replica: waits out `grace` so in-flight replies
@@ -1151,6 +1200,10 @@ pub struct TcpKvTransport {
     chain: KeyChain,
     links: BTreeMap<ServerId, KvLink>,
     config: TransportConfig,
+    /// Accountability sink: when set, every attested reply's chain link is
+    /// cross-checked (and bad frames noted as suspicion) in the shared
+    /// [`AuditLog`].
+    audit: Option<Arc<AuditLog>>,
     /// The epoch fingerprint stamped into every outgoing frame. Starts as
     /// the genesis stamp over the connected fleet; updated by
     /// [`reconfigure`](KvTransport::reconfigure) when the client adopts a
@@ -1208,8 +1261,25 @@ impl TcpKvTransport {
             chain,
             links,
             config,
+            audit: None,
             stamp: EpochConfig::genesis(servers.keys().copied()).stamp(),
             rng: safereg_common::rng::DetRng::seed_from(0x5AFE_4B56),
+        }
+    }
+
+    /// Attaches a shared audit log: every subsequent exchange feeds
+    /// received chain links (and suspicion signals) into it. All
+    /// transports of one deployment should share one log — cross-client
+    /// pooling is what catches per-reader-consistent equivocation.
+    pub fn set_audit(&mut self, audit: Arc<AuditLog>) {
+        self.audit = Some(audit);
+    }
+
+    /// Notes a circumstantial signal against `to` in the attached audit
+    /// log, if any.
+    fn note_suspect(&self, to: ServerId) {
+        if let Some(audit) = &self.audit {
+            audit.suspect(to);
         }
     }
 
@@ -1321,6 +1391,7 @@ impl KvTransport for TcpKvTransport {
             shard,
             trace,
             stamp: self.stamp,
+            link: None,
             key: Bytes::copy_from_slice(key),
             env: Envelope::to_server(from, to, msg.clone()),
         };
@@ -1356,22 +1427,40 @@ impl KvTransport for TcpKvTransport {
         // Borrowing decode: the returned value aliases the frame buffer.
         let reply = match KvFrame::from_bytes(&payload) {
             Ok(f) => f,
-            Err(_) => return Ok(Vec::new()),
+            Err(_) => {
+                self.note_suspect(to);
+                return Ok(Vec::new());
+            }
         };
         if AuthCodec::new(self.chain.pair_key(reply.env.src, reply.env.dst))
             .open(sealed.as_ref())
             .is_err()
         {
+            // Forged or wire-corrupted: deliberately *not* evidence — the
+            // network can do this to a correct replica's frames.
+            self.note_suspect(to);
             return Ok(Vec::new());
         }
         if reply.shard != shard || reply.key.as_ref() != key || reply.env.src != NodeId::Server(to)
         {
+            self.note_suspect(to);
             return Ok(Vec::new());
+        }
+        // Authentic reply: cross-check its attestation against everything
+        // the deployment has seen. A convicting contradiction files
+        // offline-verifiable evidence; the reply is still delivered (the
+        // quorum layer above tolerates the lie, the audit layer blames it).
+        if let (Some(audit), Some(link)) = (&self.audit, &reply.link) {
+            audit.observe(link, &sealed);
         }
         match reply.env.msg {
             Message::ToClient(m) => Ok(vec![m]),
             _ => Ok(Vec::new()),
         }
+    }
+
+    fn suspect(&mut self, server: ServerId) {
+        self.note_suspect(server);
     }
 
     /// Switches the transport to a newly adopted membership: stamps future
@@ -1769,6 +1858,15 @@ impl TcpKvCluster {
         t
     }
 
+    /// An empty audit log keyed for this deployment — links mint under the
+    /// same master chain the hosts attest with, so it verifies them.
+    /// Callers must still [register](AuditLog::register_writers) the
+    /// legitimate writers, and every client transport of the deployment
+    /// should [attach](TcpKvTransport::set_audit) the *same* log.
+    pub fn audit_log(&self) -> Arc<AuditLog> {
+        Arc::new(AuditLog::new(self.chain.clone()))
+    }
+
     /// The current membership epoch.
     pub fn epoch(&self) -> u32 {
         self.config.epoch
@@ -1996,6 +2094,56 @@ impl TcpKvCluster {
     /// [`add_replica`]: TcpKvCluster::add_replica
     pub fn replace_replica(&mut self, out: ServerId, joiner: ServerId) -> std::io::Result<()> {
         self.reconfigure_to(&[joiner], &[out])
+    }
+
+    /// Quarantines one replica in place (read-only demotion, counted under
+    /// `kv.audit.quarantines`). Returns `false` for an unknown replica.
+    pub fn quarantine(&self, sid: ServerId) -> bool {
+        let Some(host) = self.hosts.get(&sid) else {
+            return false;
+        };
+        if !host.is_quarantined() {
+            safereg_obs::global()
+                .counter(names::KV_AUDIT_QUARANTINES)
+                .inc();
+        }
+        host.quarantine();
+        true
+    }
+
+    /// Whether a replica is currently quarantined.
+    pub fn is_quarantined(&self, sid: ServerId) -> bool {
+        self.hosts
+            .get(&sid)
+            .is_some_and(KvServerHost::is_quarantined)
+    }
+
+    /// Applies an audit log's verdicts: every convicted replica still in
+    /// the fleet is quarantined (immediately read-only, so it stops
+    /// counting toward write quorums) and then evicted through the
+    /// reconfiguration path — replaced by a fresh replica on the next free
+    /// id, because plain removal could drop the fleet below the per-shard
+    /// replica count. Returns `(evicted, replacement)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// The reconfiguration errors of
+    /// [`replace_replica`](Self::replace_replica).
+    pub fn enforce_verdicts(
+        &mut self,
+        audit: &AuditLog,
+    ) -> std::io::Result<Vec<(ServerId, ServerId)>> {
+        let mut evicted = Vec::new();
+        for (sid, _charge) in audit.convictions() {
+            if !self.hosts.contains_key(&sid) {
+                continue; // already gone (earlier enforcement or removal)
+            }
+            self.quarantine(sid);
+            let replacement = ServerId(self.hosts.keys().map(|s| s.0).max().map_or(0, |m| m + 1));
+            self.replace_replica(sid, replacement)?;
+            evicted.push((sid, replacement));
+        }
+        Ok(evicted)
     }
 
     /// One rolling reconfiguration step: pull the state the new placement

@@ -111,6 +111,29 @@ pub const KV_EPOCH_RECONFIGS: &str = "kv.epoch.reconfigs";
 /// before it serves its epoch.
 pub const KV_TRANSFER_KEYS: &str = "kv.reconfig.transfer.keys";
 
+/// Evidence records filed into the audit log: each is a pair of authentic
+/// chain links (or one inadmissible link) that proves misbehaviour.
+pub const KV_AUDIT_EVIDENCE: &str = "kv.audit.evidence";
+
+/// Convictions reached from evidence: a replica was proven Byzantine by
+/// its own MAC-chained attestations.
+pub const KV_AUDIT_CONVICTIONS: &str = "kv.audit.convictions";
+
+/// Convictions of replicas the harness knows were correct — must stay 0;
+/// any increment is a soundness bug in the audit layer.
+pub const KV_AUDIT_FALSE_ACCUSATIONS: &str = "kv.audit.false_accusations";
+
+/// Replicas quarantined (demoted to read-only) after a conviction, prior
+/// to their eviction via reconfiguration.
+pub const KV_AUDIT_QUARANTINES: &str = "kv.audit.quarantines";
+
+/// Per-replica suspicion gauge (`kv.audit.suspicion.s3`): circumstantial
+/// signals (cross-check mismatches, dropped/forged frames) that do not by
+/// themselves convict.
+pub fn audit_suspicion_gauge(server: u16) -> String {
+    format!("kv.audit.suspicion.s{server}")
+}
+
 /// Hottest shard id observed by a sharded client (a gauge holding the
 /// `ShardId` whose op counter currently leads).
 pub const KV_SHARD_HOT: &str = "kv.shard.hot";
@@ -283,6 +306,18 @@ mod tests {
         assert_eq!(super::KV_EPOCH_ADOPTIONS, "kv.epoch.adoptions");
         assert_eq!(super::KV_EPOCH_RECONFIGS, "kv.epoch.reconfigs");
         assert_eq!(super::KV_TRANSFER_KEYS, "kv.reconfig.transfer.keys");
+    }
+
+    #[test]
+    fn audit_metric_names_are_stable() {
+        assert_eq!(super::KV_AUDIT_EVIDENCE, "kv.audit.evidence");
+        assert_eq!(super::KV_AUDIT_CONVICTIONS, "kv.audit.convictions");
+        assert_eq!(
+            super::KV_AUDIT_FALSE_ACCUSATIONS,
+            "kv.audit.false_accusations"
+        );
+        assert_eq!(super::KV_AUDIT_QUARANTINES, "kv.audit.quarantines");
+        assert_eq!(super::audit_suspicion_gauge(3), "kv.audit.suspicion.s3");
     }
 
     #[test]

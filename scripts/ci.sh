@@ -152,6 +152,37 @@ grep -q '"metric":"reactor.accept.handoffs"' <<< "$runtime_out" ||
 test -s BENCH_runtime.json ||
     { echo "ci.sh: runtime smoke did not write BENCH_runtime.json" >&2; exit 1; }
 
+# Audit smoke: the accountability scenario — a Fabricator leg and an
+# Equivocator leg (its forged writer id registered, so conviction must
+# come from cross-reader equivocation pooling), offline re-verification
+# of every evidence record, quarantine + reconfiguration eviction with a
+# post-eviction workload, and a chaos leg over an all-honest cluster
+# that must convict nobody. The scenario exits nonzero unless every
+# injected fault is convicted with zero false accusations; the greps pin
+# the verdict line, the conviction counter in the metrics dump, the
+# zero-false-accusation line, and the written report.
+echo "==> paper_harness audit --ops 32 | grep verdicts"
+audit_out=$(cargo run --release --offline -q -p safereg-bench --bin paper_harness audit --ops 32)
+echo "$audit_out"
+grep -q 'audit: ok' <<< "$audit_out" ||
+    { echo "ci.sh: audit smoke failed its conviction/acquittal bars" >&2; exit 1; }
+grep -q '"metric":"kv.audit.convictions"' <<< "$audit_out" ||
+    { echo "ci.sh: audit dump missing kv.audit.convictions counter" >&2; exit 1; }
+grep -q 'false_accusations 0 (0 required)' <<< "$audit_out" ||
+    { echo "ci.sh: audit smoke accused a correct replica" >&2; exit 1; }
+test -s BENCH_audit.json ||
+    { echo "ci.sh: audit smoke did not write BENCH_audit.json" >&2; exit 1; }
+
+# Key-hygiene gate: evidence and audit types are built to be logged and
+# shipped, so their Debug output must never expose raw keychain
+# material. The redaction lives in two places — the keychain's own Debug
+# impl and the audit log's — and both must stay.
+echo "==> grep gate: audit Debug output redacts key material"
+grep -q '<redacted>' crates/crypto/src/keychain.rs ||
+    { echo "ci.sh: KeyChain Debug no longer redacts key material" >&2; exit 1; }
+grep -q '"<redacted>"' crates/kv/src/audit.rs ||
+    { echo "ci.sh: AuditLog Debug no longer redacts its keychain" >&2; exit 1; }
+
 # API gate: the deprecated KvServerHost::spawn*/TcpKvCluster::start*
 # constructors must not be called from non-test code — the builders are
 # the one public path (the builder-equivalence integration test is the
